@@ -1,0 +1,85 @@
+//! Micro-benchmarks across the whole estimator zoo: single-query latency
+//! and construction cost for every method at the paper's sample size, plus
+//! the 2-D product-kernel estimator.
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_core::{RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator};
+use selest_data::PaperFile;
+use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram};
+use selest_hybrid::HybridEstimator;
+use selest_kernel::{
+    Boundary2d, BoundaryPolicy, KernelEstimator, KernelEstimator2d, KernelFn, RectQuery,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let d = f.data.domain();
+    let q = RangeQuery::new(d.lerp(0.45), d.lerp(0.46));
+    let h = d.width() / 60.0;
+
+    let estimators: Vec<(&str, Box<dyn SelectivityEstimator>)> = vec![
+        ("uniform", Box::new(UniformEstimator::new(d))),
+        ("sampling", Box::new(SamplingEstimator::new(&f.sample, d))),
+        ("ewh32", Box::new(equi_width(&f.sample, d, 32))),
+        ("edh32", Box::new(equi_depth(&f.sample, d, 32))),
+        ("mdh32", Box::new(max_diff(&f.sample, d, 32))),
+        ("ash32x10", Box::new(AverageShiftedHistogram::new(&f.sample, d, 32, 10))),
+        (
+            "kernel_bk",
+            Box::new(KernelEstimator::new(
+                &f.sample,
+                d,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            )),
+        ),
+        ("hybrid", Box::new(HybridEstimator::new(&f.sample, d))),
+    ];
+    let mut g = c.benchmark_group("single_query_latency");
+    for (name, est) in &estimators {
+        g.bench_function(*name, |b| b.iter(|| black_box(est.selectivity(black_box(&q)))));
+    }
+    g.finish();
+
+    // 2-D product kernel: rectangle query latency.
+    let pts: Vec<(f64, f64)> = f
+        .sample
+        .iter()
+        .zip(f.sample.iter().rev())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    let est2 = KernelEstimator2d::new(
+        &pts,
+        d,
+        d,
+        KernelFn::Epanechnikov,
+        h,
+        h,
+        Boundary2d::Reflection,
+    );
+    let rq = RectQuery::new(d.lerp(0.3), d.lerp(0.4), d.lerp(0.3), d.lerp(0.4));
+    let mut g = c.benchmark_group("multidim");
+    g.bench_function("rect_query_2d", |b| {
+        b.iter(|| black_box(est2.selectivity(black_box(&rq))))
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

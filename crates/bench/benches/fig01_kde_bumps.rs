@@ -1,0 +1,40 @@
+//! Figure 1 bench: evaluating a kernel density estimate (per-sample bump
+//! decomposition and plain grid evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_kernel::{kde::bump_decomposition, KernelFn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37) % 10.0).collect();
+    let mut g = c.benchmark_group("fig01_kde_bumps");
+    g.bench_function("bump_decomposition_200x512", |b| {
+        b.iter(|| {
+            bump_decomposition(
+                black_box(&samples),
+                KernelFn::Epanechnikov,
+                0.5,
+                0.0,
+                10.0,
+                512,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 2 bench: the cost of the per-sample contribution cases of
+//! Algorithm 1 — exact CDF evaluation vs. the zero/one shortcuts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_kernel::KernelFn;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let k = KernelFn::Epanechnikov;
+    let mut g = c.benchmark_group("fig02_kernel_cases");
+    g.bench_function("cdf_in_support", |b| {
+        b.iter(|| black_box(k.cdf(black_box(0.37))))
+    });
+    g.bench_function("cdf_saturated", |b| {
+        b.iter(|| black_box(k.cdf(black_box(7.0))))
+    });
+    g.bench_function("eval", |b| b.iter(|| black_box(k.eval(black_box(0.37)))));
+    for kernel in KernelFn::ALL {
+        g.bench_function(format!("cdf_{}", kernel.name()), |b| {
+            b.iter(|| black_box(kernel.cdf(black_box(0.37))))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

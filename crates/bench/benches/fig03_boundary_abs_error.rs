@@ -1,0 +1,47 @@
+//! Figure 3 bench: the positional error sweep of the untreated kernel
+//! estimator (build once, answer a sweep of 1 % queries).
+
+use bench::{fixture, total_selectivity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::{positional_sweep, PaperFile};
+use selest_kernel::{
+    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Uniform { p: 20 });
+    let h = NormalScale.bandwidth(&f.sample, KernelFn::Epanechnikov);
+    let est = KernelEstimator::new(
+        &f.sample,
+        f.data.domain(),
+        KernelFn::Epanechnikov,
+        h,
+        BoundaryPolicy::NoTreatment,
+    );
+    let sweep: Vec<_> = positional_sweep(&f.data.domain(), 0.01, 101)
+        .into_iter()
+        .map(|(_, q)| q)
+        .collect();
+    let mut g = c.benchmark_group("fig03_boundary_abs_error");
+    g.bench_function("sweep_101_positions", |b| {
+        b.iter(|| black_box(total_selectivity(&est, &sweep)))
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

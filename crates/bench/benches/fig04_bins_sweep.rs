@@ -1,0 +1,39 @@
+//! Figure 4 bench: the bin-count sweep — equi-width histogram construction
+//! and query-file evaluation at several bin counts.
+
+use bench::{fixture, total_selectivity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use selest_histogram::equi_width;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let mut g = c.benchmark_group("fig04_bins_sweep");
+    for k in [8usize, 64, 512] {
+        g.bench_function(format!("build_k{k}"), |b| {
+            b.iter(|| black_box(equi_width(black_box(&f.sample), f.data.domain(), k)))
+        });
+        let h = equi_width(&f.sample, f.data.domain(), k);
+        g.bench_function(format!("answer_200_queries_k{k}"), |b| {
+            b.iter(|| black_box(total_selectivity(&h, &f.queries)))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 5 bench: data-file generation and histogram evaluation across
+//! domain cardinalities p = 10, 15, 20.
+
+use bench::{fixture, total_selectivity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use selest_histogram::equi_width;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_cardinality");
+    g.sample_size(10);
+    for p in [10u32, 15, 20] {
+        let f = fixture(PaperFile::Normal { p });
+        let h = equi_width(&f.sample, f.data.domain(), 32);
+        g.bench_function(format!("ewh32_queries_p{p}"), |b| {
+            b.iter(|| black_box(total_selectivity(&h, &f.queries)))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

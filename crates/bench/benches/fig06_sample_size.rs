@@ -1,0 +1,60 @@
+//! Figure 6 bench: estimator construction cost as the sample grows —
+//! the consistency experiment's build path for sampling, histogram, and
+//! kernel estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_core::{Domain, SamplingEstimator};
+use selest_data::{sample_without_replacement, PaperFile};
+use selest_histogram::{equi_width, BinRule, NormalScaleBins};
+use selest_kernel::{
+    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = PaperFile::Normal { p: 20 }.generate_scaled(20);
+    let domain: Domain = data.domain();
+    let mut g = c.benchmark_group("fig06_sample_size");
+    g.sample_size(20);
+    for n in [200usize, 1_000, 4_000] {
+        let sample = sample_without_replacement(data.values(), n.min(data.len()), 5);
+        g.bench_function(format!("build_sampling_n{n}"), |b| {
+            b.iter(|| black_box(SamplingEstimator::new(black_box(&sample), domain)))
+        });
+        g.bench_function(format!("build_ewh_ns_n{n}"), |b| {
+            b.iter(|| {
+                let k = NormalScaleBins.bins(&sample, &domain);
+                black_box(equi_width(black_box(&sample), domain, k))
+            })
+        });
+        g.bench_function(format!("build_kernel_ns_n{n}"), |b| {
+            b.iter(|| {
+                let h = NormalScale.bandwidth(&sample, KernelFn::Epanechnikov);
+                black_box(KernelEstimator::new(
+                    black_box(&sample),
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::BoundaryKernel,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

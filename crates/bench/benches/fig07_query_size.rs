@@ -1,0 +1,40 @@
+//! Figure 7 bench: answering query files of the four paper sizes
+//! (1/2/5/10 %) with the normal-scale equi-width histogram — wider queries
+//! touch more bins, so the cost scales with the covered bin count.
+
+use bench::total_selectivity;
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::{sample_without_replacement, PaperFile, QueryFile};
+use selest_histogram::{equi_width, BinRule, NormalScaleBins};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = PaperFile::Normal { p: 20 }.generate_scaled(20);
+    let sample = sample_without_replacement(data.values(), 1_000, 7);
+    let k = NormalScaleBins.bins(&sample, &data.domain());
+    let hist = equi_width(&sample, data.domain(), k);
+    let mut g = c.benchmark_group("fig07_query_size");
+    for size in [0.01f64, 0.02, 0.05, 0.10] {
+        let qf = QueryFile::generate(&data, size, 200, 3);
+        g.bench_function(format!("ewh_200_queries_{}pct", (size * 100.0) as u32), |b| {
+            b.iter(|| black_box(total_selectivity(&hist, qf.queries())))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

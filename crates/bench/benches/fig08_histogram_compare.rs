@@ -1,0 +1,53 @@
+//! Figure 8 bench: construction and evaluation cost of every histogram
+//! policy at the same bin count, plus the baselines.
+
+use bench::{fixture, total_selectivity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_core::{SamplingEstimator, UniformEstimator};
+use selest_data::PaperFile;
+use selest_histogram::{equi_depth, equi_width, max_diff, v_optimal};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Exponential { p: 20 });
+    let d = f.data.domain();
+    let k = 32;
+    let mut g = c.benchmark_group("fig08_histogram_compare");
+    g.bench_function("build_ewh", |b| b.iter(|| black_box(equi_width(&f.sample, d, k))));
+    g.bench_function("build_edh", |b| b.iter(|| black_box(equi_depth(&f.sample, d, k))));
+    g.bench_function("build_mdh", |b| b.iter(|| black_box(max_diff(&f.sample, d, k))));
+    g.bench_function("build_vopt", |b| {
+        b.iter(|| black_box(v_optimal(&f.sample, d, k, 256)))
+    });
+    let ewh = equi_width(&f.sample, d, k);
+    let edh = equi_depth(&f.sample, d, k);
+    let mdh = max_diff(&f.sample, d, k);
+    let sampling = SamplingEstimator::new(&f.sample, d);
+    let uniform = UniformEstimator::new(d);
+    g.bench_function("answer_ewh", |b| b.iter(|| black_box(total_selectivity(&ewh, &f.queries))));
+    g.bench_function("answer_edh", |b| b.iter(|| black_box(total_selectivity(&edh, &f.queries))));
+    g.bench_function("answer_mdh", |b| b.iter(|| black_box(total_selectivity(&mdh, &f.queries))));
+    g.bench_function("answer_sampling", |b| {
+        b.iter(|| black_box(total_selectivity(&sampling, &f.queries)))
+    });
+    g.bench_function("answer_uniform", |b| {
+        b.iter(|| black_box(total_selectivity(&uniform, &f.queries)))
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 9 bench: the cost of the bin-count selection rules themselves —
+//! the normal scale rule is a couple of passes over the sample; the
+//! plug-in rule pays an O(n^2) functional estimate; the oracle search pays
+//! a full error evaluation per candidate.
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use selest_experiments::{oracle::oracle_bins, FileContext, Scale};
+use selest_histogram::{BinRule, FreedmanDiaconisBins, NormalScaleBins, PlugInBins, SturgesBins};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let d = f.data.domain();
+    let mut g = c.benchmark_group("fig09_bin_rules");
+    g.bench_function("normal_scale", |b| {
+        b.iter(|| black_box(NormalScaleBins.bins(black_box(&f.sample), &d)))
+    });
+    g.bench_function("sturges", |b| {
+        b.iter(|| black_box(SturgesBins.bins(black_box(&f.sample), &d)))
+    });
+    g.bench_function("freedman_diaconis", |b| {
+        b.iter(|| black_box(FreedmanDiaconisBins.bins(black_box(&f.sample), &d)))
+    });
+    g.sample_size(10);
+    g.bench_function("plug_in_2stage", |b| {
+        b.iter(|| black_box(PlugInBins::two_stage().bins(black_box(&f.sample), &d)))
+    });
+    let mut quick = Scale::quick();
+    quick.record_divisor = 50;
+    quick.queries_per_file = 50;
+    let ctx = FileContext::build(PaperFile::Normal { p: 20 }, &quick);
+    g.bench_function("oracle_search_50q", |b| {
+        b.iter(|| black_box(oracle_bins(&ctx, ctx.query_file(0.01).queries(), 300)))
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

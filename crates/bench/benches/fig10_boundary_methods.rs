@@ -1,0 +1,52 @@
+//! Figure 10 bench: query evaluation under the three boundary policies —
+//! what the reflection mirrors and the boundary-kernel primitives cost on
+//! edge-touching vs. interior queries.
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_core::{RangeQuery, SelectivityEstimator};
+use selest_data::PaperFile;
+use selest_kernel::{
+    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Uniform { p: 20 });
+    let d = f.data.domain();
+    let h = NormalScale.bandwidth(&f.sample, KernelFn::Epanechnikov);
+    let w = d.width();
+    let edge = RangeQuery::new(d.lo(), d.lo() + 0.01 * w);
+    let center = RangeQuery::new(d.center(), d.center() + 0.01 * w);
+    let mut g = c.benchmark_group("fig10_boundary_methods");
+    for (policy, label) in [
+        (BoundaryPolicy::NoTreatment, "none"),
+        (BoundaryPolicy::Reflection, "reflect"),
+        (BoundaryPolicy::BoundaryKernel, "bk"),
+    ] {
+        let est = KernelEstimator::new(&f.sample, d, KernelFn::Epanechnikov, h, policy);
+        g.bench_function(format!("{label}_edge_query"), |b| {
+            b.iter(|| black_box(est.selectivity(black_box(&edge))))
+        });
+        g.bench_function(format!("{label}_center_query"), |b| {
+            b.iter(|| black_box(est.selectivity(black_box(&center))))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

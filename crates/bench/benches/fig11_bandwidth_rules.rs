@@ -1,0 +1,60 @@
+//! Figure 11 bench: the cost of the bandwidth selection rules — normal
+//! scale (cheap), two-stage direct plug-in (two O(n^2) functional
+//! estimates), least-squares cross-validation (O(n * window) per candidate
+//! bandwidth), and the oracle search (full MRE evaluation per candidate).
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use selest_experiments::{oracle::oracle_bandwidth, FileContext, Scale};
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelFn, Lscv, NormalScale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let mut g = c.benchmark_group("fig11_bandwidth_rules");
+    g.bench_function("normal_scale", |b| {
+        b.iter(|| black_box(NormalScale.bandwidth(black_box(&f.sample), KernelFn::Epanechnikov)))
+    });
+    g.sample_size(10);
+    g.bench_function("dpi2", |b| {
+        b.iter(|| {
+            black_box(
+                DirectPlugIn::two_stage().bandwidth(black_box(&f.sample), KernelFn::Epanechnikov),
+            )
+        })
+    });
+    g.bench_function("lscv", |b| {
+        b.iter(|| black_box(Lscv.bandwidth(black_box(&f.sample), KernelFn::Epanechnikov)))
+    });
+    let mut quick = Scale::quick();
+    quick.record_divisor = 50;
+    quick.queries_per_file = 50;
+    let ctx = FileContext::build(PaperFile::Normal { p: 20 }, &quick);
+    g.bench_function("oracle_search_50q", |b| {
+        b.iter(|| {
+            black_box(oracle_bandwidth(
+                &ctx,
+                ctx.query_file(0.01).queries(),
+                BoundaryPolicy::Reflection,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 12 bench: build plus query-file evaluation for each of the four
+//! finalists — EWH, kernel (BK + DPI2), hybrid, and ASH.
+
+use bench::{fixture, total_selectivity};
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use selest_histogram::{equi_width, AverageShiftedHistogram, BinRule, NormalScaleBins};
+use selest_hybrid::HybridEstimator;
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let f = fixture(PaperFile::Arapahoe1);
+    let d = f.data.domain();
+    let k = NormalScaleBins.bins(&f.sample, &d);
+    let mut g = c.benchmark_group("fig12_final_compare");
+    g.sample_size(10);
+    g.bench_function("build_ewh_ns", |b| b.iter(|| black_box(equi_width(&f.sample, d, k))));
+    g.bench_function("build_ash10", |b| {
+        b.iter(|| black_box(AverageShiftedHistogram::new(&f.sample, d, k, 10)))
+    });
+    g.bench_function("build_kernel_dpi2_bk", |b| {
+        b.iter(|| {
+            let h = DirectPlugIn::two_stage()
+                .bandwidth(&f.sample, KernelFn::Epanechnikov)
+                .min(0.5 * d.width());
+            black_box(KernelEstimator::new(
+                &f.sample,
+                d,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            ))
+        })
+    });
+    g.bench_function("build_hybrid", |b| {
+        b.iter(|| black_box(HybridEstimator::new(&f.sample, d)))
+    });
+
+    let ewh = equi_width(&f.sample, d, k);
+    let ash = AverageShiftedHistogram::new(&f.sample, d, k, 10);
+    let h = DirectPlugIn::two_stage()
+        .bandwidth(&f.sample, KernelFn::Epanechnikov)
+        .min(0.5 * d.width());
+    let kernel =
+        KernelEstimator::new(&f.sample, d, KernelFn::Epanechnikov, h, BoundaryPolicy::BoundaryKernel);
+    let hybrid = HybridEstimator::new(&f.sample, d);
+    g.bench_function("answer_ewh", |b| b.iter(|| black_box(total_selectivity(&ewh, &f.queries))));
+    g.bench_function("answer_ash", |b| b.iter(|| black_box(total_selectivity(&ash, &f.queries))));
+    g.bench_function("answer_kernel", |b| {
+        b.iter(|| black_box(total_selectivity(&kernel, &f.queries)))
+    });
+    g.bench_function("answer_hybrid", |b| {
+        b.iter(|| black_box(total_selectivity(&hybrid, &f.queries)))
+    });
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 2 bench: the data generators themselves — synthetic inverse-CDF
+//! sampling vs. the structured TIGER/census simulacra.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selest_data::PaperFile;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab02_datafiles");
+    g.sample_size(10);
+    for file in [
+        PaperFile::Uniform { p: 20 },
+        PaperFile::Normal { p: 20 },
+        PaperFile::Exponential { p: 20 },
+        PaperFile::Arapahoe1,
+        PaperFile::RailRiver1 { p: 22 },
+        PaperFile::InstanceWeight,
+    ] {
+        g.bench_function(format!("generate_{}_div50", file.name()), |b| {
+            b.iter(|| black_box(file.generate_scaled(50)))
+        });
+    }
+    g.finish();
+}
+
+/// Short measurement windows so the full per-figure suite stays minutes,
+/// not hours; pass `--measurement-time` to override.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared fixtures for the benchmark targets: small deterministic data
+//! files, samples, and query sets so every bench measures computation, not
+//! setup noise.
+
+use selest_core::{Domain, RangeQuery};
+use selest_data::{sample_without_replacement, DataFile, PaperFile, QueryFile};
+
+/// A reduced n(20)-style fixture: data, 1 000-record sample, 1 % queries.
+pub struct Fixture {
+    /// The generated data file.
+    pub data: DataFile,
+    /// Sample set for estimator construction.
+    pub sample: Vec<f64>,
+    /// 1 % query file.
+    pub queries: Vec<RangeQuery>,
+}
+
+/// Build the standard benchmark fixture from any paper file (scaled 20x
+/// down, 1 000 samples, 200 queries).
+pub fn fixture(file: PaperFile) -> Fixture {
+    let data = file.generate_scaled(20);
+    let sample = sample_without_replacement(data.values(), 1_000.min(data.len()), 7);
+    let queries = QueryFile::generate(&data, 0.01, 200, 3).queries().to_vec();
+    Fixture { data, sample, queries }
+}
+
+/// The fixture's domain.
+pub fn domain(f: &Fixture) -> Domain {
+    f.data.domain()
+}
+
+/// Sum of selectivities over the fixture's queries — the standard "answer
+/// the whole query file" workload benched for each estimator.
+pub fn total_selectivity<E: selest_core::SelectivityEstimator + ?Sized>(
+    est: &E,
+    queries: &[RangeQuery],
+) -> f64 {
+    queries.iter().map(|q| est.selectivity(q)).sum()
+}

@@ -1,0 +1,147 @@
+//! Attribute domains.
+//!
+//! The paper studies metric attributes whose domain is an integer interval
+//! `[0, 2^p - 1]` for a parameter `p` (Section 5.1.1). [`Domain`] models the
+//! general case — a closed real interval `[lo, hi]` — with a constructor for
+//! the paper's power-of-two integer domains. All estimators treat the domain
+//! as metric and continuous; the integer grid only matters to the data
+//! generators (duplicate frequencies) and to the cardinality experiments
+//! (Figure 5).
+
+/// A closed metric attribute domain `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    lo: f64,
+    hi: f64,
+}
+
+impl Domain {
+    /// A domain over the closed interval `[lo, hi]`. Panics unless
+    /// `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Domain requires finite lo < hi, got [{lo}, {hi}]"
+        );
+        Domain { lo, hi }
+    }
+
+    /// The paper's integer domain `[0, 2^p - 1]` for `1 <= p <= 52`.
+    pub fn power_of_two(p: u32) -> Self {
+        assert!((1..=52).contains(&p), "power_of_two: p={p} out of 1..=52");
+        Domain::new(0.0, (1u64 << p) as f64 - 1.0)
+    }
+
+    /// The unit interval `[0, 1]`.
+    pub fn unit() -> Self {
+        Domain::new(0.0, 1.0)
+    }
+
+    /// Left boundary `l`.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Right boundary `r`.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the domain.
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies in the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Clamp `x` into the domain.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Length of the overlap of `[a, b]` with the domain (zero if disjoint).
+    pub fn overlap(&self, a: f64, b: f64) -> f64 {
+        (b.min(self.hi) - a.max(self.lo)).max(0.0)
+    }
+
+    /// Map a fraction `t` in `[0, 1]` affinely onto the domain.
+    pub fn lerp(&self, t: f64) -> f64 {
+        self.lo + t * self.width()
+    }
+
+    /// Inverse of [`Domain::lerp`]: position of `x` as a fraction of the
+    /// domain width.
+    pub fn fraction_of(&self, x: f64) -> f64 {
+        (x - self.lo) / self.width()
+    }
+}
+
+impl core::fmt::Display for Domain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_matches_paper() {
+        let d = Domain::power_of_two(20);
+        assert_eq!(d.lo(), 0.0);
+        assert_eq!(d.hi(), 1_048_575.0);
+        assert_eq!(d.width(), 1_048_575.0);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let d = Domain::new(-2.0, 3.0);
+        assert!(d.contains(-2.0));
+        assert!(d.contains(3.0));
+        assert!(!d.contains(3.0001));
+        assert_eq!(d.clamp(10.0), 3.0);
+        assert_eq!(d.clamp(-10.0), -2.0);
+        assert_eq!(d.clamp(0.5), 0.5);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let d = Domain::new(0.0, 10.0);
+        assert_eq!(d.overlap(2.0, 5.0), 3.0);
+        assert_eq!(d.overlap(-5.0, 5.0), 5.0);
+        assert_eq!(d.overlap(8.0, 20.0), 2.0);
+        assert_eq!(d.overlap(11.0, 20.0), 0.0);
+        assert_eq!(d.overlap(-20.0, -11.0), 0.0);
+        assert_eq!(d.overlap(-1.0, 11.0), 10.0);
+    }
+
+    #[test]
+    fn lerp_and_fraction_roundtrip() {
+        let d = Domain::new(5.0, 25.0);
+        for &t in &[0.0, 0.25, 0.5, 0.99, 1.0] {
+            let x = d.lerp(t);
+            assert!((d.fraction_of(x) - t).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite lo < hi")]
+    fn rejects_inverted_bounds() {
+        let _ = Domain::new(3.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=52")]
+    fn rejects_huge_p() {
+        let _ = Domain::power_of_two(60);
+    }
+}

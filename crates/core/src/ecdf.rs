@@ -1,0 +1,132 @@
+//! Empirical cumulative distribution function over a sample.
+
+/// Empirical CDF of a sample, backed by a sorted copy of the values.
+///
+/// Used by the equi-depth histogram (quantile boundaries), by the pure
+/// sampling estimator, and by tests that compare estimated CDFs against
+/// analytic ones.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from an arbitrary (unsorted) sample. Panics on empty input or
+    /// NaN values.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "Ecdf of empty sample");
+        let mut sorted = values.to_vec();
+        assert!(sorted.iter().all(|v| !v.is_nan()), "Ecdf: NaN in sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Ecdf { sorted }
+    }
+
+    /// Build from an already-sorted sample without re-sorting.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "Ecdf of empty sample");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        Ecdf { sorted }
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted sample backing this ECDF.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of sample points `<= x`.
+    pub fn count_le(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= x)
+    }
+
+    /// Number of sample points `< x`.
+    pub fn count_lt(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v < x)
+    }
+
+    /// Number of sample points in the closed interval `[a, b]`.
+    pub fn count_in(&self, a: f64, b: f64) -> usize {
+        if b < a {
+            return 0;
+        }
+        self.count_le(b) - self.count_lt(a)
+    }
+
+    /// `F_n(x)`: fraction of sample points `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.count_le(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Generalized inverse `F_n^{-1}(q)`: the smallest sample value whose
+    /// CDF reaches `q`. `q` must lie in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "Ecdf::quantile: q={q} out of [0,1]");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_step_values() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(2.5), 0.75);
+        assert_eq!(e.cdf(3.0), 1.0);
+        assert_eq!(e.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn count_in_is_inclusive_on_both_ends() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.count_in(2.0, 3.0), 3);
+        assert_eq!(e.count_in(1.0, 4.0), 5);
+        assert_eq!(e.count_in(2.5, 2.6), 0);
+        assert_eq!(e.count_in(5.0, 1.0), 0);
+    }
+
+    #[test]
+    fn quantile_is_generalized_inverse() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.26), 20.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(0.75), 30.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn quantile_and_cdf_are_consistent() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let e = Ecdf::new(&vals);
+        for &q in &[0.01, 0.1, 0.37, 0.5, 0.93, 1.0] {
+            let x = e.quantile(q);
+            assert!(e.cdf(x) >= q - 1e-12, "cdf(quantile({q})) too small");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        let _ = Ecdf::new(&[]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Error metrics (Section 2 and Section 5.1.2 of the paper).
+//!
+//! The paper evaluates estimators with the *mean relative error*
+//!
+//! ```text
+//! MRE(D, s) = 1/|F_D(s)| * sum_{Q in F_D(s)} | |Q| - sigma_hat(Q) * |D| | / |Q|
+//! ```
+//!
+//! where `|Q|` is the true result count of the query on data file `D` and
+//! `sigma_hat(Q) * |D|` is the estimated count. [`ErrorStats`] accumulates
+//! this (plus the mean absolute error the paper also examined) over a query
+//! file. [`integrated_squared_error`] computes the ISE of a density estimate
+//! against a known true density — averaging it over independent sample sets
+//! yields the (empirical) MISE of equation (3).
+
+use crate::traits::DensityEstimator;
+use selest_math::{kahan_sum, simpson};
+
+/// Absolute count error `| true - estimated |`.
+pub fn absolute_error(true_count: f64, estimated_count: f64) -> f64 {
+    (true_count - estimated_count).abs()
+}
+
+/// Relative count error `| true - estimated | / true` (the summand of the
+/// paper's MRE). Panics if `true_count <= 0`; callers must filter empty
+/// queries first (the paper's workloads avoid them by placing queries
+/// according to the data distribution).
+pub fn relative_error(true_count: f64, estimated_count: f64) -> f64 {
+    assert!(
+        true_count > 0.0,
+        "relative_error: true count must be positive, got {true_count}"
+    );
+    (true_count - estimated_count).abs() / true_count
+}
+
+/// Accumulator for query-file error statistics.
+///
+/// Queries whose true result count is zero cannot contribute a relative
+/// error; they are tallied in [`ErrorStats::skipped_zero`] and excluded from
+/// every mean, matching the paper's workload design which avoids them.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorStats {
+    abs_errors: Vec<f64>,
+    rel_errors: Vec<f64>,
+    skipped_zero: usize,
+}
+
+impl ErrorStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one query's true and estimated result counts.
+    pub fn record(&mut self, true_count: f64, estimated_count: f64) {
+        debug_assert!(true_count >= 0.0 && estimated_count.is_finite());
+        if true_count > 0.0 {
+            self.abs_errors.push(absolute_error(true_count, estimated_count));
+            self.rel_errors.push(relative_error(true_count, estimated_count));
+        } else {
+            self.skipped_zero += 1;
+        }
+    }
+
+    /// Number of queries that contributed to the means.
+    pub fn count(&self) -> usize {
+        self.rel_errors.len()
+    }
+
+    /// Number of zero-result queries that were skipped.
+    pub fn skipped_zero(&self) -> usize {
+        self.skipped_zero
+    }
+
+    /// Mean relative error (the paper's MRE). Panics if no query was
+    /// recorded.
+    pub fn mean_relative_error(&self) -> f64 {
+        assert!(!self.rel_errors.is_empty(), "MRE of empty ErrorStats");
+        kahan_sum(self.rel_errors.iter().copied()) / self.rel_errors.len() as f64
+    }
+
+    /// Mean absolute count error.
+    pub fn mean_absolute_error(&self) -> f64 {
+        assert!(!self.abs_errors.is_empty(), "MAE of empty ErrorStats");
+        kahan_sum(self.abs_errors.iter().copied()) / self.abs_errors.len() as f64
+    }
+
+    /// Largest relative error observed.
+    pub fn max_relative_error(&self) -> f64 {
+        self.rel_errors.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Root mean squared relative error.
+    pub fn rms_relative_error(&self) -> f64 {
+        assert!(!self.rel_errors.is_empty(), "RMS of empty ErrorStats");
+        (kahan_sum(self.rel_errors.iter().map(|e| e * e)) / self.rel_errors.len() as f64).sqrt()
+    }
+
+    /// The `q`-quantile of the per-query relative errors (type-7
+    /// interpolation) — tail behavior that the MRE hides; an optimizer
+    /// mostly suffers from the p95/p99 misestimates.
+    pub fn relative_error_quantile(&self, q: f64) -> f64 {
+        assert!(!self.rel_errors.is_empty(), "quantile of empty ErrorStats");
+        let mut sorted = self.rel_errors.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        selest_math::quantile(&sorted, q)
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.abs_errors.extend_from_slice(&other.abs_errors);
+        self.rel_errors.extend_from_slice(&other.rel_errors);
+        self.skipped_zero += other.skipped_zero;
+    }
+}
+
+/// Integrated squared error `Int_D (f_hat(x) - f(x))^2 dx` of a density
+/// estimate against the true density `f`, by composite Simpson quadrature
+/// with `panels` panels over the estimator's domain.
+///
+/// The MISE of equation (3) is the expectation of this quantity over sample
+/// sets; `selest-experiments` averages it over repeated draws.
+pub fn integrated_squared_error<E, F>(estimator: &E, truth: F, panels: usize) -> f64
+where
+    E: DensityEstimator + ?Sized,
+    F: Fn(f64) -> f64,
+{
+    let d = estimator.domain();
+    simpson(
+        |x| {
+            let diff = estimator.density(x) - truth(x);
+            diff * diff
+        },
+        d.lo(),
+        d.hi(),
+        panels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    #[test]
+    fn absolute_and_relative_error_basics() {
+        assert_eq!(absolute_error(100.0, 80.0), 20.0);
+        assert_eq!(absolute_error(80.0, 100.0), 20.0);
+        assert!((relative_error(100.0, 80.0) - 0.2).abs() < 1e-15);
+        assert!((relative_error(100.0, 130.0) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "true count must be positive")]
+    fn relative_error_rejects_zero_truth() {
+        let _ = relative_error(0.0, 5.0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_average() {
+        let mut s = ErrorStats::new();
+        s.record(100.0, 90.0); // rel 0.1, abs 10
+        s.record(200.0, 240.0); // rel 0.2, abs 40
+        s.record(0.0, 3.0); // skipped
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.skipped_zero(), 1);
+        assert!((s.mean_relative_error() - 0.15).abs() < 1e-15);
+        assert!((s.mean_absolute_error() - 25.0).abs() < 1e-15);
+        assert!((s.max_relative_error() - 0.2).abs() < 1e-15);
+        let rms = ((0.01f64 + 0.04) / 2.0).sqrt();
+        assert!((s.rms_relative_error() - rms).abs() < 1e-15);
+        assert!((s.relative_error_quantile(0.0) - 0.1).abs() < 1e-15);
+        assert!((s.relative_error_quantile(1.0) - 0.2).abs() < 1e-15);
+        assert!((s.relative_error_quantile(0.5) - 0.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = ErrorStats::new();
+        a.record(10.0, 11.0);
+        let mut b = ErrorStats::new();
+        b.record(10.0, 13.0);
+        b.record(0.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.skipped_zero(), 1);
+        assert!((a.mean_relative_error() - 0.2).abs() < 1e-15);
+    }
+
+    struct Flat;
+    impl DensityEstimator for Flat {
+        fn density(&self, _x: f64) -> f64 {
+            1.0
+        }
+        fn domain(&self) -> Domain {
+            Domain::unit()
+        }
+    }
+
+    #[test]
+    fn ise_of_perfect_estimate_is_zero() {
+        let ise = integrated_squared_error(&Flat, |_| 1.0, 100);
+        assert!(ise.abs() < 1e-15);
+    }
+
+    #[test]
+    fn ise_of_constant_offset() {
+        // (1 - 1.5)^2 over [0,1] = 0.25.
+        let ise = integrated_squared_error(&Flat, |_| 1.5, 100);
+        assert!((ise - 0.25).abs() < 1e-12);
+    }
+}

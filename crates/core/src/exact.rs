@@ -1,0 +1,82 @@
+//! Exact instance selectivity over a full data file.
+//!
+//! The experiment harness needs the *true* result count `|Q|` of every query
+//! to compute errors. [`ExactSelectivity`] keeps a sorted copy of the entire
+//! data file and answers counts with two binary searches, so even the
+//! 257 942-record rail-road files cost microseconds per query.
+
+use crate::domain::Domain;
+use crate::ecdf::Ecdf;
+use crate::query::RangeQuery;
+use crate::traits::SelectivityEstimator;
+
+/// Ground-truth oracle: exact counts and instance selectivities of range
+/// queries over a concrete data file.
+#[derive(Debug, Clone)]
+pub struct ExactSelectivity {
+    ecdf: Ecdf,
+    domain: Domain,
+}
+
+impl ExactSelectivity {
+    /// Build from the full value set of a relation attribute.
+    pub fn new(values: &[f64], domain: Domain) -> Self {
+        ExactSelectivity { ecdf: Ecdf::new(values), domain }
+    }
+
+    /// Exact number of records matching `a <= r.A <= b`.
+    pub fn count(&self, q: &RangeQuery) -> usize {
+        self.ecdf.count_in(q.a(), q.b())
+    }
+
+    /// Total number of records `N`.
+    pub fn total(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// Exact instance selectivity: `count / N`.
+    pub fn instance_selectivity(&self, q: &RangeQuery) -> f64 {
+        self.count(q) as f64 / self.total() as f64
+    }
+}
+
+impl SelectivityEstimator for ExactSelectivity {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        self.instance_selectivity(q)
+    }
+
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    fn name(&self) -> String {
+        "Exact".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_linear_scan() {
+        let values: Vec<f64> = vec![1.0, 4.0, 4.0, 7.0, 9.0, 12.0, 12.0, 12.0, 20.0];
+        let exact = ExactSelectivity::new(&values, Domain::new(0.0, 25.0));
+        for (a, b) in [(0.0, 25.0), (4.0, 12.0), (4.5, 11.9), (13.0, 19.0), (12.0, 12.0)] {
+            let q = RangeQuery::new(a, b);
+            let scan = values.iter().filter(|&&v| q.matches(v)).count();
+            assert_eq!(exact.count(&q), scan, "range [{a}, {b}]");
+        }
+    }
+
+    #[test]
+    fn instance_selectivity_is_fraction() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let exact = ExactSelectivity::new(&values, Domain::new(0.0, 99.0));
+        let q = RangeQuery::new(10.0, 19.0);
+        assert_eq!(exact.count(&q), 10);
+        assert!((exact.instance_selectivity(&q) - 0.1).abs() < 1e-15);
+        assert!((exact.selectivity(&q) - 0.1).abs() < 1e-15);
+        assert_eq!(exact.estimate_count(&q, 100), 10.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The estimator traits shared by every method in the workspace.
+
+use crate::domain::Domain;
+use crate::query::RangeQuery;
+
+/// An estimator of the distribution selectivity `sigma(a, b)` of range
+/// queries (equation (2) of the paper).
+///
+/// Implementations return probabilities in `[0, 1]`; the estimated *instance*
+/// selectivity (result count) is obtained via
+/// [`SelectivityEstimator::estimate_count`].
+pub trait SelectivityEstimator {
+    /// Estimated probability that a record falls in `[q.a(), q.b()]`.
+    fn selectivity(&self, q: &RangeQuery) -> f64;
+
+    /// The attribute domain this estimator was built over.
+    fn domain(&self) -> Domain;
+
+    /// Short human-readable method name used in experiment output
+    /// (e.g. `"EWH"`, `"Kernel(BK,DPI2)"`).
+    fn name(&self) -> String;
+
+    /// Estimated result count for a relation instance with `n_records`
+    /// tuples: `N * sigma(a, b)`.
+    fn estimate_count(&self, q: &RangeQuery, n_records: usize) -> f64 {
+        self.selectivity(q) * n_records as f64
+    }
+}
+
+/// An estimator of the probability density function `f` underlying the
+/// attribute. Not every selectivity estimator exposes a density (pure
+/// sampling does not); every density estimator induces a selectivity
+/// estimator by integration.
+pub trait DensityEstimator {
+    /// Estimated density at `x`.
+    fn density(&self, x: f64) -> f64;
+
+    /// The attribute domain this estimator was built over.
+    fn domain(&self) -> Domain;
+
+    /// Evaluate the density on an even grid of `n_points >= 2` spanning the
+    /// domain; used for plotting and for the MISE quadrature.
+    fn density_grid(&self, n_points: usize) -> Vec<(f64, f64)> {
+        assert!(n_points >= 2, "density_grid needs at least two points");
+        let d = self.domain();
+        let step = d.width() / (n_points - 1) as f64;
+        (0..n_points)
+            .map(|i| {
+                let x = d.lo() + i as f64 * step;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        (**self).selectivity(q)
+    }
+    fn domain(&self) -> Domain {
+        (**self).domain()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        (**self).selectivity(q)
+    }
+    fn domain(&self) -> Domain {
+        (**self).domain()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Half(Domain);
+    impl SelectivityEstimator for Half {
+        fn selectivity(&self, _q: &RangeQuery) -> f64 {
+            0.5
+        }
+        fn domain(&self) -> Domain {
+            self.0
+        }
+        fn name(&self) -> String {
+            "Half".into()
+        }
+    }
+
+    #[test]
+    fn estimate_count_scales_by_relation_size() {
+        let e = Half(Domain::unit());
+        let q = RangeQuery::new(0.0, 0.5);
+        assert_eq!(e.estimate_count(&q, 1_000), 500.0);
+        assert_eq!(e.estimate_count(&q, 0), 0.0);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let e = Half(Domain::unit());
+        let q = RangeQuery::new(0.1, 0.2);
+        let as_ref: &dyn SelectivityEstimator = &e;
+        assert_eq!(as_ref.selectivity(&q), 0.5);
+        let boxed: Box<dyn SelectivityEstimator> = Box::new(Half(Domain::unit()));
+        assert_eq!(boxed.selectivity(&q), 0.5);
+        assert_eq!(boxed.name(), "Half");
+        assert_eq!((&boxed).estimate_count(&q, 10), 5.0);
+    }
+
+    struct Tri;
+    impl DensityEstimator for Tri {
+        fn density(&self, x: f64) -> f64 {
+            (1.0 - x.abs()).max(0.0)
+        }
+        fn domain(&self) -> Domain {
+            Domain::new(-1.0, 1.0)
+        }
+    }
+
+    #[test]
+    fn density_grid_spans_domain() {
+        let g = Tri.density_grid(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0].0, -1.0);
+        assert_eq!(g[4].0, 1.0);
+        assert_eq!(g[2], (0.0, 1.0));
+    }
+}

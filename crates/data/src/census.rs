@@ -1,0 +1,142 @@
+//! Simulacrum of the census-income *instance weight* file (`iw`, also
+//! referenced as `ci` in the paper's Figure 8; Table 2: 199 523 records,
+//! `p` = 21).
+//!
+//! Census instance weights are survey calibration factors: each stratum of
+//! respondents shares (nearly) the same weight, so the value distribution is
+//! a forest of heavy spikes at stratum weights spread over a lognormal-ish
+//! envelope. The paper's finding for this file — "almost no difference in
+//! the performance of the different methods" (Figure 12) — comes precisely
+//! from that heavily duplicated, spiky shape, which this generator
+//! reproduces: a lognormal mixture of strata, each stratum a tight cluster
+//! of integers around its weight.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selest_core::Domain;
+use selest_math::normal_quantile;
+
+use crate::dataset::DataFile;
+
+/// Configuration of the instance-weight simulacrum.
+#[derive(Debug, Clone)]
+pub struct InstanceWeightConfig {
+    /// Domain exponent; Table 2 lists 21.
+    pub p: u32,
+    /// Total records; Table 2 lists 199 523.
+    pub n_records: usize,
+    /// Number of survey strata (distinct weight clusters).
+    pub n_strata: usize,
+}
+
+impl InstanceWeightConfig {
+    /// The paper's `iw` file.
+    pub fn paper() -> Self {
+        InstanceWeightConfig { p: 21, n_records: 199_523, n_strata: 400 }
+    }
+
+    /// Generate the data file. Deterministic per seed.
+    pub fn generate(&self, name: &str, seed: u64) -> DataFile {
+        assert!(self.n_strata >= 1, "need at least one stratum");
+        let domain = Domain::power_of_two(self.p);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Stratum weights: lognormal envelope scaled so the bulk of the
+        // mass sits in the lower third of the domain (instance weights in
+        // the real file cluster far below the maximum representable value).
+        let scale = domain.width() / 12.0;
+        struct Stratum {
+            weight_value: f64,
+            share: f64,
+        }
+        let strata: Vec<Stratum> = (0..self.n_strata)
+            .map(|_| {
+                let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+                let value = (scale * (0.35 * normal_quantile(u)).exp()).round();
+                // Stratum populations are themselves skewed.
+                let share = rng.random::<f64>().powi(3) + 0.02;
+                Stratum { weight_value: value, share }
+            })
+            .collect();
+        let total_share: f64 = strata.iter().map(|s| s.share).sum();
+
+        let mut values = Vec::with_capacity(self.n_records);
+        while values.len() < self.n_records {
+            let mut pick = rng.random::<f64>() * total_share;
+            let stratum = strata
+                .iter()
+                .find(|s| {
+                    pick -= s.share;
+                    pick <= 0.0
+                })
+                .unwrap_or(&strata[self.n_strata - 1]);
+            // Within a stratum, weights differ by tiny adjustments only.
+            let offset = if rng.random::<f64>() < 0.8 {
+                0.0
+            } else {
+                (rng.random::<f64>() * 7.0).floor() - 3.0
+            };
+            let v = (stratum.weight_value + offset).round();
+            if domain.contains(v) {
+                values.push(v);
+            }
+        }
+        DataFile::from_values(name, self.p, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DataFile {
+        InstanceWeightConfig { p: 16, n_records: 30_000, n_strata: 120 }.generate("iw-test", 3)
+    }
+
+    #[test]
+    fn has_requested_count_and_domain() {
+        let f = small();
+        assert_eq!(f.len(), 30_000);
+        assert!(f.values().iter().all(|&v| f.domain().contains(v)));
+    }
+
+    #[test]
+    fn duplication_is_extreme() {
+        let f = small();
+        // 30k records over ~120 strata * ~8 offsets: distinct count should
+        // be within a small multiple of the strata count.
+        assert!(
+            f.distinct_count() < 1_500,
+            "expected stratum clustering, distinct = {}",
+            f.distinct_count()
+        );
+        assert!(f.avg_frequency() > 20.0, "avg frequency {}", f.avg_frequency());
+    }
+
+    #[test]
+    fn mass_concentrates_in_lower_domain() {
+        let f = small();
+        let third = f.domain().lo() + f.domain().width() / 3.0;
+        let below = f.values().iter().filter(|&&v| v <= third).count();
+        assert!(
+            below as f64 > 0.8 * f.len() as f64,
+            "only {below} of {} below the first third",
+            f.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small();
+        let b = InstanceWeightConfig { p: 16, n_records: 30_000, n_strata: 120 }
+            .generate("iw-test", 3);
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = InstanceWeightConfig::paper();
+        assert_eq!(c.p, 21);
+        assert_eq!(c.n_records, 199_523);
+    }
+}

@@ -1,0 +1,202 @@
+//! Data files: named record sets over an integer power-of-two domain.
+//!
+//! Section 5.1.1 of the paper: "The domain of the data files corresponds to
+//! integer values in the range from 0 to 2^p - 1, where p is considered as a
+//! parameter. [...] We did not consider data records that were outside of
+//! the domain." [`DataFile::synthetic`] reproduces exactly that pipeline:
+//! draw from a continuous distribution, round to the integer grid, reject
+//! values outside `[0, 2^p - 1]`, repeat until the requested record count is
+//! reached.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selest_core::Domain;
+
+use crate::dist::ContinuousDistribution;
+
+///
+/// A named data file: `n_records` integer-valued records over the domain
+/// `[0, 2^p - 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use selest_data::{DataFile, Normal};
+///
+/// // 10 000 normal records on the integer domain [0, 2^15 - 1].
+/// let dist = Normal::new(16384.0, 4096.0);
+/// let data = DataFile::synthetic("n(15)", 15, 10_000, &dist, 42);
+/// assert_eq!(data.len(), 10_000);
+/// assert!(data.values().iter().all(|&v| v == v.round()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataFile {
+    name: String,
+    domain: Domain,
+    p: u32,
+    values: Vec<f64>,
+}
+
+impl DataFile {
+    /// Generate a data file by sampling `n_records` accepted values from
+    /// `dist`, quantized to integers and restricted to `[0, 2^p - 1]`.
+    ///
+    /// Panics if the acceptance rate is so low that `200 * n_records` draws
+    /// cannot produce enough records — that indicates a misconfigured
+    /// distribution rather than bad luck.
+    pub fn synthetic(
+        name: &str,
+        p: u32,
+        n_records: usize,
+        dist: &dyn ContinuousDistribution,
+        seed: u64,
+    ) -> Self {
+        assert!(n_records > 0, "DataFile needs at least one record");
+        let domain = Domain::power_of_two(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(n_records);
+        let max_draws = n_records.saturating_mul(200);
+        let mut draws = 0usize;
+        while values.len() < n_records {
+            draws += 1;
+            assert!(
+                draws <= max_draws,
+                "DataFile::synthetic({name}): acceptance rate below 0.5% — \
+                 distribution does not fit the domain [0, 2^{p} - 1]"
+            );
+            let v = dist.sample(&mut rng).round();
+            if domain.contains(v) {
+                values.push(v);
+            }
+        }
+        DataFile { name: name.to_owned(), domain, p, values }
+    }
+
+    /// Wrap pre-generated integer-valued records (used by the TIGER and
+    /// census simulacra). Values outside the domain are rejected with a
+    /// panic: generators are expected to respect their own domain.
+    pub fn from_values(name: &str, p: u32, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "DataFile needs at least one record");
+        let domain = Domain::power_of_two(p);
+        for &v in &values {
+            assert!(
+                domain.contains(v) && v == v.round(),
+                "DataFile::from_values({name}): value {v} is not an integer in {domain}"
+            );
+        }
+        DataFile { name: name.to_owned(), domain, p, values }
+    }
+
+    /// File name as referenced by the experiments (e.g. `"n(20)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute domain `[0, 2^p - 1]`.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Domain-size exponent `p`.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// All records.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of records `N`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the file has no records (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of distinct values — the experiments on domain cardinality
+    /// (Figure 5) hinge on how this compares to `len()`.
+    pub fn distinct_count(&self) -> usize {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in data files"));
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Average number of duplicates per distinct value.
+    pub fn avg_frequency(&self) -> f64 {
+        self.len() as f64 / self.distinct_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Uniform};
+
+    #[test]
+    fn synthetic_respects_domain_and_count() {
+        let d = Uniform::new(0.0, 1023.0);
+        let f = DataFile::synthetic("u(10)", 10, 5_000, &d, 1);
+        assert_eq!(f.len(), 5_000);
+        assert_eq!(f.p(), 10);
+        assert!(f.values().iter().all(|&v| (0.0..=1023.0).contains(&v)));
+        assert!(f.values().iter().all(|&v| v == v.round()));
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let d = Normal::new(512.0, 128.0);
+        let a = DataFile::synthetic("n", 10, 1_000, &d, 42);
+        let b = DataFile::synthetic("n", 10, 1_000, &d, 42);
+        assert_eq!(a.values(), b.values());
+        let c = DataFile::synthetic("n", 10, 1_000, &d, 43);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn out_of_domain_draws_are_rejected_not_clamped() {
+        // Normal centered at the left boundary: about half the draws fall
+        // below zero and must be rejected, so no pile-up at 0 beyond the
+        // density's own mass there.
+        let d = Normal::new(0.0, 100.0);
+        let f = DataFile::synthetic("edge", 10, 2_000, &d, 7);
+        assert_eq!(f.len(), 2_000);
+        let zeros = f.values().iter().filter(|&&v| v == 0.0).count();
+        // With clamping, ~50% of the values would be 0; with rejection it's
+        // the density mass of [-0.5, 0.5] conditioned on acceptance, ~0.4%.
+        assert!(zeros < 100, "suspicious pile-up at the boundary: {zeros}");
+    }
+
+    #[test]
+    fn smaller_domains_have_more_duplicates() {
+        let narrow = DataFile::synthetic("u(8)", 8, 20_000, &Uniform::new(0.0, 255.0), 3);
+        let wide = DataFile::synthetic("u(20)", 20, 20_000, &Uniform::new(0.0, 1_048_575.0), 3);
+        assert!(narrow.avg_frequency() > 50.0, "narrow {}", narrow.avg_frequency());
+        assert!(wide.avg_frequency() < 1.1, "wide {}", wide.avg_frequency());
+        assert!(narrow.distinct_count() <= 256);
+    }
+
+    #[test]
+    fn from_values_validates_integers_in_domain() {
+        let f = DataFile::from_values("ok", 4, vec![0.0, 3.0, 15.0]);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an integer in")]
+    fn from_values_rejects_out_of_domain() {
+        let _ = DataFile::from_values("bad", 4, vec![16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptance rate below")]
+    fn hopeless_distribution_panics() {
+        // All the mass sits far outside the domain.
+        let d = Normal::new(1e9, 1.0);
+        let _ = DataFile::synthetic("bad", 10, 100, &d, 1);
+    }
+}

@@ -1,0 +1,477 @@
+//! Probability distributions used to drive the data generators.
+//!
+//! The synthetic data files of the paper follow the Uniform, standard
+//! Normal, and Exponential distributions (Section 5.1.1); the paper treats
+//! Exponential as a substitute for the Zipf distribution, which we also
+//! implement so the substitution can be checked. [`LogNormal`] and
+//! [`Mixture`] back the simulated real data files.
+//!
+//! All sampling is by inverse-CDF transform of `f64` uniforms drawn from a
+//! seeded [`StdRng`] (mixtures draw one extra uniform to pick a component),
+//! so a distribution plus a seed fully determines the generated data.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use selest_math::{normal_cdf, normal_pdf, normal_quantile, SQRT_2PI};
+
+/// A one-dimensional continuous distribution with a known density, used both
+/// to generate data and as the ground truth `f` in MISE experiments.
+pub trait ContinuousDistribution {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> f64;
+
+    /// Short display name for experiment output.
+    fn label(&self) -> String;
+
+    /// True distribution selectivity of the range `[a, b]`.
+    fn selectivity(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b);
+        self.cdf(b) - self.cdf(a)
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi]`; panics unless `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform requires lo < hi, got [{lo}, {hi}]");
+        Uniform { lo, hi }
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x <= self.hi {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+
+    fn label(&self) -> String {
+        "Uniform".into()
+    }
+}
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Normal with mean `mu` and standard deviation `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "Normal requires sigma > 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Mean `mu`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation `sigma`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Inverse-CDF transform; u is in [0, 1), shift away from exact 0.
+        let u = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        self.mu + self.sigma * normal_quantile(u)
+    }
+
+    fn label(&self) -> String {
+        "Normal".into()
+    }
+}
+
+/// Exponential distribution with the given `rate`, shifted to start at
+/// `origin`: density `rate * exp(-rate (x - origin))` for `x >= origin`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+    origin: f64,
+}
+
+impl Exponential {
+    /// Exponential with `rate > 0` starting at `origin`.
+    pub fn new(rate: f64, origin: f64) -> Self {
+        assert!(rate > 0.0, "Exponential requires rate > 0, got {rate}");
+        Exponential { rate, origin }
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.origin {
+            0.0
+        } else {
+            self.rate * (-self.rate * (x - self.origin)).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.origin {
+            0.0
+        } else {
+            1.0 - (-self.rate * (x - self.origin)).exp()
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u = rng.random::<f64>();
+        self.origin - (1.0 - u).max(f64::MIN_POSITIVE).ln() / self.rate
+    }
+
+    fn label(&self) -> String {
+        "Exponential".into()
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`, used by the census
+/// instance-weight simulacrum.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Log-normal whose logarithm is `N(mu, sigma)`, `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "LogNormal requires sigma > 0, got {sigma}");
+        LogNormal { mu, sigma }
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            let z = (x.ln() - self.mu) / self.sigma;
+            (-0.5 * z * z).exp() / (x * self.sigma * SQRT_2PI)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        (self.mu + self.sigma * normal_quantile(u)).exp()
+    }
+
+    fn label(&self) -> String {
+        "LogNormal".into()
+    }
+}
+
+/// Finite mixture of continuous distributions with nonnegative weights.
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn ContinuousDistribution + Send + Sync>)>,
+}
+
+impl Mixture {
+    /// Build from `(weight, component)` pairs; weights are normalized and
+    /// must be nonnegative with a positive sum.
+    pub fn new(components: Vec<(f64, Box<dyn ContinuousDistribution + Send + Sync>)>) -> Self {
+        assert!(!components.is_empty(), "Mixture needs at least one component");
+        assert!(
+            components.iter().all(|(w, _)| *w >= 0.0),
+            "Mixture weights must be nonnegative"
+        );
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        assert!(total > 0.0, "Mixture weights must not all be zero");
+        let components = components
+            .into_iter()
+            .map(|(w, c)| (w / total, c))
+            .collect();
+        Mixture { components }
+    }
+
+    /// Number of mixture components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl ContinuousDistribution for Mixture {
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.pdf(x)).sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.cdf(x)).sum()
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let mut u = rng.random::<f64>();
+        for (w, c) in &self.components {
+            if u < *w {
+                return c.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components
+            .last()
+            .expect("nonempty by construction")
+            .1
+            .sample(rng)
+    }
+
+    fn label(&self) -> String {
+        format!("Mixture({})", self.components.len())
+    }
+}
+
+/// Zipf distribution over ranks `1..=n_items` with exponent `theta`, mapped
+/// onto evenly spaced positions of a value range. The paper replaces Zipf
+/// with Exponential in its experiments; we provide Zipf so the substitution
+/// can be validated (`tests/` compares their estimator rankings).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities of ranks, ascending to 1.0.
+    cumulative: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Zipf {
+    /// Zipf with `n_items >= 1` ranks and exponent `theta >= 0`, ranks
+    /// mapped to evenly spaced values in `[lo, hi]` (rank 1 at `lo`).
+    pub fn new(n_items: usize, theta: f64, lo: f64, hi: f64) -> Self {
+        assert!(n_items >= 1, "Zipf needs at least one item");
+        assert!(theta >= 0.0, "Zipf exponent must be nonnegative");
+        assert!(lo < hi, "Zipf requires lo < hi");
+        let weights: Vec<f64> = (1..=n_items)
+            .map(|k| (k as f64).powf(-theta))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(n_items);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("nonempty") = 1.0;
+        Zipf { cumulative, lo, hi }
+    }
+
+    /// Number of distinct ranks.
+    pub fn n_items(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Value the given zero-based rank maps to.
+    pub fn value_of_rank(&self, rank: usize) -> f64 {
+        let n = self.cumulative.len();
+        if n == 1 {
+            return self.lo;
+        }
+        self.lo + (self.hi - self.lo) * rank as f64 / (n - 1) as f64
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u = rng.random::<f64>();
+        let rank = self.cumulative.partition_point(|&c| c < u);
+        self.value_of_rank(rank.min(self.cumulative.len() - 1))
+    }
+
+    /// Probability mass of the given zero-based rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use selest_math::simpson;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5e1e_57)
+    }
+
+    fn check_density_integrates_to_one<D: ContinuousDistribution>(d: &D, lo: f64, hi: f64) {
+        let mass = simpson(|x| d.pdf(x), lo, hi, 4000);
+        assert!((mass - 1.0).abs() < 1e-6, "{} mass {mass}", d.label());
+    }
+
+    fn check_cdf_matches_pdf<D: ContinuousDistribution>(d: &D, lo: f64, x: f64) {
+        let integral = simpson(|t| d.pdf(t), lo, x, 4000);
+        let cdf = d.cdf(x) - d.cdf(lo);
+        assert!((integral - cdf).abs() < 1e-6, "{}: int {integral} vs cdf {cdf}", d.label());
+    }
+
+    fn sample_mean<D: ContinuousDistribution>(d: &D, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_pdf_cdf_sample() {
+        let d = Uniform::new(2.0, 6.0);
+        // Integrate over the exact support: the density is discontinuous at
+        // its edges, where Simpson on a wider interval only converges O(h).
+        check_density_integrates_to_one(&d, 2.0, 6.0);
+        check_cdf_matches_pdf(&d, 2.0, 5.0);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert_eq!(d.cdf(6.0), 1.0);
+        let m = sample_mean(&d, 20_000);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn normal_pdf_cdf_sample() {
+        let d = Normal::new(10.0, 2.0);
+        check_density_integrates_to_one(&d, -10.0, 30.0);
+        check_cdf_matches_pdf(&d, -10.0, 11.5);
+        let m = sample_mean(&d, 20_000);
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_pdf_cdf_sample() {
+        let d = Exponential::new(0.5, 1.0);
+        check_density_integrates_to_one(&d, 1.0, 60.0);
+        check_cdf_matches_pdf(&d, 1.0, 4.0);
+        assert_eq!(d.pdf(0.5), 0.0);
+        // Mean = origin + 1/rate = 3.
+        let m = sample_mean(&d, 20_000);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_pdf_cdf_sample() {
+        let d = LogNormal::new(0.0, 0.5);
+        check_density_integrates_to_one(&d, 0.0, 30.0);
+        check_cdf_matches_pdf(&d, 0.001, 2.0);
+        // Median of lognormal is exp(mu) = 1.
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[10_000];
+        assert!((med - 1.0).abs() < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn mixture_weights_normalize_and_mass_sums() {
+        let m = Mixture::new(vec![
+            (2.0, Box::new(Normal::new(0.0, 1.0)) as _),
+            (6.0, Box::new(Normal::new(10.0, 1.0)) as _),
+        ]);
+        check_density_integrates_to_one(&m, -8.0, 18.0);
+        // 75% of the mass sits near 10.
+        assert!((m.cdf(5.0) - 0.25).abs() < 1e-6);
+        let mean = sample_mean(&m, 40_000);
+        assert!((mean - 7.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn mixture_selectivity_is_cdf_difference() {
+        let m = Mixture::new(vec![
+            (1.0, Box::new(Uniform::new(0.0, 1.0)) as _),
+            (1.0, Box::new(Uniform::new(2.0, 3.0)) as _),
+        ]);
+        assert!((m.selectivity(0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((m.selectivity(1.0, 2.0) - 0.0).abs() < 1e-12);
+        assert!((m.selectivity(0.0, 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized_and_skewed() {
+        let z = Zipf::new(100, 1.0, 0.0, 99.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // Rank 0 has mass 1/H_100 ~ 0.1928.
+        assert!((z.pmf(0) - 0.192_776).abs() < 1e-4, "pmf(0)={}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.0, 0.0, 9.0);
+        let mut r = rng();
+        let n = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            let v = z.sample(&mut r);
+            counts[v.round() as usize] += 1;
+        }
+        for rank in 0..10 {
+            let freq = counts[rank] as f64 / n as f64;
+            assert!(
+                (freq - z.pmf(rank)).abs() < 0.01,
+                "rank {rank}: freq {freq} vs pmf {}",
+                z.pmf(rank)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform_over_ranks() {
+        let z = Zipf::new(4, 0.0, 0.0, 3.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Normal::standard();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r1), d.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Size-separated query workloads (Section 5.1.2 of the paper).
+//!
+//! Each query file `F_D(s)` holds 1 000 range queries of the *same* size `s`
+//! (1 %, 2 %, 5 % or 10 % of the domain width), positioned according to the
+//! data distribution of `D` — the center of each query is a randomly drawn
+//! record. "Query positions which are too close to the boundary of the
+//! domain are not accepted": draws whose query would stick out of the domain
+//! are rejected and redrawn.
+//!
+//! [`positional_sweep`] builds the deterministic position sweeps of
+//! Figures 3 and 10 (error as a function of the query position).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selest_core::{Domain, RangeQuery};
+
+use crate::dataset::DataFile;
+
+/// The standard query sizes of the paper's workloads.
+pub const PAPER_QUERY_SIZES: [f64; 4] = [0.01, 0.02, 0.05, 0.10];
+
+/// Number of queries per file in the paper's workloads.
+pub const PAPER_QUERIES_PER_FILE: usize = 1_000;
+
+/// A query file `F_D(s)`: fixed-size range queries positioned by the data
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct QueryFile {
+    data_name: String,
+    size_fraction: f64,
+    queries: Vec<RangeQuery>,
+}
+
+impl QueryFile {
+    /// Generate `n_queries` queries of width `size_fraction * domain width`
+    /// over `data`, centers drawn uniformly from the records, positions that
+    /// would exceed the domain rejected and redrawn. Deterministic per seed.
+    ///
+    /// Panics if after `1000 * n_queries` draws not enough interior
+    /// positions were found (only possible when nearly all records hug the
+    /// boundary and the query size is large).
+    pub fn generate(data: &DataFile, size_fraction: f64, n_queries: usize, seed: u64) -> Self {
+        assert!(n_queries > 0, "QueryFile needs at least one query");
+        assert!(
+            size_fraction > 0.0 && size_fraction < 1.0,
+            "size fraction must be in (0,1), got {size_fraction}"
+        );
+        let domain = data.domain();
+        let half = 0.5 * size_fraction * domain.width();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::with_capacity(n_queries);
+        let max_draws = n_queries.saturating_mul(1000);
+        let mut draws = 0usize;
+        while queries.len() < n_queries {
+            draws += 1;
+            assert!(
+                draws <= max_draws,
+                "QueryFile::generate({}, {size_fraction}): rejection rate too high",
+                data.name()
+            );
+            let center = data.values()[rng.random_range(0..data.len())];
+            // Integer-domain continuity correction: the records are
+            // integers, so a range predicate selects whole grid cells
+            // [v - 1/2, v + 1/2]. Snapping the endpoints to half-integers
+            // makes the continuous estimators' integral match the discrete
+            // count's support — without it, small domains (Figure 5's
+            // n(10)) acquire an artificial error floor of about one cell
+            // per query endpoint.
+            let a = (center - half).round() - 0.5;
+            let b = a + (2.0 * half).round();
+            // Positions too close to the boundary are rejected, as in the
+            // paper's workloads (this also keeps every selected grid cell
+            // fully inside the domain).
+            if a >= domain.lo() && b <= domain.hi() {
+                queries.push(RangeQuery::new(a, b));
+            }
+        }
+        QueryFile {
+            data_name: data.name().to_owned(),
+            size_fraction,
+            queries,
+        }
+    }
+
+    /// Name of the data file this workload targets.
+    pub fn data_name(&self) -> &str {
+        &self.data_name
+    }
+
+    /// The fixed query size `s` as a fraction of the domain width.
+    pub fn size_fraction(&self) -> f64 {
+        self.size_fraction
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// Number of queries in the file.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the file is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Deterministic sweep of `n` same-size queries whose centers move evenly
+/// from the leftmost to the rightmost admissible position — the x-axis of
+/// Figures 3 and 10. Returns `(center, query)` pairs.
+pub fn positional_sweep(domain: &Domain, size_fraction: f64, n: usize) -> Vec<(f64, RangeQuery)> {
+    assert!(n >= 2, "positional_sweep needs at least two positions");
+    assert!(
+        size_fraction > 0.0 && size_fraction < 1.0,
+        "size fraction must be in (0,1), got {size_fraction}"
+    );
+    let half = 0.5 * size_fraction * domain.width();
+    let lo = domain.lo() + half;
+    let hi = domain.hi() - half;
+    (0..n)
+        .map(|i| {
+            let c = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            (c, RangeQuery::new(c - half, c + half))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Uniform};
+
+    fn uniform_file() -> DataFile {
+        DataFile::synthetic("u(12)", 12, 10_000, &Uniform::new(0.0, 4095.0), 5)
+    }
+
+    #[test]
+    fn all_queries_have_fixed_size_and_stay_inside() {
+        let data = uniform_file();
+        let qf = QueryFile::generate(&data, 0.05, 500, 1);
+        assert_eq!(qf.len(), 500);
+        // Widths are snapped to a whole number of grid cells.
+        let w = (0.05 * data.domain().width()).round();
+        for q in qf.queries() {
+            assert!((q.width() - w).abs() < 1e-9, "width {}", q.width());
+            assert!(q.a() >= data.domain().lo());
+            assert!(q.b() <= data.domain().hi());
+            // Endpoints sit on half-integers (cell edges).
+            assert!((q.a() - q.a().floor() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn positions_follow_the_data_distribution() {
+        // Normal data: most query centers should be near the domain center.
+        let domain_hi = 4095.0;
+        let data = DataFile::synthetic(
+            "n(12)",
+            12,
+            10_000,
+            &Normal::new(domain_hi / 2.0, domain_hi / 8.0),
+            6,
+        );
+        let qf = QueryFile::generate(&data, 0.01, 1_000, 2);
+        let center = domain_hi / 2.0;
+        let near = qf
+            .queries()
+            .iter()
+            .filter(|q| (q.center() - center).abs() < domain_hi / 4.0)
+            .count();
+        // +- 2 sigma around the mean holds ~95% of the mass.
+        assert!(near > 900, "only {near} of 1000 queries near the center");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let data = uniform_file();
+        let a = QueryFile::generate(&data, 0.01, 100, 9);
+        let b = QueryFile::generate(&data, 0.01, 100, 9);
+        assert_eq!(a.queries(), b.queries());
+        let c = QueryFile::generate(&data, 0.01, 100, 10);
+        assert_ne!(a.queries(), c.queries());
+    }
+
+    #[test]
+    fn boundary_positions_are_rejected_not_clamped() {
+        // Exponential-like data hugging the left boundary: queries must
+        // still start at >= lo, and none may be degenerate-clamped (all
+        // widths identical already checks this).
+        let data = DataFile::synthetic(
+            "e(12)",
+            12,
+            5_000,
+            &crate::dist::Exponential::new(8.0 / 4095.0, 0.0),
+            7,
+        );
+        let qf = QueryFile::generate(&data, 0.10, 300, 3);
+        for q in qf.queries() {
+            assert!(q.a() >= 0.0 && q.b() <= 4095.0);
+        }
+    }
+
+    #[test]
+    fn sweep_spans_admissible_positions() {
+        let d = Domain::new(0.0, 100.0);
+        let sweep = positional_sweep(&d, 0.1, 11);
+        assert_eq!(sweep.len(), 11);
+        assert_eq!(sweep[0].1.a(), 0.0);
+        assert!((sweep[10].1.b() - 100.0).abs() < 1e-12);
+        // Centers are evenly spaced.
+        let step = sweep[1].0 - sweep[0].0;
+        for w in sweep.windows(2) {
+            assert!(((w[1].0 - w[0].0) - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(PAPER_QUERY_SIZES, [0.01, 0.02, 0.05, 0.10]);
+        assert_eq!(PAPER_QUERIES_PER_FILE, 1_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sampling without replacement (Section 5.1.1: "From each of these data
+//! sets we have drawn sample sets of 2,000 records by selecting the records
+//! from the file in a random fashion without replacement").
+//!
+//! Two algorithms are provided: a partial Fisher–Yates shuffle for the
+//! common case where the data fits in memory, and reservoir sampling
+//! (Vitter's algorithm R) for single-pass streaming contexts such as the
+//! store's `ANALYZE`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw `n` values from `values` uniformly without replacement, by a partial
+/// Fisher–Yates shuffle of an index array. Deterministic per seed.
+///
+/// Panics if `n > values.len()` — callers must cap the sample size.
+pub fn sample_without_replacement(values: &[f64], n: usize, seed: u64) -> Vec<f64> {
+    assert!(
+        n <= values.len(),
+        "cannot draw {n} samples from {} values without replacement",
+        values.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<u32> = (0..values.len() as u32).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = rng.random_range(i..values.len());
+        idx.swap(i, j);
+        out.push(values[idx[i] as usize]);
+    }
+    out
+}
+
+/// Reservoir sampling (algorithm R): draw `n` values from a stream of
+/// unknown length, uniformly without replacement. Returns fewer than `n`
+/// values only if the stream is shorter than `n`.
+pub fn reservoir_sample<I: IntoIterator<Item = f64>>(stream: I, n: usize, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "reservoir_sample needs n > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<f64> = Vec::with_capacity(n);
+    for (i, v) in stream.into_iter().enumerate() {
+        if i < n {
+            reservoir.push(v);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < n {
+                reservoir[j] = v;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fisher_yates_draws_distinct_positions() {
+        // With all-distinct values, "without replacement" means the output
+        // has no duplicates.
+        let values: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let sample = sample_without_replacement(&values, 200, 9);
+        assert_eq!(sample.len(), 200);
+        let mut sorted = sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200, "sample has duplicate positions");
+    }
+
+    #[test]
+    fn fisher_yates_full_draw_is_a_permutation() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut sample = sample_without_replacement(&values, 50, 4);
+        sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sample, values);
+    }
+
+    #[test]
+    fn fisher_yates_is_deterministic_and_seed_sensitive() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(
+            sample_without_replacement(&values, 10, 1),
+            sample_without_replacement(&values, 10, 1)
+        );
+        assert_ne!(
+            sample_without_replacement(&values, 10, 1),
+            sample_without_replacement(&values, 10, 2)
+        );
+    }
+
+    #[test]
+    fn fisher_yates_is_roughly_uniform() {
+        // Each of 10 values should be drawn ~equally often across seeds.
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut counts = [0usize; 10];
+        for seed in 0..2_000 {
+            for v in sample_without_replacement(&values, 3, seed) {
+                counts[v as usize] += 1;
+            }
+        }
+        // Expected 600 per value.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as i64 - 600).unsigned_abs() < 100, "value {i} drawn {c} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn fisher_yates_rejects_oversized_sample() {
+        let _ = sample_without_replacement(&[1.0, 2.0], 3, 0);
+    }
+
+    #[test]
+    fn reservoir_short_stream_returns_everything() {
+        let r = reservoir_sample(vec![1.0, 2.0, 3.0], 10, 0);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reservoir_long_stream_keeps_n() {
+        let r = reservoir_sample((0..10_000).map(|i| i as f64), 100, 5);
+        assert_eq!(r.len(), 100);
+        let mut sorted = r.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "reservoir repeated a position");
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Probability any element survives should be n/N = 0.1.
+        let n_trials = 600;
+        let mut first_half = 0usize;
+        for seed in 0..n_trials {
+            for v in reservoir_sample((0..1_000).map(|i| i as f64), 100, seed) {
+                if v < 500.0 {
+                    first_half += 1;
+                }
+            }
+        }
+        let frac = first_half as f64 / (n_trials as usize * 100) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "first-half fraction {frac}");
+    }
+}

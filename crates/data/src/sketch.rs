@@ -1,0 +1,294 @@
+//! Greenwald–Khanna ε-approximate quantile sketch.
+//!
+//! Reservoir sampling (the paper's setting) retains whole records; a GK
+//! sketch summarizes a stream in `O((1/ε) log(εn))` entries while
+//! guaranteeing every quantile query a rank error of at most `εn` — the
+//! structure a production `ANALYZE` uses to build equi-depth histograms in
+//! one pass without remembering any sample. Provided as a substrate
+//! extension; `GkSketch::equi_depth_boundaries` feeds directly into
+//! `selest_histogram::BinnedHistogram`.
+
+/// One summary tuple: the value, the minimum-rank gap `g` to the previous
+/// tuple, and the rank uncertainty `delta`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna streaming quantile summary with error parameter `ε`.
+/// # Examples
+///
+/// ```
+/// use selest_data::GkSketch;
+///
+/// let mut sketch = GkSketch::new(0.01);
+/// for i in 0..10_000 {
+///     sketch.insert(((i * 37) % 1_000) as f64); // any order works
+/// }
+/// let median = sketch.quantile(0.5);
+/// assert!((median - 500.0).abs() < 30.0);
+/// assert!(sketch.entries() < 500); // bounded memory
+/// ```
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    entries: Vec<Entry>,
+    n: u64,
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// New sketch with rank-error parameter `epsilon` in `(0, 0.5)`; a
+    /// quantile query at fraction `q` returns a value whose true rank is
+    /// within `epsilon * n` of `q * n`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "GkSketch epsilon out of (0, 0.5): {epsilon}"
+        );
+        GkSketch { epsilon, entries: Vec::new(), n: 0, since_compress: 0 }
+    }
+
+    /// Number of stream values consumed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the sketch has seen no values.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current number of summary tuples (the sketch's memory footprint).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Consume one stream value.
+    pub fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "GkSketch cannot ingest {v}");
+        self.n += 1;
+        let pos = self.entries.partition_point(|e| e.v < v);
+        let delta = if pos == 0 || pos == self.entries.len() {
+            0
+        } else {
+            let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+            cap.saturating_sub(1)
+        };
+        self.entries.insert(pos, Entry { v, g: 1, delta });
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Merge tuples whose combined uncertainty stays within the bound.
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<Entry> = Vec::with_capacity(self.entries.len());
+        // Keep the first entry; try to merge each entry into its successor
+        // scanning right-to-left (the classical formulation); equivalently
+        // scan left-to-right merging the current into the next.
+        let mut iter = self.entries.iter().copied();
+        let mut cur = iter.next().expect("nonempty");
+        for next in iter {
+            let merged_g = cur.g + next.g;
+            // Never merge away the first/last tuple (exact extremes).
+            let is_first = out.is_empty();
+            if !is_first && merged_g + next.delta <= cap {
+                cur = Entry { v: next.v, g: merged_g, delta: next.delta };
+            } else {
+                out.push(cur);
+                cur = next;
+            }
+        }
+        out.push(cur);
+        self.entries = out;
+    }
+
+    /// The ε-approximate `q`-quantile (`q` in `[0, 1]`). Panics on an empty
+    /// sketch.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction out of [0,1]: {q}");
+        assert!(self.n > 0, "quantile of an empty sketch");
+        let target = (q * self.n as f64).ceil() as u64;
+        let bound = (self.epsilon * self.n as f64) as u64;
+        let mut r_min = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            r_min += e.g;
+            // First entry whose max rank exceeds target + bound: the
+            // previous entry is a valid answer.
+            if r_min + e.delta > target + bound {
+                return self.entries[i.saturating_sub(1)].v;
+            }
+        }
+        self.entries.last().expect("nonempty").v
+    }
+
+    /// Equi-depth boundaries for `k` bins over `[lo, hi]`: the interior
+    /// `j/k` quantiles framed by the given domain bounds — drop-in input
+    /// for an equi-depth `BinnedHistogram`.
+    pub fn equi_depth_boundaries(&self, k: usize, lo: f64, hi: f64) -> Vec<f64> {
+        assert!(k >= 1, "need at least one bin");
+        assert!(lo <= hi, "lo must not exceed hi");
+        let mut b = Vec::with_capacity(k + 1);
+        b.push(lo);
+        for j in 1..k {
+            b.push(self.quantile(j as f64 / k as f64).clamp(lo, hi));
+        }
+        b.push(hi);
+        // Enforce monotonicity exactly (approximation noise can reorder
+        // adjacent quantiles by up to 2 eps n ranks).
+        for i in 1..b.len() {
+            if b[i] < b[i - 1] {
+                b[i] = b[i - 1];
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance from the target rank to the rank *interval* a value
+    /// occupies (duplicated values cover a whole range of ranks).
+    fn rank_distance(sorted: &[f64], v: f64, target: f64) -> f64 {
+        let lo = sorted.partition_point(|&x| x < v) as f64;
+        let hi = sorted.partition_point(|&x| x <= v) as f64;
+        if target < lo {
+            lo - target
+        } else if target > hi {
+            target - hi
+        } else {
+            0.0
+        }
+    }
+
+    fn check_rank_errors(stream: &[f64], epsilon: f64) {
+        let mut sk = GkSketch::new(epsilon);
+        for &v in stream {
+            sk.insert(v);
+        }
+        let mut sorted = stream.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = stream.len() as f64;
+        for i in 1..20 {
+            let q = i as f64 / 20.0;
+            let v = sk.quantile(q);
+            let err = rank_distance(&sorted, v, q * n);
+            assert!(
+                err <= 2.0 * epsilon * n + 1.0,
+                "q={q}: value {v} misses the target rank {} by {err}",
+                q * n
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_bound_on_sorted_stream() {
+        let stream: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        check_rank_errors(&stream, 0.01);
+    }
+
+    #[test]
+    fn rank_error_bound_on_adversarial_orders() {
+        // Reverse order and an interleaved order.
+        let rev: Vec<f64> = (0..20_000).rev().map(|i| i as f64).collect();
+        check_rank_errors(&rev, 0.01);
+        let interleaved: Vec<f64> = (0..20_000)
+            .map(|i| ((i * 7_919) % 20_000) as f64)
+            .collect();
+        check_rank_errors(&interleaved, 0.01);
+    }
+
+    #[test]
+    fn handles_heavy_duplicates() {
+        let mut stream = vec![42.0; 15_000];
+        stream.extend((0..5_000).map(|i| i as f64 / 10.0));
+        check_rank_errors(&stream, 0.02);
+        let mut sk = GkSketch::new(0.02);
+        for &v in &stream {
+            sk.insert(v);
+        }
+        // The median of this stream is 42.
+        assert_eq!(sk.quantile(0.5), 42.0);
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..100_000 {
+            sk.insert(((i * 7_919) % 100_000) as f64);
+        }
+        // Exact storage would be 100 000 entries; GK should be ~O((1/eps)
+        // log(eps n)) ~ a few hundred.
+        assert!(
+            sk.entries() < 2_000,
+            "sketch holds {} entries for 100k stream values",
+            sk.entries()
+        );
+    }
+
+    #[test]
+    fn equi_depth_boundaries_are_monotone_and_framed() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..10_000 {
+            sk.insert(((i * 37) % 1_000) as f64);
+        }
+        let b = sk.equi_depth_boundaries(16, 0.0, 1_000.0);
+        assert_eq!(b.len(), 17);
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[16], 1_000.0);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        // Interior boundaries near the true 1/16-quantiles of Uniform[0,1000).
+        for (j, &v) in b.iter().enumerate().skip(1).take(15) {
+            let truth = 1_000.0 * j as f64 / 16.0;
+            assert!((v - truth).abs() < 40.0, "boundary {j}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn sketch_feeds_an_equi_depth_histogram() {
+        use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+        // Skewed stream: 80% below 100.
+        let mut stream: Vec<f64> = (0..8_000).map(|i| (i % 100) as f64).collect();
+        stream.extend((0..2_000).map(|i| 100.0 + (i % 900) as f64));
+        let mut sk = GkSketch::new(0.005);
+        for &v in &stream {
+            sk.insert(v);
+        }
+        let k = 20;
+        let boundaries = sk.equi_depth_boundaries(k, 0.0, 1_000.0);
+        // Rank-difference depth counts, as in selest-histogram's equi-depth.
+        let n = stream.len();
+        let counts: Vec<u32> = (1..=k)
+            .map(|j| {
+                let hi = (j * n).div_ceil(k);
+                let lo = ((j - 1) * n).div_ceil(k);
+                (hi - lo) as u32
+            })
+            .collect();
+        let hist = selest_histogram::BinnedHistogram::new(
+            boundaries,
+            counts,
+            Domain::new(0.0, 1_000.0),
+            "EDH-GK",
+        );
+        let s = hist.selectivity(&RangeQuery::new(0.0, 99.5));
+        assert!((s - 0.8).abs() < 0.05, "dense-region mass {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of an empty sketch")]
+    fn empty_sketch_panics_on_query() {
+        let _ = GkSketch::new(0.1).quantile(0.5);
+    }
+}

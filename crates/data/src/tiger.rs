@@ -1,0 +1,280 @@
+//! Simulacra of the paper's TIGER/Line data files (Section 5.1.1, Table 2).
+//!
+//! The paper used 1-D projections of line endpoints from the U.S. Census
+//! Bureau TIGER/Line files: county Arapahoe (52 120 records, `p` = 21 for
+//! the first dimension and 18 for the second) and rail-road tracks & rivers
+//! around L.A. (257 942 records, `p` in {12, 22}). The 1999 download links
+//! are dead, so we generate data with the same *distributional anatomy* —
+//! that anatomy, not the particular county, is what drives the paper's
+//! results (see DESIGN.md §4):
+//!
+//! * **Arapahoe** (street maps): suburban street grids produce endpoint
+//!   coordinates that pile up on regularly spaced grid lines inside dense
+//!   town rectangles, with abrupt density change points at town edges and a
+//!   thin rural background. [`ArapahoeConfig`] generates exactly that: a
+//!   mixture of towns, each a lattice of spike positions with geometric
+//!   jitter, plus a uniform background.
+//!
+//! * **Rail roads & rivers** (long polylines): consecutive vertices of a few
+//!   long correlated curves produce a *smooth but highly nonuniform*
+//!   occupation density — ridges where lines linger, voids elsewhere.
+//!   [`RailRiverConfig`] integrates reflected random walks with per-line
+//!   drift and records every vertex.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selest_core::Domain;
+use selest_math::normal_quantile;
+
+use crate::dataset::DataFile;
+
+/// Configuration of the Arapahoe street-grid simulacrum.
+#[derive(Debug, Clone)]
+pub struct ArapahoeConfig {
+    /// Domain exponent: 21 for the paper's first dimension, 18 for the second.
+    pub p: u32,
+    /// Total records; Table 2 lists 52 120.
+    pub n_records: usize,
+    /// Number of dense town grids.
+    pub n_towns: usize,
+    /// Fraction of records drawn from the uniform rural background.
+    pub background_fraction: f64,
+}
+
+impl ArapahoeConfig {
+    /// The paper's first dimension: `arap1`, `p` = 21.
+    pub fn dim1() -> Self {
+        ArapahoeConfig { p: 21, n_records: 52_120, n_towns: 11, background_fraction: 0.12 }
+    }
+
+    /// The paper's second dimension: `arap2`, `p` = 18.
+    pub fn dim2() -> Self {
+        ArapahoeConfig { p: 18, n_records: 52_120, n_towns: 9, background_fraction: 0.15 }
+    }
+
+    /// Generate the data file. Deterministic per seed.
+    pub fn generate(&self, name: &str, seed: u64) -> DataFile {
+        assert!(self.n_towns >= 1, "need at least one town");
+        assert!(
+            (0.0..1.0).contains(&self.background_fraction),
+            "background fraction out of [0,1): {}",
+            self.background_fraction
+        );
+        let domain = Domain::power_of_two(self.p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = domain.width();
+
+        // Lay out towns: center, half-extent, grid spacing, relative weight.
+        struct Town {
+            lo: f64,
+            hi: f64,
+            spacing: f64,
+            weight: f64,
+        }
+        let towns: Vec<Town> = (0..self.n_towns)
+            .map(|_| {
+                let center = domain.lo() + width * rng.random::<f64>();
+                // Town extents between 0.5% and 6% of the domain.
+                let half = width * (0.0025 + 0.0275 * rng.random::<f64>());
+                // Street grids: 30-150 blocks across the town.
+                let blocks = 30.0 + 120.0 * rng.random::<f64>();
+                let spacing = (2.0 * half / blocks).max(1.0).round();
+                // Town sizes follow a skewed weight so a few dominate, as
+                // population does.
+                let weight = rng.random::<f64>().powi(2) + 0.05;
+                Town {
+                    lo: (center - half).max(domain.lo()),
+                    hi: (center + half).min(domain.hi()),
+                    spacing,
+                    weight,
+                }
+            })
+            .collect();
+        let total_weight: f64 = towns.iter().map(|t| t.weight).sum();
+
+        let mut values = Vec::with_capacity(self.n_records);
+        while values.len() < self.n_records {
+            if rng.random::<f64>() < self.background_fraction {
+                // Rural background: sparse uniform endpoints.
+                let v = (domain.lo() + width * rng.random::<f64>()).round();
+                if domain.contains(v) {
+                    values.push(v);
+                }
+                continue;
+            }
+            // Pick a town by weight.
+            let mut pick = rng.random::<f64>() * total_weight;
+            let town = towns
+                .iter()
+                .find(|t| {
+                    pick -= t.weight;
+                    pick <= 0.0
+                })
+                .unwrap_or(&towns[self.n_towns - 1]);
+            // Snap to a grid line of the town, with small symmetric jitter:
+            // most endpoints sit exactly on the grid (shared intersections),
+            // a minority are offset (mid-block addresses).
+            let n_lines = ((town.hi - town.lo) / town.spacing).floor().max(1.0);
+            let line = (rng.random::<f64>() * n_lines).floor();
+            let base = town.lo + line * town.spacing;
+            let jitter = if rng.random::<f64>() < 0.7 {
+                0.0
+            } else {
+                // Geometric-ish jitter of a few units.
+                let u = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let mag = (-u.ln() * 2.0).round();
+                if rng.random::<f64>() < 0.5 {
+                    -mag
+                } else {
+                    mag
+                }
+            };
+            let v = (base + jitter).round();
+            if domain.contains(v) {
+                values.push(v);
+            }
+        }
+        DataFile::from_values(name, self.p, values)
+    }
+}
+
+/// Configuration of the rail-road & rivers simulacrum.
+#[derive(Debug, Clone)]
+pub struct RailRiverConfig {
+    /// Domain exponent: the paper uses 12 and 22.
+    pub p: u32,
+    /// Total records; Table 2 lists 257 942.
+    pub n_records: usize,
+    /// Number of independent polylines (rivers / tracks).
+    pub n_lines: usize,
+}
+
+impl RailRiverConfig {
+    /// The paper's first dimension at the given domain exponent
+    /// (`rr1(12)` or `rr1(22)`).
+    pub fn dim1(p: u32) -> Self {
+        RailRiverConfig { p, n_records: 257_942, n_lines: 48 }
+    }
+
+    /// The paper's second dimension (`rr2(12)` or `rr2(22)`); fewer,
+    /// longer lines give a lumpier marginal.
+    pub fn dim2(p: u32) -> Self {
+        RailRiverConfig { p, n_records: 257_942, n_lines: 24 }
+    }
+
+    /// Generate the data file. Deterministic per seed.
+    pub fn generate(&self, name: &str, seed: u64) -> DataFile {
+        assert!(self.n_lines >= 1, "need at least one polyline");
+        let domain = Domain::power_of_two(self.p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = domain.width();
+        let per_line = self.n_records / self.n_lines;
+        let remainder = self.n_records - per_line * self.n_lines;
+
+        let mut values = Vec::with_capacity(self.n_records);
+        for line in 0..self.n_lines {
+            let n_vertices = per_line + usize::from(line < remainder);
+            // Start anywhere; drift and wobble are per-line characters:
+            // rivers meander slowly, tracks run straighter.
+            let mut pos = domain.lo() + width * rng.random::<f64>();
+            let drift = width * 2e-4 * (rng.random::<f64>() - 0.5);
+            let wobble = width * (2e-5 + 3.0e-4 * rng.random::<f64>());
+            for _ in 0..n_vertices {
+                let u = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+                pos += drift + wobble * normal_quantile(u);
+                // Reflect at the boundaries so lines stay on the map.
+                if pos < domain.lo() {
+                    pos = 2.0 * domain.lo() - pos;
+                }
+                if pos > domain.hi() {
+                    pos = 2.0 * domain.hi() - pos;
+                }
+                let v = domain.clamp(pos).round();
+                values.push(v);
+            }
+        }
+        DataFile::from_values(name, self.p, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_arap() -> DataFile {
+        ArapahoeConfig { p: 16, n_records: 20_000, n_towns: 6, background_fraction: 0.1 }
+            .generate("arap-test", 11)
+    }
+
+    fn small_rr() -> DataFile {
+        RailRiverConfig { p: 16, n_records: 20_000, n_lines: 10 }.generate("rr-test", 11)
+    }
+
+    #[test]
+    fn arapahoe_has_requested_shape() {
+        let f = small_arap();
+        assert_eq!(f.len(), 20_000);
+        assert_eq!(f.p(), 16);
+        assert!(f.values().iter().all(|&v| f.domain().contains(v)));
+    }
+
+    #[test]
+    fn arapahoe_is_spiky_with_duplicates() {
+        let f = small_arap();
+        // Grid snapping must produce many duplicates even on a 2^16 domain.
+        assert!(
+            f.avg_frequency() > 3.0,
+            "expected heavy duplication, avg frequency {}",
+            f.avg_frequency()
+        );
+        // And the mass must be concentrated: the busiest 5% of the domain
+        // should hold far more than 5% of the records.
+        let mut sorted = f.values().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let w = f.domain().width();
+        let mut best = 0usize;
+        let buckets = 20;
+        for i in 0..buckets {
+            let lo = f.domain().lo() + w * i as f64 / buckets as f64;
+            let hi = lo + w / buckets as f64;
+            let cnt = sorted.partition_point(|&v| v <= hi) - sorted.partition_point(|&v| v < lo);
+            best = best.max(cnt);
+        }
+        assert!(
+            best as f64 > 0.15 * f.len() as f64,
+            "no concentration: busiest 5% bucket holds {best} of {}",
+            f.len()
+        );
+    }
+
+    #[test]
+    fn rail_river_covers_domain_smoothly() {
+        let f = small_rr();
+        assert_eq!(f.len(), 20_000);
+        assert!(f.values().iter().all(|&v| f.domain().contains(v)));
+        // Random-walk occupation is nonuniform but not spike-dominated:
+        // duplicates exist (integer snapping) yet far fewer than Arapahoe.
+        let arap = small_arap();
+        assert!(f.distinct_count() > arap.distinct_count());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = small_arap();
+        let b = ArapahoeConfig { p: 16, n_records: 20_000, n_towns: 6, background_fraction: 0.1 }
+            .generate("arap-test", 11);
+        assert_eq!(a.values(), b.values());
+        let r1 = small_rr();
+        let r2 = RailRiverConfig { p: 16, n_records: 20_000, n_lines: 10 }.generate("rr-test", 11);
+        assert_eq!(r1.values(), r2.values());
+    }
+
+    #[test]
+    fn paper_configs_match_table2() {
+        assert_eq!(ArapahoeConfig::dim1().p, 21);
+        assert_eq!(ArapahoeConfig::dim1().n_records, 52_120);
+        assert_eq!(ArapahoeConfig::dim2().p, 18);
+        assert_eq!(RailRiverConfig::dim1(22).n_records, 257_942);
+        assert_eq!(RailRiverConfig::dim2(12).p, 12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] [ids...]
+//! ```
+//!
+//! With no ids, every experiment runs in paper order. `--quick` uses the
+//! reduced scale (10x smaller data, 5x fewer queries); `--csv DIR` also
+//! writes one CSV per experiment into DIR.
+
+use std::io::Write as _;
+
+use selest_experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--csv DIR] [ids...]");
+                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    } else if ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create CSV output directory");
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let report = run_experiment(id, &scale);
+        println!("{report}");
+        println!("  ({} in {:.1?})\n", id, started.elapsed());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            let mut f = std::fs::File::create(&path).expect("create CSV file");
+            f.write_all(report.to_csv().as_bytes()).expect("write CSV");
+        }
+    }
+}

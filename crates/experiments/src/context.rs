@@ -1,0 +1,73 @@
+//! Per-data-file experiment context: the generated file, its ground truth,
+//! the 2 000-record sample, and the four size-separated query files —
+//! everything Section 5.1 fixes before any estimator runs.
+
+use selest_core::ExactSelectivity;
+use selest_data::{sample_without_replacement, DataFile, PaperFile, QueryFile};
+
+use crate::harness::Scale;
+
+/// Everything the experiments need about one data file.
+pub struct FileContext {
+    /// The generated data file.
+    pub data: DataFile,
+    /// Exact range counts over the full file.
+    pub exact: ExactSelectivity,
+    /// The estimator-building sample (without replacement).
+    pub sample: Vec<f64>,
+    /// Query files for sizes 1 %, 2 %, 5 %, 10 %.
+    pub queries: [QueryFile; 4],
+}
+
+impl FileContext {
+    /// Build the context for one paper file at the given scale.
+    pub fn build(file: PaperFile, scale: &Scale) -> Self {
+        let data = file.generate_scaled(scale.record_divisor);
+        let exact = ExactSelectivity::new(data.values(), data.domain());
+        let n_sample = scale.sample_size.min(data.len());
+        // Seeds are derived from the file's name via the query generator's
+        // own seeding; the sample seed is fixed so reruns are identical.
+        let sample = sample_without_replacement(data.values(), n_sample, 0xabcd_0001);
+        let queries = [
+            QueryFile::generate(&data, 0.01, scale.queries_per_file, 0x9e37_0001),
+            QueryFile::generate(&data, 0.02, scale.queries_per_file, 0x9e37_0002),
+            QueryFile::generate(&data, 0.05, scale.queries_per_file, 0x9e37_0005),
+            QueryFile::generate(&data, 0.10, scale.queries_per_file, 0x9e37_0010),
+        ];
+        FileContext { data, exact, sample, queries }
+    }
+
+    /// The query file of the given size fraction (one of 0.01/0.02/0.05/0.10).
+    pub fn query_file(&self, size: f64) -> &QueryFile {
+        self.queries
+            .iter()
+            .find(|q| (q.size_fraction() - size).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("no query file of size {size}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_assembles_everything() {
+        let scale = Scale::quick();
+        let ctx = FileContext::build(PaperFile::Uniform { p: 15 }, &scale);
+        assert_eq!(ctx.data.len(), 10_000);
+        assert_eq!(ctx.sample.len(), 1_000);
+        assert_eq!(ctx.exact.total(), 10_000);
+        for (qf, size) in ctx.queries.iter().zip([0.01, 0.02, 0.05, 0.10]) {
+            assert_eq!(qf.len(), 200);
+            assert!((qf.size_fraction() - size).abs() < 1e-12);
+        }
+        assert_eq!(ctx.query_file(0.05).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "no query file of size")]
+    fn unknown_query_size_panics() {
+        let ctx = FileContext::build(PaperFile::Uniform { p: 15 }, &Scale::quick());
+        let _ = ctx.query_file(0.03);
+    }
+}

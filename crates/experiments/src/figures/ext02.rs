@@ -1,0 +1,81 @@
+//! Extension experiment 2: change-point detectors for the hybrid
+//! estimator — the paper's Section 3.3 leaves "whether other methods for
+//! change point detection are more effective" to future work. We compare
+//! the paper's second-derivative-maxima detector against the CUSUM/KS
+//! binary segmentation, per data file.
+
+use selest_data::PaperFile;
+use selest_hybrid::{CusumDetector, HybridConfig, HybridEstimator, SecondDerivativeDetector};
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale};
+
+/// Run over the headline files.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_with_files(scale, &PaperFile::headline())
+}
+
+/// Run over an explicit file set.
+pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "ext02",
+        "Hybrid estimator: change-point detectors compared (1% queries)",
+        "file",
+        "MRE",
+    );
+    for file in files {
+        let ctx = FileContext::build(*file, scale);
+        let queries = ctx.query_file(0.01).queries();
+        let group = ctx.data.name().to_owned();
+        let configs: Vec<(&str, HybridConfig)> = vec![
+            (
+                "f''-maxima",
+                HybridConfig {
+                    detector: Box::new(SecondDerivativeDetector::default()),
+                    ..Default::default()
+                },
+            ),
+            (
+                "CUSUM-KS",
+                HybridConfig {
+                    detector: Box::new(CusumDetector::default()),
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, cfg) in configs {
+            let est = HybridEstimator::with_config(&ctx.sample, ctx.data.domain(), &cfg);
+            let mre = evaluate(&est, queries, &ctx.exact).mean_relative_error();
+            report.bars.push((group.clone(), label.into(), mre));
+            report
+                .notes
+                .push(format!("{group} / {label}: {} bins", est.n_bins()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_detectors_produce_working_hybrids() {
+        let r = run_with_files(
+            &Scale::quick(),
+            &[PaperFile::Arapahoe1, PaperFile::Normal { p: 20 }],
+        );
+        for file in ["arap1", "n(20)"] {
+            for det in ["f''-maxima", "CUSUM-KS"] {
+                let mre = r.bar(file, det).unwrap();
+                assert!(mre.is_finite() && mre < 1.5, "{file}/{det}: MRE {mre}");
+            }
+        }
+        // On the spiky file both must do far better than they would with no
+        // partitioning (compare against a sanity ceiling).
+        for det in ["f''-maxima", "CUSUM-KS"] {
+            let mre = r.bar("arap1", det).unwrap();
+            assert!(mre < 0.6, "arap1/{det}: MRE {mre} suggests partitioning failed");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Extension experiment 4: empirical MISE against the AMISE theory of
+//! Section 4.
+//!
+//! For a known truth (the standard normal mapped onto the domain), the
+//! mean integrated squared error over repeated sample draws is computed
+//! for the equi-width histogram and the kernel estimator at a sweep of
+//! smoothing parameters, next to the closed-form AMISE curves — making the
+//! bias/variance trade-off of equation (9) and the `n^{-2/3}` vs
+//! `n^{-4/5}` story directly visible.
+
+use rand::SeedableRng;
+use selest_core::{integrated_squared_error, DensityEstimator, Domain};
+use selest_data::{ContinuousDistribution, Normal};
+use selest_histogram::{amise_histogram, equi_width};
+use selest_kernel::{amise, BoundaryPolicy, KernelEstimator, KernelFn};
+
+use crate::harness::{ExperimentReport, Scale, Series};
+
+/// Number of independent sample draws averaged per point.
+const REPS: u64 = 6;
+
+/// Run the MISE sweep.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    let sigma = 100.0;
+    let dist = Normal::new(500.0, sigma);
+    let domain = Domain::new(0.0, 1_000.0);
+    let n = scale.sample_size;
+
+
+    // True roughness functionals of the N(500, 100) density.
+    let r_f_prime = 1.0 / (4.0 * core::f64::consts::PI.sqrt() * sigma.powi(3));
+    let r_f_second = 3.0 / (8.0 * core::f64::consts::PI.sqrt() * sigma.powi(5));
+
+    let draw = |seed: u64| -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        std::iter::repeat_with(|| dist.sample(&mut rng))
+            .filter(|v| domain.contains(*v))
+            .take(n)
+            .collect()
+    };
+    let mise = |build: &dyn Fn(&[f64]) -> Box<dyn DensityEstimator>| -> f64 {
+        let mut total = 0.0;
+        for rep in 0..REPS {
+            let sample = draw(0xe04 + rep);
+            let est = build(&sample);
+            total += integrated_squared_error(est.as_ref(), |x| dist.pdf(x), 1_500);
+        }
+        total / REPS as f64
+    };
+
+    let mut report = ExperimentReport::new(
+        "ext04",
+        "Empirical MISE vs. the AMISE theory (normal truth)",
+        "smoothing parameter h",
+        "(A)MISE",
+    );
+    // Histogram: bin widths from w/200 to w/4.
+    let mut hist_emp = Vec::new();
+    let mut hist_amise = Vec::new();
+    for &k in &[4usize, 8, 16, 32, 64, 128] {
+        let h = domain.width() / k as f64;
+        hist_emp.push((h, mise(&|s: &[f64]| Box::new(equi_width(s, domain, k)))));
+        hist_amise.push((h, amise_histogram(h, n, r_f_prime)));
+    }
+    hist_emp.reverse();
+    hist_amise.reverse();
+    report.series.push(Series { label: "EWH empirical".into(), points: hist_emp });
+    report.series.push(Series { label: "EWH AMISE".into(), points: hist_amise });
+
+    // Kernel: bandwidths around the AMISE optimum.
+    let h_star = selest_kernel::amise_optimal_bandwidth(KernelFn::Epanechnikov, n, r_f_second);
+    let mut k_emp = Vec::new();
+    let mut k_amise = Vec::new();
+    for &f in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let h = h_star * f;
+        k_emp.push((
+            h,
+            mise(&|s: &[f64]| {
+                Box::new(KernelEstimator::new(
+                    s,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::Reflection,
+                ))
+            }),
+        ));
+        k_amise.push((h, amise(KernelFn::Epanechnikov, h, n, r_f_second)));
+    }
+    report.series.push(Series { label: "kernel empirical".into(), points: k_emp });
+    report.series.push(Series { label: "kernel AMISE".into(), points: k_amise });
+    report.notes.push(format!(
+        "n = {n}, truth N(500, {sigma}); kernel AMISE optimum h* = {h_star:.1}; \
+         REPS = {REPS} draws per point"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_mise_tracks_amise_shape() {
+        let mut scale = Scale::quick();
+        scale.sample_size = 500;
+        let r = run(&scale);
+        // Kernel: empirical minimum near the AMISE-optimal bandwidth
+        // (the middle of the sweep by construction), and within 3x of the
+        // AMISE value there.
+        let emp = r.series_by_label("kernel empirical").unwrap();
+        let theory = r.series_by_label("kernel AMISE").unwrap();
+        let best_emp = emp.argmin();
+        let best_theory = theory.argmin();
+        assert!(
+            (best_emp / best_theory) < 4.0 && (best_emp / best_theory) > 0.25,
+            "empirical optimum {best_emp} far from theory {best_theory}"
+        );
+        let at = |s: &crate::harness::Series, x: f64| {
+            s.points.iter().find(|p| p.0 == x).map(|p| p.1).unwrap()
+        };
+        let ratio = at(emp, best_theory) / at(theory, best_theory);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "empirical/AMISE ratio {ratio} at the optimum"
+        );
+        // Both histogram curves are U-shaped (endpoints above minimum).
+        let h_emp = r.series_by_label("EWH empirical").unwrap();
+        assert!(h_emp.points.first().unwrap().1 > h_emp.y_min());
+        assert!(h_emp.points.last().unwrap().1 > h_emp.y_min());
+    }
+
+    #[test]
+    fn kernel_mise_beats_histogram_mise_at_their_optima() {
+        let mut scale = Scale::quick();
+        scale.sample_size = 500;
+        let r = run(&scale);
+        let k = r.series_by_label("kernel empirical").unwrap().y_min();
+        let h = r.series_by_label("EWH empirical").unwrap().y_min();
+        assert!(k < h, "kernel best MISE {k} should beat histogram {h}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Extension experiment 6: query-feedback refinement (the paper's third
+//! future-work item, after Chen & Roussopoulos \[1\]).
+//!
+//! Statistics go stale: ANALYZE ran before the data shifted. The feedback
+//! wrapper learns multiplicative corrections from executed queries, so the
+//! error of the stale estimator should fall toward the fresh estimator's
+//! as the workload streams by — without re-running ANALYZE.
+
+use selest_core::{FeedbackEstimator, SelectivityEstimator};
+use selest_data::{sample_without_replacement, PaperFile};
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale, Series};
+use crate::methods;
+
+/// Run the staleness-recovery experiment on n(20).
+pub fn run(scale: &Scale) -> ExperimentReport {
+    // "Fresh" data: the ordinary n(20) file. "Stale" statistics: built on a
+    // sample of a *shifted* version of the data (the distribution drifted
+    // right by 10% of the domain after ANALYZE).
+    let ctx = FileContext::build(PaperFile::Normal { p: 20 }, scale);
+    let domain = ctx.data.domain();
+    let shift = 0.10 * domain.width();
+    let stale_values: Vec<f64> = ctx
+        .data
+        .values()
+        .iter()
+        .map(|&v| (v - shift).max(domain.lo()))
+        .collect();
+    let stale_sample =
+        sample_without_replacement(&stale_values, ctx.sample.len(), 0xfeed_06);
+    let stale = selest_histogram::equi_width(
+        &stale_sample,
+        domain,
+        selest_histogram::binrules::BinRule::bins(
+            &selest_histogram::NormalScaleBins,
+            &stale_sample,
+            &domain,
+        ),
+    );
+
+    let queries = ctx.query_file(0.01).queries();
+    let n = ctx.exact.total();
+    let mut feedback = FeedbackEstimator::new(stale.clone(), 64, 0.5);
+
+    // Stream the workload: after each batch, estimate the remaining error.
+    let mut series = Series { label: "stale + feedback".into(), points: Vec::new() };
+    let batch = (queries.len() / 10).max(1);
+    let eval_now = |est: &dyn SelectivityEstimator| {
+        evaluate(est, queries, &ctx.exact).mean_relative_error()
+    };
+    series.points.push((0.0, eval_now(&feedback)));
+    for (i, chunk) in queries.chunks(batch).enumerate() {
+        for q in chunk {
+            let truth = ctx.exact.count(q) as f64 / n as f64;
+            feedback.observe(q, truth);
+        }
+        series.points.push((((i + 1) * batch) as f64, eval_now(&feedback)));
+    }
+
+    let mut report = ExperimentReport::new(
+        "ext06",
+        "Query feedback repairing stale statistics (n(20) shifted 10%, 1% queries)",
+        "queries observed",
+        "MRE",
+    );
+    let stale_mre = eval_now(&stale);
+    let fresh_mre = eval_now(&methods::ewh_ns(&ctx));
+    report.series.push(series);
+    report.series.push(Series {
+        label: "stale (no feedback)".into(),
+        points: vec![(0.0, stale_mre), (queries.len() as f64, stale_mre)],
+    });
+    report.series.push(Series {
+        label: "fresh ANALYZE".into(),
+        points: vec![(0.0, fresh_mre), (queries.len() as f64, fresh_mre)],
+    });
+    report.notes.push(format!(
+        "stale statistics start at {:.1}% MRE; a fresh ANALYZE would give {:.1}%",
+        100.0 * stale_mre,
+        100.0 * fresh_mre
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_recovers_most_of_the_staleness_penalty() {
+        let r = run(&Scale::quick());
+        let fb = r.series_by_label("stale + feedback").unwrap();
+        let stale = r.series_by_label("stale (no feedback)").unwrap().points[0].1;
+        let fresh = r.series_by_label("fresh ANALYZE").unwrap().points[0].1;
+        let start = fb.points.first().unwrap().1;
+        let end = fb.points.last().unwrap().1;
+        assert!(stale > 2.0 * fresh, "premise: staleness hurts ({stale} vs {fresh})");
+        assert!((start - stale).abs() < 0.02, "feedback starts at the stale error");
+        // After the workload, at least half the staleness penalty is gone.
+        assert!(
+            end < fresh + 0.5 * (stale - fresh),
+            "feedback end {end} should recover half the gap (stale {stale}, fresh {fresh})"
+        );
+    }
+}

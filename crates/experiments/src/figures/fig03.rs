@@ -1,0 +1,88 @@
+//! Figure 3: the boundary problem. Signed absolute estimation error of 1 %
+//! queries as a function of the query position, uniform data, untreated
+//! kernel estimator — errors explode near the domain boundaries.
+
+use selest_core::SelectivityEstimator;
+use selest_data::{positional_sweep, PaperFile};
+use selest_kernel::BoundaryPolicy;
+
+use crate::context::FileContext;
+use crate::harness::{ExperimentReport, Scale, Series};
+use crate::methods;
+
+/// Run the Figure 3 sweep.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    let ctx = FileContext::build(PaperFile::Uniform { p: 20 }, scale);
+    let est = methods::kernel_ns(&ctx, BoundaryPolicy::NoTreatment);
+    let n = ctx.exact.total();
+    let sweep = positional_sweep(&ctx.data.domain(), 0.01, scale.sweep_points);
+    let width = ctx.data.domain().width();
+    let points: Vec<(f64, f64)> = sweep
+        .iter()
+        .map(|(center, q)| {
+            let truth = ctx.exact.count(q) as f64;
+            let err = est.estimate_count(q, n) - truth; // signed, as in the paper
+            (center / width, err)
+        })
+        .collect();
+    let mut report = ExperimentReport::new(
+        "fig03",
+        "Signed absolute error of 1% queries vs. position (uniform data, untreated kernel)",
+        "position (fraction of domain)",
+        "signed absolute error (records)",
+    );
+    report.series.push(Series { label: "no boundary treatment".into(), points });
+    report.notes.push(format!(
+        "N = {n}, n = {}, h = {:.0} (normal scale rule)",
+        ctx.sample.len(),
+        est.bandwidth()
+    ));
+    report.notes.push(
+        "the paper reports errors up to ~500 records at the boundary vs. near zero in the center"
+            .into(),
+    );
+    report
+}
+
+/// Shape statistics used by the assertions: mean |error| in the two
+/// boundary strips vs. the central half.
+pub fn boundary_vs_center(report: &ExperimentReport) -> (f64, f64) {
+    let s = &report.series[0];
+    let (mut b_sum, mut b_n, mut c_sum, mut c_n) = (0.0, 0usize, 0.0, 0usize);
+    for &(pos, err) in &s.points {
+        if !(0.03..=0.97).contains(&pos) {
+            b_sum += err.abs();
+            b_n += 1;
+        } else if (0.25..=0.75).contains(&pos) {
+            c_sum += err.abs();
+            c_n += 1;
+        }
+    }
+    (b_sum / b_n.max(1) as f64, c_sum / c_n.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_error_dwarfs_center_error() {
+        let r = run(&Scale::quick());
+        let (boundary, center) = boundary_vs_center(&r);
+        assert!(
+            boundary > 3.0 * center,
+            "boundary mean |err| {boundary} vs center {center}"
+        );
+    }
+
+    #[test]
+    fn errors_at_the_two_boundaries_are_negative() {
+        // Mass leaks outward: the estimator underestimates at the edges.
+        let r = run(&Scale::quick());
+        let s = &r.series[0];
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(first < 0.0, "left-edge error {first} should be negative");
+        assert!(last < 0.0, "right-edge error {last} should be negative");
+    }
+}

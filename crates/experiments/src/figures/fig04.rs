@@ -1,0 +1,89 @@
+//! Figure 4: the MRE of an equi-width histogram as a function of its bin
+//! count, against the flat pure-sampling line — the U-shaped smoothing
+//! trade-off that motivates Section 4.
+
+use selest_data::PaperFile;
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale, Series};
+use crate::methods;
+
+/// Log-spaced bin counts for the sweep.
+pub fn bin_sweep(max_bins: usize, steps: usize) -> Vec<usize> {
+    let mut ks = vec![2usize];
+    for i in 1..=steps {
+        let k = (2.0 * (max_bins as f64 / 2.0).powf(i as f64 / steps as f64)).round() as usize;
+        if *ks.last().expect("nonempty") != k {
+            ks.push(k.min(max_bins));
+        }
+    }
+    ks
+}
+
+/// Run the Figure 4 sweep on `n(20)` with 1 % queries.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_on(scale, PaperFile::Normal { p: 20 })
+}
+
+/// The same sweep on an arbitrary file (reused by Figure 5).
+pub fn run_on(scale: &Scale, file: PaperFile) -> ExperimentReport {
+    let ctx = FileContext::build(file, scale);
+    let qf = ctx.query_file(0.01);
+    let ks = bin_sweep(1_000, 22);
+    let points: Vec<(f64, f64)> = ks
+        .iter()
+        .map(|&k| {
+            let mre = evaluate(&methods::ewh(&ctx, k), qf.queries(), &ctx.exact)
+                .mean_relative_error();
+            (k as f64, mre)
+        })
+        .collect();
+    let sampling_mre =
+        evaluate(&methods::sampling(&ctx), qf.queries(), &ctx.exact).mean_relative_error();
+    let mut report = ExperimentReport::new(
+        "fig04",
+        "EWH mean relative error vs. number of bins (1% queries)",
+        "bins",
+        "MRE",
+    );
+    report.series.push(Series { label: format!("EWH {}", ctx.data.name()), points });
+    report.series.push(Series {
+        label: "sampling".into(),
+        points: ks.iter().map(|&k| (k as f64, sampling_mre)).collect(),
+    });
+    report.notes.push("paper: minimum ~7% at ~20 bins, sampling line at 17.5% (N = 100 000, n = 2 000)".to_string());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_u_shaped_and_dips_below_sampling() {
+        let r = run(&Scale::quick());
+        let ewh = &r.series[0];
+        let sampling = r.series[1].points[0].1;
+        // The best bin count beats sampling...
+        assert!(
+            ewh.y_min() < sampling,
+            "EWH best {} should beat sampling {sampling}",
+            ewh.y_min()
+        );
+        // ...and both extremes are worse than the minimum (U shape).
+        let first = ewh.points.first().unwrap().1;
+        let last = ewh.points.last().unwrap().1;
+        assert!(first > 1.5 * ewh.y_min(), "left arm {first} vs min {}", ewh.y_min());
+        assert!(last > 1.5 * ewh.y_min(), "right arm {last} vs min {}", ewh.y_min());
+        // The over-binned end approaches the sampling error from around it.
+        assert!(last < 2.0 * sampling, "right arm {last} should approach sampling {sampling}");
+    }
+
+    #[test]
+    fn bin_sweep_is_increasing_and_bounded() {
+        let ks = bin_sweep(1_000, 22);
+        assert_eq!(ks[0], 2);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert!(*ks.last().unwrap() <= 1_000);
+    }
+}

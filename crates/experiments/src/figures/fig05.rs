@@ -1,0 +1,48 @@
+//! Figure 5: the impact of the domain cardinality — the bin-count sweep of
+//! Figure 4 repeated for `n(10)`, `n(15)`, `n(20)`. Smaller domains mean
+//! more duplicates per value and *lower* errors; the paper concludes that
+//! large metric domains are the hard (and interesting) case.
+
+use selest_data::PaperFile;
+
+use crate::figures::fig04;
+use crate::harness::{ExperimentReport, Scale};
+
+/// Run the three-cardinality sweep.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig05",
+        "EWH MRE vs. bins for domain cardinalities p = 10, 15, 20 (1% queries)",
+        "bins",
+        "MRE",
+    );
+    for p in [10u32, 15, 20] {
+        let sub = fig04::run_on(scale, PaperFile::Normal { p });
+        let mut s = sub.series[0].clone();
+        s.label = format!("n({p})");
+        report.series.push(s);
+    }
+    report
+        .notes
+        .push("paper: the error is considerably higher for large domain cardinalities".into());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_domains_have_larger_minimum_error() {
+        let r = run(&Scale::quick());
+        let best: Vec<f64> = r.series.iter().map(|s| s.y_min()).collect();
+        // p = 10 easiest, p = 20 hardest (allow p=15 ~ p=20 noise, but the
+        // extremes must be ordered).
+        assert!(
+            best[0] < best[2],
+            "n(10) best {} should be below n(20) best {}",
+            best[0],
+            best[2]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 7: the impact of the query size — MRE of the equi-width
+//! histogram (normal-scale bins) for the 1 %, 2 %, 5 % and 10 % query
+//! files over several data files. Error falls as queries grow.
+
+use selest_data::PaperFile;
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale};
+use crate::methods;
+
+/// Run over the headline files.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_with_files(scale, &PaperFile::headline())
+}
+
+/// Run over an explicit file set.
+pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig07",
+        "EWH (h-NS) MRE for 1/2/5/10% query files",
+        "file",
+        "MRE",
+    );
+    for file in files {
+        let ctx = FileContext::build(*file, scale);
+        let est = methods::ewh_ns(&ctx);
+        for qf in &ctx.queries {
+            let mre = evaluate(&est, qf.queries(), &ctx.exact).mean_relative_error();
+            report.bars.push((
+                ctx.data.name().to_owned(),
+                format!("{:.0}%", qf.size_fraction() * 100.0),
+                mre,
+            ));
+        }
+    }
+    report.notes.push(
+        "paper (arap2): 17.5% MRE for 1% queries vs. 4.5% for 10% queries".into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_falls_as_query_size_grows() {
+        let r = run_with_files(
+            &Scale::quick(),
+            &[PaperFile::Normal { p: 20 }, PaperFile::Uniform { p: 20 }],
+        );
+        for file in ["n(20)", "u(20)"] {
+            let small = r.bar(file, "1%").unwrap();
+            let large = r.bar(file, "10%").unwrap();
+            assert!(
+                large < small,
+                "{file}: 10% queries ({large}) should be easier than 1% ({small})"
+            );
+        }
+    }
+}

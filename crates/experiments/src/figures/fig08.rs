@@ -1,0 +1,94 @@
+//! Figure 8: histogram shoot-out — equi-width, equi-depth and max-diff
+//! (each at its observed-optimal bin count), pure sampling, and the uniform
+//! estimator, on 1 % queries. On large metric domains the paper finds
+//! EWH >= EDH > MDH, the reverse of the small-domain literature, and the
+//! uniform estimator loses catastrophically on skewed files.
+
+use selest_data::PaperFile;
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale};
+use crate::methods;
+use crate::oracle::oracle_bins;
+
+/// Maximum bin count explored by the per-file oracle search.
+const MAX_BINS: usize = 1_000;
+
+/// Run over the headline files.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_with_files(scale, &PaperFile::headline())
+}
+
+/// Run over an explicit file set.
+pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig08",
+        "Histogram estimators at oracle bin counts vs. sampling and uniform (1% queries)",
+        "file",
+        "MRE",
+    );
+    for file in files {
+        let ctx = FileContext::build(*file, scale);
+        let qf = ctx.query_file(0.01);
+        let queries = qf.queries();
+        let group = ctx.data.name().to_owned();
+        // Oracle bins are searched for EWH; the paper observes the same
+        // optimum is "also reasonable for other histograms".
+        let (k_opt, ewh_mre) = oracle_bins(&ctx, queries, MAX_BINS);
+        report.bars.push((group.clone(), "EWH".into(), ewh_mre));
+        report.bars.push((
+            group.clone(),
+            "EDH".into(),
+            evaluate(&methods::edh(&ctx, k_opt), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "MDH".into(),
+            evaluate(&methods::mdh(&ctx, k_opt), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "sample".into(),
+            evaluate(&methods::sampling(&ctx), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "uniform".into(),
+            evaluate(&methods::uniform(&ctx), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.notes.push(format!("{group}: oracle bins k = {k_opt}"));
+    }
+    report.notes.push(
+        "paper: uniform loses by orders of magnitude on skewed data (600% on ci); \
+         EWH is the overall histogram winner on large metric domains"
+            .into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loses_big_on_skewed_data_and_histograms_beat_sampling() {
+        let r = run_with_files(&Scale::quick(), &[PaperFile::Exponential { p: 20 }]);
+        let uniform = r.bar("e(20)", "uniform").unwrap();
+        let ewh = r.bar("e(20)", "EWH").unwrap();
+        let sample = r.bar("e(20)", "sample").unwrap();
+        assert!(uniform > 5.0 * ewh, "uniform {uniform} vs EWH {ewh}");
+        assert!(ewh < sample, "EWH {ewh} should beat sampling {sample}");
+    }
+
+    #[test]
+    fn ewh_at_oracle_bins_is_competitive_with_edh_and_mdh() {
+        let r = run_with_files(&Scale::quick(), &[PaperFile::Normal { p: 20 }]);
+        let ewh = r.bar("n(20)", "EWH").unwrap();
+        let edh = r.bar("n(20)", "EDH").unwrap();
+        let mdh = r.bar("n(20)", "MDH").unwrap();
+        // The paper's claim on large metric domains: EWH at least matches
+        // EDH and clearly beats MDH. Allow small noise slack on EDH.
+        assert!(ewh <= edh * 1.2, "EWH {ewh} vs EDH {edh}");
+        assert!(ewh < mdh, "EWH {ewh} vs MDH {mdh}");
+    }
+}

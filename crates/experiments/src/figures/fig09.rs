@@ -1,0 +1,84 @@
+//! Figure 9: how close does the normal scale rule get to the oracle bin
+//! count? Per file: EWH at the observed-optimal bins (`h-opt`) vs. EWH at
+//! the normal-scale bins (`h-NS`). The paper finds the rule lands within
+//! about 3 percentage points of optimal on average.
+
+use selest_data::PaperFile;
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale};
+use crate::methods;
+use crate::oracle::oracle_bins;
+
+/// Run over the headline files.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_with_files(scale, &PaperFile::headline())
+}
+
+/// Run over an explicit file set.
+pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig09",
+        "EWH: oracle bin count (h-opt) vs. normal scale rule (h-NS), 1% queries",
+        "file",
+        "MRE",
+    );
+    for file in files {
+        let ctx = FileContext::build(*file, scale);
+        let queries = ctx.query_file(0.01).queries();
+        let group = ctx.data.name().to_owned();
+        let (k_opt, opt_mre) = oracle_bins(&ctx, queries, 1_000);
+        report.bars.push((group.clone(), "h-opt".into(), opt_mre));
+        let ns = methods::ewh_ns(&ctx);
+        let k_ns = ns.n_bins();
+        report.bars.push((
+            group.clone(),
+            "h-NS".into(),
+            evaluate(&ns, queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.notes.push(format!("{group}: k-opt = {k_opt}, k-NS = {k_ns}"));
+    }
+    report.notes.push(
+        "paper: the normal scale rule costs ~3 MRE percentage points vs. the oracle on average"
+            .into(),
+    );
+    report
+}
+
+/// Mean excess MRE (percentage points) of h-NS over h-opt across groups.
+pub fn mean_excess(report: &ExperimentReport) -> f64 {
+    let mut groups: Vec<&String> = report.bars.iter().map(|b| &b.0).collect();
+    groups.dedup();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for g in groups {
+        if let (Some(opt), Some(ns)) = (report.bar(g, "h-opt"), report.bar(g, "h-NS")) {
+            total += ns - opt;
+            n += 1;
+        }
+    }
+    total / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_scale_is_close_to_oracle_on_smooth_data() {
+        let r = run_with_files(
+            &Scale::quick(),
+            &[PaperFile::Normal { p: 20 }, PaperFile::Uniform { p: 20 }],
+        );
+        for g in ["n(20)", "u(20)"] {
+            let opt = r.bar(g, "h-opt").unwrap();
+            let ns = r.bar(g, "h-NS").unwrap();
+            assert!(ns >= opt - 1e-12, "{g}: oracle must win by construction");
+            assert!(
+                ns - opt < 0.08,
+                "{g}: h-NS ({ns}) should be within ~8 points of h-opt ({opt}) on smooth data"
+            );
+        }
+        assert!(mean_excess(&r) < 0.08, "mean excess {}", mean_excess(&r));
+    }
+}

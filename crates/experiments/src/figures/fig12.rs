@@ -1,0 +1,110 @@
+//! Figure 12: the final comparison of the most promising estimators on 1 %
+//! queries — equi-width histogram (normal-scale bins), kernel estimator
+//! (boundary kernels, two-stage plug-in bandwidth), hybrid estimator, and
+//! the average shifted histogram (ten shifts).
+//!
+//! The paper's headline: kernels win on the smooth synthetic files
+//! (ASH close behind), the hybrid wins on the TIGER/Line files, and on the
+//! census file every method performs about the same.
+
+use selest_data::PaperFile;
+use selest_kernel::BoundaryPolicy;
+
+use crate::context::FileContext;
+use crate::harness::{evaluate, ExperimentReport, Scale};
+use crate::methods;
+
+/// Run over the headline files.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    run_with_files(scale, &PaperFile::headline())
+}
+
+/// Run over an explicit file set.
+pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig12",
+        "Most promising estimators on 1% queries: EWH, Kernel, Hybrid, ASH",
+        "file",
+        "MRE",
+    );
+    for file in files {
+        let ctx = FileContext::build(*file, scale);
+        let queries = ctx.query_file(0.01).queries();
+        let group = ctx.data.name().to_owned();
+        report.bars.push((
+            group.clone(),
+            "EWH".into(),
+            evaluate(&methods::ewh_ns(&ctx), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "Kernel".into(),
+            evaluate(
+                &methods::kernel_dpi2(&ctx, BoundaryPolicy::BoundaryKernel),
+                queries,
+                &ctx.exact,
+            )
+            .mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "Hybrid".into(),
+            evaluate(&methods::hybrid(&ctx), queries, &ctx.exact).mean_relative_error(),
+        ));
+        report.bars.push((
+            group.clone(),
+            "ASH".into(),
+            evaluate(&methods::ash_ns(&ctx), queries, &ctx.exact).mean_relative_error(),
+        ));
+    }
+    report.notes.push(
+        "paper: kernel best on u(20)/n(20)/e(20) with ASH slightly behind; hybrid best on the \
+         TIGER files; near-tie on the census file"
+            .into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_wins_on_smooth_synthetic_data() {
+        let r = run_with_files(&Scale::quick(), &[PaperFile::Normal { p: 20 }]);
+        let kernel = r.bar("n(20)", "Kernel").unwrap();
+        let ewh = r.bar("n(20)", "EWH").unwrap();
+        assert!(
+            kernel <= ewh * 1.05,
+            "kernel ({kernel}) should match or beat EWH ({ewh}) on n(20)"
+        );
+    }
+
+    #[test]
+    fn hybrid_wins_on_tiger_like_data() {
+        let r = run_with_files(&Scale::quick(), &[PaperFile::Arapahoe1]);
+        let hybrid = r.bar("arap1", "Hybrid").unwrap();
+        let kernel = r.bar("arap1", "Kernel").unwrap();
+        let ewh = r.bar("arap1", "EWH").unwrap();
+        assert!(
+            hybrid < kernel && hybrid < ewh,
+            "hybrid ({hybrid}) should beat kernel ({kernel}) and EWH ({ewh}) on arap1"
+        );
+    }
+
+    #[test]
+    fn census_file_is_a_near_tie() {
+        let r = run_with_files(&Scale::quick(), &[PaperFile::InstanceWeight]);
+        let values: Vec<f64> = ["EWH", "Kernel", "Hybrid", "ASH"]
+            .iter()
+            .map(|m| r.bar("iw", m).unwrap())
+            .collect();
+        let best = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = values.iter().copied().fold(0.0, f64::max);
+        // "almost no difference": within a moderate band of each other.
+        assert!(
+            worst < best * 3.0 + 0.05,
+            "iw spread too wide: best {best}, worst {worst}"
+        );
+    }
+}

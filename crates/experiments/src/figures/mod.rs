@@ -1,0 +1,24 @@
+//! One module per table/figure of the paper's evaluation (see DESIGN.md §2
+//! for the experiment index). Every module exposes
+//! `run(scale: &Scale) -> ExperimentReport`; the bar-chart figures
+//! additionally expose `run_with_files` so tests can restrict the file set.
+
+pub mod ext01;
+pub mod ext02;
+pub mod ext03;
+pub mod ext04;
+pub mod ext05;
+pub mod ext06;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod tab02;

@@ -1,0 +1,57 @@
+//! Table 2: properties of the data files — regenerated from the actual
+//! generators, with the measured distinct-value counts appended (the
+//! quantity behind the cardinality discussion of Section 5.2.1).
+
+use selest_data::PaperFile;
+
+use crate::harness::{ExperimentReport, Scale};
+
+/// Regenerate Table 2 at the given scale.
+pub fn run(scale: &Scale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "tab02",
+        "Properties of the data files (Table 2)",
+        "file",
+        "value",
+    );
+    for file in PaperFile::all() {
+        let data = file.generate_scaled(scale.record_divisor);
+        let name = data.name().to_owned();
+        report.bars.push((name.clone(), "p".into(), file.p() as f64));
+        report.bars.push((name.clone(), "records".into(), data.len() as f64));
+        report.bars.push((name.clone(), "distinct".into(), data.distinct_count() as f64));
+        report.bars.push((
+            name.clone(),
+            "avg freq".into(),
+            data.avg_frequency(),
+        ));
+        report.notes.push(format!("{name}: {}", file.distribution_label()));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_parameters() {
+        let r = run(&Scale::quick());
+        assert_eq!(r.bar("u(15)", "p"), Some(15.0));
+        assert_eq!(r.bar("arap1", "p"), Some(21.0));
+        assert_eq!(r.bar("arap2", "p"), Some(18.0));
+        assert_eq!(r.bar("iw", "p"), Some(21.0));
+        assert_eq!(r.bars.len(), 14 * 4);
+    }
+
+    #[test]
+    fn duplicate_structure_varies_as_intended() {
+        let r = run(&Scale::quick());
+        // Small-domain normal file duplicates heavily; large-domain uniform
+        // barely at all; census is the most extreme.
+        let freq = |f: &str| r.bar(f, "avg freq").unwrap();
+        assert!(freq("n(10)") > 5.0, "n(10) avg freq {}", freq("n(10)"));
+        assert!(freq("u(20)") < 1.1, "u(20) avg freq {}", freq("u(20)"));
+        assert!(freq("iw") > 5.0 * freq("u(20)"), "iw should duplicate heavily");
+    }
+}

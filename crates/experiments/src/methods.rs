@@ -1,0 +1,125 @@
+//! Constructors for the named estimator configurations the paper's figures
+//! compare, all built from a [`FileContext`]'s sample.
+
+use selest_core::{SamplingEstimator, UniformEstimator};
+use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram,
+    BinRule, BinnedHistogram, NormalScaleBins};
+use selest_hybrid::HybridEstimator;
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn,
+    NormalScale};
+
+use crate::context::FileContext;
+
+/// Equi-width histogram with a fixed bin count.
+pub fn ewh(ctx: &FileContext, k: usize) -> BinnedHistogram {
+    equi_width(&ctx.sample, ctx.data.domain(), k)
+}
+
+/// Equi-width histogram with normal-scale bins (the paper's `EWH`).
+pub fn ewh_ns(ctx: &FileContext) -> BinnedHistogram {
+    let k = NormalScaleBins.bins(&ctx.sample, &ctx.data.domain());
+    ewh(ctx, k)
+}
+
+/// Equi-depth histogram with a fixed bin count.
+pub fn edh(ctx: &FileContext, k: usize) -> BinnedHistogram {
+    equi_depth(&ctx.sample, ctx.data.domain(), k)
+}
+
+/// Max-diff histogram with a fixed bin count.
+pub fn mdh(ctx: &FileContext, k: usize) -> BinnedHistogram {
+    max_diff(&ctx.sample, ctx.data.domain(), k)
+}
+
+/// Average shifted histogram with normal-scale base bins and ten shifts
+/// (the paper's `ASH`).
+pub fn ash_ns(ctx: &FileContext) -> AverageShiftedHistogram {
+    let k = NormalScaleBins.bins(&ctx.sample, &ctx.data.domain());
+    AverageShiftedHistogram::new(&ctx.sample, ctx.data.domain(), k, 10)
+}
+
+/// Pure sampling baseline.
+pub fn sampling(ctx: &FileContext) -> SamplingEstimator {
+    SamplingEstimator::new(&ctx.sample, ctx.data.domain())
+}
+
+/// Uniform (one-bin) baseline.
+pub fn uniform(ctx: &FileContext) -> UniformEstimator {
+    UniformEstimator::new(ctx.data.domain())
+}
+
+/// Kernel estimator with an explicit bandwidth; the bandwidth is capped at
+/// half the domain for boundary kernels.
+pub fn kernel(ctx: &FileContext, boundary: BoundaryPolicy, h: f64) -> KernelEstimator {
+    let h = if boundary == BoundaryPolicy::BoundaryKernel {
+        h.min(0.5 * ctx.data.domain().width())
+    } else {
+        h
+    };
+    KernelEstimator::new(&ctx.sample, ctx.data.domain(), KernelFn::Epanechnikov, h, boundary)
+}
+
+/// Kernel estimator, normal-scale bandwidth.
+pub fn kernel_ns(ctx: &FileContext, boundary: BoundaryPolicy) -> KernelEstimator {
+    let h = NormalScale.bandwidth(&ctx.sample, KernelFn::Epanechnikov);
+    kernel(ctx, boundary, h)
+}
+
+/// Kernel estimator, two-stage direct plug-in bandwidth with boundary
+/// kernels (the paper's best kernel configuration, `Kernel` in Figure 12).
+pub fn kernel_dpi2(ctx: &FileContext, boundary: BoundaryPolicy) -> KernelEstimator {
+    let h = DirectPlugIn::two_stage().bandwidth(&ctx.sample, KernelFn::Epanechnikov);
+    kernel(ctx, boundary, h)
+}
+
+/// Hybrid estimator with the default configuration (the paper's `Hybrid`).
+pub fn hybrid(ctx: &FileContext) -> HybridEstimator {
+    HybridEstimator::new(&ctx.sample, ctx.data.domain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{evaluate, Scale};
+    use selest_data::PaperFile;
+
+    #[test]
+    fn every_method_builds_and_evaluates() {
+        let ctx = crate::context::FileContext::build(PaperFile::Normal { p: 15 }, &Scale::quick());
+        let qf = ctx.query_file(0.05);
+        let methods: Vec<(String, f64)> = vec![
+            ("EWH".into(), evaluate(&ewh_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            ("EDH".into(), evaluate(&edh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error()),
+            ("MDH".into(), evaluate(&mdh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error()),
+            ("ASH".into(), evaluate(&ash_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            (
+                "Kernel".into(),
+                evaluate(
+                    &kernel_dpi2(&ctx, BoundaryPolicy::BoundaryKernel),
+                    qf.queries(),
+                    &ctx.exact,
+                )
+                .mean_relative_error(),
+            ),
+            ("Hybrid".into(), evaluate(&hybrid(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            ("Sampling".into(), evaluate(&sampling(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            ("Uniform".into(), evaluate(&uniform(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+        ];
+        for (name, mre) in &methods {
+            assert!(mre.is_finite() && *mre >= 0.0, "{name}: MRE {mre}");
+            // 5% queries on a smooth normal file: every real method should
+            // be well under 100% error.
+            if name != "Uniform" {
+                assert!(*mre < 1.0, "{name}: MRE {mre} suspiciously large");
+            }
+        }
+        // The uniform estimator must be the clear loser on normal data.
+        let uniform_mre = methods.last().expect("nonempty").1;
+        for (name, mre) in &methods[..methods.len() - 1] {
+            assert!(
+                *mre < uniform_mre,
+                "{name} ({mre}) should beat Uniform ({uniform_mre}) on normal data"
+            );
+        }
+    }
+}

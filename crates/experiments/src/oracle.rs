@@ -1,0 +1,121 @@
+//! Oracle smoothing-parameter searches (`h-opt` in Figures 9 and 11).
+//!
+//! "The first technique computes the bandwidth with the lowest MRE. This is
+//! not a practical method because it requires that the queries and the
+//! sizes of their response sets are known in advance. This method only
+//! serves to judge the quality of the other techniques." — Section 5.2.5.
+
+use selest_core::RangeQuery;
+use selest_kernel::BoundaryPolicy;
+use selest_math::golden_section_min;
+
+use crate::context::FileContext;
+use crate::harness::evaluate;
+use crate::methods;
+
+/// Search the bin count minimizing the MRE over the given queries:
+/// a coarse logarithmic sweep followed by a local refinement. Returns
+/// `(best_k, best_mre)`.
+pub fn oracle_bins(ctx: &FileContext, queries: &[RangeQuery], max_bins: usize) -> (usize, f64) {
+    assert!(max_bins >= 2, "oracle_bins needs max_bins >= 2");
+    let mre_at = |k: usize| {
+        evaluate(&methods::ewh(ctx, k), queries, &ctx.exact).mean_relative_error()
+    };
+    // Coarse: ~24 log-spaced bin counts in [2, max_bins].
+    let mut best = (2usize, mre_at(2));
+    let steps = 24;
+    let mut tried = vec![2usize];
+    for i in 1..=steps {
+        let k = (2.0 * (max_bins as f64 / 2.0).powf(i as f64 / steps as f64)).round() as usize;
+        let k = k.clamp(2, max_bins);
+        if tried.contains(&k) {
+            continue;
+        }
+        tried.push(k);
+        let m = mre_at(k);
+        if m < best.1 {
+            best = (k, m);
+        }
+    }
+    // Refine: every integer within ±30% of the coarse winner (capped).
+    let lo = ((best.0 as f64 * 0.7) as usize).max(2);
+    let hi = ((best.0 as f64 * 1.3).ceil() as usize).min(max_bins);
+    for k in lo..=hi {
+        if tried.contains(&k) {
+            continue;
+        }
+        let m = mre_at(k);
+        if m < best.1 {
+            best = (k, m);
+        }
+    }
+    best
+}
+
+/// Search the kernel bandwidth minimizing the MRE over the given queries:
+/// golden-section on `ln h` between `width/5000` and `width/4`.
+/// Returns `(best_h, best_mre)`.
+pub fn oracle_bandwidth(
+    ctx: &FileContext,
+    queries: &[RangeQuery],
+    boundary: BoundaryPolicy,
+) -> (f64, f64) {
+    let width = ctx.data.domain().width();
+    let lo = (width / 5_000.0).ln();
+    let hi = (width / 4.0).ln();
+    let res = golden_section_min(
+        |lh| {
+            let est = methods::kernel(ctx, boundary, lh.exp());
+            evaluate(&est, queries, &ctx.exact).mean_relative_error()
+        },
+        lo,
+        hi,
+        1e-3,
+    );
+    (res.x.exp(), res.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+    use crate::harness::Scale;
+    use selest_data::PaperFile;
+    use selest_kernel::{BandwidthSelector, KernelFn, NormalScale};
+
+    fn ctx() -> FileContext {
+        FileContext::build(PaperFile::Normal { p: 15 }, &Scale::quick())
+    }
+
+    #[test]
+    fn oracle_bins_beats_fixed_extremes() {
+        let ctx = ctx();
+        let qf = ctx.query_file(0.01);
+        let (k, best) = oracle_bins(&ctx, qf.queries(), 500);
+        assert!(k >= 2 && k <= 500);
+        let tiny = evaluate(&methods::ewh(&ctx, 2), qf.queries(), &ctx.exact)
+            .mean_relative_error();
+        let huge = evaluate(&methods::ewh(&ctx, 500), qf.queries(), &ctx.exact)
+            .mean_relative_error();
+        assert!(best <= tiny && best <= huge, "oracle {best} vs tiny {tiny}, huge {huge}");
+    }
+
+    #[test]
+    fn oracle_bandwidth_is_no_worse_than_normal_scale() {
+        let ctx = ctx();
+        let qf = ctx.query_file(0.01);
+        let (h, best) = oracle_bandwidth(&ctx, qf.queries(), BoundaryPolicy::Reflection);
+        assert!(h > 0.0);
+        let h_ns = NormalScale.bandwidth(&ctx.sample, KernelFn::Epanechnikov);
+        let ns = evaluate(
+            &methods::kernel(&ctx, BoundaryPolicy::Reflection, h_ns),
+            qf.queries(),
+            &ctx.exact,
+        )
+        .mean_relative_error();
+        assert!(
+            best <= ns * 1.02,
+            "oracle ({best} at h={h}) should not lose to normal scale ({ns} at h={h_ns})"
+        );
+    }
+}

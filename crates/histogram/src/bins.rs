@@ -1,0 +1,277 @@
+//! Shared binned-histogram representation and the selectivity estimator of
+//! equation (4) of the paper.
+//!
+//! Every histogram policy (equi-width, equi-depth, max-diff, v-optimal)
+//! reduces to the same data: boundaries `c_0 < ... <= c_k` partitioning the
+//! domain and per-bin counts `n_i`, estimated under the uniform-within-bin
+//! assumption:
+//!
+//! ```text
+//! sigma_hat(a, b) = 1/n * sum_i n_i / h_i * psi_i(a, b),
+//! psi_i(a, b) = |[a, b] ∩ [c_i, c_{i+1}]|.
+//! ```
+//!
+//! Equi-depth histograms over duplicated data can produce *zero-width* bins
+//! (repeated quantile boundaries); these are treated as point masses: the
+//! bin contributes its full count whenever the query covers the point.
+
+use selest_core::{DensityEstimator, Domain, RangeQuery, SelectivityEstimator};
+
+/// A histogram over explicit bin boundaries with per-bin counts.
+#[derive(Debug, Clone)]
+pub struct BinnedHistogram {
+    /// `k + 1` non-decreasing boundaries; first and last coincide with the
+    /// domain bounds.
+    boundaries: Vec<f64>,
+    /// `k` per-bin sample counts.
+    counts: Vec<u32>,
+    n_samples: usize,
+    domain: Domain,
+    label: &'static str,
+}
+
+impl BinnedHistogram {
+    /// Assemble a histogram from boundaries and counts.
+    ///
+    /// Panics unless the boundaries are non-decreasing, span exactly the
+    /// domain, there is one more boundary than counts, and the counts sum
+    /// to a positive total.
+    pub fn new(
+        boundaries: Vec<f64>,
+        counts: Vec<u32>,
+        domain: Domain,
+        label: &'static str,
+    ) -> Self {
+        assert!(boundaries.len() >= 2, "need at least one bin");
+        assert_eq!(boundaries.len(), counts.len() + 1, "boundaries/counts mismatch");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        assert_eq!(boundaries[0], domain.lo(), "first boundary must be the domain lo");
+        assert_eq!(
+            *boundaries.last().expect("nonempty"),
+            domain.hi(),
+            "last boundary must be the domain hi"
+        );
+        let n_samples: usize = counts.iter().map(|&c| c as usize).sum();
+        assert!(n_samples > 0, "histogram of an empty sample");
+        BinnedHistogram { boundaries, counts, n_samples, domain, label }
+    }
+
+    /// Number of bins `k`.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of samples `n`.
+    pub fn sample_size(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Bin boundaries (`k + 1` values).
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Per-bin counts (`k` values).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Histogram policy label (`"EWH"`, `"EDH"`, ...).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The selectivity estimator of equation (4), `O(log k + bins touched)`.
+    fn mass(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b);
+        let k = self.counts.len();
+        // First bin whose upper boundary reaches a.
+        let mut i = self.boundaries[1..k].partition_point(|&c| c < a);
+        let mut s = 0.0;
+        while i < k {
+            let lo = self.boundaries[i];
+            let hi = self.boundaries[i + 1];
+            if lo > b {
+                break;
+            }
+            let count = self.counts[i] as f64;
+            if count > 0.0 {
+                if hi > lo {
+                    let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                    s += count * overlap / (hi - lo);
+                } else if a <= lo && lo <= b {
+                    // Zero-width bin: a point mass at lo == hi.
+                    s += count;
+                }
+            }
+            i += 1;
+        }
+        s / self.n_samples as f64
+    }
+}
+
+impl SelectivityEstimator for BinnedHistogram {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        let a = q.a().max(self.domain.lo());
+        let b = q.b().min(self.domain.hi());
+        if b < a {
+            return 0.0;
+        }
+        self.mass(a, b)
+    }
+
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    fn name(&self) -> String {
+        self.label.to_owned()
+    }
+}
+
+impl DensityEstimator for BinnedHistogram {
+    /// The histogram density estimator `f_H`. Returns `f64::INFINITY`
+    /// inside a zero-width (point mass) bin.
+    fn density(&self, x: f64) -> f64 {
+        if !self.domain.contains(x) {
+            return 0.0;
+        }
+        let k = self.counts.len();
+        // Locate x's bin: the bin (c_i, c_{i+1}] with c_i < x <= c_{i+1};
+        // x == lo falls into the first bin.
+        let mut i = self.boundaries[1..k].partition_point(|&c| c < x);
+        // Skip exhausted zero-width bins that sit exactly at x but whose
+        // point mass x only touches (density of a point mass is infinite
+        // only when the bin count is positive).
+        while i < k && self.boundaries[i + 1] == self.boundaries[i] && self.counts[i] == 0 {
+            i += 1;
+        }
+        if i >= k {
+            return 0.0;
+        }
+        let (lo, hi) = (self.boundaries[i], self.boundaries[i + 1]);
+        let count = self.counts[i] as f64;
+        if hi > lo {
+            count / (self.n_samples as f64 * (hi - lo))
+        } else if count > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> BinnedHistogram {
+        // Domain [0, 10], bins [0,2](4), (2,5](6), (5,10](10); n = 20.
+        BinnedHistogram::new(
+            vec![0.0, 2.0, 5.0, 10.0],
+            vec![4, 6, 10],
+            Domain::new(0.0, 10.0),
+            "test",
+        )
+    }
+
+    #[test]
+    fn whole_domain_is_one() {
+        let h = hist();
+        assert!((h.selectivity(&RangeQuery::new(0.0, 10.0)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn partial_bins_interpolate_uniformly() {
+        let h = hist();
+        // [1, 2]: half of bin 0 -> 2/20.
+        assert!((h.selectivity(&RangeQuery::new(1.0, 2.0)) - 0.1).abs() < 1e-15);
+        // [2, 3.5]: half of bin 1 -> 3/20.
+        assert!((h.selectivity(&RangeQuery::new(2.0, 3.5)) - 0.15).abs() < 1e-15);
+        // [1, 6]: 2 + 6 + 2 = 10 of 20.
+        assert!((h.selectivity(&RangeQuery::new(1.0, 6.0)) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn outside_and_clipped_queries() {
+        let h = hist();
+        assert_eq!(h.selectivity(&RangeQuery::new(-5.0, -1.0)), 0.0);
+        assert_eq!(h.selectivity(&RangeQuery::new(11.0, 12.0)), 0.0);
+        let clipped = h.selectivity(&RangeQuery::new(-5.0, 15.0));
+        assert!((clipped - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_width_bin_is_a_point_mass() {
+        // Bin boundaries 0,3,3,10: point mass of 5 at x=3 plus 15 spread.
+        let h = BinnedHistogram::new(
+            vec![0.0, 3.0, 3.0, 10.0],
+            vec![5, 5, 10],
+            Domain::new(0.0, 10.0),
+            "pm",
+        );
+        // Query covering only the point: gets the point mass plus slivers.
+        let just_point = h.selectivity(&RangeQuery::new(3.0, 3.0));
+        assert!((just_point - 0.25).abs() < 1e-15, "got {just_point}");
+        // Query missing the point by epsilon on the left.
+        let miss = h.selectivity(&RangeQuery::new(3.0001, 4.0));
+        assert!(miss < 0.08, "got {miss}");
+        // Everything still sums to one.
+        assert!((h.selectivity(&RangeQuery::new(0.0, 10.0)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_is_count_over_nh() {
+        let h = hist();
+        assert!((h.density(1.0) - 4.0 / (20.0 * 2.0)).abs() < 1e-15);
+        assert!((h.density(3.0) - 6.0 / (20.0 * 3.0)).abs() < 1e-15);
+        assert!((h.density(9.9) - 10.0 / (20.0 * 5.0)).abs() < 1e-15);
+        assert_eq!(h.density(-1.0), 0.0);
+        assert_eq!(h.density(10.5), 0.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let h = hist();
+        let mass = selest_math::simpson(|x| h.density(x), 0.0, 10.0, 10_000);
+        assert!((mass - 1.0).abs() < 1e-3, "mass {mass}");
+    }
+
+    #[test]
+    fn selectivity_is_additive() {
+        let h = hist();
+        let whole = h.selectivity(&RangeQuery::new(0.5, 8.5));
+        let parts = h.selectivity(&RangeQuery::new(0.5, 4.0))
+            + h.selectivity(&RangeQuery::new(4.0, 8.5));
+        assert!((whole - parts).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries must be non-decreasing")]
+    fn rejects_unsorted_boundaries() {
+        let _ = BinnedHistogram::new(
+            vec![0.0, 5.0, 3.0, 10.0],
+            vec![1, 1, 1],
+            Domain::new(0.0, 10.0),
+            "bad",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "first boundary")]
+    fn rejects_boundaries_not_spanning_domain() {
+        let _ = BinnedHistogram::new(
+            vec![1.0, 5.0, 10.0],
+            vec![1, 1],
+            Domain::new(0.0, 10.0),
+            "bad",
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Histogram selectivity estimation (Sections 3.1 and 4.1 of Blohsfeld,
+//! Korus & Seeger, SIGMOD 1999).
+//!
+//! All histograms share the estimator of equation (4) over explicit bin
+//! boundaries ([`BinnedHistogram`]); the policies differ only in where the
+//! boundaries come from:
+//!
+//! * [`equi_width`](fn@equi_width) — equal bin widths (the paper's overall winner among
+//!   histograms on large metric domains);
+//! * [`equi_depth`](fn@equi_depth) — sample-quantile boundaries;
+//! * [`max_diff`](fn@max_diff) — boundaries in the `k-1` largest sample gaps;
+//! * [`v_optimal`](fn@v_optimal) — variance-minimizing DP partition (extension baseline);
+//! * [`AverageShiftedHistogram`] — the origin-averaged smoother of
+//!   Section 3.1.
+//!
+//! [`binrules`] implements the bin-count selection of Sections 4.1/4.3:
+//! normal scale rule, direct plug-in, and classical reference rules.
+
+pub mod ash;
+pub mod binrules;
+pub mod bins;
+pub mod equi_depth;
+pub mod equi_width;
+pub mod max_diff;
+pub mod v_optimal;
+pub mod wavelet;
+
+pub use ash::AverageShiftedHistogram;
+pub use binrules::{
+    amise_histogram, normal_scale_bin_constant, optimal_bin_width, width_to_bins, BinRule,
+    FixedBins, FreedmanDiaconisBins, NormalScaleBins, PlugInBins, SturgesBins,
+};
+pub use bins::BinnedHistogram;
+pub use equi_depth::equi_depth;
+pub use equi_width::equi_width;
+pub use max_diff::max_diff;
+pub use v_optimal::v_optimal;
+pub use wavelet::WaveletHistogram;

@@ -1,0 +1,90 @@
+//! Property-based tests for the histogram crate: construction invariants
+//! that must hold for arbitrary samples and bin counts.
+
+use proptest::prelude::*;
+use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+use selest_histogram::{
+    equi_depth, equi_width, max_diff, v_optimal, AverageShiftedHistogram, WaveletHistogram,
+};
+
+const LO: f64 = 0.0;
+const HI: f64 = 1_024.0;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..=102_400).prop_map(|v| v as f64 / 100.0),
+            Just(512.0), // heavy duplicate
+        ],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counts_always_sum_to_the_sample_size(s in samples(), k in 1usize..40) {
+        let d = Domain::new(LO, HI);
+        for hist in [
+            equi_width(&s, d, k),
+            equi_depth(&s, d, k),
+            max_diff(&s, d, k),
+            v_optimal(&s, d, k.min(8), 64),
+        ] {
+            let total: u32 = hist.counts().iter().sum();
+            prop_assert_eq!(total as usize, s.len(), "{} lost samples", hist.label());
+        }
+    }
+
+    #[test]
+    fn boundaries_are_sorted_and_span_the_domain(s in samples(), k in 1usize..40) {
+        let d = Domain::new(LO, HI);
+        for hist in [equi_width(&s, d, k), equi_depth(&s, d, k), max_diff(&s, d, k)] {
+            let b = hist.boundaries();
+            prop_assert!(b.windows(2).all(|w| w[0] <= w[1]), "{} unsorted", hist.label());
+            prop_assert_eq!(b[0], LO);
+            prop_assert_eq!(*b.last().unwrap(), HI);
+        }
+    }
+
+    #[test]
+    fn full_domain_selectivity_is_one(s in samples(), k in 1usize..40) {
+        let d = Domain::new(LO, HI);
+        let q = RangeQuery::new(LO, HI);
+        for est in [
+            equi_width(&s, d, k),
+            equi_depth(&s, d, k),
+            max_diff(&s, d, k),
+        ] {
+            prop_assert!((est.selectivity(&q) - 1.0).abs() < 1e-9, "{}", est.label());
+        }
+        let ash = AverageShiftedHistogram::new(&s, d, k, 8);
+        prop_assert!((ash.selectivity(&q) - 1.0).abs() < 1e-9, "ASH");
+        let w = WaveletHistogram::build(&s, d, 6, 16);
+        prop_assert!((w.selectivity(&q) - 1.0).abs() < 1e-9, "wavelet");
+    }
+
+    #[test]
+    fn wavelet_budget_zero_is_uniform(s in samples(), a in 0.0f64..512.0, wdt in 1.0f64..512.0) {
+        let d = Domain::new(LO, HI);
+        let w = WaveletHistogram::build(&s, d, 6, 0);
+        let b = (a + wdt).min(HI);
+        let q = RangeQuery::new(a, b);
+        prop_assert!((w.selectivity(&q) - (b - a) / (HI - LO)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histograms_agree_on_point_free_regions(s in samples()) {
+        // A query over a region with no samples and no bin boundary mass
+        // must estimate at most the uniform share any bin spreads into it.
+        let d = Domain::new(LO, HI);
+        let hist = equi_width(&s, d, 8);
+        let q = RangeQuery::new(LO, HI);
+        let full = hist.selectivity(&q);
+        prop_assert!((full - 1.0).abs() < 1e-9);
+        // Monotonicity under nesting for a random prefix.
+        let half = hist.selectivity(&RangeQuery::new(LO, (LO + HI) / 2.0));
+        prop_assert!(half <= full + 1e-12);
+    }
+}

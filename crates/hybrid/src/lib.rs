@@ -1,0 +1,15 @@
+//! The hybrid histogram/kernel selectivity estimator of Section 3.3 of
+//! Blohsfeld, Korus & Seeger (SIGMOD 1999).
+//!
+//! Change points of the underlying density — detected from the maxima of an
+//! estimated second derivative ([`SecondDerivativeDetector`]) or by a
+//! CUSUM/KS segmentation ([`CusumDetector`], the paper's future-work
+//! direction) — partition the domain into bins; under-populated bins are
+//! merged; each surviving bin runs its own kernel estimator with a locally
+//! chosen bandwidth. See [`HybridEstimator`].
+
+pub mod changepoint;
+pub mod estimator;
+
+pub use changepoint::{ChangePointDetector, CusumDetector, SecondDerivativeDetector};
+pub use estimator::{HybridConfig, HybridEstimator};

@@ -1,0 +1,315 @@
+//! Bandwidth selection (Sections 4.2 and 4.3 of the paper).
+//!
+//! The AMISE of a kernel estimator,
+//!
+//! ```text
+//! AMISE(h) = h^4 k2^2 R(f'') / 4  +  R(K) / (n h),
+//! ```
+//!
+//! is minimized at `h = ( R(K) / (k2^2 R(f'') n) )^(1/5)`. `R(f'')` is
+//! unknown; the selectors below differ in how they approximate it:
+//!
+//! * [`NormalScale`] substitutes the normal density with the sample's
+//!   robust scale `s = min(stddev, IQR/1.349)`, giving the paper's
+//!   `h ≈ 2.345 · s · n^(-1/5)` for the Epanechnikov kernel.
+//! * [`DirectPlugIn`] estimates `R(f'') = psi_4` by kernel functional
+//!   estimation with the given number of stages (the paper uses 2).
+//! * [`Lscv`] (extension) minimizes the least-squares cross-validation
+//!   score, a fully data-driven unbiased risk estimate.
+//! * [`FixedBandwidth`] pins `h`, for oracle searches and experiments.
+
+use selest_math::{brent_min, psi_plug_in, robust_scale};
+
+use crate::kernels::KernelFn;
+
+/// A rule that chooses the bandwidth `h` from the sample set.
+pub trait BandwidthSelector {
+    /// Compute the bandwidth for the given sample and kernel.
+    fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64;
+
+    /// Short name used in experiment output (`"h-NS"`, `"h-DPI2"`, ...).
+    fn name(&self) -> String;
+}
+
+/// The kernel-dependent constant of the normal scale rule:
+/// `C(K) = ( 8 sqrt(pi) R(K) / (3 k2^2) )^(1/5)`, such that
+/// `h = C(K) * s * n^(-1/5)`. For Epanechnikov this is the paper's 2.345.
+pub fn normal_scale_constant(kernel: KernelFn) -> f64 {
+    let r = kernel.roughness();
+    let k2 = kernel.second_moment();
+    (8.0 * core::f64::consts::PI.sqrt() * r / (3.0 * k2 * k2)).powf(0.2)
+}
+
+/// AMISE-optimal bandwidth given the true curvature functional
+/// `R(f'') = Int f''(x)^2 dx`:
+/// `h = ( R(K) / (k2^2 R(f'') n) )^(1/5)`.
+pub fn amise_optimal_bandwidth(kernel: KernelFn, n: usize, r_f_second: f64) -> f64 {
+    assert!(n > 0, "amise_optimal_bandwidth needs samples");
+    assert!(r_f_second > 0.0, "R(f'') must be positive, got {r_f_second}");
+    let k2 = kernel.second_moment();
+    (kernel.roughness() / (k2 * k2 * r_f_second * n as f64)).powf(0.2)
+}
+
+/// The AMISE value itself at bandwidth `h` (equation (9) combined):
+/// useful for plotting the bias/variance trade-off.
+pub fn amise(kernel: KernelFn, h: f64, n: usize, r_f_second: f64) -> f64 {
+    let k2 = kernel.second_moment();
+    0.25 * h.powi(4) * k2 * k2 * r_f_second + kernel.roughness() / (n as f64 * h)
+}
+
+/// Normal scale rule (Section 4.2): `h = C(K) * s * n^(-1/5)` with the
+/// robust scale estimate `s = min(stddev, IQR / 1.349)`.
+///
+/// # Examples
+///
+/// ```
+/// use selest_kernel::{BandwidthSelector, KernelFn, NormalScale};
+///
+/// let sample: Vec<f64> = (0..1000).map(|i| (i as f64 * 7.31) % 100.0).collect();
+/// let h = NormalScale.bandwidth(&sample, KernelFn::Epanechnikov);
+/// // 2.345 * s * n^(-1/5) with the robust scale of Uniform[0, 100).
+/// assert!(h > 10.0 && h < 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalScale;
+
+impl BandwidthSelector for NormalScale {
+    fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64 {
+        assert!(samples.len() >= 2, "normal scale rule needs >= 2 samples");
+        let s = robust_scale(samples);
+        assert!(
+            s > 0.0,
+            "normal scale rule: sample is constant, no scale to estimate"
+        );
+        normal_scale_constant(kernel) * s * (samples.len() as f64).powf(-0.2)
+    }
+
+    fn name(&self) -> String {
+        "h-NS".into()
+    }
+}
+
+/// Direct plug-in rule (Section 4.3): estimate `psi_4 = R(f'')` by staged
+/// kernel functional estimation, then plug into the AMISE formula. The
+/// paper reports results for two stages (`h-DPI2`).
+#[derive(Debug, Clone, Copy)]
+pub struct DirectPlugIn {
+    /// Number of functional-estimation stages; 0 degenerates to the normal
+    /// scale value of `psi_4`.
+    pub stages: usize,
+}
+
+impl DirectPlugIn {
+    /// The paper's choice: two stages.
+    pub fn two_stage() -> Self {
+        DirectPlugIn { stages: 2 }
+    }
+}
+
+impl BandwidthSelector for DirectPlugIn {
+    fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64 {
+        assert!(samples.len() >= 2, "plug-in rule needs >= 2 samples");
+        let psi4 = psi_plug_in(samples, 4, self.stages);
+        assert!(psi4 > 0.0, "psi_4 estimate must be positive, got {psi4}");
+        amise_optimal_bandwidth(kernel, samples.len(), psi4)
+    }
+
+    fn name(&self) -> String {
+        format!("h-DPI{}", self.stages)
+    }
+}
+
+/// Least-squares cross-validation (extension): minimize
+///
+/// ```text
+/// LSCV(h) = R(f_hat) - 2/n * sum_i f_hat_{-i}(X_i)
+///         = (n^2 h)^-1 sum_ij (K*K)((X_i - X_j)/h)
+///           - 2 (n (n-1) h)^-1 sum_{i != j} K((X_i - X_j)/h)
+/// ```
+///
+/// over `h`, bracketing around the normal scale value. Requires a kernel
+/// with a closed-form self-convolution (Epanechnikov, Uniform, Gaussian).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lscv;
+
+/// The LSCV score at a single bandwidth. Exposed for diagnostics and tests;
+/// `O(n * k)` over a sorted window for compact kernels.
+pub fn lscv_score(sorted: &[f64], kernel: KernelFn, h: f64) -> f64 {
+    assert!(h > 0.0, "lscv_score needs h > 0");
+    let n = sorted.len();
+    assert!(n >= 2, "lscv_score needs >= 2 samples");
+    let conv0 = kernel
+        .self_convolution(0.0)
+        .expect("LSCV requires a kernel with closed-form self-convolution");
+    let reach = 2.0 * kernel.support_radius() * h;
+    let mut conv_sum = n as f64 * conv0; // diagonal terms
+    let mut cross_sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sorted[j] - sorted[i];
+            if d > reach {
+                break; // sorted: no farther pair can be in reach
+            }
+            let t = d / h;
+            conv_sum += 2.0 * kernel.self_convolution(t).expect("checked above");
+            cross_sum += 2.0 * kernel.eval(t);
+        }
+    }
+    let nf = n as f64;
+    conv_sum / (nf * nf * h) - 2.0 * cross_sum / (nf * (nf - 1.0) * h)
+}
+
+impl BandwidthSelector for Lscv {
+    fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64 {
+        let pivot = NormalScale.bandwidth(samples, kernel);
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+        // Search log h over [pivot/16, 4*pivot]: undersmoothing is the
+        // typical LSCV failure mode, so the bracket reaches far down.
+        let lo = (pivot / 16.0).ln();
+        let hi = (4.0 * pivot).ln();
+        let res = brent_min(|lh| lscv_score(&sorted, kernel, lh.exp()), lo, hi, 1e-4);
+        res.x.exp()
+    }
+
+    fn name(&self) -> String {
+        "h-LSCV".into()
+    }
+}
+
+/// A constant bandwidth; used to express oracle searches and sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedBandwidth(pub f64);
+
+impl BandwidthSelector for FixedBandwidth {
+    fn bandwidth(&self, _samples: &[f64], _kernel: KernelFn) -> f64 {
+        assert!(self.0 > 0.0, "FixedBandwidth must be positive");
+        self.0
+    }
+
+    fn name(&self) -> String {
+        format!("h={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selest_math::normal_quantile;
+
+    fn normal_sample(n: usize, sigma: f64) -> Vec<f64> {
+        (1..=n)
+            .map(|i| sigma * normal_quantile(i as f64 / (n as f64 + 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn epanechnikov_constant_is_the_papers() {
+        let c = normal_scale_constant(KernelFn::Epanechnikov);
+        assert!((c - 2.345).abs() < 5e-4, "C = {c}");
+    }
+
+    #[test]
+    fn gaussian_constant_is_silvermans() {
+        // For the Gaussian kernel the normal scale rule is h = 1.059 s n^-1/5.
+        let c = normal_scale_constant(KernelFn::Gaussian);
+        assert!((c - 1.0592).abs() < 1e-3, "C = {c}");
+    }
+
+    #[test]
+    fn normal_scale_matches_formula() {
+        let xs = normal_sample(1000, 3.0);
+        let h = NormalScale.bandwidth(&xs, KernelFn::Epanechnikov);
+        let s = robust_scale(&xs);
+        let expect = 2.3449 * s * 1000f64.powf(-0.2);
+        assert!((h - expect).abs() < 1e-3 * expect, "h = {h}, expect {expect}");
+    }
+
+    #[test]
+    fn amise_formula_reduces_to_normal_scale_under_normality() {
+        // With R(f'') of a true normal with sigma = 2, the AMISE-optimal h
+        // must equal C(K) * sigma * n^(-1/5).
+        let sigma: f64 = 2.0;
+        let r_fdd = 3.0 / (8.0 * core::f64::consts::PI.sqrt() * sigma.powi(5));
+        let h = amise_optimal_bandwidth(KernelFn::Epanechnikov, 500, r_fdd);
+        let expect = normal_scale_constant(KernelFn::Epanechnikov) * sigma * 500f64.powf(-0.2);
+        assert!((h - expect).abs() < 1e-10 * expect);
+    }
+
+    #[test]
+    fn amise_is_minimized_at_the_formula_bandwidth() {
+        let r_fdd = 0.3;
+        let n = 800;
+        let h_star = amise_optimal_bandwidth(KernelFn::Epanechnikov, n, r_fdd);
+        let at_star = amise(KernelFn::Epanechnikov, h_star, n, r_fdd);
+        for &factor in &[0.5, 0.8, 1.25, 2.0] {
+            let v = amise(KernelFn::Epanechnikov, h_star * factor, n, r_fdd);
+            assert!(v > at_star, "AMISE at {factor} h* not larger");
+        }
+    }
+
+    #[test]
+    fn plug_in_agrees_with_normal_scale_on_normal_data() {
+        let xs = normal_sample(600, 1.0);
+        let ns = NormalScale.bandwidth(&xs, KernelFn::Epanechnikov);
+        let dpi = DirectPlugIn::two_stage().bandwidth(&xs, KernelFn::Epanechnikov);
+        assert!(
+            (dpi - ns).abs() < 0.2 * ns,
+            "on normal data DPI ({dpi}) should be near NS ({ns})"
+        );
+    }
+
+    #[test]
+    fn plug_in_shrinks_bandwidth_for_rough_densities() {
+        // Bimodal data: more curvature, so DPI must choose a smaller h than
+        // the normal scale rule, which only sees the (large) overall scale.
+        let half = normal_sample(300, 0.3);
+        let mut bimodal: Vec<f64> = half.iter().map(|x| x - 2.0).collect();
+        bimodal.extend(half.iter().map(|x| x + 2.0));
+        let ns = NormalScale.bandwidth(&bimodal, KernelFn::Epanechnikov);
+        let dpi = DirectPlugIn::two_stage().bandwidth(&bimodal, KernelFn::Epanechnikov);
+        assert!(dpi < 0.6 * ns, "DPI {dpi} should be well below NS {ns}");
+    }
+
+    #[test]
+    fn lscv_lands_near_the_amise_optimum_on_normal_data() {
+        let xs = normal_sample(400, 1.0);
+        let h_lscv = Lscv.bandwidth(&xs, KernelFn::Epanechnikov);
+        let r_fdd = 3.0 / (8.0 * core::f64::consts::PI.sqrt());
+        let h_star = amise_optimal_bandwidth(KernelFn::Epanechnikov, 400, r_fdd);
+        assert!(
+            h_lscv > 0.4 * h_star && h_lscv < 2.5 * h_star,
+            "LSCV {h_lscv} vs AMISE {h_star}"
+        );
+    }
+
+    #[test]
+    fn lscv_score_prefers_reasonable_bandwidths() {
+        let mut xs = normal_sample(300, 1.0);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let good = lscv_score(&xs, KernelFn::Epanechnikov, 0.4);
+        let tiny = lscv_score(&xs, KernelFn::Epanechnikov, 0.001);
+        let huge = lscv_score(&xs, KernelFn::Epanechnikov, 50.0);
+        assert!(good < tiny, "undersmoothing should score worse");
+        assert!(good < huge, "oversmoothing should score worse");
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(NormalScale.name(), "h-NS");
+        assert_eq!(DirectPlugIn::two_stage().name(), "h-DPI2");
+        assert_eq!(Lscv.name(), "h-LSCV");
+        assert_eq!(FixedBandwidth(2.0).name(), "h=2");
+    }
+
+    #[test]
+    fn fixed_bandwidth_passes_through() {
+        assert_eq!(FixedBandwidth(3.5).bandwidth(&[1.0, 2.0], KernelFn::Gaussian), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample is constant")]
+    fn normal_scale_rejects_constant_samples() {
+        let _ = NormalScale.bandwidth(&[2.0, 2.0, 2.0], KernelFn::Epanechnikov);
+    }
+}

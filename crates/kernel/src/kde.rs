@@ -1,0 +1,83 @@
+//! Visualization helpers for kernel density estimates (Figure 1 of the
+//! paper: the estimate as a sum of per-sample "bumps").
+
+use crate::kernels::KernelFn;
+
+/// Decomposition of a kernel density estimate on an evaluation grid:
+/// one scaled bump per sample plus their superposition.
+#[derive(Debug, Clone)]
+pub struct BumpDecomposition {
+    /// Grid abscissas.
+    pub grid: Vec<f64>,
+    /// One curve per sample: `K((x - X_i)/h) / (n h)` on the grid.
+    pub bumps: Vec<Vec<f64>>,
+    /// The estimate itself: the pointwise sum of the bumps.
+    pub estimate: Vec<f64>,
+}
+
+/// Evaluate the per-sample bumps and their sum on `n_points` evenly spaced
+/// points of `[lo, hi]` — the data behind Figure 1.
+pub fn bump_decomposition(
+    samples: &[f64],
+    kernel: KernelFn,
+    h: f64,
+    lo: f64,
+    hi: f64,
+    n_points: usize,
+) -> BumpDecomposition {
+    assert!(!samples.is_empty(), "bump_decomposition needs samples");
+    assert!(h > 0.0, "bandwidth must be positive");
+    assert!(lo < hi && n_points >= 2, "need lo < hi and at least 2 grid points");
+    let n = samples.len() as f64;
+    let grid: Vec<f64> = (0..n_points)
+        .map(|i| lo + (hi - lo) * i as f64 / (n_points - 1) as f64)
+        .collect();
+    let bumps: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|&s| grid.iter().map(|&x| kernel.eval((x - s) / h) / (n * h)).collect())
+        .collect();
+    let estimate: Vec<f64> = (0..n_points)
+        .map(|i| bumps.iter().map(|b| b[i]).sum())
+        .collect();
+    BumpDecomposition { grid, bumps, estimate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_one_shape() {
+        // Five samples as in Figure 1.
+        let samples = [1.0, 2.0, 2.5, 4.0, 4.3];
+        let d = bump_decomposition(&samples, KernelFn::Epanechnikov, 0.8, 0.0, 5.5, 111);
+        assert_eq!(d.bumps.len(), 5);
+        assert_eq!(d.grid.len(), 111);
+        assert_eq!(d.estimate.len(), 111);
+        // The estimate is exactly the sum of the bumps everywhere.
+        for i in 0..111 {
+            let sum: f64 = d.bumps.iter().map(|b| b[i]).sum();
+            assert!((d.estimate[i] - sum).abs() < 1e-15);
+        }
+        // Each bump peaks at its own sample.
+        for (b, &s) in d.bumps.iter().zip(&samples) {
+            let (imax, _) = b
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            assert!((d.grid[imax] - s).abs() < 0.06, "bump peak far from sample {s}");
+        }
+    }
+
+    #[test]
+    fn bump_mass_is_one_nth() {
+        let d = bump_decomposition(&[0.0, 10.0], KernelFn::Epanechnikov, 1.0, -2.0, 12.0, 4001);
+        // Trapezoid over the dense grid: each bump holds mass 1/n = 0.5.
+        let step = d.grid[1] - d.grid[0];
+        for b in &d.bumps {
+            let mass: f64 = b.iter().sum::<f64>() * step;
+            assert!((mass - 0.5).abs() < 1e-3, "bump mass {mass}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Kernel selectivity estimation (Sections 3.2, 3.2.1, 4.2, 4.3 of
+//! Blohsfeld, Korus & Seeger, SIGMOD 1999).
+//!
+//! A kernel estimator generalizes sampling: each sample point spreads its
+//! `1/n` mass over a neighborhood of radius `h` (the *bandwidth*) shaped by
+//! a *kernel function* `K`. The crate provides:
+//!
+//! * [`KernelFn`] — the Epanechnikov kernel of the paper plus six others,
+//!   each with an exact CDF so range-query estimation never integrates
+//!   numerically;
+//! * [`KernelEstimator`] — Algorithm 1 with the `O(log n + k)`
+//!   sorted-sample evaluation, under three [`BoundaryPolicy`] options
+//!   (untreated, reflection, Simonoff–Dong boundary kernels in closed
+//!   form);
+//! * [`bandwidth`] — the smoothing-parameter rules of Section 4: normal
+//!   scale, direct plug-in, and least-squares cross-validation;
+//! * [`KernelEstimator2d`] — the product-kernel extension to 2-D rectangle
+//!   queries (the paper's future work);
+//! * [`kde::bump_decomposition`] — the Figure 1 visualization data.
+
+pub mod adaptive;
+pub mod bandwidth;
+pub mod boundary;
+pub mod estimator;
+pub mod kde;
+pub mod kernels;
+pub mod multidim;
+pub mod ndim;
+
+pub use adaptive::{AdaptiveBoundary, AdaptiveKernelEstimator};
+pub use bandwidth::{
+    amise, amise_optimal_bandwidth, normal_scale_constant, BandwidthSelector, DirectPlugIn,
+    FixedBandwidth, Lscv, NormalScale,
+};
+pub use boundary::BoundaryPolicy;
+pub use estimator::KernelEstimator;
+pub use kernels::KernelFn;
+pub use multidim::{lscv_score_2d, Boundary2d, KernelEstimator2d, RectQuery};
+pub use ndim::{BoxQuery, NdKernelEstimator};

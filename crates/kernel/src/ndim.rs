@@ -1,0 +1,361 @@
+//! d-dimensional product-kernel selectivity estimation for hyper-rectangle
+//! queries — the general form of the paper's multidimensional future work
+//! (the 2-D case in [`crate::multidim`] keeps its specialized, slightly
+//! faster implementation).
+//!
+//! The product kernel factorizes a hyper-rectangle's mass per sample into a
+//! product of 1-D CDF differences, so evaluation stays closed-form in any
+//! dimension. Bandwidths follow the d-dimensional Scott rule
+//! `h_j = C * s_j * n^(-1/(d+4))`; boundary loss is treated by reflection
+//! per dimension (applied independently, which is exact for product
+//! kernels over box domains).
+
+use selest_core::Domain;
+use selest_math::robust_scale;
+
+use crate::kernels::KernelFn;
+
+/// An axis-aligned box query: one closed interval per dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxQuery {
+    bounds: Vec<(f64, f64)>,
+}
+
+impl BoxQuery {
+    /// Build from per-dimension `(a, b)` bounds; panics unless `a <= b`
+    /// everywhere.
+    pub fn new(bounds: Vec<(f64, f64)>) -> Self {
+        assert!(!bounds.is_empty(), "BoxQuery needs at least one dimension");
+        for &(a, b) in &bounds {
+            assert!(a <= b, "BoxQuery needs a <= b per dimension, got ({a}, {b})");
+        }
+        BoxQuery { bounds }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Per-dimension bounds.
+    pub fn bounds(&self) -> &[(f64, f64)] {
+        &self.bounds
+    }
+
+    /// Whether the point (one coordinate per dimension) is inside.
+    pub fn matches(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.bounds.len());
+        self.bounds
+            .iter()
+            .zip(point)
+            .all(|(&(a, b), &x)| x >= a && x <= b)
+    }
+}
+
+/// d-dimensional product-kernel estimator with reflection boundaries.
+/// # Examples
+///
+/// ```
+/// use selest_core::Domain;
+/// use selest_kernel::{BoxQuery, KernelFn, NdKernelEstimator};
+///
+/// // 3-D lattice points in [0, 100]^3.
+/// let pts: Vec<Vec<f64>> = (0..1000)
+///     .map(|i| vec![
+///         100.0 * ((i as f64 + 0.5) * 0.4142).fract(),
+///         100.0 * ((i as f64 + 0.5) * 0.7320).fract(),
+///         100.0 * ((i as f64 + 0.5) * 0.2360).fract(),
+///     ])
+///     .collect();
+/// let domains = vec![Domain::new(0.0, 100.0); 3];
+/// let est = NdKernelEstimator::with_scott_rule(&pts, domains, KernelFn::Epanechnikov);
+/// let q = BoxQuery::new(vec![(0.0, 50.0), (0.0, 50.0), (0.0, 50.0)]);
+/// assert!((est.selectivity(&q) - 0.125).abs() < 0.04); // 0.5^3
+/// ```
+#[derive(Debug, Clone)]
+pub struct NdKernelEstimator {
+    /// Row-major samples, sorted by the first coordinate.
+    samples: Vec<Vec<f64>>,
+    domains: Vec<Domain>,
+    bandwidths: Vec<f64>,
+    kernel: KernelFn,
+}
+
+impl NdKernelEstimator {
+    /// Build from samples (each of dimension `domains.len()`) with explicit
+    /// per-dimension bandwidths.
+    pub fn new(
+        samples: &[Vec<f64>],
+        domains: Vec<Domain>,
+        kernel: KernelFn,
+        bandwidths: Vec<f64>,
+    ) -> Self {
+        assert!(!samples.is_empty(), "NdKernelEstimator needs samples");
+        let d = domains.len();
+        assert!(d >= 1, "need at least one dimension");
+        assert_eq!(bandwidths.len(), d, "one bandwidth per dimension");
+        assert!(bandwidths.iter().all(|&h| h > 0.0), "bandwidths must be positive");
+        for s in samples {
+            assert_eq!(s.len(), d, "sample dimension mismatch");
+            for (x, dom) in s.iter().zip(&domains) {
+                assert!(dom.contains(*x), "sample coordinate {x} outside {dom}");
+            }
+        }
+        let mut samples = samples.to_vec();
+        samples.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN in samples"));
+        NdKernelEstimator { samples, domains, bandwidths, kernel }
+    }
+
+    /// Build with d-dimensional Scott-rule bandwidths.
+    pub fn with_scott_rule(samples: &[Vec<f64>], domains: Vec<Domain>, kernel: KernelFn) -> Self {
+        assert!(samples.len() >= 2, "Scott's rule needs >= 2 samples");
+        let d = domains.len();
+        let n = samples.len() as f64;
+        let exponent = -1.0 / (d as f64 + 4.0);
+        let bandwidths: Vec<f64> = (0..d)
+            .map(|j| {
+                let coords: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+                let s = robust_scale(&coords);
+                assert!(s > 0.0, "dimension {j} is constant; no scale to estimate");
+                2.345 * s * n.powf(exponent)
+            })
+            .collect();
+        Self::new(samples, domains, kernel, bandwidths)
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Per-dimension bandwidths.
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// 1-D mass of `[a, b]` around center `c` with bandwidth `h`, with
+    /// reflection at the dimension's domain edges.
+    fn axis_mass(&self, c: f64, a: f64, b: f64, h: f64, dom: &Domain) -> f64 {
+        let mass = |a: f64, b: f64| {
+            self.kernel.cdf((b - c) / h) - self.kernel.cdf((a - c) / h)
+        };
+        let mut m = mass(a, b);
+        let reach = self.kernel.support_radius() * h;
+        if a < dom.lo() + reach {
+            m += mass(2.0 * dom.lo() - b, 2.0 * dom.lo() - a);
+        }
+        if b > dom.hi() - reach {
+            m += mass(2.0 * dom.hi() - b, 2.0 * dom.hi() - a);
+        }
+        m
+    }
+
+    /// Estimated probability mass of the box.
+    pub fn selectivity(&self, q: &BoxQuery) -> f64 {
+        assert_eq!(q.dims(), self.dims(), "query dimension mismatch");
+        // Clip to the domains.
+        let mut clipped = Vec::with_capacity(q.dims());
+        for (&(a, b), dom) in q.bounds().iter().zip(&self.domains) {
+            let (a, b) = (a.max(dom.lo()), b.min(dom.hi()));
+            if b < a {
+                return 0.0;
+            }
+            clipped.push((a, b));
+        }
+        // Prune on the sorted first coordinate, widened for reflection.
+        let (a0, b0) = clipped[0];
+        let reach0 = self.kernel.support_radius() * self.bandwidths[0];
+        let lo = (a0 - reach0).min(self.domains[0].lo() + reach0);
+        let hi = (b0 + reach0).max(self.domains[0].hi() - reach0);
+        let i0 = self.samples.partition_point(|s| s[0] < lo);
+        let i1 = self.samples.partition_point(|s| s[0] <= hi);
+        let mut sum = 0.0;
+        for s in &self.samples[i0..i1] {
+            let mut m = 1.0;
+            for (j, &(a, b)) in clipped.iter().enumerate() {
+                m *= self.axis_mass(s[j], a, b, self.bandwidths[j], &self.domains[j]);
+                if m == 0.0 {
+                    break;
+                }
+            }
+            sum += m;
+        }
+        (sum / self.samples.len() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated density at a point.
+    pub fn density(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.dims(), "point dimension mismatch");
+        if point.iter().zip(&self.domains).any(|(&x, d)| !d.contains(x)) {
+            return 0.0;
+        }
+        let reach0 = self.kernel.support_radius() * self.bandwidths[0];
+        // Widen for mirror images in dimension 0.
+        let lo = (point[0] - reach0).min(self.domains[0].lo() + reach0);
+        let hi = (point[0] + reach0).max(self.domains[0].hi() - reach0);
+        let i0 = self.samples.partition_point(|s| s[0] < lo);
+        let i1 = self.samples.partition_point(|s| s[0] <= hi);
+        let mut sum = 0.0;
+        for s in &self.samples[i0..i1] {
+            let mut v = 1.0;
+            for (j, (&x, dom)) in point.iter().zip(&self.domains).enumerate() {
+                let h = self.bandwidths[j];
+                let c = s[j];
+                let mut axis = self.kernel.eval((x - c) / h);
+                let reach = self.kernel.support_radius() * h;
+                if x < dom.lo() + reach {
+                    axis += self.kernel.eval((2.0 * dom.lo() - x - c) / h);
+                }
+                if x > dom.hi() - reach {
+                    axis += self.kernel.eval((2.0 * dom.hi() - x - c) / h);
+                }
+                v *= axis / h;
+                if v == 0.0 {
+                    break;
+                }
+            }
+            sum += v;
+        }
+        sum / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Low-discrepancy lattice in the unit cube scaled to [0, 100]^d.
+    fn lattice(n: usize, d: usize) -> Vec<Vec<f64>> {
+        // Per-dimension irrational strides (fractional parts of square
+        // roots of primes) so every marginal is equidistributed.
+        let strides = [0.414_213_562_4, 0.732_050_807_6, 0.236_067_977_5, 0.645_751_311_1];
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let t = ((i as f64 + 0.5) * strides[j]).fract();
+                        100.0 * t
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn domains(d: usize) -> Vec<Domain> {
+        (0..d).map(|_| Domain::new(0.0, 100.0)).collect()
+    }
+
+    #[test]
+    fn three_d_uniform_box_mass() {
+        let pts = lattice(4_000, 3);
+        let est = NdKernelEstimator::with_scott_rule(&pts, domains(3), KernelFn::Epanechnikov);
+        let q = BoxQuery::new(vec![(10.0, 60.0), (20.0, 70.0), (0.0, 50.0)]);
+        // Truth: 0.5^3 = 0.125.
+        let s = est.selectivity(&q);
+        assert!((s - 0.125).abs() < 0.03, "got {s}");
+    }
+
+    #[test]
+    fn full_cube_mass_is_one() {
+        let pts = lattice(500, 3);
+        let est = NdKernelEstimator::with_scott_rule(&pts, domains(3), KernelFn::Epanechnikov);
+        let q = BoxQuery::new(vec![(0.0, 100.0); 3]);
+        let s = est.selectivity(&q);
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn one_d_case_matches_the_1d_estimator() {
+        use crate::boundary::BoundaryPolicy;
+        use crate::estimator::KernelEstimator;
+        let xs: Vec<f64> = (0..500).map(|i| 100.0 * (i as f64 + 0.5) / 500.0).collect();
+        let nd_samples: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let nd = NdKernelEstimator::new(
+            &nd_samples,
+            vec![Domain::new(0.0, 100.0)],
+            KernelFn::Epanechnikov,
+            vec![5.0],
+        );
+        let one_d = KernelEstimator::new(
+            &xs,
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        for (a, b) in [(0.0, 10.0), (30.0, 70.0), (95.0, 100.0)] {
+            let s_nd = nd.selectivity(&BoxQuery::new(vec![(a, b)]));
+            let s_1d = selest_core::SelectivityEstimator::selectivity(
+                &one_d,
+                &selest_core::RangeQuery::new(a, b),
+            );
+            assert!(
+                (s_nd - s_1d).abs() < 1e-12,
+                "[{a},{b}]: nd {s_nd} vs 1d {s_1d}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_case_matches_the_2d_estimator() {
+        use crate::multidim::{Boundary2d, KernelEstimator2d, RectQuery};
+        let pts2: Vec<(f64, f64)> = lattice(400, 2).into_iter().map(|v| (v[0], v[1])).collect();
+        let ptsn: Vec<Vec<f64>> = pts2.iter().map(|&(x, y)| vec![x, y]).collect();
+        let nd = NdKernelEstimator::new(
+            &ptsn, domains(2), KernelFn::Epanechnikov, vec![7.0, 9.0],
+        );
+        let two_d = KernelEstimator2d::new(
+            &pts2,
+            Domain::new(0.0, 100.0),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            7.0,
+            9.0,
+            Boundary2d::Reflection,
+        );
+        for (x0, x1, y0, y1) in [(0.0, 20.0, 0.0, 20.0), (25.0, 80.0, 40.0, 95.0)] {
+            let s_nd = nd.selectivity(&BoxQuery::new(vec![(x0, x1), (y0, y1)]));
+            let s_2d = two_d.selectivity(&RectQuery::new(x0, x1, y0, y1));
+            assert!(
+                (s_nd - s_2d).abs() < 1e-12,
+                "({x0},{x1})x({y0},{y1}): nd {s_nd} vs 2d {s_2d}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_selectivity_in_2d() {
+        let pts = lattice(200, 2);
+        let est = NdKernelEstimator::with_scott_rule(&pts, domains(2), KernelFn::Epanechnikov);
+        let q = BoxQuery::new(vec![(20.0, 60.0), (30.0, 80.0)]);
+        let (nx, ny) = (100, 100);
+        let (wx, wy) = (40.0 / nx as f64, 50.0 / ny as f64);
+        let mut mass = 0.0;
+        for i in 0..nx {
+            for j in 0..ny {
+                let p = [20.0 + (i as f64 + 0.5) * wx, 30.0 + (j as f64 + 0.5) * wy];
+                mass += est.density(&p) * wx * wy;
+            }
+        }
+        let s = est.selectivity(&q);
+        assert!((s - mass).abs() < 5e-3, "selectivity {s} vs quadrature {mass}");
+    }
+
+    #[test]
+    fn scott_bandwidths_grow_with_dimension() {
+        // Same marginal data, higher d => larger n^{-1/(d+4)} factor.
+        let pts2 = lattice(1_000, 2);
+        let pts4 = lattice(1_000, 4);
+        let e2 = NdKernelEstimator::with_scott_rule(&pts2, domains(2), KernelFn::Epanechnikov);
+        let e4 = NdKernelEstimator::with_scott_rule(&pts4, domains(4), KernelFn::Epanechnikov);
+        assert!(e4.bandwidths()[0] > e2.bandwidths()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let pts = lattice(10, 2);
+        let est = NdKernelEstimator::with_scott_rule(&pts, domains(2), KernelFn::Epanechnikov);
+        let _ = est.selectivity(&BoxQuery::new(vec![(0.0, 1.0)]));
+    }
+}

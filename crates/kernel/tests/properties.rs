@@ -1,0 +1,98 @@
+//! Property-based tests for the kernel crate: identities between the
+//! evaluation paths and analytic invariants of the kernels, over random
+//! inputs.
+
+use proptest::prelude::*;
+use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+use selest_kernel::{BoundaryPolicy, KernelEstimator, KernelFn};
+
+const LO: f64 = 0.0;
+const HI: f64 = 1_000.0;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..=100_000).prop_map(|v| v as f64 / 100.0), 1..120)
+}
+
+fn kernels() -> impl Strategy<Value = KernelFn> {
+    prop::sample::select(KernelFn::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cdf_is_monotone_everywhere(k in kernels(), t in -10.0f64..10.0, d in 0.0f64..3.0) {
+        prop_assert!(k.cdf(t + d) >= k.cdf(t) - 1e-15);
+        prop_assert!((0.0..=1.0).contains(&k.cdf(t)));
+    }
+
+    #[test]
+    fn cdf_symmetry(k in kernels(), t in -3.0f64..3.0) {
+        // Symmetric kernels: CDF(-t) = 1 - CDF(t).
+        prop_assert!((k.cdf(-t) - (1.0 - k.cdf(t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_path_equals_algorithm_one(
+        s in samples(),
+        k in kernels(),
+        h in 1.0f64..200.0,
+        a in 0.0f64..1_000.0,
+        w in 0.0f64..600.0,
+    ) {
+        let est = KernelEstimator::new(&s, Domain::new(LO, HI), k, h, BoundaryPolicy::NoTreatment);
+        let q = RangeQuery::new(a, (a + w).min(HI));
+        let fast = est.selectivity(&q);
+        let slow = est.selectivity_linear(&q).clamp(0.0, 1.0);
+        prop_assert!((fast - slow).abs() < 1e-10,
+            "{}: fast {fast} vs Alg.1 {slow}", k.name());
+    }
+
+    #[test]
+    fn reflection_never_reduces_interior_mass(
+        s in samples(),
+        h in 1.0f64..100.0,
+    ) {
+        // Reflection adds mirrored mass, so every query estimate is at
+        // least the untreated one.
+        let d = Domain::new(LO, HI);
+        let raw = KernelEstimator::new(&s, d, KernelFn::Epanechnikov, h,
+            BoundaryPolicy::NoTreatment);
+        let refl = KernelEstimator::new(&s, d, KernelFn::Epanechnikov, h,
+            BoundaryPolicy::Reflection);
+        for (a, b) in [(0.0, 100.0), (0.0, 1_000.0), (900.0, 1_000.0), (300.0, 600.0)] {
+            let q = RangeQuery::new(a, b);
+            prop_assert!(refl.selectivity(&q) >= raw.selectivity(&q) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn selectivity_is_additive_for_untreated_kernels(
+        s in samples(),
+        h in 1.0f64..100.0,
+        a in 0.0f64..400.0,
+        m in 10.0f64..300.0,
+        w in 10.0f64..300.0,
+    ) {
+        let est = KernelEstimator::new(&s, Domain::new(LO, HI), KernelFn::Epanechnikov, h,
+            BoundaryPolicy::NoTreatment);
+        let mid = a + m;
+        let b = (mid + w).min(HI);
+        let whole = est.selectivity(&RangeQuery::new(a, b));
+        let parts = est.selectivity(&RangeQuery::new(a, mid))
+            + est.selectivity(&RangeQuery::new(mid, b));
+        prop_assert!((whole - parts).abs() < 1e-10);
+    }
+
+    #[test]
+    fn single_sample_mass_is_exact(x in 100.0f64..900.0, h in 1.0f64..50.0) {
+        // One sample's kernel fully inside [x - h, x + h]: total mass 1.
+        let est = KernelEstimator::new(&[x], Domain::new(LO, HI), KernelFn::Epanechnikov, h,
+            BoundaryPolicy::NoTreatment);
+        let q = RangeQuery::new(x - h, x + h);
+        prop_assert!((est.selectivity(&q) - 1.0).abs() < 1e-12);
+        // And split evenly around the center.
+        let half = est.selectivity(&RangeQuery::new(x - h, x));
+        prop_assert!((half - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! Numerical substrate for the `selest` workspace.
+//!
+//! Everything in this crate is implemented from scratch on top of `std`:
+//! special functions ([`special`]), numerical quadrature ([`quadrature`]),
+//! one-dimensional optimization and root finding ([`optimize`]), and
+//! descriptive statistics ([`stats`]).
+//!
+//! The selectivity estimators in the rest of the workspace only ever need
+//! one-dimensional real analysis, so this crate deliberately stays small and
+//! dependency-free rather than pulling in a general numerics library.
+
+pub mod functionals;
+pub mod optimize;
+pub mod quadrature;
+pub mod special;
+pub mod stats;
+
+pub use functionals::{
+    estimate_psi, normal_density_derivative, pilot_bandwidth, psi_normal_scale, psi_plug_in,
+};
+
+pub use optimize::{bisect, brent_min, golden_section_min};
+pub use quadrature::{adaptive_simpson, simpson, trapezoid};
+pub use special::{
+    erf, erfc, ln_gamma, normal_cdf, normal_pdf, normal_quantile, SQRT_2PI,
+};
+pub use stats::{
+    interquartile_range, kahan_sum, mean, median, quantile, robust_scale, stddev, variance,
+    Summary,
+};

@@ -1,0 +1,236 @@
+//! One-dimensional minimization and root finding.
+//!
+//! The smoothing-parameter machinery needs two things: minimizing an
+//! empirical error curve over a bandwidth interval (oracle selection,
+//! least-squares cross-validation) and inverting monotone functions
+//! (quantile transforms of synthetic distributions). Golden-section search
+//! handles the former without derivatives; [`brent_min`] accelerates it with
+//! parabolic interpolation; [`bisect`] handles the latter.
+
+/// Result of a one-dimensional minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinResult {
+    /// Abscissa of the located minimum.
+    pub x: f64,
+    /// Function value at [`MinResult::x`].
+    pub value: f64,
+    /// Number of function evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Golden-section search for a minimum of `f` on `[a, b]`.
+///
+/// Requires `a < b`; converges linearly, needs no derivatives, and tolerates
+/// noisy unimodal objectives such as empirical error curves. Stops when the
+/// bracket shrinks below `tol` (absolute).
+pub fn golden_section_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> MinResult {
+    assert!(a < b, "golden_section_min: need a < b, got [{a}, {b}]");
+    assert!(tol > 0.0, "golden_section_min: tolerance must be positive");
+    const INVPHI: f64 = 0.618_033_988_749_894_9; // 1/phi
+    const INVPHI2: f64 = 0.381_966_011_250_105_1; // 1/phi^2
+    let (mut a, mut b) = (a, b);
+    let mut h = b - a;
+    let mut c = a + INVPHI2 * h;
+    let mut d = a + INVPHI * h;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut evals = 2;
+    while h > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            h = b - a;
+            c = a + INVPHI2 * h;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            h = b - a;
+            d = a + INVPHI * h;
+            fd = f(d);
+        }
+        evals += 1;
+    }
+    let (x, value) = if fc < fd { (c, fc) } else { (d, fd) };
+    MinResult { x, value, evaluations: evals }
+}
+
+/// Brent's method for minimizing `f` on `[a, b]`: golden-section search with
+/// parabolic-interpolation acceleration. Converges superlinearly on smooth
+/// objectives while retaining golden-section robustness.
+pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> MinResult {
+    assert!(a < b, "brent_min: need a < b, got [{a}, {b}]");
+    assert!(tol > 0.0, "brent_min: tolerance must be positive");
+    const CGOLD: f64 = 0.381_966_011_250_105_1;
+    const ZEPS: f64 = 1e-300;
+    let (mut a, mut b) = (a, b);
+    let mut x = a + CGOLD * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d = 0.0f64;
+    let mut e = 0.0f64;
+    let mut evals = 1;
+    for _ in 0..200 {
+        let xm = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + ZEPS + 0.25 * tol;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Trial parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            let p = if q > 0.0 { -p } else { p };
+            q = q.abs();
+            let etemp = e;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (a - x) && p < q * (b - x) {
+                e = d;
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = if xm >= x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { a - x } else { b - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 { x + d } else { x + if d >= 0.0 { tol1 } else { -tol1 } };
+        let fu = f(u);
+        evals += 1;
+        if fu <= fx {
+            if u >= x {
+                a = x;
+            } else {
+                b = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    MinResult { x, value: fx, evaluations: evals }
+}
+
+/// Bisection root finding for a continuous `f` with `f(a)` and `f(b)` of
+/// opposite signs. Returns `x` with `|f(x)|` driven below the bracket
+/// tolerance `tol`.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a < b, "bisect: need a < b");
+    assert!(tol > 0.0, "bisect: tolerance must be positive");
+    let mut fa = f(a);
+    let fb = f(b);
+    assert!(
+        fa * fb <= 0.0,
+        "bisect: f must change sign over [{a}, {b}] (f(a)={fa}, f(b)={fb})"
+    );
+    let (mut lo, mut hi) = (a, b);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 || hi - lo < tol {
+            return mid;
+        }
+        if fa * fm < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            fa = fm;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let r = golden_section_min(|x| (x - 1.7) * (x - 1.7) + 3.0, -10.0, 10.0, 1e-8);
+        assert!((r.x - 1.7).abs() < 1e-6, "x={}", r.x);
+        assert!((r.value - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_parabola_minimum_faster() {
+        let mut n_g = 0usize;
+        let mut n_b = 0usize;
+        let g = golden_section_min(
+            |x| {
+                n_g += 1;
+                (x - 0.3).powi(2)
+            },
+            -5.0,
+            5.0,
+            1e-10,
+        );
+        let b = brent_min(
+            |x| {
+                n_b += 1;
+                (x - 0.3).powi(2)
+            },
+            -5.0,
+            5.0,
+            1e-10,
+        );
+        assert!((g.x - 0.3).abs() < 1e-7);
+        assert!((b.x - 0.3).abs() < 1e-7);
+        assert!(n_b <= n_g, "brent used {n_b} evals, golden {n_g}");
+    }
+
+    #[test]
+    fn brent_on_nonsymmetric_objective() {
+        // min of x^4 - 3x at x = (3/4)^(1/3)
+        let r = brent_min(|x| x.powi(4) - 3.0 * x, 0.0, 2.0, 1e-10);
+        let expect = (0.75f64).powf(1.0 / 3.0);
+        assert!((r.x - expect).abs() < 1e-6, "x={}", r.x);
+    }
+
+    #[test]
+    fn golden_section_handles_boundary_minimum() {
+        let r = golden_section_min(|x| x, 0.0, 1.0, 1e-9);
+        assert!(r.x < 1e-6);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((root - core::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must change sign")]
+    fn bisect_rejects_same_sign_bracket() {
+        let _ = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! One-dimensional numerical quadrature.
+//!
+//! The estimators use quadrature in two places: computing the empirical MISE
+//! of a density estimate against a known density, and the AMISE functionals
+//! `R(f') = Int f'(x)^2 dx` and `R(f'') = Int f''(x)^2 dx` of reference
+//! densities. Composite Simpson is enough for the smooth integrands involved;
+//! [`adaptive_simpson`] is provided for integrands with localized features
+//! (e.g. spiky mixture densities).
+
+/// Composite trapezoid rule on `[a, b]` with `n >= 1` panels.
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 1, "trapezoid needs at least one panel");
+    assert!(a.is_finite() && b.is_finite(), "trapezoid needs finite bounds");
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+/// Composite Simpson rule on `[a, b]` with `n` panels (`n` is rounded up to
+/// the next even number).
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2, "simpson needs at least two panels");
+    assert!(a.is_finite() && b.is_finite(), "simpson needs finite bounds");
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += w * f(a + i as f64 * h);
+    }
+    sum * h / 3.0
+}
+
+/// Adaptive Simpson quadrature on `[a, b]` to absolute tolerance `tol`.
+///
+/// Recursion depth is capped at 50, at which point the current panel's
+/// estimate is accepted; for the bounded densities in this workspace that cap
+/// is never reached in practice.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "adaptive_simpson needs finite bounds");
+    assert!(tol > 0.0, "adaptive_simpson needs a positive tolerance");
+    // Seed the recursion with a moderately fine uniform grid so that
+    // features much narrower than the whole interval are still sampled
+    // before the error estimator can declare convergence.
+    const SEED_PANELS: usize = 64;
+    let h = (b - a) / SEED_PANELS as f64;
+    let panel_tol = tol / SEED_PANELS as f64;
+    let mut total = 0.0;
+    for i in 0..SEED_PANELS {
+        let lo = a + i as f64 * h;
+        let hi = if i + 1 == SEED_PANELS { b } else { lo + h };
+        let flo = f(lo);
+        let fhi = f(hi);
+        let m = 0.5 * (lo + hi);
+        let fm = f(m);
+        let whole = simpson_panel(lo, hi, flo, fm, fhi);
+        total += adaptive_rec(&f, lo, hi, flo, fm, fhi, whole, panel_tol, 0);
+    }
+    total
+}
+
+fn simpson_panel(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_panel(a, m, fa, flm, fm);
+    let right = simpson_panel(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth >= 50 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive_rec(f, a, m, fa, flm, fm, left, tol * 0.5, depth + 1)
+            + adaptive_rec(f, m, b, fm, frm, fb, right, tol * 0.5, depth + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::normal_pdf;
+
+    #[test]
+    fn trapezoid_linear_is_exact() {
+        let v = trapezoid(|x| 3.0 * x + 1.0, 0.0, 2.0, 1);
+        assert!((v - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_cubic_is_exact() {
+        // Simpson integrates cubics exactly.
+        let v = simpson(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 2);
+        let exact = |x: f64| 0.25 * x.powi(4) - x * x + x;
+        assert!((v - (exact(3.0) - exact(-1.0))).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn simpson_rounds_odd_panel_counts_up() {
+        let odd = simpson(|x| x.sin(), 0.0, 1.0, 9);
+        let even = simpson(|x| x.sin(), 0.0, 1.0, 10);
+        assert!((odd - even).abs() < 1e-8);
+    }
+
+    #[test]
+    fn simpson_normal_mass() {
+        let v = simpson(normal_pdf, -8.0, 8.0, 2000);
+        assert!((v - 1.0).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn adaptive_simpson_matches_analytic() {
+        let v = adaptive_simpson(|x| (-x).exp(), 0.0, 5.0, 1e-12);
+        let exact = 1.0 - (-5.0f64).exp();
+        assert!((v - exact).abs() < 1e-10, "got {v}");
+    }
+
+    #[test]
+    fn adaptive_simpson_handles_spiky_integrand() {
+        // A narrow Gaussian spike that a coarse fixed grid would miss.
+        let spike = |x: f64| normal_pdf((x - 0.3) / 1e-3) / 1e-3;
+        let v = adaptive_simpson(spike, 0.0, 1.0, 1e-10);
+        assert!((v - 1.0).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite bounds")]
+    fn simpson_rejects_infinite_bounds() {
+        let _ = simpson(|x| x, 0.0, f64::INFINITY, 10);
+    }
+}

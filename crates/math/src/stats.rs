@@ -1,0 +1,222 @@
+//! Descriptive statistics over sample sets.
+//!
+//! The smoothing-parameter rules of the paper (normal scale rule, direct
+//! plug-in) need exactly the quantities here: compensated sums, the sample
+//! standard deviation, quantiles, the interquartile range, and the robust
+//! scale estimate `min(s, IQR / 1.349)` that Section 4.1 of the paper uses
+//! to guard the normal scale rule against heavy tails.
+
+/// Normalizing constant relating the interquartile range of a normal
+/// distribution to its standard deviation: `IQR = 1.349 * sigma`.
+///
+/// The exact value is `2 * Phi^{-1}(0.75) = 1.3489795...`; the paper rounds
+/// it to `1.348` in Section 4.2. We use the exact constant.
+pub const NORMAL_IQR_FACTOR: f64 = 1.348_979_500_392_163_5;
+
+/// Kahan–Babuska compensated summation. Deterministic and accurate for the
+/// long error-accumulation sums in the experiment harness.
+pub fn kahan_sum<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            c += (sum - t) + v;
+        } else {
+            c += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Arithmetic mean. Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    kahan_sum(values.iter().copied()) / values.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n - 1`). Panics for `n < 2`.
+pub fn variance(values: &[f64]) -> f64 {
+    assert!(values.len() >= 2, "variance needs at least two values");
+    let m = mean(values);
+    let ss = kahan_sum(values.iter().map(|v| (v - m) * (v - m)));
+    ss / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation, the square root of [`variance`].
+pub fn stddev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Quantile of type 7 (linear interpolation of order statistics, the R and
+/// NumPy default). `q` must lie in `[0, 1]`. `sorted` must be ascending.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median via [`quantile`] at `q = 0.5`. `sorted` must be ascending.
+pub fn median(sorted: &[f64]) -> f64 {
+    quantile(sorted, 0.5)
+}
+
+/// Interquartile range `Q3 - Q1`. `sorted` must be ascending.
+pub fn interquartile_range(sorted: &[f64]) -> f64 {
+    quantile(sorted, 0.75) - quantile(sorted, 0.25)
+}
+
+/// The robust scale estimate used by the paper's normal scale rules:
+/// `min(stddev, IQR / 1.349)`, computed from an *unsorted* sample.
+///
+/// Falls back to the other estimate when one of the two degenerates to zero
+/// (e.g. heavy duplication collapsing the IQR), and to zero only when the
+/// sample is entirely constant.
+pub fn robust_scale(values: &[f64]) -> f64 {
+    assert!(values.len() >= 2, "robust_scale needs at least two values");
+    let s = stddev(values);
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("robust_scale: NaN in sample"));
+    let iqr_scale = interquartile_range(&sorted) / NORMAL_IQR_FACTOR;
+    match (s > 0.0, iqr_scale > 0.0) {
+        (true, true) => s.min(iqr_scale),
+        (true, false) => s,
+        (false, true) => iqr_scale,
+        (false, false) => 0.0,
+    }
+}
+
+/// Five-number-plus summary of a sample, used by dataset reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+    pub median: f64,
+    pub iqr: f64,
+}
+
+impl Summary {
+    /// Compute the summary of an arbitrary (unsorted) sample.
+    /// Panics on fewer than two values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(values.len() >= 2, "Summary::of needs at least two values");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary::of: NaN in sample"));
+        Summary {
+            count: values.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            mean: mean(values),
+            stddev: stddev(values),
+            median: median(&sorted),
+            iqr: interquartile_range(&sorted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_sum_is_accurate_for_adversarial_input() {
+        // 1 + 1e-16 repeated: naive summation loses the small terms.
+        let mut values = vec![1.0];
+        values.extend(std::iter::repeat(1e-16).take(1_000_000));
+        let v = kahan_sum(values.iter().copied());
+        assert!((v - (1.0 + 1e-10)).abs() < 1e-14, "got {v}");
+    }
+
+    #[test]
+    fn mean_and_variance_match_hand_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Sum of squared deviations = 32, n-1 = 7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_type7_matches_reference() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-15);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-15);
+        assert!((quantile(&xs, 0.75) - 3.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[1.0, 5.0, 9.0]), 5.0);
+        assert_eq!(median(&[1.0, 5.0, 9.0, 11.0]), 7.0);
+    }
+
+    #[test]
+    fn iqr_of_standard_normal_quantiles() {
+        // Evenly spaced normal quantiles approximate the distribution; the
+        // IQR should approach 1.349 * sigma.
+        let xs: Vec<f64> = (1..10_000)
+            .map(|i| crate::special::normal_quantile(i as f64 / 10_000.0))
+            .collect();
+        let iqr = interquartile_range(&xs);
+        assert!((iqr - NORMAL_IQR_FACTOR).abs() < 1e-3, "iqr={iqr}");
+    }
+
+    #[test]
+    fn robust_scale_prefers_smaller_estimate() {
+        // An outlier inflates stddev but not IQR.
+        let mut xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        xs.push(1_000.0);
+        let s = stddev(&xs);
+        let r = robust_scale(&xs);
+        assert!(r < s, "robust {r} should be below stddev {s}");
+    }
+
+    #[test]
+    fn robust_scale_survives_degenerate_iqr() {
+        // More than half the mass on one value collapses the IQR to zero.
+        let mut xs = vec![5.0; 80];
+        xs.extend((0..20).map(|i| i as f64));
+        let r = robust_scale(&xs);
+        assert!(r > 0.0, "robust scale should fall back to stddev, got {r}");
+    }
+
+    #[test]
+    fn robust_scale_constant_sample_is_zero() {
+        assert_eq!(robust_scale(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 3.875).abs() < 1e-15);
+        assert!(s.median >= s.min && s.median <= s.max);
+        assert!(s.iqr >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty slice")]
+    fn mean_rejects_empty() {
+        let _ = mean(&[]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+use selest_math::{
+    bisect, brent_min, erf, erfc, golden_section_min, interquartile_range, kahan_sum, mean,
+    normal_cdf, normal_pdf, normal_quantile, quantile, robust_scale, simpson, stddev,
+};
+
+proptest! {
+    #[test]
+    fn erf_is_bounded_odd_and_monotone(x in -30.0f64..30.0, d in 0.001f64..5.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-14);
+        prop_assert!(erf(x + d) >= v - 1e-15, "erf not monotone at {x}");
+    }
+
+    #[test]
+    fn erf_erfc_sum_to_one(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-8f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-8);
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-9, "p={p}, x={x}");
+    }
+
+    #[test]
+    fn normal_pdf_is_the_cdf_derivative(x in -5.0f64..5.0) {
+        let eps = 1e-6;
+        let fd = (normal_cdf(x + eps) - normal_cdf(x - eps)) / (2.0 * eps);
+        prop_assert!((fd - normal_pdf(x)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kahan_sum_matches_exact_integer_sums(values in prop::collection::vec(-1000i64..1000, 1..200)) {
+        let exact: i64 = values.iter().sum();
+        let k = kahan_sum(values.iter().map(|&v| v as f64));
+        prop_assert_eq!(k, exact as f64);
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(
+        values in prop::collection::vec(-100.0f64..100.0, 2..100),
+        shift in -50.0f64..50.0,
+    ) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        prop_assert!((mean(&shifted) - (mean(&values) + shift)).abs() < 1e-9);
+        // Scale statistics are translation invariant.
+        prop_assert!((stddev(&shifted) - stddev(&values)).abs() < 1e-9);
+        prop_assert!((robust_scale(&shifted) - robust_scale(&values)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        mut values in prop::collection::vec(-1000.0f64..1000.0, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let vlo = quantile(&values, lo);
+        let vhi = quantile(&values, hi);
+        prop_assert!(vlo <= vhi + 1e-12);
+        prop_assert!(vlo >= values[0] - 1e-12);
+        prop_assert!(vhi <= values[values.len() - 1] + 1e-12);
+        prop_assert!(interquartile_range(&values) >= -1e-12);
+    }
+
+    #[test]
+    fn simpson_is_exact_on_cubics(
+        a in -3.0f64..3.0, b in -3.0f64..3.0, c in -3.0f64..3.0, d in -3.0f64..3.0,
+        lo in -5.0f64..0.0, width in 0.1f64..10.0,
+    ) {
+        let hi = lo + width;
+        let f = |x: f64| a * x * x * x + b * x * x + c * x + d;
+        let exact = |x: f64| a * x.powi(4) / 4.0 + b * x.powi(3) / 3.0 + c * x * x / 2.0 + d * x;
+        let num = simpson(f, lo, hi, 2);
+        prop_assert!((num - (exact(hi) - exact(lo))).abs() < 1e-9 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn golden_section_and_brent_agree_on_shifted_quartics(center in -8.0f64..8.0) {
+        let f = |x: f64| (x - center).powi(4) + 2.0 * (x - center).powi(2);
+        let g = golden_section_min(f, -20.0, 20.0, 1e-9);
+        let b = brent_min(f, -20.0, 20.0, 1e-9);
+        prop_assert!((g.x - center).abs() < 1e-4, "golden x={}", g.x);
+        prop_assert!((b.x - center).abs() < 1e-4, "brent x={}", b.x);
+    }
+
+    #[test]
+    fn bisect_finds_roots_of_shifted_cubics(root in -5.0f64..5.0) {
+        let f = |x: f64| (x - root) * ((x - root) * (x - root) + 1.0);
+        let found = bisect(f, -10.0, 10.0, 1e-12);
+        prop_assert!((found - root).abs() < 1e-9);
+    }
+}

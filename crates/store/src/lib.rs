@@ -1,0 +1,33 @@
+//! A mini column-store substrate demonstrating the paper's motivating use
+//! case: selectivity estimators feeding a query optimizer.
+//!
+//! * [`Relation`] / [`Column`] — in-memory columnar relations over metric
+//!   attributes;
+//! * [`SortedIndex`] — the index-scan access path;
+//! * [`StatisticsCatalog`] — `ANALYZE` draws a reservoir sample per column
+//!   and builds any of the workspace's estimators over it
+//!   ([`EstimatorKind`]);
+//! * [`planner`] — a System-R-style cost model choosing seq scan vs. index
+//!   scan from the *estimated* cardinality, with regret accounting that
+//!   turns estimation error into plan-quality numbers;
+//! * [`OnlineSelectivity`] — progressive estimation with confidence
+//!   intervals (the paper's online-aggregation future work).
+
+pub mod catalog;
+pub mod conjunctive;
+pub mod index;
+pub mod online;
+pub mod persist;
+pub mod planner;
+pub mod query;
+pub mod relation;
+
+pub use conjunctive::{CorrelationModel, PairStatistics};
+pub use catalog::{build_estimator, AnalyzeConfig, ColumnStatistics, EstimatorKind,
+    StatisticsCatalog};
+pub use index::SortedIndex;
+pub use online::{OnlineSelectivity, Snapshot};
+pub use planner::{execute_range_query, plan_range_query, AccessPath, Execution, Plan};
+pub use persist::{decode as decode_statistics, encode as encode_statistics, PersistedStatistics};
+pub use query::{ChosenPath, Database, Explanation, QueryResult, RangePredicate, SelectQuery};
+pub use relation::{Column, Relation};

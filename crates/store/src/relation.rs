@@ -1,0 +1,170 @@
+//! In-memory columnar relations with metric attributes.
+//!
+//! The substrate the paper's estimators live in: a relation `R` with named
+//! real-valued attributes over declared domains. Deliberately minimal — the
+//! pieces a query optimizer's statistics subsystem actually touches: full
+//! scans, per-column access, and exact range counts for validating
+//! estimates.
+
+use selest_core::{Domain, RangeQuery};
+
+/// One metric attribute: a name, a declared domain, and its values.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    domain: Domain,
+    values: Vec<f64>,
+}
+
+impl Column {
+    /// Build a column, validating every value against the domain.
+    pub fn new(name: &str, domain: Domain, values: Vec<f64>) -> Self {
+        for &v in &values {
+            assert!(
+                domain.contains(v),
+                "column {name}: value {v} outside domain {domain}"
+            );
+        }
+        Column { name: name.to_owned(), domain, values }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// All values, in row order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Exact count of rows matching `a <= v <= b`, by full scan.
+    pub fn scan_count(&self, q: &RangeQuery) -> usize {
+        self.values.iter().filter(|&&v| q.matches(v)).count()
+    }
+}
+
+/// A relation: equal-length named columns.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Relation {
+    /// An empty relation with the given name.
+    pub fn new(name: &str) -> Self {
+        Relation { name: name.to_owned(), columns: Vec::new() }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a column; all columns must have the same row count.
+    pub fn add_column(&mut self, column: Column) -> &mut Self {
+        if let Some(first) = self.columns.first() {
+            assert_eq!(
+                first.len(),
+                column.len(),
+                "column {} has {} rows, relation {} has {}",
+                column.name(),
+                column.len(),
+                self.name,
+                first.len()
+            );
+        }
+        assert!(
+            self.column(column.name()).is_none(),
+            "duplicate column {}",
+            column.name()
+        );
+        self.columns.push(column);
+        self
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of rows (0 for a relation without columns).
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation() -> Relation {
+        let d = Domain::new(0.0, 100.0);
+        let mut r = Relation::new("measurements");
+        r.add_column(Column::new("temp", d, vec![10.0, 20.0, 30.0, 40.0]));
+        r.add_column(Column::new("hum", d, vec![55.0, 60.0, 65.0, 70.0]));
+        r
+    }
+
+    #[test]
+    fn columns_are_addressable_by_name() {
+        let r = sample_relation();
+        assert_eq!(r.n_rows(), 4);
+        assert_eq!(r.column("temp").unwrap().values()[2], 30.0);
+        assert!(r.column("pressure").is_none());
+    }
+
+    #[test]
+    fn scan_count_matches_predicate() {
+        let r = sample_relation();
+        let c = r.column("temp").unwrap();
+        assert_eq!(c.scan_count(&RangeQuery::new(15.0, 35.0)), 2);
+        assert_eq!(c.scan_count(&RangeQuery::new(0.0, 100.0)), 4);
+        assert_eq!(c.scan_count(&RangeQuery::new(41.0, 99.0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has 2 rows")]
+    fn mismatched_row_counts_are_rejected() {
+        let d = Domain::new(0.0, 100.0);
+        let mut r = Relation::new("bad");
+        r.add_column(Column::new("a", d, vec![1.0, 2.0, 3.0]));
+        r.add_column(Column::new("b", d, vec![1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_are_rejected() {
+        let d = Domain::new(0.0, 100.0);
+        let mut r = Relation::new("bad");
+        r.add_column(Column::new("a", d, vec![1.0]));
+        r.add_column(Column::new("a", d, vec![2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_values_are_rejected() {
+        let _ = Column::new("x", Domain::new(0.0, 10.0), vec![11.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Conjunctive predicates over correlated columns: what the independence
+//! assumption costs, and what joint 2-D kernel statistics (the paper's
+//! multidimensional future work) buy back.
+//!
+//! ```text
+//! cargo run --release --example correlated_predicates
+//! ```
+
+use selest::store::{AnalyzeConfig, Column, CorrelationModel, EstimatorKind, PairStatistics,
+    Relation};
+use selest::{Domain, RangeQuery};
+
+fn main() {
+    // An orders relation: `ship_day` trails `order_day` by a small lag, so
+    // the two attributes are almost perfectly correlated.
+    let domain = Domain::new(0.0, 365.0);
+    let n = 50_000;
+    let order_day: Vec<f64> = (0..n).map(|i| 365.0 * (i as f64 + 0.5) / n as f64).collect();
+    let ship_day: Vec<f64> = order_day
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d + 2.0 + 8.0 * ((i * 37 % 100) as f64 / 100.0)).min(365.0))
+        .collect();
+    let mut orders = Relation::new("orders");
+    orders.add_column(Column::new("order_day", domain, order_day.clone()));
+    orders.add_column(Column::new("ship_day", domain, ship_day.clone()));
+    println!("orders({n} rows): ship_day = order_day + Uniform[2, 10) days\n");
+
+    let stats = PairStatistics::analyze(
+        &orders,
+        "order_day",
+        "ship_day",
+        &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() },
+    );
+
+    println!(
+        "{:<46} {:>8} {:>14} {:>12}",
+        "predicate", "actual", "independence", "joint 2-D"
+    );
+    let cases = [
+        ("both in March", (60.0, 90.0), (60.0, 90.0)),
+        ("ordered March, shipped April", (60.0, 90.0), (91.0, 120.0)),
+        ("ordered March, shipped September", (60.0, 90.0), (244.0, 273.0)),
+        ("both in Q4", (274.0, 365.0), (274.0, 365.0)),
+    ];
+    for (label, (xa, xb), (ya, yb)) in cases {
+        let qx = RangeQuery::new(xa, xb);
+        let qy = RangeQuery::new(ya, yb);
+        let actual = order_day
+            .iter()
+            .zip(&ship_day)
+            .filter(|&(&x, &y)| qx.matches(x) && qy.matches(y))
+            .count();
+        let indep = stats.estimate_rows(&qx, &qy, CorrelationModel::Independence);
+        let joint = stats.estimate_rows(&qx, &qy, CorrelationModel::Joint2d);
+        println!("{label:<46} {actual:>8} {indep:>14.0} {joint:>12.0}");
+    }
+    println!(
+        "\nindependence multiplies the marginals and misses the correlation entirely; \
+         the joint product-kernel estimate (LSCV-scaled bandwidths) follows the diagonal"
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build every estimator over one sample set and compare their
+//! range-query estimates against the exact answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use selest::data::sample_without_replacement;
+use selest::kernel::{BandwidthSelector, DirectPlugIn};
+use selest::{
+    equi_depth, equi_width, max_diff, AverageShiftedHistogram, BoundaryPolicy, ExactSelectivity,
+    HybridEstimator, KernelEstimator, KernelFn, PaperFile, RangeQuery, SamplingEstimator,
+    SelectivityEstimator, UniformEstimator,
+};
+use selest_histogram::{BinRule, NormalScaleBins};
+
+fn main() {
+    // 1. A data file from the paper's catalog: 100 000 records, standard
+    //    normal mapped onto the integer domain [0, 2^20 - 1].
+    let data = PaperFile::Normal { p: 20 }.generate_scaled(4); // 25 000 records for a fast demo
+    let domain = data.domain();
+    let exact = ExactSelectivity::new(data.values(), domain);
+    println!(
+        "data file {} | {} records | domain {}",
+        data.name(),
+        data.len(),
+        domain
+    );
+
+    // 2. Draw the paper's 2 000-record sample without replacement.
+    let sample = sample_without_replacement(data.values(), 2_000, 42);
+
+    // 3. Build the estimators.
+    let k = NormalScaleBins.bins(&sample, &domain);
+    let h = DirectPlugIn::two_stage().bandwidth(&sample, KernelFn::Epanechnikov);
+    let estimators: Vec<Box<dyn SelectivityEstimator>> = vec![
+        Box::new(UniformEstimator::new(domain)),
+        Box::new(SamplingEstimator::new(&sample, domain)),
+        Box::new(equi_width(&sample, domain, k)),
+        Box::new(equi_depth(&sample, domain, k)),
+        Box::new(max_diff(&sample, domain, k)),
+        Box::new(AverageShiftedHistogram::new(&sample, domain, k, 10)),
+        Box::new(KernelEstimator::new(
+            &sample,
+            domain,
+            KernelFn::Epanechnikov,
+            h,
+            BoundaryPolicy::BoundaryKernel,
+        )),
+        Box::new(HybridEstimator::new(&sample, domain)),
+    ];
+
+    // 4. A few range queries of different sizes around the distribution.
+    let c = domain.center();
+    let w = domain.width();
+    let queries = [
+        RangeQuery::new(c - 0.005 * w, c + 0.005 * w), // 1% at the mean
+        RangeQuery::new(c + 0.2 * w, c + 0.21 * w),    // 1% in the tail
+        RangeQuery::new(c - 0.05 * w, c + 0.05 * w),   // 10% at the mean
+    ];
+
+    println!("\n{:<12} {:>14} {:>14} {:>10}", "method", "estimated", "actual", "rel.err");
+    for q in &queries {
+        let truth = exact.count(q);
+        println!("-- {q} (width {:.1}% of domain)", 100.0 * q.width() / w);
+        for est in &estimators {
+            let rows = est.estimate_count(q, data.len());
+            let rel = if truth > 0 {
+                format!("{:>9.1}%", 100.0 * (rows - truth as f64).abs() / truth as f64)
+            } else {
+                "-".into()
+            };
+            println!("{:<12} {rows:>14.1} {truth:>14} {rel:>10}", est.name());
+        }
+    }
+
+    println!(
+        "\nestimators used n = {} samples; bins k = {k}, kernel bandwidth h = {h:.0}",
+        sample.len()
+    );
+}

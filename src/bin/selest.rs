@@ -1,0 +1,196 @@
+//! `selest` — command-line front end: generate the paper's data files,
+//! estimate range-query selectivities with any method, and regenerate the
+//! paper's experiments.
+//!
+//! ```text
+//! selest data n(20) [--scale 10]
+//! selest estimate n(20) kernel 100000 200000 [--scale 10] [--sample 2000]
+//! selest repro fig12 [--quick] [--csv DIR]
+//! selest methods
+//! ```
+
+use selest::data::sample_without_replacement;
+use selest::experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use selest::kernel::{BandwidthSelector, DirectPlugIn};
+use selest::{
+    core::wilson_interval, equi_depth, equi_width, max_diff, AverageShiftedHistogram,
+    BoundaryPolicy, DataFile, ExactSelectivity, HybridEstimator, KernelEstimator, KernelFn,
+    PaperFile, RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator,
+    WaveletHistogram,
+};
+use selest_histogram::{BinRule, NormalScaleBins};
+
+const METHODS: [&str; 9] = [
+    "uniform", "sampling", "ewh", "edh", "mdh", "ash", "wavelet", "kernel", "hybrid",
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("try: selest --help");
+    std::process::exit(2)
+}
+
+fn parse_paper_file(name: &str) -> PaperFile {
+    let all = PaperFile::all();
+    all.iter()
+        .copied()
+        .find(|f| f.name() == name)
+        .unwrap_or_else(|| {
+            let names: Vec<String> = all.iter().map(|f| f.name()).collect();
+            die(&format!("unknown data file {name:?}; known: {}", names.join(", ")))
+        })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| args.get(i + 1).unwrap_or_else(|| die(&format!("{flag} needs a value"))).clone())
+}
+
+fn build_method(
+    method: &str,
+    sample: &[f64],
+    data: &DataFile,
+) -> Box<dyn SelectivityEstimator> {
+    let domain = data.domain();
+    let k = NormalScaleBins.bins(sample, &domain);
+    match method {
+        "uniform" => Box::new(UniformEstimator::new(domain)),
+        "sampling" => Box::new(SamplingEstimator::new(sample, domain)),
+        "ewh" => Box::new(equi_width(sample, domain, k)),
+        "edh" => Box::new(equi_depth(sample, domain, k)),
+        "mdh" => Box::new(max_diff(sample, domain, k)),
+        "ash" => Box::new(AverageShiftedHistogram::new(sample, domain, k, 10)),
+        "wavelet" => Box::new(WaveletHistogram::build(sample, domain, 10, 4 * k)),
+        "kernel" => {
+            let h = DirectPlugIn::two_stage()
+                .bandwidth(sample, KernelFn::Epanechnikov)
+                .min(0.5 * domain.width());
+            Box::new(KernelEstimator::new(
+                sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            ))
+        }
+        "hybrid" => Box::new(HybridEstimator::new(sample, domain)),
+        other => die(&format!("unknown method {other:?}; known: {}", METHODS.join(", "))),
+    }
+}
+
+fn cmd_data(args: &[String]) {
+    let name = args.first().unwrap_or_else(|| die("data: missing file name"));
+    let scale: usize = flag_value(args, "--scale").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| die("bad --scale"))
+    });
+    let data = parse_paper_file(name).generate_scaled(scale);
+    let summary = selest::math::Summary::of(data.values());
+    println!("file      {}", data.name());
+    println!("domain    {}", data.domain());
+    println!("records   {}", data.len());
+    println!("distinct  {} (avg {:.2} duplicates)", data.distinct_count(), data.avg_frequency());
+    println!("min/max   {} / {}", summary.min, summary.max);
+    println!("mean      {:.1}", summary.mean);
+    println!("stddev    {:.1}", summary.stddev);
+    println!("median    {:.1}", summary.median);
+    println!("IQR       {:.1}", summary.iqr);
+}
+
+fn cmd_estimate(args: &[String]) {
+    if args.len() < 4 {
+        die("estimate: need <file> <method> <a> <b>");
+    }
+    let data_name = &args[0];
+    let method = &args[1];
+    let a: f64 = args[2].parse().unwrap_or_else(|_| die("bad range start"));
+    let b: f64 = args[3].parse().unwrap_or_else(|_| die("bad range end"));
+    if b < a {
+        die("range end below range start");
+    }
+    let scale: usize = flag_value(args, "--scale").map_or(1, |v| {
+        v.parse().unwrap_or_else(|_| die("bad --scale"))
+    });
+    let n_sample: usize = flag_value(args, "--sample").map_or(2_000, |v| {
+        v.parse().unwrap_or_else(|_| die("bad --sample"))
+    });
+    let data = parse_paper_file(data_name).generate_scaled(scale);
+    let exact = ExactSelectivity::new(data.values(), data.domain());
+    let sample = sample_without_replacement(data.values(), n_sample.min(data.len()), 42);
+    let est = build_method(method, &sample, &data);
+    let q = RangeQuery::new(a, b);
+    let sel = est.selectivity(&q);
+    let rows = est.estimate_count(&q, data.len());
+    let truth = exact.count(&q);
+    println!("query            {q}");
+    println!("method           {}", est.name());
+    println!("selectivity      {sel:.6}");
+    println!("estimated rows   {rows:.1}");
+    println!("actual rows      {truth}");
+    if truth > 0 {
+        println!(
+            "relative error   {:.2}%",
+            100.0 * (rows - truth as f64).abs() / truth as f64
+        );
+    }
+    let ci = wilson_interval(sel.clamp(0.0, 1.0), sample.len(), 0.95, Some(data.len()));
+    println!(
+        "95% interval     [{:.6}, {:.6}] (Wilson, binomial proxy)",
+        ci.lo, ci.hi
+    );
+}
+
+fn cmd_repro(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = flag_value(args, "--csv");
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let mut ids: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && flag_value(args, "--csv").as_ref() != Some(*a))
+        .collect();
+    let all: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
+    if ids.is_empty() || ids.iter().any(|i| i.as_str() == "all") {
+        ids = all.iter().collect();
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create {dir}: {e}")));
+    }
+    for id in ids {
+        let report = run_experiment(id, &scale);
+        println!("{report}");
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            std::fs::write(&path, report.to_csv())
+                .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("data") => cmd_data(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
+        Some("methods") => {
+            for m in METHODS {
+                println!("{m}");
+            }
+        }
+        Some("--help") | Some("-h") | None => {
+            println!("selest — selectivity estimators for range queries (SIGMOD '99 reproduction)");
+            println!();
+            println!("usage:");
+            println!("  selest data <file> [--scale K]");
+            println!("  selest estimate <file> <method> <a> <b> [--scale K] [--sample N]");
+            println!("  selest repro [ids...] [--quick] [--csv DIR]");
+            println!("  selest methods");
+            println!();
+            println!("data files: u(15) u(20) n(10) n(15) n(20) e(15) e(20) arap1 arap2");
+            println!("            rr1(12) rr1(22) rr2(12) rr2(22) iw");
+            println!("methods:    {}", METHODS.join(" "));
+            println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+        }
+        Some(other) => die(&format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,120 @@
+//! Convergence-rate checks against the theory of Section 2/4: pure
+//! sampling converges at `O(n^-1/2)`, the adaptive equi-width histogram's
+//! MISE at `O(n^-2/3)`, and the kernel estimator's at `O(n^-4/5)` — so on
+//! log-log axes the ISE-vs-n slopes must order sampling > histogram >
+//! kernel (less negative to more negative).
+
+use rand::SeedableRng;
+use selest::core::integrated_squared_error;
+use selest::data::{ContinuousDistribution, Normal};
+use selest::kernel::{BandwidthSelector, NormalScale};
+use selest::{
+    equi_width, BoundaryPolicy, Domain, KernelEstimator, KernelFn, SelectivityEstimator,
+};
+use selest_histogram::{BinRule, NormalScaleBins};
+
+const SIZES: [usize; 3] = [250, 1_000, 4_000];
+const REPS: u64 = 8;
+
+/// Mean ISE over repeated samples at each size, for one estimator family.
+fn mise_curve<F>(build: F) -> Vec<(f64, f64)>
+where
+    F: Fn(&[f64], Domain) -> Box<dyn selest::DensityEstimator>,
+{
+    let dist = Normal::new(500.0, 100.0);
+    let domain = Domain::new(0.0, 1_000.0);
+    SIZES
+        .iter()
+        .map(|&n| {
+            let mut total = 0.0;
+            for rep in 0..REPS {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1_000 * rep + n as u64);
+                let sample: Vec<f64> = std::iter::repeat_with(|| dist.sample(&mut rng))
+                    .filter(|v| domain.contains(*v))
+                    .take(n)
+                    .collect();
+                let est = build(&sample, domain);
+                total += integrated_squared_error(est.as_ref(), |x| dist.pdf(x), 2_000);
+            }
+            (n as f64, total / REPS as f64)
+        })
+        .collect()
+}
+
+/// Least-squares slope of log(ISE) against log(n).
+fn loglog_slope(curve: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = curve.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[test]
+fn kernel_beats_histogram_beats_nothing_in_rate() {
+    let hist_curve = mise_curve(|s, d| {
+        let k = NormalScaleBins.bins(s, &d);
+        Box::new(equi_width(s, d, k))
+    });
+    let kernel_curve = mise_curve(|s, d| {
+        let h = NormalScale.bandwidth(s, KernelFn::Epanechnikov);
+        Box::new(KernelEstimator::new(
+            s,
+            d,
+            KernelFn::Epanechnikov,
+            h,
+            BoundaryPolicy::Reflection,
+        ))
+    });
+    let hist_slope = loglog_slope(&hist_curve);
+    let kernel_slope = loglog_slope(&kernel_curve);
+    // Theory: -2/3 vs -4/5. Empirical slopes are noisy; require the
+    // ordering plus sane magnitudes.
+    assert!(
+        hist_slope < -0.4,
+        "histogram ISE should shrink clearly with n, slope {hist_slope} ({hist_curve:?})"
+    );
+    assert!(
+        kernel_slope < -0.5,
+        "kernel ISE should shrink faster, slope {kernel_slope} ({kernel_curve:?})"
+    );
+    assert!(
+        kernel_slope < hist_slope + 0.15,
+        "kernel rate ({kernel_slope}) should be at least the histogram rate ({hist_slope})"
+    );
+    // And at every size the kernel's MISE is below the histogram's.
+    for (h, k) in hist_curve.iter().zip(&kernel_curve) {
+        assert!(k.1 < h.1, "at n = {}: kernel {} vs histogram {}", h.0, k.1, h.1);
+    }
+}
+
+#[test]
+fn sampling_error_shrinks_at_root_n() {
+    // Selectivity-level check for pure sampling: absolute error of a fixed
+    // query scales like n^{-1/2}.
+    let dist = Normal::new(500.0, 100.0);
+    let domain = Domain::new(0.0, 1_000.0);
+    let q = selest::RangeQuery::new(450.0, 550.0);
+    let truth = dist.selectivity(450.0, 550.0);
+    let mut errors = Vec::new();
+    for &n in &[400usize, 6_400] {
+        let mut total = 0.0;
+        for rep in 0..20u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77 * rep + n as u64);
+            let sample: Vec<f64> = std::iter::repeat_with(|| dist.sample(&mut rng))
+                .filter(|v| domain.contains(*v))
+                .take(n)
+                .collect();
+            let est = selest::SamplingEstimator::new(&sample, domain);
+            total += (est.selectivity(&q) - truth).abs();
+        }
+        errors.push(total / 20.0);
+    }
+    // 16x the samples should shrink the error by ~4x; accept 2.2x..8x.
+    let ratio = errors[0] / errors[1];
+    assert!(
+        (2.2..8.0).contains(&ratio),
+        "sampling error ratio {ratio} (errors {errors:?})"
+    );
+}

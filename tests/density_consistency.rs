@@ -1,0 +1,147 @@
+//! Density/selectivity consistency across every estimator that exposes a
+//! density: integrating the pointwise density over a query range must
+//! reproduce the analytic selectivity, and densities must be (essentially)
+//! nonnegative and normalized. This cross-checks all the closed-form
+//! primitives at once.
+
+use selest::kernel::{BandwidthSelector, NormalScale};
+use selest::math::simpson;
+use selest::{
+    equi_width, AverageShiftedHistogram, BoundaryPolicy, DensityEstimator, Domain,
+    HybridEstimator, KernelEstimator, KernelFn, RangeQuery, SelectivityEstimator,
+    UniformEstimator,
+};
+
+const LO: f64 = 0.0;
+const HI: f64 = 500.0;
+
+/// A lumpy but duplicate-free sample: two clusters plus background.
+fn sample() -> Vec<f64> {
+    let mut v = Vec::new();
+    for i in 0..300 {
+        v.push(100.0 + 40.0 * (i as f64 + 0.5) / 300.0);
+    }
+    for i in 0..200 {
+        v.push(350.0 + 60.0 * (i as f64 + 0.5) / 200.0);
+    }
+    for i in 0..100 {
+        v.push(LO + (HI - LO) * (i as f64 + 0.5) / 100.0);
+    }
+    v
+}
+
+struct Case {
+    name: &'static str,
+    density: Box<dyn Fn(f64) -> f64>,
+    selectivity: Box<dyn Fn(&RangeQuery) -> f64>,
+}
+
+fn cases() -> Vec<Case> {
+    let domain = Domain::new(LO, HI);
+    let s = sample();
+    let h = NormalScale
+        .bandwidth(&s, KernelFn::Epanechnikov)
+        .min(0.1 * (HI - LO));
+    let mut out = Vec::new();
+
+    let uniform = UniformEstimator::new(domain);
+    out.push(Case {
+        name: "uniform",
+        density: Box::new(move |x| uniform.density(x)),
+        selectivity: Box::new(move |q| SelectivityEstimator::selectivity(&uniform, q)),
+    });
+
+    let ewh = equi_width(&s, domain, 25);
+    let ewh2 = ewh.clone();
+    out.push(Case {
+        name: "ewh",
+        density: Box::new(move |x| ewh.density(x)),
+        selectivity: Box::new(move |q| ewh2.selectivity(q)),
+    });
+
+    let ash = AverageShiftedHistogram::new(&s, domain, 25, 8);
+    let ash2 = ash.clone();
+    out.push(Case {
+        name: "ash",
+        density: Box::new(move |x| ash.density(x)),
+        selectivity: Box::new(move |q| ash2.selectivity(q)),
+    });
+
+    for (label, policy) in [
+        ("kernel_none", BoundaryPolicy::NoTreatment),
+        ("kernel_reflect", BoundaryPolicy::Reflection),
+        ("kernel_bk", BoundaryPolicy::BoundaryKernel),
+    ] {
+        let est = KernelEstimator::new(&s, domain, KernelFn::Epanechnikov, h, policy);
+        let est2 = est.clone();
+        out.push(Case {
+            name: label,
+            density: Box::new(move |x| est.density(x)),
+            selectivity: Box::new(move |q| est2.selectivity(q)),
+        });
+    }
+
+    // Hybrid is not Clone (boxed config pieces); build twice.
+    let hy1 = HybridEstimator::new(&s, domain);
+    let hy2 = HybridEstimator::new(&s, domain);
+    out.push(Case {
+        name: "hybrid",
+        density: Box::new(move |x| hy1.density(x)),
+        selectivity: Box::new(move |q| hy2.selectivity(q)),
+    });
+
+    out
+}
+
+#[test]
+fn selectivity_equals_density_integral() {
+    for case in cases() {
+        for (a, b) in [(0.0, 500.0), (90.0, 150.0), (300.0, 420.0), (0.0, 30.0), (470.0, 500.0)]
+        {
+            let q = RangeQuery::new(a, b);
+            let sel = (case.selectivity)(&q);
+            // Selectivities are clamped into [0, 1]; boundary-kernel masses
+            // can legitimately integrate slightly past 1 (the paper's
+            // "integral exceeds one with high probability"), so clamp the
+            // quadrature too before comparing.
+            let num = simpson(&case.density, a, b, 40_000).clamp(0.0, 1.0);
+            assert!(
+                (sel - num).abs() < 5e-3,
+                "{} on [{a},{b}]: selectivity {sel} vs density integral {num}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn densities_are_mostly_nonnegative() {
+    // Boundary kernels may dip slightly negative inside the strips (they
+    // are second-order kernels); every other estimator must be >= 0
+    // everywhere, and even boundary kernels must be bounded below sanely.
+    for case in cases() {
+        let mut worst = 0.0f64;
+        for i in 0..=1_000 {
+            let x = LO + (HI - LO) * i as f64 / 1_000.0;
+            worst = worst.min((case.density)(x));
+        }
+        if case.name == "kernel_bk" || case.name == "hybrid" {
+            assert!(worst > -0.01, "{}: density dips to {worst}", case.name);
+        } else {
+            assert!(worst >= 0.0, "{}: negative density {worst}", case.name);
+        }
+    }
+}
+
+#[test]
+fn densities_integrate_to_about_one() {
+    for case in cases() {
+        let mass = simpson(&case.density, LO, HI, 40_000);
+        let tol = if case.name == "kernel_none" { 0.1 } else { 0.05 };
+        assert!(
+            (mass - 1.0).abs() < tol,
+            "{}: total mass {mass}",
+            case.name
+        );
+    }
+}
