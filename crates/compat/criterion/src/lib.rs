@@ -1,0 +1,200 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the minimal surface its benches use: [`Criterion`] with
+//! `benchmark_group`/`bench_function`, a [`Bencher`] with `iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! warm-up + fixed-duration measurement loop reporting mean ns/iter to
+//! stdout — adequate for relative comparisons, without criterion's
+//! statistical machinery (no outlier analysis, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Upstream parses CLI flags here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (warm_up, measurement) = (self.warm_up, self.measurement);
+        run_bench(&name.into(), warm_up, measurement, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream sets the statistical sample count here; the stub's timing
+    /// loop has no sample concept, so accept and ignore it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark of this group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.criterion.warm_up, self.criterion.measurement, f);
+        self
+    }
+
+    /// Close the group (upstream finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` for the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(name: &str, warm_up: Duration, measurement: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: grow the iteration count until one batch exceeds a slice of
+    // the warm-up budget, so the measurement loop runs few, large batches.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up || b.elapsed >= warm_up / 4 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // Measurement: repeat batches until the budget is spent.
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    while total_time < measurement {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total_iters += iters;
+        total_time += b.elapsed;
+    }
+    let ns = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("  {name}: {ns:.1} ns/iter ({total_iters} iters)");
+}
+
+/// Declare a group of benchmark functions, optionally with a custom
+/// [`Criterion`] config (upstream syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .configure_from_args();
+        let mut ran = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    criterion_group! {
+        name = named_form;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = noop
+    }
+
+    criterion_group!(short_form, noop);
+
+    fn noop(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_expand() {
+        named_form();
+        // short_form uses the default 2.5 s budget; invoking it in a unit
+        // test would be slow, so only check it compiled.
+        let _: fn() = short_form;
+    }
+}

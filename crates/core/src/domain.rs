@@ -17,13 +17,24 @@ pub struct Domain {
 
 impl Domain {
     /// A domain over the closed interval `[lo, hi]`. Panics unless
-    /// `lo < hi` and both are finite.
+    /// `lo < hi` and both are finite; serving paths use
+    /// [`Domain::try_new`] instead.
     pub fn new(lo: f64, hi: f64) -> Self {
         assert!(
             lo.is_finite() && hi.is_finite() && lo < hi,
             "Domain requires finite lo < hi, got [{lo}, {hi}]"
         );
         Domain { lo, hi }
+    }
+
+    /// Fallible constructor: the panic-free entry point of the fault-
+    /// tolerant serving path.
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, crate::fault::EstimateError> {
+        if lo.is_finite() && hi.is_finite() && lo < hi {
+            Ok(Domain { lo, hi })
+        } else {
+            Err(crate::fault::EstimateError::InvalidDomain { lo, hi })
+        }
     }
 
     /// The paper's integer domain `[0, 2^p - 1]` for `1 <= p <= 52`.

@@ -38,11 +38,15 @@ pub fn relative_error(true_count: f64, estimated_count: f64) -> f64 {
 /// Queries whose true result count is zero cannot contribute a relative
 /// error; they are tallied in [`ErrorStats::skipped_zero`] and excluded from
 /// every mean, matching the paper's workload design which avoids them.
+/// Estimates that are NaN or ±Inf would poison every mean; they are tallied
+/// in [`ErrorStats::skipped_nonfinite`] and likewise excluded — a failing
+/// estimator shows up as an explicit counter, not a silently-NaN MRE.
 #[derive(Debug, Clone, Default)]
 pub struct ErrorStats {
     abs_errors: Vec<f64>,
     rel_errors: Vec<f64>,
     skipped_zero: usize,
+    skipped_nonfinite: usize,
 }
 
 impl ErrorStats {
@@ -51,10 +55,15 @@ impl ErrorStats {
         Self::default()
     }
 
-    /// Record one query's true and estimated result counts.
+    /// Record one query's true and estimated result counts. A non-finite
+    /// estimate (or a non-finite/negative truth) is tallied into
+    /// [`ErrorStats::skipped_nonfinite`] instead of entering the means —
+    /// in release builds a single NaN would otherwise poison every
+    /// aggregate this accumulator reports.
     pub fn record(&mut self, true_count: f64, estimated_count: f64) {
-        debug_assert!(true_count >= 0.0 && estimated_count.is_finite());
-        if true_count > 0.0 {
+        if !estimated_count.is_finite() || !true_count.is_finite() || true_count < 0.0 {
+            self.skipped_nonfinite += 1;
+        } else if true_count > 0.0 {
             self.abs_errors.push(absolute_error(true_count, estimated_count));
             self.rel_errors.push(relative_error(true_count, estimated_count));
         } else {
@@ -70,6 +79,13 @@ impl ErrorStats {
     /// Number of zero-result queries that were skipped.
     pub fn skipped_zero(&self) -> usize {
         self.skipped_zero
+    }
+
+    /// Number of recordings skipped because the estimate (or truth) was
+    /// non-finite — each one is an estimator failure the caller should
+    /// surface, not average away.
+    pub fn skipped_nonfinite(&self) -> usize {
+        self.skipped_nonfinite
     }
 
     /// Mean relative error (the paper's MRE). Panics if no query was
@@ -111,6 +127,7 @@ impl ErrorStats {
         self.abs_errors.extend_from_slice(&other.abs_errors);
         self.rel_errors.extend_from_slice(&other.rel_errors);
         self.skipped_zero += other.skipped_zero;
+        self.skipped_nonfinite += other.skipped_nonfinite;
     }
 }
 
@@ -181,10 +198,28 @@ mod tests {
         let mut b = ErrorStats::new();
         b.record(10.0, 13.0);
         b.record(0.0, 1.0);
+        b.record(10.0, f64::NAN);
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.skipped_zero(), 1);
+        assert_eq!(a.skipped_nonfinite(), 1);
         assert!((a.mean_relative_error() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nonfinite_estimates_are_tallied_not_averaged() {
+        let mut s = ErrorStats::new();
+        s.record(100.0, 90.0);
+        s.record(100.0, f64::NAN);
+        s.record(100.0, f64::INFINITY);
+        s.record(100.0, f64::NEG_INFINITY);
+        s.record(f64::NAN, 50.0);
+        assert_eq!(s.count(), 1, "only the finite recording contributes");
+        assert_eq!(s.skipped_nonfinite(), 4);
+        // The means stay finite — no NaN poisoning.
+        assert!((s.mean_relative_error() - 0.1).abs() < 1e-15);
+        assert!(s.mean_absolute_error().is_finite());
+        assert!(s.rms_relative_error().is_finite());
     }
 
     struct Flat;

@@ -1,0 +1,261 @@
+//! Typed failures of the estimation path, and sample sanitization.
+//!
+//! The paper's motivating scenario — a query optimizer consuming
+//! selectivity numbers — requires that estimation *always* produces an
+//! answer: a degenerate sample, a failed bandwidth selection, or a corrupt
+//! statistics file must degrade the estimate, never crash the serving
+//! path. [`EstimateError`] is the typed vocabulary for everything that can
+//! go wrong between a raw sample and a served selectivity; the `try_*`
+//! constructors across the workspace return it instead of panicking, and
+//! the store's `ResilientEstimator` consumes it to walk its degradation
+//! ladder (kernel → histogram → sampling → uniform).
+
+use crate::domain::Domain;
+
+/// A failure anywhere on the path from raw sample to served selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// No usable sample values remain after sanitization.
+    EmptySample,
+    /// Domain bounds are not finite and ordered (`lo < hi`).
+    InvalidDomain {
+        /// Offending lower bound.
+        lo: f64,
+        /// Offending upper bound.
+        hi: f64,
+    },
+    /// Query bounds are not finite and ordered (`a <= b`).
+    InvalidQuery {
+        /// Offending left endpoint.
+        a: f64,
+        /// Offending right endpoint.
+        b: f64,
+    },
+    /// A bandwidth selector produced a non-finite or non-positive width.
+    InvalidBandwidth {
+        /// The rejected bandwidth.
+        value: f64,
+    },
+    /// An estimator returned a non-finite selectivity at serving time.
+    NonFiniteEstimate {
+        /// The rejected estimate.
+        value: f64,
+    },
+    /// Construction or estimation panicked inside a legacy estimator and
+    /// was caught at the resilience boundary.
+    Panicked {
+        /// Which stage panicked.
+        stage: FaultStage,
+        /// The captured panic payload (best effort).
+        message: String,
+    },
+    /// ANALYZE was asked for a column the relation does not have.
+    UnknownColumn {
+        /// Relation name.
+        relation: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// A lookup hit a column that was never analyzed.
+    MissingStatistics {
+        /// Relation name.
+        relation: String,
+        /// Column name.
+        column: String,
+    },
+    /// A persisted statistics entry failed validation (checksum, field
+    /// grammar, or value sanity); `line` is 1-based in the stats file.
+    CorruptEntry {
+        /// Line number where the entry starts (1-based).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+/// The pipeline stage at which a caught panic occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStage {
+    /// Building an estimator from a sample.
+    Build,
+    /// Answering a selectivity query.
+    Estimate,
+}
+
+impl core::fmt::Display for FaultStage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultStage::Build => write!(f, "build"),
+            FaultStage::Estimate => write!(f, "estimate"),
+        }
+    }
+}
+
+impl core::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EstimateError::EmptySample => {
+                write!(f, "no usable sample values after sanitization")
+            }
+            EstimateError::InvalidDomain { lo, hi } => {
+                write!(f, "invalid domain [{lo}, {hi}]: bounds must be finite with lo < hi")
+            }
+            EstimateError::InvalidQuery { a, b } => {
+                write!(f, "invalid query ({a}, {b}): bounds must be finite with a <= b")
+            }
+            EstimateError::InvalidBandwidth { value } => {
+                write!(f, "invalid bandwidth {value}: must be finite and positive")
+            }
+            EstimateError::NonFiniteEstimate { value } => {
+                write!(f, "estimator returned non-finite selectivity {value}")
+            }
+            EstimateError::Panicked { stage, message } => {
+                write!(f, "estimator panicked during {stage}: {message}")
+            }
+            EstimateError::UnknownColumn { relation, column } => {
+                write!(f, "no column {column} in relation {relation}")
+            }
+            EstimateError::MissingStatistics { relation, column } => {
+                write!(f, "no statistics for {relation}.{column}; run ANALYZE")
+            }
+            EstimateError::CorruptEntry { line, message } => {
+                write!(f, "corrupt statistics entry at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// What sample sanitization found and removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleAudit {
+    /// NaN or ±Inf values dropped.
+    pub non_finite: usize,
+    /// Finite values outside the declared domain, dropped.
+    pub out_of_domain: usize,
+    /// Values kept.
+    pub kept: usize,
+}
+
+impl SampleAudit {
+    /// Whether anything had to be removed.
+    pub fn is_clean(&self) -> bool {
+        self.non_finite == 0 && self.out_of_domain == 0
+    }
+
+    /// Total values dropped.
+    pub fn dropped(&self) -> usize {
+        self.non_finite + self.out_of_domain
+    }
+}
+
+/// Drop sample values an estimator cannot digest — NaN, ±Inf, and values
+/// outside the declared domain — returning the clean sample and an audit of
+/// what was removed. Every fallible construction path runs this first so a
+/// poisoned ANALYZE sample degrades into a smaller sample instead of a
+/// panic (or worse, a silently NaN-poisoned histogram).
+pub fn sanitize_sample(sample: &[f64], domain: &Domain) -> (Vec<f64>, SampleAudit) {
+    let mut audit = SampleAudit::default();
+    let mut clean = Vec::with_capacity(sample.len());
+    for &v in sample {
+        if !v.is_finite() {
+            audit.non_finite += 1;
+        } else if !domain.contains(v) {
+            audit.out_of_domain += 1;
+        } else {
+            clean.push(v);
+        }
+    }
+    audit.kept = clean.len();
+    (clean, audit)
+}
+
+/// Run a closure with panics captured as [`EstimateError::Panicked`].
+///
+/// The legacy estimators (`assert!`-heavy construction, bandwidth
+/// selectors) predate the fallible API; this is the containment boundary
+/// that turns their panics into typed errors the degradation ladder can
+/// act on. The panic hook is left untouched — callers who want quiet
+/// logs should silence it themselves; the store's chaos tests do.
+pub fn catch_fault<T>(
+    stage: FaultStage,
+    f: impl FnOnce() -> T + std::panic::UnwindSafe,
+) -> Result<T, EstimateError> {
+    std::panic::catch_unwind(f).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        EstimateError::Panicked { stage, message }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_drops_only_the_bad_values() {
+        let d = Domain::new(0.0, 10.0);
+        let raw = [1.0, f64::NAN, 5.0, f64::INFINITY, -3.0, 11.0, 9.5, f64::NEG_INFINITY];
+        let (clean, audit) = sanitize_sample(&raw, &d);
+        assert_eq!(clean, vec![1.0, 5.0, 9.5]);
+        assert_eq!(audit.non_finite, 3);
+        assert_eq!(audit.out_of_domain, 2);
+        assert_eq!(audit.kept, 3);
+        assert_eq!(audit.dropped(), 5);
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn sanitize_keeps_clean_samples_intact() {
+        let d = Domain::new(0.0, 1.0);
+        let raw = [0.0, 0.5, 1.0];
+        let (clean, audit) = sanitize_sample(&raw, &d);
+        assert_eq!(clean, raw.to_vec());
+        assert!(audit.is_clean());
+        assert_eq!(audit.kept, 3);
+    }
+
+    #[test]
+    fn catch_fault_converts_panics_to_typed_errors() {
+        let ok = catch_fault(FaultStage::Build, || 42);
+        assert_eq!(ok, Ok(42));
+        let err = catch_fault(FaultStage::Estimate, || -> i32 { panic!("kaboom {}", 7) });
+        match err {
+            Err(EstimateError::Panicked { stage, message }) => {
+                assert_eq!(stage, FaultStage::Estimate);
+                assert!(message.contains("kaboom 7"), "got {message:?}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let cases: Vec<(EstimateError, &str)> = vec![
+            (EstimateError::EmptySample, "no usable sample"),
+            (EstimateError::InvalidDomain { lo: 3.0, hi: 1.0 }, "invalid domain"),
+            (EstimateError::InvalidQuery { a: f64::NAN, b: 1.0 }, "invalid query"),
+            (EstimateError::InvalidBandwidth { value: f64::NAN }, "invalid bandwidth"),
+            (EstimateError::NonFiniteEstimate { value: f64::NAN }, "non-finite"),
+            (
+                EstimateError::UnknownColumn { relation: "r".into(), column: "c".into() },
+                "no column c",
+            ),
+            (
+                EstimateError::MissingStatistics { relation: "r".into(), column: "c".into() },
+                "run ANALYZE",
+            ),
+            (EstimateError::CorruptEntry { line: 7, message: "bad".into() }, "line 7"),
+        ];
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+}

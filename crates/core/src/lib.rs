@@ -24,6 +24,7 @@ pub mod domain;
 pub mod ecdf;
 pub mod errors;
 pub mod exact;
+pub mod fault;
 pub mod feedback;
 pub mod query;
 pub mod sampling;
@@ -35,7 +36,8 @@ pub use domain::Domain;
 pub use ecdf::Ecdf;
 pub use errors::{absolute_error, integrated_squared_error, relative_error, ErrorStats};
 pub use exact::ExactSelectivity;
-pub use feedback::FeedbackEstimator;
+pub use fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
+pub use feedback::{CorrectionGrid, FeedbackEstimator};
 pub use query::RangeQuery;
 pub use sampling::SamplingEstimator;
 pub use traits::{DensityEstimator, SelectivityEstimator};

@@ -11,13 +11,24 @@ pub struct RangeQuery {
 }
 
 impl RangeQuery {
-    /// Build `Q(a, b)`. Panics unless `a <= b` and both are finite.
+    /// Build `Q(a, b)`. Panics unless `a <= b` and both are finite;
+    /// serving paths use [`RangeQuery::try_new`] instead.
     pub fn new(a: f64, b: f64) -> Self {
         assert!(
             a.is_finite() && b.is_finite() && a <= b,
             "RangeQuery requires finite a <= b, got ({a}, {b})"
         );
         RangeQuery { a, b }
+    }
+
+    /// Fallible constructor: the panic-free entry point of the fault-
+    /// tolerant serving path.
+    pub fn try_new(a: f64, b: f64) -> Result<Self, crate::fault::EstimateError> {
+        if a.is_finite() && b.is_finite() && a <= b {
+            Ok(RangeQuery { a, b })
+        } else {
+            Err(crate::fault::EstimateError::InvalidQuery { a, b })
+        }
     }
 
     /// A query of width `size_fraction * domain.width()` centered at

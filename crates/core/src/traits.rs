@@ -111,7 +111,7 @@ mod tests {
         let boxed: Box<dyn SelectivityEstimator> = Box::new(Half(Domain::unit()));
         assert_eq!(boxed.selectivity(&q), 0.5);
         assert_eq!(boxed.name(), "Half");
-        assert_eq!((&boxed).estimate_count(&q, 10), 5.0);
+        assert_eq!(boxed.estimate_count(&q, 10), 5.0);
     }
 
     struct Tri;

@@ -28,7 +28,7 @@ pub fn run(scale: &Scale) -> ExperimentReport {
         .map(|&v| (v - shift).max(domain.lo()))
         .collect();
     let stale_sample =
-        sample_without_replacement(&stale_values, ctx.sample.len(), 0xfeed_06);
+        sample_without_replacement(&stale_values, ctx.sample.len(), 0xfeed06);
     let stale = selest_histogram::equi_width(
         &stale_sample,
         domain,

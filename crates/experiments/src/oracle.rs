@@ -92,7 +92,7 @@ mod tests {
         let ctx = ctx();
         let qf = ctx.query_file(0.01);
         let (k, best) = oracle_bins(&ctx, qf.queries(), 500);
-        assert!(k >= 2 && k <= 500);
+        assert!((2..=500).contains(&k));
         let tiny = evaluate(&methods::ewh(&ctx, 2), qf.queries(), &ctx.exact)
             .mean_relative_error();
         let huge = evaluate(&methods::ewh(&ctx, 500), qf.queries(), &ctx.exact)

@@ -149,13 +149,13 @@ mod tests {
         // 20..30.
         let mut samples = Vec::new();
         for v in 0..10 {
-            samples.extend(std::iter::repeat(v as f64).take(10));
+            samples.extend(std::iter::repeat_n(v as f64, 10));
         }
         for v in 10..20 {
             samples.push(v as f64);
         }
         for v in 20..30 {
-            samples.extend(std::iter::repeat(v as f64).take(10));
+            samples.extend(std::iter::repeat_n(v as f64, 10));
         }
         let h = v_optimal(&samples, d, 3, 256);
         assert_eq!(h.n_bins(), 3);

@@ -138,7 +138,7 @@ mod tests {
     fn kahan_sum_is_accurate_for_adversarial_input() {
         // 1 + 1e-16 repeated: naive summation loses the small terms.
         let mut values = vec![1.0];
-        values.extend(std::iter::repeat(1e-16).take(1_000_000));
+        values.extend(std::iter::repeat_n(1e-16, 1_000_000));
         let v = kahan_sum(values.iter().copied());
         assert!((v - (1.0 + 1e-10)).abs() < 1e-14, "got {v}");
     }

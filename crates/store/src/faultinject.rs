@@ -1,0 +1,241 @@
+//! Deterministic fault injection for the chaos tests.
+//!
+//! Serving statistics must survive three classes of damage: poisoned
+//! ANALYZE inputs (NaN/±Inf/out-of-domain values from a corrupted page or
+//! a broken decoder), damaged statistics files (truncation mid-write,
+//! bit rot), and misbehaving estimators (panics, non-finite outputs).
+//! [`FaultInjector`] manufactures all three from a seed, so every chaos
+//! run is reproducible: a failing seed is a bug report, not a flake.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+
+/// What [`FaultInjector::corrupt_sample`] injected, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Values replaced with NaN.
+    pub nan: usize,
+    /// Values replaced with +Inf.
+    pub pos_inf: usize,
+    /// Values replaced with -Inf.
+    pub neg_inf: usize,
+    /// Values moved outside the declared domain.
+    pub out_of_domain: usize,
+}
+
+impl InjectionReport {
+    /// Total values corrupted.
+    pub fn total(&self) -> usize {
+        self.nan + self.pos_inf + self.neg_inf + self.out_of_domain
+    }
+
+    /// Corrupted values that are non-finite (what `SampleAudit` calls
+    /// `non_finite`).
+    pub fn non_finite(&self) -> usize {
+        self.nan + self.pos_inf + self.neg_inf
+    }
+}
+
+/// Seeded source of reproducible damage.
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// A deterministic injector: the same seed produces the same damage.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Corrupt roughly `fraction` of `sample` in place, cycling through
+    /// the four damage classes, and report exactly what was injected.
+    pub fn corrupt_sample(
+        &mut self,
+        sample: &mut [f64],
+        domain: &Domain,
+        fraction: f64,
+    ) -> InjectionReport {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]: {fraction}");
+        let mut report = InjectionReport::default();
+        if sample.is_empty() {
+            return report;
+        }
+        let n = ((sample.len() as f64 * fraction).round() as usize).min(sample.len());
+        for k in 0..n {
+            let i = self.rng.random_range(0..sample.len());
+            match k % 4 {
+                0 => {
+                    sample[i] = f64::NAN;
+                    report.nan += 1;
+                }
+                1 => {
+                    sample[i] = f64::INFINITY;
+                    report.pos_inf += 1;
+                }
+                2 => {
+                    sample[i] = f64::NEG_INFINITY;
+                    report.neg_inf += 1;
+                }
+                _ => {
+                    // Finite but far outside the declared domain.
+                    let excursion = 1.0 + self.rng.random::<f64>() * 9.0;
+                    sample[i] = domain.hi() + excursion * domain.width();
+                    report.out_of_domain += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Truncate a statistics file at a random byte boundary — the shape an
+    /// interrupted write leaves behind (see `persist`'s atomic-save for
+    /// why readers should rarely see this).
+    pub fn truncate_text(&mut self, text: &str) -> String {
+        if text.is_empty() {
+            return String::new();
+        }
+        let cut = self.rng.random_range(0..text.len());
+        // Stay on a char boundary; the file format is ASCII so this is
+        // normally a no-op.
+        let mut cut = cut;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text[..cut].to_owned()
+    }
+
+    /// Flip one low bit of one byte — bit rot. The flip stays inside the
+    /// ASCII range so the result is still a valid UTF-8 string (the
+    /// decoder's job is to reject bad *content*, not bad encodings).
+    pub fn bitflip_text(&mut self, text: &str) -> String {
+        let mut bytes = text.as_bytes().to_vec();
+        if bytes.is_empty() {
+            return String::new();
+        }
+        let i = self.rng.random_range(0..bytes.len());
+        let bit = self.rng.random_range(0..7u32);
+        bytes[i] ^= 1u8 << bit;
+        bytes[i] &= 0x7f;
+        String::from_utf8(bytes).expect("ASCII-safe flip")
+    }
+}
+
+/// How a [`FailingEstimator`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureMode {
+    /// Panic on every call.
+    PanicAlways,
+    /// Serve correctly for `n` calls, then panic forever.
+    PanicAfter(usize),
+    /// Return this (typically non-finite or out-of-range) value always.
+    Return(f64),
+}
+
+/// An estimator that fails on command — the top rung of a chaos ladder.
+pub struct FailingEstimator {
+    domain: Domain,
+    mode: FailureMode,
+    calls: std::sync::atomic::AtomicUsize,
+}
+
+impl FailingEstimator {
+    /// An estimator over `domain` failing per `mode`. While healthy it
+    /// serves the uniform overlap fraction (so "correct" calls are easy to
+    /// assert against).
+    pub fn new(domain: Domain, mode: FailureMode) -> Self {
+        FailingEstimator { domain, mode, calls: std::sync::atomic::AtomicUsize::new(0) }
+    }
+
+    /// Calls received so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl SelectivityEstimator for FailingEstimator {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.mode {
+            FailureMode::PanicAlways => panic!("injected estimator failure (call {n})"),
+            FailureMode::PanicAfter(healthy) if n >= healthy => {
+                panic!("injected estimator failure (call {n}, after {healthy} healthy)")
+            }
+            FailureMode::Return(v) => v,
+            FailureMode::PanicAfter(_) => self.domain.overlap(q.a(), q.b()) / self.domain.width(),
+        }
+    }
+
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    fn name(&self) -> String {
+        format!("Failing({:?})", self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_damage() {
+        let d = Domain::new(0.0, 100.0);
+        let base: Vec<f64> = (0..200).map(|i| i as f64 / 2.0).collect();
+        let (mut a, mut b) = (base.clone(), base.clone());
+        let ra = FaultInjector::new(42).corrupt_sample(&mut a, &d, 0.25);
+        let rb = FaultInjector::new(42).corrupt_sample(&mut b, &d, 0.25);
+        assert_eq!(ra, rb);
+        // NaN != NaN, so compare bitwise.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert!(ra.total() >= 40, "25% of 200 values, got {}", ra.total());
+    }
+
+    #[test]
+    fn report_matches_injected_classes() {
+        let d = Domain::new(0.0, 10.0);
+        let mut sample: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let report = FaultInjector::new(7).corrupt_sample(&mut sample, &d, 1.0);
+        assert_eq!(report.total(), 100);
+        // Cycling through 4 classes over 100 injections.
+        assert_eq!(report.nan, 25);
+        assert_eq!(report.pos_inf, 25);
+        assert_eq!(report.neg_inf, 25);
+        assert_eq!(report.out_of_domain, 25);
+        let damaged = sample.iter().filter(|v| !v.is_finite() || !d.contains(**v)).count();
+        assert!(damaged > 0 && damaged <= 100, "injections may overwrite each other");
+    }
+
+    #[test]
+    fn truncation_shortens_and_bitflip_preserves_length() {
+        let text = "selest-statistics v2\nstat t v kernel 10 0 1\n";
+        let mut inj = FaultInjector::new(3);
+        let cut = inj.truncate_text(text);
+        assert!(cut.len() < text.len());
+        assert!(text.starts_with(&cut));
+        let flipped = inj.bitflip_text(text);
+        assert_eq!(flipped.len(), text.len());
+        let differing =
+            text.bytes().zip(flipped.bytes()).filter(|(a, b)| a != b).count();
+        assert_eq!(differing, 1, "exactly one byte flips");
+    }
+
+    #[test]
+    fn failing_estimator_modes() {
+        let d = Domain::new(0.0, 10.0);
+        let q = RangeQuery::new(0.0, 5.0);
+        let healthy = FailingEstimator::new(d, FailureMode::PanicAfter(2));
+        assert_eq!(healthy.selectivity(&q), 0.5);
+        assert_eq!(healthy.selectivity(&q), 0.5);
+        assert_eq!(healthy.calls(), 2);
+        let nan = FailingEstimator::new(d, FailureMode::Return(f64::NAN));
+        assert!(nan.selectivity(&q).is_nan());
+        let boom = FailingEstimator::new(d, FailureMode::PanicAlways);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            boom.selectivity(&q)
+        }));
+        assert!(caught.is_err());
+    }
+}

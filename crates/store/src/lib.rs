@@ -15,19 +15,24 @@
 
 pub mod catalog;
 pub mod conjunctive;
+pub mod faultinject;
 pub mod index;
 pub mod online;
 pub mod persist;
 pub mod planner;
 pub mod query;
 pub mod relation;
+pub mod resilient;
 
 pub use conjunctive::{CorrelationModel, PairStatistics};
-pub use catalog::{build_estimator, AnalyzeConfig, ColumnStatistics, EstimatorKind,
-    StatisticsCatalog};
+pub use catalog::{build_estimator, try_build_estimator_from_sample, AnalyzeConfig,
+    ColumnStatistics, EstimatorKind, StatisticsCatalog};
 pub use index::SortedIndex;
 pub use online::{OnlineSelectivity, Snapshot};
-pub use planner::{execute_range_query, plan_range_query, AccessPath, Execution, Plan};
+pub use planner::{execute_range_query, plan_range_query, try_plan_range_query, AccessPath,
+    Execution, Plan};
 pub use persist::{decode as decode_statistics, encode as encode_statistics, PersistedStatistics};
 pub use query::{ChosenPath, Database, Explanation, QueryResult, RangePredicate, SelectQuery};
 pub use relation::{Column, Relation};
+pub use faultinject::{FailingEstimator, FailureMode, FaultInjector, InjectionReport};
+pub use resilient::{BuildFailure, HealthReport, ResilientEstimator};

@@ -31,6 +31,7 @@ pub struct OnlineSelectivity {
     query: RangeQuery,
     seen: usize,
     matched: usize,
+    skipped_nonfinite: usize,
 }
 
 /// A `(estimate, half_width)` confidence interval snapshot.
@@ -47,11 +48,17 @@ pub struct Snapshot {
 impl OnlineSelectivity {
     /// Start a progressive estimate of `query`.
     pub fn new(query: RangeQuery) -> Self {
-        OnlineSelectivity { query, seen: 0, matched: 0 }
+        OnlineSelectivity { query, seen: 0, matched: 0, skipped_nonfinite: 0 }
     }
 
-    /// Consume one row value.
+    /// Consume one row value. NaN/±Inf values (a corrupted page, a bad
+    /// decode) are tallied separately instead of silently diluting the
+    /// match fraction — the estimate stays an estimate over real rows.
     pub fn update(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.skipped_nonfinite += 1;
+            return;
+        }
         self.seen += 1;
         if self.query.matches(value) {
             self.matched += 1;
@@ -70,6 +77,11 @@ impl OnlineSelectivity {
         self.seen
     }
 
+    /// Non-finite row values rejected so far.
+    pub fn skipped_nonfinite(&self) -> usize {
+        self.skipped_nonfinite
+    }
+
     /// Current point estimate (0 before any row arrives).
     pub fn estimate(&self) -> f64 {
         if self.seen == 0 {
@@ -84,10 +96,21 @@ impl OnlineSelectivity {
     /// continuity floor so early zero-match prefixes do not report absurd
     /// certainty.
     pub fn snapshot(&self, confidence: f64) -> Snapshot {
-        assert!(
-            (0.0..1.0).contains(&confidence),
-            "confidence must be in [0, 1), got {confidence}"
-        );
+        self.try_snapshot(confidence)
+            .unwrap_or_else(|_| panic!("confidence must be in [0, 1), got {confidence}"))
+    }
+
+    /// Fallible [`OnlineSelectivity::snapshot`]: an out-of-range or
+    /// non-finite confidence level is a typed error, not a panic.
+    pub fn try_snapshot(
+        &self,
+        confidence: f64,
+    ) -> Result<Snapshot, selest_core::fault::EstimateError> {
+        if !confidence.is_finite() || !(0.0..1.0).contains(&confidence) {
+            return Err(selest_core::fault::EstimateError::NonFiniteEstimate {
+                value: confidence,
+            });
+        }
         let p = self.estimate();
         let half_width = if self.seen == 0 {
             1.0
@@ -96,7 +119,7 @@ impl OnlineSelectivity {
             let var = (p * (1.0 - p)).max(1.0 / self.seen as f64 / 4.0);
             z * (var / self.seen as f64).sqrt()
         };
-        Snapshot { seen: self.seen, estimate: p, half_width }
+        Ok(Snapshot { seen: self.seen, estimate: p, half_width })
     }
 
     /// Whether the interval at `confidence` is narrower than
@@ -171,6 +194,24 @@ mod tests {
         est.update_batch(shuffled_uniform(10_000, 9));
         assert!(est.converged(0.95, 0.02));
         assert!(!est.converged(0.95, 0.0001));
+    }
+
+    #[test]
+    fn nonfinite_rows_are_skipped_not_counted() {
+        let mut est = OnlineSelectivity::new(RangeQuery::new(0.0, 50.0));
+        est.update_batch([25.0, f64::NAN, 75.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(est.seen(), 2);
+        assert_eq!(est.skipped_nonfinite(), 3);
+        assert_eq!(est.estimate(), 0.5);
+    }
+
+    #[test]
+    fn try_snapshot_rejects_bad_confidence() {
+        let est = OnlineSelectivity::new(RangeQuery::new(0.0, 1.0));
+        assert!(est.try_snapshot(f64::NAN).is_err());
+        assert!(est.try_snapshot(1.0).is_err());
+        assert!(est.try_snapshot(-0.1).is_err());
+        assert!(est.try_snapshot(0.95).is_ok());
     }
 
     #[test]

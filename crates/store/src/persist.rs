@@ -4,19 +4,41 @@
 //! object but the *evidence*: the sample, the method, and the relation
 //! metadata; estimators are rebuilt deterministically on load. The format
 //! is a self-describing line-oriented text format (no external
-//! serialization dependency):
+//! serialization dependency). Version 2 adds a per-entry FNV-1a checksum
+//! so bit rot is detected at the damaged entry, not smeared across the
+//! whole catalog:
 //!
 //! ```text
-//! selest-statistics v1
+//! selest-statistics v2
 //! stat <relation> <column> <kind> <n_rows> <domain_lo> <domain_hi>
 //! sample <len> v1 v2 ... vlen
+//! check <fnv1a64-hex-of-the-two-lines-above>
 //! ```
+//!
+//! Version 1 files (no `check` lines) still load. Durability hardening:
+//!
+//! * [`save_to_path`] writes atomically — temp file in the same
+//!   directory, fsync, rename — so a crash mid-save leaves the previous
+//!   file intact, never a torn one;
+//! * [`decode`] is strict and reports the 1-based line of the first
+//!   problem; it never panics and never silently truncates;
+//! * [`decode_lenient`] recovers per entry: damaged entries are skipped
+//!   and reported, intact entries still load — one flipped bit costs one
+//!   column's statistics, not the catalog.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
+use selest_core::fault::EstimateError;
 use selest_core::{Domain, SelectivityEstimator};
 
 use crate::catalog::EstimatorKind;
+
+/// Header of the legacy checksum-free format.
+pub const HEADER_V1: &str = "selest-statistics v1";
+/// Header of the current checksummed format.
+pub const HEADER_V2: &str = "selest-statistics v2";
 
 /// One persisted statistics entry: everything needed to rebuild the
 /// estimator.
@@ -37,10 +59,31 @@ pub struct PersistedStatistics {
 }
 
 impl PersistedStatistics {
-    /// Rebuild the estimator from the persisted evidence.
+    /// Rebuild the estimator from the persisted evidence. Panics on
+    /// degenerate evidence; the serving path uses
+    /// [`PersistedStatistics::try_rebuild`].
     pub fn rebuild(&self) -> Box<dyn SelectivityEstimator + Send + Sync> {
         crate::catalog::build_estimator_from_sample(&self.sample, self.domain, self.kind)
     }
+
+    /// Panic-free rebuild: sanitizes the sample and converts construction
+    /// failures into typed errors.
+    pub fn try_rebuild(
+        &self,
+    ) -> Result<Box<dyn SelectivityEstimator + Send + Sync>, EstimateError> {
+        crate::catalog::try_build_estimator_from_sample(&self.sample, self.domain, self.kind)
+            .map(|(est, _audit)| est)
+    }
+}
+
+/// 64-bit FNV-1a — the dependency-free checksum guarding each entry.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
 }
 
 fn kind_token(kind: EstimatorKind) -> &'static str {
@@ -70,93 +113,255 @@ fn parse_kind(token: &str) -> Result<EstimatorKind, String> {
     })
 }
 
-/// Serialize a set of statistics entries.
+fn entry_lines(e: &PersistedStatistics) -> (String, String) {
+    let stat = format!(
+        "stat {} {} {} {} {} {}",
+        e.relation,
+        e.column,
+        kind_token(e.kind),
+        e.n_rows,
+        e.domain.lo(),
+        e.domain.hi()
+    );
+    let mut sample = format!("sample {}", e.sample.len());
+    for v in &e.sample {
+        let _ = write!(sample, " {v}");
+    }
+    (stat, sample)
+}
+
+/// Serialize a set of statistics entries in the v2 (checksummed) format.
 pub fn encode(entries: &[PersistedStatistics]) -> String {
-    let mut out = String::from("selest-statistics v1\n");
+    let mut out = String::from(HEADER_V2);
+    out.push('\n');
     for e in entries {
         assert!(
             !e.relation.contains(char::is_whitespace) && !e.column.contains(char::is_whitespace),
             "relation/column names must not contain whitespace"
         );
-        let _ = writeln!(
-            out,
-            "stat {} {} {} {} {} {}",
-            e.relation,
-            e.column,
-            kind_token(e.kind),
-            e.n_rows,
-            e.domain.lo(),
-            e.domain.hi()
-        );
-        let _ = write!(out, "sample {}", e.sample.len());
-        for v in &e.sample {
-            let _ = write!(out, " {v}");
-        }
-        out.push('\n');
+        let (stat, sample) = entry_lines(e);
+        let check = fnv1a64(format!("{stat}\n{sample}\n").as_bytes());
+        let _ = writeln!(out, "{stat}\n{sample}\ncheck {check:016x}");
     }
     out
 }
 
-/// Parse a serialized statistics file.
-pub fn decode(text: &str) -> Result<Vec<PersistedStatistics>, String> {
-    let mut lines = text.lines();
-    match lines.next() {
-        Some("selest-statistics v1") => {}
-        other => return Err(format!("bad header: {other:?}")),
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Version {
+    V1,
+    V2,
+}
+
+fn corrupt(line: usize, message: impl Into<String>) -> EstimateError {
+    EstimateError::CorruptEntry { line, message: message.into() }
+}
+
+/// Parse one entry starting at `lines[i]` (a non-empty line). Returns the
+/// entry and the index just past it. Errors carry the 1-based line number
+/// of the offending line.
+fn parse_entry(
+    lines: &[&str],
+    i: usize,
+    version: Version,
+) -> Result<(PersistedStatistics, usize), EstimateError> {
+    let stat_line = lines[i];
+    let lineno = i + 1;
+    let mut parts = stat_line.split_whitespace();
+    if parts.next() != Some("stat") {
+        return Err(corrupt(lineno, format!("expected 'stat' line, got {stat_line:?}")));
     }
+    let relation = parts.next().ok_or_else(|| corrupt(lineno, "missing relation"))?.to_owned();
+    let column = parts.next().ok_or_else(|| corrupt(lineno, "missing column"))?.to_owned();
+    let kind = parse_kind(parts.next().ok_or_else(|| corrupt(lineno, "missing kind"))?)
+        .map_err(|m| corrupt(lineno, m))?;
+    let n_rows: usize = parts
+        .next()
+        .ok_or_else(|| corrupt(lineno, "missing n_rows"))?
+        .parse()
+        .map_err(|e| corrupt(lineno, format!("bad n_rows: {e}")))?;
+    let lo: f64 = parts
+        .next()
+        .ok_or_else(|| corrupt(lineno, "missing domain lo"))?
+        .parse()
+        .map_err(|e| corrupt(lineno, format!("bad domain lo: {e}")))?;
+    let hi: f64 = parts
+        .next()
+        .ok_or_else(|| corrupt(lineno, "missing domain hi"))?
+        .parse()
+        .map_err(|e| corrupt(lineno, format!("bad domain hi: {e}")))?;
+    if let Some(extra) = parts.next() {
+        return Err(corrupt(lineno, format!("trailing token {extra:?} on 'stat' line")));
+    }
+    let domain = Domain::try_new(lo, hi)
+        .map_err(|e| corrupt(lineno, format!("invalid domain: {e}")))?;
+
+    let sample_line = *lines
+        .get(i + 1)
+        .ok_or_else(|| corrupt(lineno + 1, "missing 'sample' line (truncated file?)"))?;
+    let sample_lineno = i + 2;
+    let mut sp = sample_line.split_whitespace();
+    if sp.next() != Some("sample") {
+        return Err(corrupt(sample_lineno, format!("expected 'sample' line, got {sample_line:?}")));
+    }
+    let len: usize = sp
+        .next()
+        .ok_or_else(|| corrupt(sample_lineno, "missing sample length"))?
+        .parse()
+        .map_err(|e| corrupt(sample_lineno, format!("bad sample length: {e}")))?;
+    let sample: Vec<f64> = sp
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| corrupt(sample_lineno, format!("bad sample value {t:?}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if sample.len() != len {
+        return Err(corrupt(
+            sample_lineno,
+            format!("sample length mismatch: header says {len}, found {}", sample.len()),
+        ));
+    }
+
+    let next = match version {
+        Version::V1 => i + 2,
+        Version::V2 => {
+            let check_line = *lines
+                .get(i + 2)
+                .ok_or_else(|| corrupt(lineno + 2, "missing 'check' line (truncated file?)"))?;
+            let check_lineno = i + 3;
+            let mut cp = check_line.split_whitespace();
+            if cp.next() != Some("check") {
+                return Err(corrupt(
+                    check_lineno,
+                    format!("expected 'check' line, got {check_line:?}"),
+                ));
+            }
+            let stored = u64::from_str_radix(
+                cp.next().ok_or_else(|| corrupt(check_lineno, "missing checksum"))?,
+                16,
+            )
+            .map_err(|e| corrupt(check_lineno, format!("bad checksum: {e}")))?;
+            let actual = fnv1a64(format!("{stat_line}\n{sample_line}\n").as_bytes());
+            if stored != actual {
+                return Err(corrupt(
+                    check_lineno,
+                    format!("checksum mismatch: stored {stored:016x}, computed {actual:016x}"),
+                ));
+            }
+            i + 3
+        }
+    };
+    Ok((PersistedStatistics { relation, column, kind, n_rows, domain, sample }, next))
+}
+
+fn parse_header(lines: &[&str]) -> Result<Version, EstimateError> {
+    match lines.first() {
+        Some(&h) if h == HEADER_V1 => Ok(Version::V1),
+        Some(&h) if h == HEADER_V2 => Ok(Version::V2),
+        Some(&h) => Err(corrupt(1, format!("bad header: {h:?}"))),
+        None => Err(corrupt(1, "empty statistics file")),
+    }
+}
+
+/// Parse a serialized statistics file (v1 or v2), strictly: the first
+/// damaged entry aborts the load with the 1-based line number of the
+/// problem. Never panics, never silently drops an entry.
+pub fn decode(text: &str) -> Result<Vec<PersistedStatistics>, EstimateError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let version = parse_header(&lines)?;
     let mut entries = Vec::new();
-    while let Some(line) = lines.next() {
-        if line.trim().is_empty() {
+    let mut i = 1;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
             continue;
         }
-        let mut parts = line.split_whitespace();
-        if parts.next() != Some("stat") {
-            return Err(format!("expected 'stat' line, got {line:?}"));
-        }
-        let relation = parts.next().ok_or("missing relation")?.to_owned();
-        let column = parts.next().ok_or("missing column")?.to_owned();
-        let kind = parse_kind(parts.next().ok_or("missing kind")?)?;
-        let n_rows: usize = parts
-            .next()
-            .ok_or("missing n_rows")?
-            .parse()
-            .map_err(|e| format!("bad n_rows: {e}"))?;
-        let lo: f64 = parts
-            .next()
-            .ok_or("missing domain lo")?
-            .parse()
-            .map_err(|e| format!("bad domain lo: {e}"))?;
-        let hi: f64 = parts
-            .next()
-            .ok_or("missing domain hi")?
-            .parse()
-            .map_err(|e| format!("bad domain hi: {e}"))?;
-        let sample_line = lines.next().ok_or("missing sample line")?;
-        let mut sp = sample_line.split_whitespace();
-        if sp.next() != Some("sample") {
-            return Err(format!("expected 'sample' line, got {sample_line:?}"));
-        }
-        let len: usize = sp
-            .next()
-            .ok_or("missing sample length")?
-            .parse()
-            .map_err(|e| format!("bad sample length: {e}"))?;
-        let sample: Vec<f64> = sp
-            .map(|t| t.parse::<f64>().map_err(|e| format!("bad sample value: {e}")))
-            .collect::<Result<_, _>>()?;
-        if sample.len() != len {
-            return Err(format!("sample length mismatch: header {len}, got {}", sample.len()));
-        }
-        entries.push(PersistedStatistics {
-            relation,
-            column,
-            kind,
-            n_rows,
-            domain: Domain::new(lo, hi),
-            sample,
-        });
+        let (entry, next) = parse_entry(&lines, i, version)?;
+        entries.push(entry);
+        i = next;
     }
     Ok(entries)
+}
+
+/// Outcome of a lenient decode: the entries that survived and one error
+/// per entry that did not.
+#[derive(Debug)]
+pub struct DecodeReport {
+    /// Entries that validated.
+    pub entries: Vec<PersistedStatistics>,
+    /// One [`EstimateError::CorruptEntry`] per damaged entry, in file
+    /// order.
+    pub errors: Vec<EstimateError>,
+}
+
+/// Parse a statistics file, skipping damaged entries instead of aborting:
+/// after an error, scanning resumes at the next `stat` line. A header that
+/// does not parse still fails the whole file — with no version there is no
+/// grammar to recover in.
+pub fn decode_lenient(text: &str) -> Result<DecodeReport, EstimateError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let version = parse_header(&lines)?;
+    let mut report = DecodeReport { entries: Vec::new(), errors: Vec::new() };
+    let mut i = 1;
+    while i < lines.len() {
+        if lines[i].trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        match parse_entry(&lines, i, version) {
+            Ok((entry, next)) => {
+                report.entries.push(entry);
+                i = next;
+            }
+            Err(e) => {
+                report.errors.push(e);
+                // Resume at the next plausible entry start.
+                i += 1;
+                while i < lines.len() && !lines[i].starts_with("stat ") {
+                    i += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically persist `entries` to `path`: encode to a temp file in the
+/// same directory, fsync it, then rename over the target. A crash at any
+/// point leaves either the old file or the new one — never a torn mix.
+pub fn save_to_path(path: &Path, entries: &[PersistedStatistics]) -> std::io::Result<()> {
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(encode(entries).as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Load and strictly decode a statistics file; decode failures surface as
+/// `InvalidData` I/O errors carrying the line-numbered message.
+pub fn load_from_path(path: &Path) -> std::io::Result<Vec<PersistedStatistics>> {
+    let text = std::fs::read_to_string(path)?;
+    decode(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Load with per-entry recovery; only an unreadable file or an unusable
+/// header fails the call.
+pub fn load_lenient_from_path(path: &Path) -> std::io::Result<DecodeReport> {
+    let text = std::fs::read_to_string(path)?;
+    decode_lenient(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]
@@ -175,25 +380,45 @@ mod tests {
         }
     }
 
+    fn second_entry() -> PersistedStatistics {
+        PersistedStatistics { column: "day".into(), kind: EstimatorKind::Kernel, ..entry() }
+    }
+
+    /// The v1 rendering of an entry set, for backward-compat tests.
+    fn encode_v1(entries: &[PersistedStatistics]) -> String {
+        let mut out = String::from(HEADER_V1);
+        out.push('\n');
+        for e in entries {
+            let (stat, sample) = entry_lines(e);
+            let _ = writeln!(out, "{stat}\n{sample}");
+        }
+        out
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
-        let entries = vec![
-            entry(),
-            PersistedStatistics {
-                column: "day".into(),
-                kind: EstimatorKind::Kernel,
-                ..entry()
-            },
-        ];
+        let entries = vec![entry(), second_entry()];
         let text = encode(&entries);
+        assert!(text.starts_with(HEADER_V2));
         let back = decode(&text).expect("decode");
         assert_eq!(back, entries);
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let entries = vec![entry(), second_entry()];
+        let text = encode_v1(&entries);
+        let back = decode(&text).expect("v1 decode");
+        assert_eq!(back, entries);
+        let report = decode_lenient(&text).expect("v1 lenient decode");
+        assert_eq!(report.entries, entries);
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
     fn rebuilt_estimators_answer_identically() {
         let e = entry();
-        let text = encode(&[e.clone()]);
+        let text = encode(std::slice::from_ref(&e));
         let back = decode(&text).expect("decode");
         let est_a = e.rebuild();
         let est_b = back[0].rebuild();
@@ -222,14 +447,124 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_garbage() {
-        assert!(decode("not a statistics file").is_err());
-        assert!(decode("selest-statistics v1\nstat only three").is_err());
-        assert!(decode("selest-statistics v1\nstat r c kernel 10 0 1\nsample 3 1 2").is_err());
-        assert!(
-            decode("selest-statistics v1\nstat r c warp 10 0 1\nsample 1 1").is_err(),
-            "unknown kind must fail"
-        );
+    fn try_rebuild_survives_degenerate_evidence() {
+        let mut e = entry();
+        e.sample = vec![f64::NAN, f64::INFINITY];
+        assert_eq!(e.try_rebuild().err(), Some(EstimateError::EmptySample));
+        // A zero-variance sample breaks the normal-scale bin rule; the
+        // construction panic must come back as a typed error, not unwind.
+        e.sample = vec![500.0; 10];
+        match e.try_rebuild() {
+            Err(EstimateError::Panicked { stage, message }) => {
+                assert_eq!(stage, selest_core::fault::FaultStage::Build);
+                assert!(message.contains("constant"), "{message:?}");
+            }
+            other => panic!("expected a caught build panic, got {:?}", other.err()),
+        }
+        // The sampling rung digests the same evidence fine — that is the
+        // degradation ladder's next stop.
+        e.kind = EstimatorKind::Sampling;
+        assert!(e.try_rebuild().is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_line_numbers() {
+        let expect_line = |text: &str, line: usize, needle: &str| {
+            match decode(text) {
+                Err(EstimateError::CorruptEntry { line: l, message }) => {
+                    assert_eq!(l, line, "wrong line for {text:?}: {message}");
+                    assert!(message.contains(needle), "{message:?} missing {needle:?}");
+                }
+                other => panic!("expected CorruptEntry for {text:?}, got {other:?}"),
+            }
+        };
+        expect_line("not a statistics file", 1, "bad header");
+        expect_line("", 1, "empty");
+        expect_line("selest-statistics v1\nstat only three", 2, "missing kind");
+        expect_line("selest-statistics v1\nstat r c warp 10 0 1\nsample 1 1", 2, "unknown estimator kind");
+        expect_line("selest-statistics v1\nstat r c kernel 10 0 1\nsample 3 1 2", 3, "length mismatch");
+        expect_line("selest-statistics v1\nstat r c kernel 10 0 1", 3, "truncated");
+        expect_line("selest-statistics v1\nstat r c kernel ten 0 1\nsample 0", 2, "bad n_rows");
+        expect_line("selest-statistics v1\nstat r c kernel 10 5 1\nsample 0", 2, "invalid domain");
+        expect_line("selest-statistics v1\nstat r c kernel 10 0 1\nsample 1 oops", 3, "bad sample value");
+        expect_line("selest-statistics v1\nstat r c kernel 10 0 1 extra\nsample 0", 2, "trailing token");
+    }
+
+    #[test]
+    fn bitflips_fail_the_checksum() {
+        let text = encode(&[entry()]);
+        // Flip one digit inside the sample payload: v1 would silently load
+        // a wrong value; v2 must refuse the entry.
+        let flipped = text.replacen(" 495 ", " 496 ", 1);
+        assert_ne!(flipped, text, "fixture value must appear in the sample");
+        match decode(&flipped) {
+            Err(EstimateError::CorruptEntry { message, .. }) => {
+                assert!(message.contains("checksum mismatch"), "{message:?}");
+            }
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_v2_file_reports_the_cut() {
+        let text = encode(&[entry()]);
+        // Cut mid-sample-line: the sample length header no longer matches.
+        let cut = &text[..text.len() - 40];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn lenient_decode_skips_only_the_damaged_entry() {
+        let good = vec![entry(), second_entry()];
+        let mut text = encode(&good);
+        // Corrupt the first entry's checksum line.
+        text = text.replacen("check ", "check 0deadbeef", 1);
+        let report = decode_lenient(&text).expect("header is fine");
+        assert_eq!(report.entries.len(), 1, "second entry must survive");
+        assert_eq!(report.entries[0].column, "day");
+        assert_eq!(report.errors.len(), 1);
+        match &report.errors[0] {
+            EstimateError::CorruptEntry { message, .. } => {
+                assert!(message.contains("checksum") || message.contains("bad checksum"), "{message:?}");
+            }
+            other => panic!("expected CorruptEntry, got {other:?}"),
+        }
+    }
+
+    /// Scratch space under the workspace target dir (kept out of /tmp so
+    /// test artifacts stay inside the repository checkout).
+    fn scratch_dir() -> PathBuf {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/persist-test"))
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("stats.txt");
+        let first = vec![entry()];
+        save_to_path(&path, &first).expect("save");
+        assert_eq!(load_from_path(&path).expect("load"), first);
+        assert!(!temp_sibling(&path).exists(), "temp file must be renamed away");
+        // Overwrite with new content: readers see old-or-new, never torn.
+        let second = vec![entry(), second_entry()];
+        save_to_path(&path, &second).expect("re-save");
+        assert_eq!(load_from_path(&path).expect("reload"), second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_load_recovers_from_on_disk_damage() {
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("damaged.txt");
+        let mut text = encode(&[entry(), second_entry()]);
+        text = text.replacen("sample 200", "sample 999", 1); // break entry 1
+        std::fs::write(&path, &text).expect("write");
+        let report = load_lenient_from_path(&path).expect("lenient load");
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.errors.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! access), so index scans only pay off at low selectivity — the crossover
 //! the estimator must locate.
 
+use selest_core::fault::{catch_fault, EstimateError, FaultStage};
 use selest_core::RangeQuery;
 
 use crate::catalog::StatisticsCatalog;
@@ -76,24 +77,48 @@ fn costs(n_rows: usize, matching: f64) -> (f64, f64) {
     (seq, idx)
 }
 
+/// Fallible planning: missing statistics come back as
+/// [`EstimateError::MissingStatistics`], a panicking estimator as
+/// [`EstimateError::Panicked`], and a non-finite cardinality as
+/// [`EstimateError::NonFiniteEstimate`] — the serving path decides whether
+/// to fall back to a seq scan or surface the error, instead of crashing
+/// mid-plan. Finite estimates are clamped to `[0, n_rows]` before costing.
+pub fn try_plan_range_query(
+    catalog: &StatisticsCatalog,
+    relation: &Relation,
+    column: &str,
+    q: &RangeQuery,
+) -> Result<Plan, EstimateError> {
+    let stats = catalog.statistics(relation.name(), column).ok_or_else(|| {
+        EstimateError::MissingStatistics {
+            relation: relation.name().to_owned(),
+            column: column.to_owned(),
+        }
+    })?;
+    let estimated_rows =
+        catch_fault(FaultStage::Estimate, std::panic::AssertUnwindSafe(|| stats.estimate_rows(q)))?;
+    if !estimated_rows.is_finite() {
+        return Err(EstimateError::NonFiniteEstimate { value: estimated_rows });
+    }
+    let estimated_rows = estimated_rows.clamp(0.0, relation.n_rows() as f64);
+    let (seq, idx) = costs(relation.n_rows(), estimated_rows);
+    Ok(if idx < seq {
+        Plan { path: AccessPath::IndexScan, estimated_rows, estimated_cost: idx }
+    } else {
+        Plan { path: AccessPath::SeqScan, estimated_rows, estimated_cost: seq }
+    })
+}
+
 /// Plan a range predicate over `relation.column` using the catalog's
-/// statistics. Panics if the column was never analyzed.
+/// statistics. Panics if the column was never analyzed; the panic-free
+/// variant is [`try_plan_range_query`].
 pub fn plan_range_query(
     catalog: &StatisticsCatalog,
     relation: &Relation,
     column: &str,
     q: &RangeQuery,
 ) -> Plan {
-    let stats = catalog
-        .statistics(relation.name(), column)
-        .unwrap_or_else(|| panic!("no statistics for {}.{column}; run ANALYZE", relation.name()));
-    let estimated_rows = stats.estimate_rows(q);
-    let (seq, idx) = costs(relation.n_rows(), estimated_rows);
-    if idx < seq {
-        Plan { path: AccessPath::IndexScan, estimated_rows, estimated_cost: idx }
-    } else {
-        Plan { path: AccessPath::SeqScan, estimated_rows, estimated_cost: seq }
-    }
+    try_plan_range_query(catalog, relation, column, q).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Plan and "execute": compute the true cardinality via the index, price
@@ -205,5 +230,30 @@ mod tests {
         let (r, _, _) = setup(EstimatorKind::Uniform);
         let empty = StatisticsCatalog::new();
         let _ = plan_range_query(&empty, &r, "v", &RangeQuery::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn try_planning_without_statistics_is_a_typed_error() {
+        let (r, _, _) = setup(EstimatorKind::Uniform);
+        let empty = StatisticsCatalog::new();
+        let err = try_plan_range_query(&empty, &r, "v", &RangeQuery::new(0.0, 1.0));
+        match err {
+            Err(EstimateError::MissingStatistics { relation, column }) => {
+                assert_eq!(relation, "t");
+                assert_eq!(column, "v");
+            }
+            other => panic!("expected MissingStatistics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_planning_matches_the_panicking_path() {
+        let (r, cat, _) = setup(EstimatorKind::Kernel);
+        let q = RangeQuery::new(500.0, 508.0);
+        let a = plan_range_query(&cat, &r, "v", &q);
+        let b = try_plan_range_query(&cat, &r, "v", &q).expect("stats exist");
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.estimated_rows, b.estimated_rows);
+        assert_eq!(a.estimated_cost, b.estimated_cost);
     }
 }

@@ -1,0 +1,475 @@
+//! Fault-tolerant statistics serving: the degradation ladder.
+//!
+//! The paper ranks estimators by accuracy (kernel > MaxDiff histogram >
+//! sampling > uniform, Section 6); this module reuses that ranking as a
+//! *degradation ladder*. [`ResilientEstimator`] builds every rung it can
+//! from the ANALYZE sample and serves from the highest healthy one. A rung
+//! that fails to build (degenerate sample, bandwidth blow-up, construction
+//! panic) is skipped at build time; a rung that fails at serving time
+//! (panic, non-finite selectivity) demotes the entry to the next rung.
+//! The bottom rung — System R's uniform assumption — needs no sample and
+//! cannot fail, so the serving path always produces a finite selectivity
+//! in `[0, 1]`, no matter how poisoned the inputs were.
+//!
+//! Every failure is counted, not hidden: [`ResilientEstimator::health`]
+//! reports the sanitization audit, per-rung build failures, serving
+//! faults, fallback depth, and the feedback drift of the entry (how far
+//! observed truths have diverged from the stored statistics — a staleness
+//! alarm). Entries that keep faulting past a threshold are quarantined to
+//! the uniform rung until the next ANALYZE.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use selest_core::fault::{catch_fault, EstimateError, FaultStage, SampleAudit};
+use selest_core::{CorrectionGrid, Domain, RangeQuery, SelectivityEstimator};
+
+use crate::catalog::{try_build_estimator_from_sample, EstimatorKind};
+
+/// Serving faults tolerated before an entry is quarantined to uniform.
+pub const DEFAULT_QUARANTINE_THRESHOLD: usize = 8;
+
+/// Feedback buckets of the drift monitor.
+const DRIFT_BUCKETS: usize = 16;
+/// Learning rate of the drift monitor.
+const DRIFT_ALPHA: f64 = 0.3;
+
+/// One rung of the ladder: a built estimator and its display name.
+struct Rung {
+    name: String,
+    estimator: Box<dyn SelectivityEstimator + Send + Sync>,
+}
+
+/// A build failure recorded while assembling the ladder.
+#[derive(Debug, Clone)]
+pub struct BuildFailure {
+    /// The estimator kind that could not be built.
+    pub kind: EstimatorKind,
+    /// Why.
+    pub error: EstimateError,
+}
+
+/// Point-in-time health of a resilient entry.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Name of the rung currently serving.
+    pub active_rung: String,
+    /// How many rungs down from the preferred estimator the entry has
+    /// degraded (0 = serving from the preferred rung).
+    pub fallback_depth: usize,
+    /// Number of rungs that built successfully.
+    pub rungs: usize,
+    /// Kinds that failed to build, with their errors.
+    pub build_failures: usize,
+    /// Serving-time faults (panics or non-finite selectivities) absorbed.
+    pub estimate_faults: usize,
+    /// Queries answered.
+    pub served: usize,
+    /// Finite estimates that had to be clamped into `[0, 1]`.
+    pub clamped: usize,
+    /// Whether the entry is pinned to the uniform rung.
+    pub quarantined: bool,
+    /// What ANALYZE-sample sanitization dropped.
+    pub sample_audit: SampleAudit,
+    /// Feedback drift: largest deviation of any correction bucket from 1
+    /// (0 = observed truths still match the stored statistics).
+    pub drift: f64,
+    /// Feedback observations accepted.
+    pub observations: usize,
+}
+
+/// A selectivity estimator that cannot crash and cannot return garbage:
+/// it degrades instead.
+///
+/// # Examples
+///
+/// ```
+/// use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+/// use selest_store::{EstimatorKind, ResilientEstimator};
+///
+/// // A sample poisoned with NaN and out-of-domain values still serves.
+/// let sample = vec![1.0, f64::NAN, 2.0, 1e9, 3.0, f64::INFINITY];
+/// let est = ResilientEstimator::build(&sample, Domain::new(0.0, 10.0), EstimatorKind::Kernel);
+/// let s = est.selectivity(&RangeQuery::new(0.0, 5.0));
+/// assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+/// assert_eq!(est.health().sample_audit.dropped(), 3);
+/// ```
+pub struct ResilientEstimator {
+    rungs: Vec<Rung>,
+    domain: Domain,
+    build_failures: Vec<BuildFailure>,
+    audit: SampleAudit,
+    quarantine_threshold: usize,
+    // Serving-path state is interior-mutable: `selectivity` takes `&self`
+    // and entries are shared across planner threads.
+    active: AtomicUsize,
+    estimate_faults: AtomicUsize,
+    served: AtomicUsize,
+    clamped: AtomicUsize,
+    quarantined: AtomicBool,
+    drift_grid: Mutex<CorrectionGrid>,
+}
+
+/// Ladder order for a preferred kind: the preferred estimator first, then
+/// the paper's accuracy ranking of cheaper fallbacks, uniform always last.
+fn ladder(preferred: EstimatorKind) -> Vec<EstimatorKind> {
+    if preferred == EstimatorKind::Uniform {
+        return vec![EstimatorKind::Uniform];
+    }
+    let mut order = vec![preferred];
+    for k in [EstimatorKind::MaxDiff, EstimatorKind::EquiDepth, EstimatorKind::Sampling] {
+        if !order.contains(&k) {
+            order.push(k);
+        }
+    }
+    order.push(EstimatorKind::Uniform);
+    order
+}
+
+impl ResilientEstimator {
+    /// Build the ladder for `preferred` over an (untrusted) sample. Never
+    /// fails: rungs that cannot be built are recorded as build failures
+    /// and the uniform rung is always present.
+    pub fn build(sample: &[f64], domain: Domain, preferred: EstimatorKind) -> Self {
+        let mut rungs = Vec::new();
+        let mut build_failures = Vec::new();
+        let mut audit = SampleAudit::default();
+        for kind in ladder(preferred) {
+            match try_build_estimator_from_sample(sample, domain, kind) {
+                Ok((estimator, a)) => {
+                    audit = a;
+                    rungs.push(Rung { name: format!("{kind:?}"), estimator });
+                }
+                Err(error) => build_failures.push(BuildFailure { kind, error }),
+            }
+        }
+        debug_assert!(!rungs.is_empty(), "uniform rung must always build");
+        Self::assemble(rungs, domain, build_failures, audit)
+    }
+
+    /// Build a ladder from pre-constructed estimators (highest rung
+    /// first). Used by the fault-injection harness to place deliberately
+    /// misbehaving estimators on the ladder; the uniform bottom rung is
+    /// appended automatically.
+    pub fn from_estimators(
+        estimators: Vec<Box<dyn SelectivityEstimator + Send + Sync>>,
+        domain: Domain,
+    ) -> Self {
+        let mut rungs: Vec<Rung> = estimators
+            .into_iter()
+            .map(|estimator| Rung { name: estimator.name(), estimator })
+            .collect();
+        rungs.push(Rung {
+            name: "Uniform".to_owned(),
+            estimator: Box::new(selest_core::UniformEstimator::new(domain)),
+        });
+        Self::assemble(rungs, domain, Vec::new(), SampleAudit::default())
+    }
+
+    fn assemble(
+        rungs: Vec<Rung>,
+        domain: Domain,
+        build_failures: Vec<BuildFailure>,
+        audit: SampleAudit,
+    ) -> Self {
+        ResilientEstimator {
+            rungs,
+            domain,
+            build_failures,
+            audit,
+            quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            active: AtomicUsize::new(0),
+            estimate_faults: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+            clamped: AtomicUsize::new(0),
+            quarantined: AtomicBool::new(false),
+            drift_grid: Mutex::new(CorrectionGrid::new(domain, DRIFT_BUCKETS, DRIFT_ALPHA)),
+        }
+    }
+
+    /// Override the quarantine threshold (serving faults tolerated before
+    /// the entry is pinned to uniform).
+    pub fn with_quarantine_threshold(mut self, threshold: usize) -> Self {
+        assert!(threshold > 0, "quarantine threshold must be positive");
+        self.quarantine_threshold = threshold;
+        self
+    }
+
+    /// One serving attempt against rung `i`, faults mapped to errors.
+    fn attempt(&self, i: usize, q: &RangeQuery) -> Result<f64, EstimateError> {
+        let rung = &self.rungs[i];
+        let v = catch_fault(FaultStage::Estimate, AssertUnwindSafe(|| rung.estimator.selectivity(q)))?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(EstimateError::NonFiniteEstimate { value: v })
+        }
+    }
+
+    /// Serve a selectivity, degrading as needed. Always returns a finite
+    /// value in `[0, 1]`; the only way to get an `Err` is an invalid query
+    /// (checked before any rung runs).
+    pub fn try_selectivity(&self, q: &RangeQuery) -> Result<f64, EstimateError> {
+        // Re-validate: RangeQuery invariants hold by construction, but a
+        // query outside the serving domain is still answerable (the rungs
+        // all treat out-of-domain mass as zero).
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let start = if self.quarantined.load(Ordering::Relaxed) {
+            self.rungs.len() - 1
+        } else {
+            self.active.load(Ordering::Relaxed).min(self.rungs.len() - 1)
+        };
+        for i in start..self.rungs.len() {
+            match self.attempt(i, q) {
+                Ok(v) => {
+                    if i != start {
+                        // Demotion is sticky: the failed rung stays dead
+                        // until the next ANALYZE rebuilds the entry.
+                        self.active.fetch_max(i, Ordering::Relaxed);
+                    }
+                    let clamped = v.clamp(0.0, 1.0);
+                    if clamped != v {
+                        self.clamped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(clamped);
+                }
+                Err(_) => {
+                    let faults = self.estimate_faults.fetch_add(1, Ordering::Relaxed) + 1;
+                    if faults >= self.quarantine_threshold {
+                        self.quarantined.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        // Unreachable in practice — the uniform rung computes a pure
+        // overlap ratio — but the serving contract is "always answer", so
+        // compute that ratio directly rather than trusting unreachable!().
+        let w = self.domain.width();
+        Ok(if w > 0.0 { (self.domain.overlap(q.a(), q.b()) / w).clamp(0.0, 1.0) } else { 0.0 })
+    }
+
+    /// Feed back the true selectivity of an executed query. Updates the
+    /// drift monitor only — serving stays on the raw ladder; drift is a
+    /// staleness alarm for the operator, not a correction. Garbage truths
+    /// are rejected with a typed error, never a panic.
+    pub fn observe(&self, q: &RangeQuery, true_selectivity: f64) -> Result<(), EstimateError> {
+        let base = self.try_selectivity(q)?;
+        let mut grid = self.drift_grid.lock().expect("drift grid lock");
+        grid.try_observe(q, base, true_selectivity)
+    }
+
+    /// Whether the entry is pinned to the uniform rung.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// The build failures recorded while assembling the ladder.
+    pub fn build_failures(&self) -> &[BuildFailure] {
+        &self.build_failures
+    }
+
+    /// Names of the successfully built rungs, highest first.
+    pub fn rung_names(&self) -> Vec<String> {
+        self.rungs.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Snapshot the entry's health counters.
+    pub fn health(&self) -> HealthReport {
+        let quarantined = self.quarantined.load(Ordering::Relaxed);
+        let depth = if quarantined {
+            self.rungs.len() - 1
+        } else {
+            self.active.load(Ordering::Relaxed).min(self.rungs.len() - 1)
+        };
+        let grid = self.drift_grid.lock().expect("drift grid lock");
+        HealthReport {
+            active_rung: self.rungs[depth].name.clone(),
+            fallback_depth: depth,
+            rungs: self.rungs.len(),
+            build_failures: self.build_failures.len(),
+            estimate_faults: self.estimate_faults.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            clamped: self.clamped.load(Ordering::Relaxed),
+            quarantined,
+            sample_audit: self.audit,
+            drift: grid.drift(),
+            observations: grid.observations(),
+        }
+    }
+}
+
+impl SelectivityEstimator for ResilientEstimator {
+    fn selectivity(&self, q: &RangeQuery) -> f64 {
+        // try_selectivity only errs on invalid queries, which RangeQuery's
+        // constructor already excludes.
+        self.try_selectivity(q).unwrap_or(0.0)
+    }
+
+    fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    fn name(&self) -> String {
+        format!("Resilient({})", self.rungs[0].name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An estimator that panics (or returns NaN) after `healthy_calls`.
+    struct Flaky {
+        domain: Domain,
+        healthy_calls: usize,
+        calls: AtomicUsize,
+        nan_instead: bool,
+    }
+
+    impl SelectivityEstimator for Flaky {
+        fn selectivity(&self, q: &RangeQuery) -> f64 {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            if n >= self.healthy_calls {
+                if self.nan_instead {
+                    return f64::NAN;
+                }
+                panic!("flaky estimator exploded on call {n}");
+            }
+            q.width() / self.domain.width()
+        }
+        fn domain(&self) -> Domain {
+            self.domain
+        }
+        fn name(&self) -> String {
+            "Flaky".into()
+        }
+    }
+
+    fn uniform_sample(n: usize, d: &Domain) -> Vec<f64> {
+        (0..n).map(|i| d.lerp((i as f64 + 0.5) / n as f64)).collect()
+    }
+
+    #[test]
+    fn healthy_ladder_serves_from_the_top() {
+        let d = Domain::new(0.0, 100.0);
+        let est = ResilientEstimator::build(&uniform_sample(500, &d), d, EstimatorKind::Kernel);
+        let h = est.health();
+        assert_eq!(h.active_rung, "Kernel");
+        assert_eq!(h.fallback_depth, 0);
+        assert_eq!(h.build_failures, 0);
+        assert_eq!(h.rungs, 5, "kernel, maxdiff, equidepth, sampling, uniform");
+        let s = est.selectivity(&RangeQuery::new(0.0, 50.0));
+        assert!((s - 0.5).abs() < 0.05, "uniform data, got {s}");
+    }
+
+    #[test]
+    fn garbage_sample_degrades_to_uniform_at_build_time() {
+        let d = Domain::new(0.0, 100.0);
+        let sample = vec![f64::NAN, f64::INFINITY, -5.0, 1e12];
+        let est = ResilientEstimator::build(&sample, d, EstimatorKind::Kernel);
+        let h = est.health();
+        assert_eq!(h.rungs, 1, "only uniform can be built");
+        assert_eq!(h.build_failures, 4);
+        assert_eq!(h.sample_audit.kept, 0);
+        let s = est.selectivity(&RangeQuery::new(0.0, 25.0));
+        assert!((s - 0.25).abs() < 1e-12, "uniform fallback, got {s}");
+        for f in est.build_failures() {
+            assert_eq!(f.error, EstimateError::EmptySample);
+        }
+    }
+
+    #[test]
+    fn serving_panic_demotes_and_stays_demoted() {
+        let d = Domain::new(0.0, 100.0);
+        let flaky = Flaky { domain: d, healthy_calls: 2, calls: AtomicUsize::new(0), nan_instead: false };
+        let est = ResilientEstimator::from_estimators(vec![Box::new(flaky)], d);
+        let q = RangeQuery::new(0.0, 50.0);
+        assert_eq!(est.selectivity(&q), 0.5); // healthy call 1
+        assert_eq!(est.selectivity(&q), 0.5); // healthy call 2
+        // Call 3 panics inside the flaky rung; the ladder absorbs it.
+        assert_eq!(est.selectivity(&q), 0.5); // uniform agrees here
+        let h = est.health();
+        assert_eq!(h.estimate_faults, 1);
+        assert_eq!(h.active_rung, "Uniform");
+        assert_eq!(h.fallback_depth, 1);
+        // Demotion is sticky: the flaky rung is never consulted again.
+        assert_eq!(est.selectivity(&q), 0.5);
+        assert_eq!(est.health().estimate_faults, 1);
+    }
+
+    #[test]
+    fn nan_estimates_count_as_faults_too() {
+        let d = Domain::new(0.0, 100.0);
+        let flaky = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: true };
+        let est = ResilientEstimator::from_estimators(vec![Box::new(flaky)], d);
+        let s = est.selectivity(&RangeQuery::new(25.0, 75.0));
+        assert_eq!(s, 0.5);
+        assert_eq!(est.health().estimate_faults, 1);
+    }
+
+    #[test]
+    fn repeated_faults_quarantine_the_entry() {
+        let d = Domain::new(0.0, 100.0);
+        // Two flaky rungs that both immediately panic.
+        let a = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: false };
+        let b = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: true };
+        let est = ResilientEstimator::from_estimators(vec![Box::new(a), Box::new(b)], d)
+            .with_quarantine_threshold(2);
+        let q = RangeQuery::new(0.0, 10.0);
+        let s = est.selectivity(&q); // both rungs fault -> threshold hit
+        assert!((s - 0.1).abs() < 1e-12);
+        assert!(est.is_quarantined());
+        let h = est.health();
+        assert_eq!(h.active_rung, "Uniform");
+        assert!(h.quarantined);
+        assert_eq!(h.estimate_faults, 2);
+    }
+
+    #[test]
+    fn estimates_are_clamped_into_unit_interval() {
+        struct TooBig(Domain);
+        impl SelectivityEstimator for TooBig {
+            fn selectivity(&self, _q: &RangeQuery) -> f64 {
+                1.7
+            }
+            fn domain(&self) -> Domain {
+                self.0
+            }
+            fn name(&self) -> String {
+                "TooBig".into()
+            }
+        }
+        let d = Domain::new(0.0, 1.0);
+        let est = ResilientEstimator::from_estimators(vec![Box::new(TooBig(d))], d);
+        assert_eq!(est.selectivity(&RangeQuery::new(0.0, 0.5)), 1.0);
+        assert_eq!(est.health().clamped, 1);
+    }
+
+    #[test]
+    fn drift_monitor_flags_stale_statistics() {
+        let d = Domain::new(0.0, 100.0);
+        let est = ResilientEstimator::build(&uniform_sample(500, &d), d, EstimatorKind::Sampling);
+        assert_eq!(est.health().drift, 0.0);
+        // The live data has shifted: queries on [0, 20] now match 90% of
+        // rows, while the stored sample says 20%.
+        let q = RangeQuery::new(0.0, 20.0);
+        for _ in 0..10 {
+            est.observe(&q, 0.9).unwrap();
+        }
+        let h = est.health();
+        assert_eq!(h.observations, 10);
+        assert!(h.drift > 1.0, "4.5x ratio should show as large drift, got {}", h.drift);
+        // Garbage feedback is rejected, not absorbed.
+        assert!(est.observe(&q, f64::NAN).is_err());
+        assert_eq!(est.health().observations, 10);
+    }
+
+    #[test]
+    fn uniform_preference_is_a_single_rung() {
+        let d = Domain::new(0.0, 10.0);
+        let est = ResilientEstimator::build(&[], d, EstimatorKind::Uniform);
+        assert_eq!(est.health().rungs, 1);
+        assert_eq!(est.selectivity(&RangeQuery::new(0.0, 5.0)), 0.5);
+    }
+}

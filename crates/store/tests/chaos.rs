@@ -1,0 +1,262 @@
+//! Chaos tests: deterministic seeded fault injection against the serving
+//! path. The contract under test is the degradation ladder's promise —
+//! *every* query gets a finite selectivity in `[0, 1]`, no panic crosses
+//! the resilience boundary, and the health counters tell the truth about
+//! what was absorbed.
+
+use std::sync::Once;
+
+use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+use selest_store::catalog::{AnalyzeConfig, EstimatorKind, StatisticsCatalog};
+use selest_store::faultinject::{FailingEstimator, FailureMode, FaultInjector};
+use selest_store::persist;
+use selest_store::resilient::ResilientEstimator;
+use selest_store::{try_plan_range_query, Column, Relation};
+
+/// Injected panics are expected here; keep them out of the test output.
+fn silence_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+/// A deterministic query workload sweeping positions and widths.
+fn workload(domain: &Domain, n: usize) -> Vec<RangeQuery> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let center = domain.lerp((t * 7.31) % 1.0);
+            RangeQuery::centered(domain, center, 0.01 + 0.5 * t)
+        })
+        .collect()
+}
+
+fn assert_serves_everything(est: &ResilientEstimator, domain: &Domain, label: &str) {
+    for q in workload(domain, 200) {
+        let s = est.try_selectivity(&q).expect("serving path must answer");
+        assert!(
+            s.is_finite() && (0.0..=1.0).contains(&s),
+            "{label}: {q} got selectivity {s}"
+        );
+    }
+}
+
+#[test]
+fn every_kind_survives_poisoned_samples_at_every_severity() {
+    let domain = Domain::new(0.0, 1_000.0);
+    let base: Vec<f64> = (0..2_000).map(|i| domain.lerp((i as f64 + 0.5) / 2_000.0)).collect();
+    for kind in EstimatorKind::ALL {
+        for (seed, fraction) in [(1u64, 0.05), (2, 0.25), (3, 0.75), (4, 1.0)] {
+            let mut sample = base.clone();
+            let report =
+                FaultInjector::new(seed).corrupt_sample(&mut sample, &domain, fraction);
+            let est = ResilientEstimator::build(&sample, domain, kind);
+            let label = format!("{kind:?} seed {seed} fraction {fraction}");
+            assert_serves_everything(&est, &domain, &label);
+
+            // The audit must account exactly for the damage present in the
+            // corrupted sample (injections can overwrite each other, so we
+            // count the sample, not the injection attempts).
+            let h = est.health();
+            let non_finite = sample.iter().filter(|v| !v.is_finite()).count();
+            let out_of_domain =
+                sample.iter().filter(|v| v.is_finite() && !domain.contains(**v)).count();
+            assert!(report.total() >= non_finite + out_of_domain, "{label}");
+            if kind != EstimatorKind::Uniform {
+                assert_eq!(h.sample_audit.non_finite, non_finite, "{label}");
+                assert_eq!(h.sample_audit.out_of_domain, out_of_domain, "{label}");
+                assert_eq!(h.sample_audit.kept, sample.len() - non_finite - out_of_domain);
+            }
+        }
+    }
+}
+
+#[test]
+fn fully_poisoned_sample_degrades_to_uniform_and_reports_it() {
+    let domain = Domain::new(0.0, 100.0);
+    let mut sample = vec![50.0; 500];
+    // fraction 1.0 with repeated overwrites still leaves only garbage and
+    // one value class; drive it fully bad by injecting twice.
+    let mut inj = FaultInjector::new(99);
+    inj.corrupt_sample(&mut sample, &domain, 1.0);
+    sample.iter_mut().for_each(|v| {
+        if v.is_finite() && domain.contains(*v) {
+            *v = f64::NAN;
+        }
+    });
+    let est = ResilientEstimator::build(&sample, domain, EstimatorKind::Kernel);
+    let h = est.health();
+    assert_eq!(h.rungs, 1, "only the uniform rung can build");
+    assert_eq!(h.build_failures, 4, "kernel, maxdiff, equidepth, sampling all fail");
+    assert_eq!(h.active_rung, "Uniform");
+    assert_serves_everything(&est, &domain, "fully poisoned");
+}
+
+#[test]
+fn estimator_panics_never_cross_the_resilience_boundary() {
+    silence_panics();
+    let domain = Domain::new(0.0, 100.0);
+    // Top rung panics immediately, second rung returns garbage, third
+    // returns out-of-range values: the ladder must walk through all of
+    // them and still answer from uniform.
+    let est = ResilientEstimator::from_estimators(
+        vec![
+            Box::new(FailingEstimator::new(domain, FailureMode::PanicAlways)),
+            Box::new(FailingEstimator::new(domain, FailureMode::Return(f64::NAN))),
+            Box::new(FailingEstimator::new(domain, FailureMode::Return(f64::INFINITY))),
+        ],
+        domain,
+    );
+    let q = RangeQuery::new(0.0, 50.0);
+    let s = est.try_selectivity(&q).expect("must answer");
+    assert_eq!(s, 0.5, "uniform bottom rung answers");
+    let h = est.health();
+    assert_eq!(h.estimate_faults, 3, "one fault per broken rung");
+    assert_eq!(h.active_rung, "Uniform");
+    assert_eq!(h.fallback_depth, 3);
+    // Sticky demotion: the broken rungs are not retried.
+    let _ = est.try_selectivity(&q).unwrap();
+    assert_eq!(est.health().estimate_faults, 3);
+}
+
+#[test]
+fn repeated_faults_quarantine_to_uniform_with_accurate_counters() {
+    silence_panics();
+    let domain = Domain::new(0.0, 10.0);
+    let est = ResilientEstimator::from_estimators(
+        vec![Box::new(FailingEstimator::new(domain, FailureMode::PanicAlways))],
+        domain,
+    )
+    .with_quarantine_threshold(1);
+    let q = RangeQuery::new(0.0, 5.0);
+    assert_eq!(est.try_selectivity(&q).unwrap(), 0.5);
+    assert!(est.is_quarantined());
+    let h = est.health();
+    assert!(h.quarantined);
+    assert_eq!(h.estimate_faults, 1);
+    assert_eq!(h.served, 1);
+    assert_serves_everything(&est, &domain, "quarantined entry");
+}
+
+#[test]
+fn healthy_rung_after_warmup_panics_mid_serving() {
+    silence_panics();
+    let domain = Domain::new(0.0, 100.0);
+    let est = ResilientEstimator::from_estimators(
+        vec![Box::new(FailingEstimator::new(domain, FailureMode::PanicAfter(50)))],
+        domain,
+    );
+    // The first 50 queries come from the healthy top rung, the rest fall
+    // through to uniform — all of them must be finite and in range.
+    assert_serves_everything(&est, &domain, "mid-flight failure");
+    let h = est.health();
+    assert_eq!(h.estimate_faults, 1, "exactly the one mid-flight panic");
+    assert_eq!(h.active_rung, "Uniform");
+    assert_eq!(h.served, 200);
+}
+
+/// Build a small two-column catalog and persist it.
+fn persisted_catalog() -> (Relation, String) {
+    let domain = Domain::new(0.0, 1_000.0);
+    let mut r = Relation::new("t");
+    let dense: Vec<f64> = (0..5_000).map(|i| 100.0 * (i as f64 + 0.5) / 5_000.0).collect();
+    let wide: Vec<f64> = (0..5_000).map(|i| 1_000.0 * (i as f64 + 0.5) / 5_000.0).collect();
+    r.add_column(Column::new("dense", domain, dense));
+    r.add_column(Column::new("wide", domain, wide));
+    let mut cat = StatisticsCatalog::new();
+    cat.analyze(&r, &AnalyzeConfig { kind: EstimatorKind::MaxDiff, ..Default::default() });
+    let text = persist::encode(&cat.export());
+    (r, text)
+}
+
+#[test]
+fn damaged_statistics_files_never_panic_the_loader() {
+    let (_r, text) = persisted_catalog();
+    for seed in 0..200u64 {
+        let mut inj = FaultInjector::new(seed);
+        let damaged = if seed % 2 == 0 {
+            inj.truncate_text(&text)
+        } else {
+            let mut t = text.clone();
+            for _ in 0..(seed % 7 + 1) {
+                t = inj.bitflip_text(&t);
+            }
+            t
+        };
+        // Strict decode: Ok or typed error, never a panic or a silently
+        // truncated result.
+        match persist::decode(&damaged) {
+            Ok(entries) => {
+                // A flip that survives the checksum must still rebuild
+                // into a serving estimator or produce a typed error.
+                for e in &entries {
+                    let _ = e.try_rebuild();
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("line"), "error should locate the damage: {msg}");
+            }
+        }
+        // Lenient decode: whatever survives must import and serve.
+        if let Ok(report) = persist::decode_lenient(&damaged) {
+            let mut cat = StatisticsCatalog::new();
+            let failures = cat.try_import(report.entries);
+            for (_rel, _col, err) in &failures {
+                let _ = err.to_string(); // typed, displayable
+            }
+            for col in ["dense", "wide"] {
+                if let Some(st) = cat.statistics("t", col) {
+                    let s = st.estimator.selectivity(&RangeQuery::new(0.0, 500.0));
+                    assert!(s.is_finite() && (0.0..=1.0).contains(&s), "seed {seed} {col}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_answers_or_errors_cleanly_after_catalog_damage() {
+    let (r, text) = persisted_catalog();
+    for seed in 0..50u64 {
+        let damaged = FaultInjector::new(seed).truncate_text(&text);
+        let Ok(report) = persist::decode_lenient(&damaged) else { continue };
+        let mut cat = StatisticsCatalog::new();
+        let _ = cat.try_import(report.entries);
+        for col in ["dense", "wide"] {
+            for q in workload(&Domain::new(0.0, 1_000.0), 20) {
+                match try_plan_range_query(&cat, &r, col, &q) {
+                    Ok(plan) => {
+                        assert!(plan.estimated_rows.is_finite());
+                        assert!((0.0..=r.n_rows() as f64).contains(&plan.estimated_rows));
+                        assert!(plan.estimated_cost.is_finite());
+                    }
+                    Err(e) => {
+                        // The only acceptable failure is absent statistics
+                        // for a column whose entry was damaged.
+                        assert!(
+                            e.to_string().contains("run ANALYZE"),
+                            "seed {seed}: unexpected planner error {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_reproducible() {
+    // The whole suite above relies on seeded determinism; spot-check it
+    // end to end: same seed, same damage, same surviving entries.
+    let (_r, text) = persisted_catalog();
+    let survivors = |seed: u64| -> Vec<String> {
+        let damaged = FaultInjector::new(seed).truncate_text(&text);
+        match persist::decode_lenient(&damaged) {
+            Ok(report) => report.entries.into_iter().map(|e| e.column).collect(),
+            Err(_) => Vec::new(),
+        }
+    };
+    for seed in [3u64, 17, 40021] {
+        assert_eq!(survivors(seed), survivors(seed), "seed {seed}");
+    }
+}

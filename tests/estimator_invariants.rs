@@ -152,6 +152,113 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Resilient serving path: adversarial samples must degrade, never crash.
+// ---------------------------------------------------------------------------
+
+use selest_store::catalog::EstimatorKind;
+use selest_store::resilient::ResilientEstimator;
+
+/// Deterministic worst-case samples: every degenerate shape the ANALYZE
+/// pipeline can encounter.
+fn adversarial_samples() -> Vec<(&'static str, Vec<f64>)> {
+    vec![
+        ("empty", Vec::new()),
+        ("single-value", vec![500.0]),
+        ("all-identical", vec![123.0; 64]),
+        ("two-points", vec![100.0, 900.0]),
+        ("nan-heavy", {
+            let mut v = vec![f64::NAN; 20];
+            v.extend([10.0, 20.0, 30.0]);
+            v
+        }),
+        ("infinities", vec![f64::INFINITY, f64::NEG_INFINITY, 5.0, 995.0]),
+        ("out-of-domain", vec![-1e9, 2e9, 500.0, 501.0]),
+        ("all-garbage", vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0, 1e12]),
+    ]
+}
+
+#[test]
+fn resilient_path_survives_every_kind_on_every_adversarial_sample() {
+    let domain = Domain::new(LO, HI);
+    for kind in EstimatorKind::ALL {
+        for (label, sample) in adversarial_samples() {
+            let est = ResilientEstimator::build(&sample, domain, kind);
+            // Finite, in [0, 1], and monotone in the query upper bound.
+            let mut prev = 0.0;
+            for i in 0..=80 {
+                let b = LO + (HI - LO) * i as f64 / 80.0;
+                let s = est
+                    .try_selectivity(&RangeQuery::new(LO, b))
+                    .expect("resilient path must answer");
+                assert!(
+                    s.is_finite() && (0.0..=1.0).contains(&s),
+                    "{kind:?}/{label}: selectivity {s} at upper bound {b}"
+                );
+                assert!(
+                    s >= prev - 1e-9,
+                    "{kind:?}/{label}: selectivity dropped from {prev} to {s} at {b}"
+                );
+                prev = s.max(prev);
+            }
+            // Health must be reportable, and the full-domain mass sane.
+            let h = est.health();
+            assert!(h.rungs >= 1, "{kind:?}/{label}");
+            let full = est.try_selectivity(&RangeQuery::new(LO, HI)).unwrap();
+            assert!((0.0..=1.0).contains(&full), "{kind:?}/{label}: full mass {full}");
+        }
+    }
+}
+
+/// Samples mixing clean values with NaN, infinities, and out-of-domain
+/// excursions — including possibly no clean values at all.
+fn dirty_sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..=100_000).prop_map(|v| v as f64 / 100.0),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-1e6),
+            Just(1e9),
+            Just(250.0),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn resilient_estimates_are_probabilities_under_dirty_samples(
+        samples in dirty_sample_strategy(), a in 0.0f64..1_000.0, w in 0.0f64..500.0) {
+        let domain = Domain::new(LO, HI);
+        let q = RangeQuery::new(a, (a + w).min(HI));
+        for kind in EstimatorKind::ALL {
+            let est = ResilientEstimator::build(&samples, domain, kind);
+            let s = est.try_selectivity(&q).expect("must answer");
+            prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s),
+                "{kind:?}: selectivity {s} on dirty sample");
+        }
+    }
+
+    #[test]
+    fn resilient_estimates_are_monotone_under_dirty_samples(
+        samples in dirty_sample_strategy(), a in 0.0f64..500.0, w in 1.0f64..250.0) {
+        let domain = Domain::new(LO, HI);
+        let inner = RangeQuery::new(a, (a + w).min(HI));
+        let outer = RangeQuery::new((a - 50.0).max(LO), (a + w + 100.0).min(HI));
+        for kind in EstimatorKind::ALL {
+            let est = ResilientEstimator::build(&samples, domain, kind);
+            let si = est.try_selectivity(&inner).expect("inner");
+            let so = est.try_selectivity(&outer).expect("outer");
+            prop_assert!(so >= si - 1e-9,
+                "{kind:?}: outer {so} < inner {si} on dirty sample");
+        }
+    }
+}
+
 #[test]
 fn kernel_linear_and_sorted_paths_agree_on_random_input() {
     // Deterministic pseudo-random mixture with duplicates.
