@@ -1,0 +1,224 @@
+//! The tracked perf harness: times estimator construction and query-file
+//! throughput (sequential per-query loop vs. batched merge scan vs.
+//! parallel chunked evaluation) on the standard fixtures and writes a JSON
+//! baseline (`BENCH_PR2.json`) so the repo's perf trajectory is a
+//! committed, diffable artifact instead of folklore.
+//!
+//! ```text
+//! perf [--smoke] [--out FILE] [--jobs N]
+//! ```
+//!
+//! `--smoke` runs one timing repetition per measurement — enough for CI to
+//! prove the harness works end to end, useless for comparing numbers.
+//! Invoke through `scripts/bench.sh`, which picks the output path.
+//!
+//! Every measurement cross-checks the batch path against the per-query
+//! path (bit-identical Kahan checksums) before it is reported, so a perf
+//! number can never be quoted for a path that drifted semantically.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::{fixture, total_selectivity, total_selectivity_batch, Fixture};
+use selest_core::{ExactSelectivity, SelectivityEstimator};
+use selest_data::PaperFile;
+use selest_experiments::harness::evaluate_jobs;
+use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram, BinRule,
+    NormalScaleBins};
+use selest_hybrid::HybridEstimator;
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn};
+
+/// Best-of-`reps` wall time of `f`, in microseconds, plus the last result.
+fn time_best_us<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct EstimatorRow {
+    name: String,
+    build_us: f64,
+    seq_us: f64,
+    batch_us: f64,
+    par_us: f64,
+    checksum: f64,
+}
+
+type Builder<'a> = Box<dyn Fn() -> Box<dyn SelectivityEstimator + Sync> + 'a>;
+
+fn builders(f: &Fixture) -> Vec<(&'static str, Builder<'_>)> {
+    let domain = f.data.domain();
+    let k = NormalScaleBins.bins(&f.sample, &domain);
+    vec![
+        ("sampling", Box::new(move || {
+            Box::new(selest_core::SamplingEstimator::new(&f.sample, domain)) as _
+        })),
+        ("ewh-ns", Box::new(move || Box::new(equi_width(&f.sample, domain, k)) as _)),
+        ("edh-ns", Box::new(move || Box::new(equi_depth(&f.sample, domain, k)) as _)),
+        ("mdh-ns", Box::new(move || Box::new(max_diff(&f.sample, domain, k)) as _)),
+        ("ash-ns", Box::new(move || {
+            Box::new(AverageShiftedHistogram::new(&f.sample, domain, k, 10)) as _
+        })),
+        ("kernel-bk-dpi2", Box::new(move || {
+            let h = DirectPlugIn::two_stage()
+                .bandwidth(&f.sample, KernelFn::Epanechnikov)
+                .min(0.5 * domain.width());
+            Box::new(KernelEstimator::new(
+                &f.sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            )) as _
+        })),
+        ("kernel-refl-dpi2", Box::new(move || {
+            let h = DirectPlugIn::two_stage().bandwidth(&f.sample, KernelFn::Epanechnikov);
+            Box::new(KernelEstimator::new(
+                &f.sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::Reflection,
+            )) as _
+        })),
+        ("hybrid", Box::new(move || Box::new(HybridEstimator::new(&f.sample, domain)) as _)),
+    ]
+}
+
+fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
+    let f = fixture(file);
+    let exact = ExactSelectivity::new(f.data.values(), f.data.domain());
+    eprintln!(
+        "fixture {}: {} records, {} samples, {} queries",
+        f.data.name(),
+        f.data.len(),
+        f.sample.len(),
+        f.queries.len()
+    );
+    let _ = write!(
+        json,
+        "    {{\n      \"file\": \"{}\",\n      \"records\": {},\n      \"sample\": {},\n      \"queries\": {},\n      \"estimators\": [\n",
+        f.data.name(),
+        f.data.len(),
+        f.sample.len(),
+        f.queries.len()
+    );
+    let builders = builders(&f);
+    let mut rows: Vec<EstimatorRow> = Vec::new();
+    for (name, build) in &builders {
+        let (build_us, est) = time_best_us(reps, build);
+        let (seq_us, seq_sum) = time_best_us(reps, || total_selectivity(&est, &f.queries));
+        let (batch_us, batch_sum) =
+            time_best_us(reps, || total_selectivity_batch(&est, &f.queries));
+        assert_eq!(
+            seq_sum.to_bits(),
+            batch_sum.to_bits(),
+            "{name}: batch checksum {batch_sum} drifted from per-query {seq_sum}"
+        );
+        let (par_us, _) =
+            time_best_us(reps, || evaluate_jobs(&est, &f.queries, &exact, jobs).count());
+        eprintln!(
+            "  {name:<18} build {build_us:>9.1}us  seq {seq_us:>9.1}us  batch {batch_us:>9.1}us  \
+             (x{:.2})  par-eval {par_us:>9.1}us",
+            seq_us / batch_us
+        );
+        rows.push(EstimatorRow {
+            name: (*name).to_owned(),
+            build_us,
+            seq_us,
+            batch_us,
+            par_us,
+            checksum: seq_sum,
+        });
+    }
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "        {{\"name\": \"{}\", \"build_us\": {:.2}, \"seq_us\": {:.2}, \
+             \"batch_us\": {:.2}, \"speedup_batch\": {:.4}, \"par_eval_us\": {:.2}, \
+             \"checksum\": {:.12}}}{}",
+            r.name,
+            r.build_us,
+            r.seq_us,
+            r.batch_us,
+            r.seq_us / r.batch_us,
+            r.par_us,
+            r.checksum,
+            comma
+        );
+    }
+    let _ = write!(json, "      ]\n    }}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_PR2.json".to_owned();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                });
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a worker count");
+                    std::process::exit(2);
+                });
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => selest_par::set_jobs(n),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: perf [--smoke] [--out FILE] [--jobs N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = if smoke { 1 } else { 40 };
+    let jobs = selest_par::configured_jobs();
+    let files = [PaperFile::Normal { p: 20 }, PaperFile::Uniform { p: 20 }];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = write!(
+        json,
+        "  \"schema\": \"selest-bench/1\",\n  \"generator\": \"crates/bench/src/bin/perf.rs (scripts/bench.sh)\",\n  \"mode\": \"{}\",\n  \"reps\": {},\n  \"jobs\": {},\n  \"hardware_threads\": {},\n  \"fixtures\": [\n",
+        if smoke { "smoke" } else { "full" },
+        reps,
+        jobs,
+        selest_par::available_workers()
+    );
+    for (i, file) in files.iter().enumerate() {
+        bench_fixture(*file, reps, jobs, &mut json);
+        json.push_str(if i + 1 == files.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

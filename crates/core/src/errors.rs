@@ -122,12 +122,30 @@ impl ErrorStats {
         selest_math::quantile(&sorted, q)
     }
 
-    /// Merge another accumulator into this one.
+    /// Merge another accumulator into this one, appending its recordings
+    /// after this one's. Order is preserved, so the Kahan-compensated
+    /// means stay bit-identical to a single sequential accumulation.
     pub fn merge(&mut self, other: &ErrorStats) {
         self.abs_errors.extend_from_slice(&other.abs_errors);
         self.rel_errors.extend_from_slice(&other.rel_errors);
         self.skipped_zero += other.skipped_zero;
         self.skipped_nonfinite += other.skipped_nonfinite;
+    }
+
+    /// Deterministic reduction for chunked (parallel) evaluation: merge
+    /// per-chunk accumulators *in chunk order*.
+    ///
+    /// As long as the chunks partition the query file at fixed boundaries
+    /// (see `selest-par`), the merged per-query error sequence — and with
+    /// it every Kahan-summed mean, RMS, and quantile — is bit-for-bit the
+    /// sequence a single-threaded [`ErrorStats::record`] loop would have
+    /// produced, regardless of how many workers computed the chunks.
+    pub fn from_ordered_chunks<I: IntoIterator<Item = ErrorStats>>(chunks: I) -> ErrorStats {
+        let mut total = ErrorStats::new();
+        for chunk in chunks {
+            total.merge(&chunk);
+        }
+        total
     }
 }
 
@@ -204,6 +222,49 @@ mod tests {
         assert_eq!(a.skipped_zero(), 1);
         assert_eq!(a.skipped_nonfinite(), 1);
         assert!((a.mean_relative_error() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ordered_chunk_reduction_matches_sequential_recording() {
+        // Adversarial magnitudes so naive reassociation would change the
+        // sums; chunked-in-order reduction must not.
+        let pairs: Vec<(f64, f64)> = (0..1_000)
+            .map(|i| {
+                let t = 10f64.powi((i % 13) - 6);
+                (t, t * (1.0 + 1e-3 * (i as f64).sin()))
+            })
+            .collect();
+        let mut seq = ErrorStats::new();
+        for &(t, e) in &pairs {
+            seq.record(t, e);
+        }
+        for chunk_size in [1, 7, 64, 1_000] {
+            let merged = ErrorStats::from_ordered_chunks(pairs.chunks(chunk_size).map(|c| {
+                let mut s = ErrorStats::new();
+                for &(t, e) in c {
+                    s.record(t, e);
+                }
+                s
+            }));
+            assert_eq!(merged.count(), seq.count());
+            assert_eq!(
+                merged.mean_relative_error().to_bits(),
+                seq.mean_relative_error().to_bits(),
+                "chunk_size={chunk_size}"
+            );
+            assert_eq!(
+                merged.mean_absolute_error().to_bits(),
+                seq.mean_absolute_error().to_bits()
+            );
+            assert_eq!(
+                merged.rms_relative_error().to_bits(),
+                seq.rms_relative_error().to_bits()
+            );
+            assert_eq!(
+                merged.relative_error_quantile(0.95).to_bits(),
+                seq.relative_error_quantile(0.95).to_bits()
+            );
+        }
     }
 
     #[test]

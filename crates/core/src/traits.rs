@@ -13,6 +13,19 @@ pub trait SelectivityEstimator {
     /// Estimated probability that a record falls in `[q.a(), q.b()]`.
     fn selectivity(&self, q: &RangeQuery) -> f64;
 
+    /// Estimated selectivities for a whole batch of queries, in input
+    /// order.
+    ///
+    /// The default simply loops over [`SelectivityEstimator::selectivity`];
+    /// estimators whose evaluation cost can be amortized across a batch
+    /// (e.g. the sorted-sample kernel estimator's merge scan) override
+    /// this. Overrides MUST return bit-identical values to the per-query
+    /// path — batch evaluation is an execution strategy, never a different
+    /// estimator.
+    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        queries.iter().map(|q| self.selectivity(q)).collect()
+    }
+
     /// The attribute domain this estimator was built over.
     fn domain(&self) -> Domain;
 
@@ -57,6 +70,9 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {
     fn selectivity(&self, q: &RangeQuery) -> f64 {
         (**self).selectivity(q)
     }
+    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        (**self).selectivity_batch(queries)
+    }
     fn domain(&self) -> Domain {
         (**self).domain()
     }
@@ -68,6 +84,9 @@ impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {
 impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
     fn selectivity(&self, q: &RangeQuery) -> f64 {
         (**self).selectivity(q)
+    }
+    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        (**self).selectivity_batch(queries)
     }
     fn domain(&self) -> Domain {
         (**self).domain()
@@ -100,6 +119,23 @@ mod tests {
         let q = RangeQuery::new(0.0, 0.5);
         assert_eq!(e.estimate_count(&q, 1_000), 500.0);
         assert_eq!(e.estimate_count(&q, 0), 0.0);
+    }
+
+    #[test]
+    fn default_batch_matches_per_query_loop() {
+        let e = Half(Domain::unit());
+        let queries: Vec<RangeQuery> =
+            (0..5).map(|i| RangeQuery::new(0.1 * i as f64, 0.1 * i as f64 + 0.05)).collect();
+        let batch = e.selectivity_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, s) in queries.iter().zip(&batch) {
+            assert_eq!(s.to_bits(), e.selectivity(q).to_bits());
+        }
+        // Blanket impls forward the batch path too.
+        let boxed: Box<dyn SelectivityEstimator> = Box::new(Half(Domain::unit()));
+        assert_eq!(boxed.selectivity_batch(&queries), batch);
+        let as_ref: &dyn SelectivityEstimator = &e;
+        assert_eq!(as_ref.selectivity_batch(&queries), batch);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
         let domain = ctx.data.domain();
         let k = NormalScaleBins.bins(&ctx.sample, &domain);
 
-        let mut record = |label: &str, est: &dyn SelectivityEstimator| {
+        let mut record = |label: &str, est: &(dyn SelectivityEstimator + Sync)| {
             let mre = evaluate(est, queries, &ctx.exact).mean_relative_error();
             report.bars.push((group.clone(), label.into(), mre));
         };

@@ -46,7 +46,7 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     // Stream the workload: after each batch, estimate the remaining error.
     let mut series = Series { label: "stale + feedback".into(), points: Vec::new() };
     let batch = (queries.len() / 10).max(1);
-    let eval_now = |est: &dyn SelectivityEstimator| {
+    let eval_now = |est: &(dyn SelectivityEstimator + Sync)| {
         evaluate(est, queries, &ctx.exact).mean_relative_error()
     };
     series.points.push((0.0, eval_now(&feedback)));

@@ -28,21 +28,49 @@ impl Scale {
     }
 }
 
+/// Queries per work unit of the chunked evaluation engine. Fixed — chunk
+/// boundaries must depend only on the query file, never on the worker
+/// count, so every `--jobs` setting reproduces the same `ErrorStats`
+/// bit-for-bit.
+const EVAL_CHUNK: usize = 64;
+
 /// Evaluate an estimator's MRE (and friends) over a query file against the
 /// exact instance counts.
-pub fn evaluate<E: SelectivityEstimator + ?Sized>(
+///
+/// Runs on the batch-estimation engine: the query file is split into
+/// fixed-size chunks, each chunk is answered with
+/// [`SelectivityEstimator::selectivity_batch`] (the kernel estimator's
+/// sorted merge scan, a plain loop elsewhere) on one of
+/// [`selest_par::configured_jobs`] workers, and the per-chunk accumulators
+/// are merged in chunk order. The result is bit-identical to the
+/// single-threaded per-query loop for every worker count.
+pub fn evaluate<E: SelectivityEstimator + Sync + ?Sized>(
     estimator: &E,
     queries: &[RangeQuery],
     exact: &ExactSelectivity,
 ) -> ErrorStats {
+    evaluate_jobs(estimator, queries, exact, selest_par::configured_jobs())
+}
+
+/// [`evaluate`] with an explicit worker count (primarily for determinism
+/// tests and the bench harness).
+pub fn evaluate_jobs<E: SelectivityEstimator + Sync + ?Sized>(
+    estimator: &E,
+    queries: &[RangeQuery],
+    exact: &ExactSelectivity,
+    jobs: usize,
+) -> ErrorStats {
     let n = exact.total();
-    let mut stats = ErrorStats::new();
-    for q in queries {
-        let truth = exact.count(q) as f64;
-        let est = estimator.estimate_count(q, n);
-        stats.record(truth, est);
-    }
-    stats
+    let chunks = selest_par::parallel_chunks_jobs(queries, EVAL_CHUNK, jobs, |chunk| {
+        let sels = estimator.selectivity_batch(chunk);
+        let mut stats = ErrorStats::new();
+        for (q, sel) in chunk.iter().zip(sels) {
+            let truth = exact.count(q) as f64;
+            stats.record(truth, sel * n as f64);
+        }
+        stats
+    });
+    ErrorStats::from_ordered_chunks(chunks)
 }
 
 /// One labelled line of `(x, y)` points.
@@ -204,11 +232,13 @@ impl core::fmt::Display for ExperimentReport {
     }
 }
 
+/// First `n` characters of `s`. Cutting on a `char_indices` boundary, not
+/// a byte offset — a byte slice at `n` panics mid-codepoint on non-ASCII
+/// labels like `"Kernel(σ-DPI2)"`.
 fn truncate(s: &str, n: usize) -> &str {
-    if s.len() <= n {
-        s
-    } else {
-        &s[..n]
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
     }
 }
 
@@ -228,6 +258,63 @@ mod tests {
         assert_eq!(stats.count(), 10);
         // Uniform data + uniform estimator: near-zero error.
         assert!(stats.mean_relative_error() < 0.01);
+    }
+
+    #[test]
+    fn evaluate_is_bit_identical_across_worker_counts() {
+        let values: Vec<f64> = (0..5_000).map(|i| ((i * i) % 997) as f64 / 10.0).collect();
+        let exact = ExactSelectivity::new(&values, Domain::new(0.0, 100.0));
+        let est = UniformEstimator::new(Domain::new(0.0, 100.0));
+        let queries: Vec<RangeQuery> = (0..333)
+            .map(|i| {
+                let a = (i as f64 * 7.3) % 90.0;
+                RangeQuery::new(a, a + 1.0 + (i % 5) as f64)
+            })
+            .collect();
+        let base = evaluate_jobs(&est, &queries, &exact, 1);
+        for jobs in [2, 3, 8] {
+            let par = evaluate_jobs(&est, &queries, &exact, jobs);
+            assert_eq!(par.count(), base.count(), "jobs={jobs}");
+            assert_eq!(
+                par.mean_relative_error().to_bits(),
+                base.mean_relative_error().to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                par.mean_absolute_error().to_bits(),
+                base.mean_absolute_error().to_bits()
+            );
+            assert_eq!(
+                par.relative_error_quantile(0.99).to_bits(),
+                base.relative_error_quantile(0.99).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn truncate_respects_multibyte_labels() {
+        // Byte-slicing "Kérnel…" at 2 would split the é and panic.
+        assert_eq!(truncate("Kérnel", 2), "Ké");
+        assert_eq!(truncate("Kérnel", 100), "Kérnel");
+        assert_eq!(truncate("σπλήνας", 3), "σπλ");
+        assert_eq!(truncate("ascii", 3), "asc");
+        assert_eq!(truncate("", 4), "");
+    }
+
+    #[test]
+    fn report_with_non_ascii_labels_renders() {
+        // Regression: Display used a byte-sliced truncate that panicked on
+        // labels longer than the column width containing non-ASCII.
+        let mut r = ExperimentReport::new("figY", "démo", "n", "MRE");
+        // 15 ASCII chars then 'é': byte 16 falls mid-codepoint, so the old
+        // `&label[..16]` slice panicked when tabulating this series.
+        r.series.push(Series {
+            label: "aaaaaaaaaaaaaaaé-boundary".into(),
+            points: vec![(1.0, 0.5)],
+        });
+        r.bars.push(("aaaaaaaaañ-edge".into(), "aaaaaaaaaaaσ-ed".into(), 0.07));
+        let text = r.to_string();
+        assert!(text.contains("figY"));
     }
 
     #[test]

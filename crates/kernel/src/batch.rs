@@ -1,0 +1,500 @@
+//! Batched kernel selectivity: the sorted-query merge scan.
+//!
+//! Answering one range query against the sorted sample costs four
+//! `partition_point` binary searches (the boundary-strip indices of
+//! [`KernelEstimator`]'s `raw_mass`) before any kernel CDF is evaluated.
+//! Answering a whole query file that way restarts every search from the
+//! middle of the sample, a thousand times over. This module amortizes the
+//! searches across the batch:
+//!
+//! 1. every query's plan is lowered to *cut requests* — `(value, bound)`
+//!    pairs asking for `partition_point(|x| x < v)` (lower) or
+//!    `partition_point(|x| x <= v)` (upper) against the sorted sample;
+//! 2. the cut requests are sorted by `(value, lower-before-upper)`; in
+//!    that order the answer indices are non-decreasing, so
+//! 3. a single forward pass over the sorted sample resolves all of them
+//!    with galloping (exponential) probes from the previous answer.
+//!
+//! Only the *index resolution* is restructured. The per-strip CDF
+//! summations then run with exactly the arithmetic, operand order, and
+//! normalization of the per-query path, so the batch result is
+//! **bit-identical** to calling [`SelectivityEstimator::selectivity`] in a
+//! loop — an invariant the harness and the golden tests rely on, and which
+//! makes parallel chunked evaluation deterministic.
+
+use selest_core::{RangeQuery, SelectivityEstimator};
+
+use crate::boundary::{left_boundary_integral, BoundaryPolicy};
+use crate::estimator::KernelEstimator;
+use crate::kernels::KernelFn;
+
+/// One `partition_point` request against the sorted sample, packed into a
+/// single sortable integer: bits 33.. hold the order-preserving image of
+/// the cut value (sign-flip map, so integer order equals numeric order),
+/// bit 32 the bound flavour (`0` = lower, `partition_point(|x| x < v)`;
+/// `1` = upper, `|x| x <= v`), bits 0..32 the request index. Sorting the
+/// requests is then a branchless integer sort, and neither the value nor
+/// the flavour needs a side lookup during the scan — both unpack from the
+/// key itself.
+type CutKey = u128;
+
+fn pack_cut(v: f64, upper: bool, index: usize) -> CutKey {
+    debug_assert!(v.is_finite(), "cut values are finite");
+    debug_assert!(index <= u32::MAX as usize);
+    let bits = v.to_bits();
+    let ord = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+    ((ord as u128) << 33) | ((upper as u128) << 32) | index as u128
+}
+
+/// Exact inverse of `pack_cut`'s value map.
+fn unpack_cut(key: CutKey) -> (f64, bool, usize) {
+    let ord = (key >> 33) as u64;
+    let bits = if ord >> 63 == 1 { ord & !(1 << 63) } else { !ord };
+    (f64::from_bits(bits), (key >> 32) & 1 == 1, (key & u128::from(u32::MAX)) as usize)
+}
+
+/// One raw-mass term of a query plan: the clipped integration bounds plus
+/// where its resolved cut indices start. `wide` terms (query at least two
+/// kernel reaches long) own four cuts, narrow terms two.
+#[derive(Clone, Copy, Debug)]
+struct RawTerm {
+    a: f64,
+    b: f64,
+    wide: bool,
+    cut0: usize,
+}
+
+/// Per-query execution plan.
+#[derive(Clone, Copy, Debug)]
+struct QueryPlan {
+    /// Query entirely outside the domain: answer 0 without touching data.
+    zero: bool,
+    /// Raw-mass terms, as a range into the flat term array.
+    term_lo: usize,
+    term_hi: usize,
+    /// Boundary-kernel strip pieces `(v0, v1)` in unit coordinates, when
+    /// the query overlaps the left / right boundary strip.
+    bk_left: Option<(f64, f64)>,
+    bk_right: Option<(f64, f64)>,
+}
+
+/// First index `i >= start` where `pred(sorted[i])` fails, for a predicate
+/// that is monotonically true-then-false over `sorted` — i.e. the global
+/// `sorted.partition_point(pred)` under the promise that the answer is at
+/// least `start`. Gallops: exponential probes from `start`, then a binary
+/// search inside the bracketing window, so a batch of non-decreasing
+/// lookups costs amortized O(1 + log gap) each instead of O(log n).
+fn forward_partition(sorted: &[f64], start: usize, pred: impl Fn(f64) -> bool) -> usize {
+    let n = sorted.len();
+    debug_assert!(start <= n);
+    if start == n || !pred(sorted[start]) {
+        return start;
+    }
+    // Invariant: pred holds at `lo`; the answer lies in (lo, n].
+    let mut lo = start;
+    let mut step = 1usize;
+    loop {
+        let probe = match lo.checked_add(step) {
+            Some(p) if p < n => p,
+            _ => return lo + 1 + sorted[lo + 1..n].partition_point(|&x| pred(x)),
+        };
+        if pred(sorted[probe]) {
+            lo = probe;
+            step <<= 1;
+        } else {
+            return lo + 1 + sorted[lo + 1..probe].partition_point(|&x| pred(x));
+        }
+    }
+}
+
+/// Resolve every cut with one forward merge scan over the sorted sample.
+/// Sorts `cuts` in place; results land in request order (`resolved[i]`
+/// answers the request packed with index `i`).
+fn resolve_cuts(sorted: &[f64], cuts: &mut [CutKey]) -> Vec<u32> {
+    cuts.sort_unstable();
+    // For v1 <= v2: lower(v1) <= upper(v1) <= lower(v2) <= upper(v2), so
+    // visiting cuts in (value, lower-first) order keeps the answers
+    // non-decreasing and one scan position suffices.
+    let mut resolved = vec![0u32; cuts.len()];
+    let mut pos = 0usize;
+    for &key in cuts.iter() {
+        let (v, upper, i) = unpack_cut(key);
+        pos = if upper {
+            forward_partition(sorted, pos, |x| x <= v)
+        } else {
+            forward_partition(sorted, pos, |x| x < v)
+        };
+        resolved[i] = pos as u32;
+    }
+    resolved
+}
+
+/// Push the cut requests of one raw-mass term, mirroring the boundary
+/// values `raw_mass` computes, and return the term.
+fn plan_raw_term(est: &KernelEstimator, a: f64, b: f64, cuts: &mut Vec<CutKey>) -> RawTerm {
+    let reach = est.kernel().support_radius() * est.bandwidth();
+    let full_lo = a + reach;
+    let full_hi = b - reach;
+    let cut0 = cuts.len();
+    let wide = full_hi >= full_lo;
+    cuts.push(pack_cut(a - reach, false, cut0));
+    if wide {
+        cuts.push(pack_cut(full_lo, false, cut0 + 1));
+        cuts.push(pack_cut(full_hi, true, cut0 + 2));
+        cuts.push(pack_cut(b + reach, true, cut0 + 3));
+    } else {
+        cuts.push(pack_cut(b + reach, true, cut0 + 1));
+    }
+    RawTerm { a, b, wide, cut0 }
+}
+
+/// Evaluate one raw-mass term from its resolved indices. Returns the
+/// *un-normalized* sum (the per-query path's `s` before the `/ n`), with
+/// the identical summation order. `cdf` is the estimator's kernel CDF,
+/// passed as a monomorphized closure so the strip loop compiles with a
+/// direct call instead of re-dispatching on the kernel enum per sample.
+fn eval_raw_term(
+    sorted: &[f64],
+    h: f64,
+    cdf: impl Fn(f64) -> f64 + Copy,
+    term: &RawTerm,
+    resolved: &[u32],
+) -> f64 {
+    let idx = &resolved[term.cut0..];
+    if term.wide {
+        let (i0, i1, i2, i3) =
+            (idx[0] as usize, idx[1] as usize, idx[2] as usize, idx[3] as usize);
+        let mut s = (i2 - i1) as f64;
+        for &x in sorted[i0..i1].iter().chain(&sorted[i2..i3]) {
+            s += cdf((term.b - x) / h) - cdf((term.a - x) / h);
+        }
+        s
+    } else {
+        let (i0, i3) = (idx[0] as usize, idx[1] as usize);
+        let mut s = 0.0;
+        for &x in &sorted[i0..i3] {
+            s += cdf((term.b - x) / h) - cdf((term.a - x) / h);
+        }
+        s
+    }
+}
+
+/// Batched selectivity evaluation: bit-identical to a per-query
+/// [`SelectivityEstimator::selectivity`] loop, with all `partition_point`
+/// boundary lookups amortized into one sorted merge scan.
+pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -> Vec<f64> {
+    let domain = est.domain();
+    let (l, r) = (domain.lo(), domain.hi());
+    let h = est.bandwidth();
+    let reach = est.kernel().support_radius() * h;
+    let boundary = est.boundary_policy();
+
+    // Phase 1: lower every query to a plan, gathering all cut requests.
+    let mut plans: Vec<QueryPlan> = Vec::with_capacity(queries.len());
+    let mut terms: Vec<RawTerm> = Vec::with_capacity(queries.len());
+    let mut cuts: Vec<CutKey> = Vec::with_capacity(4 * queries.len());
+    for q in queries {
+        let a = q.a().max(l);
+        let b = q.b().min(r);
+        let mut plan = QueryPlan {
+            zero: b < a,
+            term_lo: terms.len(),
+            term_hi: terms.len(),
+            bk_left: None,
+            bk_right: None,
+        };
+        if !plan.zero {
+            match boundary {
+                BoundaryPolicy::NoTreatment => {
+                    terms.push(plan_raw_term(est, a, b, &mut cuts));
+                }
+                BoundaryPolicy::Reflection => {
+                    terms.push(plan_raw_term(est, a, b, &mut cuts));
+                    if a < l + reach {
+                        terms.push(plan_raw_term(est, 2.0 * l - b, 2.0 * l - a, &mut cuts));
+                    }
+                    if b > r - reach {
+                        terms.push(plan_raw_term(est, 2.0 * r - b, 2.0 * r - a, &mut cuts));
+                    }
+                }
+                BoundaryPolicy::BoundaryKernel => {
+                    // Interior piece, exactly as boundary_kernel_mass
+                    // clips it.
+                    let x1 = a.max(l + h);
+                    let x2 = b.min(r - h);
+                    if x2 > x1 {
+                        terms.push(plan_raw_term(est, x1, x2, &mut cuts));
+                    }
+                    let la = a.max(l);
+                    let lb = b.min(l + h);
+                    if lb > la {
+                        plan.bk_left = Some(((la - l) / h, (lb - l) / h));
+                    }
+                    let ra = a.max(r - h);
+                    let rb = b.min(r);
+                    if rb > ra {
+                        plan.bk_right = Some(((r - rb) / h, (r - ra) / h));
+                    }
+                }
+            }
+            plan.term_hi = terms.len();
+        }
+        plans.push(plan);
+    }
+
+    // Phase 2: one merge scan answers every boundary lookup.
+    let resolved = resolve_cuts(est.samples(), &mut cuts);
+
+    // Boundary-kernel strip extents are query-independent.
+    let (bk_left_hi, bk_right_lo) = if boundary == BoundaryPolicy::BoundaryKernel {
+        (
+            est.samples().partition_point(|&x| x <= l + 2.0 * h),
+            est.samples().partition_point(|&x| x < r - 2.0 * h),
+        )
+    } else {
+        (0, 0)
+    };
+
+    // Phase 3: evaluate each query in input order with the per-query
+    // path's arithmetic. The kernel dispatch is hoisted out of the strip
+    // loops: one match here selects a monomorphized evaluation whose CDF
+    // formula is the exact `KernelFn::cdf` arm (same operations, same
+    // bits), called directly instead of through the enum per sample.
+    let ctx = Phase3 {
+        est,
+        plans: &plans,
+        terms: &terms,
+        resolved: &resolved,
+        bk_left_hi,
+        bk_right_lo,
+    };
+    match est.kernel() {
+        KernelFn::Epanechnikov => ctx.run(|t| KernelFn::Epanechnikov.cdf(t)),
+        KernelFn::Uniform => ctx.run(|t| KernelFn::Uniform.cdf(t)),
+        KernelFn::Triangular => ctx.run(|t| KernelFn::Triangular.cdf(t)),
+        KernelFn::Biweight => ctx.run(|t| KernelFn::Biweight.cdf(t)),
+        KernelFn::Triweight => ctx.run(|t| KernelFn::Triweight.cdf(t)),
+        KernelFn::Cosine => ctx.run(|t| KernelFn::Cosine.cdf(t)),
+        KernelFn::Gaussian => ctx.run(|t| KernelFn::Gaussian.cdf(t)),
+    }
+}
+
+/// Everything phase 3 needs, bundled so the per-kernel monomorphization
+/// sites stay one-liners.
+struct Phase3<'a> {
+    est: &'a KernelEstimator,
+    plans: &'a [QueryPlan],
+    terms: &'a [RawTerm],
+    resolved: &'a [u32],
+    bk_left_hi: usize,
+    bk_right_lo: usize,
+}
+
+impl Phase3<'_> {
+    fn run(&self, cdf: impl Fn(f64) -> f64 + Copy) -> Vec<f64> {
+        let est = self.est;
+        let sorted = est.samples();
+        let domain = est.domain();
+        let (l, r) = (domain.lo(), domain.hi());
+        let h = est.bandwidth();
+        let boundary = est.boundary_policy();
+        let n = sorted.len() as f64;
+        self.plans
+            .iter()
+            .map(|plan| {
+                if plan.zero {
+                    return 0.0;
+                }
+                let value = match boundary {
+                    BoundaryPolicy::NoTreatment | BoundaryPolicy::Reflection => {
+                        // selectivity() sums the raw_mass of the main query
+                        // and any mirrored queries, each normalized on its
+                        // own.
+                        let mut s = 0.0;
+                        for term in &self.terms[plan.term_lo..plan.term_hi] {
+                            s += eval_raw_term(sorted, h, cdf, term, self.resolved) / n;
+                        }
+                        s
+                    }
+                    BoundaryPolicy::BoundaryKernel => {
+                        // boundary_kernel_mass accumulates un-normalized,
+                        // re-scaling the interior raw_mass by n (a round
+                        // trip the per-query path performs too), then
+                        // divides once.
+                        let mut s = 0.0;
+                        for term in &self.terms[plan.term_lo..plan.term_hi] {
+                            s += (eval_raw_term(sorted, h, cdf, term, self.resolved) / n) * n;
+                        }
+                        if let Some((v0, v1)) = plan.bk_left {
+                            for &x in &sorted[..self.bk_left_hi] {
+                                s += left_boundary_integral(v0, v1, (x - l) / h);
+                            }
+                        }
+                        if let Some((v0, v1)) = plan.bk_right {
+                            for &x in &sorted[self.bk_right_lo..] {
+                                s += left_boundary_integral(v0, v1, (r - x) / h);
+                            }
+                        }
+                        s / n
+                    }
+                };
+                value.clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelFn;
+    use selest_core::Domain;
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Clustered + duplicated values to stress ties in the searches.
+        (0..n)
+            .map(|i| {
+                let base = (i as f64 * 37.0) % 100.0;
+                (base * 4.0).round() / 4.0
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<RangeQuery> {
+        let mut qs = Vec::new();
+        // Interior, boundary-flush, overhanging, degenerate-narrow, full.
+        for i in 0..40 {
+            let a = (i as f64 * 13.7) % 95.0;
+            qs.push(RangeQuery::new(a, (a + 3.0 + (i % 7) as f64 * 5.0).min(100.0)));
+        }
+        qs.push(RangeQuery::new(0.0, 4.0));
+        qs.push(RangeQuery::new(96.0, 100.0));
+        qs.push(RangeQuery::new(-50.0, 20.0));
+        qs.push(RangeQuery::new(80.0, 150.0));
+        qs.push(RangeQuery::new(-10.0, -5.0)); // fully outside -> 0
+        qs.push(RangeQuery::new(50.0, 50.0)); // empty range
+        qs.push(RangeQuery::new(49.9, 50.1)); // narrower than any reach
+        qs.push(RangeQuery::new(0.0, 100.0)); // full domain
+        qs
+    }
+
+    #[test]
+    fn forward_partition_matches_partition_point() {
+        let s = {
+            let mut s = sample(257);
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        for v in [-1.0, 0.0, 3.25, 50.0, 99.75, 100.0, 200.0] {
+            for start in [0usize, 1, 50] {
+                let expect = s.partition_point(|&x| x < v);
+                if start <= expect {
+                    assert_eq!(forward_partition(&s, start, |x| x < v), expect, "v={v}");
+                }
+                let expect = s.partition_point(|&x| x <= v);
+                if start <= expect {
+                    assert_eq!(forward_partition(&s, start, |x| x <= v), expect, "v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_cuts_answers_every_request() {
+        let s = {
+            let mut s = sample(500);
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        // Deliberately unsorted, duplicated cut values (negatives included
+        // to exercise the sign-flip packing).
+        let requests: Vec<(f64, bool)> = [37.0, 2.0, 99.9, 37.0, -0.5, 62.5, 37.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i % 2 == 0))
+            .collect();
+        let mut cuts: Vec<CutKey> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &(v, upper))| pack_cut(v, upper, i))
+            .collect();
+        let resolved = resolve_cuts(&s, &mut cuts);
+        for (&(v, upper), &got) in requests.iter().zip(&resolved) {
+            let expect = if upper {
+                s.partition_point(|&x| x <= v)
+            } else {
+                s.partition_point(|&x| x < v)
+            };
+            assert_eq!(got as usize, expect, "cut ({v}, upper={upper})");
+        }
+    }
+
+    #[test]
+    fn cut_packing_round_trips_and_orders() {
+        let vals = [-1.5e6, -0.0, 0.0, 1e-300, 37.25, 1.5e6];
+        for (i, &v) in vals.iter().enumerate() {
+            for upper in [false, true] {
+                let (v2, u2, i2) = unpack_cut(pack_cut(v, upper, i));
+                assert_eq!(v2.to_bits(), v.to_bits());
+                assert_eq!(u2, upper);
+                assert_eq!(i2, i);
+            }
+        }
+        // Integer order on keys == (numeric value, lower-before-upper).
+        for &a in &vals {
+            for &b in &vals {
+                if a < b {
+                    assert!(pack_cut(a, true, 0) < pack_cut(b, false, 0), "{a} vs {b}");
+                }
+            }
+        }
+        assert!(pack_cut(37.25, false, 9) < pack_cut(37.25, true, 0));
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_per_query_for_every_policy_and_kernel() {
+        let samples = sample(800);
+        let domain = Domain::new(0.0, 100.0);
+        let qs = queries();
+        for kernel in [KernelFn::Epanechnikov, KernelFn::Gaussian, KernelFn::Biweight] {
+            for policy in [
+                BoundaryPolicy::NoTreatment,
+                BoundaryPolicy::Reflection,
+                BoundaryPolicy::BoundaryKernel,
+            ] {
+                if policy == BoundaryPolicy::BoundaryKernel && kernel != KernelFn::Epanechnikov {
+                    continue;
+                }
+                for h in [0.6, 4.0, 17.0] {
+                    let est = KernelEstimator::new(&samples, domain, kernel, h, policy);
+                    let batch = est.selectivity_batch(&qs);
+                    for (q, &s) in qs.iter().zip(&batch) {
+                        let per_query = est.selectivity(q);
+                        assert_eq!(
+                            s.to_bits(),
+                            per_query.to_bits(),
+                            "{policy:?}/{}/h={h} on {q}: batch {s} vs per-query {per_query}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_and_single_query_sets() {
+        let est = KernelEstimator::new(
+            &sample(100),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        assert!(est.selectivity_batch(&[]).is_empty());
+        let q = RangeQuery::new(10.0, 30.0);
+        let one = est.selectivity_batch(std::slice::from_ref(&q));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].to_bits(), est.selectivity(&q).to_bits());
+    }
+}

@@ -265,6 +265,14 @@ impl KernelEstimator {
 }
 
 impl SelectivityEstimator for KernelEstimator {
+    /// Batched evaluation via the sorted-query merge scan: all
+    /// `partition_point` boundary lookups are amortized into one forward
+    /// pass over the sorted sample (see [`crate::batch`]); the result is
+    /// bit-identical to a per-query [`Self::selectivity`] loop.
+    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        crate::batch::selectivity_batch(self, queries)
+    }
+
     fn selectivity(&self, q: &RangeQuery) -> f64 {
         let (l, r) = (self.domain.lo(), self.domain.hi());
         let a = q.a().max(l);

@@ -20,6 +20,7 @@
 
 pub mod adaptive;
 pub mod bandwidth;
+mod batch;
 pub mod boundary;
 pub mod estimator;
 pub mod kde;

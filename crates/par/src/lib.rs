@@ -1,0 +1,229 @@
+//! Dependency-free execution runtime for batch workloads.
+//!
+//! Everything in the workspace that answers a query file — the experiment
+//! harness, the oracle searches, the bench harness — funnels its fan-out
+//! through this crate. The design constraint is *determinism*: a run with
+//! eight workers must produce bit-identical results to a run with one.
+//! Two rules enforce that:
+//!
+//! 1. **Fixed chunk boundaries.** [`parallel_chunks`] splits the input at
+//!    positions derived only from the input length and the requested chunk
+//!    size — never from the worker count — so the per-chunk computations
+//!    are the same no matter how many threads execute them.
+//! 2. **Ordered merge.** Results are returned in input order (each worker
+//!    writes into the slot of the item it claimed), so any subsequent
+//!    order-sensitive reduction (Kahan summation, `ErrorStats` merging)
+//!    sees the exact sequence a sequential run would produce.
+//!
+//! Worker count resolution (highest priority first): an explicit
+//! `*_jobs` argument, a process-wide [`set_jobs`] override (the `--jobs N`
+//! CLI flag), the `SELEST_JOBS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. Workers are plain
+//! [`std::thread::scope`] threads: no pools persist between calls, no
+//! dependencies are pulled in, and panics inside a task propagate to the
+//! caller exactly as they would sequentially.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of hardware threads the host offers (at least 1).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Install a process-wide worker-count override (the `--jobs N` flag).
+/// `set_jobs(0)` clears the override.
+pub fn set_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count batch operations use when no explicit count is given:
+/// the [`set_jobs`] override if installed, else the `SELEST_JOBS`
+/// environment variable if it parses to a positive integer, else
+/// [`available_workers`].
+pub fn configured_jobs() -> usize {
+    let overridden = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if overridden > 0 {
+        return overridden;
+    }
+    if let Ok(v) = std::env::var("SELEST_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_workers()
+}
+
+/// Apply `f` to every item, returning results in input order, using
+/// [`configured_jobs`] workers.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_map_jobs(items, configured_jobs(), f)
+}
+
+/// Apply `f` to every item with an explicit worker count, returning results
+/// in input order. `jobs <= 1` (or a single item) runs inline on the
+/// calling thread.
+pub fn parallel_map_jobs<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    run_indexed(items.len(), jobs, |i| f(&items[i]))
+}
+
+/// Split `items` into consecutive chunks of `chunk_size` (the last may be
+/// shorter), apply `f` to each chunk, and return one result per chunk in
+/// chunk order, using [`configured_jobs`] workers.
+///
+/// Chunk boundaries depend only on `items.len()` and `chunk_size`, so the
+/// result is identical for every worker count.
+pub fn parallel_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    parallel_chunks_jobs(items, chunk_size, configured_jobs(), f)
+}
+
+/// [`parallel_chunks`] with an explicit worker count.
+pub fn parallel_chunks_jobs<T, U, F>(items: &[T], chunk_size: usize, jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "parallel_chunks needs a positive chunk size");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    run_indexed(n_chunks, jobs, |c| {
+        let lo = c * chunk_size;
+        let hi = (lo + chunk_size).min(items.len());
+        f(&items[lo..hi])
+    })
+}
+
+/// Shared engine: evaluate `task(0..n)` with work-stealing over an atomic
+/// cursor and scatter the results back into input order.
+fn run_indexed<U, F>(n: usize, jobs: usize, task: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("selest-par worker panicked"))
+            .collect()
+    });
+    for (i, u) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "slot {i} filled twice");
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| u.unwrap_or_else(|| panic!("slot {i} never filled")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = parallel_map_jobs(&items, jobs, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn chunks_have_fixed_boundaries() {
+        let items: Vec<usize> = (0..103).collect();
+        let expect: Vec<Vec<usize>> = items.chunks(10).map(|c| c.to_vec()).collect();
+        for jobs in [1, 2, 8] {
+            let out = parallel_chunks_jobs(&items, 10, jobs, |c| c.to_vec());
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn chunk_reduction_is_bit_identical_across_worker_counts() {
+        // An order-sensitive float reduction: naive left-to-right sums per
+        // chunk, then a left-to-right merge. Identical for 1/2/8 workers.
+        let items: Vec<f64> = (0..10_000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let reduce = |jobs| {
+            let partials = parallel_chunks_jobs(&items, 64, jobs, |c| c.iter().sum::<f64>());
+            partials.into_iter().fold(0.0f64, |a, b| a + b)
+        };
+        let s1 = reduce(1);
+        assert_eq!(s1.to_bits(), reduce(2).to_bits());
+        assert_eq!(s1.to_bits(), reduce(8).to_bits());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: [u32; 0] = [];
+        assert!(parallel_map_jobs(&empty, 4, |&x| x).is_empty());
+        assert!(parallel_chunks_jobs(&empty, 5, 4, <[u32]>::len).is_empty());
+        assert_eq!(parallel_map_jobs(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_override_takes_priority() {
+        set_jobs(3);
+        assert_eq!(configured_jobs(), 3);
+        set_jobs(0);
+        assert!(configured_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk size")]
+    fn zero_chunk_size_panics() {
+        let _ = parallel_chunks_jobs(&[1, 2, 3], 0, 2, <[i32]>::len);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let _ = parallel_map_jobs(&items, 2, |&x| {
+            assert!(x != 63, "boom");
+            x
+        });
+    }
+}

@@ -14,4 +14,11 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --benches (criterion targets)"
+cargo build -p bench --benches
+
+echo "==> bench harness smoke run (scratch output; BENCH_PR2.json untouched)"
+scripts/bench.sh --smoke --out target/bench_smoke.json
+test -s target/bench_smoke.json
+
 echo "==> all checks passed"

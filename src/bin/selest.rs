@@ -143,23 +143,37 @@ fn cmd_estimate(args: &[String]) {
 fn cmd_repro(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
     let csv_dir = flag_value(args, "--csv");
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) if n > 0 => selest::par::set_jobs(n),
+            _ => die(&format!("--jobs needs a positive integer, got {jobs:?}")),
+        }
+    }
     let scale = if quick { Scale::quick() } else { Scale::paper() };
-    let mut ids: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && flag_value(args, "--csv").as_ref() != Some(*a))
-        .collect();
-    let all: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
-    if ids.is_empty() || ids.iter().any(|i| i.as_str() == "all") {
-        ids = all.iter().collect();
+    // Positional args are experiment ids; skip flags and their values.
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" | "--jobs" => i += 1, // skip the flag's value too
+            other if !other.starts_with("--") => ids.push(other.to_owned()),
+            _ => {}
+        }
+        i += 1;
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()).collect();
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create {dir}: {e}")));
     }
-    for id in ids {
-        let report = run_experiment(id, &scale);
+    // Experiments fan out on the batch-estimation engine; the ordered
+    // merge keeps stdout byte-identical for every worker count.
+    let reports = selest::par::parallel_map(&ids, |id| run_experiment(id, &scale));
+    for report in &reports {
         println!("{report}");
         if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{id}.csv");
+            let path = format!("{dir}/{}.csv", report.id);
             std::fs::write(&path, report.to_csv())
                 .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         }
@@ -183,7 +197,7 @@ fn main() {
             println!("usage:");
             println!("  selest data <file> [--scale K]");
             println!("  selest estimate <file> <method> <a> <b> [--scale K] [--sample N]");
-            println!("  selest repro [ids...] [--quick] [--csv DIR]");
+            println!("  selest repro [ids...] [--quick] [--jobs N] [--csv DIR]");
             println!("  selest methods");
             println!();
             println!("data files: u(15) u(20) n(10) n(15) n(20) e(15) e(20) arap1 arap2");

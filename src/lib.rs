@@ -40,6 +40,7 @@
 //! | [`histogram`] | `selest-histogram` | equi-width/equi-depth/max-diff/v-optimal/ASH + bin rules |
 //! | [`kernel`] | `selest-kernel` | kernels with exact primitives, boundary treatments, bandwidth rules, 2-D product kernels |
 //! | [`hybrid`] | `selest-hybrid` | change-point detection + the hybrid estimator |
+//! | [`par`] | `selest-par` | deterministic scoped-thread execution runtime (batch fan-out, `SELEST_JOBS`) |
 //! | [`store`] | `selest-store` | column store, ANALYZE catalog, cost-based planner, online aggregation |
 //! | [`experiments`] | `selest-experiments` | one runner per paper figure/table (`repro` binary) |
 
@@ -50,6 +51,7 @@ pub use selest_histogram as histogram;
 pub use selest_hybrid as hybrid;
 pub use selest_kernel as kernel;
 pub use selest_math as math;
+pub use selest_par as par;
 pub use selest_store as store;
 
 pub use selest_core::{

@@ -1,0 +1,185 @@
+//! Cross-crate contract tests for the batch-estimation engine.
+//!
+//! Two guarantees are pinned here, at the workspace level, over every
+//! estimator the facade exports:
+//!
+//! 1. `selectivity_batch` returns bit-identical values to the per-query
+//!    `selectivity` loop — including the kernel estimator's sorted-query
+//!    merge-scan override.
+//! 2. `harness::evaluate` produces bit-identical `ErrorStats` regardless
+//!    of the worker count, so `repro --jobs N` output never depends on
+//!    the machine it ran on.
+
+use selest::experiments::harness::{evaluate, evaluate_jobs};
+use selest::kernel::{AdaptiveBoundary, BandwidthSelector, NormalScale};
+use selest::{
+    equi_depth, equi_width, max_diff, v_optimal, AdaptiveKernelEstimator,
+    AverageShiftedHistogram, BoundaryPolicy, Domain, ExactSelectivity, HybridEstimator,
+    KernelEstimator, KernelFn, RangeQuery, SamplingEstimator, SelectivityEstimator,
+    UniformEstimator, WaveletHistogram,
+};
+
+const LO: f64 = 0.0;
+const HI: f64 = 1_000.0;
+
+/// Deterministic multimodal sample with duplicates and boundary mass, so
+/// the batch paths see ties, empty strips, and edge-hugging data.
+fn sample() -> Vec<f64> {
+    let mut s = Vec::with_capacity(400);
+    let mut x = 7u64;
+    for i in 0..400u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        s.push(match i % 5 {
+            0 => 120.0 + 40.0 * u,
+            1 => 640.0 + 90.0 * u,
+            2 => 250.0,        // point mass
+            3 => HI * u,       // uniform backdrop
+            _ => 995.0 + 5.0 * u, // right-boundary pile-up
+        });
+    }
+    s
+}
+
+/// Query mix: interior, straddling, degenerate, out-of-support, and
+/// full-domain ranges — everything the merge scan has to order correctly.
+fn queries() -> Vec<RangeQuery> {
+    let mut qs = Vec::new();
+    for i in 0..60 {
+        let a = (i as f64) * 17.0 % HI;
+        let w = [0.0, 3.0, 45.0, 220.0, HI][i % 5];
+        qs.push(RangeQuery::new(a.min(HI), (a + w).min(HI)));
+    }
+    qs.push(RangeQuery::new(LO, HI));
+    qs.push(RangeQuery::new(LO, LO));
+    qs.push(RangeQuery::new(HI, HI));
+    qs
+}
+
+fn all_estimators(samples: &[f64]) -> Vec<(&'static str, Box<dyn SelectivityEstimator + Sync>)> {
+    let domain = Domain::new(LO, HI);
+    let h = NormalScale
+        .bandwidth(samples, KernelFn::Epanechnikov)
+        .min(0.05 * (HI - LO));
+    vec![
+        ("uniform", Box::new(UniformEstimator::new(domain)) as _),
+        ("sampling", Box::new(SamplingEstimator::new(samples, domain)) as _),
+        ("ewh", Box::new(equi_width(samples, domain, 16)) as _),
+        ("edh", Box::new(equi_depth(samples, domain, 16)) as _),
+        ("mdh", Box::new(max_diff(samples, domain, 16)) as _),
+        ("voh", Box::new(v_optimal(samples, domain, 8, 64)) as _),
+        ("ash", Box::new(AverageShiftedHistogram::new(samples, domain, 16, 8)) as _),
+        ("wavelet", Box::new(WaveletHistogram::build(samples, domain, 6, 20)) as _),
+        (
+            "kernel-nt",
+            Box::new(KernelEstimator::new(
+                samples,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::NoTreatment,
+            )) as _,
+        ),
+        (
+            "kernel-refl",
+            Box::new(KernelEstimator::new(
+                samples,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::Reflection,
+            )) as _,
+        ),
+        (
+            "kernel-bk",
+            Box::new(KernelEstimator::new(
+                samples,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            )) as _,
+        ),
+        (
+            "kernel-gauss-refl",
+            Box::new(KernelEstimator::new(
+                samples,
+                domain,
+                KernelFn::Gaussian,
+                h,
+                BoundaryPolicy::Reflection,
+            )) as _,
+        ),
+        (
+            "adaptive",
+            Box::new(AdaptiveKernelEstimator::new(
+                samples,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                0.5,
+                AdaptiveBoundary::Reflection,
+            )) as _,
+        ),
+        ("hybrid", Box::new(HybridEstimator::new(samples, domain)) as _),
+    ]
+}
+
+#[test]
+fn batch_is_bit_identical_to_per_query_for_every_estimator() {
+    let samples = sample();
+    let qs = queries();
+    for (name, est) in all_estimators(&samples) {
+        let batch = est.selectivity_batch(&qs);
+        assert_eq!(batch.len(), qs.len(), "{name}: batch length mismatch");
+        for (i, (q, got)) in qs.iter().zip(&batch).enumerate() {
+            let want = est.selectivity(q);
+            assert_eq!(
+                want.to_bits(),
+                got.to_bits(),
+                "{name}: query #{i} {q:?}: batch {got} != per-query {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_evaluate_is_bit_identical_for_every_estimator_and_worker_count() {
+    let samples = sample();
+    let qs = queries();
+    let domain = Domain::new(LO, HI);
+    let exact = ExactSelectivity::new(&samples, domain);
+    for (name, est) in all_estimators(&samples) {
+        let baseline = evaluate_jobs(est.as_ref(), &qs, &exact, 1);
+        for jobs in [2, 3, 8] {
+            let par = evaluate_jobs(est.as_ref(), &qs, &exact, jobs);
+            assert_eq!(
+                baseline.mean_relative_error().to_bits(),
+                par.mean_relative_error().to_bits(),
+                "{name}: MRE drifted at jobs={jobs}"
+            );
+            assert_eq!(
+                baseline.mean_absolute_error().to_bits(),
+                par.mean_absolute_error().to_bits(),
+                "{name}: MAE drifted at jobs={jobs}"
+            );
+            assert_eq!(
+                baseline.rms_relative_error().to_bits(),
+                par.rms_relative_error().to_bits(),
+                "{name}: RMS drifted at jobs={jobs}"
+            );
+            assert_eq!(
+                baseline.relative_error_quantile(0.9).to_bits(),
+                par.relative_error_quantile(0.9).to_bits(),
+                "{name}: p90 drifted at jobs={jobs}"
+            );
+        }
+        // The ambient-jobs entry point must agree with the explicit one.
+        let ambient = evaluate(est.as_ref(), &qs, &exact);
+        assert_eq!(
+            baseline.mean_relative_error().to_bits(),
+            ambient.mean_relative_error().to_bits(),
+            "{name}: evaluate() drifted from evaluate_jobs(.., 1)"
+        );
+    }
+}
