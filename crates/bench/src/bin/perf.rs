@@ -1,7 +1,7 @@
 //! The tracked perf harness: times estimator construction and query-file
 //! throughput (sequential per-query loop vs. batched merge scan vs.
 //! parallel chunked evaluation) on the standard fixtures and writes a JSON
-//! baseline (`BENCH_PR2.json`) so the repo's perf trajectory is a
+//! baseline (`BENCH_PR3.json`) so the repo's perf trajectory is a
 //! committed, diffable artifact instead of folklore.
 //!
 //! ```text
@@ -10,11 +10,18 @@
 //!
 //! `--smoke` runs one timing repetition per measurement — enough for CI to
 //! prove the harness works end to end, useless for comparing numbers.
-//! Invoke through `scripts/bench.sh`, which picks the output path.
+//! Invoke through `scripts/bench.sh`, which picks the output path;
+//! `scripts/bench_compare.sh` diffs two baselines and fails on regression.
 //!
 //! Every measurement cross-checks the batch path against the per-query
 //! path (bit-identical Kahan checksums) before it is reported, so a perf
-//! number can never be quoted for a path that drifted semantically.
+//! number can never be quoted for a path that drifted semantically. The
+//! `kernel-*-dpi2` rows are additionally cross-checked against
+//! `kernel-*-dpi2-naive` twins built over the O(n^2) oracle functional
+//! sum: their query-file checksums must agree within 1e-3 relative (the
+//! documented fast-path tolerance, DESIGN.md §9). A final section times
+//! the parallel catalog ANALYZE and asserts its exported evidence is
+//! byte-identical to the single-worker build.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -28,6 +35,7 @@ use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram
     NormalScaleBins};
 use selest_hybrid::HybridEstimator;
 use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn};
+use selest_store::{encode_statistics, AnalyzeConfig, Column, Relation, StatisticsCatalog};
 
 /// Best-of-`reps` wall time of `f`, in microseconds, plus the last result.
 fn time_best_us<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -89,9 +97,38 @@ fn builders(f: &Fixture) -> Vec<(&'static str, Builder<'_>)> {
                 BoundaryPolicy::Reflection,
             )) as _
         })),
+        // O(n^2) oracle twins of the two kernel rows: their build times
+        // quantify the fast-path speedup, their checksums pin its drift.
+        ("kernel-bk-dpi2-naive", Box::new(move || {
+            let h = DirectPlugIn::two_stage_naive()
+                .bandwidth(&f.sample, KernelFn::Epanechnikov)
+                .min(0.5 * domain.width());
+            Box::new(KernelEstimator::new(
+                &f.sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            )) as _
+        })),
+        ("kernel-refl-dpi2-naive", Box::new(move || {
+            let h = DirectPlugIn::two_stage_naive().bandwidth(&f.sample, KernelFn::Epanechnikov);
+            Box::new(KernelEstimator::new(
+                &f.sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::Reflection,
+            )) as _
+        })),
         ("hybrid", Box::new(move || Box::new(HybridEstimator::new(&f.sample, domain)) as _)),
     ]
 }
+
+/// Fast-vs-naive agreement gate: the documented DESIGN.md §9 tolerance on
+/// the query-file checksum of a fast-path kernel estimator relative to its
+/// O(n^2) oracle twin.
+const FAST_PATH_CHECKSUM_TOL: f64 = 1e-3;
 
 fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
     let f = fixture(file);
@@ -139,6 +176,24 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
             checksum: seq_sum,
         });
     }
+    // Fast-vs-oracle gate: each kernel row must agree with its naive twin
+    // within the documented tolerance, and (full mode) build >= 10x faster.
+    for fast_name in ["kernel-bk-dpi2", "kernel-refl-dpi2"] {
+        let fast = rows.iter().find(|r| r.name == fast_name).expect("fast row");
+        let naive_name = format!("{fast_name}-naive");
+        let naive = rows.iter().find(|r| r.name == naive_name).expect("naive row");
+        let rel = (fast.checksum - naive.checksum).abs() / naive.checksum.abs().max(1e-300);
+        assert!(
+            rel <= FAST_PATH_CHECKSUM_TOL,
+            "{fast_name}: fast checksum {} drifted {rel:.2e} from oracle {}",
+            fast.checksum,
+            naive.checksum
+        );
+        eprintln!(
+            "  {fast_name}: build speedup x{:.1} vs oracle, checksum drift {rel:.2e}",
+            naive.build_us / fast.build_us
+        );
+    }
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
@@ -159,10 +214,63 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
     let _ = write!(json, "      ]\n    }}");
 }
 
+/// Multi-attribute ANALYZE scaling: an 8-column relation (deterministic
+/// affine transforms of the n(20) fixture values) analyzed with the
+/// paper's kernel configuration, single-worker vs. the full pool. The
+/// exported evidence must be byte-identical either way before any timing
+/// is reported.
+fn bench_catalog(reps: usize, jobs: usize, json: &mut String) {
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let base = f.data.values();
+    let lo = base.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = base.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut rel = Relation::new("bench8");
+    for c in 0..8usize {
+        // Per-column affine transform: distinct domains and scales, same
+        // underlying shape, so every column does real plug-in work.
+        let scale = 1.0 + 0.25 * c as f64;
+        let shift = 1_000.0 * c as f64;
+        let values: Vec<f64> = base.iter().map(|&v| v * scale + shift).collect();
+        let domain = selest_core::Domain::new(lo * scale + shift, hi * scale + shift);
+        rel.add_column(Column::new(&format!("c{c}"), domain, values));
+    }
+    let config = AnalyzeConfig { sample_size: 1_000, ..Default::default() };
+    let build = |jobs: usize| {
+        let mut cat = StatisticsCatalog::new();
+        cat.analyze_jobs(&rel, &config, jobs);
+        cat
+    };
+    let (seq_us, seq_cat) = time_best_us(reps, || build(1));
+    let (par_us, par_cat) = time_best_us(reps, || build(jobs));
+    let seq_evidence = encode_statistics(&seq_cat.export());
+    let par_evidence = encode_statistics(&par_cat.export());
+    assert_eq!(
+        seq_evidence, par_evidence,
+        "parallel ANALYZE produced different evidence than single-worker"
+    );
+    eprintln!(
+        "catalog bench8: 8 columns x {} rows, analyze 1 worker {seq_us:.1}us, {jobs} workers \
+         {par_us:.1}us (x{:.2})",
+        base.len(),
+        seq_us / par_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"catalog\": {{\"columns\": 8, \"rows\": {}, \"kind\": \"kernel\", \
+         \"analyze_seq_us\": {:.2}, \"analyze_par_us\": {:.2}, \"speedup_par\": {:.4}, \
+         \"jobs\": {}, \"export_identical\": true}}",
+        base.len(),
+        seq_us,
+        par_us,
+        seq_us / par_us,
+        jobs
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_PR2.json".to_owned();
+    let mut out_path = "BENCH_PR3.json".to_owned();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -214,7 +322,9 @@ fn main() {
         bench_fixture(*file, reps, jobs, &mut json);
         json.push_str(if i + 1 == files.len() { "\n" } else { ",\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    bench_catalog(reps, jobs, &mut json);
+    json.push_str("}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("write {out_path}: {e}");

@@ -60,18 +60,25 @@ impl AdaptiveKernelEstimator {
             "samples outside domain {domain}"
         );
         let n = sorted.len() as f64;
-        // Pilot density at each sample (fixed-h KDE over the sorted set).
+        // Pilot density at each sample (fixed-h KDE over the sorted set),
+        // fanned out over fixed 256-sample chunks flattened in order —
+        // each pilot value is computed independently, so the vector is
+        // identical for every worker count.
         let reach = kernel.support_radius() * h0;
-        let pilot: Vec<f64> = sorted
-            .iter()
-            .map(|&x| {
-                let lo = sorted.partition_point(|&v| v < x - reach);
-                let hi = sorted.partition_point(|&v| v <= x + reach);
-                let sum: f64 = sorted[lo..hi].iter().map(|&v| kernel.eval((x - v) / h0)).sum();
-                // Floor: an isolated sample still sees its own bump.
-                (sum / (n * h0)).max(kernel.eval(0.0) / (n * h0))
-            })
-            .collect();
+        let pilot_of = |x: f64| {
+            let lo = sorted.partition_point(|&v| v < x - reach);
+            let hi = sorted.partition_point(|&v| v <= x + reach);
+            let sum: f64 = sorted[lo..hi].iter().map(|&v| kernel.eval((x - v) / h0)).sum();
+            // Floor: an isolated sample still sees its own bump.
+            (sum / (n * h0)).max(kernel.eval(0.0) / (n * h0))
+        };
+        let jobs = if sorted.len() < 2_048 { 1 } else { selest_par::configured_jobs() };
+        let pilot: Vec<f64> = selest_par::parallel_chunks_jobs(&sorted, 256, jobs, |chunk| {
+            chunk.iter().map(|&x| pilot_of(x)).collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         // Geometric mean of the pilot values.
         let log_mean = pilot.iter().map(|p| p.ln()).sum::<f64>() / n;
         let g = log_mean.exp();

@@ -18,7 +18,7 @@
 //!   score, a fully data-driven unbiased risk estimate.
 //! * [`FixedBandwidth`] pins `h`, for oracle searches and experiments.
 
-use selest_math::{brent_min, psi_plug_in, robust_scale};
+use selest_math::{brent_min, psi_plug_in_with, robust_scale, PsiStrategy};
 
 use crate::kernels::KernelFn;
 
@@ -92,24 +92,48 @@ impl BandwidthSelector for NormalScale {
 /// Direct plug-in rule (Section 4.3): estimate `psi_4 = R(f'')` by staged
 /// kernel functional estimation, then plug into the AMISE formula. The
 /// paper reports results for two stages (`h-DPI2`).
+///
+/// The pairwise functional sum is evaluated by the [`PsiStrategy`] fast
+/// paths of `selest-math` (DESIGN.md §9); [`DirectPlugIn::two_stage`]
+/// uses [`PsiStrategy::Auto`], and [`DirectPlugIn::two_stage_naive`]
+/// reproduces the exact `O(n^2)` arithmetic for cross-checks.
 #[derive(Debug, Clone, Copy)]
 pub struct DirectPlugIn {
     /// Number of functional-estimation stages; 0 degenerates to the normal
     /// scale value of `psi_4`.
     pub stages: usize,
+    /// How each stage's pairwise functional sum is evaluated.
+    pub strategy: PsiStrategy,
 }
 
 impl DirectPlugIn {
-    /// The paper's choice: two stages.
+    /// The paper's choice: two stages, fast-path functional sums.
     pub fn two_stage() -> Self {
-        DirectPlugIn { stages: 2 }
+        DirectPlugIn { stages: 2, strategy: PsiStrategy::Auto }
+    }
+
+    /// Two stages over the naive `O(n^2)` oracle sum — slow; exists so
+    /// benches and tests can quantify the fast paths' drift.
+    pub fn two_stage_naive() -> Self {
+        DirectPlugIn { stages: 2, strategy: PsiStrategy::Naive }
+    }
+
+    /// Replace the functional-sum strategy.
+    pub fn with_strategy(self, strategy: PsiStrategy) -> Self {
+        DirectPlugIn { strategy, ..self }
     }
 }
 
 impl BandwidthSelector for DirectPlugIn {
     fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64 {
         assert!(samples.len() >= 2, "plug-in rule needs >= 2 samples");
-        let psi4 = psi_plug_in(samples, 4, self.stages);
+        let psi4 = psi_plug_in_with(
+            samples,
+            4,
+            self.stages,
+            self.strategy,
+            selest_par::configured_jobs(),
+        );
         assert!(psi4 > 0.0, "psi_4 estimate must be positive, got {psi4}");
         amise_optimal_bandwidth(kernel, samples.len(), psi4)
     }
@@ -132,28 +156,68 @@ impl BandwidthSelector for DirectPlugIn {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Lscv;
 
-/// The LSCV score at a single bandwidth. Exposed for diagnostics and tests;
-/// `O(n * k)` over a sorted window for compact kernels.
+/// The LSCV score at a single bandwidth, using
+/// [`selest_par::configured_jobs`] workers. See [`lscv_score_jobs`].
 pub fn lscv_score(sorted: &[f64], kernel: KernelFn, h: f64) -> f64 {
+    lscv_score_jobs(sorted, kernel, h, selest_par::configured_jobs())
+}
+
+/// Fixed chunk length of the parallel LSCV pair scans; boundaries depend
+/// only on the input length, never the worker count (the `selest-par`
+/// determinism convention).
+const LSCV_CHUNK: usize = 256;
+
+/// The LSCV score at a single bandwidth with an explicit worker count.
+/// Exposed for diagnostics and tests.
+///
+/// `sorted` must be sorted ascending (the selectors sort once up front and
+/// reuse the sorted copy for every score evaluation): the pair scan for
+/// each `i` then early-breaks as soon as the gap `X_j - X_i` exceeds the
+/// self-convolution support `2 r h`, making each score `O(n * k)` with `k`
+/// the in-window pair count — never the full `O(n^2)` loop. The scan is
+/// split into fixed 256-index chunks of `i` whose partial sums merge in
+/// chunk order, so the score is bit-identical for every `jobs` value.
+pub fn lscv_score_jobs(sorted: &[f64], kernel: KernelFn, h: f64, jobs: usize) -> f64 {
     assert!(h > 0.0, "lscv_score needs h > 0");
     let n = sorted.len();
     assert!(n >= 2, "lscv_score needs >= 2 samples");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "lscv_score needs a sorted sample"
+    );
     let conv0 = kernel
         .self_convolution(0.0)
         .expect("LSCV requires a kernel with closed-form self-convolution");
     let reach = 2.0 * kernel.support_radius() * h;
+    // Small inputs run inline: the chunked computation is identical either
+    // way, so this threshold cannot change the result.
+    let jobs = if n < 2_048 { 1 } else { jobs };
+    let partials = selest_par::parallel_chunks_jobs(
+        &(0..n).collect::<Vec<usize>>(),
+        LSCV_CHUNK,
+        jobs,
+        |is| {
+            let mut conv = 0.0;
+            let mut cross = 0.0;
+            for &i in is {
+                for j in (i + 1)..n {
+                    let d = sorted[j] - sorted[i];
+                    if d > reach {
+                        break; // sorted: no farther pair can be in reach
+                    }
+                    let t = d / h;
+                    conv += 2.0 * kernel.self_convolution(t).expect("checked above");
+                    cross += 2.0 * kernel.eval(t);
+                }
+            }
+            (conv, cross)
+        },
+    );
     let mut conv_sum = n as f64 * conv0; // diagonal terms
     let mut cross_sum = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = sorted[j] - sorted[i];
-            if d > reach {
-                break; // sorted: no farther pair can be in reach
-            }
-            let t = d / h;
-            conv_sum += 2.0 * kernel.self_convolution(t).expect("checked above");
-            cross_sum += 2.0 * kernel.eval(t);
-        }
+    for (conv, cross) in partials {
+        conv_sum += conv;
+        cross_sum += cross;
     }
     let nf = n as f64;
     conv_sum / (nf * nf * h) - 2.0 * cross_sum / (nf * (nf - 1.0) * h)
@@ -292,6 +356,41 @@ mod tests {
         let huge = lscv_score(&xs, KernelFn::Epanechnikov, 50.0);
         assert!(good < tiny, "undersmoothing should score worse");
         assert!(good < huge, "oversmoothing should score worse");
+    }
+
+    #[test]
+    fn lscv_score_is_bit_identical_for_any_job_count() {
+        // n >= 2048 so the parallel path actually engages.
+        let mut xs = normal_sample(2_500, 1.0);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for h in [0.1, 0.4, 2.0] {
+            let reference = lscv_score_jobs(&xs, KernelFn::Epanechnikov, h, 1);
+            for jobs in [2usize, 3, 7] {
+                let got = lscv_score_jobs(&xs, KernelFn::Epanechnikov, h, jobs);
+                assert_eq!(got.to_bits(), reference.to_bits(), "h={h} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_plug_in_tracks_the_naive_oracle() {
+        // The Auto strategy (binned for n >= 512) must land within the
+        // documented tolerance of the seed's naive arithmetic; the
+        // windowed strategy within 1e-12 relative.
+        let xs = normal_sample(900, 2.0);
+        let naive = DirectPlugIn::two_stage_naive().bandwidth(&xs, KernelFn::Epanechnikov);
+        let auto = DirectPlugIn::two_stage().bandwidth(&xs, KernelFn::Epanechnikov);
+        let windowed = DirectPlugIn::two_stage()
+            .with_strategy(selest_math::PsiStrategy::Windowed)
+            .bandwidth(&xs, KernelFn::Epanechnikov);
+        assert!(
+            (auto - naive).abs() < 1e-3 * naive,
+            "auto h {auto} vs naive h {naive}"
+        );
+        assert!(
+            (windowed - naive).abs() < 1e-12 * naive,
+            "windowed h {windowed} vs naive h {naive}"
+        );
     }
 
     #[test]

@@ -30,11 +30,11 @@ pub mod ndim;
 
 pub use adaptive::{AdaptiveBoundary, AdaptiveKernelEstimator};
 pub use bandwidth::{
-    amise, amise_optimal_bandwidth, normal_scale_constant, BandwidthSelector, DirectPlugIn,
-    FixedBandwidth, Lscv, NormalScale,
+    amise, amise_optimal_bandwidth, lscv_score, lscv_score_jobs, normal_scale_constant,
+    BandwidthSelector, DirectPlugIn, FixedBandwidth, Lscv, NormalScale,
 };
 pub use boundary::BoundaryPolicy;
 pub use estimator::KernelEstimator;
 pub use kernels::KernelFn;
-pub use multidim::{lscv_score_2d, Boundary2d, KernelEstimator2d, RectQuery};
+pub use multidim::{lscv_score_2d, lscv_score_2d_jobs, Boundary2d, KernelEstimator2d, RectQuery};
 pub use ndim::{BoxQuery, NdKernelEstimator};

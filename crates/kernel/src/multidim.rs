@@ -76,37 +76,76 @@ pub fn scott_bandwidth_2d(scale: f64, n: usize) -> f64 {
 ///              - 2 (n (n-1) h1 h2)^-1 sum_{i != j} K(dx/h1) K(dy/h2).
 /// ```
 ///
-/// `sorted` must be sorted by the first coordinate; compact kernels then
-/// restrict the pair scan to an `|dx| <= 2 r h1` window.
+/// `sorted` must be sorted by the first coordinate (the selectors sort once
+/// up front and reuse the sorted copy for every score evaluation): the pair
+/// scan for each `i` then early-breaks as soon as `dx` exceeds the
+/// self-convolution support `2 r h1`, making each score `O(n * k)` with `k`
+/// the in-window pair count — never the full `O(n^2)` loop. Evaluates with
+/// [`selest_par::configured_jobs`] workers; see [`lscv_score_2d_jobs`].
 pub fn lscv_score_2d(sorted: &[(f64, f64)], kernel: KernelFn, h1: f64, h2: f64) -> f64 {
+    lscv_score_2d_jobs(sorted, kernel, h1, h2, selest_par::configured_jobs())
+}
+
+/// [`lscv_score_2d`] with an explicit worker count. The scan splits into
+/// fixed 256-index chunks of `i` whose partial sums merge in chunk order
+/// (the `selest-par` convention), so the score is bit-identical for every
+/// `jobs` value, including 1.
+pub fn lscv_score_2d_jobs(
+    sorted: &[(f64, f64)],
+    kernel: KernelFn,
+    h1: f64,
+    h2: f64,
+    jobs: usize,
+) -> f64 {
     assert!(h1 > 0.0 && h2 > 0.0, "lscv_score_2d needs positive bandwidths");
     let n = sorted.len();
     assert!(n >= 2, "lscv_score_2d needs >= 2 samples");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].0 <= w[1].0),
+        "lscv_score_2d needs samples sorted by the first coordinate"
+    );
     let conv0 = kernel
         .self_convolution(0.0)
         .expect("LSCV requires a closed-form self-convolution");
     let reach = 2.0 * kernel.support_radius() * h1;
-    let mut conv_sum = n as f64 * conv0 * conv0; // diagonal terms
-    let mut cross_sum = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let dx = sorted[j].0 - sorted[i].0;
-            if dx > reach {
-                break;
-            }
-            let dy = sorted[j].1 - sorted[i].1;
-            let (tx, ty) = (dx / h1, dy / h2);
-            let cx = kernel.self_convolution(tx).expect("checked above");
-            if cx != 0.0 {
-                if let Some(cy) = kernel.self_convolution(ty) {
-                    conv_sum += 2.0 * cx * cy;
+    // Small inputs run inline; the chunked computation is identical either
+    // way, so this threshold cannot change the result.
+    let jobs = if n < 2_048 { 1 } else { jobs };
+    let partials = selest_par::parallel_chunks_jobs(
+        &(0..n).collect::<Vec<usize>>(),
+        256,
+        jobs,
+        |is| {
+            let mut conv = 0.0;
+            let mut cross = 0.0;
+            for &i in is {
+                for j in (i + 1)..n {
+                    let dx = sorted[j].0 - sorted[i].0;
+                    if dx > reach {
+                        break;
+                    }
+                    let dy = sorted[j].1 - sorted[i].1;
+                    let (tx, ty) = (dx / h1, dy / h2);
+                    let cx = kernel.self_convolution(tx).expect("checked above");
+                    if cx != 0.0 {
+                        if let Some(cy) = kernel.self_convolution(ty) {
+                            conv += 2.0 * cx * cy;
+                        }
+                    }
+                    let kx = kernel.eval(tx);
+                    if kx != 0.0 {
+                        cross += 2.0 * kx * kernel.eval(ty);
+                    }
                 }
             }
-            let kx = kernel.eval(tx);
-            if kx != 0.0 {
-                cross_sum += 2.0 * kx * kernel.eval(ty);
-            }
-        }
+            (conv, cross)
+        },
+    );
+    let mut conv_sum = n as f64 * conv0 * conv0; // diagonal terms
+    let mut cross_sum = 0.0;
+    for (conv, cross) in partials {
+        conv_sum += conv;
+        cross_sum += cross;
     }
     let nf = n as f64;
     conv_sum / (nf * nf * h1 * h2) - 2.0 * cross_sum / (nf * (nf - 1.0) * h1 * h2)

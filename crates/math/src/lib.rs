@@ -6,8 +6,10 @@
 //! descriptive statistics ([`stats`]).
 //!
 //! The selectivity estimators in the rest of the workspace only ever need
-//! one-dimensional real analysis, so this crate deliberately stays small and
-//! dependency-free rather than pulling in a general numerics library.
+//! one-dimensional real analysis, so this crate deliberately stays small —
+//! its only workspace dependency is `selest-par`, which the hot pairwise
+//! functional sums ([`functionals`]) use for deterministic parallelism —
+//! rather than pulling in a general numerics library.
 
 pub mod functionals;
 pub mod optimize;
@@ -16,7 +18,10 @@ pub mod special;
 pub mod stats;
 
 pub use functionals::{
-    estimate_psi, normal_density_derivative, pilot_bandwidth, psi_normal_scale, psi_plug_in,
+    default_psi_bins, estimate_psi, estimate_psi_binned, estimate_psi_naive,
+    estimate_psi_windowed, estimate_psi_windowed_jobs, normal_density_derivative,
+    pilot_bandwidth, psi_normal_scale, psi_plug_in, psi_plug_in_with, psi_window_radius,
+    PsiStrategy,
 };
 
 pub use optimize::{bisect, brent_min, golden_section_min};

@@ -274,10 +274,42 @@ impl StatisticsCatalog {
         Ok(audit)
     }
 
-    /// ANALYZE every column of a relation.
+    /// ANALYZE every column of a relation, building per-column estimators
+    /// across [`selest_par::configured_jobs`] workers. See
+    /// [`StatisticsCatalog::analyze_jobs`].
     pub fn analyze(&mut self, relation: &Relation, config: &AnalyzeConfig) {
-        for c in relation.columns() {
-            self.analyze_column(relation, c.name(), config);
+        self.analyze_jobs(relation, config, selest_par::configured_jobs());
+    }
+
+    /// ANALYZE every column of a relation with an explicit worker count.
+    ///
+    /// Each column's sample draw and estimator build is independent (the
+    /// reservoir seed is per-column-fixed by `config.seed`), so the builds
+    /// fan out over the worker pool; results are inserted in the
+    /// relation's column order, making the catalog identical — including
+    /// every serialized byte of its exported evidence — for any `jobs`
+    /// value or `SELEST_JOBS` setting.
+    pub fn analyze_jobs(&mut self, relation: &Relation, config: &AnalyzeConfig, jobs: usize) {
+        let columns = relation.columns();
+        let built = selest_par::parallel_map_jobs(columns, jobs, |column| {
+            let sample = if config.kind == EstimatorKind::Uniform {
+                Vec::new()
+            } else {
+                reservoir_sample(column.values().iter().copied(), config.sample_size, config.seed)
+            };
+            let estimator = build_estimator_from_sample(&sample, column.domain(), config.kind);
+            ColumnStatistics {
+                estimator,
+                n_rows: column.len(),
+                sample_size: sample.len(),
+                kind: config.kind,
+                sample,
+                domain: column.domain(),
+            }
+        });
+        for (column, stats) in columns.iter().zip(built) {
+            self.entries
+                .insert((relation.name().to_owned(), column.name().to_owned()), stats);
         }
     }
 
@@ -315,10 +347,15 @@ impl StatisticsCatalog {
     }
 
     /// Import persisted evidence, rebuilding each estimator
-    /// deterministically and replacing any existing entries.
+    /// deterministically and replacing any existing entries. Rebuilds fan
+    /// out over [`selest_par::configured_jobs`] workers; the catalog ends
+    /// up identical for every worker count because each estimator depends
+    /// only on its own entry and insertions happen in entry order.
     pub fn import(&mut self, entries: Vec<crate::persist::PersistedStatistics>) {
-        for e in entries {
-            let estimator = build_estimator_from_sample(&e.sample, e.domain, e.kind);
+        let estimators = selest_par::parallel_map(&entries, |e| {
+            build_estimator_from_sample(&e.sample, e.domain, e.kind)
+        });
+        for (e, estimator) in entries.into_iter().zip(estimators) {
             self.entries.insert(
                 (e.relation, e.column),
                 ColumnStatistics {
@@ -338,13 +375,18 @@ impl StatisticsCatalog {
     /// constructor) are skipped and reported as `(relation, column,
     /// error)` instead of aborting the whole load — the recovery
     /// counterpart of `persist::decode_lenient`.
+    /// Rebuilds run across the worker pool like [`StatisticsCatalog::import`];
+    /// failures are reported in entry order regardless of worker count.
     pub fn try_import(
         &mut self,
         entries: Vec<crate::persist::PersistedStatistics>,
     ) -> Vec<(String, String, EstimateError)> {
+        let built = selest_par::parallel_map(&entries, |e| {
+            try_build_estimator_from_sample(&e.sample, e.domain, e.kind)
+        });
         let mut failures = Vec::new();
-        for e in entries {
-            match try_build_estimator_from_sample(&e.sample, e.domain, e.kind) {
+        for (e, result) in entries.into_iter().zip(built) {
+            match result {
                 Ok((estimator, _audit)) => {
                     self.entries.insert(
                         (e.relation, e.column),

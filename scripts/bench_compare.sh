@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Diff two perf baselines (see scripts/bench.sh / crates/bench/src/bin/perf.rs)
+# and fail on regression:
+#
+#   scripts/bench_compare.sh BASELINE.json NEW.json [options]
+#
+#   --max-ratio R      fail if build/seq/batch time grew beyond R x baseline
+#                      (default 3; CI smoke runs use a generous ratio since
+#                      1-rep timings are noisy)
+#   --min-us US        only apply the timing gate when the baseline timing
+#                      is at least US microseconds (default 100; guards the
+#                      ratio check against sub-noise-floor measurements)
+#   --checksum-tol T   fail if a row's query-file checksum differs from the
+#                      baseline by more than T relative (default 1e-9 —
+#                      checksums are deterministic across reps and worker
+#                      counts, so any real drift is a semantic change)
+#
+# Structure gate: every (fixture, estimator) row of the baseline must exist
+# in the new file, and if the baseline has a catalog section the new file
+# must too. Extra rows in the new file are allowed (baselines only grow).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BASELINE.json NEW.json [--max-ratio R] [--min-us US] [--checksum-tol T]" >&2
+    exit 2
+fi
+
+baseline=$1
+new=$2
+shift 2
+max_ratio=3
+min_us=100
+checksum_tol=1e-9
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --max-ratio)    max_ratio=$2; shift 2 ;;
+        --min-us)       min_us=$2; shift 2 ;;
+        --checksum-tol) checksum_tol=$2; shift 2 ;;
+        *) echo "unknown option $1" >&2; exit 2 ;;
+    esac
+done
+
+for f in "$baseline" "$new"; do
+    if [ ! -s "$f" ]; then
+        echo "bench_compare: $f missing or empty" >&2
+        exit 1
+    fi
+done
+
+awk -v max_ratio="$max_ratio" -v min_us="$min_us" -v tol="$checksum_tol" \
+    -v baseline="$baseline" -v new_file="$new" '
+function field_num(line, key,    r) {
+    # Extract the numeric value following "key": in a JSON row line.
+    if (match(line, "\"" key "\": *-?[0-9.eE+-]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r + 0
+}
+function field_str(line, key,    r) {
+    if (match(line, "\"" key "\": *\"[^\"]*\"") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *\"", "", r)
+    sub("\"$", "", r)
+    return r
+}
+function abs(x) { return x < 0 ? -x : x }
+{
+    in_base = (FILENAME == baseline)
+    if (index($0, "\"file\":") > 0) {
+        if (in_base) base_fixture = field_str($0, "file")
+        else          new_fixture = field_str($0, "file")
+    }
+    if (index($0, "\"catalog\":") > 0) {
+        if (in_base) base_has_catalog = 1
+        else          new_has_catalog = 1
+    }
+    if (index($0, "\"name\":") > 0 && index($0, "\"build_us\":") > 0) {
+        if (in_base) {
+            key = base_fixture "|" field_str($0, "name")
+            seen[key] = 1
+            b_build[key] = field_num($0, "build_us")
+            b_seq[key]   = field_num($0, "seq_us")
+            b_batch[key] = field_num($0, "batch_us")
+            b_sum[key]   = field_num($0, "checksum")
+        } else {
+            key = new_fixture "|" field_str($0, "name")
+            n_seen[key] = 1
+            n_build[key] = field_num($0, "build_us")
+            n_seq[key]   = field_num($0, "seq_us")
+            n_batch[key] = field_num($0, "batch_us")
+            n_sum[key]   = field_num($0, "checksum")
+        }
+    }
+}
+END {
+    fails = 0
+    rows = 0
+    for (key in seen) {
+        rows++
+        if (!(key in n_seen)) {
+            printf "FAIL %s: row missing from %s\n", key, new_file
+            fails++
+            continue
+        }
+        denom = abs(b_sum[key]); if (denom < 1e-300) denom = 1e-300
+        drift = abs(n_sum[key] - b_sum[key]) / denom
+        if (drift > tol) {
+            printf "FAIL %s: checksum drift %.3e > %.1e (%.12f -> %.12f)\n", \
+                key, drift, tol, b_sum[key], n_sum[key]
+            fails++
+        }
+        # Timing gate per measurement, only above the noise floor.
+        split("build seq batch", dims, " ")
+        for (d = 1; d <= 3; d++) {
+            dim = dims[d]
+            old = (dim == "build") ? b_build[key] : (dim == "seq") ? b_seq[key] : b_batch[key]
+            cur = (dim == "build") ? n_build[key] : (dim == "seq") ? n_seq[key] : n_batch[key]
+            if (old == "NA" || cur == "NA" || old < min_us) continue
+            if (cur > max_ratio * old) {
+                printf "FAIL %s: %s_us %.1f -> %.1f (> %.1fx baseline)\n", \
+                    key, dim, old, cur, max_ratio
+                fails++
+            }
+        }
+    }
+    if (rows == 0) {
+        printf "FAIL no estimator rows parsed from %s\n", baseline
+        fails++
+    }
+    if (base_has_catalog && !new_has_catalog) {
+        printf "FAIL catalog section missing from %s\n", new_file
+        fails++
+    }
+    if (fails > 0) {
+        printf "bench_compare: %d failure(s) (%s vs %s)\n", fails, baseline, new_file
+        exit 1
+    }
+    printf "bench_compare: %d rows OK (checksum tol %.1e, timing ratio %.1fx above %dus)\n", \
+        rows, tol, max_ratio, min_us
+}
+' "$baseline" "$new"

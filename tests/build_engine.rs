@@ -1,0 +1,275 @@
+//! Cross-crate contract tests for the fast estimator-construction paths.
+//!
+//! Three guarantees are pinned here, at the workspace level (see
+//! DESIGN.md §9):
+//!
+//! 1. **Accuracy** — the windowed pairwise functional sum agrees with the
+//!    `estimate_psi_naive` O(n²) oracle to 1e-12 relative on every fixture
+//!    family the paper uses (uniform, normal, Zipf, TIGER), and the
+//!    linear-binned sum stays within its documented tolerance; the
+//!    end-to-end h-DPI2 bandwidth inherits those bounds.
+//! 2. **Determinism** — the windowed sum, the LSCV score, the plug-in
+//!    recursion, and a full catalog ANALYZE produce bit-identical
+//!    (byte-identical, for serialized statistics) results for any worker
+//!    count, so `SELEST_JOBS ∈ {1, 2, 7}` can never change an estimate.
+//! 3. **Dispatch** — the `Auto` strategy resolves to the exact windowed
+//!    path below its size threshold, so small builds lose no precision.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selest::data::Zipf;
+use selest::kernel::{lscv_score_jobs, BandwidthSelector, DirectPlugIn, KernelFn};
+use selest::math::{
+    default_psi_bins, estimate_psi_binned, estimate_psi_naive, estimate_psi_windowed_jobs,
+    psi_plug_in_with, PsiStrategy,
+};
+use selest::store::{encode_statistics, Column};
+use selest::{AnalyzeConfig, Domain, PaperFile, RangeQuery, Relation, StatisticsCatalog};
+
+/// One sorted sample per fixture family of the paper: synthetic uniform
+/// and normal, the skewed/tied Zipf, and the TIGER Arapahoe geography.
+/// All are ≥ 2 048 points so the parallel (windowed / LSCV) paths really
+/// fan out instead of falling back to the single-worker fast path.
+fn fixtures() -> Vec<(&'static str, Vec<f64>)> {
+    let mut out: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for (name, file) in [
+        ("uniform", PaperFile::Uniform { p: 20 }),
+        ("normal", PaperFile::Normal { p: 20 }),
+        ("tiger", PaperFile::Arapahoe1),
+    ] {
+        let mut v = file.generate_scaled(24).values().to_vec();
+        v.truncate(2_200);
+        out.push((name, v));
+    }
+    let zipf = Zipf::new(1_000, 0.86, 0.0, 1_048_575.0);
+    let mut rng = StdRng::seed_from_u64(0xb11d_e161);
+    out.push(("zipf", (0..2_200).map(|_| zipf.sample(&mut rng)).collect()));
+    for (_, v) in &mut out {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    out
+}
+
+/// Every `k`-th point, so the O(n²) oracle stays cheap in debug builds
+/// while the subsample keeps the fixture's shape (ties included).
+fn thin(sorted: &[f64], k: usize) -> Vec<f64> {
+    sorted.iter().step_by(k).copied().collect()
+}
+
+fn rel_err(got: f64, want: f64) -> f64 {
+    (got - want).abs() / want.abs().max(1e-300)
+}
+
+fn sample_range(sorted: &[f64]) -> f64 {
+    sorted[sorted.len() - 1] - sorted[0]
+}
+
+#[test]
+fn windowed_psi_matches_naive_oracle_on_every_fixture() {
+    for (name, sorted) in fixtures() {
+        let thinned = thin(&sorted, 4); // 550 points: oracle-affordable in debug builds
+        let range = sample_range(&thinned);
+        for r in [4usize, 6] {
+            for g in [range / 400.0, range / 40.0] {
+                let naive = estimate_psi_naive(&thinned, r, g);
+                let fast = estimate_psi_windowed_jobs(&thinned, r, g, 1);
+                assert!(
+                    rel_err(fast, naive) < 1e-12,
+                    "{name}: windowed psi_{r}(g={g:.3}) rel err {:.3e} (naive {naive:.6e}, fast {fast:.6e})",
+                    rel_err(fast, naive)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binned_psi_stays_within_documented_tolerance_on_every_fixture() {
+    for (name, sorted) in fixtures() {
+        let thinned = thin(&sorted, 4);
+        let range = sample_range(&thinned);
+        for r in [4usize, 6] {
+            for g in [range / 400.0, range / 40.0] {
+                let naive = estimate_psi_naive(&thinned, r, g);
+                let bins = default_psi_bins(range, g);
+                let binned = estimate_psi_binned(&thinned, r, g, bins);
+                // default_psi_bins targets delta <= g/10, i.e. O((delta/g)^2)
+                // with a constant that grows with the derivative order —
+                // ~2e-2 worst case at r = 6 (DESIGN.md §9); smooth fixtures
+                // and lower orders land far below that.
+                assert!(
+                    rel_err(binned, naive) < 2e-2,
+                    "{name}: binned psi_{r}(g={g:.3}, bins={bins}) rel err {:.3e}",
+                    rel_err(binned, naive)
+                );
+                // Grid refinement drives the error down as O((delta/g)^2).
+                // Binned cost is O(bins x lags), so only refine the small
+                // default grids (the convergence sweep itself lives in the
+                // math crate's unit tests).
+                if bins <= 1_024 {
+                    let fine = estimate_psi_binned(&thinned, r, g, bins * 16);
+                    assert!(
+                        rel_err(fine, naive) < 1e-4,
+                        "{name}: 16x-refined binned psi_{r}(g={g:.3}) rel err {:.3e}",
+                        rel_err(fine, naive)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_dpi2_bandwidth_tracks_the_naive_oracle_end_to_end() {
+    for (name, sorted) in fixtures() {
+        let thinned = thin(&sorted, 4);
+        let naive_h = DirectPlugIn::two_stage_naive().bandwidth(&thinned, KernelFn::Epanechnikov);
+        let windowed_h = DirectPlugIn::two_stage()
+            .with_strategy(PsiStrategy::Windowed)
+            .bandwidth(&thinned, KernelFn::Epanechnikov);
+        let auto_h = DirectPlugIn::two_stage().bandwidth(&thinned, KernelFn::Epanechnikov);
+        assert!(naive_h.is_finite() && naive_h > 0.0, "{name}: bad oracle h {naive_h}");
+        // h ∝ psi^(-1/5), so the windowed path's 1e-12 psi agreement
+        // survives to the bandwidth essentially unchanged.
+        assert!(
+            rel_err(windowed_h, naive_h) < 1e-12,
+            "{name}: windowed h-DPI2 {windowed_h} vs naive {naive_h} (rel {:.3e})",
+            rel_err(windowed_h, naive_h)
+        );
+        // The Auto (binned) path carries the pinned fast-build tolerance.
+        assert!(
+            rel_err(auto_h, naive_h) < 1e-3,
+            "{name}: auto h-DPI2 {auto_h} vs naive {naive_h} (rel {:.3e})",
+            rel_err(auto_h, naive_h)
+        );
+    }
+}
+
+#[test]
+fn windowed_psi_is_bit_identical_for_any_worker_count() {
+    for (name, sorted) in fixtures() {
+        assert!(sorted.len() >= 2_048, "{name}: fixture too small to exercise fan-out");
+        let range = sample_range(&sorted);
+        for r in [4usize, 6] {
+            for g in [range / 400.0, range / 40.0] {
+                let baseline = estimate_psi_windowed_jobs(&sorted, r, g, 1);
+                for jobs in [2usize, 7] {
+                    let par = estimate_psi_windowed_jobs(&sorted, r, g, jobs);
+                    assert_eq!(
+                        baseline.to_bits(),
+                        par.to_bits(),
+                        "{name}: psi_{r}(g={g:.3}) drifted at jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plug_in_recursion_is_bit_identical_for_any_worker_count() {
+    for (name, sorted) in fixtures() {
+        for strategy in [PsiStrategy::Windowed, PsiStrategy::Auto] {
+            let baseline = psi_plug_in_with(&sorted, 4, 2, strategy, 1);
+            for jobs in [2usize, 7] {
+                let par = psi_plug_in_with(&sorted, 4, 2, strategy, jobs);
+                assert_eq!(
+                    baseline.to_bits(),
+                    par.to_bits(),
+                    "{name}: psi plug-in ({strategy:?}) drifted at jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lscv_score_is_bit_identical_for_any_worker_count() {
+    for (name, sorted) in fixtures() {
+        let range = sample_range(&sorted);
+        for kernel in [KernelFn::Epanechnikov, KernelFn::Gaussian] {
+            for h in [range / 200.0, range / 25.0] {
+                let baseline = lscv_score_jobs(&sorted, kernel, h, 1);
+                for jobs in [2usize, 7] {
+                    let par = lscv_score_jobs(&sorted, kernel, h, jobs);
+                    assert_eq!(
+                        baseline.to_bits(),
+                        par.to_bits(),
+                        "{name}: LSCV({kernel:?}, h={h:.3}) drifted at jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Five columns with distinct shapes over the normal fixture, so the
+/// parallel ANALYZE has real per-column work to misorder if it could.
+fn catalog_relation() -> Relation {
+    let base = PaperFile::Normal { p: 20 }.generate_scaled(40).values().to_vec();
+    let mut relation = Relation::new("build_engine");
+    for c in 0..5usize {
+        let scale = 1.0 + 0.3 * c as f64;
+        let shift = 2_000.0 * c as f64;
+        let values: Vec<f64> = base.iter().map(|v| v * scale + shift).collect();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        relation.add_column(Column::new(&format!("c{c}"), Domain::new(lo, hi), values));
+    }
+    relation
+}
+
+#[test]
+fn catalog_build_is_byte_identical_for_any_worker_count() {
+    let relation = catalog_relation();
+    for kind in [selest::store::EstimatorKind::Kernel, selest::store::EstimatorKind::EquiDepth] {
+        let config = AnalyzeConfig { sample_size: 800, kind, ..AnalyzeConfig::default() };
+        let build = |jobs: usize| {
+            let mut catalog = StatisticsCatalog::new();
+            catalog.analyze_jobs(&relation, &config, jobs);
+            catalog
+        };
+        let baseline = build(1);
+        let baseline_bytes = encode_statistics(&baseline.export());
+        for jobs in [2usize, 7] {
+            let par = build(jobs);
+            // Serialized statistics must match byte for byte...
+            assert_eq!(
+                baseline_bytes,
+                encode_statistics(&par.export()),
+                "{kind:?}: exported statistics drifted at jobs={jobs}"
+            );
+            // ...and the in-memory estimators must answer identically.
+            for c in 0..5usize {
+                let name = format!("c{c}");
+                let want = baseline.statistics("build_engine", &name).unwrap();
+                let got = par.statistics("build_engine", &name).unwrap();
+                let domain = want.domain;
+                let third = (domain.hi() - domain.lo()) / 3.0;
+                for q in [
+                    RangeQuery::new(domain.lo(), domain.lo() + third),
+                    RangeQuery::new(domain.lo() + third, domain.hi() - third),
+                    RangeQuery::new(domain.lo(), domain.hi()),
+                ] {
+                    assert_eq!(
+                        want.estimator.selectivity(&q).to_bits(),
+                        got.estimator.selectivity(&q).to_bits(),
+                        "{kind:?}: {name} probe {q:?} drifted at jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_strategy_is_exact_below_the_binned_threshold() {
+    let small = thin(&fixtures()[1].1, 8); // 275 points < AUTO_BINNED_MIN_N
+    let auto = psi_plug_in_with(&small, 4, 2, PsiStrategy::Auto, 7);
+    let windowed = psi_plug_in_with(&small, 4, 2, PsiStrategy::Windowed, 1);
+    assert_eq!(
+        auto.to_bits(),
+        windowed.to_bits(),
+        "Auto must resolve to the exact windowed path for small samples"
+    );
+}
