@@ -177,7 +177,10 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
         });
     }
     // Fast-vs-oracle gate: each kernel row must agree with its naive twin
-    // within the documented tolerance, and (full mode) build >= 10x faster.
+    // within the documented tolerance, and in full (multi-rep) mode the
+    // fast path must also build >= 10x faster than the oracle twin. The
+    // speedup check is skipped for 1-rep smoke runs, whose timings are
+    // noise (the tracked full-mode margin is ~150x, DESIGN.md §9).
     for fast_name in ["kernel-bk-dpi2", "kernel-refl-dpi2"] {
         let fast = rows.iter().find(|r| r.name == fast_name).expect("fast row");
         let naive_name = format!("{fast_name}-naive");
@@ -189,9 +192,13 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
             fast.checksum,
             naive.checksum
         );
+        let speedup = naive.build_us / fast.build_us;
+        assert!(
+            reps == 1 || speedup >= 10.0,
+            "{fast_name}: fast build only x{speedup:.1} vs oracle (gate: >= 10x)"
+        );
         eprintln!(
-            "  {fast_name}: build speedup x{:.1} vs oracle, checksum drift {rel:.2e}",
-            naive.build_us / fast.build_us
+            "  {fast_name}: build speedup x{speedup:.1} vs oracle, checksum drift {rel:.2e}"
         );
     }
     for (i, r) in rows.iter().enumerate() {

@@ -192,27 +192,27 @@ pub fn lscv_score_jobs(sorted: &[f64], kernel: KernelFn, h: f64, jobs: usize) ->
     // Small inputs run inline: the chunked computation is identical either
     // way, so this threshold cannot change the result.
     let jobs = if n < 2_048 { 1 } else { jobs };
-    let partials = selest_par::parallel_chunks_jobs(
-        &(0..n).collect::<Vec<usize>>(),
-        LSCV_CHUNK,
-        jobs,
-        |is| {
-            let mut conv = 0.0;
-            let mut cross = 0.0;
-            for &i in is {
-                for j in (i + 1)..n {
-                    let d = sorted[j] - sorted[i];
-                    if d > reach {
-                        break; // sorted: no farther pair can be in reach
-                    }
-                    let t = d / h;
-                    conv += 2.0 * kernel.self_convolution(t).expect("checked above");
-                    cross += 2.0 * kernel.eval(t);
+    // Fan out over chunk start offsets (not a 0..n index vector): LSCV
+    // minimization evaluates this score many times per bandwidth search,
+    // so per-call allocation stays proportional to the chunk count.
+    let starts: Vec<usize> = (0..n).step_by(LSCV_CHUNK).collect();
+    let partials = selest_par::parallel_map_jobs(&starts, jobs, |&start| {
+        let end = (start + LSCV_CHUNK).min(n);
+        let mut conv = 0.0;
+        let mut cross = 0.0;
+        for i in start..end {
+            for j in (i + 1)..n {
+                let d = sorted[j] - sorted[i];
+                if d > reach {
+                    break; // sorted: no farther pair can be in reach
                 }
+                let t = d / h;
+                conv += 2.0 * kernel.self_convolution(t).expect("checked above");
+                cross += 2.0 * kernel.eval(t);
             }
-            (conv, cross)
-        },
-    );
+        }
+        (conv, cross)
+    });
     let mut conv_sum = n as f64 * conv0; // diagonal terms
     let mut cross_sum = 0.0;
     for (conv, cross) in partials {

@@ -111,36 +111,36 @@ pub fn lscv_score_2d_jobs(
     // Small inputs run inline; the chunked computation is identical either
     // way, so this threshold cannot change the result.
     let jobs = if n < 2_048 { 1 } else { jobs };
-    let partials = selest_par::parallel_chunks_jobs(
-        &(0..n).collect::<Vec<usize>>(),
-        256,
-        jobs,
-        |is| {
-            let mut conv = 0.0;
-            let mut cross = 0.0;
-            for &i in is {
-                for j in (i + 1)..n {
-                    let dx = sorted[j].0 - sorted[i].0;
-                    if dx > reach {
-                        break;
-                    }
-                    let dy = sorted[j].1 - sorted[i].1;
-                    let (tx, ty) = (dx / h1, dy / h2);
-                    let cx = kernel.self_convolution(tx).expect("checked above");
-                    if cx != 0.0 {
-                        if let Some(cy) = kernel.self_convolution(ty) {
-                            conv += 2.0 * cx * cy;
-                        }
-                    }
-                    let kx = kernel.eval(tx);
-                    if kx != 0.0 {
-                        cross += 2.0 * kx * kernel.eval(ty);
+    // Fan out over chunk start offsets (not a 0..n index vector): the 2-D
+    // LSCV search evaluates this score many times, so per-call allocation
+    // stays proportional to the chunk count.
+    let starts: Vec<usize> = (0..n).step_by(256).collect();
+    let partials = selest_par::parallel_map_jobs(&starts, jobs, |&start| {
+        let end = (start + 256).min(n);
+        let mut conv = 0.0;
+        let mut cross = 0.0;
+        for i in start..end {
+            for j in (i + 1)..n {
+                let dx = sorted[j].0 - sorted[i].0;
+                if dx > reach {
+                    break;
+                }
+                let dy = sorted[j].1 - sorted[i].1;
+                let (tx, ty) = (dx / h1, dy / h2);
+                let cx = kernel.self_convolution(tx).expect("checked above");
+                if cx != 0.0 {
+                    if let Some(cy) = kernel.self_convolution(ty) {
+                        conv += 2.0 * cx * cy;
                     }
                 }
+                let kx = kernel.eval(tx);
+                if kx != 0.0 {
+                    cross += 2.0 * kx * kernel.eval(ty);
+                }
             }
-            (conv, cross)
-        },
-    );
+        }
+        (conv, cross)
+    });
     let mut conv_sum = n as f64 * conv0 * conv0; // diagonal terms
     let mut cross_sum = 0.0;
     for (conv, cross) in partials {

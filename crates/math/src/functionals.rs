@@ -39,7 +39,11 @@
 //!   `O((delta/g)^2)`; the [`default_psi_bins`] rule keeps the spacing at
 //!   `g / 10` or finer, which holds the error to ~1e-2 relative in the
 //!   worst clustered case and ~1e-4 on smooth samples — a plug-in
-//!   bandwidth (`h ~ psi^(-1/5)`) moves by at most a fifth of that.
+//!   bandwidth (`h ~ psi^(-1/5)`) moves by at most a fifth of that. When
+//!   no grid of at most [`PSI_MAX_BINS`] bins can honour that spacing
+//!   (heavy tails, extreme outliers), [`default_psi_bins`] returns `None`
+//!   and [`PsiStrategy::Auto`] falls back to the exact windowed path
+//!   rather than silently degrade.
 
 use crate::special::normal_pdf;
 use crate::stats::robust_scale;
@@ -103,7 +107,10 @@ pub enum PsiStrategy {
         bins: usize,
     },
     /// [`PsiStrategy::Binned`] with a per-stage [`default_psi_bins`] grid
-    /// for large samples, [`PsiStrategy::Windowed`] below 512 samples.
+    /// for large samples, [`PsiStrategy::Windowed`] below 512 samples —
+    /// and also whenever [`default_psi_bins`] reports that no affordable
+    /// grid can meet the `g / 10` spacing target (heavy-tailed samples),
+    /// so the documented binned accuracy is never silently voided.
     /// The default of every production build path. The choice depends
     /// only on the sample, never the worker count, so it is deterministic
     /// across `SELEST_JOBS` settings.
@@ -115,18 +122,35 @@ pub enum PsiStrategy {
 /// there, and the windowed path is the more accurate one.
 const AUTO_BINNED_MIN_N: usize = 512;
 
+/// Upper grid-size bound for [`default_psi_bins`]: bounds the `O(M * L)`
+/// lag sweep of [`estimate_psi_binned`] when the pilot bandwidth is tiny
+/// relative to the sample range.
+pub const PSI_MAX_BINS: usize = 65_536;
+
 /// Grid-size rule for [`estimate_psi_binned`]: enough bins that the grid
-/// spacing `delta = range / (bins - 1)` is at most `g / 10`, clamped to
-/// `[256, 65536]`. Quantization error scales as `O((delta/g)^2)`, so the
+/// spacing `delta = range / (bins - 1)` is at most `g / 10` (never fewer
+/// than 256). Quantization error scales as `O((delta/g)^2)`, so the
 /// `g / 10` target keeps the functional estimate within ~1e-2 relative of
 /// the exact sum even on heavily clustered samples (and far closer on
-/// smooth ones); the upper clamp bounds the `O(M * L)` lag sweep when the
-/// pilot bandwidth is tiny relative to the sample range.
-pub fn default_psi_bins(range: f64, g: f64) -> usize {
+/// smooth ones).
+///
+/// Returns `None` when meeting the spacing target would take more than
+/// [`PSI_MAX_BINS`] bins — i.e. `range / g` is so large (heavy tails, a
+/// single extreme outlier) that every affordable grid puts same-bin pairs
+/// far apart relative to `g` and the documented accuracy no longer holds.
+/// Callers must then use an exact path instead; [`PsiStrategy::Auto`]
+/// falls back to [`estimate_psi_windowed`].
+pub fn default_psi_bins(range: f64, g: f64) -> Option<usize> {
     assert!(g > 0.0, "default_psi_bins needs a positive bandwidth");
     assert!(range >= 0.0 && range.is_finite(), "default_psi_bins needs a finite range");
-    let needed = (10.0 * range / g).ceil() as usize + 1;
-    needed.clamp(256, 65_536)
+    // Compare in f64: an astronomical range/g would overflow a usize
+    // conversion (and `needed` can be +inf for a subnormal g).
+    let needed = (10.0 * range / g).ceil() + 1.0;
+    if needed <= PSI_MAX_BINS as f64 {
+        Some((needed as usize).max(256))
+    } else {
+        None
+    }
 }
 
 /// Kernel estimator of `psi_r` with Gaussian kernel and pilot bandwidth
@@ -233,14 +257,15 @@ pub fn estimate_psi_windowed_jobs(sorted: &[f64], r: usize, g: f64, jobs: usize)
                 let t = d / g;
                 let term =
                     normal_density_derivative(r, t) + normal_density_derivative(r, -t);
-                // Kahan-compensated accumulation.
+                // Kahan-compensated accumulation; comp holds how much the
+                // last addition overshot, so the finish subtracts it.
                 let y = term - comp;
                 let s = sum + y;
                 comp = (s - sum) - y;
                 sum = s;
             }
         }
-        sum + comp
+        sum - comp
     });
     let mut sum = crate::stats::kahan_sum(partials);
     sum += n as f64 * normal_density_derivative(r, 0.0);
@@ -302,12 +327,13 @@ pub fn estimate_psi_binned(samples: &[f64], r: usize, g: f64, bins: usize) -> f6
         let t = lag as f64 * delta / g;
         let term =
             a * (normal_density_derivative(r, t) + normal_density_derivative(r, -t));
+        // Kahan recurrence: comp holds the overshoot of the last addition.
         let y = term - comp;
         let s = sum + y;
         comp = (s - sum) - y;
         sum = s;
     }
-    (sum + comp) / norm
+    (sum - comp) / norm
 }
 
 /// AMSE-optimal pilot bandwidth for estimating `psi_r` with a Gaussian
@@ -374,13 +400,18 @@ pub fn psi_plug_in_with(
         PsiStrategy::Auto => {
             // Binned with a per-stage grid: the pilot bandwidth differs at
             // each recursion stage, and the grid-spacing rule tracks it.
-            let (lo, hi) = samples.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &x| (lo.min(x), hi.max(x)),
-            );
-            let range = hi - lo;
-            Box::new(move |order, g| {
-                estimate_psi_binned(samples, order, g, default_psi_bins(range, g))
+            // When no affordable grid can meet the g/10 spacing target —
+            // heavy tails or an extreme outlier inflate range/g — the
+            // stage falls back to the exact windowed scan, which needs the
+            // sorted copy. The choice depends only on the sample and the
+            // stage bandwidth, never the worker count, so dispatch stays
+            // deterministic across SELEST_JOBS.
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+            let range = sorted[sorted.len() - 1] - sorted[0];
+            Box::new(move |order, g| match default_psi_bins(range, g) {
+                Some(bins) => estimate_psi_binned(&sorted, order, g, bins),
+                None => estimate_psi_windowed_jobs(&sorted, order, g, jobs),
             })
         }
     };
@@ -578,8 +609,9 @@ mod tests {
         // default_psi_bins targets delta <= g/10; check it and a 16x
         // finer grid against the oracle.
         let range = xs.last().unwrap() - xs.first().unwrap();
-        let coarse = estimate_psi_binned(&xs, 4, g, default_psi_bins(range, g));
-        let fine = estimate_psi_binned(&xs, 4, g, 16 * default_psi_bins(range, g));
+        let bins = default_psi_bins(range, g).expect("grid fits for this range/g");
+        let coarse = estimate_psi_binned(&xs, 4, g, bins);
+        let fine = estimate_psi_binned(&xs, 4, g, 16 * bins);
         let rel_coarse = (coarse - naive).abs() / naive.abs();
         let rel_fine = (fine - naive).abs() / naive.abs();
         assert!(rel_coarse < 1e-2, "default bins: rel {rel_coarse:.2e}");
@@ -625,5 +657,41 @@ mod tests {
         let auto_small = psi_plug_in_with(small, 4, 2, PsiStrategy::Auto, 1);
         let win_small = psi_plug_in_with(small, 4, 2, PsiStrategy::Windowed, 1);
         assert_eq!(auto_small.to_bits(), win_small.to_bits());
+    }
+
+    #[test]
+    fn default_psi_bins_refuses_grids_too_coarse_for_accuracy() {
+        // Ordinary ranges get a delta <= g/10 grid (floored at 256 bins).
+        assert_eq!(default_psi_bins(100.0, 1.0), Some(1_001));
+        assert_eq!(default_psi_bins(0.0, 1.0), Some(256));
+        assert_eq!(default_psi_bins(1.0, 1.0), Some(256));
+        // At the clamp boundary the grid still fits...
+        assert!(default_psi_bins(6_553.0, 1.0).is_some());
+        // ...beyond it no affordable grid meets the spacing target.
+        assert_eq!(default_psi_bins(1e6, 1.0), None);
+        assert_eq!(default_psi_bins(1e30, 1.0), None);
+    }
+
+    #[test]
+    fn auto_plug_in_stays_exact_under_extreme_outliers() {
+        // 999 points over ~[-3, 3] plus one outlier at 1e6: the old
+        // 65 536-bin clamp left the binned grid spacing ~12x the pilot
+        // bandwidth here, silently voiding the documented accuracy. Auto
+        // must instead fall back to the exact windowed path at every
+        // stage, matching it bit for bit.
+        let mut xs = normal_sample(999);
+        xs.push(1e6);
+        for r in [2usize, 4] {
+            let auto = psi_plug_in_with(&xs, r, 2, PsiStrategy::Auto, 1);
+            let windowed = psi_plug_in_with(&xs, r, 2, PsiStrategy::Windowed, 1);
+            assert_eq!(
+                auto.to_bits(),
+                windowed.to_bits(),
+                "r={r}: auto {auto:e} vs windowed {windowed:e}"
+            );
+            let naive = psi_plug_in_with(&xs, r, 2, PsiStrategy::Naive, 1);
+            let rel = (auto - naive).abs() / naive.abs();
+            assert!(rel < 1e-12, "r={r}: auto drifted {rel:.2e} from the oracle");
+        }
     }
 }

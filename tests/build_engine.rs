@@ -91,7 +91,8 @@ fn binned_psi_stays_within_documented_tolerance_on_every_fixture() {
         for r in [4usize, 6] {
             for g in [range / 400.0, range / 40.0] {
                 let naive = estimate_psi_naive(&thinned, r, g);
-                let bins = default_psi_bins(range, g);
+                let bins = default_psi_bins(range, g)
+                    .expect("fixture range/g must fit an accurate grid");
                 let binned = estimate_psi_binned(&thinned, r, g, bins);
                 // default_psi_bins targets delta <= g/10, i.e. O((delta/g)^2)
                 // with a constant that grows with the derivative order —
@@ -271,5 +272,29 @@ fn auto_strategy_is_exact_below_the_binned_threshold() {
         auto.to_bits(),
         windowed.to_bits(),
         "Auto must resolve to the exact windowed path for small samples"
+    );
+}
+
+#[test]
+fn auto_strategy_is_exact_when_no_grid_is_fine_enough() {
+    // A heavy tail inflates range/g past what any affordable grid can
+    // cover at the documented delta <= g/10 spacing; Auto must fall back
+    // to the exact windowed path (per stage) instead of a coarse grid,
+    // and the end-to-end bandwidth must stay pinned to the oracle.
+    let mut xs = fixtures()[1].1.clone(); // normal fixture, 2 200 points
+    xs.push(xs[xs.len() - 1] + 1e9);
+    let auto = psi_plug_in_with(&xs, 4, 2, PsiStrategy::Auto, 1);
+    let windowed = psi_plug_in_with(&xs, 4, 2, PsiStrategy::Windowed, 1);
+    assert_eq!(
+        auto.to_bits(),
+        windowed.to_bits(),
+        "Auto must fall back to the windowed path on heavy-tailed samples"
+    );
+    let auto_h = DirectPlugIn::two_stage().bandwidth(&xs, KernelFn::Epanechnikov);
+    let naive_h = DirectPlugIn::two_stage_naive().bandwidth(&xs, KernelFn::Epanechnikov);
+    assert!(
+        rel_err(auto_h, naive_h) < 1e-12,
+        "outlier fixture: auto h-DPI2 {auto_h} vs naive {naive_h} (rel {:.3e})",
+        rel_err(auto_h, naive_h)
     );
 }
