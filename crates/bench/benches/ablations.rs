@@ -57,7 +57,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(est.selectivity_linear(black_box(&wide))))
     });
     g.bench_function("naive_quadrature_linear_scan", |b| {
-        b.iter(|| black_box(naive_quadrature_selectivity(est.samples(), h, black_box(&wide))))
+        b.iter(|| {
+            black_box(naive_quadrature_selectivity(
+                est.samples(),
+                h,
+                black_box(&wide),
+            ))
+        })
     });
 
     // 2. Sorted evaluation vs. Algorithm 1.

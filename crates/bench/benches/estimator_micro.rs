@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
         ("ewh32", Box::new(equi_width(&f.sample, d, 32))),
         ("edh32", Box::new(equi_depth(&f.sample, d, 32))),
         ("mdh32", Box::new(max_diff(&f.sample, d, 32))),
-        ("ash32x10", Box::new(AverageShiftedHistogram::new(&f.sample, d, 32, 10))),
+        (
+            "ash32x10",
+            Box::new(AverageShiftedHistogram::new(&f.sample, d, 32, 10)),
+        ),
         (
             "kernel_bk",
             Box::new(KernelEstimator::new(
@@ -40,7 +43,9 @@ fn bench(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("single_query_latency");
     for (name, est) in &estimators {
-        g.bench_function(*name, |b| b.iter(|| black_box(est.selectivity(black_box(&q)))));
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(est.selectivity(black_box(&q))))
+        });
     }
     g.finish();
 

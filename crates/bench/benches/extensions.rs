@@ -7,8 +7,7 @@ use selest_core::Domain;
 use selest_data::PaperFile;
 use selest_histogram::WaveletHistogram;
 use selest_kernel::{
-    lscv_score_2d, AdaptiveBoundary, AdaptiveKernelEstimator, BoxQuery, KernelFn,
-    NdKernelEstimator,
+    lscv_score_2d, AdaptiveBoundary, AdaptiveKernelEstimator, BoxQuery, KernelFn, NdKernelEstimator,
 };
 use std::hint::black_box;
 

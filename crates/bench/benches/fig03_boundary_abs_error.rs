@@ -4,9 +4,7 @@
 use bench::{fixture, total_selectivity};
 use criterion::{criterion_group, criterion_main, Criterion};
 use selest_data::{positional_sweep, PaperFile};
-use selest_kernel::{
-    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
-};
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use selest_core::{Domain, SamplingEstimator};
 use selest_data::{sample_without_replacement, PaperFile};
 use selest_histogram::{equi_width, BinRule, NormalScaleBins};
-use selest_kernel::{
-    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
-};
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -16,9 +16,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_query_size");
     for size in [0.01f64, 0.02, 0.05, 0.10] {
         let qf = QueryFile::generate(&data, size, 200, 3);
-        g.bench_function(format!("ewh_200_queries_{}pct", (size * 100.0) as u32), |b| {
-            b.iter(|| black_box(total_selectivity(&hist, qf.queries())))
-        });
+        g.bench_function(
+            format!("ewh_200_queries_{}pct", (size * 100.0) as u32),
+            |b| b.iter(|| black_box(total_selectivity(&hist, qf.queries()))),
+        );
     }
     g.finish();
 }

@@ -13,9 +13,15 @@ fn bench(c: &mut Criterion) {
     let d = f.data.domain();
     let k = 32;
     let mut g = c.benchmark_group("fig08_histogram_compare");
-    g.bench_function("build_ewh", |b| b.iter(|| black_box(equi_width(&f.sample, d, k))));
-    g.bench_function("build_edh", |b| b.iter(|| black_box(equi_depth(&f.sample, d, k))));
-    g.bench_function("build_mdh", |b| b.iter(|| black_box(max_diff(&f.sample, d, k))));
+    g.bench_function("build_ewh", |b| {
+        b.iter(|| black_box(equi_width(&f.sample, d, k)))
+    });
+    g.bench_function("build_edh", |b| {
+        b.iter(|| black_box(equi_depth(&f.sample, d, k)))
+    });
+    g.bench_function("build_mdh", |b| {
+        b.iter(|| black_box(max_diff(&f.sample, d, k)))
+    });
     g.bench_function("build_vopt", |b| {
         b.iter(|| black_box(v_optimal(&f.sample, d, k, 256)))
     });
@@ -24,9 +30,15 @@ fn bench(c: &mut Criterion) {
     let mdh = max_diff(&f.sample, d, k);
     let sampling = SamplingEstimator::new(&f.sample, d);
     let uniform = UniformEstimator::new(d);
-    g.bench_function("answer_ewh", |b| b.iter(|| black_box(total_selectivity(&ewh, &f.queries))));
-    g.bench_function("answer_edh", |b| b.iter(|| black_box(total_selectivity(&edh, &f.queries))));
-    g.bench_function("answer_mdh", |b| b.iter(|| black_box(total_selectivity(&mdh, &f.queries))));
+    g.bench_function("answer_ewh", |b| {
+        b.iter(|| black_box(total_selectivity(&ewh, &f.queries)))
+    });
+    g.bench_function("answer_edh", |b| {
+        b.iter(|| black_box(total_selectivity(&edh, &f.queries)))
+    });
+    g.bench_function("answer_mdh", |b| {
+        b.iter(|| black_box(total_selectivity(&mdh, &f.queries)))
+    });
     g.bench_function("answer_sampling", |b| {
         b.iter(|| black_box(total_selectivity(&sampling, &f.queries)))
     });

@@ -6,9 +6,7 @@ use bench::fixture;
 use criterion::{criterion_group, criterion_main, Criterion};
 use selest_core::{RangeQuery, SelectivityEstimator};
 use selest_data::PaperFile;
-use selest_kernel::{
-    BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale,
-};
+use selest_kernel::{BandwidthSelector, BoundaryPolicy, KernelEstimator, KernelFn, NormalScale};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let k = NormalScaleBins.bins(&f.sample, &d);
     let mut g = c.benchmark_group("fig12_final_compare");
     g.sample_size(10);
-    g.bench_function("build_ewh_ns", |b| b.iter(|| black_box(equi_width(&f.sample, d, k))));
+    g.bench_function("build_ewh_ns", |b| {
+        b.iter(|| black_box(equi_width(&f.sample, d, k)))
+    });
     g.bench_function("build_ash10", |b| {
         b.iter(|| black_box(AverageShiftedHistogram::new(&f.sample, d, k, 10)))
     });
@@ -42,11 +44,20 @@ fn bench(c: &mut Criterion) {
     let h = DirectPlugIn::two_stage()
         .bandwidth(&f.sample, KernelFn::Epanechnikov)
         .min(0.5 * d.width());
-    let kernel =
-        KernelEstimator::new(&f.sample, d, KernelFn::Epanechnikov, h, BoundaryPolicy::BoundaryKernel);
+    let kernel = KernelEstimator::new(
+        &f.sample,
+        d,
+        KernelFn::Epanechnikov,
+        h,
+        BoundaryPolicy::BoundaryKernel,
+    );
     let hybrid = HybridEstimator::new(&f.sample, d);
-    g.bench_function("answer_ewh", |b| b.iter(|| black_box(total_selectivity(&ewh, &f.queries))));
-    g.bench_function("answer_ash", |b| b.iter(|| black_box(total_selectivity(&ash, &f.queries))));
+    g.bench_function("answer_ewh", |b| {
+        b.iter(|| black_box(total_selectivity(&ewh, &f.queries)))
+    });
+    g.bench_function("answer_ash", |b| {
+        b.iter(|| black_box(total_selectivity(&ash, &f.queries)))
+    });
     g.bench_function("answer_kernel", |b| {
         b.iter(|| black_box(total_selectivity(&kernel, &f.queries)))
     });

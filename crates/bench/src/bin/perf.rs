@@ -1,7 +1,7 @@
 //! The tracked perf harness: times estimator construction and query-file
 //! throughput (sequential per-query loop vs. batched merge scan vs.
 //! parallel chunked evaluation) on the standard fixtures and writes a JSON
-//! baseline (`BENCH_PR3.json`) so the repo's perf trajectory is a
+//! baseline (`BENCH_PR4.json`) so the repo's perf trajectory is a
 //! committed, diffable artifact instead of folklore.
 //!
 //! ```text
@@ -19,9 +19,14 @@
 //! `kernel-*-dpi2` rows are additionally cross-checked against
 //! `kernel-*-dpi2-naive` twins built over the O(n^2) oracle functional
 //! sum: their query-file checksums must agree within 1e-3 relative (the
-//! documented fast-path tolerance, DESIGN.md §9). A final section times
-//! the parallel catalog ANALYZE and asserts its exported evidence is
-//! byte-identical to the single-worker build.
+//! documented fast-path tolerance, DESIGN.md §9). A `suite-build` pseudo
+//! fixture times the full [`selest_store::EstimatorKind::ALL`] suite over
+//! one 100k-value column, legacy per-estimator construction vs. one shared
+//! `PreparedColumn` (DESIGN.md §10) — the two suites must answer the query
+//! file bit-identically, and in full mode the prepared path must build the
+//! suite >= 2x faster. A final section times the parallel catalog ANALYZE
+//! and asserts its exported evidence is byte-identical to the
+//! single-worker build.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -31,8 +36,9 @@ use bench::{fixture, total_selectivity, total_selectivity_batch, Fixture};
 use selest_core::{ExactSelectivity, SelectivityEstimator};
 use selest_data::PaperFile;
 use selest_experiments::harness::evaluate_jobs;
-use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram, BinRule,
-    NormalScaleBins};
+use selest_histogram::{
+    equi_depth, equi_width, max_diff, AverageShiftedHistogram, BinRule, NormalScaleBins,
+};
 use selest_hybrid::HybridEstimator;
 use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn};
 use selest_store::{encode_statistics, AnalyzeConfig, Column, Relation, StatisticsCatalog};
@@ -66,62 +72,89 @@ fn builders(f: &Fixture) -> Vec<(&'static str, Builder<'_>)> {
     let domain = f.data.domain();
     let k = NormalScaleBins.bins(&f.sample, &domain);
     vec![
-        ("sampling", Box::new(move || {
-            Box::new(selest_core::SamplingEstimator::new(&f.sample, domain)) as _
-        })),
-        ("ewh-ns", Box::new(move || Box::new(equi_width(&f.sample, domain, k)) as _)),
-        ("edh-ns", Box::new(move || Box::new(equi_depth(&f.sample, domain, k)) as _)),
-        ("mdh-ns", Box::new(move || Box::new(max_diff(&f.sample, domain, k)) as _)),
-        ("ash-ns", Box::new(move || {
-            Box::new(AverageShiftedHistogram::new(&f.sample, domain, k, 10)) as _
-        })),
-        ("kernel-bk-dpi2", Box::new(move || {
-            let h = DirectPlugIn::two_stage()
-                .bandwidth(&f.sample, KernelFn::Epanechnikov)
-                .min(0.5 * domain.width());
-            Box::new(KernelEstimator::new(
-                &f.sample,
-                domain,
-                KernelFn::Epanechnikov,
-                h,
-                BoundaryPolicy::BoundaryKernel,
-            )) as _
-        })),
-        ("kernel-refl-dpi2", Box::new(move || {
-            let h = DirectPlugIn::two_stage().bandwidth(&f.sample, KernelFn::Epanechnikov);
-            Box::new(KernelEstimator::new(
-                &f.sample,
-                domain,
-                KernelFn::Epanechnikov,
-                h,
-                BoundaryPolicy::Reflection,
-            )) as _
-        })),
+        (
+            "sampling",
+            Box::new(move || Box::new(selest_core::SamplingEstimator::new(&f.sample, domain)) as _),
+        ),
+        (
+            "ewh-ns",
+            Box::new(move || Box::new(equi_width(&f.sample, domain, k)) as _),
+        ),
+        (
+            "edh-ns",
+            Box::new(move || Box::new(equi_depth(&f.sample, domain, k)) as _),
+        ),
+        (
+            "mdh-ns",
+            Box::new(move || Box::new(max_diff(&f.sample, domain, k)) as _),
+        ),
+        (
+            "ash-ns",
+            Box::new(move || Box::new(AverageShiftedHistogram::new(&f.sample, domain, k, 10)) as _),
+        ),
+        (
+            "kernel-bk-dpi2",
+            Box::new(move || {
+                let h = DirectPlugIn::two_stage()
+                    .bandwidth(&f.sample, KernelFn::Epanechnikov)
+                    .min(0.5 * domain.width());
+                Box::new(KernelEstimator::new(
+                    &f.sample,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::BoundaryKernel,
+                )) as _
+            }),
+        ),
+        (
+            "kernel-refl-dpi2",
+            Box::new(move || {
+                let h = DirectPlugIn::two_stage().bandwidth(&f.sample, KernelFn::Epanechnikov);
+                Box::new(KernelEstimator::new(
+                    &f.sample,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::Reflection,
+                )) as _
+            }),
+        ),
         // O(n^2) oracle twins of the two kernel rows: their build times
         // quantify the fast-path speedup, their checksums pin its drift.
-        ("kernel-bk-dpi2-naive", Box::new(move || {
-            let h = DirectPlugIn::two_stage_naive()
-                .bandwidth(&f.sample, KernelFn::Epanechnikov)
-                .min(0.5 * domain.width());
-            Box::new(KernelEstimator::new(
-                &f.sample,
-                domain,
-                KernelFn::Epanechnikov,
-                h,
-                BoundaryPolicy::BoundaryKernel,
-            )) as _
-        })),
-        ("kernel-refl-dpi2-naive", Box::new(move || {
-            let h = DirectPlugIn::two_stage_naive().bandwidth(&f.sample, KernelFn::Epanechnikov);
-            Box::new(KernelEstimator::new(
-                &f.sample,
-                domain,
-                KernelFn::Epanechnikov,
-                h,
-                BoundaryPolicy::Reflection,
-            )) as _
-        })),
-        ("hybrid", Box::new(move || Box::new(HybridEstimator::new(&f.sample, domain)) as _)),
+        (
+            "kernel-bk-dpi2-naive",
+            Box::new(move || {
+                let h = DirectPlugIn::two_stage_naive()
+                    .bandwidth(&f.sample, KernelFn::Epanechnikov)
+                    .min(0.5 * domain.width());
+                Box::new(KernelEstimator::new(
+                    &f.sample,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::BoundaryKernel,
+                )) as _
+            }),
+        ),
+        (
+            "kernel-refl-dpi2-naive",
+            Box::new(move || {
+                let h =
+                    DirectPlugIn::two_stage_naive().bandwidth(&f.sample, KernelFn::Epanechnikov);
+                Box::new(KernelEstimator::new(
+                    &f.sample,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::Reflection,
+                )) as _
+            }),
+        ),
+        (
+            "hybrid",
+            Box::new(move || Box::new(HybridEstimator::new(&f.sample, domain)) as _),
+        ),
     ]
 }
 
@@ -160,8 +193,9 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
             batch_sum.to_bits(),
             "{name}: batch checksum {batch_sum} drifted from per-query {seq_sum}"
         );
-        let (par_us, _) =
-            time_best_us(reps, || evaluate_jobs(&est, &f.queries, &exact, jobs).count());
+        let (par_us, _) = time_best_us(reps, || {
+            evaluate_jobs(&est, &f.queries, &exact, jobs).count()
+        });
         eprintln!(
             "  {name:<18} build {build_us:>9.1}us  seq {seq_us:>9.1}us  batch {batch_us:>9.1}us  \
              (x{:.2})  par-eval {par_us:>9.1}us",
@@ -184,7 +218,10 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
     for fast_name in ["kernel-bk-dpi2", "kernel-refl-dpi2"] {
         let fast = rows.iter().find(|r| r.name == fast_name).expect("fast row");
         let naive_name = format!("{fast_name}-naive");
-        let naive = rows.iter().find(|r| r.name == naive_name).expect("naive row");
+        let naive = rows
+            .iter()
+            .find(|r| r.name == naive_name)
+            .expect("naive row");
         let rel = (fast.checksum - naive.checksum).abs() / naive.checksum.abs().max(1e-300);
         assert!(
             rel <= FAST_PATH_CHECKSUM_TOL,
@@ -197,9 +234,7 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
             reps == 1 || speedup >= 10.0,
             "{fast_name}: fast build only x{speedup:.1} vs oracle (gate: >= 10x)"
         );
-        eprintln!(
-            "  {fast_name}: build speedup x{speedup:.1} vs oracle, checksum drift {rel:.2e}"
-        );
+        eprintln!("  {fast_name}: build speedup x{speedup:.1} vs oracle, checksum drift {rel:.2e}");
     }
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -219,6 +254,120 @@ fn bench_fixture(file: PaperFile, reps: usize, jobs: usize, json: &mut String) {
         );
     }
     let _ = write!(json, "      ]\n    }}");
+}
+
+/// Full-suite construction over one large column: every
+/// [`selest_store::EstimatorKind`] built from the same 100k-value sample,
+/// once the legacy way (each estimator re-sorts and re-scans its own copy)
+/// and once over a single shared [`selest_core::PreparedColumn`] (one sort
+/// total, every constructor borrowing the sorted slice / ECDF / summary —
+/// DESIGN.md §10). Both suites answer the 1% query file and must produce
+/// bit-identical Kahan checksums before any timing is reported; in full
+/// (multi-rep) mode the prepared path must build the suite >= 2x faster.
+fn bench_suite_build(reps: usize, json: &mut String) {
+    use selest_store::EstimatorKind;
+    // Cap the repetitions: one rep builds sixteen estimators over 100k
+    // values, so even a handful of reps is past timing noise.
+    let reps = reps.min(5);
+    let data = PaperFile::Normal { p: 20 }.generate();
+    let sample = data.values().to_vec();
+    let domain = data.domain();
+    let queries = selest_data::QueryFile::generate(&data, 0.01, 200, 3)
+        .queries()
+        .to_vec();
+    let suite_checksum = |suite: &[Box<dyn SelectivityEstimator + Send + Sync>]| {
+        selest_math::kahan_sum(
+            suite
+                .iter()
+                .flat_map(|est| queries.iter().map(move |q| est.selectivity(q))),
+        )
+    };
+    // The legacy arm is the pre-substrate construction path: each kind
+    // goes through its public slice-based constructor, so every bin rule,
+    // bandwidth selector, and estimator re-sorts (and re-copies) the
+    // sample on its own, exactly as `build_estimator` historically did.
+    let legacy_build = |kind: EstimatorKind| -> Box<dyn SelectivityEstimator + Send + Sync> {
+        match kind {
+            EstimatorKind::Uniform => Box::new(selest_core::UniformEstimator::new(domain)),
+            EstimatorKind::Sampling => {
+                Box::new(selest_core::SamplingEstimator::new(&sample, domain))
+            }
+            EstimatorKind::EquiWidth => {
+                let k = NormalScaleBins.bins(&sample, &domain);
+                Box::new(equi_width(&sample, domain, k))
+            }
+            EstimatorKind::EquiDepth => {
+                let k = NormalScaleBins.bins(&sample, &domain);
+                Box::new(equi_depth(&sample, domain, k))
+            }
+            EstimatorKind::MaxDiff => {
+                let k = NormalScaleBins.bins(&sample, &domain);
+                Box::new(max_diff(&sample, domain, k))
+            }
+            EstimatorKind::Ash => {
+                let k = NormalScaleBins.bins(&sample, &domain);
+                Box::new(AverageShiftedHistogram::new(&sample, domain, k, 10))
+            }
+            EstimatorKind::Kernel => {
+                let h = DirectPlugIn::two_stage()
+                    .bandwidth(&sample, KernelFn::Epanechnikov)
+                    .min(0.5 * domain.width());
+                Box::new(KernelEstimator::new(
+                    &sample,
+                    domain,
+                    KernelFn::Epanechnikov,
+                    h,
+                    BoundaryPolicy::BoundaryKernel,
+                ))
+            }
+            EstimatorKind::Hybrid => Box::new(HybridEstimator::new(&sample, domain)),
+        }
+    };
+    let (legacy_us, legacy_suite) = time_best_us(reps, || {
+        EstimatorKind::ALL
+            .iter()
+            .map(|&kind| legacy_build(kind))
+            .collect::<Vec<_>>()
+    });
+    let (prepared_us, prepared_suite) = time_best_us(reps, || {
+        let col = selest_core::PreparedColumn::prepare(&sample, domain);
+        EstimatorKind::ALL
+            .iter()
+            .map(|&kind| selest_store::build_estimator_from_prepared(&col, kind))
+            .collect::<Vec<_>>()
+    });
+    let legacy_sum = suite_checksum(&legacy_suite);
+    let prepared_sum = suite_checksum(&prepared_suite);
+    assert_eq!(
+        legacy_sum.to_bits(),
+        prepared_sum.to_bits(),
+        "suite-build: prepared-path checksum {prepared_sum} drifted from legacy {legacy_sum}"
+    );
+    let speedup = legacy_us / prepared_us;
+    assert!(
+        reps == 1 || speedup >= 2.0,
+        "suite-build: prepared path only x{speedup:.2} vs legacy (gate: >= 2x)"
+    );
+    eprintln!(
+        "suite-build {}: {} values x {} estimators, legacy {legacy_us:.1}us, prepared \
+         {prepared_us:.1}us (x{speedup:.2}), checksum drift 0",
+        data.name(),
+        sample.len(),
+        EstimatorKind::ALL.len()
+    );
+    let _ = write!(
+        json,
+        "    {{\n      \"file\": \"suite-build-{}\",\n      \"records\": {},\n      \"sample\": {},\n      \"queries\": {},\n      \"estimators\": [\n        {{\"name\": \"legacy\", \"build_us\": {:.2}, \"checksum\": {:.12}}},\n        {{\"name\": \"prepared\", \"build_us\": {:.2}, \"speedup_vs_legacy\": {:.4}, \"checksum\": {:.12}}}\n      ]\n    }}",
+        data.name(),
+        data.len(),
+        sample.len(),
+        queries.len(),
+        legacy_us,
+        legacy_sum,
+        prepared_us,
+        speedup,
+        prepared_sum
+    );
 }
 
 /// Multi-attribute ANALYZE scaling: an 8-column relation (deterministic
@@ -241,7 +390,10 @@ fn bench_catalog(reps: usize, jobs: usize, json: &mut String) {
         let domain = selest_core::Domain::new(lo * scale + shift, hi * scale + shift);
         rel.add_column(Column::new(&format!("c{c}"), domain, values));
     }
-    let config = AnalyzeConfig { sample_size: 1_000, ..Default::default() };
+    let config = AnalyzeConfig {
+        sample_size: 1_000,
+        ..Default::default()
+    };
     let build = |jobs: usize| {
         let mut cat = StatisticsCatalog::new();
         cat.analyze_jobs(&rel, &config, jobs);
@@ -277,7 +429,7 @@ fn bench_catalog(reps: usize, jobs: usize, json: &mut String) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_PR3.json".to_owned();
+    let mut out_path = "BENCH_PR4.json".to_owned();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -325,11 +477,12 @@ fn main() {
         jobs,
         selest_par::available_workers()
     );
-    for (i, file) in files.iter().enumerate() {
+    for file in files.iter() {
         bench_fixture(*file, reps, jobs, &mut json);
-        json.push_str(if i + 1 == files.len() { "\n" } else { ",\n" });
+        json.push_str(",\n");
     }
-    json.push_str("  ],\n");
+    bench_suite_build(reps, &mut json);
+    json.push_str("\n  ],\n");
     bench_catalog(reps, jobs, &mut json);
     json.push_str("}\n");
 

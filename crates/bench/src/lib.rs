@@ -21,7 +21,11 @@ pub fn fixture(file: PaperFile) -> Fixture {
     let data = file.generate_scaled(20);
     let sample = sample_without_replacement(data.values(), 1_000.min(data.len()), 7);
     let queries = QueryFile::generate(&data, 0.01, 200, 3).queries().to_vec();
-    Fixture { data, sample, queries }
+    Fixture {
+        data,
+        sample,
+        queries,
+    }
 }
 
 /// The fixture's domain.

@@ -51,11 +51,18 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group {name}");
-        BenchmarkGroup { criterion: self, name }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
     }
 
     /// Run one benchmark outside any group.
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let (warm_up, measurement) = (self.warm_up, self.measurement);
         run_bench(&name.into(), warm_up, measurement, f);
         self
@@ -76,7 +83,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark of this group.
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, name.into());
         run_bench(&full, self.criterion.warm_up, self.criterion.measurement, f);
         self
@@ -104,13 +115,21 @@ impl Bencher {
     }
 }
 
-fn run_bench(name: &str, warm_up: Duration, measurement: Duration, mut f: impl FnMut(&mut Bencher)) {
+fn run_bench(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
     // Warm-up: grow the iteration count until one batch exceeds a slice of
     // the warm-up budget, so the measurement loop runs few, large batches.
     let mut iters = 1u64;
     let warm_start = Instant::now();
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if warm_start.elapsed() >= warm_up || b.elapsed >= warm_up / 4 {
             break;
@@ -121,7 +140,10 @@ fn run_bench(name: &str, warm_up: Duration, measurement: Duration, mut f: impl F
     let mut total_iters = 0u64;
     let mut total_time = Duration::ZERO;
     while total_time < measurement {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total_iters += iters;
         total_time += b.elapsed;

@@ -57,13 +57,18 @@ pub mod test_runner {
     impl TestRunner {
         /// Build a runner for the named test.
         pub fn new(config: Config, test_name: &str) -> Self {
-            TestRunner { config, seed: fnv1a(test_name.as_bytes()) }
+            TestRunner {
+                config,
+                seed: fnv1a(test_name.as_bytes()),
+            }
         }
 
         /// Run `case` once per configured case with a per-case RNG.
         pub fn run(&mut self, mut case: impl FnMut(&mut TestRng)) {
             for i in 0..self.config.cases {
-                let mut rng = TestRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = TestRng::seed_from_u64(
+                    self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
                 case(&mut rng);
             }
         }
@@ -247,7 +252,9 @@ pub mod prelude {
     //! Everything a property-test file needs.
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` module path used by call sites
     /// (`prop::collection::vec`, `prop::sample::select`).

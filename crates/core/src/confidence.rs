@@ -58,7 +58,10 @@ pub fn wald_interval(
 ) -> ConfidenceInterval {
     assert!((0.0..=1.0).contains(&p_hat), "p_hat out of [0,1]: {p_hat}");
     assert!(n > 0, "wald_interval needs samples");
-    assert!((0.0..1.0).contains(&confidence), "confidence out of [0,1): {confidence}");
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence out of [0,1): {confidence}"
+    );
     let z = normal_quantile(0.5 + confidence / 2.0);
     let se = (p_hat * (1.0 - p_hat) / n as f64).sqrt() * fpc(n, population);
     ConfidenceInterval {
@@ -89,14 +92,24 @@ pub fn wilson_interval(
 ) -> ConfidenceInterval {
     assert!((0.0..=1.0).contains(&p_hat), "p_hat out of [0,1]: {p_hat}");
     assert!(n > 0, "wilson_interval needs samples");
-    assert!((0.0..1.0).contains(&confidence), "confidence out of [0,1): {confidence}");
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence out of [0,1): {confidence}"
+    );
     let z = normal_quantile(0.5 + confidence / 2.0);
     // Apply the correction by inflating the effective sample size.
     let c = fpc(n, population);
-    let n_eff = if c > 0.0 { n as f64 / (c * c) } else { f64::INFINITY };
+    let n_eff = if c > 0.0 {
+        n as f64 / (c * c)
+    } else {
+        f64::INFINITY
+    };
     if !n_eff.is_finite() {
         // Degenerate full-population sample: the estimate is exact.
-        return ConfidenceInterval { lo: p_hat, hi: p_hat };
+        return ConfidenceInterval {
+            lo: p_hat,
+            hi: p_hat,
+        };
     }
     let z2 = z * z;
     let denom = 1.0 + z2 / n_eff;

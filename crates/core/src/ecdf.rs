@@ -1,13 +1,18 @@
 //! Empirical cumulative distribution function over a sample.
 
+use std::sync::Arc;
+
 /// Empirical CDF of a sample, backed by a sorted copy of the values.
+///
+/// The sorted backing is `Arc`-shared, so cloning an `Ecdf` (e.g. out of a
+/// [`crate::PreparedColumn`]) costs a reference-count bump, not a copy.
 ///
 /// Used by the equi-depth histogram (quantile boundaries), by the pure
 /// sampling estimator, and by tests that compare estimated CDFs against
 /// analytic ones.
 #[derive(Debug, Clone)]
 pub struct Ecdf {
-    sorted: Vec<f64>,
+    sorted: Arc<[f64]>,
 }
 
 impl Ecdf {
@@ -18,11 +23,19 @@ impl Ecdf {
         let mut sorted = values.to_vec();
         assert!(sorted.iter().all(|v| !v.is_nan()), "Ecdf: NaN in sample");
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
-        Ecdf { sorted }
+        Ecdf {
+            sorted: sorted.into(),
+        }
     }
 
     /// Build from an already-sorted sample without re-sorting.
     pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        Self::from_shared_sorted(sorted.into())
+    }
+
+    /// Build from an already-sorted shared sample without re-sorting or
+    /// copying.
+    pub fn from_shared_sorted(sorted: Arc<[f64]>) -> Self {
         assert!(!sorted.is_empty(), "Ecdf of empty sample");
         debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
         Ecdf { sorted }
@@ -41,6 +54,11 @@ impl Ecdf {
     /// The sorted sample backing this ECDF.
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
+    }
+
+    /// A shared handle to the sorted backing (a reference-count bump).
+    pub fn sorted_arc(&self) -> Arc<[f64]> {
+        Arc::clone(&self.sorted)
     }
 
     /// Number of sample points `<= x`.
@@ -69,7 +87,10 @@ impl Ecdf {
     /// Generalized inverse `F_n^{-1}(q)`: the smallest sample value whose
     /// CDF reaches `q`. `q` must lie in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "Ecdf::quantile: q={q} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "Ecdf::quantile: q={q} out of [0,1]"
+        );
         if q <= 0.0 {
             return self.sorted[0];
         }

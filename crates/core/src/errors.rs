@@ -64,8 +64,10 @@ impl ErrorStats {
         if !estimated_count.is_finite() || !true_count.is_finite() || true_count < 0.0 {
             self.skipped_nonfinite += 1;
         } else if true_count > 0.0 {
-            self.abs_errors.push(absolute_error(true_count, estimated_count));
-            self.rel_errors.push(relative_error(true_count, estimated_count));
+            self.abs_errors
+                .push(absolute_error(true_count, estimated_count));
+            self.rel_errors
+                .push(relative_error(true_count, estimated_count));
         } else {
             self.skipped_zero += 1;
         }

@@ -21,7 +21,10 @@ pub struct ExactSelectivity {
 impl ExactSelectivity {
     /// Build from the full value set of a relation attribute.
     pub fn new(values: &[f64], domain: Domain) -> Self {
-        ExactSelectivity { ecdf: Ecdf::new(values), domain }
+        ExactSelectivity {
+            ecdf: Ecdf::new(values),
+            domain,
+        }
     }
 
     /// Exact number of records matching `a <= r.A <= b`.
@@ -62,7 +65,13 @@ mod tests {
     fn counts_match_linear_scan() {
         let values: Vec<f64> = vec![1.0, 4.0, 4.0, 7.0, 9.0, 12.0, 12.0, 12.0, 20.0];
         let exact = ExactSelectivity::new(&values, Domain::new(0.0, 25.0));
-        for (a, b) in [(0.0, 25.0), (4.0, 12.0), (4.5, 11.9), (13.0, 19.0), (12.0, 12.0)] {
+        for (a, b) in [
+            (0.0, 25.0),
+            (4.0, 12.0),
+            (4.5, 11.9),
+            (13.0, 19.0),
+            (12.0, 12.0),
+        ] {
             let q = RangeQuery::new(a, b);
             let scan = values.iter().filter(|&&v| q.matches(v)).count();
             assert_eq!(exact.count(&q), scan, "range [{a}, {b}]");

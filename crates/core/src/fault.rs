@@ -98,10 +98,16 @@ impl core::fmt::Display for EstimateError {
                 write!(f, "no usable sample values after sanitization")
             }
             EstimateError::InvalidDomain { lo, hi } => {
-                write!(f, "invalid domain [{lo}, {hi}]: bounds must be finite with lo < hi")
+                write!(
+                    f,
+                    "invalid domain [{lo}, {hi}]: bounds must be finite with lo < hi"
+                )
             }
             EstimateError::InvalidQuery { a, b } => {
-                write!(f, "invalid query ({a}, {b}): bounds must be finite with a <= b")
+                write!(
+                    f,
+                    "invalid query ({a}, {b}): bounds must be finite with a <= b"
+                )
             }
             EstimateError::InvalidBandwidth { value } => {
                 write!(f, "invalid bandwidth {value}: must be finite and positive")
@@ -201,7 +207,16 @@ mod tests {
     #[test]
     fn sanitize_drops_only_the_bad_values() {
         let d = Domain::new(0.0, 10.0);
-        let raw = [1.0, f64::NAN, 5.0, f64::INFINITY, -3.0, 11.0, 9.5, f64::NEG_INFINITY];
+        let raw = [
+            1.0,
+            f64::NAN,
+            5.0,
+            f64::INFINITY,
+            -3.0,
+            11.0,
+            9.5,
+            f64::NEG_INFINITY,
+        ];
         let (clean, audit) = sanitize_sample(&raw, &d);
         assert_eq!(clean, vec![1.0, 5.0, 9.5]);
         assert_eq!(audit.non_finite, 3);
@@ -239,19 +254,46 @@ mod tests {
     fn errors_display_usefully() {
         let cases: Vec<(EstimateError, &str)> = vec![
             (EstimateError::EmptySample, "no usable sample"),
-            (EstimateError::InvalidDomain { lo: 3.0, hi: 1.0 }, "invalid domain"),
-            (EstimateError::InvalidQuery { a: f64::NAN, b: 1.0 }, "invalid query"),
-            (EstimateError::InvalidBandwidth { value: f64::NAN }, "invalid bandwidth"),
-            (EstimateError::NonFiniteEstimate { value: f64::NAN }, "non-finite"),
             (
-                EstimateError::UnknownColumn { relation: "r".into(), column: "c".into() },
+                EstimateError::InvalidDomain { lo: 3.0, hi: 1.0 },
+                "invalid domain",
+            ),
+            (
+                EstimateError::InvalidQuery {
+                    a: f64::NAN,
+                    b: 1.0,
+                },
+                "invalid query",
+            ),
+            (
+                EstimateError::InvalidBandwidth { value: f64::NAN },
+                "invalid bandwidth",
+            ),
+            (
+                EstimateError::NonFiniteEstimate { value: f64::NAN },
+                "non-finite",
+            ),
+            (
+                EstimateError::UnknownColumn {
+                    relation: "r".into(),
+                    column: "c".into(),
+                },
                 "no column c",
             ),
             (
-                EstimateError::MissingStatistics { relation: "r".into(), column: "c".into() },
+                EstimateError::MissingStatistics {
+                    relation: "r".into(),
+                    column: "c".into(),
+                },
                 "run ANALYZE",
             ),
-            (EstimateError::CorruptEntry { line: 7, message: "bad".into() }, "line 7"),
+            (
+                EstimateError::CorruptEntry {
+                    line: 7,
+                    message: "bad".into(),
+                },
+                "line 7",
+            ),
         ];
         for (e, needle) in cases {
             let s = e.to_string();

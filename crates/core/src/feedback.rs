@@ -44,7 +44,12 @@ impl CorrectionGrid {
             alpha > 0.0 && alpha <= 1.0,
             "CorrectionGrid: alpha must be in (0, 1], got {alpha}"
         );
-        CorrectionGrid { domain, corrections: vec![1.0; buckets], alpha, observations: 0 }
+        CorrectionGrid {
+            domain,
+            corrections: vec![1.0; buckets],
+            alpha,
+            observations: 0,
+        }
     }
 
     /// The domain the grid spans.
@@ -67,14 +72,21 @@ impl CorrectionGrid {
     /// base estimator still matches observed truths; large values mean the
     /// stored statistics are stale and a re-ANALYZE is overdue.
     pub fn drift(&self) -> f64 {
-        self.corrections.iter().map(|c| (c - 1.0).abs()).fold(0.0, f64::max)
+        self.corrections
+            .iter()
+            .map(|c| (c - 1.0).abs())
+            .fold(0.0, f64::max)
     }
 
     fn bucket_bounds(&self, i: usize) -> (f64, f64) {
         let w = self.domain.width() / self.corrections.len() as f64;
         let lo = self.domain.lo() + i as f64 * w;
         // Close the last bucket exactly at the domain boundary.
-        let hi = if i + 1 == self.corrections.len() { self.domain.hi() } else { lo + w };
+        let hi = if i + 1 == self.corrections.len() {
+            self.domain.hi()
+        } else {
+            lo + w
+        };
         (lo, hi)
     }
 
@@ -91,10 +103,14 @@ impl CorrectionGrid {
         true_selectivity: f64,
     ) -> Result<(), EstimateError> {
         if !true_selectivity.is_finite() || !(0.0..=1.0).contains(&true_selectivity) {
-            return Err(EstimateError::NonFiniteEstimate { value: true_selectivity });
+            return Err(EstimateError::NonFiniteEstimate {
+                value: true_selectivity,
+            });
         }
         if !base_estimate.is_finite() {
-            return Err(EstimateError::NonFiniteEstimate { value: base_estimate });
+            return Err(EstimateError::NonFiniteEstimate {
+                value: base_estimate,
+            });
         }
         if base_estimate < MIN_BASE_SELECTIVITY {
             return Ok(());
@@ -330,7 +346,11 @@ mod tests {
         let mut grid = CorrectionGrid::new(Domain::new(0.0, 100.0), 2, 1.0);
         assert_eq!(grid.drift(), 0.0);
         // One observation with truth 3x the base estimate in bucket 0.
-        grid.try_observe(&RangeQuery::new(0.0, 50.0), 0.2, 0.6).unwrap();
-        assert!((grid.drift() - 2.0).abs() < 1e-12, "ratio 3 -> correction 3 -> drift 2");
+        grid.try_observe(&RangeQuery::new(0.0, 50.0), 0.2, 0.6)
+            .unwrap();
+        assert!(
+            (grid.drift() - 2.0).abs() < 1e-12,
+            "ratio 3 -> correction 3 -> drift 2"
+        );
     }
 }

@@ -26,6 +26,7 @@ pub mod errors;
 pub mod exact;
 pub mod fault;
 pub mod feedback;
+pub mod prepared;
 pub mod query;
 pub mod sampling;
 pub mod traits;
@@ -38,6 +39,7 @@ pub use errors::{absolute_error, integrated_squared_error, relative_error, Error
 pub use exact::ExactSelectivity;
 pub use fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
 pub use feedback::{CorrectionGrid, FeedbackEstimator};
+pub use prepared::{ColumnSummary, PreparedColumn};
 pub use query::RangeQuery;
 pub use sampling::SamplingEstimator;
 pub use traits::{DensityEstimator, SelectivityEstimator};

@@ -30,21 +30,34 @@ impl SamplingEstimator {
     /// Build from a sample set (unsorted). Panics on an empty sample;
     /// serving paths use [`SamplingEstimator::try_new`] instead.
     pub fn new(samples: &[f64], domain: Domain) -> Self {
-        SamplingEstimator { ecdf: Ecdf::new(samples), domain }
+        SamplingEstimator {
+            ecdf: Ecdf::new(samples),
+            domain,
+        }
     }
 
     /// Fallible constructor: sanitizes the sample (dropping NaN, ±Inf, and
     /// out-of-domain values) and errors on an empty remainder instead of
     /// panicking.
-    pub fn try_new(
-        samples: &[f64],
-        domain: Domain,
-    ) -> Result<Self, crate::fault::EstimateError> {
+    pub fn try_new(samples: &[f64], domain: Domain) -> Result<Self, crate::fault::EstimateError> {
         let (clean, _audit) = crate::fault::sanitize_sample(samples, &domain);
         if clean.is_empty() {
             return Err(crate::fault::EstimateError::EmptySample);
         }
-        Ok(SamplingEstimator { ecdf: Ecdf::new(&clean), domain })
+        Ok(SamplingEstimator {
+            ecdf: Ecdf::new(&clean),
+            domain,
+        })
+    }
+
+    /// Build from a prepared column, borrowing its shared sorted sample
+    /// (a ref-count bump — no copy, no re-sort). Bit-identical to
+    /// [`SamplingEstimator::new`] over the same sample.
+    pub fn from_prepared(col: &crate::prepared::PreparedColumn) -> Self {
+        SamplingEstimator {
+            ecdf: col.ecdf().clone(),
+            domain: col.domain(),
+        }
     }
 
     /// Number of samples `n`.

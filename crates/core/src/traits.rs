@@ -124,8 +124,9 @@ mod tests {
     #[test]
     fn default_batch_matches_per_query_loop() {
         let e = Half(Domain::unit());
-        let queries: Vec<RangeQuery> =
-            (0..5).map(|i| RangeQuery::new(0.1 * i as f64, 0.1 * i as f64 + 0.05)).collect();
+        let queries: Vec<RangeQuery> = (0..5)
+            .map(|i| RangeQuery::new(0.1 * i as f64, 0.1 * i as f64 + 0.05))
+            .collect();
         let batch = e.selectivity_batch(&queries);
         assert_eq!(batch.len(), queries.len());
         for (q, s) in queries.iter().zip(&batch) {

@@ -32,7 +32,11 @@ pub struct InstanceWeightConfig {
 impl InstanceWeightConfig {
     /// The paper's `iw` file.
     pub fn paper() -> Self {
-        InstanceWeightConfig { p: 21, n_records: 199_523, n_strata: 400 }
+        InstanceWeightConfig {
+            p: 21,
+            n_records: 199_523,
+            n_strata: 400,
+        }
     }
 
     /// Generate the data file. Deterministic per seed.
@@ -55,7 +59,10 @@ impl InstanceWeightConfig {
                 let value = (scale * (0.35 * normal_quantile(u)).exp()).round();
                 // Stratum populations are themselves skewed.
                 let share = rng.random::<f64>().powi(3) + 0.02;
-                Stratum { weight_value: value, share }
+                Stratum {
+                    weight_value: value,
+                    share,
+                }
             })
             .collect();
         let total_share: f64 = strata.iter().map(|s| s.share).sum();
@@ -90,7 +97,12 @@ mod tests {
     use super::*;
 
     fn small() -> DataFile {
-        InstanceWeightConfig { p: 16, n_records: 30_000, n_strata: 120 }.generate("iw-test", 3)
+        InstanceWeightConfig {
+            p: 16,
+            n_records: 30_000,
+            n_strata: 120,
+        }
+        .generate("iw-test", 3)
     }
 
     #[test]
@@ -110,7 +122,11 @@ mod tests {
             "expected stratum clustering, distinct = {}",
             f.distinct_count()
         );
-        assert!(f.avg_frequency() > 20.0, "avg frequency {}", f.avg_frequency());
+        assert!(
+            f.avg_frequency() > 20.0,
+            "avg frequency {}",
+            f.avg_frequency()
+        );
     }
 
     #[test]
@@ -128,8 +144,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let a = small();
-        let b = InstanceWeightConfig { p: 16, n_records: 30_000, n_strata: 120 }
-            .generate("iw-test", 3);
+        let b = InstanceWeightConfig {
+            p: 16,
+            n_records: 30_000,
+            n_strata: 120,
+        }
+        .generate("iw-test", 3);
         assert_eq!(a.values(), b.values());
     }
 

@@ -69,7 +69,12 @@ impl DataFile {
                 values.push(v);
             }
         }
-        DataFile { name: name.to_owned(), domain, p, values }
+        DataFile {
+            name: name.to_owned(),
+            domain,
+            p,
+            values,
+        }
     }
 
     /// Wrap pre-generated integer-valued records (used by the TIGER and
@@ -84,7 +89,12 @@ impl DataFile {
                 "DataFile::from_values({name}): value {v} is not an integer in {domain}"
             );
         }
-        DataFile { name: name.to_owned(), domain, p, values }
+        DataFile {
+            name: name.to_owned(),
+            domain,
+            p,
+            values,
+        }
     }
 
     /// File name as referenced by the experiments (e.g. `"n(20)"`).
@@ -175,7 +185,11 @@ mod tests {
     fn smaller_domains_have_more_duplicates() {
         let narrow = DataFile::synthetic("u(8)", 8, 20_000, &Uniform::new(0.0, 255.0), 3);
         let wide = DataFile::synthetic("u(20)", 20, 20_000, &Uniform::new(0.0, 1_048_575.0), 3);
-        assert!(narrow.avg_frequency() > 50.0, "narrow {}", narrow.avg_frequency());
+        assert!(
+            narrow.avg_frequency() > 50.0,
+            "narrow {}",
+            narrow.avg_frequency()
+        );
         assert!(wide.avg_frequency() < 1.1, "wide {}", wide.avg_frequency());
         assert!(narrow.distinct_count() <= 256);
     }

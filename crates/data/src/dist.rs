@@ -219,7 +219,10 @@ impl Mixture {
     /// Build from `(weight, component)` pairs; weights are normalized and
     /// must be nonnegative with a positive sum.
     pub fn new(components: Vec<(f64, Box<dyn ContinuousDistribution + Send + Sync>)>) -> Self {
-        assert!(!components.is_empty(), "Mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "Mixture needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| *w >= 0.0),
             "Mixture weights must be nonnegative"
@@ -288,9 +291,7 @@ impl Zipf {
         assert!(n_items >= 1, "Zipf needs at least one item");
         assert!(theta >= 0.0, "Zipf exponent must be nonnegative");
         assert!(lo < hi, "Zipf requires lo < hi");
-        let weights: Vec<f64> = (1..=n_items)
-            .map(|k| (k as f64).powf(-theta))
-            .collect();
+        let weights: Vec<f64> = (1..=n_items).map(|k| (k as f64).powf(-theta)).collect();
         let total: f64 = weights.iter().sum();
         let mut cumulative = Vec::with_capacity(n_items);
         let mut acc = 0.0;
@@ -325,7 +326,11 @@ impl Zipf {
 
     /// Probability mass of the given zero-based rank.
     pub fn pmf(&self, rank: usize) -> f64 {
-        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         self.cumulative[rank] - prev
     }
 }
@@ -348,7 +353,11 @@ mod tests {
     fn check_cdf_matches_pdf<D: ContinuousDistribution>(d: &D, lo: f64, x: f64) {
         let integral = simpson(|t| d.pdf(t), lo, x, 4000);
         let cdf = d.cdf(x) - d.cdf(lo);
-        assert!((integral - cdf).abs() < 1e-6, "{}: int {integral} vs cdf {cdf}", d.label());
+        assert!(
+            (integral - cdf).abs() < 1e-6,
+            "{}: int {integral} vs cdf {cdf}",
+            d.label()
+        );
     }
 
     fn sample_mean<D: ContinuousDistribution>(d: &D, n: usize) -> f64 {

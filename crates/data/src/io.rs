@@ -94,15 +94,22 @@ mod tests {
 
     #[test]
     fn bad_inputs_are_rejected_with_line_numbers() {
-        assert!(read_values("abc".as_bytes(), "t", 8).unwrap_err().contains("line 1"));
+        assert!(read_values("abc".as_bytes(), "t", 8)
+            .unwrap_err()
+            .contains("line 1"));
         assert!(read_values("1\n2.5".as_bytes(), "t", 8)
             .unwrap_err()
             .contains("not an integer"));
         assert!(read_values("1\n300".as_bytes(), "t", 8)
             .unwrap_err()
             .contains("outside"));
-        assert!(read_values("256".as_bytes(), "t", 8).unwrap_err().contains("outside"));
-        assert_eq!(read_values("".as_bytes(), "t", 8).unwrap_err(), "no values in input");
+        assert!(read_values("256".as_bytes(), "t", 8)
+            .unwrap_err()
+            .contains("outside"));
+        assert_eq!(
+            read_values("".as_bytes(), "t", 8).unwrap_err(),
+            "no values in input"
+        );
     }
 
     #[test]

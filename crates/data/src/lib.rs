@@ -18,8 +18,8 @@ pub mod tiger;
 
 pub use census::InstanceWeightConfig;
 pub use dataset::DataFile;
-pub use io::{read_values, write_values};
 pub use dist::{ContinuousDistribution, Exponential, LogNormal, Mixture, Normal, Uniform, Zipf};
+pub use io::{read_values, write_values};
 pub use paper::{paper_data_files, PaperFile};
 pub use queries::{positional_sweep, QueryFile};
 pub use sampling::{reservoir_sample, sample_without_replacement};

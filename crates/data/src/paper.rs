@@ -62,9 +62,9 @@ impl PaperFile {
     /// Record count listed in Table 2.
     pub fn n_records(&self) -> usize {
         match self {
-            PaperFile::Uniform { .. } | PaperFile::Normal { .. } | PaperFile::Exponential { .. } => {
-                100_000
-            }
+            PaperFile::Uniform { .. }
+            | PaperFile::Normal { .. }
+            | PaperFile::Exponential { .. } => 100_000,
             PaperFile::Arapahoe1 | PaperFile::Arapahoe2 => 52_120,
             PaperFile::RailRiver1 { .. } | PaperFile::RailRiver2 { .. } => 257_942,
             PaperFile::InstanceWeight => 199_523,

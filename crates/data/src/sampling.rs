@@ -101,7 +101,10 @@ mod tests {
         }
         // Expected 600 per value.
         for (i, &c) in counts.iter().enumerate() {
-            assert!((c as i64 - 600).unsigned_abs() < 100, "value {i} drawn {c} times");
+            assert!(
+                (c as i64 - 600).unsigned_abs() < 100,
+                "value {i} drawn {c} times"
+            );
         }
     }
 

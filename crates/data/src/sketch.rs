@@ -48,7 +48,12 @@ impl GkSketch {
             epsilon > 0.0 && epsilon < 0.5,
             "GkSketch epsilon out of (0, 0.5): {epsilon}"
         );
-        GkSketch { epsilon, entries: Vec::new(), n: 0, since_compress: 0 }
+        GkSketch {
+            epsilon,
+            entries: Vec::new(),
+            n: 0,
+            since_compress: 0,
+        }
     }
 
     /// Number of stream values consumed.
@@ -102,7 +107,11 @@ impl GkSketch {
             // Never merge away the first/last tuple (exact extremes).
             let is_first = out.is_empty();
             if !is_first && merged_g + next.delta <= cap {
-                cur = Entry { v: next.v, g: merged_g, delta: next.delta };
+                cur = Entry {
+                    v: next.v,
+                    g: merged_g,
+                    delta: next.delta,
+                };
             } else {
                 out.push(cur);
                 cur = next;
@@ -115,7 +124,10 @@ impl GkSketch {
     /// The ε-approximate `q`-quantile (`q` in `[0, 1]`). Panics on an empty
     /// sketch.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile fraction out of [0,1]: {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile fraction out of [0,1]: {q}"
+        );
         assert!(self.n > 0, "quantile of an empty sketch");
         let target = (q * self.n as f64).ceil() as u64;
         let bound = (self.epsilon * self.n as f64) as u64;
@@ -203,9 +215,7 @@ mod tests {
         // Reverse order and an interleaved order.
         let rev: Vec<f64> = (0..20_000).rev().map(|i| i as f64).collect();
         check_rank_errors(&rev, 0.01);
-        let interleaved: Vec<f64> = (0..20_000)
-            .map(|i| ((i * 7_919) % 20_000) as f64)
-            .collect();
+        let interleaved: Vec<f64> = (0..20_000).map(|i| ((i * 7_919) % 20_000) as f64).collect();
         check_rank_errors(&interleaved, 0.01);
     }
 

@@ -44,12 +44,22 @@ pub struct ArapahoeConfig {
 impl ArapahoeConfig {
     /// The paper's first dimension: `arap1`, `p` = 21.
     pub fn dim1() -> Self {
-        ArapahoeConfig { p: 21, n_records: 52_120, n_towns: 11, background_fraction: 0.12 }
+        ArapahoeConfig {
+            p: 21,
+            n_records: 52_120,
+            n_towns: 11,
+            background_fraction: 0.12,
+        }
     }
 
     /// The paper's second dimension: `arap2`, `p` = 18.
     pub fn dim2() -> Self {
-        ArapahoeConfig { p: 18, n_records: 52_120, n_towns: 9, background_fraction: 0.15 }
+        ArapahoeConfig {
+            p: 18,
+            n_records: 52_120,
+            n_towns: 9,
+            background_fraction: 0.15,
+        }
     }
 
     /// Generate the data file. Deterministic per seed.
@@ -153,13 +163,21 @@ impl RailRiverConfig {
     /// The paper's first dimension at the given domain exponent
     /// (`rr1(12)` or `rr1(22)`).
     pub fn dim1(p: u32) -> Self {
-        RailRiverConfig { p, n_records: 257_942, n_lines: 48 }
+        RailRiverConfig {
+            p,
+            n_records: 257_942,
+            n_lines: 48,
+        }
     }
 
     /// The paper's second dimension (`rr2(12)` or `rr2(22)`); fewer,
     /// longer lines give a lumpier marginal.
     pub fn dim2(p: u32) -> Self {
-        RailRiverConfig { p, n_records: 257_942, n_lines: 24 }
+        RailRiverConfig {
+            p,
+            n_records: 257_942,
+            n_lines: 24,
+        }
     }
 
     /// Generate the data file. Deterministic per seed.
@@ -202,12 +220,22 @@ mod tests {
     use super::*;
 
     fn small_arap() -> DataFile {
-        ArapahoeConfig { p: 16, n_records: 20_000, n_towns: 6, background_fraction: 0.1 }
-            .generate("arap-test", 11)
+        ArapahoeConfig {
+            p: 16,
+            n_records: 20_000,
+            n_towns: 6,
+            background_fraction: 0.1,
+        }
+        .generate("arap-test", 11)
     }
 
     fn small_rr() -> DataFile {
-        RailRiverConfig { p: 16, n_records: 20_000, n_lines: 10 }.generate("rr-test", 11)
+        RailRiverConfig {
+            p: 16,
+            n_records: 20_000,
+            n_lines: 10,
+        }
+        .generate("rr-test", 11)
     }
 
     #[test]
@@ -261,11 +289,21 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         let a = small_arap();
-        let b = ArapahoeConfig { p: 16, n_records: 20_000, n_towns: 6, background_fraction: 0.1 }
-            .generate("arap-test", 11);
+        let b = ArapahoeConfig {
+            p: 16,
+            n_records: 20_000,
+            n_towns: 6,
+            background_fraction: 0.1,
+        }
+        .generate("arap-test", 11);
         assert_eq!(a.values(), b.values());
         let r1 = small_rr();
-        let r2 = RailRiverConfig { p: 16, n_records: 20_000, n_lines: 10 }.generate("rr-test", 11);
+        let r2 = RailRiverConfig {
+            p: 16,
+            n_records: 20_000,
+            n_lines: 10,
+        }
+        .generate("rr-test", 11);
         assert_eq!(r1.values(), r2.values());
     }
 

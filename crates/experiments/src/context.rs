@@ -2,7 +2,9 @@
 //! the 2 000-record sample, and the four size-separated query files —
 //! everything Section 5.1 fixes before any estimator runs.
 
-use selest_core::ExactSelectivity;
+use std::sync::Arc;
+
+use selest_core::{ExactSelectivity, PreparedColumn};
 use selest_data::{sample_without_replacement, DataFile, PaperFile, QueryFile};
 
 use crate::harness::Scale;
@@ -15,6 +17,10 @@ pub struct FileContext {
     pub exact: ExactSelectivity,
     /// The estimator-building sample (without replacement).
     pub sample: Vec<f64>,
+    /// The sample prepared once — sorted, ECDF'd, summarized — and shared
+    /// by every estimator the figures build over this file (see
+    /// [`crate::methods`]).
+    pub prepared: Arc<PreparedColumn>,
     /// Query files for sizes 1 %, 2 %, 5 %, 10 %.
     pub queries: [QueryFile; 4],
 }
@@ -28,13 +34,20 @@ impl FileContext {
         // Seeds are derived from the file's name via the query generator's
         // own seeding; the sample seed is fixed so reruns are identical.
         let sample = sample_without_replacement(data.values(), n_sample, 0xabcd_0001);
+        let prepared = Arc::new(PreparedColumn::prepare(&sample, data.domain()));
         let queries = [
             QueryFile::generate(&data, 0.01, scale.queries_per_file, 0x9e37_0001),
             QueryFile::generate(&data, 0.02, scale.queries_per_file, 0x9e37_0002),
             QueryFile::generate(&data, 0.05, scale.queries_per_file, 0x9e37_0005),
             QueryFile::generate(&data, 0.10, scale.queries_per_file, 0x9e37_0010),
         ];
-        FileContext { data, exact, sample, queries }
+        FileContext {
+            data,
+            exact,
+            sample,
+            prepared,
+            queries,
+        }
     }
 
     /// The query file of the given size fraction (one of 0.01/0.02/0.05/0.10).

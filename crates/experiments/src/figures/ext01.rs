@@ -27,22 +27,21 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     let policy = BoundaryPolicy::Reflection;
     for kernel in KernelFn::ALL {
         let h = NormalScale.bandwidth(&ctx.sample, kernel);
-        let est = selest_kernel::KernelEstimator::new(
-            &ctx.sample,
-            ctx.data.domain(),
-            kernel,
-            h,
-            policy,
-        );
+        let est =
+            selest_kernel::KernelEstimator::new(&ctx.sample, ctx.data.domain(), kernel, h, policy);
         let mre = evaluate(&est, queries, &ctx.exact).mean_relative_error();
-        report.bars.push(("kernel".into(), kernel.name().into(), mre));
+        report
+            .bars
+            .push(("kernel".into(), kernel.name().into(), mre));
     }
     // Bandwidth sensitivity for contrast: x/4, x/2, x1, x2, x4.
     let h_ns = NormalScale.bandwidth(&ctx.sample, KernelFn::Epanechnikov);
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let est = methods::kernel(&ctx, policy, h_ns * factor);
         let mre = evaluate(&est, queries, &ctx.exact).mean_relative_error();
-        report.bars.push(("bandwidth".into(), format!("{factor}x h-NS"), mre));
+        report
+            .bars
+            .push(("bandwidth".into(), format!("{factor}x h-NS"), mre));
     }
     report.notes.push(
         "the paper's claim: the kernel column should be nearly flat while the bandwidth \

@@ -75,7 +75,10 @@ mod tests {
         // partitioning (compare against a sanity ceiling).
         for det in ["f''-maxima", "CUSUM-KS"] {
             let mre = r.bar("arap1", det).unwrap();
-            assert!(mre < 0.6, "arap1/{det}: MRE {mre} suggests partitioning failed");
+            assert!(
+                mre < 0.6,
+                "arap1/{det}: MRE {mre} suggests partitioning failed"
+            );
         }
     }
 }

@@ -84,8 +84,11 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
         }
         record("Hybrid", &methods::hybrid(&ctx));
     }
-    report.notes.push("wavelet budget = 4x the normal-scale bin count (same storage order as the \
-         histograms); adaptive kernel: Abramson alpha = 1/2 on an h-NS pilot".to_string());
+    report.notes.push(
+        "wavelet budget = 4x the normal-scale bin count (same storage order as the \
+         histograms); adaptive kernel: Abramson alpha = 1/2 on an h-NS pilot"
+            .to_string(),
+    );
     report
 }
 
@@ -97,8 +100,17 @@ mod tests {
     fn every_method_runs_and_the_extensions_are_competitive() {
         let r = run_with_files(&Scale::quick(), &[PaperFile::Normal { p: 20 }]);
         let methods = [
-            "sampling", "EWH", "EDH", "MDH", "VOPT", "ASH", "Wavelet", "Kernel", "Kernel-LSCV",
-            "AdaptiveK", "Hybrid",
+            "sampling",
+            "EWH",
+            "EDH",
+            "MDH",
+            "VOPT",
+            "ASH",
+            "Wavelet",
+            "Kernel",
+            "Kernel-LSCV",
+            "AdaptiveK",
+            "Hybrid",
         ];
         for m in methods {
             let mre = r.bar("n(20)", m).unwrap_or_else(|| panic!("{m} missing"));

@@ -26,7 +26,6 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     let domain = Domain::new(0.0, 1_000.0);
     let n = scale.sample_size;
 
-
     // True roughness functionals of the N(500, 100) density.
     let r_f_prime = 1.0 / (4.0 * core::f64::consts::PI.sqrt() * sigma.powi(3));
     let r_f_second = 3.0 / (8.0 * core::f64::consts::PI.sqrt() * sigma.powi(5));
@@ -64,8 +63,14 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     }
     hist_emp.reverse();
     hist_amise.reverse();
-    report.series.push(Series { label: "EWH empirical".into(), points: hist_emp });
-    report.series.push(Series { label: "EWH AMISE".into(), points: hist_amise });
+    report.series.push(Series {
+        label: "EWH empirical".into(),
+        points: hist_emp,
+    });
+    report.series.push(Series {
+        label: "EWH AMISE".into(),
+        points: hist_amise,
+    });
 
     // Kernel: bandwidths around the AMISE optimum.
     let h_star = selest_kernel::amise_optimal_bandwidth(KernelFn::Epanechnikov, n, r_f_second);
@@ -87,8 +92,14 @@ pub fn run(scale: &Scale) -> ExperimentReport {
         ));
         k_amise.push((h, amise(KernelFn::Epanechnikov, h, n, r_f_second)));
     }
-    report.series.push(Series { label: "kernel empirical".into(), points: k_emp });
-    report.series.push(Series { label: "kernel AMISE".into(), points: k_amise });
+    report.series.push(Series {
+        label: "kernel empirical".into(),
+        points: k_emp,
+    });
+    report.series.push(Series {
+        label: "kernel AMISE".into(),
+        points: k_amise,
+    });
     report.notes.push(format!(
         "n = {n}, truth N(500, {sigma}); kernel AMISE optimum h* = {h_star:.1}; \
          REPS = {REPS} draws per point"

@@ -32,7 +32,11 @@ fn edh_from_boundaries(boundaries: Vec<f64>, n: usize, domain: Domain) -> Binned
 pub fn run(scale: &Scale) -> ExperimentReport {
     run_with_files(
         scale,
-        &[PaperFile::Normal { p: 20 }, PaperFile::Exponential { p: 20 }, PaperFile::Arapahoe1],
+        &[
+            PaperFile::Normal { p: 20 },
+            PaperFile::Exponential { p: 20 },
+            PaperFile::Arapahoe1,
+        ],
     )
 }
 

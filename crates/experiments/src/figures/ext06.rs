@@ -27,8 +27,7 @@ pub fn run(scale: &Scale) -> ExperimentReport {
         .iter()
         .map(|&v| (v - shift).max(domain.lo()))
         .collect();
-    let stale_sample =
-        sample_without_replacement(&stale_values, ctx.sample.len(), 0xfeed06);
+    let stale_sample = sample_without_replacement(&stale_values, ctx.sample.len(), 0xfeed06);
     let stale = selest_histogram::equi_width(
         &stale_sample,
         domain,
@@ -44,7 +43,10 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     let mut feedback = FeedbackEstimator::new(stale.clone(), 64, 0.5);
 
     // Stream the workload: after each batch, estimate the remaining error.
-    let mut series = Series { label: "stale + feedback".into(), points: Vec::new() };
+    let mut series = Series {
+        label: "stale + feedback".into(),
+        points: Vec::new(),
+    };
     let batch = (queries.len() / 10).max(1);
     let eval_now = |est: &(dyn SelectivityEstimator + Sync)| {
         evaluate(est, queries, &ctx.exact).mean_relative_error()
@@ -55,7 +57,9 @@ pub fn run(scale: &Scale) -> ExperimentReport {
             let truth = ctx.exact.count(q) as f64 / n as f64;
             feedback.observe(q, truth);
         }
-        series.points.push((((i + 1) * batch) as f64, eval_now(&feedback)));
+        series
+            .points
+            .push((((i + 1) * batch) as f64, eval_now(&feedback)));
     }
 
     let mut report = ExperimentReport::new(
@@ -95,8 +99,14 @@ mod tests {
         let fresh = r.series_by_label("fresh ANALYZE").unwrap().points[0].1;
         let start = fb.points.first().unwrap().1;
         let end = fb.points.last().unwrap().1;
-        assert!(stale > 2.0 * fresh, "premise: staleness hurts ({stale} vs {fresh})");
-        assert!((start - stale).abs() < 0.02, "feedback starts at the stale error");
+        assert!(
+            stale > 2.0 * fresh,
+            "premise: staleness hurts ({stale} vs {fresh})"
+        );
+        assert!(
+            (start - stale).abs() < 0.02,
+            "feedback starts at the stale error"
+        );
         // After the workload, at least half the staleness penalty is gone.
         assert!(
             end < fresh + 0.5 * (stale - fresh),

@@ -23,7 +23,12 @@ pub fn run(_scale: &Scale) -> ExperimentReport {
     }
     report.series.push(Series {
         label: "estimate".into(),
-        points: d.grid.iter().copied().zip(d.estimate.iter().copied()).collect(),
+        points: d
+            .grid
+            .iter()
+            .copied()
+            .zip(d.estimate.iter().copied())
+            .collect(),
     });
     report.notes.push(format!(
         "Epanechnikov kernel, n = {}, h = {h}; the estimate is the pointwise sum of the bumps",

@@ -35,7 +35,9 @@ pub fn run(_scale: &Scale) -> ExperimentReport {
         );
         // One sample: the estimator's selectivity IS that sample's
         // integral contribution.
-        report.bars.push(("Q(40,60)".into(), label.into(), est.selectivity(&q)));
+        report
+            .bars
+            .push(("Q(40,60)".into(), label.into(), est.selectivity(&q)));
     }
     report.notes.push(
         "zero for kernels out of reach, one for kernels fully inside, \

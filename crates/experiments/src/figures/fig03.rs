@@ -31,7 +31,10 @@ pub fn run(scale: &Scale) -> ExperimentReport {
         "position (fraction of domain)",
         "signed absolute error (records)",
     );
-    report.series.push(Series { label: "no boundary treatment".into(), points });
+    report.series.push(Series {
+        label: "no boundary treatment".into(),
+        points,
+    });
     report.notes.push(format!(
         "N = {n}, n = {}, h = {:.0} (normal scale rule)",
         ctx.sample.len(),

@@ -33,8 +33,8 @@ pub fn run_on(scale: &Scale, file: PaperFile) -> ExperimentReport {
     let points: Vec<(f64, f64)> = ks
         .iter()
         .map(|&k| {
-            let mre = evaluate(&methods::ewh(&ctx, k), qf.queries(), &ctx.exact)
-                .mean_relative_error();
+            let mre =
+                evaluate(&methods::ewh(&ctx, k), qf.queries(), &ctx.exact).mean_relative_error();
             (k as f64, mre)
         })
         .collect();
@@ -46,12 +46,18 @@ pub fn run_on(scale: &Scale, file: PaperFile) -> ExperimentReport {
         "bins",
         "MRE",
     );
-    report.series.push(Series { label: format!("EWH {}", ctx.data.name()), points });
+    report.series.push(Series {
+        label: format!("EWH {}", ctx.data.name()),
+        points,
+    });
     report.series.push(Series {
         label: "sampling".into(),
         points: ks.iter().map(|&k| (k as f64, sampling_mre)).collect(),
     });
-    report.notes.push("paper: minimum ~7% at ~20 bins, sampling line at 17.5% (N = 100 000, n = 2 000)".to_string());
+    report.notes.push(
+        "paper: minimum ~7% at ~20 bins, sampling line at 17.5% (N = 100 000, n = 2 000)"
+            .to_string(),
+    );
     report
 }
 
@@ -73,10 +79,21 @@ mod tests {
         // ...and both extremes are worse than the minimum (U shape).
         let first = ewh.points.first().unwrap().1;
         let last = ewh.points.last().unwrap().1;
-        assert!(first > 1.5 * ewh.y_min(), "left arm {first} vs min {}", ewh.y_min());
-        assert!(last > 1.5 * ewh.y_min(), "right arm {last} vs min {}", ewh.y_min());
+        assert!(
+            first > 1.5 * ewh.y_min(),
+            "left arm {first} vs min {}",
+            ewh.y_min()
+        );
+        assert!(
+            last > 1.5 * ewh.y_min(),
+            "right arm {last} vs min {}",
+            ewh.y_min()
+        );
         // The over-binned end approaches the sampling error from around it.
-        assert!(last < 2.0 * sampling, "right arm {last} should approach sampling {sampling}");
+        assert!(
+            last < 2.0 * sampling,
+            "right arm {last} should approach sampling {sampling}"
+        );
     }
 
     #[test]

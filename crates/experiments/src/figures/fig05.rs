@@ -37,7 +37,10 @@ mod tests {
         // At Scale::quick the p=10/p=20 gap sits inside sampling noise;
         // halving the record divisor restores the paper's ordering with a
         // ~20% margin while keeping the test in CI-friendly time.
-        let scale = Scale { record_divisor: 5, ..Scale::quick() };
+        let scale = Scale {
+            record_divisor: 5,
+            ..Scale::quick()
+        };
         let r = run(&scale);
         let best: Vec<f64> = r.series.iter().map(|s| s.y_min()).collect();
         // p = 10 easiest, p = 20 hardest (allow p=15 ~ p=20 noise, but the

@@ -17,9 +17,18 @@ pub const SAMPLE_SIZES: [usize; 6] = [200, 500, 1_000, 2_000, 5_000, 10_000];
 pub fn run(scale: &Scale) -> ExperimentReport {
     let base = FileContext::build(PaperFile::Normal { p: 20 }, scale);
     let mut series = vec![
-        Series { label: "sampling".into(), points: Vec::new() },
-        Series { label: "EWH (h-NS)".into(), points: Vec::new() },
-        Series { label: "kernel (h-NS, BK)".into(), points: Vec::new() },
+        Series {
+            label: "sampling".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "EWH (h-NS)".into(),
+            points: Vec::new(),
+        },
+        Series {
+            label: "kernel (h-NS, BK)".into(),
+            points: Vec::new(),
+        },
     ];
     for &n in &SAMPLE_SIZES {
         // A sample approaching the whole file makes "sampling" trivially
@@ -31,7 +40,15 @@ pub fn run(scale: &Scale) -> ExperimentReport {
         // redraws its sample sets).
         let sample =
             selest_data::sample_without_replacement(base.data.values(), n, 0xf16_0600 + n as u64);
-        let ctx = FileContext { sample, ..no_sample_clone(&base, scale) };
+        let prepared = std::sync::Arc::new(selest_core::PreparedColumn::prepare(
+            &sample,
+            base.data.domain(),
+        ));
+        let ctx = FileContext {
+            sample,
+            prepared,
+            ..no_sample_clone(&base, scale)
+        };
         let qf = ctx.query_file(0.01);
         let x = n as f64;
         series[0].points.push((
@@ -65,13 +82,14 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     report
 }
 
-/// Rebuild a context sharing `base`'s data/queries but with a sample slot
-/// to be replaced by the caller (struct-update helper).
+/// Rebuild a context sharing `base`'s data/queries but with sample and
+/// prepared slots to be replaced by the caller (struct-update helper).
 fn no_sample_clone(base: &FileContext, _scale: &Scale) -> FileContext {
     FileContext {
         data: base.data.clone(),
         exact: base.exact.clone(),
         sample: Vec::new(),
+        prepared: std::sync::Arc::clone(&base.prepared),
         queries: base.queries.clone(),
     }
 }

@@ -33,9 +33,9 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
             ));
         }
     }
-    report.notes.push(
-        "paper (arap2): 17.5% MRE for 1% queries vs. 4.5% for 10% queries".into(),
-    );
+    report
+        .notes
+        .push("paper (arap2): 17.5% MRE for 1% queries vs. 4.5% for 10% queries".into());
     report
 }
 

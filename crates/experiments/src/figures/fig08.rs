@@ -56,7 +56,9 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
             "uniform".into(),
             evaluate(&methods::uniform(&ctx), queries, &ctx.exact).mean_relative_error(),
         ));
-        report.notes.push(format!("{group}: oracle bins k = {k_opt}"));
+        report
+            .notes
+            .push(format!("{group}: oracle bins k = {k_opt}"));
     }
     report.notes.push(
         "paper: uniform loses by orders of magnitude on skewed data (600% on ci); \

@@ -36,7 +36,9 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
             "h-NS".into(),
             evaluate(&ns, queries, &ctx.exact).mean_relative_error(),
         ));
-        report.notes.push(format!("{group}: k-opt = {k_opt}, k-NS = {k_ns}"));
+        report
+            .notes
+            .push(format!("{group}: k-opt = {k_opt}, k-NS = {k_ns}"));
     }
     report.notes.push(
         "paper: the normal scale rule costs ~3 MRE percentage points vs. the oracle on average"

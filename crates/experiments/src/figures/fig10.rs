@@ -41,7 +41,10 @@ pub fn run(scale: &Scale) -> ExperimentReport {
                 Some((center / width, err))
             })
             .collect();
-        report.series.push(Series { label: label.into(), points });
+        report.series.push(Series {
+            label: label.into(),
+            points,
+        });
     }
     report.notes.push(
         "paper: both treatments remove the boundary blow-up; boundary kernels are slightly \
@@ -79,7 +82,10 @@ mod tests {
             untreated > 3.0 * reflected,
             "reflection: {untreated} -> {reflected}"
         );
-        assert!(untreated > 3.0 * bk, "boundary kernels: {untreated} -> {bk}");
+        assert!(
+            untreated > 3.0 * bk,
+            "boundary kernels: {untreated} -> {bk}"
+        );
     }
 
     #[test]

@@ -17,15 +17,23 @@ pub fn run(scale: &Scale) -> ExperimentReport {
     for file in PaperFile::all() {
         let data = file.generate_scaled(scale.record_divisor);
         let name = data.name().to_owned();
-        report.bars.push((name.clone(), "p".into(), file.p() as f64));
-        report.bars.push((name.clone(), "records".into(), data.len() as f64));
-        report.bars.push((name.clone(), "distinct".into(), data.distinct_count() as f64));
+        report
+            .bars
+            .push((name.clone(), "p".into(), file.p() as f64));
+        report
+            .bars
+            .push((name.clone(), "records".into(), data.len() as f64));
         report.bars.push((
             name.clone(),
-            "avg freq".into(),
-            data.avg_frequency(),
+            "distinct".into(),
+            data.distinct_count() as f64,
         ));
-        report.notes.push(format!("{name}: {}", file.distribution_label()));
+        report
+            .bars
+            .push((name.clone(), "avg freq".into(), data.avg_frequency()));
+        report
+            .notes
+            .push(format!("{name}: {}", file.distribution_label()));
     }
     report
 }
@@ -52,6 +60,9 @@ mod tests {
         let freq = |f: &str| r.bar(f, "avg freq").unwrap();
         assert!(freq("n(10)") > 5.0, "n(10) avg freq {}", freq("n(10)"));
         assert!(freq("u(20)") < 1.1, "u(20) avg freq {}", freq("u(20)"));
-        assert!(freq("iw") > 5.0 * freq("u(20)"), "iw should duplicate heavily");
+        assert!(
+            freq("iw") > 5.0 * freq("u(20)"),
+            "iw should duplicate heavily"
+        );
     }
 }

@@ -18,13 +18,23 @@ pub struct Scale {
 impl Scale {
     /// The paper's full experimental scale.
     pub fn paper() -> Self {
-        Scale { record_divisor: 1, queries_per_file: 1_000, sample_size: 2_000, sweep_points: 201 }
+        Scale {
+            record_divisor: 1,
+            queries_per_file: 1_000,
+            sample_size: 2_000,
+            sweep_points: 201,
+        }
     }
 
     /// A reduced scale for tests and smoke runs (~10x smaller data,
     /// 5x fewer queries).
     pub fn quick() -> Self {
-        Scale { record_divisor: 10, queries_per_file: 200, sample_size: 1_000, sweep_points: 81 }
+        Scale {
+            record_divisor: 10,
+            queries_per_file: 200,
+            sample_size: 1_000,
+            sweep_points: 81,
+        }
     }
 }
 
@@ -85,19 +95,31 @@ pub struct Series {
 impl Series {
     /// Minimum y value (panics on an empty series).
     pub fn y_min(&self) -> f64 {
-        self.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum y value.
     pub fn y_max(&self) -> f64 {
-        self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// x of the minimal y.
     pub fn argmin(&self) -> f64 {
         self.points
             .iter()
-            .fold((f64::NAN, f64::INFINITY), |acc, &(x, y)| if y < acc.1 { (x, y) } else { acc })
+            .fold((f64::NAN, f64::INFINITY), |acc, &(x, y)| {
+                if y < acc.1 {
+                    (x, y)
+                } else {
+                    acc
+                }
+            })
             .0
     }
 }
@@ -252,8 +274,9 @@ mod tests {
         let values: Vec<f64> = (0..1_000).map(|i| i as f64 / 10.0).collect(); // uniform [0,100)
         let exact = ExactSelectivity::new(&values, Domain::new(0.0, 100.0));
         let est = UniformEstimator::new(Domain::new(0.0, 100.0));
-        let queries: Vec<RangeQuery> =
-            (0..10).map(|i| RangeQuery::new(5.0 * i as f64, 5.0 * i as f64 + 10.0)).collect();
+        let queries: Vec<RangeQuery> = (0..10)
+            .map(|i| RangeQuery::new(5.0 * i as f64, 5.0 * i as f64 + 10.0))
+            .collect();
         let stats = evaluate(&est, &queries, &exact);
         assert_eq!(stats.count(), 10);
         // Uniform data + uniform estimator: near-zero error.
@@ -312,14 +335,18 @@ mod tests {
             label: "aaaaaaaaaaaaaaaé-boundary".into(),
             points: vec![(1.0, 0.5)],
         });
-        r.bars.push(("aaaaaaaaañ-edge".into(), "aaaaaaaaaaaσ-ed".into(), 0.07));
+        r.bars
+            .push(("aaaaaaaaañ-edge".into(), "aaaaaaaaaaaσ-ed".into(), 0.07));
         let text = r.to_string();
         assert!(text.contains("figY"));
     }
 
     #[test]
     fn series_stats() {
-        let s = Series { label: "x".into(), points: vec![(1.0, 5.0), (2.0, 3.0), (3.0, 9.0)] };
+        let s = Series {
+            label: "x".into(),
+            points: vec![(1.0, 5.0), (2.0, 3.0), (3.0, 9.0)],
+        };
         assert_eq!(s.y_min(), 3.0);
         assert_eq!(s.y_max(), 9.0);
         assert_eq!(s.argmin(), 2.0);
@@ -328,7 +355,10 @@ mod tests {
     #[test]
     fn report_rendering_and_csv() {
         let mut r = ExperimentReport::new("figX", "demo", "n", "MRE");
-        r.series.push(Series { label: "a".into(), points: vec![(1.0, 0.5), (2.0, 0.25)] });
+        r.series.push(Series {
+            label: "a".into(),
+            points: vec![(1.0, 0.5), (2.0, 0.25)],
+        });
         r.bars.push(("u(20)".into(), "EWH".into(), 0.07));
         r.notes.push("check the shape".into());
         let text = r.to_string();

@@ -1,46 +1,52 @@
 //! Constructors for the named estimator configurations the paper's figures
-//! compare, all built from a [`FileContext`]'s sample.
+//! compare, all built from a [`FileContext`]'s shared [`PreparedColumn`]
+//! substrate: the sample is sorted and summarized once per file, and every
+//! method borrows that work instead of re-sorting its own copy. Results
+//! are bit-identical to building each estimator from the raw sample.
 
-use selest_core::{SamplingEstimator, UniformEstimator};
-use selest_histogram::{equi_depth, equi_width, max_diff, AverageShiftedHistogram,
-    BinRule, BinnedHistogram, NormalScaleBins};
+use selest_core::{PreparedColumn, SamplingEstimator, UniformEstimator};
+use selest_histogram::{
+    equi_depth_prepared, equi_width_prepared, max_diff_prepared, AverageShiftedHistogram, BinRule,
+    BinnedHistogram, NormalScaleBins,
+};
 use selest_hybrid::HybridEstimator;
-use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn,
-    NormalScale};
+use selest_kernel::{
+    BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn, NormalScale,
+};
 
 use crate::context::FileContext;
 
 /// Equi-width histogram with a fixed bin count.
 pub fn ewh(ctx: &FileContext, k: usize) -> BinnedHistogram {
-    equi_width(&ctx.sample, ctx.data.domain(), k)
+    equi_width_prepared(&ctx.prepared, k)
 }
 
 /// Equi-width histogram with normal-scale bins (the paper's `EWH`).
 pub fn ewh_ns(ctx: &FileContext) -> BinnedHistogram {
-    let k = NormalScaleBins.bins(&ctx.sample, &ctx.data.domain());
+    let k = NormalScaleBins.bins_prepared(&ctx.prepared);
     ewh(ctx, k)
 }
 
 /// Equi-depth histogram with a fixed bin count.
 pub fn edh(ctx: &FileContext, k: usize) -> BinnedHistogram {
-    equi_depth(&ctx.sample, ctx.data.domain(), k)
+    equi_depth_prepared(&ctx.prepared, k)
 }
 
 /// Max-diff histogram with a fixed bin count.
 pub fn mdh(ctx: &FileContext, k: usize) -> BinnedHistogram {
-    max_diff(&ctx.sample, ctx.data.domain(), k)
+    max_diff_prepared(&ctx.prepared, k)
 }
 
 /// Average shifted histogram with normal-scale base bins and ten shifts
 /// (the paper's `ASH`).
 pub fn ash_ns(ctx: &FileContext) -> AverageShiftedHistogram {
-    let k = NormalScaleBins.bins(&ctx.sample, &ctx.data.domain());
-    AverageShiftedHistogram::new(&ctx.sample, ctx.data.domain(), k, 10)
+    let k = NormalScaleBins.bins_prepared(&ctx.prepared);
+    AverageShiftedHistogram::from_prepared(&ctx.prepared, k, 10)
 }
 
 /// Pure sampling baseline.
 pub fn sampling(ctx: &FileContext) -> SamplingEstimator {
-    SamplingEstimator::new(&ctx.sample, ctx.data.domain())
+    SamplingEstimator::from_prepared(&ctx.prepared)
 }
 
 /// Uniform (one-bin) baseline.
@@ -56,25 +62,31 @@ pub fn kernel(ctx: &FileContext, boundary: BoundaryPolicy, h: f64) -> KernelEsti
     } else {
         h
     };
-    KernelEstimator::new(&ctx.sample, ctx.data.domain(), KernelFn::Epanechnikov, h, boundary)
+    KernelEstimator::from_prepared(&ctx.prepared, KernelFn::Epanechnikov, h, boundary)
 }
 
 /// Kernel estimator, normal-scale bandwidth.
 pub fn kernel_ns(ctx: &FileContext, boundary: BoundaryPolicy) -> KernelEstimator {
-    let h = NormalScale.bandwidth(&ctx.sample, KernelFn::Epanechnikov);
+    let h = NormalScale.bandwidth_prepared(&ctx.prepared, KernelFn::Epanechnikov);
     kernel(ctx, boundary, h)
 }
 
 /// Kernel estimator, two-stage direct plug-in bandwidth with boundary
 /// kernels (the paper's best kernel configuration, `Kernel` in Figure 12).
 pub fn kernel_dpi2(ctx: &FileContext, boundary: BoundaryPolicy) -> KernelEstimator {
-    let h = DirectPlugIn::two_stage().bandwidth(&ctx.sample, KernelFn::Epanechnikov);
+    let h = DirectPlugIn::two_stage().bandwidth_prepared(&ctx.prepared, KernelFn::Epanechnikov);
     kernel(ctx, boundary, h)
 }
 
 /// Hybrid estimator with the default configuration (the paper's `Hybrid`).
 pub fn hybrid(ctx: &FileContext) -> HybridEstimator {
-    HybridEstimator::new(&ctx.sample, ctx.data.domain())
+    HybridEstimator::from_prepared(&ctx.prepared)
+}
+
+/// The shared substrate itself, for callers that want to build additional
+/// estimators over the same one-sort preparation.
+pub fn prepared(ctx: &FileContext) -> &PreparedColumn {
+    &ctx.prepared
 }
 
 #[cfg(test)]
@@ -88,10 +100,22 @@ mod tests {
         let ctx = crate::context::FileContext::build(PaperFile::Normal { p: 15 }, &Scale::quick());
         let qf = ctx.query_file(0.05);
         let methods: Vec<(String, f64)> = vec![
-            ("EWH".into(), evaluate(&ewh_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
-            ("EDH".into(), evaluate(&edh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error()),
-            ("MDH".into(), evaluate(&mdh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error()),
-            ("ASH".into(), evaluate(&ash_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            (
+                "EWH".into(),
+                evaluate(&ewh_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
+            (
+                "EDH".into(),
+                evaluate(&edh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
+            (
+                "MDH".into(),
+                evaluate(&mdh(&ctx, 20), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
+            (
+                "ASH".into(),
+                evaluate(&ash_ns(&ctx), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
             (
                 "Kernel".into(),
                 evaluate(
@@ -101,9 +125,18 @@ mod tests {
                 )
                 .mean_relative_error(),
             ),
-            ("Hybrid".into(), evaluate(&hybrid(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
-            ("Sampling".into(), evaluate(&sampling(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
-            ("Uniform".into(), evaluate(&uniform(&ctx), qf.queries(), &ctx.exact).mean_relative_error()),
+            (
+                "Hybrid".into(),
+                evaluate(&hybrid(&ctx), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
+            (
+                "Sampling".into(),
+                evaluate(&sampling(&ctx), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
+            (
+                "Uniform".into(),
+                evaluate(&uniform(&ctx), qf.queries(), &ctx.exact).mean_relative_error(),
+            ),
         ];
         for (name, mre) in &methods {
             assert!(mre.is_finite() && *mre >= 0.0, "{name}: MRE {mre}");

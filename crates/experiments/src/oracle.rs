@@ -120,11 +120,13 @@ mod tests {
         let qf = ctx.query_file(0.01);
         let (k, best) = oracle_bins(&ctx, qf.queries(), 500);
         assert!((2..=500).contains(&k));
-        let tiny = evaluate(&methods::ewh(&ctx, 2), qf.queries(), &ctx.exact)
-            .mean_relative_error();
-        let huge = evaluate(&methods::ewh(&ctx, 500), qf.queries(), &ctx.exact)
-            .mean_relative_error();
-        assert!(best <= tiny && best <= huge, "oracle {best} vs tiny {tiny}, huge {huge}");
+        let tiny = evaluate(&methods::ewh(&ctx, 2), qf.queries(), &ctx.exact).mean_relative_error();
+        let huge =
+            evaluate(&methods::ewh(&ctx, 500), qf.queries(), &ctx.exact).mean_relative_error();
+        assert!(
+            best <= tiny && best <= huge,
+            "oracle {best} vs tiny {tiny}, huge {huge}"
+        );
     }
 
     #[test]

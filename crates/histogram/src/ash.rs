@@ -79,7 +79,21 @@ impl AverageShiftedHistogram {
                 *w *= scale;
             }
         }
-        AverageShiftedHistogram { delta, weights, n_samples: samples.len(), domain, shifts: m }
+        AverageShiftedHistogram {
+            delta,
+            weights,
+            n_samples: samples.len(),
+            domain,
+            shifts: m,
+        }
+    }
+
+    /// [`AverageShiftedHistogram::new`] over a prepared column. ASH
+    /// construction accumulates exact integer fine-grid counts, so input
+    /// order is immaterial; the prepared path consumes the column's
+    /// original-order sample, bit-identically to the slice constructor.
+    pub fn from_prepared(col: &selest_core::PreparedColumn, k: usize, m: usize) -> Self {
+        AverageShiftedHistogram::new(col.values(), col.domain(), k, m)
     }
 
     /// Number of shifts `m`.
@@ -148,7 +162,9 @@ mod tests {
     use crate::equi_width::equi_width;
 
     fn uniform_samples(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 100.0 * (i as f64 + 0.5) / n as f64).collect()
+        (0..n)
+            .map(|i| 100.0 * (i as f64 + 0.5) / n as f64)
+            .collect()
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! [`FreedmanDiaconisBins`] are the classical reference rules included for
 //! comparison.
 
-use selest_core::Domain;
-use selest_math::{psi_plug_in, robust_scale};
+use selest_core::{Domain, PreparedColumn};
+use selest_math::{psi_plug_in, psi_plug_in_sorted, robust_scale, PsiStrategy};
 
 /// `(24 sqrt(pi))^(1/3)`, the constant of equation (8); also known as
 /// Scott's rule constant 3.4908.
@@ -47,6 +47,14 @@ pub trait BinRule {
     /// Number of bins for this sample over this domain.
     fn bins(&self, samples: &[f64], domain: &Domain) -> usize;
 
+    /// Number of bins from a prepared column. The default delegates to
+    /// [`BinRule::bins`] over the column's original-order sample; rules
+    /// that sort or compute order statistics override it to reuse the
+    /// column's shared sorted slice and cached summary, bit-identically.
+    fn bins_prepared(&self, col: &PreparedColumn) -> usize {
+        self.bins(col.values(), &col.domain())
+    }
+
     /// Short name used in experiment output (`"h-NS"`, ...).
     fn name(&self) -> String;
 }
@@ -62,6 +70,14 @@ impl BinRule for NormalScaleBins {
         assert!(s > 0.0, "normal scale rule: sample is constant");
         let h = normal_scale_bin_constant() * s * (samples.len() as f64).powf(-1.0 / 3.0);
         width_to_bins(h, domain)
+    }
+
+    fn bins_prepared(&self, col: &PreparedColumn) -> usize {
+        assert!(col.len() >= 2, "normal scale rule needs >= 2 samples");
+        let s = col.summary().robust_scale;
+        assert!(s > 0.0, "normal scale rule: sample is constant");
+        let h = normal_scale_bin_constant() * s * (col.len() as f64).powf(-1.0 / 3.0);
+        width_to_bins(h, &col.domain())
     }
 
     fn name(&self) -> String {
@@ -92,6 +108,22 @@ impl BinRule for PlugInBins {
         assert!(r_f_prime > 0.0, "R(f') estimate must be positive");
         let h = optimal_bin_width(samples.len(), r_f_prime);
         width_to_bins(h, domain)
+    }
+
+    fn bins_prepared(&self, col: &PreparedColumn) -> usize {
+        assert!(col.len() >= 2, "plug-in rule needs >= 2 samples");
+        let psi = psi_plug_in_sorted(
+            col.values(),
+            col.sorted(),
+            2,
+            self.stages,
+            PsiStrategy::Auto,
+            selest_par::configured_jobs(),
+        );
+        let r_f_prime = -psi;
+        assert!(r_f_prime > 0.0, "R(f') estimate must be positive");
+        let h = optimal_bin_width(col.len(), r_f_prime);
+        width_to_bins(h, &col.domain())
     }
 
     fn name(&self) -> String {
@@ -129,6 +161,14 @@ impl BinRule for FreedmanDiaconisBins {
         assert!(iqr > 0.0, "Freedman-Diaconis: IQR is zero");
         let h = 2.0 * iqr * (samples.len() as f64).powf(-1.0 / 3.0);
         width_to_bins(h, domain)
+    }
+
+    fn bins_prepared(&self, col: &PreparedColumn) -> usize {
+        assert!(col.len() >= 2, "Freedman-Diaconis needs >= 2 samples");
+        let iqr = selest_math::interquartile_range(col.sorted());
+        assert!(iqr > 0.0, "Freedman-Diaconis: IQR is zero");
+        let h = 2.0 * iqr * (col.len() as f64).powf(-1.0 / 3.0);
+        width_to_bins(h, &col.domain())
     }
 
     fn name(&self) -> String {
@@ -253,12 +293,43 @@ mod tests {
         let small = NormalScaleBins.bins(&normal_sample(200, 100.0), &d);
         let large = NormalScaleBins.bins(&normal_sample(12_800, 100.0), &d);
         let ratio = large as f64 / small as f64;
-        assert!((2.8..=5.6).contains(&ratio), "64x samples: ratio {ratio} (expected ~4)");
+        assert!(
+            (2.8..=5.6).contains(&ratio),
+            "64x samples: ratio {ratio} (expected ~4)"
+        );
     }
 
     #[test]
     fn fixed_bins_pass_through() {
         assert_eq!(FixedBins(17).bins(&[1.0], &Domain::unit()), 17);
         assert_eq!(FixedBins(17).name(), "k=17");
+    }
+
+    #[test]
+    fn prepared_rules_match_slice_rules_exactly() {
+        let d = Domain::new(0.0, 1000.0);
+        // Unsorted sample so the prepared path genuinely exercises the
+        // shared sorted slice.
+        let mut xs = normal_sample(1_000, 100.0);
+        let n = xs.len();
+        for i in 0..n {
+            xs.swap(i, (i * 7919) % n);
+        }
+        let col = PreparedColumn::prepare(&xs, d);
+        let rules: Vec<Box<dyn BinRule>> = vec![
+            Box::new(NormalScaleBins),
+            Box::new(PlugInBins::two_stage()),
+            Box::new(SturgesBins),
+            Box::new(FreedmanDiaconisBins),
+            Box::new(FixedBins(13)),
+        ];
+        for rule in &rules {
+            assert_eq!(
+                rule.bins(&xs, &d),
+                rule.bins_prepared(&col),
+                "{} diverged between slice and prepared paths",
+                rule.name()
+            );
+        }
     }
 }

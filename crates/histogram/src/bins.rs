@@ -43,12 +43,20 @@ impl BinnedHistogram {
         label: &'static str,
     ) -> Self {
         assert!(boundaries.len() >= 2, "need at least one bin");
-        assert_eq!(boundaries.len(), counts.len() + 1, "boundaries/counts mismatch");
+        assert_eq!(
+            boundaries.len(),
+            counts.len() + 1,
+            "boundaries/counts mismatch"
+        );
         assert!(
             boundaries.windows(2).all(|w| w[0] <= w[1]),
             "boundaries must be non-decreasing"
         );
-        assert_eq!(boundaries[0], domain.lo(), "first boundary must be the domain lo");
+        assert_eq!(
+            boundaries[0],
+            domain.lo(),
+            "first boundary must be the domain lo"
+        );
         assert_eq!(
             *boundaries.last().expect("nonempty"),
             domain.hi(),
@@ -56,7 +64,13 @@ impl BinnedHistogram {
         );
         let n_samples: usize = counts.iter().map(|&c| c as usize).sum();
         assert!(n_samples > 0, "histogram of an empty sample");
-        BinnedHistogram { boundaries, counts, n_samples, domain, label }
+        BinnedHistogram {
+            boundaries,
+            counts,
+            n_samples,
+            domain,
+            label,
+        }
     }
 
     /// Number of bins `k`.
@@ -248,8 +262,8 @@ mod tests {
     fn selectivity_is_additive() {
         let h = hist();
         let whole = h.selectivity(&RangeQuery::new(0.5, 8.5));
-        let parts = h.selectivity(&RangeQuery::new(0.5, 4.0))
-            + h.selectivity(&RangeQuery::new(4.0, 8.5));
+        let parts =
+            h.selectivity(&RangeQuery::new(0.5, 4.0)) + h.selectivity(&RangeQuery::new(4.0, 8.5));
         assert!((whole - parts).abs() < 1e-15);
     }
 

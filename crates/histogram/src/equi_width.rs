@@ -49,6 +49,14 @@ pub fn equi_width(samples: &[f64], domain: Domain, k: usize) -> BinnedHistogram 
     BinnedHistogram::new(boundaries, counts, domain, "EWH")
 }
 
+/// [`equi_width`] over a prepared column. Equi-width construction never
+/// sorts (counts are exact integers, so accumulation order is immaterial);
+/// the prepared path exists for API uniformity and consumes the column's
+/// original-order sample, bit-identically to the free function.
+pub fn equi_width_prepared(col: &selest_core::PreparedColumn, k: usize) -> BinnedHistogram {
+    equi_width(col.values(), col.domain(), k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

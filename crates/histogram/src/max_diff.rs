@@ -9,7 +9,7 @@
 //! sampling noise in sparse regions — the reason the paper finds max-diff
 //! clearly inferior there, opposite to the small-domain results of \[8\].
 
-use selest_core::Domain;
+use selest_core::{Domain, PreparedColumn};
 
 use crate::bins::BinnedHistogram;
 
@@ -22,12 +22,25 @@ pub fn max_diff(samples: &[f64], domain: Domain, k: usize) -> BinnedHistogram {
     assert!(!samples.is_empty(), "max_diff needs samples");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+    from_sorted(&sorted, domain, k)
+}
+
+/// [`max_diff`] over a prepared column: reads the shared sorted slice —
+/// no copy, no re-sort. Bit-identical to the unsorted entry point.
+pub fn max_diff_prepared(col: &PreparedColumn, k: usize) -> BinnedHistogram {
+    from_sorted(col.sorted(), col.domain(), k)
+}
+
+/// Gap-cut construction over an already-sorted sample.
+fn from_sorted(sorted: &[f64], domain: Domain, k: usize) -> BinnedHistogram {
+    assert!(k >= 1, "max_diff needs at least one bin");
+    assert!(!sorted.is_empty(), "max_diff needs samples");
     assert!(
         domain.contains(sorted[0]) && domain.contains(*sorted.last().expect("nonempty")),
         "samples outside domain {domain}"
     );
     // Distinct values and the gaps between them.
-    let mut distinct: Vec<f64> = sorted.clone();
+    let mut distinct: Vec<f64> = sorted.to_vec();
     distinct.dedup();
     let n_gaps = distinct.len().saturating_sub(1);
     let n_cuts = (k - 1).min(n_gaps);
@@ -57,7 +70,11 @@ pub fn max_diff(samples: &[f64], domain: Domain, k: usize) -> BinnedHistogram {
     #[allow(clippy::needless_range_loop)] // i indexes boundaries, not an iterable
     for i in 1..=n_bins {
         let hi = boundaries[i];
-        let idx = if i == n_bins { n } else { sorted.partition_point(|&v| v <= hi) };
+        let idx = if i == n_bins {
+            n
+        } else {
+            sorted.partition_point(|&v| v <= hi)
+        };
         counts.push((idx - prev_idx) as u32);
         prev_idx = idx;
     }

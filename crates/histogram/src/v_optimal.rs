@@ -8,7 +8,7 @@
 //! values beyond `max_points` are first coalesced onto an equi-width
 //! micro-grid — the standard practical compromise.
 
-use selest_core::Domain;
+use selest_core::{Domain, PreparedColumn};
 
 use crate::bins::BinnedHistogram;
 
@@ -23,6 +23,29 @@ pub fn v_optimal(samples: &[f64], domain: Domain, k: usize, max_points: usize) -
     assert!(!samples.is_empty(), "v_optimal needs samples");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+    from_sorted(&sorted, domain, k, max_points)
+}
+
+/// [`v_optimal`] over a prepared column: the DP consumes the shared sorted
+/// slice — no copy, no re-sort. Bit-identical to the unsorted entry point.
+pub fn v_optimal_prepared(col: &PreparedColumn, k: usize, max_points: usize) -> BinnedHistogram {
+    v_optimal_from_sorted(col.sorted(), col.domain(), k, max_points)
+}
+
+fn v_optimal_from_sorted(
+    sorted: &[f64],
+    domain: Domain,
+    k: usize,
+    max_points: usize,
+) -> BinnedHistogram {
+    assert!(k >= 1, "v_optimal needs at least one bin");
+    assert!(max_points >= k, "max_points must be at least k");
+    assert!(!sorted.is_empty(), "v_optimal needs samples");
+    from_sorted(sorted, domain, k, max_points)
+}
+
+/// DP construction over an already-sorted sample.
+fn from_sorted(sorted: &[f64], domain: Domain, k: usize, max_points: usize) -> BinnedHistogram {
     assert!(
         domain.contains(sorted[0]) && domain.contains(*sorted.last().expect("nonempty")),
         "samples outside domain {domain}"
@@ -130,7 +153,11 @@ pub fn v_optimal(samples: &[f64], domain: Domain, k: usize, max_points: usize) -
     #[allow(clippy::needless_range_loop)] // i indexes boundaries, not an iterable
     for i in 1..=n_bins {
         let hi = boundaries[i];
-        let idx = if i == n_bins { n } else { sorted.partition_point(|&v| v <= hi) };
+        let idx = if i == n_bins {
+            n
+        } else {
+            sorted.partition_point(|&v| v <= hi)
+        };
         counts.push((idx - prev_idx) as u32);
         prev_idx = idx;
     }

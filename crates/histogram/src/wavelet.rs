@@ -85,7 +85,11 @@ impl WaveletHistogram {
                 let d = 0.5 * (current[2 * i] - current[2 * i + 1]);
                 averages.push(a);
                 if d != 0.0 {
-                    details.push(Detail { level, index: i as u32, value: d });
+                    details.push(Detail {
+                        level,
+                        index: i as u32,
+                        value: d,
+                    });
                 }
             }
             current = averages;
@@ -107,6 +111,14 @@ impl WaveletHistogram {
             details,
             n_samples: samples.len(),
         }
+    }
+
+    /// [`WaveletHistogram::build`] over a prepared column. The Haar
+    /// decomposition starts from exact integer fine-grid counts, so input
+    /// order is immaterial; the prepared path consumes the column's
+    /// original-order sample, bit-identically to the slice constructor.
+    pub fn from_prepared(col: &selest_core::PreparedColumn, grid_log2: u32, budget: usize) -> Self {
+        WaveletHistogram::build(col.values(), col.domain(), grid_log2, budget)
     }
 
     /// Number of retained detail coefficients.
@@ -265,7 +277,8 @@ mod tests {
     fn accuracy_improves_with_budget() {
         let d = Domain::new(0.0, 1_000.0);
         let s = skewed_sample();
-        let truth = |a: f64, b: f64| s.iter().filter(|&&v| v >= a && v <= b).count() as f64 / 1_000.0;
+        let truth =
+            |a: f64, b: f64| s.iter().filter(|&&v| v >= a && v <= b).count() as f64 / 1_000.0;
         let err = |budget: usize| {
             let w = WaveletHistogram::build(&s, d, 8, budget);
             let mut total = 0.0;
@@ -278,7 +291,10 @@ mod tests {
         };
         let coarse = err(4);
         let fine = err(64);
-        assert!(fine < coarse, "budget 64 ({fine}) should beat budget 4 ({coarse})");
+        assert!(
+            fine < coarse,
+            "budget 64 ({fine}) should beat budget 4 ({coarse})"
+        );
     }
 
     #[test]

@@ -108,6 +108,34 @@ impl HybridEstimator {
         );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+        Self::from_sorted(&sorted, domain, config)
+    }
+
+    /// [`HybridEstimator::new`] over a prepared column: change-point
+    /// detection, bin counting, and per-bin fits all read the column's
+    /// shared sorted slice — no copy, no re-sort. Bit-identical to the
+    /// unsorted entry points.
+    pub fn from_prepared(col: &selest_core::PreparedColumn) -> Self {
+        Self::from_prepared_with_config(col, &HybridConfig::default())
+    }
+
+    /// [`HybridEstimator::with_config`] over a prepared column.
+    pub fn from_prepared_with_config(
+        col: &selest_core::PreparedColumn,
+        config: &HybridConfig,
+    ) -> Self {
+        assert!(!col.is_empty(), "HybridEstimator needs samples");
+        assert!(
+            (0.0..0.5).contains(&config.min_bin_fraction),
+            "min_bin_fraction out of [0, 0.5): {}",
+            config.min_bin_fraction
+        );
+        Self::from_sorted(col.sorted(), col.domain(), config)
+    }
+
+    /// Change-point partition, bin merge, and per-bin fits over an
+    /// already-sorted sample.
+    fn from_sorted(sorted: &[f64], domain: Domain, config: &HybridConfig) -> Self {
         assert!(
             domain.contains(sorted[0]) && domain.contains(*sorted.last().expect("nonempty")),
             "samples outside domain {domain}"
@@ -119,7 +147,7 @@ impl HybridEstimator {
         boundaries.extend(
             config
                 .detector
-                .change_points(&sorted, &domain)
+                .change_points(sorted, &domain)
                 .into_iter()
                 .filter(|&c| c > domain.lo() && c < domain.hi()),
         );
@@ -166,9 +194,18 @@ impl HybridEstimator {
             let bin_samples = &sorted[i0..i1];
             let weight = bin_samples.len() as f64 / n as f64;
             let model = Self::fit_bin(bin_samples, lo, hi, config);
-            bins.push(HybridBin { lo, hi, weight, model });
+            bins.push(HybridBin {
+                lo,
+                hi,
+                weight,
+                model,
+            });
         }
-        HybridEstimator { bins, domain, n_samples: n }
+        HybridEstimator {
+            bins,
+            domain,
+            n_samples: n,
+        }
     }
 
     fn fit_bin(bin_samples: &[f64], lo: f64, hi: f64, config: &HybridConfig) -> BinModel {
@@ -299,8 +336,9 @@ mod tests {
     /// Dense uniform on [0, 50), sparse uniform on [50, 100): a density
     /// with one sharp change point.
     fn step_sample(n_dense: usize, n_sparse: usize) -> Vec<f64> {
-        let mut v: Vec<f64> =
-            (0..n_dense).map(|i| 50.0 * (i as f64 + 0.5) / n_dense as f64).collect();
+        let mut v: Vec<f64> = (0..n_dense)
+            .map(|i| 50.0 * (i as f64 + 0.5) / n_dense as f64)
+            .collect();
         v.extend((0..n_sparse).map(|i| 50.0 + 50.0 * (i as f64 + 0.5) / n_sparse as f64));
         v
     }
@@ -370,7 +408,9 @@ mod tests {
         struct Splinter;
         impl ChangePointDetector for Splinter {
             fn change_points(&self, _s: &[f64], d: &Domain) -> Vec<f64> {
-                (1..20).map(|i| d.lo() + d.width() * i as f64 / 20.0).collect()
+                (1..20)
+                    .map(|i| d.lo() + d.width() * i as f64 / 20.0)
+                    .collect()
             }
             fn name(&self) -> String {
                 "splinter".into()
@@ -430,7 +470,9 @@ mod tests {
     fn uniform_data_stays_close_to_truth() {
         // No change points to find: the hybrid degenerates to (roughly) a
         // single kernel estimator and must stay accurate.
-        let samples: Vec<f64> = (0..1_000).map(|i| 100.0 * (i as f64 + 0.5) / 1_000.0).collect();
+        let samples: Vec<f64> = (0..1_000)
+            .map(|i| 100.0 * (i as f64 + 0.5) / 1_000.0)
+            .collect();
         let est = HybridEstimator::new(&samples, dom());
         for (a, b, truth) in [(10.0, 20.0, 0.1), (0.0, 50.0, 0.5), (90.0, 100.0, 0.1)] {
             let s = est.selectivity(&RangeQuery::new(a, b));

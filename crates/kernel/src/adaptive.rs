@@ -51,10 +51,44 @@ impl AdaptiveKernelEstimator {
         boundary: AdaptiveBoundary,
     ) -> Self {
         assert!(!samples.is_empty(), "AdaptiveKernelEstimator needs samples");
-        assert!(h0.is_finite() && h0 > 0.0, "pilot bandwidth must be positive");
+        assert!(
+            h0.is_finite() && h0 > 0.0,
+            "pilot bandwidth must be positive"
+        );
         assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]: {alpha}");
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+        Self::from_sorted(&sorted, domain, kernel, h0, alpha, boundary)
+    }
+
+    /// [`AdaptiveKernelEstimator::new`] over a prepared column: the pilot
+    /// pass reads the column's shared sorted slice directly — no copy, no
+    /// re-sort. Bit-identical to the unsorted entry point.
+    pub fn from_prepared(
+        col: &selest_core::PreparedColumn,
+        kernel: KernelFn,
+        h0: f64,
+        alpha: f64,
+        boundary: AdaptiveBoundary,
+    ) -> Self {
+        assert!(!col.is_empty(), "AdaptiveKernelEstimator needs samples");
+        assert!(
+            h0.is_finite() && h0 > 0.0,
+            "pilot bandwidth must be positive"
+        );
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]: {alpha}");
+        Self::from_sorted(col.sorted(), col.domain(), kernel, h0, alpha, boundary)
+    }
+
+    /// Pilot pass and assembly over an already-sorted sample.
+    fn from_sorted(
+        sorted: &[f64],
+        domain: Domain,
+        kernel: KernelFn,
+        h0: f64,
+        alpha: f64,
+        boundary: AdaptiveBoundary,
+    ) -> Self {
         assert!(
             domain.contains(sorted[0]) && domain.contains(*sorted.last().expect("nonempty")),
             "samples outside domain {domain}"
@@ -68,12 +102,19 @@ impl AdaptiveKernelEstimator {
         let pilot_of = |x: f64| {
             let lo = sorted.partition_point(|&v| v < x - reach);
             let hi = sorted.partition_point(|&v| v <= x + reach);
-            let sum: f64 = sorted[lo..hi].iter().map(|&v| kernel.eval((x - v) / h0)).sum();
+            let sum: f64 = sorted[lo..hi]
+                .iter()
+                .map(|&v| kernel.eval((x - v) / h0))
+                .sum();
             // Floor: an isolated sample still sees its own bump.
             (sum / (n * h0)).max(kernel.eval(0.0) / (n * h0))
         };
-        let jobs = if sorted.len() < 2_048 { 1 } else { selest_par::configured_jobs() };
-        let pilot: Vec<f64> = selest_par::parallel_chunks_jobs(&sorted, 256, jobs, |chunk| {
+        let jobs = if sorted.len() < 2_048 {
+            1
+        } else {
+            selest_par::configured_jobs()
+        };
+        let pilot: Vec<f64> = selest_par::parallel_chunks_jobs(sorted, 256, jobs, |chunk| {
             chunk.iter().map(|&x| pilot_of(x)).collect::<Vec<f64>>()
         })
         .into_iter()
@@ -91,7 +132,13 @@ impl AdaptiveKernelEstimator {
             .map(|(&x, &p)| (x, (h0 * (p / g).powf(-alpha)).min(cap)))
             .collect();
         let h_max = samples.iter().map(|s| s.1).fold(0.0, f64::max);
-        AdaptiveKernelEstimator { samples, kernel, h_max, domain, boundary }
+        AdaptiveKernelEstimator {
+            samples,
+            kernel,
+            h_max,
+            domain,
+            boundary,
+        }
     }
 
     /// The largest per-sample bandwidth.
@@ -101,7 +148,10 @@ impl AdaptiveKernelEstimator {
 
     /// The smallest per-sample bandwidth.
     pub fn min_bandwidth(&self) -> f64 {
-        self.samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min)
+        self.samples
+            .iter()
+            .map(|s| s.1)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Number of samples.
@@ -215,7 +265,9 @@ mod tests {
     /// Spiky data: dense cluster + sparse tail, where fixed bandwidths
     /// must compromise.
     fn spiky() -> Vec<f64> {
-        let mut v: Vec<f64> = (0..800).map(|i| 100.0 + 20.0 * (i as f64 + 0.5) / 800.0).collect();
+        let mut v: Vec<f64> = (0..800)
+            .map(|i| 100.0 + 20.0 * (i as f64 + 0.5) / 800.0)
+            .collect();
         v.extend((0..200).map(|i| 200.0 + 800.0 * (i as f64 + 0.5) / 200.0));
         v
     }
@@ -225,10 +277,19 @@ mod tests {
         let s = spiky();
         let h = 25.0;
         let adaptive = AdaptiveKernelEstimator::new(
-            &s, dom(), KernelFn::Epanechnikov, h, 0.0, AdaptiveBoundary::NoTreatment,
+            &s,
+            dom(),
+            KernelFn::Epanechnikov,
+            h,
+            0.0,
+            AdaptiveBoundary::NoTreatment,
         );
         let fixed = KernelEstimator::new(
-            &s, dom(), KernelFn::Epanechnikov, h, BoundaryPolicy::NoTreatment,
+            &s,
+            dom(),
+            KernelFn::Epanechnikov,
+            h,
+            BoundaryPolicy::NoTreatment,
         );
         for (a, b) in [(0.0, 1_000.0), (90.0, 130.0), (400.0, 700.0)] {
             let q = RangeQuery::new(a, b);
@@ -245,7 +306,12 @@ mod tests {
     fn bandwidths_shrink_in_dense_regions() {
         let s = spiky();
         let est = AdaptiveKernelEstimator::new(
-            &s, dom(), KernelFn::Epanechnikov, 30.0, 0.5, AdaptiveBoundary::NoTreatment,
+            &s,
+            dom(),
+            KernelFn::Epanechnikov,
+            30.0,
+            0.5,
+            AdaptiveBoundary::NoTreatment,
         );
         // Cluster samples (values near 110) must get much smaller h than
         // tail samples (values near 900).
@@ -293,10 +359,19 @@ mod tests {
         let h0 = NormalScale.bandwidth(&s, KernelFn::Epanechnikov);
         assert!(h0 > 100.0, "premise: the fixed rule oversmooths, h0 = {h0}");
         let fixed = KernelEstimator::new(
-            &s, dom(), KernelFn::Epanechnikov, h0, BoundaryPolicy::Reflection,
+            &s,
+            dom(),
+            KernelFn::Epanechnikov,
+            h0,
+            BoundaryPolicy::Reflection,
         );
         let adaptive = AdaptiveKernelEstimator::new(
-            &s, dom(), KernelFn::Epanechnikov, h0, 0.5, AdaptiveBoundary::Reflection,
+            &s,
+            dom(),
+            KernelFn::Epanechnikov,
+            h0,
+            0.5,
+            AdaptiveBoundary::Reflection,
         );
         let mut fixed_err = 0.0;
         let mut adaptive_err = 0.0;
@@ -318,7 +393,12 @@ mod tests {
     #[test]
     fn full_domain_mass_with_reflection_is_one() {
         let est = AdaptiveKernelEstimator::new(
-            &spiky(), dom(), KernelFn::Epanechnikov, 30.0, 0.5, AdaptiveBoundary::Reflection,
+            &spiky(),
+            dom(),
+            KernelFn::Epanechnikov,
+            30.0,
+            0.5,
+            AdaptiveBoundary::Reflection,
         );
         let s = est.selectivity(&RangeQuery::new(0.0, 1_000.0));
         assert!((s - 1.0).abs() < 1e-9, "mass {s}");
@@ -327,7 +407,12 @@ mod tests {
     #[test]
     fn selectivity_matches_density_quadrature() {
         let est = AdaptiveKernelEstimator::new(
-            &spiky(), dom(), KernelFn::Epanechnikov, 30.0, 0.5, AdaptiveBoundary::Reflection,
+            &spiky(),
+            dom(),
+            KernelFn::Epanechnikov,
+            30.0,
+            0.5,
+            AdaptiveBoundary::Reflection,
         );
         for (a, b) in [(50.0, 250.0), (300.0, 900.0)] {
             let q = RangeQuery::new(a, b);
@@ -343,7 +428,12 @@ mod tests {
     #[test]
     fn works_with_gaussian_kernel_too() {
         let est = AdaptiveKernelEstimator::new(
-            &spiky(), dom(), KernelFn::Gaussian, 20.0, 0.5, AdaptiveBoundary::Reflection,
+            &spiky(),
+            dom(),
+            KernelFn::Gaussian,
+            20.0,
+            0.5,
+            AdaptiveBoundary::Reflection,
         );
         let s = est.selectivity(&RangeQuery::new(0.0, 1_000.0));
         assert!((s - 1.0).abs() < 1e-6, "mass {s}");

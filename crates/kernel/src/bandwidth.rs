@@ -18,7 +18,8 @@
 //!   score, a fully data-driven unbiased risk estimate.
 //! * [`FixedBandwidth`] pins `h`, for oracle searches and experiments.
 
-use selest_math::{brent_min, psi_plug_in_with, robust_scale, PsiStrategy};
+use selest_core::PreparedColumn;
+use selest_math::{brent_min, psi_plug_in_sorted, psi_plug_in_with, robust_scale, PsiStrategy};
 
 use crate::kernels::KernelFn;
 
@@ -26,6 +27,15 @@ use crate::kernels::KernelFn;
 pub trait BandwidthSelector {
     /// Compute the bandwidth for the given sample and kernel.
     fn bandwidth(&self, samples: &[f64], kernel: KernelFn) -> f64;
+
+    /// Bandwidth from a prepared column. The default delegates to
+    /// [`BandwidthSelector::bandwidth`] over the column's original-order
+    /// sample; selectors that sort or compute order statistics override it
+    /// to reuse the column's shared sorted slice and cached summary,
+    /// bit-identically.
+    fn bandwidth_prepared(&self, col: &PreparedColumn, kernel: KernelFn) -> f64 {
+        self.bandwidth(col.values(), kernel)
+    }
 
     /// Short name used in experiment output (`"h-NS"`, `"h-DPI2"`, ...).
     fn name(&self) -> String;
@@ -45,7 +55,10 @@ pub fn normal_scale_constant(kernel: KernelFn) -> f64 {
 /// `h = ( R(K) / (k2^2 R(f'') n) )^(1/5)`.
 pub fn amise_optimal_bandwidth(kernel: KernelFn, n: usize, r_f_second: f64) -> f64 {
     assert!(n > 0, "amise_optimal_bandwidth needs samples");
-    assert!(r_f_second > 0.0, "R(f'') must be positive, got {r_f_second}");
+    assert!(
+        r_f_second > 0.0,
+        "R(f'') must be positive, got {r_f_second}"
+    );
     let k2 = kernel.second_moment();
     (kernel.roughness() / (k2 * k2 * r_f_second * n as f64)).powf(0.2)
 }
@@ -84,6 +97,16 @@ impl BandwidthSelector for NormalScale {
         normal_scale_constant(kernel) * s * (samples.len() as f64).powf(-0.2)
     }
 
+    fn bandwidth_prepared(&self, col: &PreparedColumn, kernel: KernelFn) -> f64 {
+        assert!(col.len() >= 2, "normal scale rule needs >= 2 samples");
+        let s = col.summary().robust_scale;
+        assert!(
+            s > 0.0,
+            "normal scale rule: sample is constant, no scale to estimate"
+        );
+        normal_scale_constant(kernel) * s * (col.len() as f64).powf(-0.2)
+    }
+
     fn name(&self) -> String {
         "h-NS".into()
     }
@@ -109,13 +132,19 @@ pub struct DirectPlugIn {
 impl DirectPlugIn {
     /// The paper's choice: two stages, fast-path functional sums.
     pub fn two_stage() -> Self {
-        DirectPlugIn { stages: 2, strategy: PsiStrategy::Auto }
+        DirectPlugIn {
+            stages: 2,
+            strategy: PsiStrategy::Auto,
+        }
     }
 
     /// Two stages over the naive `O(n^2)` oracle sum — slow; exists so
     /// benches and tests can quantify the fast paths' drift.
     pub fn two_stage_naive() -> Self {
-        DirectPlugIn { stages: 2, strategy: PsiStrategy::Naive }
+        DirectPlugIn {
+            stages: 2,
+            strategy: PsiStrategy::Naive,
+        }
     }
 
     /// Replace the functional-sum strategy.
@@ -136,6 +165,20 @@ impl BandwidthSelector for DirectPlugIn {
         );
         assert!(psi4 > 0.0, "psi_4 estimate must be positive, got {psi4}");
         amise_optimal_bandwidth(kernel, samples.len(), psi4)
+    }
+
+    fn bandwidth_prepared(&self, col: &PreparedColumn, kernel: KernelFn) -> f64 {
+        assert!(col.len() >= 2, "plug-in rule needs >= 2 samples");
+        let psi4 = psi_plug_in_sorted(
+            col.values(),
+            col.sorted(),
+            4,
+            self.stages,
+            self.strategy,
+            selest_par::configured_jobs(),
+        );
+        assert!(psi4 > 0.0, "psi_4 estimate must be positive, got {psi4}");
+        amise_optimal_bandwidth(kernel, col.len(), psi4)
     }
 
     fn name(&self) -> String {
@@ -236,6 +279,15 @@ impl BandwidthSelector for Lscv {
         res.x.exp()
     }
 
+    fn bandwidth_prepared(&self, col: &PreparedColumn, kernel: KernelFn) -> f64 {
+        let pivot = NormalScale.bandwidth_prepared(col, kernel);
+        let sorted = col.sorted();
+        let lo = (pivot / 16.0).ln();
+        let hi = (4.0 * pivot).ln();
+        let res = brent_min(|lh| lscv_score(sorted, kernel, lh.exp()), lo, hi, 1e-4);
+        res.x.exp()
+    }
+
     fn name(&self) -> String {
         "h-LSCV".into()
     }
@@ -286,7 +338,10 @@ mod tests {
         let h = NormalScale.bandwidth(&xs, KernelFn::Epanechnikov);
         let s = robust_scale(&xs);
         let expect = 2.3449 * s * 1000f64.powf(-0.2);
-        assert!((h - expect).abs() < 1e-3 * expect, "h = {h}, expect {expect}");
+        assert!(
+            (h - expect).abs() < 1e-3 * expect,
+            "h = {h}, expect {expect}"
+        );
     }
 
     #[test]
@@ -403,12 +458,44 @@ mod tests {
 
     #[test]
     fn fixed_bandwidth_passes_through() {
-        assert_eq!(FixedBandwidth(3.5).bandwidth(&[1.0, 2.0], KernelFn::Gaussian), 3.5);
+        assert_eq!(
+            FixedBandwidth(3.5).bandwidth(&[1.0, 2.0], KernelFn::Gaussian),
+            3.5
+        );
     }
 
     #[test]
     #[should_panic(expected = "sample is constant")]
     fn normal_scale_rejects_constant_samples() {
         let _ = NormalScale.bandwidth(&[2.0, 2.0, 2.0], KernelFn::Epanechnikov);
+    }
+
+    #[test]
+    fn prepared_selectors_match_slice_selectors_exactly() {
+        // Unsorted sample so the prepared path genuinely exercises the
+        // shared sorted slice and cached summary.
+        let mut xs = normal_sample(900, 2.0);
+        let n = xs.len();
+        for i in 0..n {
+            xs.swap(i, (i * 7919) % n);
+        }
+        let col = PreparedColumn::prepare(&xs, selest_core::Domain::new(-20.0, 20.0));
+        let selectors: Vec<Box<dyn BandwidthSelector>> = vec![
+            Box::new(NormalScale),
+            Box::new(DirectPlugIn::two_stage()),
+            Box::new(DirectPlugIn::two_stage_naive()),
+            Box::new(Lscv),
+            Box::new(FixedBandwidth(1.25)),
+        ];
+        for sel in &selectors {
+            let legacy = sel.bandwidth(&xs, KernelFn::Epanechnikov);
+            let prepared = sel.bandwidth_prepared(&col, KernelFn::Epanechnikov);
+            assert_eq!(
+                legacy.to_bits(),
+                prepared.to_bits(),
+                "{}: legacy h {legacy} vs prepared h {prepared}",
+                sel.name()
+            );
+        }
     }
 }

@@ -42,15 +42,27 @@ fn pack_cut(v: f64, upper: bool, index: usize) -> CutKey {
     debug_assert!(v.is_finite(), "cut values are finite");
     debug_assert!(index <= u32::MAX as usize);
     let bits = v.to_bits();
-    let ord = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+    let ord = if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    };
     ((ord as u128) << 33) | ((upper as u128) << 32) | index as u128
 }
 
 /// Exact inverse of `pack_cut`'s value map.
 fn unpack_cut(key: CutKey) -> (f64, bool, usize) {
     let ord = (key >> 33) as u64;
-    let bits = if ord >> 63 == 1 { ord & !(1 << 63) } else { !ord };
-    (f64::from_bits(bits), (key >> 32) & 1 == 1, (key & u128::from(u32::MAX)) as usize)
+    let bits = if ord >> 63 == 1 {
+        ord & !(1 << 63)
+    } else {
+        !ord
+    };
+    (
+        f64::from_bits(bits),
+        (key >> 32) & 1 == 1,
+        (key & u128::from(u32::MAX)) as usize,
+    )
 }
 
 /// One raw-mass term of a query plan: the clipped integration bounds plus
@@ -162,8 +174,12 @@ fn eval_raw_term(
 ) -> f64 {
     let idx = &resolved[term.cut0..];
     if term.wide {
-        let (i0, i1, i2, i3) =
-            (idx[0] as usize, idx[1] as usize, idx[2] as usize, idx[3] as usize);
+        let (i0, i1, i2, i3) = (
+            idx[0] as usize,
+            idx[1] as usize,
+            idx[2] as usize,
+            idx[3] as usize,
+        );
         let mut s = (i2 - i1) as f64;
         for &x in sorted[i0..i1].iter().chain(&sorted[i2..i3]) {
             s += cdf((term.b - x) / h) - cdf((term.a - x) / h);
@@ -365,7 +381,10 @@ mod tests {
         // Interior, boundary-flush, overhanging, degenerate-narrow, full.
         for i in 0..40 {
             let a = (i as f64 * 13.7) % 95.0;
-            qs.push(RangeQuery::new(a, (a + 3.0 + (i % 7) as f64 * 5.0).min(100.0)));
+            qs.push(RangeQuery::new(
+                a,
+                (a + 3.0 + (i % 7) as f64 * 5.0).min(100.0),
+            ));
         }
         qs.push(RangeQuery::new(0.0, 4.0));
         qs.push(RangeQuery::new(96.0, 100.0));
@@ -456,7 +475,11 @@ mod tests {
         let samples = sample(800);
         let domain = Domain::new(0.0, 100.0);
         let qs = queries();
-        for kernel in [KernelFn::Epanechnikov, KernelFn::Gaussian, KernelFn::Biweight] {
+        for kernel in [
+            KernelFn::Epanechnikov,
+            KernelFn::Gaussian,
+            KernelFn::Biweight,
+        ] {
             for policy in [
                 BoundaryPolicy::NoTreatment,
                 BoundaryPolicy::Reflection,

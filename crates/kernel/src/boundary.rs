@@ -57,7 +57,10 @@ impl BoundaryPolicy {
 
 /// The left-boundary kernel `K^(l)(u, q)` for `u in [-1, q]`, `q in [0, 1]`.
 pub fn left_boundary_kernel(u: f64, q: f64) -> f64 {
-    debug_assert!((0.0..=1.0).contains(&q), "boundary kernel shape q={q} out of [0,1]");
+    debug_assert!(
+        (0.0..=1.0).contains(&q),
+        "boundary kernel shape q={q} out of [0,1]"
+    );
     if u < -1.0 || u > q {
         return 0.0;
     }
@@ -148,7 +151,12 @@ mod tests {
             // is nonzero at u = -1); quadrature only the supported part,
             // where the integrand is smooth.
             let lo = (c - 1.0).clamp(v0, v1);
-            let num = simpson(|v| left_boundary_kernel(v - c, v.clamp(0.0, 1.0)), lo, v1, 20_000);
+            let num = simpson(
+                |v| left_boundary_kernel(v - c, v.clamp(0.0, 1.0)),
+                lo,
+                v1,
+                20_000,
+            );
             assert!(
                 (exact - num).abs() < 1e-9,
                 "(v0={v0}, v1={v1}, c={c}): exact {exact} vs quadrature {num}"

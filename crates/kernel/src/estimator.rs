@@ -22,7 +22,9 @@
 //! printed sign the estimator would be wildly inconsistent (a test pins
 //! this down).
 
-use selest_core::{DensityEstimator, Domain, RangeQuery, SelectivityEstimator};
+use std::sync::Arc;
+
+use selest_core::{DensityEstimator, Domain, PreparedColumn, RangeQuery, SelectivityEstimator};
 
 use crate::boundary::{left_boundary_integral, left_boundary_kernel, BoundaryPolicy};
 use crate::kernels::KernelFn;
@@ -49,7 +51,9 @@ use crate::kernels::KernelFn;
 /// ```
 #[derive(Debug, Clone)]
 pub struct KernelEstimator {
-    sorted: Vec<f64>,
+    /// Arc-shared so [`KernelEstimator::from_prepared`] borrows the
+    /// column's sorted sample (and `Clone` is a ref-count bump).
+    sorted: Arc<[f64]>,
     kernel: KernelFn,
     h: f64,
     domain: Domain,
@@ -91,13 +95,61 @@ impl KernelEstimator {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample set"));
+        Self::from_sorted_arc(sorted.into(), domain, kernel, bandwidth, boundary)
+    }
+
+    /// Build from a prepared column, borrowing its shared sorted sample
+    /// (a ref-count bump — no copy, no re-sort). Same panics as
+    /// [`KernelEstimator::new`], and bit-identical results over the same
+    /// sample.
+    pub fn from_prepared(
+        col: &PreparedColumn,
+        kernel: KernelFn,
+        bandwidth: f64,
+        boundary: BoundaryPolicy,
+    ) -> Self {
+        assert!(!col.is_empty(), "KernelEstimator needs samples");
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive and finite, got {bandwidth}"
+        );
+        if boundary == BoundaryPolicy::BoundaryKernel {
+            assert!(
+                kernel == KernelFn::Epanechnikov,
+                "boundary kernels are derived for the Epanechnikov kernel, not {}",
+                kernel.name()
+            );
+            assert!(
+                bandwidth <= 0.5 * col.domain().width(),
+                "bandwidth {bandwidth} exceeds half the domain width {}; \
+                 the boundary strips would overlap",
+                col.domain().width()
+            );
+        }
+        Self::from_sorted_arc(col.sorted_arc(), col.domain(), kernel, bandwidth, boundary)
+    }
+
+    /// Domain check and assembly over an already-sorted shared sample.
+    fn from_sorted_arc(
+        sorted: Arc<[f64]>,
+        domain: Domain,
+        kernel: KernelFn,
+        bandwidth: f64,
+        boundary: BoundaryPolicy,
+    ) -> Self {
         assert!(
             domain.contains(sorted[0]) && domain.contains(*sorted.last().expect("nonempty")),
             "samples outside the domain {domain}: range [{}, {}]",
             sorted[0],
             sorted.last().expect("nonempty")
         );
-        KernelEstimator { sorted, kernel, h: bandwidth, domain, boundary }
+        KernelEstimator {
+            sorted,
+            kernel,
+            h: bandwidth,
+            domain,
+            boundary,
+        }
     }
 
     /// The bandwidth `h`.
@@ -244,7 +296,7 @@ impl KernelEstimator {
         }
         let reach = self.kernel.support_radius() * self.h;
         let mut s = 0.0;
-        for &x in &self.sorted {
+        for &x in self.sorted.iter() {
             let in_left_strip = x >= a - reach && x <= a + reach;
             let in_right_strip = x >= b - reach && x <= b + reach;
             if x >= a + reach && x <= b - reach {
@@ -344,7 +396,9 @@ mod tests {
 
     /// Deterministic pseudo-uniform samples strictly inside [0, 100].
     fn uniform_samples(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 100.0 * (i as f64 + 0.5) / n as f64).collect()
+        (0..n)
+            .map(|i| 100.0 * (i as f64 + 0.5) / n as f64)
+            .collect()
     }
 
     fn domain() -> Domain {
@@ -362,10 +416,20 @@ mod tests {
     #[test]
     fn sorted_fast_path_matches_algorithm_one() {
         let samples = uniform_samples(400);
-        for kernel in [KernelFn::Epanechnikov, KernelFn::Gaussian, KernelFn::Biweight] {
-            let est = KernelEstimator::new(&samples, domain(), kernel, 4.0,
-                BoundaryPolicy::NoTreatment);
-            for (a, b) in [(10.0, 30.0), (0.0, 5.0), (95.0, 100.0), (49.9, 50.1), (0.0, 100.0)] {
+        for kernel in [
+            KernelFn::Epanechnikov,
+            KernelFn::Gaussian,
+            KernelFn::Biweight,
+        ] {
+            let est =
+                KernelEstimator::new(&samples, domain(), kernel, 4.0, BoundaryPolicy::NoTreatment);
+            for (a, b) in [
+                (10.0, 30.0),
+                (0.0, 5.0),
+                (95.0, 100.0),
+                (49.9, 50.1),
+                (0.0, 100.0),
+            ] {
                 let q = RangeQuery::new(a, b);
                 let fast = est.selectivity(&q);
                 let linear = est.selectivity_linear(&q).clamp(0.0, 1.0);
@@ -385,10 +449,14 @@ mod tests {
         // closed-form boundary-kernel primitives.
         let samples = uniform_samples(150);
         for policy in every_policy() {
-            let est = KernelEstimator::new(
-                &samples, domain(), KernelFn::Epanechnikov, 6.0, policy,
-            );
-            for (a, b) in [(0.0, 10.0), (2.0, 9.0), (40.0, 60.0), (88.0, 100.0), (3.0, 97.0)] {
+            let est = KernelEstimator::new(&samples, domain(), KernelFn::Epanechnikov, 6.0, policy);
+            for (a, b) in [
+                (0.0, 10.0),
+                (2.0, 9.0),
+                (40.0, 60.0),
+                (88.0, 100.0),
+                (3.0, 97.0),
+            ] {
                 let q = RangeQuery::new(a, b);
                 let sel = est.selectivity(&q);
                 let num = simpson(|x| est.density(x), a, b, 20_000);
@@ -406,9 +474,7 @@ mod tests {
         let q = RangeQuery::new(40.0, 55.0); // > h away from both boundaries
         let mut values = Vec::new();
         for policy in every_policy() {
-            let est = KernelEstimator::new(
-                &samples, domain(), KernelFn::Epanechnikov, 5.0, policy,
-            );
+            let est = KernelEstimator::new(&samples, domain(), KernelFn::Epanechnikov, 5.0, policy);
             values.push(est.selectivity(&q));
         }
         assert!((values[0] - values[1]).abs() < 1e-12);
@@ -419,7 +485,11 @@ mod tests {
     fn full_domain_mass_with_reflection_is_one() {
         let samples = uniform_samples(97);
         let est = KernelEstimator::new(
-            &samples, domain(), KernelFn::Epanechnikov, 7.0, BoundaryPolicy::Reflection,
+            &samples,
+            domain(),
+            KernelFn::Epanechnikov,
+            7.0,
+            BoundaryPolicy::Reflection,
         );
         let q = RangeQuery::new(0.0, 100.0);
         assert!((est.selectivity(&q) - 1.0).abs() < 1e-12);
@@ -430,7 +500,11 @@ mod tests {
         // The paper's "loss of weight": mass leaks past the boundaries.
         let samples = uniform_samples(97);
         let est = KernelEstimator::new(
-            &samples, domain(), KernelFn::Epanechnikov, 7.0, BoundaryPolicy::NoTreatment,
+            &samples,
+            domain(),
+            KernelFn::Epanechnikov,
+            7.0,
+            BoundaryPolicy::NoTreatment,
         );
         let s = est.selectivity(&RangeQuery::new(0.0, 100.0));
         assert!(s < 0.99, "expected weight loss, got {s}");
@@ -441,7 +515,11 @@ mod tests {
     fn full_domain_mass_with_boundary_kernels_is_near_one() {
         let samples = uniform_samples(97);
         let est = KernelEstimator::new(
-            &samples, domain(), KernelFn::Epanechnikov, 7.0, BoundaryPolicy::BoundaryKernel,
+            &samples,
+            domain(),
+            KernelFn::Epanechnikov,
+            7.0,
+            BoundaryPolicy::BoundaryKernel,
         );
         let s = est.selectivity(&RangeQuery::new(0.0, 100.0));
         // Consistent but not a density: integral near (and typically above) 1.
@@ -455,9 +533,7 @@ mod tests {
         let samples = uniform_samples(500);
         let q = RangeQuery::new(0.0, 5.0);
         let err = |policy| {
-            let est = KernelEstimator::new(
-                &samples, domain(), KernelFn::Epanechnikov, 8.0, policy,
-            );
+            let est = KernelEstimator::new(&samples, domain(), KernelFn::Epanechnikov, 8.0, policy);
             (est.selectivity(&q) - 0.05f64).abs()
         };
         let untreated = err(BoundaryPolicy::NoTreatment);
@@ -477,9 +553,7 @@ mod tests {
     fn estimates_are_monotone_in_query_extension() {
         let samples = uniform_samples(300);
         for policy in [BoundaryPolicy::NoTreatment, BoundaryPolicy::Reflection] {
-            let est = KernelEstimator::new(
-                &samples, domain(), KernelFn::Epanechnikov, 3.0, policy,
-            );
+            let est = KernelEstimator::new(&samples, domain(), KernelFn::Epanechnikov, 3.0, policy);
             let mut prev = 0.0;
             for i in 1..=20 {
                 let b = 5.0 * i as f64;
@@ -494,7 +568,11 @@ mod tests {
     fn queries_outside_domain_are_clipped() {
         let samples = uniform_samples(100);
         let est = KernelEstimator::new(
-            &samples, domain(), KernelFn::Epanechnikov, 2.0, BoundaryPolicy::Reflection,
+            &samples,
+            domain(),
+            KernelFn::Epanechnikov,
+            2.0,
+            BoundaryPolicy::Reflection,
         );
         let inside = est.selectivity(&RangeQuery::new(0.0, 50.0));
         let overhanging = est.selectivity(&RangeQuery::new(-40.0, 50.0));
@@ -505,7 +583,11 @@ mod tests {
     fn tiny_query_in_dense_region_is_positive() {
         let samples = uniform_samples(1000);
         let est = KernelEstimator::new(
-            &samples, domain(), KernelFn::Epanechnikov, 1.0, BoundaryPolicy::Reflection,
+            &samples,
+            domain(),
+            KernelFn::Epanechnikov,
+            1.0,
+            BoundaryPolicy::Reflection,
         );
         let s = est.selectivity(&RangeQuery::new(50.0, 50.2));
         assert!(s > 0.0005 && s < 0.005, "got {s}");
@@ -515,7 +597,11 @@ mod tests {
     fn density_integrates_to_selectivity_one_bump() {
         // Single sample: the density is one kernel bump.
         let est = KernelEstimator::new(
-            &[50.0], domain(), KernelFn::Epanechnikov, 10.0, BoundaryPolicy::NoTreatment,
+            &[50.0],
+            domain(),
+            KernelFn::Epanechnikov,
+            10.0,
+            BoundaryPolicy::NoTreatment,
         );
         assert!((est.density(50.0) - 0.075).abs() < 1e-12); // K(0)/h = 0.75/10
         assert_eq!(est.density(61.0), 0.0);
@@ -531,7 +617,11 @@ mod tests {
         // i.e. CDF - 1), a query covering the right strip of a point mass
         // would get a negative contribution. Guard our corrected version.
         let est = KernelEstimator::new(
-            &[50.0], domain(), KernelFn::Epanechnikov, 10.0, BoundaryPolicy::NoTreatment,
+            &[50.0],
+            domain(),
+            KernelFn::Epanechnikov,
+            10.0,
+            BoundaryPolicy::NoTreatment,
         );
         // Sample in right strip only: a + h < x, b - h < x < b + h.
         let q = RangeQuery::new(20.0, 55.0);
@@ -545,7 +635,11 @@ mod tests {
     #[should_panic(expected = "boundary kernels are derived for the Epanechnikov")]
     fn boundary_kernels_require_epanechnikov() {
         let _ = KernelEstimator::new(
-            &[1.0, 2.0], domain(), KernelFn::Gaussian, 1.0, BoundaryPolicy::BoundaryKernel,
+            &[1.0, 2.0],
+            domain(),
+            KernelFn::Gaussian,
+            1.0,
+            BoundaryPolicy::BoundaryKernel,
         );
     }
 
@@ -553,7 +647,11 @@ mod tests {
     #[should_panic(expected = "exceeds half the domain width")]
     fn boundary_kernels_reject_huge_bandwidth() {
         let _ = KernelEstimator::new(
-            &[1.0, 2.0], domain(), KernelFn::Epanechnikov, 60.0, BoundaryPolicy::BoundaryKernel,
+            &[1.0, 2.0],
+            domain(),
+            KernelFn::Epanechnikov,
+            60.0,
+            BoundaryPolicy::BoundaryKernel,
         );
     }
 
@@ -561,7 +659,11 @@ mod tests {
     #[should_panic(expected = "samples outside the domain")]
     fn samples_must_lie_in_domain() {
         let _ = KernelEstimator::new(
-            &[1.0, 200.0], domain(), KernelFn::Epanechnikov, 1.0, BoundaryPolicy::NoTreatment,
+            &[1.0, 200.0],
+            domain(),
+            KernelFn::Epanechnikov,
+            1.0,
+            BoundaryPolicy::NoTreatment,
         );
     }
 }

@@ -27,19 +27,30 @@ pub fn bump_decomposition(
 ) -> BumpDecomposition {
     assert!(!samples.is_empty(), "bump_decomposition needs samples");
     assert!(h > 0.0, "bandwidth must be positive");
-    assert!(lo < hi && n_points >= 2, "need lo < hi and at least 2 grid points");
+    assert!(
+        lo < hi && n_points >= 2,
+        "need lo < hi and at least 2 grid points"
+    );
     let n = samples.len() as f64;
     let grid: Vec<f64> = (0..n_points)
         .map(|i| lo + (hi - lo) * i as f64 / (n_points - 1) as f64)
         .collect();
     let bumps: Vec<Vec<f64>> = samples
         .iter()
-        .map(|&s| grid.iter().map(|&x| kernel.eval((x - s) / h) / (n * h)).collect())
+        .map(|&s| {
+            grid.iter()
+                .map(|&x| kernel.eval((x - s) / h) / (n * h))
+                .collect()
+        })
         .collect();
     let estimate: Vec<f64> = (0..n_points)
         .map(|i| bumps.iter().map(|b| b[i]).sum())
         .collect();
-    BumpDecomposition { grid, bumps, estimate }
+    BumpDecomposition {
+        grid,
+        bumps,
+        estimate,
+    }
 }
 
 #[cfg(test)]
@@ -66,7 +77,10 @@ mod tests {
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .unwrap();
-            assert!((d.grid[imax] - s).abs() < 0.06, "bump peak far from sample {s}");
+            assert!(
+                (d.grid[imax] - s).abs() < 0.06,
+                "bump peak far from sample {s}"
+            );
         }
     }
 

@@ -135,8 +135,7 @@ impl KernelFn {
                 } else if t >= 1.0 {
                     1.0
                 } else {
-                    0.5 + 1.09375
-                        * (t - t.powi(3) + 0.6 * t.powi(5) - t.powi(7) / 7.0)
+                    0.5 + 1.09375 * (t - t.powi(3) + 0.6 * t.powi(5) - t.powi(7) / 7.0)
                 }
             }
             KernelFn::Cosine => {
@@ -182,9 +181,7 @@ impl KernelFn {
             KernelFn::Triangular => 2.0 / 3.0,
             KernelFn::Biweight => 5.0 / 7.0,
             KernelFn::Triweight => 350.0 / 429.0,
-            KernelFn::Cosine => {
-                core::f64::consts::PI * core::f64::consts::PI / 16.0
-            }
+            KernelFn::Cosine => core::f64::consts::PI * core::f64::consts::PI / 16.0,
             KernelFn::Gaussian => 0.5 / core::f64::consts::PI.sqrt(),
         }
     }
@@ -204,7 +201,10 @@ impl KernelFn {
             KernelFn::Uniform => Some(((2.0 - a) * 0.25).max(0.0)),
             KernelFn::Gaussian => {
                 // N(0,1) * N(0,1) = N(0,2).
-                Some(selest_math::normal_pdf(u / core::f64::consts::SQRT_2) / core::f64::consts::SQRT_2)
+                Some(
+                    selest_math::normal_pdf(u / core::f64::consts::SQRT_2)
+                        / core::f64::consts::SQRT_2,
+                )
             }
             _ => None,
         }
@@ -290,7 +290,11 @@ mod tests {
         for k in KernelFn::ALL {
             assert!(k.cdf(-RANGE) < 1e-12, "{}", k.name());
             assert!((k.cdf(RANGE) - 1.0).abs() < 1e-12, "{}", k.name());
-            assert!((k.cdf(0.0) - 0.5).abs() < 1e-12, "{} not centered", k.name());
+            assert!(
+                (k.cdf(0.0) - 0.5).abs() < 1e-12,
+                "{} not centered",
+                k.name()
+            );
             let mut prev = -1.0;
             for i in 0..=100 {
                 let t = -2.0 + 4.0 * i as f64 / 100.0;

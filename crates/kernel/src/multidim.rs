@@ -64,7 +64,10 @@ pub struct KernelEstimator2d {
 /// keep the 1-D constant, which is within a few percent of the exact 2-D
 /// value and irrelevant next to the data-driven scale.
 pub fn scott_bandwidth_2d(scale: f64, n: usize) -> f64 {
-    assert!(scale > 0.0 && n > 0, "scott_bandwidth_2d needs scale > 0 and samples");
+    assert!(
+        scale > 0.0 && n > 0,
+        "scott_bandwidth_2d needs scale > 0 and samples"
+    );
     2.345 * scale * (n as f64).powf(-1.0 / 6.0)
 }
 
@@ -97,7 +100,10 @@ pub fn lscv_score_2d_jobs(
     h2: f64,
     jobs: usize,
 ) -> f64 {
-    assert!(h1 > 0.0 && h2 > 0.0, "lscv_score_2d needs positive bandwidths");
+    assert!(
+        h1 > 0.0 && h2 > 0.0,
+        "lscv_score_2d needs positive bandwidths"
+    );
     let n = sorted.len();
     assert!(n >= 2, "lscv_score_2d needs >= 2 samples");
     debug_assert!(
@@ -172,7 +178,15 @@ impl KernelEstimator2d {
         }
         let mut samples = samples.to_vec();
         samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in samples"));
-        KernelEstimator2d { samples, kernel, h1, h2, d1, d2, boundary }
+        KernelEstimator2d {
+            samples,
+            kernel,
+            h1,
+            h2,
+            d1,
+            d2,
+            boundary,
+        }
     }
 
     /// Build with Scott's rule bandwidths per dimension.
@@ -347,7 +361,12 @@ mod tests {
     fn uniform_square_rectangle_mass() {
         let (d1, d2) = doms();
         let est = KernelEstimator2d::new(
-            &uniform_square(2_000), d1, d2, KernelFn::Epanechnikov, 5.0, 5.0,
+            &uniform_square(2_000),
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            5.0,
+            5.0,
             Boundary2d::Reflection,
         );
         let q = RectQuery::new(20.0, 60.0, 30.0, 80.0);
@@ -360,7 +379,12 @@ mod tests {
     fn full_domain_with_reflection_is_one() {
         let (d1, d2) = doms();
         let est = KernelEstimator2d::new(
-            &uniform_square(500), d1, d2, KernelFn::Epanechnikov, 8.0, 8.0,
+            &uniform_square(500),
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            8.0,
+            8.0,
             Boundary2d::Reflection,
         );
         let s = est.selectivity(&RectQuery::new(0.0, 100.0, 0.0, 100.0));
@@ -371,11 +395,21 @@ mod tests {
     fn untreated_corner_queries_lose_mass() {
         let (d1, d2) = doms();
         let raw = KernelEstimator2d::new(
-            &uniform_square(2_000), d1, d2, KernelFn::Epanechnikov, 10.0, 10.0,
+            &uniform_square(2_000),
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            10.0,
+            10.0,
             Boundary2d::NoTreatment,
         );
         let refl = KernelEstimator2d::new(
-            &uniform_square(2_000), d1, d2, KernelFn::Epanechnikov, 10.0, 10.0,
+            &uniform_square(2_000),
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            10.0,
+            10.0,
             Boundary2d::Reflection,
         );
         let corner = RectQuery::new(0.0, 10.0, 0.0, 10.0); // truth 0.01
@@ -402,7 +436,13 @@ mod tests {
         // and oversmooths (that failure mode is what the paper's Section 4
         // is about); here we test the product structure itself.
         let est = KernelEstimator2d::new(
-            &samples, d1, d2, KernelFn::Epanechnikov, 3.0, 3.0, Boundary2d::Reflection,
+            &samples,
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            3.0,
+            3.0,
+            Boundary2d::Reflection,
         );
         let on_diag = est.selectivity(&RectQuery::new(15.0, 35.0, 15.0, 35.0));
         let off_diag = est.selectivity(&RectQuery::new(15.0, 35.0, 65.0, 85.0));
@@ -414,7 +454,12 @@ mod tests {
     fn density_matches_selectivity_by_quadrature() {
         let (d1, d2) = doms();
         let est = KernelEstimator2d::new(
-            &uniform_square(100), d1, d2, KernelFn::Epanechnikov, 12.0, 12.0,
+            &uniform_square(100),
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            12.0,
+            12.0,
             Boundary2d::Reflection,
         );
         // Midpoint 2-D quadrature of the density over a rectangle.
@@ -430,7 +475,10 @@ mod tests {
             }
         }
         let s = est.selectivity(&q);
-        assert!((s - mass).abs() < 5e-3, "selectivity {s} vs quadrature {mass}");
+        assert!(
+            (s - mass).abs() < 5e-3,
+            "selectivity {s} vs quadrature {mass}"
+        );
     }
 
     #[test]
@@ -439,7 +487,10 @@ mod tests {
         let h_large = scott_bandwidth_2d(1.0, 10_000);
         // n^{-1/6}: two decades of n shrink h by 100^(1/6) ~ 2.15.
         let ratio = h_small / h_large;
-        assert!((ratio - 100f64.powf(1.0 / 6.0)).abs() < 1e-9, "ratio {ratio}");
+        assert!(
+            (ratio - 100f64.powf(1.0 / 6.0)).abs() < 1e-9,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -449,8 +500,14 @@ mod tests {
         let good = lscv_score_2d(&pts, KernelFn::Epanechnikov, 8.0, 8.0);
         let tiny = lscv_score_2d(&pts, KernelFn::Epanechnikov, 0.05, 0.05);
         let huge = lscv_score_2d(&pts, KernelFn::Epanechnikov, 300.0, 300.0);
-        assert!(good < tiny, "undersmoothing should score worse: {good} vs {tiny}");
-        assert!(good < huge, "oversmoothing should score worse: {good} vs {huge}");
+        assert!(
+            good < tiny,
+            "undersmoothing should score worse: {good} vs {tiny}"
+        );
+        assert!(
+            good < huge,
+            "oversmoothing should score worse: {good} vs {huge}"
+        );
     }
 
     #[test]
@@ -466,10 +523,18 @@ mod tests {
             .collect();
         let (d1, d2) = doms();
         let scott = KernelEstimator2d::with_scott_rule(
-            &pts, d1, d2, KernelFn::Epanechnikov, Boundary2d::Reflection,
+            &pts,
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            Boundary2d::Reflection,
         );
         let lscv = KernelEstimator2d::with_lscv_scaled_scott(
-            &pts, d1, d2, KernelFn::Epanechnikov, Boundary2d::Reflection,
+            &pts,
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            Boundary2d::Reflection,
         );
         assert!(
             lscv.bandwidths().1 < 0.5 * scott.bandwidths().1,
@@ -493,7 +558,12 @@ mod tests {
     fn samples_must_be_inside_both_domains() {
         let (d1, d2) = doms();
         let _ = KernelEstimator2d::new(
-            &[(50.0, 200.0)], d1, d2, KernelFn::Epanechnikov, 1.0, 1.0,
+            &[(50.0, 200.0)],
+            d1,
+            d2,
+            KernelFn::Epanechnikov,
+            1.0,
+            1.0,
             Boundary2d::NoTreatment,
         );
     }

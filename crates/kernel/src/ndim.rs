@@ -27,7 +27,10 @@ impl BoxQuery {
     pub fn new(bounds: Vec<(f64, f64)>) -> Self {
         assert!(!bounds.is_empty(), "BoxQuery needs at least one dimension");
         for &(a, b) in &bounds {
-            assert!(a <= b, "BoxQuery needs a <= b per dimension, got ({a}, {b})");
+            assert!(
+                a <= b,
+                "BoxQuery needs a <= b per dimension, got ({a}, {b})"
+            );
         }
         BoxQuery { bounds }
     }
@@ -94,7 +97,10 @@ impl NdKernelEstimator {
         let d = domains.len();
         assert!(d >= 1, "need at least one dimension");
         assert_eq!(bandwidths.len(), d, "one bandwidth per dimension");
-        assert!(bandwidths.iter().all(|&h| h > 0.0), "bandwidths must be positive");
+        assert!(
+            bandwidths.iter().all(|&h| h > 0.0),
+            "bandwidths must be positive"
+        );
         for s in samples {
             assert_eq!(s.len(), d, "sample dimension mismatch");
             for (x, dom) in s.iter().zip(&domains) {
@@ -103,7 +109,12 @@ impl NdKernelEstimator {
         }
         let mut samples = samples.to_vec();
         samples.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN in samples"));
-        NdKernelEstimator { samples, domains, bandwidths, kernel }
+        NdKernelEstimator {
+            samples,
+            domains,
+            bandwidths,
+            kernel,
+        }
     }
 
     /// Build with d-dimensional Scott-rule bandwidths.
@@ -136,9 +147,7 @@ impl NdKernelEstimator {
     /// 1-D mass of `[a, b]` around center `c` with bandwidth `h`, with
     /// reflection at the dimension's domain edges.
     fn axis_mass(&self, c: f64, a: f64, b: f64, h: f64, dom: &Domain) -> f64 {
-        let mass = |a: f64, b: f64| {
-            self.kernel.cdf((b - c) / h) - self.kernel.cdf((a - c) / h)
-        };
+        let mass = |a: f64, b: f64| self.kernel.cdf((b - c) / h) - self.kernel.cdf((a - c) / h);
         let mut m = mass(a, b);
         let reach = self.kernel.support_radius() * h;
         if a < dom.lo() + reach {
@@ -186,7 +195,11 @@ impl NdKernelEstimator {
     /// Estimated density at a point.
     pub fn density(&self, point: &[f64]) -> f64 {
         assert_eq!(point.len(), self.dims(), "point dimension mismatch");
-        if point.iter().zip(&self.domains).any(|(&x, d)| !d.contains(x)) {
+        if point
+            .iter()
+            .zip(&self.domains)
+            .any(|(&x, d)| !d.contains(x))
+        {
             return 0.0;
         }
         let reach0 = self.kernel.support_radius() * self.bandwidths[0];
@@ -228,7 +241,12 @@ mod tests {
     fn lattice(n: usize, d: usize) -> Vec<Vec<f64>> {
         // Per-dimension irrational strides (fractional parts of square
         // roots of primes) so every marginal is equidistributed.
-        let strides = [0.414_213_562_4, 0.732_050_807_6, 0.236_067_977_5, 0.645_751_311_1];
+        let strides = [
+            0.414_213_562_4,
+            0.732_050_807_6,
+            0.236_067_977_5,
+            0.645_751_311_1,
+        ];
         (0..n)
             .map(|i| {
                 (0..d)
@@ -301,9 +319,7 @@ mod tests {
         use crate::multidim::{Boundary2d, KernelEstimator2d, RectQuery};
         let pts2: Vec<(f64, f64)> = lattice(400, 2).into_iter().map(|v| (v[0], v[1])).collect();
         let ptsn: Vec<Vec<f64>> = pts2.iter().map(|&(x, y)| vec![x, y]).collect();
-        let nd = NdKernelEstimator::new(
-            &ptsn, domains(2), KernelFn::Epanechnikov, vec![7.0, 9.0],
-        );
+        let nd = NdKernelEstimator::new(&ptsn, domains(2), KernelFn::Epanechnikov, vec![7.0, 9.0]);
         let two_d = KernelEstimator2d::new(
             &pts2,
             Domain::new(0.0, 100.0),
@@ -338,7 +354,10 @@ mod tests {
             }
         }
         let s = est.selectivity(&q);
-        assert!((s - mass).abs() < 5e-3, "selectivity {s} vs quadrature {mass}");
+        assert!(
+            (s - mass).abs() < 5e-3,
+            "selectivity {s} vs quadrature {mass}"
+        );
     }
 
     #[test]

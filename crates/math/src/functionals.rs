@@ -79,7 +79,10 @@ fn hermite_prob(r: usize, x: f64) -> f64 {
 /// (`r` even):
 /// `psi_r = (-1)^(r/2) r! / ((2 sigma)^(r+1) (r/2)! sqrt(pi))`.
 pub fn psi_normal_scale(r: usize, sigma: f64) -> f64 {
-    assert!(r.is_multiple_of(2), "psi_r vanishes for odd r; asked for r={r}");
+    assert!(
+        r.is_multiple_of(2),
+        "psi_r vanishes for odd r; asked for r={r}"
+    );
     assert!(sigma > 0.0, "psi_normal_scale needs sigma > 0, got {sigma}");
     let half = r / 2;
     let sign = if half.is_multiple_of(2) { 1.0 } else { -1.0 };
@@ -142,7 +145,10 @@ pub const PSI_MAX_BINS: usize = 65_536;
 /// falls back to [`estimate_psi_windowed`].
 pub fn default_psi_bins(range: f64, g: f64) -> Option<usize> {
     assert!(g > 0.0, "default_psi_bins needs a positive bandwidth");
-    assert!(range >= 0.0 && range.is_finite(), "default_psi_bins needs a finite range");
+    assert!(
+        range >= 0.0 && range.is_finite(),
+        "default_psi_bins needs a finite range"
+    );
     // Compare in f64: an astronomical range/g would overflow a usize
     // conversion (and `needed` can be +inf for a subnormal g).
     let needed = (10.0 * range / g).ceil() + 1.0;
@@ -204,7 +210,10 @@ pub fn psi_window_radius(r: usize) -> f64 {
     let mut t = (2.0 * (r.max(1) as f64).sqrt()).max(4.0);
     while envelope(t) > 1e-40 {
         t += 0.25;
-        assert!(t < 64.0, "psi_window_radius: envelope failed to decay (r={r})");
+        assert!(
+            t < 64.0,
+            "psi_window_radius: envelope failed to decay (r={r})"
+        );
     }
     t + 1.0
 }
@@ -255,8 +264,7 @@ pub fn estimate_psi_windowed_jobs(sorted: &[f64], r: usize, g: f64, jobs: usize)
                     break;
                 }
                 let t = d / g;
-                let term =
-                    normal_density_derivative(r, t) + normal_density_derivative(r, -t);
+                let term = normal_density_derivative(r, t) + normal_density_derivative(r, -t);
                 // Kahan-compensated accumulation; comp holds how much the
                 // last addition overshot, so the finish subtracts it.
                 let y = term - comp;
@@ -293,8 +301,13 @@ pub fn estimate_psi_binned(samples: &[f64], r: usize, g: f64, bins: usize) -> f6
     let norm = n * n * g.powi(r as i32 + 1);
     let (lo, hi) = samples
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
-    assert!(lo.is_finite() && hi.is_finite(), "non-finite sample in estimate_psi_binned");
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+    assert!(
+        lo.is_finite() && hi.is_finite(),
+        "non-finite sample in estimate_psi_binned"
+    );
     if hi == lo {
         // Degenerate sample: every pair sits at distance zero.
         return n * n * normal_density_derivative(r, 0.0) / norm;
@@ -325,8 +338,7 @@ pub fn estimate_psi_binned(samples: &[f64], r: usize, g: f64, bins: usize) -> f6
             continue;
         }
         let t = lag as f64 * delta / g;
-        let term =
-            a * (normal_density_derivative(r, t) + normal_density_derivative(r, -t));
+        let term = a * (normal_density_derivative(r, t) + normal_density_derivative(r, -t));
         // Kahan recurrence: comp holds the overshoot of the last addition.
         let y = term - comp;
         let s = sum + y;
@@ -361,7 +373,13 @@ pub fn pilot_bandwidth(r: usize, psi_next: f64, n: usize) -> f64 {
 /// the configured worker count; use [`psi_plug_in_with`] with
 /// [`PsiStrategy::Naive`] to reproduce the seed's exact arithmetic.
 pub fn psi_plug_in(samples: &[f64], r: usize, stages: usize) -> f64 {
-    psi_plug_in_with(samples, r, stages, PsiStrategy::Auto, selest_par::configured_jobs())
+    psi_plug_in_with(
+        samples,
+        r,
+        stages,
+        PsiStrategy::Auto,
+        selest_par::configured_jobs(),
+    )
 }
 
 /// [`psi_plug_in`] with an explicit pairwise-sum strategy and worker
@@ -415,21 +433,91 @@ pub fn psi_plug_in_with(
             })
         }
     };
+    plug_in_recursion(samples.len(), sigma, r, stages, &*eval)
+}
+
+/// The plug-in refinement recursion shared by [`psi_plug_in_with`] and
+/// [`psi_plug_in_sorted`]: anchor at the normal scale value of
+/// `psi_{r+2*stages}`, then walk the orders down, estimating each with the
+/// AMSE-optimal pilot bandwidth of the previous stage.
+fn plug_in_recursion(
+    n: usize,
+    sigma: f64,
+    r: usize,
+    stages: usize,
+    eval: &dyn Fn(usize, f64) -> f64,
+) -> f64 {
     let mut psi = psi_normal_scale(r + 2 * stages, sigma);
     let mut order = r + 2 * stages;
     while order > r {
         order -= 2;
-        let g = pilot_bandwidth(order, psi, samples.len());
+        let g = pilot_bandwidth(order, psi, n);
         psi = eval(order, g);
         // A stage can produce a wrong-signed estimate on pathological
         // samples; fall back to the normal scale anchor for that order so
         // the recursion stays well-defined.
-        let expected_sign = if (order / 2).is_multiple_of(2) { 1.0 } else { -1.0 };
+        let expected_sign = if (order / 2).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         if psi * expected_sign <= 0.0 {
             psi = psi_normal_scale(order, sigma);
         }
     }
     psi
+}
+
+/// [`psi_plug_in_with`] over a sample whose ascending sort is already at
+/// hand (a prepared column): skips the per-call re-sort while reproducing
+/// [`psi_plug_in_with`] bit for bit. Each strategy consumes exactly the
+/// input order the unsorted entry point feeds it — `values` (original
+/// order) for [`PsiStrategy::Naive`] and explicit [`PsiStrategy::Binned`],
+/// `sorted` for [`PsiStrategy::Windowed`] and [`PsiStrategy::Auto`] — so
+/// the summation order, and therefore every bit of the result, is
+/// unchanged.
+///
+/// `sorted` must be the ascending sort of `values`.
+pub fn psi_plug_in_sorted(
+    values: &[f64],
+    sorted: &[f64],
+    r: usize,
+    stages: usize,
+    strategy: PsiStrategy,
+    jobs: usize,
+) -> f64 {
+    assert!(values.len() >= 2, "psi_plug_in needs at least two samples");
+    debug_assert_eq!(
+        values.len(),
+        sorted.len(),
+        "psi_plug_in_sorted: length mismatch"
+    );
+    let sigma = crate::stats::robust_scale_sorted_jobs(values, sorted, jobs);
+    assert!(
+        sigma > 0.0,
+        "psi_plug_in: sample scale is zero (constant sample); no functional estimate possible"
+    );
+    let strategy = match strategy {
+        PsiStrategy::Auto if values.len() < AUTO_BINNED_MIN_N => PsiStrategy::Windowed,
+        other => other,
+    };
+    let eval: Box<dyn Fn(usize, f64) -> f64 + '_> = match strategy {
+        PsiStrategy::Naive => Box::new(|order, g| estimate_psi_naive(values, order, g)),
+        PsiStrategy::Windowed => {
+            Box::new(move |order, g| estimate_psi_windowed_jobs(sorted, order, g, jobs))
+        }
+        PsiStrategy::Binned { bins } => {
+            Box::new(move |order, g| estimate_psi_binned(values, order, g, bins))
+        }
+        PsiStrategy::Auto => {
+            let range = sorted[sorted.len() - 1] - sorted[0];
+            Box::new(move |order, g| match default_psi_bins(range, g) {
+                Some(bins) => estimate_psi_binned(sorted, order, g, bins),
+                None => estimate_psi_windowed_jobs(sorted, order, g, jobs),
+            })
+        }
+    };
+    plug_in_recursion(values.len(), sigma, r, stages, &*eval)
 }
 
 #[cfg(test)]
@@ -439,7 +527,9 @@ mod tests {
 
     fn normal_sample(n: usize) -> Vec<f64> {
         // Deterministic stratified normal sample: exact quantiles.
-        (1..=n).map(|i| normal_quantile(i as f64 / (n as f64 + 1.0))).collect()
+        (1..=n)
+            .map(|i| normal_quantile(i as f64 / (n as f64 + 1.0)))
+            .collect()
     }
 
     #[test]
@@ -650,7 +740,10 @@ mod tests {
         let rel_w = (windowed - naive).abs() / naive.abs();
         let rel_a = (auto - naive).abs() / naive.abs();
         assert!(rel_w < 1e-12, "windowed plug-in drifted: rel {rel_w:.2e}");
-        assert!(rel_a < 2e-2, "auto (binned) plug-in drifted: rel {rel_a:.2e}");
+        assert!(
+            rel_a < 2e-2,
+            "auto (binned) plug-in drifted: rel {rel_a:.2e}"
+        );
         // Below the Auto cutover a small sample goes through the windowed
         // path, bit-identically.
         let small = &xs[..300].to_vec();
@@ -670,6 +763,33 @@ mod tests {
         // ...beyond it no affordable grid meets the spacing target.
         assert_eq!(default_psi_bins(1e6, 1.0), None);
         assert_eq!(default_psi_bins(1e30, 1.0), None);
+    }
+
+    #[test]
+    fn sorted_plug_in_is_bit_identical_to_unsorted_entry_point() {
+        // Unsorted input order matters for the Naive/Binned paths; use a
+        // deliberately shuffled sample to catch any order swap.
+        let mut xs = clustered_sample(700);
+        let n = xs.len();
+        for i in 0..n {
+            xs.swap(i, (i * 7919) % n);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for strategy in [
+            PsiStrategy::Naive,
+            PsiStrategy::Windowed,
+            PsiStrategy::Binned { bins: 512 },
+            PsiStrategy::Auto,
+        ] {
+            let legacy = psi_plug_in_with(&xs, 4, 2, strategy, 1);
+            let prepared = psi_plug_in_sorted(&xs, &sorted, 4, 2, strategy, 1);
+            assert_eq!(
+                legacy.to_bits(),
+                prepared.to_bits(),
+                "{strategy:?}: legacy {legacy:e} vs prepared {prepared:e}"
+            );
+        }
     }
 
     #[test]

@@ -18,18 +18,17 @@ pub mod special;
 pub mod stats;
 
 pub use functionals::{
-    default_psi_bins, estimate_psi, estimate_psi_binned, estimate_psi_naive,
-    estimate_psi_windowed, estimate_psi_windowed_jobs, normal_density_derivative,
-    pilot_bandwidth, psi_normal_scale, psi_plug_in, psi_plug_in_with, psi_window_radius,
-    PsiStrategy, PSI_MAX_BINS,
+    default_psi_bins, estimate_psi, estimate_psi_binned, estimate_psi_naive, estimate_psi_windowed,
+    estimate_psi_windowed_jobs, normal_density_derivative, pilot_bandwidth, psi_normal_scale,
+    psi_plug_in, psi_plug_in_sorted, psi_plug_in_with, psi_window_radius, PsiStrategy,
+    PSI_MAX_BINS,
 };
 
 pub use optimize::{bisect, brent_min, golden_section_min};
 pub use quadrature::{adaptive_simpson, simpson, trapezoid};
-pub use special::{
-    erf, erfc, ln_gamma, normal_cdf, normal_pdf, normal_quantile, SQRT_2PI,
-};
+pub use special::{erf, erfc, ln_gamma, normal_cdf, normal_pdf, normal_quantile, SQRT_2PI};
 pub use stats::{
-    interquartile_range, kahan_sum, mean, median, quantile, robust_scale, stddev, variance,
-    Summary,
+    interquartile_range, kahan_sum, kahan_sum_jobs, mean, mean_jobs, median, quantile,
+    robust_scale, robust_scale_sorted, robust_scale_sorted_jobs, stddev, stddev_jobs, variance,
+    variance_jobs, Summary,
 };

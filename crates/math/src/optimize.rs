@@ -54,7 +54,11 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f
         evals += 1;
     }
     let (x, value) = if fc < fd { (c, fc) } else { (d, fd) };
-    MinResult { x, value, evaluations: evals }
+    MinResult {
+        x,
+        value,
+        evaluations: evals,
+    }
 }
 
 /// Brent's method for minimizing `f` on `[a, b]`: golden-section search with
@@ -106,7 +110,11 @@ pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Mi
             e = if x >= xm { a - x } else { b - x };
             d = CGOLD * e;
         }
-        let u = if d.abs() >= tol1 { x + d } else { x + if d >= 0.0 { tol1 } else { -tol1 } };
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + if d >= 0.0 { tol1 } else { -tol1 }
+        };
         let fu = f(u);
         evals += 1;
         if fu <= fx {
@@ -138,7 +146,11 @@ pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Mi
             }
         }
     }
-    MinResult { x, value: fx, evaluations: evals }
+    MinResult {
+        x,
+        value: fx,
+        evaluations: evals,
+    }
 }
 
 /// Bisection root finding for a continuous `f` with `f(a)` and `f(b)` of

@@ -10,7 +10,10 @@
 /// Composite trapezoid rule on `[a, b]` with `n >= 1` panels.
 pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n >= 1, "trapezoid needs at least one panel");
-    assert!(a.is_finite() && b.is_finite(), "trapezoid needs finite bounds");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "trapezoid needs finite bounds"
+    );
     let h = (b - a) / n as f64;
     let mut sum = 0.5 * (f(a) + f(b));
     for i in 1..n {
@@ -23,7 +26,10 @@ pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
 /// the next even number).
 pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n >= 2, "simpson needs at least two panels");
-    assert!(a.is_finite() && b.is_finite(), "simpson needs finite bounds");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "simpson needs finite bounds"
+    );
     let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut sum = f(a) + f(b);
@@ -40,7 +46,10 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
 /// estimate is accepted; for the bounded densities in this workspace that cap
 /// is never reached in practice.
 pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
-    assert!(a.is_finite() && b.is_finite(), "adaptive_simpson needs finite bounds");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "adaptive_simpson needs finite bounds"
+    );
     assert!(tol > 0.0, "adaptive_simpson needs a positive tolerance");
     // Seed the recursion with a moderately fine uniform grid so that
     // features much narrower than the whole interval are still sampled

@@ -121,7 +121,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// logarithmic initial guess, which converges to the accuracy of the CDF in
 /// a handful of steps for every `p` representable in `f64`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "normal_quantile: p={p} out of [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "normal_quantile: p={p} out of [0,1]"
+    );
     if p == 0.0 {
         return f64::NEG_INFINITY;
     }
@@ -147,7 +150,11 @@ pub fn normal_quantile(p: f64) -> f64 {
         let step = fx / dfx;
         let next = x - step;
         // Safeguard: never jump below zero in the mirrored coordinate.
-        x = if next.is_finite() && next > 0.0 { next } else { 0.5 * x };
+        x = if next.is_finite() && next > 0.0 {
+            next
+        } else {
+            0.5 * x
+        };
         if step.abs() < 1e-14 * (1.0 + x.abs()) {
             break;
         }
@@ -204,9 +211,15 @@ mod tests {
     fn erfc_tail_is_accurate() {
         // erfc(5) = 1.5374597944280348e-12 (cancellation-free check).
         let v = erfc(5.0);
-        assert!((v / 1.537_459_794_428_034_8e-12 - 1.0).abs() < 1e-10, "erfc(5)={v}");
+        assert!(
+            (v / 1.537_459_794_428_034_8e-12 - 1.0).abs() < 1e-10,
+            "erfc(5)={v}"
+        );
         let v = erfc(10.0);
-        assert!((v / 2.088_487_583_762_545e-45 - 1.0).abs() < 1e-9, "erfc(10)={v}");
+        assert!(
+            (v / 2.088_487_583_762_545e-45 - 1.0).abs() < 1e-9,
+            "erfc(10)={v}"
+        );
     }
 
     #[test]
@@ -239,7 +252,18 @@ mod tests {
 
     #[test]
     fn normal_quantile_inverts_cdf() {
-        for &p in &[1e-10, 1e-6, 0.001, 0.025, 0.25, 0.5, 0.75, 0.975, 0.999, 1.0 - 1e-9] {
+        for &p in &[
+            1e-10,
+            1e-6,
+            0.001,
+            0.025,
+            0.25,
+            0.5,
+            0.75,
+            0.975,
+            0.999,
+            1.0 - 1e-9,
+        ] {
             let x = normal_quantile(p);
             close(normal_cdf(x), p, 1e-11);
         }

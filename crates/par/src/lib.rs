@@ -103,7 +103,10 @@ where
     U: Send,
     F: Fn(&[T]) -> U + Sync,
 {
-    assert!(chunk_size > 0, "parallel_chunks needs a positive chunk size");
+    assert!(
+        chunk_size > 0,
+        "parallel_chunks needs a positive chunk size"
+    );
     let n_chunks = items.len().div_ceil(chunk_size);
     run_indexed(n_chunks, jobs, |c| {
         let lo = c * chunk_size;
@@ -167,7 +170,11 @@ mod tests {
         let items: Vec<usize> = (0..1000).collect();
         for jobs in [1, 2, 3, 8] {
             let out = parallel_map_jobs(&items, jobs, |&x| x * 2);
-            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
         }
     }
 

@@ -37,12 +37,7 @@ impl PairStatistics {
     /// ANALYZE two columns of a relation jointly: row-aligned sample pairs
     /// feed the 2-D kernel estimator; the configured 1-D estimator kind is
     /// built per column for the independence model.
-    pub fn analyze(
-        relation: &Relation,
-        col_x: &str,
-        col_y: &str,
-        config: &AnalyzeConfig,
-    ) -> Self {
+    pub fn analyze(relation: &Relation, col_x: &str, col_y: &str, config: &AnalyzeConfig) -> Self {
         let x = relation
             .column(col_x)
             .unwrap_or_else(|| panic!("no column {col_x} in {}", relation.name()));
@@ -86,9 +81,10 @@ impl PairStatistics {
             CorrelationModel::Independence => {
                 self.marginal_x.selectivity(qx) * self.marginal_y.selectivity(qy)
             }
-            CorrelationModel::Joint2d => self
-                .joint
-                .selectivity(&RectQuery::new(qx.a(), qx.b(), qy.a(), qy.b())),
+            CorrelationModel::Joint2d => {
+                self.joint
+                    .selectivity(&RectQuery::new(qx.a(), qx.b(), qy.a(), qy.b()))
+            }
         }
     }
 
@@ -109,7 +105,9 @@ mod tests {
     fn correlated_relation() -> Relation {
         let d = Domain::new(0.0, 1_000.0);
         let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|i| 1_000.0 * (i as f64 + 0.5) / n as f64).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| 1_000.0 * (i as f64 + 0.5) / n as f64)
+            .collect();
         let ys: Vec<f64> = xs
             .iter()
             .enumerate()
@@ -138,7 +136,10 @@ mod tests {
             &r,
             "x",
             "y",
-            &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() },
+            &AnalyzeConfig {
+                kind: EstimatorKind::Kernel,
+                ..Default::default()
+            },
         );
         // Diagonal band query: both predicates select the same 10% slice.
         let qx = RangeQuery::new(400.0, 500.0);
@@ -161,7 +162,10 @@ mod tests {
             &r,
             "x",
             "y",
-            &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() },
+            &AnalyzeConfig {
+                kind: EstimatorKind::Kernel,
+                ..Default::default()
+            },
         );
         let qx = RangeQuery::new(100.0, 200.0);
         let qy = RangeQuery::new(700.0, 800.0);

@@ -45,7 +45,9 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// A deterministic injector: the same seed produces the same damage.
     pub fn new(seed: u64) -> Self {
-        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Corrupt roughly `fraction` of `sample` in place, cycling through
@@ -56,7 +58,10 @@ impl FaultInjector {
         domain: &Domain,
         fraction: f64,
     ) -> InjectionReport {
-        assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]: {fraction}");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction out of [0,1]: {fraction}"
+        );
         let mut report = InjectionReport::default();
         if sample.is_empty() {
             return report;
@@ -144,7 +149,11 @@ impl FailingEstimator {
     /// serves the uniform overlap fraction (so "correct" calls are easy to
     /// assert against).
     pub fn new(domain: Domain, mode: FailureMode) -> Self {
-        FailingEstimator { domain, mode, calls: std::sync::atomic::AtomicUsize::new(0) }
+        FailingEstimator {
+            domain,
+            mode,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Calls received so far.
@@ -155,7 +164,9 @@ impl FailingEstimator {
 
 impl SelectivityEstimator for FailingEstimator {
     fn selectivity(&self, q: &RangeQuery) -> f64 {
-        let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let n = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match self.mode {
             FailureMode::PanicAlways => panic!("injected estimator failure (call {n})"),
             FailureMode::PanicAfter(healthy) if n >= healthy => {
@@ -204,8 +215,14 @@ mod tests {
         assert_eq!(report.pos_inf, 25);
         assert_eq!(report.neg_inf, 25);
         assert_eq!(report.out_of_domain, 25);
-        let damaged = sample.iter().filter(|v| !v.is_finite() || !d.contains(**v)).count();
-        assert!(damaged > 0 && damaged <= 100, "injections may overwrite each other");
+        let damaged = sample
+            .iter()
+            .filter(|v| !v.is_finite() || !d.contains(**v))
+            .count();
+        assert!(
+            damaged > 0 && damaged <= 100,
+            "injections may overwrite each other"
+        );
     }
 
     #[test]
@@ -217,8 +234,11 @@ mod tests {
         assert!(text.starts_with(&cut));
         let flipped = inj.bitflip_text(text);
         assert_eq!(flipped.len(), text.len());
-        let differing =
-            text.bytes().zip(flipped.bytes()).filter(|(a, b)| a != b).count();
+        let differing = text
+            .bytes()
+            .zip(flipped.bytes())
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(differing, 1, "exactly one byte flips");
     }
 
@@ -233,9 +253,8 @@ mod tests {
         let nan = FailingEstimator::new(d, FailureMode::Return(f64::NAN));
         assert!(nan.selectivity(&q).is_nan());
         let boom = FailingEstimator::new(d, FailureMode::PanicAlways);
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            boom.selectivity(&q)
-        }));
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| boom.selectivity(&q)));
         assert!(caught.is_err());
     }
 }

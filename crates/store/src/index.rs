@@ -23,7 +23,9 @@ impl SortedIndex {
             .map(|(i, &v)| (v, i as u32))
             .collect();
         entries.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("NaN in column").then(a.1.cmp(&b.1))
+            a.0.partial_cmp(&b.0)
+                .expect("NaN in column")
+                .then(a.1.cmp(&b.1))
         });
         SortedIndex { entries }
     }
@@ -70,7 +72,13 @@ mod tests {
     fn count_matches_scan() {
         let c = column();
         let idx = SortedIndex::build(&c);
-        for (a, b) in [(0.0, 100.0), (10.0, 10.0), (9.0, 31.0), (60.0, 95.0), (91.0, 99.0)] {
+        for (a, b) in [
+            (0.0, 100.0),
+            (10.0, 10.0),
+            (9.0, 31.0),
+            (60.0, 95.0),
+            (91.0, 99.0),
+        ] {
             let q = RangeQuery::new(a, b);
             assert_eq!(idx.count(&q), c.scan_count(&q), "range [{a}, {b}]");
         }

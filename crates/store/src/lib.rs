@@ -24,15 +24,19 @@ pub mod query;
 pub mod relation;
 pub mod resilient;
 
+pub use catalog::{
+    build_estimator, build_estimator_from_prepared, build_estimator_from_sample,
+    try_build_estimator_from_prepared, try_build_estimator_from_sample, AnalyzeConfig,
+    ColumnStatistics, EstimatorKind, StatisticsCatalog,
+};
 pub use conjunctive::{CorrelationModel, PairStatistics};
-pub use catalog::{build_estimator, try_build_estimator_from_sample, AnalyzeConfig,
-    ColumnStatistics, EstimatorKind, StatisticsCatalog};
+pub use faultinject::{FailingEstimator, FailureMode, FaultInjector, InjectionReport};
 pub use index::SortedIndex;
 pub use online::{OnlineSelectivity, Snapshot};
-pub use planner::{execute_range_query, plan_range_query, try_plan_range_query, AccessPath,
-    Execution, Plan};
 pub use persist::{decode as decode_statistics, encode as encode_statistics, PersistedStatistics};
+pub use planner::{
+    execute_range_query, plan_range_query, try_plan_range_query, AccessPath, Execution, Plan,
+};
 pub use query::{ChosenPath, Database, Explanation, QueryResult, RangePredicate, SelectQuery};
 pub use relation::{Column, Relation};
-pub use faultinject::{FailingEstimator, FailureMode, FaultInjector, InjectionReport};
 pub use resilient::{BuildFailure, HealthReport, ResilientEstimator};

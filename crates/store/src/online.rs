@@ -48,7 +48,12 @@ pub struct Snapshot {
 impl OnlineSelectivity {
     /// Start a progressive estimate of `query`.
     pub fn new(query: RangeQuery) -> Self {
-        OnlineSelectivity { query, seen: 0, matched: 0, skipped_nonfinite: 0 }
+        OnlineSelectivity {
+            query,
+            seen: 0,
+            matched: 0,
+            skipped_nonfinite: 0,
+        }
     }
 
     /// Consume one row value. NaN/±Inf values (a corrupted page, a bad
@@ -107,9 +112,7 @@ impl OnlineSelectivity {
         confidence: f64,
     ) -> Result<Snapshot, selest_core::fault::EstimateError> {
         if !confidence.is_finite() || !(0.0..1.0).contains(&confidence) {
-            return Err(selest_core::fault::EstimateError::NonFiniteEstimate {
-                value: confidence,
-            });
+            return Err(selest_core::fault::EstimateError::NonFiniteEstimate { value: confidence });
         }
         let p = self.estimate();
         let half_width = if self.seen == 0 {
@@ -119,7 +122,11 @@ impl OnlineSelectivity {
             let var = (p * (1.0 - p)).max(1.0 / self.seen as f64 / 4.0);
             z * (var / self.seen as f64).sqrt()
         };
-        Ok(Snapshot { seen: self.seen, estimate: p, half_width })
+        Ok(Snapshot {
+            seen: self.seen,
+            estimate: p,
+            half_width,
+        })
     }
 
     /// Whether the interval at `confidence` is narrower than
@@ -136,7 +143,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn shuffled_uniform(n: usize, seed: u64) -> Vec<f64> {
-        let mut v: Vec<f64> = (0..n).map(|i| 100.0 * (i as f64 + 0.5) / n as f64).collect();
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| 100.0 * (i as f64 + 0.5) / n as f64)
+            .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         v.shuffle(&mut rng);
         v
@@ -147,7 +156,11 @@ mod tests {
         let rows = shuffled_uniform(50_000, 3);
         let mut est = OnlineSelectivity::new(RangeQuery::new(20.0, 50.0)); // truth 0.3
         est.update_batch(rows);
-        assert!((est.estimate() - 0.3).abs() < 0.01, "got {}", est.estimate());
+        assert!(
+            (est.estimate() - 0.3).abs() < 0.01,
+            "got {}",
+            est.estimate()
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use selest_core::fault::EstimateError;
 use selest_core::{Domain, SelectivityEstimator};
@@ -41,13 +42,15 @@ pub const HEADER_V1: &str = "selest-statistics v1";
 pub const HEADER_V2: &str = "selest-statistics v2";
 
 /// One persisted statistics entry: everything needed to rebuild the
-/// estimator.
+/// estimator. Name and sample fields are `Arc`-backed so catalog exports
+/// are views over the stored evidence, not copies of it (`Clone` is a
+/// couple of refcount bumps).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PersistedStatistics {
     /// Relation name (no whitespace).
-    pub relation: String,
+    pub relation: Arc<str>,
     /// Column name (no whitespace).
-    pub column: String,
+    pub column: Arc<str>,
     /// Estimator kind to rebuild.
     pub kind: EstimatorKind,
     /// Relation row count at ANALYZE time.
@@ -55,7 +58,7 @@ pub struct PersistedStatistics {
     /// Column domain.
     pub domain: Domain,
     /// The retained sample.
-    pub sample: Vec<f64>,
+    pub sample: Arc<[f64]>,
 }
 
 impl PersistedStatistics {
@@ -124,7 +127,7 @@ fn entry_lines(e: &PersistedStatistics) -> (String, String) {
         e.domain.hi()
     );
     let mut sample = format!("sample {}", e.sample.len());
-    for v in &e.sample {
+    for v in e.sample.iter() {
         let _ = write!(sample, " {v}");
     }
     (stat, sample)
@@ -153,7 +156,10 @@ enum Version {
 }
 
 fn corrupt(line: usize, message: impl Into<String>) -> EstimateError {
-    EstimateError::CorruptEntry { line, message: message.into() }
+    EstimateError::CorruptEntry {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse one entry starting at `lines[i]` (a non-empty line). Returns the
@@ -168,12 +174,25 @@ fn parse_entry(
     let lineno = i + 1;
     let mut parts = stat_line.split_whitespace();
     if parts.next() != Some("stat") {
-        return Err(corrupt(lineno, format!("expected 'stat' line, got {stat_line:?}")));
+        return Err(corrupt(
+            lineno,
+            format!("expected 'stat' line, got {stat_line:?}"),
+        ));
     }
-    let relation = parts.next().ok_or_else(|| corrupt(lineno, "missing relation"))?.to_owned();
-    let column = parts.next().ok_or_else(|| corrupt(lineno, "missing column"))?.to_owned();
-    let kind = parse_kind(parts.next().ok_or_else(|| corrupt(lineno, "missing kind"))?)
-        .map_err(|m| corrupt(lineno, m))?;
+    let relation = parts
+        .next()
+        .ok_or_else(|| corrupt(lineno, "missing relation"))?
+        .to_owned();
+    let column = parts
+        .next()
+        .ok_or_else(|| corrupt(lineno, "missing column"))?
+        .to_owned();
+    let kind = parse_kind(
+        parts
+            .next()
+            .ok_or_else(|| corrupt(lineno, "missing kind"))?,
+    )
+    .map_err(|m| corrupt(lineno, m))?;
     let n_rows: usize = parts
         .next()
         .ok_or_else(|| corrupt(lineno, "missing n_rows"))?
@@ -190,10 +209,13 @@ fn parse_entry(
         .parse()
         .map_err(|e| corrupt(lineno, format!("bad domain hi: {e}")))?;
     if let Some(extra) = parts.next() {
-        return Err(corrupt(lineno, format!("trailing token {extra:?} on 'stat' line")));
+        return Err(corrupt(
+            lineno,
+            format!("trailing token {extra:?} on 'stat' line"),
+        ));
     }
-    let domain = Domain::try_new(lo, hi)
-        .map_err(|e| corrupt(lineno, format!("invalid domain: {e}")))?;
+    let domain =
+        Domain::try_new(lo, hi).map_err(|e| corrupt(lineno, format!("invalid domain: {e}")))?;
 
     let sample_line = *lines
         .get(i + 1)
@@ -201,7 +223,10 @@ fn parse_entry(
     let sample_lineno = i + 2;
     let mut sp = sample_line.split_whitespace();
     if sp.next() != Some("sample") {
-        return Err(corrupt(sample_lineno, format!("expected 'sample' line, got {sample_line:?}")));
+        return Err(corrupt(
+            sample_lineno,
+            format!("expected 'sample' line, got {sample_line:?}"),
+        ));
     }
     let len: usize = sp
         .next()
@@ -217,7 +242,10 @@ fn parse_entry(
     if sample.len() != len {
         return Err(corrupt(
             sample_lineno,
-            format!("sample length mismatch: header says {len}, found {}", sample.len()),
+            format!(
+                "sample length mismatch: header says {len}, found {}",
+                sample.len()
+            ),
         ));
     }
 
@@ -236,7 +264,8 @@ fn parse_entry(
                 ));
             }
             let stored = u64::from_str_radix(
-                cp.next().ok_or_else(|| corrupt(check_lineno, "missing checksum"))?,
+                cp.next()
+                    .ok_or_else(|| corrupt(check_lineno, "missing checksum"))?,
                 16,
             )
             .map_err(|e| corrupt(check_lineno, format!("bad checksum: {e}")))?;
@@ -250,7 +279,17 @@ fn parse_entry(
             i + 3
         }
     };
-    Ok((PersistedStatistics { relation, column, kind, n_rows, domain, sample }, next))
+    Ok((
+        PersistedStatistics {
+            relation: relation.into(),
+            column: column.into(),
+            kind,
+            n_rows,
+            domain,
+            sample: sample.into(),
+        },
+        next,
+    ))
 }
 
 fn parse_header(lines: &[&str]) -> Result<Version, EstimateError> {
@@ -300,7 +339,10 @@ pub struct DecodeReport {
 pub fn decode_lenient(text: &str) -> Result<DecodeReport, EstimateError> {
     let lines: Vec<&str> = text.lines().collect();
     let version = parse_header(&lines)?;
-    let mut report = DecodeReport { entries: Vec::new(), errors: Vec::new() };
+    let mut report = DecodeReport {
+        entries: Vec::new(),
+        errors: Vec::new(),
+    };
     let mut i = 1;
     while i < lines.len() {
         if lines[i].trim().is_empty() {
@@ -381,7 +423,11 @@ mod tests {
     }
 
     fn second_entry() -> PersistedStatistics {
-        PersistedStatistics { column: "day".into(), kind: EstimatorKind::Kernel, ..entry() }
+        PersistedStatistics {
+            column: "day".into(),
+            kind: EstimatorKind::Kernel,
+            ..entry()
+        }
     }
 
     /// The v1 rendering of an entry set, for backward-compat tests.
@@ -449,11 +495,11 @@ mod tests {
     #[test]
     fn try_rebuild_survives_degenerate_evidence() {
         let mut e = entry();
-        e.sample = vec![f64::NAN, f64::INFINITY];
+        e.sample = vec![f64::NAN, f64::INFINITY].into();
         assert_eq!(e.try_rebuild().err(), Some(EstimateError::EmptySample));
         // A zero-variance sample breaks the normal-scale bin rule; the
         // construction panic must come back as a typed error, not unwind.
-        e.sample = vec![500.0; 10];
+        e.sample = vec![500.0; 10].into();
         match e.try_rebuild() {
             Err(EstimateError::Panicked { stage, message }) => {
                 assert_eq!(stage, selest_core::fault::FaultStage::Build);
@@ -469,25 +515,51 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage_with_line_numbers() {
-        let expect_line = |text: &str, line: usize, needle: &str| {
-            match decode(text) {
-                Err(EstimateError::CorruptEntry { line: l, message }) => {
-                    assert_eq!(l, line, "wrong line for {text:?}: {message}");
-                    assert!(message.contains(needle), "{message:?} missing {needle:?}");
-                }
-                other => panic!("expected CorruptEntry for {text:?}, got {other:?}"),
+        let expect_line = |text: &str, line: usize, needle: &str| match decode(text) {
+            Err(EstimateError::CorruptEntry { line: l, message }) => {
+                assert_eq!(l, line, "wrong line for {text:?}: {message}");
+                assert!(message.contains(needle), "{message:?} missing {needle:?}");
             }
+            other => panic!("expected CorruptEntry for {text:?}, got {other:?}"),
         };
         expect_line("not a statistics file", 1, "bad header");
         expect_line("", 1, "empty");
         expect_line("selest-statistics v1\nstat only three", 2, "missing kind");
-        expect_line("selest-statistics v1\nstat r c warp 10 0 1\nsample 1 1", 2, "unknown estimator kind");
-        expect_line("selest-statistics v1\nstat r c kernel 10 0 1\nsample 3 1 2", 3, "length mismatch");
-        expect_line("selest-statistics v1\nstat r c kernel 10 0 1", 3, "truncated");
-        expect_line("selest-statistics v1\nstat r c kernel ten 0 1\nsample 0", 2, "bad n_rows");
-        expect_line("selest-statistics v1\nstat r c kernel 10 5 1\nsample 0", 2, "invalid domain");
-        expect_line("selest-statistics v1\nstat r c kernel 10 0 1\nsample 1 oops", 3, "bad sample value");
-        expect_line("selest-statistics v1\nstat r c kernel 10 0 1 extra\nsample 0", 2, "trailing token");
+        expect_line(
+            "selest-statistics v1\nstat r c warp 10 0 1\nsample 1 1",
+            2,
+            "unknown estimator kind",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel 10 0 1\nsample 3 1 2",
+            3,
+            "length mismatch",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel 10 0 1",
+            3,
+            "truncated",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel ten 0 1\nsample 0",
+            2,
+            "bad n_rows",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel 10 5 1\nsample 0",
+            2,
+            "invalid domain",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel 10 0 1\nsample 1 oops",
+            3,
+            "bad sample value",
+        );
+        expect_line(
+            "selest-statistics v1\nstat r c kernel 10 0 1 extra\nsample 0",
+            2,
+            "trailing token",
+        );
     }
 
     #[test]
@@ -521,11 +593,14 @@ mod tests {
         text = text.replacen("check ", "check 0deadbeef", 1);
         let report = decode_lenient(&text).expect("header is fine");
         assert_eq!(report.entries.len(), 1, "second entry must survive");
-        assert_eq!(report.entries[0].column, "day");
+        assert_eq!(&*report.entries[0].column, "day");
         assert_eq!(report.errors.len(), 1);
         match &report.errors[0] {
             EstimateError::CorruptEntry { message, .. } => {
-                assert!(message.contains("checksum") || message.contains("bad checksum"), "{message:?}");
+                assert!(
+                    message.contains("checksum") || message.contains("bad checksum"),
+                    "{message:?}"
+                );
             }
             other => panic!("expected CorruptEntry, got {other:?}"),
         }
@@ -534,7 +609,10 @@ mod tests {
     /// Scratch space under the workspace target dir (kept out of /tmp so
     /// test artifacts stay inside the repository checkout).
     fn scratch_dir() -> PathBuf {
-        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/persist-test"))
+        PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/persist-test"
+        ))
     }
 
     #[test]
@@ -545,7 +623,10 @@ mod tests {
         let first = vec![entry()];
         save_to_path(&path, &first).expect("save");
         assert_eq!(load_from_path(&path).expect("load"), first);
-        assert!(!temp_sibling(&path).exists(), "temp file must be renamed away");
+        assert!(
+            !temp_sibling(&path).exists(),
+            "temp file must be renamed away"
+        );
         // Overwrite with new content: readers see old-or-new, never torn.
         let second = vec![entry(), second_entry()];
         save_to_path(&path, &second).expect("re-save");

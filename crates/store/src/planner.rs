@@ -95,17 +95,29 @@ pub fn try_plan_range_query(
             column: column.to_owned(),
         }
     })?;
-    let estimated_rows =
-        catch_fault(FaultStage::Estimate, std::panic::AssertUnwindSafe(|| stats.estimate_rows(q)))?;
+    let estimated_rows = catch_fault(
+        FaultStage::Estimate,
+        std::panic::AssertUnwindSafe(|| stats.estimate_rows(q)),
+    )?;
     if !estimated_rows.is_finite() {
-        return Err(EstimateError::NonFiniteEstimate { value: estimated_rows });
+        return Err(EstimateError::NonFiniteEstimate {
+            value: estimated_rows,
+        });
     }
     let estimated_rows = estimated_rows.clamp(0.0, relation.n_rows() as f64);
     let (seq, idx) = costs(relation.n_rows(), estimated_rows);
     Ok(if idx < seq {
-        Plan { path: AccessPath::IndexScan, estimated_rows, estimated_cost: idx }
+        Plan {
+            path: AccessPath::IndexScan,
+            estimated_rows,
+            estimated_cost: idx,
+        }
     } else {
-        Plan { path: AccessPath::SeqScan, estimated_rows, estimated_cost: seq }
+        Plan {
+            path: AccessPath::SeqScan,
+            estimated_rows,
+            estimated_cost: seq,
+        }
     })
 }
 
@@ -137,7 +149,12 @@ pub fn execute_range_query(
         AccessPath::SeqScan => seq,
         AccessPath::IndexScan => idx,
     };
-    Execution { plan, actual_rows, actual_cost, optimal_cost: seq.min(idx) }
+    Execution {
+        plan,
+        actual_rows,
+        actual_cost,
+        optimal_cost: seq.min(idx),
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +177,13 @@ mod tests {
         let mut r = Relation::new("t");
         r.add_column(Column::new("v", d, values));
         let mut cat = StatisticsCatalog::new();
-        cat.analyze(&r, &AnalyzeConfig { kind, ..Default::default() });
+        cat.analyze(
+            &r,
+            &AnalyzeConfig {
+                kind,
+                ..Default::default()
+            },
+        );
         let idx = SortedIndex::build(r.column("v").unwrap());
         (r, cat, idx)
     }
@@ -171,7 +194,12 @@ mod tests {
         // ~9 rows match: index scan wins by far.
         let q = RangeQuery::new(500.0, 508.0);
         let plan = plan_range_query(&cat, &r, "v", &q);
-        assert_eq!(plan.path, AccessPath::IndexScan, "rows est {}", plan.estimated_rows);
+        assert_eq!(
+            plan.path,
+            AccessPath::IndexScan,
+            "rows est {}",
+            plan.estimated_rows
+        );
     }
 
     #[test]
@@ -180,7 +208,12 @@ mod tests {
         // ~90% of rows match.
         let q = RangeQuery::new(0.0, 100.0);
         let plan = plan_range_query(&cat, &r, "v", &q);
-        assert_eq!(plan.path, AccessPath::SeqScan, "rows est {}", plan.estimated_rows);
+        assert_eq!(
+            plan.path,
+            AccessPath::SeqScan,
+            "rows est {}",
+            plan.estimated_rows
+        );
     }
 
     #[test]

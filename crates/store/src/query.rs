@@ -39,8 +39,14 @@ pub struct SelectQuery {
 impl SelectQuery {
     /// Build a query; panics on an empty predicate list.
     pub fn new(relation: &str, predicates: Vec<RangePredicate>) -> Self {
-        assert!(!predicates.is_empty(), "SelectQuery needs at least one predicate");
-        SelectQuery { relation: relation.to_owned(), predicates }
+        assert!(
+            !predicates.is_empty(),
+            "SelectQuery needs at least one predicate"
+        );
+        SelectQuery {
+            relation: relation.to_owned(),
+            predicates,
+        }
     }
 }
 
@@ -137,8 +143,10 @@ impl Database {
         let col = rel
             .column(column)
             .unwrap_or_else(|| panic!("no column {column} in {relation}"));
-        self.indexes
-            .insert((relation.to_owned(), column.to_owned()), SortedIndex::build(col));
+        self.indexes.insert(
+            (relation.to_owned(), column.to_owned()),
+            SortedIndex::build(col),
+        );
     }
 
     /// ANALYZE every column of a relation.
@@ -152,14 +160,22 @@ impl Database {
 
     /// ANALYZE a column pair jointly (enables the 2-D correlation model
     /// for conjunctions over exactly these two columns).
-    pub fn analyze_pair(&mut self, relation: &str, col_x: &str, col_y: &str, config: &AnalyzeConfig) {
+    pub fn analyze_pair(
+        &mut self,
+        relation: &str,
+        col_x: &str,
+        col_y: &str,
+        config: &AnalyzeConfig,
+    ) {
         let rel = self
             .relations
             .get(relation)
             .unwrap_or_else(|| panic!("no relation {relation}"));
         let stats = PairStatistics::analyze(rel, col_x, col_y, config);
-        self.pair_stats
-            .insert((relation.to_owned(), col_x.to_owned(), col_y.to_owned()), stats);
+        self.pair_stats.insert(
+            (relation.to_owned(), col_x.to_owned(), col_y.to_owned()),
+            stats,
+        );
     }
 
     /// Estimated rows matching a conjunction. Uses joint pair statistics
@@ -188,7 +204,9 @@ impl Database {
             let st = self
                 .catalog
                 .statistics(&q.relation, &p.column)
-                .unwrap_or_else(|| panic!("no statistics for {}.{}; run ANALYZE", q.relation, p.column));
+                .unwrap_or_else(|| {
+                    panic!("no statistics for {}.{}; run ANALYZE", q.relation, p.column)
+                });
             sel *= st.estimator.selectivity(&p.range);
         }
         sel * rel.n_rows() as f64
@@ -223,7 +241,12 @@ impl Database {
             if self.indexes.contains_key(&key) {
                 let cost = INDEX_PROBE_COST + rows * FETCH_COST_PER_ROW;
                 if cost < best.1 {
-                    best = (ChosenPath::IndexScan { column: p.column.clone() }, cost);
+                    best = (
+                        ChosenPath::IndexScan {
+                            column: p.column.clone(),
+                        },
+                        cost,
+                    );
                 }
             }
         }
@@ -296,19 +319,28 @@ mod tests {
         db.create_index("orders", "amount");
         db.analyze(
             "orders",
-            &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() },
+            &AnalyzeConfig {
+                kind: EstimatorKind::Kernel,
+                ..Default::default()
+            },
         );
         db
     }
 
     fn pred(column: &str, a: f64, b: f64) -> RangePredicate {
-        RangePredicate { column: column.into(), range: RangeQuery::new(a, b) }
+        RangePredicate {
+            column: column.into(),
+            range: RangeQuery::new(a, b),
+        }
     }
 
     #[test]
     fn execution_matches_a_reference_scan() {
         let db = database();
-        let q = SelectQuery::new("orders", vec![pred("amount", 100.0, 300.0), pred("day", 0.0, 500.0)]);
+        let q = SelectQuery::new(
+            "orders",
+            vec![pred("amount", 100.0, 300.0), pred("day", 0.0, 500.0)],
+        );
         let result = db.execute(&q);
         // Reference: brute-force filter.
         let rel = db.relation("orders").unwrap();
@@ -327,9 +359,17 @@ mod tests {
     fn selective_indexed_predicate_drives_the_plan() {
         let db = database();
         // amount > 900 is rare (cubic skew): index scan on amount.
-        let q = SelectQuery::new("orders", vec![pred("amount", 900.0, 1_000.0), pred("day", 0.0, 1_000.0)]);
+        let q = SelectQuery::new(
+            "orders",
+            vec![pred("amount", 900.0, 1_000.0), pred("day", 0.0, 1_000.0)],
+        );
         let e = db.explain(&q);
-        assert_eq!(e.path, ChosenPath::IndexScan { column: "amount".into() });
+        assert_eq!(
+            e.path,
+            ChosenPath::IndexScan {
+                column: "amount".into()
+            }
+        );
         // A fat predicate falls back to the scan.
         let q = SelectQuery::new("orders", vec![pred("amount", 0.0, 1_000.0)]);
         assert_eq!(db.explain(&q).path, ChosenPath::SeqScan);
@@ -351,9 +391,15 @@ mod tests {
     #[test]
     fn pair_statistics_fix_correlated_conjunctions() {
         let mut db = database();
-        let q = SelectQuery::new("orders", vec![pred("day", 400.0, 500.0), pred("lag", 390.0, 480.0)]);
+        let q = SelectQuery::new(
+            "orders",
+            vec![pred("day", 400.0, 500.0), pred("lag", 390.0, 480.0)],
+        );
         let actual = db.execute(&q).rows.len() as f64;
-        assert!(actual > 500.0, "premise: correlated band is fat, actual {actual}");
+        assert!(
+            actual > 500.0,
+            "premise: correlated band is fat, actual {actual}"
+        );
         let indep = db.estimate_rows(&q);
         db.analyze_pair("orders", "day", "lag", &AnalyzeConfig::default());
         let joint = db.estimate_rows(&q);
@@ -366,7 +412,10 @@ mod tests {
     #[test]
     fn explanation_reports_per_predicate_estimates() {
         let db = database();
-        let q = SelectQuery::new("orders", vec![pred("amount", 0.0, 1_000.0), pred("day", 0.0, 99.0)]);
+        let q = SelectQuery::new(
+            "orders",
+            vec![pred("amount", 0.0, 1_000.0), pred("day", 0.0, 99.0)],
+        );
         let e = db.explain(&q);
         assert_eq!(e.per_predicate_rows.len(), 2);
         assert!((e.per_predicate_rows[0] - 10_000.0).abs() < 200.0);

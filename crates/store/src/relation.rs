@@ -25,7 +25,11 @@ impl Column {
                 "column {name}: value {v} outside domain {domain}"
             );
         }
-        Column { name: name.to_owned(), domain, values }
+        Column {
+            name: name.to_owned(),
+            domain,
+            values,
+        }
     }
 
     /// Attribute name.
@@ -69,7 +73,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given name.
     pub fn new(name: &str) -> Self {
-        Relation { name: name.to_owned(), columns: Vec::new() }
+        Relation {
+            name: name.to_owned(),
+            columns: Vec::new(),
+        }
     }
 
     /// Relation name.

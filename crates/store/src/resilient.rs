@@ -20,12 +20,14 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use selest_core::fault::{catch_fault, EstimateError, FaultStage, SampleAudit};
-use selest_core::{CorrectionGrid, Domain, RangeQuery, SelectivityEstimator};
+use selest_core::fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
+use selest_core::{
+    CorrectionGrid, Domain, PreparedColumn, RangeQuery, SelectivityEstimator, UniformEstimator,
+};
 
-use crate::catalog::{try_build_estimator_from_sample, EstimatorKind};
+use crate::catalog::{try_build_estimator_from_prepared, EstimatorKind};
 
 /// Serving faults tolerated before an entry is quarantined to uniform.
 pub const DEFAULT_QUARANTINE_THRESHOLD: usize = 8;
@@ -118,7 +120,11 @@ fn ladder(preferred: EstimatorKind) -> Vec<EstimatorKind> {
         return vec![EstimatorKind::Uniform];
     }
     let mut order = vec![preferred];
-    for k in [EstimatorKind::MaxDiff, EstimatorKind::EquiDepth, EstimatorKind::Sampling] {
+    for k in [
+        EstimatorKind::MaxDiff,
+        EstimatorKind::EquiDepth,
+        EstimatorKind::Sampling,
+    ] {
         if !order.contains(&k) {
             order.push(k);
         }
@@ -131,16 +137,35 @@ impl ResilientEstimator {
     /// Build the ladder for `preferred` over an (untrusted) sample. Never
     /// fails: rungs that cannot be built are recorded as build failures
     /// and the uniform rung is always present.
+    ///
+    /// The sample is sanitized and prepared (sorted, summarized) exactly
+    /// once; every rung is then built over the same shared
+    /// [`PreparedColumn`] instead of re-sanitizing and re-sorting its own
+    /// copy of the evidence.
     pub fn build(sample: &[f64], domain: Domain, preferred: EstimatorKind) -> Self {
         let mut rungs = Vec::new();
         let mut build_failures = Vec::new();
-        let mut audit = SampleAudit::default();
+        let (clean, audit) = sanitize_sample(sample, &domain);
+        let col = if clean.is_empty() {
+            None
+        } else {
+            Some(Arc::new(PreparedColumn::prepare(&clean, domain)))
+        };
         for kind in ladder(preferred) {
-            match try_build_estimator_from_sample(sample, domain, kind) {
-                Ok((estimator, a)) => {
-                    audit = a;
-                    rungs.push(Rung { name: format!("{kind:?}"), estimator });
+            let result = if kind == EstimatorKind::Uniform {
+                Ok(Box::new(UniformEstimator::new(domain))
+                    as Box<dyn SelectivityEstimator + Send + Sync>)
+            } else {
+                match &col {
+                    None => Err(EstimateError::EmptySample),
+                    Some(col) => try_build_estimator_from_prepared(col, kind),
                 }
+            };
+            match result {
+                Ok(estimator) => rungs.push(Rung {
+                    name: format!("{kind:?}"),
+                    estimator,
+                }),
                 Err(error) => build_failures.push(BuildFailure { kind, error }),
             }
         }
@@ -158,7 +183,10 @@ impl ResilientEstimator {
     ) -> Self {
         let mut rungs: Vec<Rung> = estimators
             .into_iter()
-            .map(|estimator| Rung { name: estimator.name(), estimator })
+            .map(|estimator| Rung {
+                name: estimator.name(),
+                estimator,
+            })
             .collect();
         rungs.push(Rung {
             name: "Uniform".to_owned(),
@@ -199,7 +227,10 @@ impl ResilientEstimator {
     /// One serving attempt against rung `i`, faults mapped to errors.
     fn attempt(&self, i: usize, q: &RangeQuery) -> Result<f64, EstimateError> {
         let rung = &self.rungs[i];
-        let v = catch_fault(FaultStage::Estimate, AssertUnwindSafe(|| rung.estimator.selectivity(q)))?;
+        let v = catch_fault(
+            FaultStage::Estimate,
+            AssertUnwindSafe(|| rung.estimator.selectivity(q)),
+        )?;
         if v.is_finite() {
             Ok(v)
         } else {
@@ -218,7 +249,9 @@ impl ResilientEstimator {
         let start = if self.quarantined.load(Ordering::Relaxed) {
             self.rungs.len() - 1
         } else {
-            self.active.load(Ordering::Relaxed).min(self.rungs.len() - 1)
+            self.active
+                .load(Ordering::Relaxed)
+                .min(self.rungs.len() - 1)
         };
         for i in start..self.rungs.len() {
             match self.attempt(i, q) {
@@ -246,7 +279,11 @@ impl ResilientEstimator {
         // overlap ratio — but the serving contract is "always answer", so
         // compute that ratio directly rather than trusting unreachable!().
         let w = self.domain.width();
-        Ok(if w > 0.0 { (self.domain.overlap(q.a(), q.b()) / w).clamp(0.0, 1.0) } else { 0.0 })
+        Ok(if w > 0.0 {
+            (self.domain.overlap(q.a(), q.b()) / w).clamp(0.0, 1.0)
+        } else {
+            0.0
+        })
     }
 
     /// Feed back the true selectivity of an executed query. Updates the
@@ -280,7 +317,9 @@ impl ResilientEstimator {
         let depth = if quarantined {
             self.rungs.len() - 1
         } else {
-            self.active.load(Ordering::Relaxed).min(self.rungs.len() - 1)
+            self.active
+                .load(Ordering::Relaxed)
+                .min(self.rungs.len() - 1)
         };
         let grid = self.drift_grid.lock().expect("drift grid lock");
         HealthReport {
@@ -347,7 +386,9 @@ mod tests {
     }
 
     fn uniform_sample(n: usize, d: &Domain) -> Vec<f64> {
-        (0..n).map(|i| d.lerp((i as f64 + 0.5) / n as f64)).collect()
+        (0..n)
+            .map(|i| d.lerp((i as f64 + 0.5) / n as f64))
+            .collect()
     }
 
     #[test]
@@ -382,12 +423,17 @@ mod tests {
     #[test]
     fn serving_panic_demotes_and_stays_demoted() {
         let d = Domain::new(0.0, 100.0);
-        let flaky = Flaky { domain: d, healthy_calls: 2, calls: AtomicUsize::new(0), nan_instead: false };
+        let flaky = Flaky {
+            domain: d,
+            healthy_calls: 2,
+            calls: AtomicUsize::new(0),
+            nan_instead: false,
+        };
         let est = ResilientEstimator::from_estimators(vec![Box::new(flaky)], d);
         let q = RangeQuery::new(0.0, 50.0);
         assert_eq!(est.selectivity(&q), 0.5); // healthy call 1
         assert_eq!(est.selectivity(&q), 0.5); // healthy call 2
-        // Call 3 panics inside the flaky rung; the ladder absorbs it.
+                                              // Call 3 panics inside the flaky rung; the ladder absorbs it.
         assert_eq!(est.selectivity(&q), 0.5); // uniform agrees here
         let h = est.health();
         assert_eq!(h.estimate_faults, 1);
@@ -401,7 +447,12 @@ mod tests {
     #[test]
     fn nan_estimates_count_as_faults_too() {
         let d = Domain::new(0.0, 100.0);
-        let flaky = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: true };
+        let flaky = Flaky {
+            domain: d,
+            healthy_calls: 0,
+            calls: AtomicUsize::new(0),
+            nan_instead: true,
+        };
         let est = ResilientEstimator::from_estimators(vec![Box::new(flaky)], d);
         let s = est.selectivity(&RangeQuery::new(25.0, 75.0));
         assert_eq!(s, 0.5);
@@ -412,8 +463,18 @@ mod tests {
     fn repeated_faults_quarantine_the_entry() {
         let d = Domain::new(0.0, 100.0);
         // Two flaky rungs that both immediately panic.
-        let a = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: false };
-        let b = Flaky { domain: d, healthy_calls: 0, calls: AtomicUsize::new(0), nan_instead: true };
+        let a = Flaky {
+            domain: d,
+            healthy_calls: 0,
+            calls: AtomicUsize::new(0),
+            nan_instead: false,
+        };
+        let b = Flaky {
+            domain: d,
+            healthy_calls: 0,
+            calls: AtomicUsize::new(0),
+            nan_instead: true,
+        };
         let est = ResilientEstimator::from_estimators(vec![Box::new(a), Box::new(b)], d)
             .with_quarantine_threshold(2);
         let q = RangeQuery::new(0.0, 10.0);
@@ -459,7 +520,11 @@ mod tests {
         }
         let h = est.health();
         assert_eq!(h.observations, 10);
-        assert!(h.drift > 1.0, "4.5x ratio should show as large drift, got {}", h.drift);
+        assert!(
+            h.drift > 1.0,
+            "4.5x ratio should show as large drift, got {}",
+            h.drift
+        );
         // Garbage feedback is rejected, not absorbed.
         assert!(est.observe(&q, f64::NAN).is_err());
         assert_eq!(est.health().observations, 10);

@@ -43,12 +43,13 @@ fn assert_serves_everything(est: &ResilientEstimator, domain: &Domain, label: &s
 #[test]
 fn every_kind_survives_poisoned_samples_at_every_severity() {
     let domain = Domain::new(0.0, 1_000.0);
-    let base: Vec<f64> = (0..2_000).map(|i| domain.lerp((i as f64 + 0.5) / 2_000.0)).collect();
+    let base: Vec<f64> = (0..2_000)
+        .map(|i| domain.lerp((i as f64 + 0.5) / 2_000.0))
+        .collect();
     for kind in EstimatorKind::ALL {
         for (seed, fraction) in [(1u64, 0.05), (2, 0.25), (3, 0.75), (4, 1.0)] {
             let mut sample = base.clone();
-            let report =
-                FaultInjector::new(seed).corrupt_sample(&mut sample, &domain, fraction);
+            let report = FaultInjector::new(seed).corrupt_sample(&mut sample, &domain, fraction);
             let est = ResilientEstimator::build(&sample, domain, kind);
             let label = format!("{kind:?} seed {seed} fraction {fraction}");
             assert_serves_everything(&est, &domain, &label);
@@ -58,13 +59,18 @@ fn every_kind_survives_poisoned_samples_at_every_severity() {
             // count the sample, not the injection attempts).
             let h = est.health();
             let non_finite = sample.iter().filter(|v| !v.is_finite()).count();
-            let out_of_domain =
-                sample.iter().filter(|v| v.is_finite() && !domain.contains(**v)).count();
+            let out_of_domain = sample
+                .iter()
+                .filter(|v| v.is_finite() && !domain.contains(**v))
+                .count();
             assert!(report.total() >= non_finite + out_of_domain, "{label}");
             if kind != EstimatorKind::Uniform {
                 assert_eq!(h.sample_audit.non_finite, non_finite, "{label}");
                 assert_eq!(h.sample_audit.out_of_domain, out_of_domain, "{label}");
-                assert_eq!(h.sample_audit.kept, sample.len() - non_finite - out_of_domain);
+                assert_eq!(
+                    h.sample_audit.kept,
+                    sample.len() - non_finite - out_of_domain
+                );
             }
         }
     }
@@ -86,7 +92,10 @@ fn fully_poisoned_sample_degrades_to_uniform_and_reports_it() {
     let est = ResilientEstimator::build(&sample, domain, EstimatorKind::Kernel);
     let h = est.health();
     assert_eq!(h.rungs, 1, "only the uniform rung can build");
-    assert_eq!(h.build_failures, 4, "kernel, maxdiff, equidepth, sampling all fail");
+    assert_eq!(
+        h.build_failures, 4,
+        "kernel, maxdiff, equidepth, sampling all fail"
+    );
     assert_eq!(h.active_rung, "Uniform");
     assert_serves_everything(&est, &domain, "fully poisoned");
 }
@@ -102,7 +111,10 @@ fn estimator_panics_never_cross_the_resilience_boundary() {
         vec![
             Box::new(FailingEstimator::new(domain, FailureMode::PanicAlways)),
             Box::new(FailingEstimator::new(domain, FailureMode::Return(f64::NAN))),
-            Box::new(FailingEstimator::new(domain, FailureMode::Return(f64::INFINITY))),
+            Box::new(FailingEstimator::new(
+                domain,
+                FailureMode::Return(f64::INFINITY),
+            )),
         ],
         domain,
     );
@@ -123,7 +135,10 @@ fn repeated_faults_quarantine_to_uniform_with_accurate_counters() {
     silence_panics();
     let domain = Domain::new(0.0, 10.0);
     let est = ResilientEstimator::from_estimators(
-        vec![Box::new(FailingEstimator::new(domain, FailureMode::PanicAlways))],
+        vec![Box::new(FailingEstimator::new(
+            domain,
+            FailureMode::PanicAlways,
+        ))],
         domain,
     )
     .with_quarantine_threshold(1);
@@ -142,7 +157,10 @@ fn healthy_rung_after_warmup_panics_mid_serving() {
     silence_panics();
     let domain = Domain::new(0.0, 100.0);
     let est = ResilientEstimator::from_estimators(
-        vec![Box::new(FailingEstimator::new(domain, FailureMode::PanicAfter(50)))],
+        vec![Box::new(FailingEstimator::new(
+            domain,
+            FailureMode::PanicAfter(50),
+        ))],
         domain,
     );
     // The first 50 queries come from the healthy top rung, the rest fall
@@ -158,12 +176,22 @@ fn healthy_rung_after_warmup_panics_mid_serving() {
 fn persisted_catalog() -> (Relation, String) {
     let domain = Domain::new(0.0, 1_000.0);
     let mut r = Relation::new("t");
-    let dense: Vec<f64> = (0..5_000).map(|i| 100.0 * (i as f64 + 0.5) / 5_000.0).collect();
-    let wide: Vec<f64> = (0..5_000).map(|i| 1_000.0 * (i as f64 + 0.5) / 5_000.0).collect();
+    let dense: Vec<f64> = (0..5_000)
+        .map(|i| 100.0 * (i as f64 + 0.5) / 5_000.0)
+        .collect();
+    let wide: Vec<f64> = (0..5_000)
+        .map(|i| 1_000.0 * (i as f64 + 0.5) / 5_000.0)
+        .collect();
     r.add_column(Column::new("dense", domain, dense));
     r.add_column(Column::new("wide", domain, wide));
     let mut cat = StatisticsCatalog::new();
-    cat.analyze(&r, &AnalyzeConfig { kind: EstimatorKind::MaxDiff, ..Default::default() });
+    cat.analyze(
+        &r,
+        &AnalyzeConfig {
+            kind: EstimatorKind::MaxDiff,
+            ..Default::default()
+        },
+    );
     let text = persist::encode(&cat.export());
     (r, text)
 }
@@ -194,7 +222,10 @@ fn damaged_statistics_files_never_panic_the_loader() {
             }
             Err(e) => {
                 let msg = e.to_string();
-                assert!(msg.contains("line"), "error should locate the damage: {msg}");
+                assert!(
+                    msg.contains("line"),
+                    "error should locate the damage: {msg}"
+                );
             }
         }
         // Lenient decode: whatever survives must import and serve.
@@ -207,7 +238,10 @@ fn damaged_statistics_files_never_panic_the_loader() {
             for col in ["dense", "wide"] {
                 if let Some(st) = cat.statistics("t", col) {
                     let s = st.estimator.selectivity(&RangeQuery::new(0.0, 500.0));
-                    assert!(s.is_finite() && (0.0..=1.0).contains(&s), "seed {seed} {col}");
+                    assert!(
+                        s.is_finite() && (0.0..=1.0).contains(&s),
+                        "seed {seed} {col}"
+                    );
                 }
             }
         }
@@ -219,7 +253,9 @@ fn planner_answers_or_errors_cleanly_after_catalog_damage() {
     let (r, text) = persisted_catalog();
     for seed in 0..50u64 {
         let damaged = FaultInjector::new(seed).truncate_text(&text);
-        let Ok(report) = persist::decode_lenient(&damaged) else { continue };
+        let Ok(report) = persist::decode_lenient(&damaged) else {
+            continue;
+        };
         let mut cat = StatisticsCatalog::new();
         let _ = cat.try_import(report.entries);
         for col in ["dense", "wide"] {
@@ -252,7 +288,11 @@ fn chaos_runs_are_reproducible() {
     let survivors = |seed: u64| -> Vec<String> {
         let damaged = FaultInjector::new(seed).truncate_text(&text);
         match persist::decode_lenient(&damaged) {
-            Ok(report) => report.entries.into_iter().map(|e| e.column).collect(),
+            Ok(report) => report
+                .entries
+                .into_iter()
+                .map(|e| e.column.to_string())
+                .collect(),
             Err(_) => Vec::new(),
         }
     };

@@ -10,8 +10,8 @@ use selest::data::{sample_without_replacement, QueryFile};
 use selest::histogram::{BinRule, FreedmanDiaconisBins, NormalScaleBins, PlugInBins, SturgesBins};
 use selest::kernel::{BandwidthSelector, DirectPlugIn, Lscv, NormalScale};
 use selest::{
-    equi_width, BoundaryPolicy, ErrorStats, ExactSelectivity, KernelEstimator, KernelFn,
-    PaperFile, SelectivityEstimator,
+    equi_width, BoundaryPolicy, ErrorStats, ExactSelectivity, KernelEstimator, KernelFn, PaperFile,
+    SelectivityEstimator,
 };
 
 fn main() {
@@ -40,7 +40,11 @@ fn main() {
         }
         println!("{k:>8} {:>9.2}%", 100.0 * m);
     }
-    println!("observed optimum: ~{} bins ({:.2}%)", best.0, 100.0 * best.1);
+    println!(
+        "observed optimum: ~{} bins ({:.2}%)",
+        best.0,
+        100.0 * best.1
+    );
     println!("\nwhere the bin rules land:");
     for rule in [
         Box::new(NormalScaleBins) as Box<dyn BinRule>,
@@ -50,7 +54,11 @@ fn main() {
     ] {
         let k = rule.bins(&sample, &domain);
         let m = mre(&equi_width(&sample, domain, k));
-        println!("  {:<8} -> k = {k:>4}, MRE = {:.2}%", rule.name(), 100.0 * m);
+        println!(
+            "  {:<8} -> k = {k:>4}, MRE = {:.2}%",
+            rule.name(),
+            100.0 * m
+        );
     }
 
     // --- Kernel: MRE vs. bandwidth ---
@@ -60,7 +68,10 @@ fn main() {
     for &f in &[0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5, 2.5, 4.0, 8.0] {
         let h = h_ns * f;
         let est = KernelEstimator::new(
-            &sample, domain, KernelFn::Epanechnikov, h.min(0.5 * domain.width()),
+            &sample,
+            domain,
+            KernelFn::Epanechnikov,
+            h.min(0.5 * domain.width()),
             BoundaryPolicy::BoundaryKernel,
         );
         println!("{h:>12.0} {:>9.2}%", 100.0 * mre(&est));
@@ -73,10 +84,17 @@ fn main() {
     ] {
         let h = rule.bandwidth(&sample, KernelFn::Epanechnikov);
         let est = KernelEstimator::new(
-            &sample, domain, KernelFn::Epanechnikov, h.min(0.5 * domain.width()),
+            &sample,
+            domain,
+            KernelFn::Epanechnikov,
+            h.min(0.5 * domain.width()),
             BoundaryPolicy::BoundaryKernel,
         );
-        println!("  {:<8} -> h = {h:>9.0}, MRE = {:.2}%", rule.name(), 100.0 * mre(&est));
+        println!(
+            "  {:<8} -> h = {h:>9.0}, MRE = {:.2}%",
+            rule.name(),
+            100.0 * mre(&est)
+        );
     }
     println!(
         "\noversmoothing (large h / few bins) hides the distribution; undersmoothing \

@@ -6,8 +6,9 @@
 //! cargo run --release --example correlated_predicates
 //! ```
 
-use selest::store::{AnalyzeConfig, Column, CorrelationModel, EstimatorKind, PairStatistics,
-    Relation};
+use selest::store::{
+    AnalyzeConfig, Column, CorrelationModel, EstimatorKind, PairStatistics, Relation,
+};
 use selest::{Domain, RangeQuery};
 
 fn main() {
@@ -15,7 +16,9 @@ fn main() {
     // the two attributes are almost perfectly correlated.
     let domain = Domain::new(0.0, 365.0);
     let n = 50_000;
-    let order_day: Vec<f64> = (0..n).map(|i| 365.0 * (i as f64 + 0.5) / n as f64).collect();
+    let order_day: Vec<f64> = (0..n)
+        .map(|i| 365.0 * (i as f64 + 0.5) / n as f64)
+        .collect();
     let ship_day: Vec<f64> = order_day
         .iter()
         .enumerate()
@@ -30,7 +33,10 @@ fn main() {
         &orders,
         "order_day",
         "ship_day",
-        &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() },
+        &AnalyzeConfig {
+            kind: EstimatorKind::Kernel,
+            ..Default::default()
+        },
     );
 
     println!(
@@ -40,7 +46,11 @@ fn main() {
     let cases = [
         ("both in March", (60.0, 90.0), (60.0, 90.0)),
         ("ordered March, shipped April", (60.0, 90.0), (91.0, 120.0)),
-        ("ordered March, shipped September", (60.0, 90.0), (244.0, 273.0)),
+        (
+            "ordered March, shipped September",
+            (60.0, 90.0),
+            (244.0, 273.0),
+        ),
         ("both in Q4", (274.0, 365.0), (274.0, 365.0)),
     ];
     for (label, (xa, xb), (ya, yb)) in cases {

@@ -36,7 +36,10 @@ fn main() {
     rows.shuffle(&mut rand::rngs::StdRng::seed_from_u64(4));
 
     let mut online = OnlineSelectivity::new(q);
-    println!("\n{:>10} {:>12} {:>18} {:>8}", "rows seen", "estimate", "95% interval", "covers?");
+    println!(
+        "\n{:>10} {:>12} {:>18} {:>8}",
+        "rows seen", "estimate", "95% interval", "covers?"
+    );
     let mut next_report = 100usize;
     for (i, &v) in rows.iter().enumerate() {
         online.update(v);

@@ -41,7 +41,13 @@ fn main() {
     );
     for kind in EstimatorKind::ALL {
         let mut catalog = StatisticsCatalog::new();
-        catalog.analyze(&sales, &AnalyzeConfig { kind, ..Default::default() });
+        catalog.analyze(
+            &sales,
+            &AnalyzeConfig {
+                kind,
+                ..Default::default()
+            },
+        );
         let mut total = 0.0;
         let mut worst: f64 = 1.0;
         let (mut idx_scans, mut seq_scans) = (0usize, 0usize);

@@ -59,14 +59,20 @@ fn main() {
         RangeQuery::new(c - 0.05 * w, c + 0.05 * w),   // 10% at the mean
     ];
 
-    println!("\n{:<12} {:>14} {:>14} {:>10}", "method", "estimated", "actual", "rel.err");
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>10}",
+        "method", "estimated", "actual", "rel.err"
+    );
     for q in &queries {
         let truth = exact.count(q);
         println!("-- {q} (width {:.1}% of domain)", 100.0 * q.width() / w);
         for est in &estimators {
             let rows = est.estimate_count(q, data.len());
             let rel = if truth > 0 {
-                format!("{:>9.1}%", 100.0 * (rows - truth as f64).abs() / truth as f64)
+                format!(
+                    "{:>9.1}%",
+                    100.0 * (rows - truth as f64).abs() / truth as f64
+                )
             } else {
                 "-".into()
             };

@@ -8,15 +8,20 @@
 //! ```
 
 use selest::data::{sample_without_replacement, ArapahoeConfig};
-use selest::kernel::{Boundary2d, BandwidthSelector, DirectPlugIn, NormalScale};
+use selest::kernel::{BandwidthSelector, Boundary2d, DirectPlugIn, NormalScale};
 use selest::{
-    BoundaryPolicy, Domain, ExactSelectivity, HybridEstimator, KernelEstimator,
-    KernelEstimator2d, KernelFn, RangeQuery, RectQuery, SelectivityEstimator,
+    BoundaryPolicy, Domain, ExactSelectivity, HybridEstimator, KernelEstimator, KernelEstimator2d,
+    KernelFn, RangeQuery, RectQuery, SelectivityEstimator,
 };
 
 fn main() {
     // --- 1-D: endpoints of street segments, first coordinate ---
-    let cfg = ArapahoeConfig { p: 18, n_records: 40_000, n_towns: 9, background_fraction: 0.12 };
+    let cfg = ArapahoeConfig {
+        p: 18,
+        n_records: 40_000,
+        n_towns: 9,
+        background_fraction: 0.12,
+    };
     let xs = cfg.generate("streets-x", 7);
     let domain = xs.domain();
     let exact = ExactSelectivity::new(xs.values(), domain);
@@ -31,17 +36,26 @@ fn main() {
     let h_ns = NormalScale.bandwidth(&sample, KernelFn::Epanechnikov);
     let h_dpi = DirectPlugIn::two_stage().bandwidth(&sample, KernelFn::Epanechnikov);
     let kernel_ns = KernelEstimator::new(
-        &sample, domain, KernelFn::Epanechnikov, h_ns.min(0.5 * domain.width()),
+        &sample,
+        domain,
+        KernelFn::Epanechnikov,
+        h_ns.min(0.5 * domain.width()),
         BoundaryPolicy::BoundaryKernel,
     );
     let kernel_dpi = KernelEstimator::new(
-        &sample, domain, KernelFn::Epanechnikov, h_dpi.min(0.5 * domain.width()),
+        &sample,
+        domain,
+        KernelFn::Epanechnikov,
+        h_dpi.min(0.5 * domain.width()),
         BoundaryPolicy::BoundaryKernel,
     );
     let hybrid = HybridEstimator::new(&sample, domain);
 
     println!("\n1%-of-domain window queries across the county:");
-    println!("{:<10} {:>10} {:>16} {:>16} {:>16}", "position", "actual", "kernel h-NS", "kernel h-DPI2", "hybrid");
+    println!(
+        "{:<10} {:>10} {:>16} {:>16} {:>16}",
+        "position", "actual", "kernel h-NS", "kernel h-DPI2", "hybrid"
+    );
     let w = domain.width();
     for i in 1..=9 {
         let c = domain.lo() + w * i as f64 / 10.0;
@@ -62,8 +76,13 @@ fn main() {
     );
 
     // --- 2-D: rectangle (window) queries over both coordinates ---
-    let ys = ArapahoeConfig { p: 18, n_records: 40_000, n_towns: 7, background_fraction: 0.15 }
-        .generate("streets-y", 8);
+    let ys = ArapahoeConfig {
+        p: 18,
+        n_records: 40_000,
+        n_towns: 7,
+        background_fraction: 0.15,
+    }
+    .generate("streets-y", 8);
     let points: Vec<(f64, f64)> = xs
         .values()
         .iter()
@@ -73,14 +92,21 @@ fn main() {
     let sample_2d: Vec<(f64, f64)> = points.iter().copied().step_by(20).collect();
     let d2 = Domain::power_of_two(18);
     let est2d = KernelEstimator2d::with_scott_rule(
-        &sample_2d, domain, d2, KernelFn::Epanechnikov, Boundary2d::Reflection,
+        &sample_2d,
+        domain,
+        d2,
+        KernelFn::Epanechnikov,
+        Boundary2d::Reflection,
     );
     let (h1, h2) = est2d.bandwidths();
     println!(
         "\n2-D window queries (product Epanechnikov, Scott bandwidths {h1:.0} x {h2:.0}, n = {}):",
         sample_2d.len()
     );
-    println!("{:<28} {:>10} {:>12} {:>10}", "window", "actual", "estimated", "rel.err");
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "window", "actual", "estimated", "rel.err"
+    );
     for i in 1..=4 {
         let cx = domain.lo() + w * i as f64 / 5.0;
         let cy = d2.lo() + d2.width() * (5 - i) as f64 / 5.0;
@@ -94,10 +120,16 @@ fn main() {
         let truth = points.iter().filter(|&&(x, y)| q.matches(x, y)).count();
         let est = est2d.selectivity(&q) * points.len() as f64;
         let rel = if truth > 0 {
-            format!("{:>9.1}%", 100.0 * (est - truth as f64).abs() / truth as f64)
+            format!(
+                "{:>9.1}%",
+                100.0 * (est - truth as f64).abs() / truth as f64
+            )
         } else {
             "-".into()
         };
-        println!("{:<28} {truth:>10} {est:>12.0} {rel:>10}", format!("{q:?}").chars().take(28).collect::<String>());
+        println!(
+            "{:<28} {truth:>10} {est:>12.0} {rel:>10}",
+            format!("{q:?}").chars().take(28).collect::<String>()
+        );
     }
 }

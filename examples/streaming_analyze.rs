@@ -9,8 +9,10 @@
 
 use selest::data::GkSketch;
 use selest::histogram::BinnedHistogram;
-use selest::store::{encode_statistics, decode_statistics, AnalyzeConfig, Column, EstimatorKind,
-    Relation, StatisticsCatalog};
+use selest::store::{
+    decode_statistics, encode_statistics, AnalyzeConfig, Column, EstimatorKind, Relation,
+    StatisticsCatalog,
+};
 use selest::{ExactSelectivity, PaperFile, RangeQuery, SelectivityEstimator};
 
 fn main() {
@@ -40,7 +42,10 @@ fn main() {
         .collect();
     let hist = BinnedHistogram::new(boundaries, counts, domain, "EDH");
 
-    println!("\n{:<28} {:>10} {:>12} {:>9}", "query", "actual", "estimated", "rel.err");
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>9}",
+        "query", "actual", "estimated", "rel.err"
+    );
     let w = domain.width();
     for (a, b) in [(0.0, 0.02 * w), (0.05 * w, 0.10 * w), (0.3 * w, 0.9 * w)] {
         let q = RangeQuery::new(a, b);
@@ -57,7 +62,13 @@ fn main() {
     let mut rel = Relation::new("events");
     rel.add_column(Column::new("ts", domain, data.values().to_vec()));
     let mut catalog = StatisticsCatalog::new();
-    catalog.analyze(&rel, &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() });
+    catalog.analyze(
+        &rel,
+        &AnalyzeConfig {
+            kind: EstimatorKind::Kernel,
+            ..Default::default()
+        },
+    );
     let text = encode_statistics(&catalog.export());
     println!(
         "\npersisted catalog: {} bytes of evidence for {} column(s)",
@@ -67,8 +78,14 @@ fn main() {
     let mut restored = StatisticsCatalog::new();
     restored.import(decode_statistics(&text).expect("well-formed statistics file"));
     let q = RangeQuery::new(0.0, 0.05 * w);
-    let before = catalog.statistics("events", "ts").unwrap().estimate_rows(&q);
-    let after = restored.statistics("events", "ts").unwrap().estimate_rows(&q);
+    let before = catalog
+        .statistics("events", "ts")
+        .unwrap()
+        .estimate_rows(&q);
+    let after = restored
+        .statistics("events", "ts")
+        .unwrap()
+        .estimate_rows(&q);
     println!("estimate before persist: {before:.1} rows; after restore: {after:.1} rows");
     assert_eq!(before, after);
     println!("restored estimators answer bit-identically — evidence-based persistence works");

@@ -5,6 +5,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -17,14 +20,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --benches (criterion targets)"
 cargo build -p bench --benches
 
-echo "==> bench harness smoke run (scratch output; BENCH_PR3.json untouched)"
+echo "==> bench harness smoke run (scratch output; BENCH_PR4.json untouched)"
 scripts/bench.sh --smoke --out target/bench_smoke.json
 test -s target/bench_smoke.json
 
 echo "==> bench_compare vs committed baseline (structure + checksums; generous timing gate)"
 # 1-rep smoke timings are noisy, so the ratio is deliberately loose and only
 # applies above 2ms; the checksum and structure gates are exact.
-scripts/bench_compare.sh BENCH_PR3.json target/bench_smoke.json \
+scripts/bench_compare.sh BENCH_PR4.json target/bench_smoke.json \
     --max-ratio 50 --min-us 2000 --checksum-tol 1e-9
 
 echo "==> all checks passed"

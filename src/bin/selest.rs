@@ -37,21 +37,22 @@ fn parse_paper_file(name: &str) -> PaperFile {
         .find(|f| f.name() == name)
         .unwrap_or_else(|| {
             let names: Vec<String> = all.iter().map(|f| f.name()).collect();
-            die(&format!("unknown data file {name:?}; known: {}", names.join(", ")))
+            die(&format!(
+                "unknown data file {name:?}; known: {}",
+                names.join(", ")
+            ))
         })
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .map(|i| args.get(i + 1).unwrap_or_else(|| die(&format!("{flag} needs a value"))).clone())
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+            .clone()
+    })
 }
 
-fn build_method(
-    method: &str,
-    sample: &[f64],
-    data: &DataFile,
-) -> Box<dyn SelectivityEstimator> {
+fn build_method(method: &str, sample: &[f64], data: &DataFile) -> Box<dyn SelectivityEstimator> {
     let domain = data.domain();
     let k = NormalScaleBins.bins(sample, &domain);
     match method {
@@ -75,21 +76,29 @@ fn build_method(
             ))
         }
         "hybrid" => Box::new(HybridEstimator::new(sample, domain)),
-        other => die(&format!("unknown method {other:?}; known: {}", METHODS.join(", "))),
+        other => die(&format!(
+            "unknown method {other:?}; known: {}",
+            METHODS.join(", ")
+        )),
     }
 }
 
 fn cmd_data(args: &[String]) {
-    let name = args.first().unwrap_or_else(|| die("data: missing file name"));
-    let scale: usize = flag_value(args, "--scale").map_or(1, |v| {
-        v.parse().unwrap_or_else(|_| die("bad --scale"))
-    });
+    let name = args
+        .first()
+        .unwrap_or_else(|| die("data: missing file name"));
+    let scale: usize =
+        flag_value(args, "--scale").map_or(1, |v| v.parse().unwrap_or_else(|_| die("bad --scale")));
     let data = parse_paper_file(name).generate_scaled(scale);
     let summary = selest::math::Summary::of(data.values());
     println!("file      {}", data.name());
     println!("domain    {}", data.domain());
     println!("records   {}", data.len());
-    println!("distinct  {} (avg {:.2} duplicates)", data.distinct_count(), data.avg_frequency());
+    println!(
+        "distinct  {} (avg {:.2} duplicates)",
+        data.distinct_count(),
+        data.avg_frequency()
+    );
     println!("min/max   {} / {}", summary.min, summary.max);
     println!("mean      {:.1}", summary.mean);
     println!("stddev    {:.1}", summary.stddev);
@@ -108,12 +117,10 @@ fn cmd_estimate(args: &[String]) {
     if b < a {
         die("range end below range start");
     }
-    let scale: usize = flag_value(args, "--scale").map_or(1, |v| {
-        v.parse().unwrap_or_else(|_| die("bad --scale"))
-    });
-    let n_sample: usize = flag_value(args, "--sample").map_or(2_000, |v| {
-        v.parse().unwrap_or_else(|_| die("bad --sample"))
-    });
+    let scale: usize =
+        flag_value(args, "--scale").map_or(1, |v| v.parse().unwrap_or_else(|_| die("bad --scale")));
+    let n_sample: usize = flag_value(args, "--sample")
+        .map_or(2_000, |v| v.parse().unwrap_or_else(|_| die("bad --sample")));
     let data = parse_paper_file(data_name).generate_scaled(scale);
     let exact = ExactSelectivity::new(data.values(), data.domain());
     let sample = sample_without_replacement(data.values(), n_sample.min(data.len()), 42);
@@ -149,7 +156,11 @@ fn cmd_repro(args: &[String]) {
             _ => die(&format!("--jobs needs a positive integer, got {jobs:?}")),
         }
     }
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     // Positional args are experiment ids; skip flags and their values.
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;

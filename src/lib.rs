@@ -55,8 +55,8 @@ pub use selest_par as par;
 pub use selest_store as store;
 
 pub use selest_core::{
-    DensityEstimator, Domain, Ecdf, ErrorStats, ExactSelectivity, FeedbackEstimator, RangeQuery,
-    SamplingEstimator, SelectivityEstimator, UniformEstimator,
+    ColumnSummary, DensityEstimator, Domain, Ecdf, ErrorStats, ExactSelectivity, FeedbackEstimator,
+    PreparedColumn, RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator,
 };
 pub use selest_data::{paper_data_files, DataFile, PaperFile, QueryFile};
 pub use selest_histogram::{
@@ -65,8 +65,8 @@ pub use selest_histogram::{
 };
 pub use selest_hybrid::HybridEstimator;
 pub use selest_kernel::{
-    AdaptiveBoundary, AdaptiveKernelEstimator, BoundaryPolicy, KernelEstimator,
-    KernelEstimator2d, KernelFn, RectQuery,
+    AdaptiveBoundary, AdaptiveKernelEstimator, BoundaryPolicy, KernelEstimator, KernelEstimator2d,
+    KernelFn, RectQuery,
 };
 pub use selest_store::{AnalyzeConfig, EstimatorKind, Relation, StatisticsCatalog};
 

@@ -13,10 +13,9 @@
 use selest::experiments::harness::{evaluate, evaluate_jobs};
 use selest::kernel::{AdaptiveBoundary, BandwidthSelector, NormalScale};
 use selest::{
-    equi_depth, equi_width, max_diff, v_optimal, AdaptiveKernelEstimator,
-    AverageShiftedHistogram, BoundaryPolicy, Domain, ExactSelectivity, HybridEstimator,
-    KernelEstimator, KernelFn, RangeQuery, SamplingEstimator, SelectivityEstimator,
-    UniformEstimator, WaveletHistogram,
+    equi_depth, equi_width, max_diff, v_optimal, AdaptiveKernelEstimator, AverageShiftedHistogram,
+    BoundaryPolicy, Domain, ExactSelectivity, HybridEstimator, KernelEstimator, KernelFn,
+    RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator, WaveletHistogram,
 };
 
 const LO: f64 = 0.0;
@@ -28,13 +27,15 @@ fn sample() -> Vec<f64> {
     let mut s = Vec::with_capacity(400);
     let mut x = 7u64;
     for i in 0..400u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let u = (x >> 11) as f64 / (1u64 << 53) as f64;
         s.push(match i % 5 {
             0 => 120.0 + 40.0 * u,
             1 => 640.0 + 90.0 * u,
-            2 => 250.0,        // point mass
-            3 => HI * u,       // uniform backdrop
+            2 => 250.0,           // point mass
+            3 => HI * u,          // uniform backdrop
             _ => 995.0 + 5.0 * u, // right-boundary pile-up
         });
     }
@@ -63,13 +64,22 @@ fn all_estimators(samples: &[f64]) -> Vec<(&'static str, Box<dyn SelectivityEsti
         .min(0.05 * (HI - LO));
     vec![
         ("uniform", Box::new(UniformEstimator::new(domain)) as _),
-        ("sampling", Box::new(SamplingEstimator::new(samples, domain)) as _),
+        (
+            "sampling",
+            Box::new(SamplingEstimator::new(samples, domain)) as _,
+        ),
         ("ewh", Box::new(equi_width(samples, domain, 16)) as _),
         ("edh", Box::new(equi_depth(samples, domain, 16)) as _),
         ("mdh", Box::new(max_diff(samples, domain, 16)) as _),
         ("voh", Box::new(v_optimal(samples, domain, 8, 64)) as _),
-        ("ash", Box::new(AverageShiftedHistogram::new(samples, domain, 16, 8)) as _),
-        ("wavelet", Box::new(WaveletHistogram::build(samples, domain, 6, 20)) as _),
+        (
+            "ash",
+            Box::new(AverageShiftedHistogram::new(samples, domain, 16, 8)) as _,
+        ),
+        (
+            "wavelet",
+            Box::new(WaveletHistogram::build(samples, domain, 6, 20)) as _,
+        ),
         (
             "kernel-nt",
             Box::new(KernelEstimator::new(
@@ -121,7 +131,10 @@ fn all_estimators(samples: &[f64]) -> Vec<(&'static str, Box<dyn SelectivityEsti
                 AdaptiveBoundary::Reflection,
             )) as _,
         ),
-        ("hybrid", Box::new(HybridEstimator::new(samples, domain)) as _),
+        (
+            "hybrid",
+            Box::new(HybridEstimator::new(samples, domain)) as _,
+        ),
     ]
 }
 

@@ -91,8 +91,8 @@ fn binned_psi_stays_within_documented_tolerance_on_every_fixture() {
         for r in [4usize, 6] {
             for g in [range / 400.0, range / 40.0] {
                 let naive = estimate_psi_naive(&thinned, r, g);
-                let bins = default_psi_bins(range, g)
-                    .expect("fixture range/g must fit an accurate grid");
+                let bins =
+                    default_psi_bins(range, g).expect("fixture range/g must fit an accurate grid");
                 let binned = estimate_psi_binned(&thinned, r, g, bins);
                 // default_psi_bins targets delta <= g/10, i.e. O((delta/g)^2)
                 // with a constant that grows with the derivative order —
@@ -129,7 +129,10 @@ fn fast_dpi2_bandwidth_tracks_the_naive_oracle_end_to_end() {
             .with_strategy(PsiStrategy::Windowed)
             .bandwidth(&thinned, KernelFn::Epanechnikov);
         let auto_h = DirectPlugIn::two_stage().bandwidth(&thinned, KernelFn::Epanechnikov);
-        assert!(naive_h.is_finite() && naive_h > 0.0, "{name}: bad oracle h {naive_h}");
+        assert!(
+            naive_h.is_finite() && naive_h > 0.0,
+            "{name}: bad oracle h {naive_h}"
+        );
         // h ∝ psi^(-1/5), so the windowed path's 1e-12 psi agreement
         // survives to the bandwidth essentially unchanged.
         assert!(
@@ -149,7 +152,10 @@ fn fast_dpi2_bandwidth_tracks_the_naive_oracle_end_to_end() {
 #[test]
 fn windowed_psi_is_bit_identical_for_any_worker_count() {
     for (name, sorted) in fixtures() {
-        assert!(sorted.len() >= 2_048, "{name}: fixture too small to exercise fan-out");
+        assert!(
+            sorted.len() >= 2_048,
+            "{name}: fixture too small to exercise fan-out"
+        );
         let range = sample_range(&sorted);
         for r in [4usize, 6] {
             for g in [range / 400.0, range / 40.0] {
@@ -207,7 +213,10 @@ fn lscv_score_is_bit_identical_for_any_worker_count() {
 /// Five columns with distinct shapes over the normal fixture, so the
 /// parallel ANALYZE has real per-column work to misorder if it could.
 fn catalog_relation() -> Relation {
-    let base = PaperFile::Normal { p: 20 }.generate_scaled(40).values().to_vec();
+    let base = PaperFile::Normal { p: 20 }
+        .generate_scaled(40)
+        .values()
+        .to_vec();
     let mut relation = Relation::new("build_engine");
     for c in 0..5usize {
         let scale = 1.0 + 0.3 * c as f64;
@@ -223,8 +232,15 @@ fn catalog_relation() -> Relation {
 #[test]
 fn catalog_build_is_byte_identical_for_any_worker_count() {
     let relation = catalog_relation();
-    for kind in [selest::store::EstimatorKind::Kernel, selest::store::EstimatorKind::EquiDepth] {
-        let config = AnalyzeConfig { sample_size: 800, kind, ..AnalyzeConfig::default() };
+    for kind in [
+        selest::store::EstimatorKind::Kernel,
+        selest::store::EstimatorKind::EquiDepth,
+    ] {
+        let config = AnalyzeConfig {
+            sample_size: 800,
+            kind,
+            ..AnalyzeConfig::default()
+        };
         let build = |jobs: usize| {
             let mut catalog = StatisticsCatalog::new();
             catalog.analyze_jobs(&relation, &config, jobs);

@@ -8,9 +8,7 @@ use rand::SeedableRng;
 use selest::core::integrated_squared_error;
 use selest::data::{ContinuousDistribution, Normal};
 use selest::kernel::{BandwidthSelector, NormalScale};
-use selest::{
-    equi_width, BoundaryPolicy, Domain, KernelEstimator, KernelFn, SelectivityEstimator,
-};
+use selest::{equi_width, BoundaryPolicy, Domain, KernelEstimator, KernelFn, SelectivityEstimator};
 use selest_histogram::{BinRule, NormalScaleBins};
 
 const SIZES: [usize; 3] = [250, 1_000, 4_000];
@@ -85,7 +83,13 @@ fn kernel_beats_histogram_beats_nothing_in_rate() {
     );
     // And at every size the kernel's MISE is below the histogram's.
     for (h, k) in hist_curve.iter().zip(&kernel_curve) {
-        assert!(k.1 < h.1, "at n = {}: kernel {} vs histogram {}", h.0, k.1, h.1);
+        assert!(
+            k.1 < h.1,
+            "at n = {}: kernel {} vs histogram {}",
+            h.0,
+            k.1,
+            h.1
+        );
     }
 }
 

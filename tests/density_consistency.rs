@@ -7,9 +7,8 @@
 use selest::kernel::{BandwidthSelector, NormalScale};
 use selest::math::simpson;
 use selest::{
-    equi_width, AverageShiftedHistogram, BoundaryPolicy, DensityEstimator, Domain,
-    HybridEstimator, KernelEstimator, KernelFn, RangeQuery, SelectivityEstimator,
-    UniformEstimator,
+    equi_width, AverageShiftedHistogram, BoundaryPolicy, DensityEstimator, Domain, HybridEstimator,
+    KernelEstimator, KernelFn, RangeQuery, SelectivityEstimator, UniformEstimator,
 };
 
 const LO: f64 = 0.0;
@@ -96,8 +95,13 @@ fn cases() -> Vec<Case> {
 #[test]
 fn selectivity_equals_density_integral() {
     for case in cases() {
-        for (a, b) in [(0.0, 500.0), (90.0, 150.0), (300.0, 420.0), (0.0, 30.0), (470.0, 500.0)]
-        {
+        for (a, b) in [
+            (0.0, 500.0),
+            (90.0, 150.0),
+            (300.0, 420.0),
+            (0.0, 30.0),
+            (470.0, 500.0),
+        ] {
             let q = RangeQuery::new(a, b);
             let sel = (case.selectivity)(&q);
             // Selectivities are clamped into [0, 1]; boundary-kernel masses
@@ -137,11 +141,11 @@ fn densities_are_mostly_nonnegative() {
 fn densities_integrate_to_about_one() {
     for case in cases() {
         let mass = simpson(&case.density, LO, HI, 40_000);
-        let tol = if case.name == "kernel_none" { 0.1 } else { 0.05 };
-        assert!(
-            (mass - 1.0).abs() < tol,
-            "{}: total mass {mass}",
-            case.name
-        );
+        let tol = if case.name == "kernel_none" {
+            0.1
+        } else {
+            0.05
+        };
+        assert!((mass - 1.0).abs() < tol, "{}: total mass {mass}", case.name);
     }
 }

@@ -18,7 +18,9 @@ fn all_estimators(samples: &[f64]) -> Vec<Box<dyn SelectivityEstimator>> {
     let h = if samples.len() >= 2 && selest::math::robust_scale(samples) > 0.0 {
         // Boundary kernels are derived for h far below the domain width;
         // cap like production configurations do.
-        NormalScale.bandwidth(samples, KernelFn::Epanechnikov).min(0.05 * (HI - LO))
+        NormalScale
+            .bandwidth(samples, KernelFn::Epanechnikov)
+            .min(0.05 * (HI - LO))
     } else {
         10.0
     };
@@ -172,9 +174,15 @@ fn adversarial_samples() -> Vec<(&'static str, Vec<f64>)> {
             v.extend([10.0, 20.0, 30.0]);
             v
         }),
-        ("infinities", vec![f64::INFINITY, f64::NEG_INFINITY, 5.0, 995.0]),
+        (
+            "infinities",
+            vec![f64::INFINITY, f64::NEG_INFINITY, 5.0, 995.0],
+        ),
         ("out-of-domain", vec![-1e9, 2e9, 500.0, 501.0]),
-        ("all-garbage", vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0, 1e12]),
+        (
+            "all-garbage",
+            vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0, 1e12],
+        ),
     ]
 }
 
@@ -205,7 +213,10 @@ fn resilient_path_survives_every_kind_on_every_adversarial_sample() {
             let h = est.health();
             assert!(h.rungs >= 1, "{kind:?}/{label}");
             let full = est.try_selectivity(&RangeQuery::new(LO, HI)).unwrap();
-            assert!((0.0..=1.0).contains(&full), "{kind:?}/{label}: full mass {full}");
+            assert!(
+                (0.0..=1.0).contains(&full),
+                "{kind:?}/{label}: full mass {full}"
+            );
         }
     }
 }

@@ -20,7 +20,11 @@ fn fig03_untreated_kernels_blow_up_at_the_boundary() {
 fn fig04_bin_count_has_a_sweet_spot_below_the_sampling_line() {
     let r = figures::fig04::run(&Scale::quick());
     let ewh = r.series_by_label("EWH n(20)").expect("EWH series");
-    let sampling = r.series_by_label("sampling").expect("sampling series").points[0].1;
+    let sampling = r
+        .series_by_label("sampling")
+        .expect("sampling series")
+        .points[0]
+        .1;
     assert!(ewh.y_min() < sampling);
     let best_k = ewh.argmin();
     assert!(
@@ -87,19 +91,20 @@ fn exponential_is_a_fair_zipf_substitute() {
     // than sampling is not required — but histogram and kernel both far
     // better than uniform) agrees between e(20) and a Zipf file of the
     // same shape.
+    use rand::SeedableRng;
     use selest::data::{sample_without_replacement, DataFile, Zipf};
     use selest::kernel::{BandwidthSelector, NormalScale};
     use selest::{
         equi_width, BoundaryPolicy, ExactSelectivity, KernelEstimator, KernelFn, QueryFile,
         SelectivityEstimator, UniformEstimator,
     };
-    use rand::SeedableRng;
 
     let e20 = PaperFile::Exponential { p: 20 }.generate_scaled(10);
     let zipf_dist = Zipf::new(4_096, 1.0, 0.0, e20.domain().hi());
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let zipf_values: Vec<f64> =
-        std::iter::repeat_with(|| zipf_dist.sample(&mut rng).round()).take(e20.len()).collect();
+    let zipf_values: Vec<f64> = std::iter::repeat_with(|| zipf_dist.sample(&mut rng).round())
+        .take(e20.len())
+        .collect();
     let zipf = DataFile::from_values("zipf(20)", 20, zipf_values);
 
     let rank = |data: &DataFile| {
@@ -116,7 +121,9 @@ fn exponential_is_a_fair_zipf_substitute() {
         };
         let uniform = mre(&UniformEstimator::new(domain));
         let ewh = mre(&equi_width(&sample, domain, 32));
-        let h = NormalScale.bandwidth(&sample, KernelFn::Epanechnikov).min(0.4 * domain.width());
+        let h = NormalScale
+            .bandwidth(&sample, KernelFn::Epanechnikov)
+            .min(0.4 * domain.width());
         let kernel = mre(&KernelEstimator::new(
             &sample,
             domain,
@@ -135,8 +142,14 @@ fn exponential_is_a_fair_zipf_substitute() {
     assert!(u_e > 3.0 * ewh_e, "e(20): uniform ({u_e}) vs EWH ({ewh_e})");
     assert!(u_e > 3.0 * k_e, "e(20): uniform ({u_e}) vs kernel ({k_e})");
     let (u_z, ewh_z, k_z) = rank(&zipf);
-    assert!(u_z > 1.5 * ewh_z, "zipf(20): uniform ({u_z}) vs EWH ({ewh_z})");
-    assert!(u_z > 1.5 * k_z, "zipf(20): uniform ({u_z}) vs kernel ({k_z})");
+    assert!(
+        u_z > 1.5 * ewh_z,
+        "zipf(20): uniform ({u_z}) vs EWH ({ewh_z})"
+    );
+    assert!(
+        u_z > 1.5 * k_z,
+        "zipf(20): uniform ({u_z}) vs kernel ({k_z})"
+    );
 }
 
 #[test]
@@ -154,7 +167,13 @@ fn store_analyze_plan_execute_end_to_end() {
     rel.add_column(Column::new("a", data.domain(), data.values().to_vec()));
     let index = SortedIndex::build(rel.column("a").unwrap());
     let mut catalog = StatisticsCatalog::new();
-    catalog.analyze(&rel, &AnalyzeConfig { kind: EstimatorKind::Kernel, ..Default::default() });
+    catalog.analyze(
+        &rel,
+        &AnalyzeConfig {
+            kind: EstimatorKind::Kernel,
+            ..Default::default()
+        },
+    );
 
     let w = data.domain().width();
     let mut total_regret = 0.0;
@@ -168,5 +187,8 @@ fn store_analyze_plan_execute_end_to_end() {
         n += 1;
     }
     let avg = total_regret / n as f64;
-    assert!(avg < 1.3, "average plan regret {avg} too high for kernel statistics");
+    assert!(
+        avg < 1.3,
+        "average plan regret {avg} too high for kernel statistics"
+    );
 }
