@@ -1,7 +1,7 @@
 //! The tracked perf harness: times estimator construction and query-file
 //! throughput (sequential per-query loop vs. batched merge scan vs.
 //! parallel chunked evaluation) on the standard fixtures and writes a JSON
-//! baseline (`BENCH_PR4.json`) so the repo's perf trajectory is a
+//! baseline (`BENCH_PR5.json`) so the repo's perf trajectory is a
 //! committed, diffable artifact instead of folklore.
 //!
 //! ```text
@@ -24,9 +24,13 @@
 //! one 100k-value column, legacy per-estimator construction vs. one shared
 //! `PreparedColumn` (DESIGN.md §10) — the two suites must answer the query
 //! file bit-identically, and in full mode the prepared path must build the
-//! suite >= 2x faster. A final section times the parallel catalog ANALYZE
-//! and asserts its exported evidence is byte-identical to the
-//! single-worker build.
+//! suite >= 2x faster. A `catalog` section times the parallel catalog
+//! ANALYZE and asserts its exported evidence is byte-identical to the
+//! single-worker build. A `fault_overhead` section times the PR 2 batch
+//! workload through the infallible engine and through the fault-isolated
+//! `try_map_chunks` sibling with no faults injected: the per-chunk sums
+//! must be bit-identical, and in full mode the fault-free try path must
+//! stay within 5% of the plain path (DESIGN.md §11).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -417,7 +421,7 @@ fn bench_catalog(reps: usize, jobs: usize, json: &mut String) {
         json,
         "  \"catalog\": {{\"columns\": 8, \"rows\": {}, \"kind\": \"kernel\", \
          \"analyze_seq_us\": {:.2}, \"analyze_par_us\": {:.2}, \"speedup_par\": {:.4}, \
-         \"jobs\": {}, \"export_identical\": true}}",
+         \"jobs\": {}, \"export_identical\": true}},",
         base.len(),
         seq_us,
         par_us,
@@ -426,10 +430,84 @@ fn bench_catalog(reps: usize, jobs: usize, json: &mut String) {
     );
 }
 
+/// The fault-tolerance tax on the hot serving path: the PR 2 batch
+/// workload (chunked `selectivity_batch` over the 1% query file, paper
+/// kernel configuration) run through the infallible
+/// [`selest_par::parallel_chunks_jobs`] engine and through its
+/// fault-isolated sibling [`selest_par::try_map_chunks`] with no faults
+/// injected. Per-chunk Kahan sums must be bit-identical across the two
+/// paths before any timing is reported; in full (multi-rep) mode the
+/// fault-free try path must stay within 5% of the plain path — the cost
+/// of `catch_unwind`, the per-task clock, and the deadline check is paid
+/// once per chunk, not per query.
+fn bench_fault_overhead(reps: usize, jobs: usize, json: &mut String) {
+    const CHUNK: usize = 64;
+    const FAULT_FREE_OVERHEAD_GATE: f64 = 1.05;
+    let f = fixture(PaperFile::Normal { p: 20 });
+    let domain = f.data.domain();
+    let h = DirectPlugIn::two_stage()
+        .bandwidth(&f.sample, KernelFn::Epanechnikov)
+        .min(0.5 * domain.width());
+    let est = KernelEstimator::new(
+        &f.sample,
+        domain,
+        KernelFn::Epanechnikov,
+        h,
+        BoundaryPolicy::BoundaryKernel,
+    );
+    // Widen the workload (10 passes over the query file) so per-chunk
+    // work dwarfs timer granularity and the 5% gate measures engine
+    // overhead, not noise.
+    let queries: Vec<_> = std::iter::repeat_with(|| f.queries.iter().copied())
+        .take(10)
+        .flatten()
+        .collect();
+    let chunk_sum =
+        |chunk: &[selest_core::RangeQuery]| selest_math::kahan_sum(est.selectivity_batch(chunk));
+    let (plain_us, plain) = time_best_us(reps, || {
+        selest_par::parallel_chunks_jobs(&queries, CHUNK, jobs, chunk_sum)
+    });
+    let cfg = selest_par::TryConfig::jobs(jobs);
+    let (try_us, tried) = time_best_us(reps, || {
+        selest_par::try_map_chunks(&queries, CHUNK, &cfg, chunk_sum)
+            .into_complete()
+            .expect("no faults injected")
+    });
+    assert_eq!(plain.len(), tried.len());
+    for (c, (a, b)) in plain.iter().zip(&tried).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "fault-overhead: try path drifted from plain path on chunk {c}"
+        );
+    }
+    let ratio = try_us / plain_us;
+    assert!(
+        reps == 1 || ratio <= FAULT_FREE_OVERHEAD_GATE,
+        "fault-overhead: fault-free try_map_chunks is x{ratio:.3} of map_chunks \
+         (gate: <= {FAULT_FREE_OVERHEAD_GATE})"
+    );
+    eprintln!(
+        "fault-overhead: {} queries / {CHUNK}-query chunks, plain {plain_us:.1}us, \
+         try {try_us:.1}us (x{ratio:.3}), checksums identical",
+        queries.len()
+    );
+    let _ = write!(
+        json,
+        "  \"fault_overhead\": {{\"queries\": {}, \"chunk\": {CHUNK}, \"plain_us\": {:.2}, \
+         \"try_us\": {:.2}, \"overhead_ratio\": {:.4}, \"jobs\": {}, \"checksum_identical\": true}}",
+        queries.len(),
+        plain_us,
+        try_us,
+        ratio,
+        jobs
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
-    let mut out_path = "BENCH_PR4.json".to_owned();
+    let mut out_path = "BENCH_PR5.json".to_owned();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -484,7 +562,8 @@ fn main() {
     bench_suite_build(reps, &mut json);
     json.push_str("\n  ],\n");
     bench_catalog(reps, jobs, &mut json);
-    json.push_str("}\n");
+    bench_fault_overhead(reps, jobs, &mut json);
+    json.push_str("\n}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("write {out_path}: {e}");

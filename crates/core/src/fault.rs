@@ -49,6 +49,15 @@ pub enum EstimateError {
         /// The captured panic payload (best effort).
         message: String,
     },
+    /// A parallel worker task never produced a value for a reason other
+    /// than a panic — the execution deadline expired before the task ran,
+    /// or the engine hit an internal invariant failure. Carries the
+    /// engine's task-error description.
+    TaskAbandoned {
+        /// Why the task never completed (e.g. "execution deadline
+        /// expired before the task could run").
+        reason: String,
+    },
     /// ANALYZE was asked for a column the relation does not have.
     UnknownColumn {
         /// Relation name.
@@ -117,6 +126,9 @@ impl core::fmt::Display for EstimateError {
             }
             EstimateError::Panicked { stage, message } => {
                 write!(f, "estimator panicked during {stage}: {message}")
+            }
+            EstimateError::TaskAbandoned { reason } => {
+                write!(f, "worker task abandoned: {reason}")
             }
             EstimateError::UnknownColumn { relation, column } => {
                 write!(f, "no column {column} in relation {relation}")
@@ -286,6 +298,12 @@ mod tests {
                     column: "c".into(),
                 },
                 "run ANALYZE",
+            ),
+            (
+                EstimateError::TaskAbandoned {
+                    reason: "execution deadline expired".into(),
+                },
+                "abandoned: execution deadline",
             ),
             (
                 EstimateError::CorruptEntry {

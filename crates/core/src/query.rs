@@ -31,6 +31,30 @@ impl RangeQuery {
         }
     }
 
+    /// Build `Q(a, b)` without checking the invariants — the entry point
+    /// for untrusted bounds (deserialized query logs, fault injection)
+    /// that must flow *into* the serving path so it can reject them with
+    /// a typed error instead of a constructor panic. Every fallible
+    /// serving API ([`RangeQuery::validate`]-gated) sanitizes these;
+    /// infallible estimators remain entitled to assume `new`'s invariants.
+    pub fn unchecked(a: f64, b: f64) -> Self {
+        RangeQuery { a, b }
+    }
+
+    /// Check the `finite a <= b` invariant, returning the typed
+    /// [`EstimateError::InvalidQuery`](crate::fault::EstimateError::InvalidQuery)
+    /// for degenerate bounds (NaN/±Inf endpoints, inverted ranges).
+    pub fn validate(&self) -> Result<(), crate::fault::EstimateError> {
+        if self.a.is_finite() && self.b.is_finite() && self.a <= self.b {
+            Ok(())
+        } else {
+            Err(crate::fault::EstimateError::InvalidQuery {
+                a: self.a,
+                b: self.b,
+            })
+        }
+    }
+
     /// A query of width `size_fraction * domain.width()` centered at
     /// `center`, clamped so it lies entirely inside the domain (the paper's
     /// query files reject positions that stick out of the domain; clamping
@@ -128,5 +152,27 @@ mod tests {
     #[should_panic(expected = "finite a <= b")]
     fn rejects_inverted_range() {
         let _ = RangeQuery::new(5.0, 4.0);
+    }
+
+    #[test]
+    fn validate_accepts_checked_and_rejects_degenerate_queries() {
+        assert!(RangeQuery::new(1.0, 2.0).validate().is_ok());
+        assert!(RangeQuery::unchecked(3.0, 3.0).validate().is_ok());
+        for (a, b) in [
+            (f64::NAN, 1.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (0.0, f64::NEG_INFINITY),
+            (5.0, 4.0),
+        ] {
+            let q = RangeQuery::unchecked(a, b);
+            match q.validate() {
+                Err(crate::fault::EstimateError::InvalidQuery { a: ea, b: eb }) => {
+                    assert_eq!(ea.to_bits(), a.to_bits());
+                    assert_eq!(eb.to_bits(), b.to_bits());
+                }
+                other => panic!("({a}, {b}) should be invalid, got {other:?}"),
+            }
+        }
     }
 }

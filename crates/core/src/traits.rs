@@ -1,6 +1,7 @@
 //! The estimator traits shared by every method in the workspace.
 
 use crate::domain::Domain;
+use crate::fault::{catch_fault, EstimateError, FaultStage};
 use crate::query::RangeQuery;
 
 /// An estimator of the distribution selectivity `sigma(a, b)` of range
@@ -24,6 +25,35 @@ pub trait SelectivityEstimator {
     /// estimator.
     fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
         queries.iter().map(|q| self.selectivity(q)).collect()
+    }
+
+    /// Fault-isolated batch estimation: one `Result` per query, in input
+    /// order. Where [`SelectivityEstimator::selectivity_batch`] lets one
+    /// poisoned query (or one panicking evaluation) take down the whole
+    /// batch, this degrades per query: degenerate bounds come back as
+    /// [`EstimateError::InvalidQuery`], a panicking evaluation as
+    /// [`EstimateError::Panicked`], a NaN/±Inf answer as
+    /// [`EstimateError::NonFiniteEstimate`] — and every other slot holds
+    /// exactly the value the infallible path would have produced.
+    ///
+    /// Overrides (e.g. the kernel merge scan) MUST keep successful slots
+    /// bit-identical to the per-query path, like `selectivity_batch`.
+    fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
+        queries
+            .iter()
+            .map(|q| {
+                q.validate()?;
+                let v = catch_fault(
+                    FaultStage::Estimate,
+                    std::panic::AssertUnwindSafe(|| self.selectivity(q)),
+                )?;
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(EstimateError::NonFiniteEstimate { value: v })
+                }
+            })
+            .collect()
     }
 
     /// The attribute domain this estimator was built over.

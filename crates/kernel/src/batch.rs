@@ -520,4 +520,56 @@ mod tests {
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].to_bits(), est.selectivity(&q).to_bits());
     }
+
+    #[test]
+    fn try_batch_ok_slots_are_bit_identical_to_infallible_scan() {
+        let est = KernelEstimator::new(
+            &sample(500),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        let qs = queries();
+        let plain = est.selectivity_batch(&qs);
+        let tried = est.try_selectivity_batch(&qs);
+        assert_eq!(tried.len(), qs.len());
+        for (i, (got, want)) in tried.iter().zip(&plain).enumerate() {
+            let got = got.as_ref().unwrap_or_else(|e| panic!("query {i}: {e}"));
+            assert_eq!(got.to_bits(), want.to_bits(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn try_batch_quarantines_degenerate_queries_without_disturbing_neighbours() {
+        let est = KernelEstimator::new(
+            &sample(500),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        let good = queries();
+        let mut mixed = good.clone();
+        // Splice degenerate bounds between the valid ones.
+        mixed.insert(0, RangeQuery::unchecked(f64::NAN, 10.0));
+        mixed.insert(5, RangeQuery::unchecked(30.0, f64::INFINITY));
+        mixed.push(RangeQuery::unchecked(9.0, 4.0));
+        let plain = est.selectivity_batch(&good);
+        let tried = est.try_selectivity_batch(&mixed);
+        assert_eq!(tried.len(), mixed.len());
+        let (mut ok, mut bad) = (Vec::new(), 0);
+        for slot in &tried {
+            match slot {
+                Ok(v) => ok.push(*v),
+                Err(selest_core::EstimateError::InvalidQuery { .. }) => bad += 1,
+                Err(other) => panic!("unexpected error class: {other}"),
+            }
+        }
+        assert_eq!(bad, 3);
+        assert_eq!(ok.len(), good.len());
+        for (i, (got, want)) in ok.iter().zip(&plain).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "surviving query {i}");
+        }
+    }
 }

@@ -325,6 +325,64 @@ impl SelectivityEstimator for KernelEstimator {
         crate::batch::selectivity_batch(self, queries)
     }
 
+    /// Fault-isolated batch: degenerate queries are rejected up front
+    /// (the merge scan packs cut values into integer keys and requires
+    /// finite bounds), the surviving subset runs through the same merge
+    /// scan as [`Self::selectivity_batch`] — so `Ok` slots stay
+    /// bit-identical to the infallible path — and if the scan itself
+    /// panics the batch falls back to the per-query default so one
+    /// poisoned evaluation cannot take down its neighbours.
+    fn try_selectivity_batch(
+        &self,
+        queries: &[RangeQuery],
+    ) -> Vec<Result<f64, selest_core::EstimateError>> {
+        let mut out: Vec<Result<f64, selest_core::EstimateError>> = queries
+            .iter()
+            .map(|q| q.validate().map(|()| f64::NAN))
+            .collect();
+        let valid: Vec<RangeQuery> = queries
+            .iter()
+            .zip(&out)
+            .filter(|(_, slot)| slot.is_ok())
+            .map(|(q, _)| *q)
+            .collect();
+        let scanned = selest_core::catch_fault(
+            selest_core::FaultStage::Estimate,
+            std::panic::AssertUnwindSafe(|| crate::batch::selectivity_batch(self, &valid)),
+        );
+        match scanned {
+            Ok(values) => {
+                let mut vals = values.into_iter();
+                for slot in out.iter_mut().filter(|slot| slot.is_ok()) {
+                    let v = vals.next().expect("merge scan returns one value per query");
+                    *slot = if v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err(selest_core::EstimateError::NonFiniteEstimate { value: v })
+                    };
+                }
+                out
+            }
+            // Whole-scan panic: retry query-by-query so the fault stays
+            // confined to the evaluations that actually trip it.
+            Err(_) => queries
+                .iter()
+                .map(|q| {
+                    q.validate()?;
+                    let v = selest_core::catch_fault(
+                        selest_core::FaultStage::Estimate,
+                        std::panic::AssertUnwindSafe(|| self.selectivity(q)),
+                    )?;
+                    if v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err(selest_core::EstimateError::NonFiniteEstimate { value: v })
+                    }
+                })
+                .collect(),
+        }
+    }
+
     fn selectivity(&self, q: &RangeQuery) -> f64 {
         let (l, r) = (self.domain.lo(), self.domain.hi());
         let a = q.a().max(l);

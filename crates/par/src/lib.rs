@@ -19,11 +19,35 @@
 //! `*_jobs` argument, a process-wide [`set_jobs`] override (the `--jobs N`
 //! CLI flag), the `SELEST_JOBS` environment variable, and finally
 //! [`std::thread::available_parallelism`]. Workers are plain
-//! [`std::thread::scope`] threads: no pools persist between calls, no
-//! dependencies are pulled in, and panics inside a task propagate to the
-//! caller exactly as they would sequentially.
+//! [`std::thread::scope`] threads: no pools persist between calls and no
+//! dependencies are pulled in.
+//!
+//! # Fault tolerance
+//!
+//! The engine has two faces over one core:
+//!
+//! * the **infallible** API ([`parallel_map`], [`parallel_chunks`]) keeps
+//!   its historical contract — a panicking task eventually panics the
+//!   caller — and is a thin wrapper over the fallible core;
+//! * the **fallible** API ([`try_map_chunks`], [`try_for_chunks`],
+//!   [`try_parallel_map`]) isolates every task behind `catch_unwind` and
+//!   returns one `Result<T, TaskError>` per slot. A panic poisons *its
+//!   slot*, never the batch: every other slot still carries the value a
+//!   fault-free run would have produced, bit for bit, because chunk
+//!   boundaries and merge order never depend on which tasks failed.
+//!
+//! Failed tasks can be retried in place ([`RetryPolicy`]; bounded
+//! attempts, no wall-clock backoff, so a rerun of the same inputs is
+//! reproducible) and the whole batch can run under a cooperative
+//! [`Deadline`]: workers check the shared budget between tasks and
+//! attempts, and on expiry the engine returns the finished slots plus a
+//! typed [`TaskFault::Deadline`] error per unfinished slot instead of
+//! hanging.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
 
 /// Process-wide worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -57,6 +81,496 @@ pub fn configured_jobs() -> usize {
     }
     available_workers()
 }
+
+// ---------------------------------------------------------------------------
+// Task error taxonomy
+// ---------------------------------------------------------------------------
+
+/// What went wrong with one task of a fallible batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFault {
+    /// The task panicked on its last permitted attempt; the captured
+    /// payload (and source location when the panic hook saw one) is the
+    /// bug report.
+    Panicked {
+        /// Panic payload, best effort (`&str` / `String` payloads are
+        /// captured verbatim).
+        message: String,
+    },
+    /// The shared [`Deadline`] expired before the task could run (or
+    /// finish retrying); the batch returns partial results instead of
+    /// hanging.
+    Deadline,
+    /// Engine invariant breach: the ordered reduction found a slot no
+    /// worker claimed. Unreachable by construction — surfaced as a typed
+    /// error (not a panic) so even a broken engine degrades instead of
+    /// aborting the serving process.
+    SlotNeverFilled,
+}
+
+/// A typed failure of one task slot in a fallible batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// What happened.
+    pub fault: TaskFault,
+    /// Index of the task (= output slot) that failed.
+    pub task: usize,
+    /// Item bounds `[lo, hi)` of the chunk the task covered, when the
+    /// batch was chunked (`None` for per-item maps).
+    pub bounds: Option<(usize, usize)>,
+    /// Execution attempts consumed (0 when the deadline expired before
+    /// the first attempt started).
+    pub attempts: usize,
+    /// Wall time spent inside the task across all attempts.
+    pub elapsed: Duration,
+}
+
+impl core::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "task {}", self.task)?;
+        if let Some((lo, hi)) = self.bounds {
+            write!(f, " [items {lo}..{hi}]")?;
+        }
+        match &self.fault {
+            TaskFault::Panicked { message } => write!(
+                f,
+                " panicked after {} attempt(s) in {:.1}ms: {message}",
+                self.attempts,
+                self.elapsed.as_secs_f64() * 1e3
+            ),
+            TaskFault::Deadline => write!(
+                f,
+                " hit the deadline after {} attempt(s) in {:.1}ms",
+                self.attempts,
+                self.elapsed.as_secs_f64() * 1e3
+            ),
+            TaskFault::SlotNeverFilled => {
+                write!(f, " was never filled (engine invariant breach)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Bounded in-place retry for fallible batches. Retries re-run the task
+/// immediately on the same worker — no wall-clock backoff — so a rerun of
+/// the same inputs and seeds reproduces the same attempt sequence. The
+/// `seed` does not perturb scheduling (chunk boundaries and merge order
+/// are fixed regardless); it tags the run and is meant to be threaded
+/// from the chaos harness so a failing report carries its repro seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per task (>= 1); 1 means "no retry".
+    pub max_attempts: usize,
+    /// Seed identifying the (chaos) schedule this run belongs to.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt per task.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            seed: 0,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts per task.
+    pub fn attempts(max_attempts: usize) -> Self {
+        assert!(max_attempts >= 1, "a task needs at least one attempt");
+        RetryPolicy {
+            max_attempts,
+            seed: 0,
+        }
+    }
+
+    /// Tag the policy with a chaos seed (recorded for reproducibility;
+    /// scheduling is deterministic with or without it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// A cooperative execution budget shared by every worker of a batch.
+///
+/// Workers poll it between tasks and between retry attempts; long-running
+/// task closures may poll it themselves via [`Deadline::expired`]. Expiry
+/// never interrupts a running attempt — tasks are never killed mid-write —
+/// it only stops *new* work, so the batch drains quickly and returns
+/// partial results.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    tripped: Arc<AtomicBool>,
+}
+
+impl Deadline {
+    /// No budget: the batch runs to completion.
+    pub fn never() -> Self {
+        Deadline::default()
+    }
+
+    /// Expire `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+            ..Deadline::default()
+        }
+    }
+
+    /// A deadline only [`Deadline::expire`] trips — the deterministic
+    /// variant chaos tests use to cut a batch at an exact task.
+    pub fn manual() -> Self {
+        Deadline::default()
+    }
+
+    /// A deadline that is already expired (no task will start).
+    pub fn already_expired() -> Self {
+        let d = Deadline::default();
+        d.expire();
+        d
+    }
+
+    /// Trip the deadline now; every worker observes it before claiming
+    /// its next task or attempt.
+    pub fn expire(&self) {
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.tripped.load(Ordering::Acquire) || self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// Configuration of a fallible batch run.
+#[derive(Debug, Clone, Default)]
+pub struct TryConfig {
+    /// Worker count; 0 means [`configured_jobs`].
+    pub jobs: usize,
+    /// Per-task retry policy.
+    pub retry: RetryPolicy,
+    /// Shared execution budget.
+    pub deadline: Deadline,
+}
+
+impl TryConfig {
+    /// Defaults with an explicit worker count.
+    pub fn jobs(jobs: usize) -> Self {
+        TryConfig {
+            jobs,
+            ..TryConfig::default()
+        }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// The outcome of a fallible batch: one `Result` per task, in input
+/// order. Successful slots are bit-identical to the values an infallible
+/// (or single-worker) run would have produced — failures never perturb
+/// their neighbours.
+#[derive(Debug)]
+pub struct TryOutcome<U> {
+    /// Per-task results, in input order.
+    pub slots: Vec<Result<U, TaskError>>,
+    /// Whether any slot was abandoned because the [`Deadline`] expired.
+    pub deadline_hit: bool,
+}
+
+impl<U> TryOutcome<U> {
+    /// Whether every task produced a value.
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(|s| s.is_ok())
+    }
+
+    /// Number of successful slots.
+    pub fn ok_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_ok()).count()
+    }
+
+    /// Number of failed slots.
+    pub fn err_count(&self) -> usize {
+        self.slots.len() - self.ok_count()
+    }
+
+    /// The failed slots' errors, in task order.
+    pub fn errors(&self) -> impl Iterator<Item = &TaskError> {
+        self.slots.iter().filter_map(|s| s.as_ref().err())
+    }
+
+    /// All values if the batch completed, else the first error.
+    pub fn into_complete(self) -> Result<Vec<U>, TaskError> {
+        self.slots.into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic capture
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Whether the current thread is inside a fault-isolated task (its
+    /// panics are captured, not printed).
+    static IN_ISOLATED_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Source location of the last captured panic on this thread.
+    static LAST_PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Install (once, process-wide) a panic hook that captures — instead of
+/// printing — panics raised inside fault-isolated tasks, recording their
+/// source location for the [`TaskError`]. Panics anywhere else still go
+/// to the previously installed hook, backtraces and all.
+fn install_capture_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_ISOLATED_TASK.with(Cell::get) {
+                let location = info.location().map(|l| l.to_string());
+                LAST_PANIC_LOCATION.with(|slot| *slot.borrow_mut() = location);
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Render a caught panic payload (plus the location the hook captured)
+/// into the `TaskFault::Panicked` message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    let text = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    match LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take()) {
+        Some(location) => format!("{text} (at {location})"),
+        None => text,
+    }
+}
+
+/// Run one attempt of a task with panics captured quietly.
+fn run_isolated<U>(task: impl FnOnce() -> U) -> Result<U, String> {
+    install_capture_hook();
+    IN_ISOLATED_TASK.with(|flag| flag.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+    IN_ISOLATED_TASK.with(|flag| flag.set(false));
+    result.map_err(panic_message)
+}
+
+// ---------------------------------------------------------------------------
+// The fallible core
+// ---------------------------------------------------------------------------
+
+/// Run one task to completion under the retry policy and deadline.
+/// Returns `None` only when the deadline expired before the first attempt.
+fn drive_task<U>(
+    i: usize,
+    cfg: &TryConfig,
+    bounds: Option<(usize, usize)>,
+    task: &(impl Fn(usize) -> U + Sync),
+) -> Result<U, TaskError> {
+    let started = Instant::now();
+    let mut attempts = 0usize;
+    loop {
+        if cfg.deadline.expired() {
+            return Err(TaskError {
+                fault: TaskFault::Deadline,
+                task: i,
+                bounds,
+                attempts,
+                elapsed: started.elapsed(),
+            });
+        }
+        attempts += 1;
+        match run_isolated(|| task(i)) {
+            Ok(v) => return Ok(v),
+            Err(message) => {
+                if attempts >= cfg.retry.max_attempts.max(1) {
+                    return Err(TaskError {
+                        fault: TaskFault::Panicked { message },
+                        task: i,
+                        bounds,
+                        attempts,
+                        elapsed: started.elapsed(),
+                    });
+                }
+                // Retry immediately: no wall-clock backoff, so reruns of
+                // the same inputs walk the same attempt sequence.
+            }
+        }
+    }
+}
+
+/// Shared fallible engine: evaluate `task(0..n)` with work-stealing over
+/// an atomic cursor, panic isolation, retries, and a cooperative
+/// deadline; scatter results back into input order. Slots the deadline
+/// prevented from running carry [`TaskFault::Deadline`]; the (by
+/// construction unreachable) unclaimed-slot case carries
+/// [`TaskFault::SlotNeverFilled`] instead of panicking.
+fn try_run_indexed<U, F>(
+    n: usize,
+    cfg: &TryConfig,
+    bounds_of: impl Fn(usize) -> Option<(usize, usize)> + Sync,
+    task: F,
+) -> TryOutcome<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let jobs = if cfg.jobs == 0 {
+        configured_jobs()
+    } else {
+        cfg.jobs
+    };
+    let workers = jobs.max(1).min(n);
+    let mut slots: Vec<Option<Result<U, TaskError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(drive_task(i, cfg, bounds_of(i), &task));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Result<U, TaskError>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, drive_task(i, cfg, bounds_of(i), &task)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("selest-par worker thread died"))
+                .collect()
+        });
+        for (i, r) in collected.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "slot {i} filled twice");
+            slots[i] = Some(r);
+        }
+    }
+    let mut deadline_hit = false;
+    let slots: Vec<Result<U, TaskError>> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let r = slot.unwrap_or(Err(TaskError {
+                fault: TaskFault::SlotNeverFilled,
+                task: i,
+                bounds: bounds_of(i),
+                attempts: 0,
+                elapsed: Duration::ZERO,
+            }));
+            if matches!(
+                r,
+                Err(TaskError {
+                    fault: TaskFault::Deadline,
+                    ..
+                })
+            ) {
+                deadline_hit = true;
+            }
+            r
+        })
+        .collect();
+    TryOutcome {
+        slots,
+        deadline_hit,
+    }
+}
+
+/// Fixed chunk bounds `[lo, hi)` of chunk `c` for the given input length.
+fn chunk_bounds(len: usize, chunk_size: usize, c: usize) -> (usize, usize) {
+    let lo = c * chunk_size;
+    ((lo).min(len), (lo + chunk_size).min(len))
+}
+
+/// Fallible sibling of [`parallel_chunks`]: split `items` into fixed
+/// `chunk_size` chunks, apply `f` to each chunk on the worker pool with
+/// panic isolation, and return one `Result` per chunk in chunk order.
+/// Chunk boundaries depend only on `items.len()` and `chunk_size`, so the
+/// surviving slots are bit-identical to a fault-free run for any worker
+/// count.
+pub fn try_map_chunks<T, U, F>(
+    items: &[T],
+    chunk_size: usize,
+    cfg: &TryConfig,
+    f: F,
+) -> TryOutcome<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "try_map_chunks needs a positive chunk size");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    try_run_indexed(
+        n_chunks,
+        cfg,
+        |c| Some(chunk_bounds(items.len(), chunk_size, c)),
+        |c| {
+            let (lo, hi) = chunk_bounds(items.len(), chunk_size, c);
+            f(&items[lo..hi])
+        },
+    )
+}
+
+/// Side-effecting sibling of [`try_map_chunks`]: run `f` over each fixed
+/// chunk for its effects, reporting per-chunk success/failure. Useful
+/// when the chunk writes its results somewhere else (a catalog, a file)
+/// and the caller only needs the fault map.
+pub fn try_for_chunks<T, F>(items: &[T], chunk_size: usize, cfg: &TryConfig, f: F) -> TryOutcome<()>
+where
+    T: Sync,
+    F: Fn(&[T]) + Sync,
+{
+    try_map_chunks(items, chunk_size, cfg, |chunk| f(chunk))
+}
+
+/// Fallible sibling of [`parallel_map`]: apply `f` to every item with
+/// panic isolation, one `Result` per item in input order.
+pub fn try_parallel_map<T, U, F>(items: &[T], cfg: &TryConfig, f: F) -> TryOutcome<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    try_run_indexed(items.len(), cfg, |_| None, |i| f(&items[i]))
+}
+
+// ---------------------------------------------------------------------------
+// The infallible API: thin wrappers over the fallible core
+// ---------------------------------------------------------------------------
 
 /// Apply `f` to every item, returning results in input order, using
 /// [`configured_jobs`] workers.
@@ -109,55 +623,28 @@ where
     );
     let n_chunks = items.len().div_ceil(chunk_size);
     run_indexed(n_chunks, jobs, |c| {
-        let lo = c * chunk_size;
-        let hi = (lo + chunk_size).min(items.len());
+        let (lo, hi) = chunk_bounds(items.len(), chunk_size, c);
         f(&items[lo..hi])
     })
 }
 
-/// Shared engine: evaluate `task(0..n)` with work-stealing over an atomic
-/// cursor and scatter the results back into input order.
+/// Infallible engine: one attempt per task, no deadline, and any task
+/// failure — captured panic or engine invariant breach — re-raised on the
+/// caller with the typed error's report as the payload.
 fn run_indexed<U, F>(n: usize, jobs: usize, task: F) -> Vec<U>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = jobs.max(1).min(n);
-    if workers <= 1 {
-        return (0..n).map(task).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, task(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("selest-par worker panicked"))
-            .collect()
-    });
-    for (i, u) in collected.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "slot {i} filled twice");
-        slots[i] = Some(u);
-    }
-    slots
+    let cfg = TryConfig {
+        jobs: jobs.max(1),
+        retry: RetryPolicy::none(),
+        deadline: Deadline::never(),
+    };
+    try_run_indexed(n, &cfg, |_| None, task)
+        .slots
         .into_iter()
-        .enumerate()
-        .map(|(i, u)| u.unwrap_or_else(|| panic!("slot {i} never filled")))
+        .map(|slot| slot.unwrap_or_else(|e| panic!("selest-par worker panicked: {e}")))
         .collect()
 }
 
@@ -232,5 +719,215 @@ mod tests {
             assert!(x != 63, "boom");
             x
         });
+    }
+
+    #[test]
+    fn infallible_panic_report_carries_the_payload() {
+        let items: Vec<usize> = (0..8).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_jobs(&items, 1, |&x| {
+                assert!(x != 5, "original payload {x}");
+                x
+            })
+        }));
+        let payload = caught.expect_err("must propagate");
+        let text = payload
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(text.contains("selest-par worker panicked"), "{text}");
+        assert!(text.contains("original payload 5"), "{text}");
+        assert!(text.contains("task 5"), "{text}");
+    }
+
+    #[test]
+    fn try_map_chunks_isolates_panics_per_chunk() {
+        let items: Vec<usize> = (0..100).collect();
+        let fault_free = parallel_chunks_jobs(&items, 16, 1, |c| c.iter().sum::<usize>());
+        for jobs in [1, 2, 8] {
+            let out = try_map_chunks(&items, 16, &TryConfig::jobs(jobs), |c| {
+                assert!(c[0] != 32, "chunk bomb");
+                c.iter().sum::<usize>()
+            });
+            assert_eq!(out.slots.len(), 7);
+            assert_eq!(out.err_count(), 1, "jobs={jobs}");
+            assert!(!out.deadline_hit);
+            for (i, slot) in out.slots.iter().enumerate() {
+                if i == 2 {
+                    let e = slot.as_ref().expect_err("chunk 2 panics");
+                    assert_eq!(e.task, 2);
+                    assert_eq!(e.bounds, Some((32, 48)));
+                    assert_eq!(e.attempts, 1);
+                    match &e.fault {
+                        TaskFault::Panicked { message } => {
+                            assert!(message.contains("chunk bomb"), "{message}");
+                            assert!(message.contains("lib.rs"), "location captured: {message}");
+                        }
+                        other => panic!("expected Panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*slot.as_ref().expect("survivor"), fault_free[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_for_chunks_reports_side_effect_faults() {
+        let items: Vec<usize> = (0..40).collect();
+        let hits = AtomicUsize::new(0);
+        let out = try_for_chunks(&items, 10, &TryConfig::jobs(2), |c| {
+            assert!(c[0] != 20, "no third chunk");
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.ok_count(), 3);
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert_eq!(out.errors().next().expect("one error").task, 2);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults() {
+        let items: Vec<usize> = (0..32).collect();
+        let failures = AtomicUsize::new(0);
+        let cfg = TryConfig::jobs(2).with_retry(RetryPolicy::attempts(3).with_seed(42));
+        let out = try_map_chunks(&items, 8, &cfg, |c| {
+            // Chunk 1 fails twice, then succeeds.
+            if c[0] == 8 && failures.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient");
+            }
+            c.len()
+        });
+        assert!(out.is_complete(), "{:?}", out.slots);
+        assert_eq!(
+            failures.load(Ordering::Relaxed),
+            3,
+            "2 failures + 1 success"
+        );
+        assert_eq!(out.slots[1].as_ref().unwrap(), &8);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let items: Vec<usize> = (0..8).collect();
+        let calls = AtomicUsize::new(0);
+        let cfg = TryConfig::jobs(1).with_retry(RetryPolicy::attempts(3));
+        let out = try_map_chunks(&items, 8, &cfg, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always")
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        let e = out.slots[0].as_ref().expect_err("always fails");
+        assert_eq!(e.attempts, 3);
+    }
+
+    #[test]
+    fn expired_deadline_abandons_everything() {
+        let items: Vec<usize> = (0..64).collect();
+        let cfg = TryConfig::jobs(4).with_deadline(Deadline::already_expired());
+        let ran = AtomicUsize::new(0);
+        let out = try_map_chunks(&items, 8, &cfg, |c| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            c.len()
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no task starts");
+        assert!(out.deadline_hit);
+        assert_eq!(out.err_count(), 8);
+        for e in out.errors() {
+            assert_eq!(e.fault, TaskFault::Deadline);
+            assert_eq!(e.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn manual_deadline_returns_partial_results() {
+        let items: Vec<usize> = (0..80).collect();
+        let deadline = Deadline::manual();
+        let trip = deadline.clone();
+        let cfg = TryConfig::jobs(1).with_deadline(deadline);
+        let out = try_map_chunks(&items, 10, &cfg, |c| {
+            if c[0] == 30 {
+                trip.expire();
+            }
+            c.iter().sum::<usize>()
+        });
+        assert!(out.deadline_hit);
+        // Single worker: chunks 0..=3 ran (the tripping chunk finishes —
+        // cooperative expiry never kills a running task), 4.. abandoned.
+        let fault_free = parallel_chunks_jobs(&items, 10, 1, |c| c.iter().sum::<usize>());
+        for (i, expected) in fault_free.iter().enumerate().take(4) {
+            assert_eq!(out.slots[i].as_ref().expect("ran"), expected);
+        }
+        for slot in &out.slots[4..8] {
+            assert_eq!(
+                slot.as_ref().expect_err("abandoned").fault,
+                TaskFault::Deadline
+            );
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_maps_items() {
+        let items: Vec<i64> = (0..20).collect();
+        let out = try_parallel_map(&items, &TryConfig::jobs(3), |&x| {
+            assert!(x % 7 != 3, "bad residue");
+            x * x
+        });
+        assert_eq!(out.err_count(), 3, "items 3, 10, 17");
+        for (i, slot) in out.slots.iter().enumerate() {
+            match slot {
+                Ok(v) => assert_eq!(*v, (i * i) as i64),
+                Err(e) => {
+                    assert_eq!(e.task, i);
+                    assert_eq!(e.bounds, None);
+                    assert_eq!(i % 7, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_error_displays_usefully() {
+        let e = TaskError {
+            fault: TaskFault::Panicked {
+                message: "boom".into(),
+            },
+            task: 3,
+            bounds: Some((30, 40)),
+            attempts: 2,
+            elapsed: Duration::from_millis(5),
+        };
+        let text = e.to_string();
+        assert!(text.contains("task 3"), "{text}");
+        assert!(text.contains("items 30..40"), "{text}");
+        assert!(text.contains("2 attempt(s)"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        let d = TaskError {
+            fault: TaskFault::Deadline,
+            task: 0,
+            bounds: None,
+            attempts: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert!(d.to_string().contains("deadline"), "{d}");
+        let s = TaskError {
+            fault: TaskFault::SlotNeverFilled,
+            task: 9,
+            bounds: None,
+            attempts: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert!(s.to_string().contains("never filled"), "{s}");
+    }
+
+    #[test]
+    fn into_complete_collects_or_fails() {
+        let items: Vec<usize> = (0..10).collect();
+        let ok = try_map_chunks(&items, 5, &TryConfig::jobs(2), |c| c.len());
+        assert_eq!(ok.into_complete().expect("complete"), vec![5, 5]);
+        let bad = try_map_chunks(&items, 5, &TryConfig::jobs(2), |c| {
+            assert!(c[0] != 5, "late bomb");
+            c.len()
+        });
+        assert_eq!(bad.into_complete().expect_err("chunk 1 fails").task, 1);
     }
 }

@@ -3,7 +3,7 @@
 //! paper's estimators play inside a query optimizer (its opening
 //! motivation, from System R onward).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use selest_core::fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
@@ -253,6 +253,57 @@ pub fn try_build_estimator_from_prepared(
 #[derive(Default)]
 pub struct StatisticsCatalog {
     entries: HashMap<(String, String), ColumnStatistics>,
+    /// Columns whose last bulkheaded ANALYZE/import failed, with the
+    /// typed reason. A quarantined column has no serving entry (or a
+    /// stale one from an earlier successful ANALYZE, which keeps
+    /// serving); a later successful build clears the record. BTreeMap so
+    /// health reports list columns in a stable order.
+    quarantine: BTreeMap<(String, String), crate::resilient::BuildFailure>,
+}
+
+/// One column quarantined by a bulkheaded ANALYZE or import.
+#[derive(Debug, Clone)]
+pub struct QuarantinedColumn {
+    /// Relation name.
+    pub relation: String,
+    /// Column name.
+    pub column: String,
+    /// The kind that failed to build, and why.
+    pub failure: crate::resilient::BuildFailure,
+}
+
+/// Point-in-time health of the whole catalog: how many columns serve,
+/// and which ones a bulkheaded build had to give up on.
+#[derive(Debug, Clone)]
+pub struct CatalogHealthReport {
+    /// Number of servable column entries.
+    pub entries: usize,
+    /// Columns whose last bulkheaded build failed, in `(relation,
+    /// column)` order.
+    pub quarantined: Vec<QuarantinedColumn>,
+}
+
+impl CatalogHealthReport {
+    /// Whether every attempted column is currently servable.
+    pub fn is_healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+/// Lower a parallel-engine task failure onto the estimation-error
+/// vocabulary: a worker panic is a build-stage panic; a deadline expiry
+/// or engine invariant breach becomes [`EstimateError::TaskAbandoned`]
+/// carrying the engine's description.
+fn task_error_to_estimate_error(e: selest_par::TaskError) -> EstimateError {
+    match e.fault {
+        selest_par::TaskFault::Panicked { ref message } => EstimateError::Panicked {
+            stage: FaultStage::Build,
+            message: message.clone(),
+        },
+        _ => EstimateError::TaskAbandoned {
+            reason: e.to_string(),
+        },
+    }
 }
 
 /// Assemble a [`ColumnStatistics`] entry from a drawn sample: prepare the
@@ -289,6 +340,68 @@ fn column_statistics_from_sample(
     }
 }
 
+/// Fallible core of per-column ANALYZE: draw the reservoir sample,
+/// sanitize it, build the configured estimator over a fresh
+/// [`PreparedColumn`], and hand back the assembled entry plus the
+/// sanitization audit — every failure as a typed error. The bulkheaded
+/// batch paths additionally run this inside an isolated engine task so
+/// even an uncontained panic cannot take the sibling columns down.
+fn try_column_statistics(
+    relation_name: &str,
+    column: &Column,
+    config: &AnalyzeConfig,
+) -> Result<(ColumnStatistics, SampleAudit), EstimateError> {
+    if config.sample_size == 0 {
+        return Err(EstimateError::EmptySample);
+    }
+    let raw = if config.kind == EstimatorKind::Uniform {
+        Vec::new()
+    } else {
+        reservoir_sample(
+            column.values().iter().copied(),
+            config.sample_size,
+            config.seed,
+        )
+    };
+    let domain = column.domain();
+    // Persist only the values the estimator is actually built over, so
+    // a later rebuild from disk sees the same clean evidence.
+    let (clean, audit) = sanitize_sample(&raw, &domain);
+    let (estimator, sample, prepared): (_, Arc<[f64]>, _) = if config.kind == EstimatorKind::Uniform
+    {
+        let est: Box<dyn SelectivityEstimator + Send + Sync> =
+            Box::new(UniformEstimator::new(domain));
+        (est, clean.into(), None)
+    } else {
+        if clean.is_empty() {
+            return Err(EstimateError::EmptySample);
+        }
+        let col = Arc::new(PreparedColumn::prepare(&clean, domain));
+        // The prepared column retains the clean sample in draw order;
+        // share that allocation instead of keeping a copy.
+        let sample = col.values_arc();
+        (
+            try_build_estimator_from_prepared(&col, config.kind)?,
+            sample,
+            Some(col),
+        )
+    };
+    Ok((
+        ColumnStatistics {
+            relation: relation_name.into(),
+            column: column.name().into(),
+            estimator,
+            n_rows: column.len(),
+            sample_size: sample.len(),
+            kind: config.kind,
+            sample,
+            domain,
+            prepared,
+        },
+        audit,
+    ))
+}
+
 impl StatisticsCatalog {
     /// Empty catalog.
     pub fn new() -> Self {
@@ -314,8 +427,10 @@ impl StatisticsCatalog {
                 config.seed,
             )
         };
+        let key = (relation.name().to_owned(), column_name.to_owned());
+        self.quarantine.remove(&key);
         self.entries.insert(
-            (relation.name().to_owned(), column_name.to_owned()),
+            key,
             column_statistics_from_sample(
                 relation.name().into(),
                 column_name.into(),
@@ -344,55 +459,10 @@ impl StatisticsCatalog {
                 relation: relation.name().to_owned(),
                 column: column_name.to_owned(),
             })?;
-        if config.sample_size == 0 {
-            return Err(EstimateError::EmptySample);
-        }
-        let raw = if config.kind == EstimatorKind::Uniform {
-            Vec::new()
-        } else {
-            reservoir_sample(
-                column.values().iter().copied(),
-                config.sample_size,
-                config.seed,
-            )
-        };
-        let domain = column.domain();
-        // Persist only the values the estimator is actually built over, so
-        // a later rebuild from disk sees the same clean evidence.
-        let (clean, audit) = sanitize_sample(&raw, &domain);
-        let (estimator, sample, prepared): (_, Arc<[f64]>, _) =
-            if config.kind == EstimatorKind::Uniform {
-                let est: Box<dyn SelectivityEstimator + Send + Sync> =
-                    Box::new(UniformEstimator::new(domain));
-                (est, clean.into(), None)
-            } else {
-                if clean.is_empty() {
-                    return Err(EstimateError::EmptySample);
-                }
-                let col = Arc::new(PreparedColumn::prepare(&clean, domain));
-                // The prepared column retains the clean sample in draw
-                // order; share that allocation instead of keeping a copy.
-                let sample = col.values_arc();
-                (
-                    try_build_estimator_from_prepared(&col, config.kind)?,
-                    sample,
-                    Some(col),
-                )
-            };
-        self.entries.insert(
-            (relation.name().to_owned(), column_name.to_owned()),
-            ColumnStatistics {
-                relation: relation.name().into(),
-                column: column_name.into(),
-                estimator,
-                n_rows: column.len(),
-                sample_size: sample.len(),
-                kind: config.kind,
-                sample,
-                domain,
-                prepared,
-            },
-        );
+        let (stats, audit) = try_column_statistics(relation.name(), column, config)?;
+        let key = (relation.name().to_owned(), column_name.to_owned());
+        self.quarantine.remove(&key);
+        self.entries.insert(key, stats);
         Ok(audit)
     }
 
@@ -433,10 +503,91 @@ impl StatisticsCatalog {
             )
         });
         for (column, stats) in columns.iter().zip(built) {
-            self.entries.insert(
-                (relation.name().to_owned(), column.name().to_owned()),
-                stats,
+            let key = (relation.name().to_owned(), column.name().to_owned());
+            self.quarantine.remove(&key);
+            self.entries.insert(key, stats);
+        }
+    }
+
+    /// Bulkheaded ANALYZE: like [`StatisticsCatalog::analyze`], but each
+    /// column builds in a panic-isolated engine task, and a poisoned
+    /// column — degenerate sample, panicking constructor, even a panic
+    /// escaping the per-column containment — is quarantined with its
+    /// [`crate::resilient::BuildFailure`] instead of aborting the batch.
+    /// The surviving columns form a servable partial catalog whose
+    /// exported evidence is byte-identical to what a fault-free ANALYZE
+    /// of just those columns would produce.
+    pub fn try_analyze(
+        &mut self,
+        relation: &Relation,
+        config: &AnalyzeConfig,
+    ) -> CatalogHealthReport {
+        self.try_analyze_jobs(relation, config, selest_par::configured_jobs())
+    }
+
+    /// [`StatisticsCatalog::try_analyze`] with an explicit worker count.
+    pub fn try_analyze_jobs(
+        &mut self,
+        relation: &Relation,
+        config: &AnalyzeConfig,
+        jobs: usize,
+    ) -> CatalogHealthReport {
+        self.try_analyze_with(relation, config, &selest_par::TryConfig::jobs(jobs))
+    }
+
+    /// [`StatisticsCatalog::try_analyze`] with full engine control:
+    /// worker count, retry policy (a transiently-failing build can
+    /// recover without quarantine), and execution deadline (columns the
+    /// deadline abandons quarantine as
+    /// [`EstimateError::TaskAbandoned`] and can be re-analyzed later).
+    pub fn try_analyze_with(
+        &mut self,
+        relation: &Relation,
+        config: &AnalyzeConfig,
+        engine: &selest_par::TryConfig,
+    ) -> CatalogHealthReport {
+        let columns = relation.columns();
+        let outcome = selest_par::try_parallel_map(columns, engine, |column| {
+            try_column_statistics(relation.name(), column, config)
+        });
+        // Quarantine decisions happen in column order for every worker
+        // count, like the insertions of the infallible path.
+        for (column, slot) in columns.iter().zip(outcome.slots) {
+            let key = (relation.name().to_owned(), column.name().to_owned());
+            let error = match slot {
+                Ok(Ok((stats, _audit))) => {
+                    self.quarantine.remove(&key);
+                    self.entries.insert(key, stats);
+                    continue;
+                }
+                Ok(Err(build_error)) => build_error,
+                Err(task_error) => task_error_to_estimate_error(task_error),
+            };
+            self.quarantine.insert(
+                key,
+                crate::resilient::BuildFailure {
+                    kind: config.kind,
+                    error,
+                },
             );
+        }
+        self.health()
+    }
+
+    /// Snapshot catalog health: servable entry count plus every column a
+    /// bulkheaded build quarantined, in `(relation, column)` order.
+    pub fn health(&self) -> CatalogHealthReport {
+        CatalogHealthReport {
+            entries: self.entries.len(),
+            quarantined: self
+                .quarantine
+                .iter()
+                .map(|((relation, column), failure)| QuarantinedColumn {
+                    relation: relation.clone(),
+                    column: column.clone(),
+                    failure: failure.clone(),
+                })
+                .collect(),
         }
     }
 
@@ -492,31 +643,38 @@ impl StatisticsCatalog {
             )
         });
         for (e, stats) in entries.into_iter().zip(built) {
-            self.entries
-                .insert((e.relation.to_string(), e.column.to_string()), stats);
+            let key = (e.relation.to_string(), e.column.to_string());
+            self.quarantine.remove(&key);
+            self.entries.insert(key, stats);
         }
     }
 
     /// Fault-tolerant import: entries whose estimator cannot be rebuilt
     /// (degenerate evidence from a lenient decode, a panicking
-    /// constructor) are skipped and reported as `(relation, column,
-    /// error)` instead of aborting the whole load — the recovery
-    /// counterpart of `persist::decode_lenient`.
-    /// Rebuilds run across the worker pool like [`StatisticsCatalog::import`];
-    /// failures are reported in entry order regardless of worker count.
+    /// constructor) are skipped, quarantined in the health report, and
+    /// reported as `(relation, column, error)` instead of aborting the
+    /// whole load — the recovery counterpart of
+    /// `persist::decode_lenient`. Each rebuild runs in a panic-isolated
+    /// engine task (the bulkhead of [`StatisticsCatalog::try_analyze`]),
+    /// so even a panic escaping the per-entry containment only loses that
+    /// entry; failures are reported in entry order regardless of worker
+    /// count.
     pub fn try_import(
         &mut self,
         entries: Vec<crate::persist::PersistedStatistics>,
     ) -> Vec<(String, String, EstimateError)> {
-        let built = selest_par::parallel_map(&entries, |e| {
+        let engine = selest_par::TryConfig::jobs(selest_par::configured_jobs());
+        let outcome = selest_par::try_parallel_map(&entries, &engine, |e| {
             try_build_estimator_from_sample(&e.sample, e.domain, e.kind)
         });
         let mut failures = Vec::new();
-        for (e, result) in entries.into_iter().zip(built) {
-            match result {
-                Ok((estimator, _audit)) => {
+        for (e, slot) in entries.into_iter().zip(outcome.slots) {
+            let key = (e.relation.to_string(), e.column.to_string());
+            let err = match slot {
+                Ok(Ok((estimator, _audit))) => {
+                    self.quarantine.remove(&key);
                     self.entries.insert(
-                        (e.relation.to_string(), e.column.to_string()),
+                        key,
                         ColumnStatistics {
                             estimator,
                             n_rows: e.n_rows,
@@ -529,9 +687,19 @@ impl StatisticsCatalog {
                             prepared: None,
                         },
                     );
+                    continue;
                 }
-                Err(err) => failures.push((e.relation.to_string(), e.column.to_string(), err)),
-            }
+                Ok(Err(err)) => err,
+                Err(task_error) => task_error_to_estimate_error(task_error),
+            };
+            self.quarantine.insert(
+                key.clone(),
+                crate::resilient::BuildFailure {
+                    kind: e.kind,
+                    error: err.clone(),
+                },
+            );
+            failures.push((key.0, key.1, err));
         }
         failures
     }
@@ -748,5 +916,129 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].1, "broken");
         assert_eq!(failures[0].2, EstimateError::EmptySample);
+        // The skipped entry is quarantined in the health report too.
+        let h = cat.health();
+        assert_eq!(h.entries, 1);
+        assert_eq!(h.quarantined.len(), 1);
+        assert_eq!(h.quarantined[0].column, "broken");
+        assert_eq!(h.quarantined[0].failure.error, EstimateError::EmptySample);
+    }
+
+    /// Three columns, the middle one entirely unsanitizable.
+    fn partly_poisoned_relation() -> Relation {
+        let d = Domain::new(0.0, 100.0);
+        let mut r = Relation::new("mixed");
+        let clean: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 5.0).collect();
+        r.add_column(Column::new("a", d, clean.clone()));
+        let garbage: Vec<f64> = (0..500)
+            .map(|i| match i % 4 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -40.0,
+                _ => 1e9,
+            })
+            .collect();
+        r.add_column(Column::new_unchecked("poisoned", d, garbage));
+        r.add_column(Column::new("z", d, clean));
+        r
+    }
+
+    #[test]
+    fn bulkheaded_analyze_quarantines_poisoned_columns() {
+        let r = partly_poisoned_relation();
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::Sampling,
+            ..Default::default()
+        };
+        for jobs in [1, 2, 7] {
+            let mut cat = StatisticsCatalog::new();
+            let report = cat.try_analyze_jobs(&r, &cfg, jobs);
+            assert_eq!(report.entries, 2, "jobs={jobs}");
+            assert!(!report.is_healthy());
+            assert_eq!(report.quarantined.len(), 1);
+            let q = &report.quarantined[0];
+            assert_eq!(
+                (q.relation.as_str(), q.column.as_str()),
+                ("mixed", "poisoned")
+            );
+            assert_eq!(q.failure.kind, EstimatorKind::Sampling);
+            assert_eq!(q.failure.error, EstimateError::EmptySample);
+            // Survivors serve, the quarantined column has no entry.
+            assert!(cat.statistics("mixed", "a").is_some());
+            assert!(cat.statistics("mixed", "poisoned").is_none());
+            assert!(cat.statistics("mixed", "z").is_some());
+        }
+    }
+
+    #[test]
+    fn bulkheaded_partial_catalog_exports_byte_identically_to_fault_free_survivors() {
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::Sampling,
+            ..Default::default()
+        };
+        let mut faulted = StatisticsCatalog::new();
+        faulted.try_analyze(&partly_poisoned_relation(), &cfg);
+        // A fault-free relation holding only the surviving columns.
+        let d = Domain::new(0.0, 100.0);
+        let clean: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 5.0).collect();
+        let mut survivors = Relation::new("mixed");
+        survivors.add_column(Column::new("a", d, clean.clone()));
+        survivors.add_column(Column::new("z", d, clean));
+        let mut reference = StatisticsCatalog::new();
+        reference.analyze(&survivors, &cfg);
+        let (a, b) = (faulted.export(), reference.export());
+        assert_eq!(
+            crate::persist::encode(&a),
+            crate::persist::encode(&b),
+            "surviving columns must export byte-identically"
+        );
+    }
+
+    #[test]
+    fn successful_reanalyze_clears_quarantine() {
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::Sampling,
+            ..Default::default()
+        };
+        let mut cat = StatisticsCatalog::new();
+        cat.try_analyze(&partly_poisoned_relation(), &cfg);
+        assert_eq!(cat.health().quarantined.len(), 1);
+        // The operator repairs the column and re-runs ANALYZE.
+        let d = Domain::new(0.0, 100.0);
+        let mut repaired = Relation::new("mixed");
+        let clean: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 5.0).collect();
+        repaired.add_column(Column::new("poisoned", d, clean));
+        let report = cat.try_analyze(&repaired, &cfg);
+        assert!(report.is_healthy());
+        assert_eq!(report.entries, 3);
+        assert!(cat.statistics("mixed", "poisoned").is_some());
+    }
+
+    #[test]
+    fn expired_deadline_quarantines_as_task_abandoned_not_panic() {
+        let r = partly_poisoned_relation();
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::Sampling,
+            ..Default::default()
+        };
+        let engine =
+            selest_par::TryConfig::jobs(2).with_deadline(selest_par::Deadline::already_expired());
+        let mut cat = StatisticsCatalog::new();
+        let report = cat.try_analyze_with(&r, &cfg, &engine);
+        assert_eq!(report.entries, 0);
+        assert_eq!(report.quarantined.len(), 3);
+        for q in &report.quarantined {
+            assert!(
+                matches!(q.failure.error, EstimateError::TaskAbandoned { .. }),
+                "deadline expiry must not masquerade as a panic: {:?}",
+                q.failure.error
+            );
+        }
+        // The budget problem is transient: a re-run with a live deadline
+        // heals everything except the genuinely poisoned column.
+        let report = cat.try_analyze(&r, &cfg);
+        assert_eq!(report.entries, 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].column, "poisoned");
     }
 }

@@ -124,6 +124,64 @@ impl FaultInjector {
         bytes[i] &= 0x7f;
         String::from_utf8(bytes).expect("ASCII-safe flip")
     }
+
+    /// A seeded panicking estimator: serves correctly for a drawn number
+    /// of calls in `0..max_healthy_calls`, then panics forever — the
+    /// "rung dies mid-batch" damage class.
+    pub fn panicking_estimator(
+        &mut self,
+        domain: Domain,
+        max_healthy_calls: usize,
+    ) -> FailingEstimator {
+        let healthy = if max_healthy_calls == 0 {
+            0
+        } else {
+            self.rng.random_range(0..max_healthy_calls)
+        };
+        FailingEstimator::new(domain, FailureMode::PanicAfter(healthy))
+    }
+
+    /// A seeded transiently-failing estimator: panics on its first drawn
+    /// `1..=max_failures` calls, then serves correctly forever — the
+    /// damage class a bounded retry policy is designed to absorb.
+    pub fn transient_estimator(&mut self, domain: Domain, max_failures: usize) -> FailingEstimator {
+        assert!(max_failures > 0, "a transient fault fails at least once");
+        let failures = self.rng.random_range(1..=max_failures);
+        FailingEstimator::new(domain, FailureMode::FailFirst(failures))
+    }
+
+    /// A seeded slow estimator: every call stalls for a drawn duration in
+    /// `1..=max_delay_micros` microseconds before serving correctly — the
+    /// damage class a cooperative deadline turns into partial results
+    /// instead of an unbounded hang.
+    pub fn slow_estimator(&mut self, domain: Domain, max_delay_micros: u64) -> FailingEstimator {
+        assert!(max_delay_micros > 0, "a slow task stalls at least 1us");
+        let micros = self.rng.random_range(1..=max_delay_micros);
+        FailingEstimator::new(
+            domain,
+            FailureMode::Slow(std::time::Duration::from_micros(micros)),
+        )
+    }
+
+    /// Draw `n_faults` distinct victim indices out of `n_tasks`, sorted —
+    /// the plan of which tasks/chunks/columns a chaos run poisons. Drawn
+    /// by rejection so the plan depends only on the seed and the
+    /// arguments.
+    pub fn fault_plan(&mut self, n_tasks: usize, n_faults: usize) -> Vec<usize> {
+        assert!(
+            n_faults <= n_tasks,
+            "cannot poison {n_faults} of {n_tasks} tasks"
+        );
+        let mut victims = Vec::with_capacity(n_faults);
+        while victims.len() < n_faults {
+            let i = self.rng.random_range(0..n_tasks);
+            if !victims.contains(&i) {
+                victims.push(i);
+            }
+        }
+        victims.sort_unstable();
+        victims
+    }
 }
 
 /// How a [`FailingEstimator`] misbehaves.
@@ -133,6 +191,12 @@ pub enum FailureMode {
     PanicAlways,
     /// Serve correctly for `n` calls, then panic forever.
     PanicAfter(usize),
+    /// Panic on the first `n` calls, then serve correctly forever — a
+    /// transient fault that a bounded retry policy can ride out.
+    FailFirst(usize),
+    /// Stall every call for this long before serving correctly — a slow
+    /// task for exercising cooperative deadlines.
+    Slow(std::time::Duration),
     /// Return this (typically non-finite or out-of-range) value always.
     Return(f64),
 }
@@ -172,8 +236,17 @@ impl SelectivityEstimator for FailingEstimator {
             FailureMode::PanicAfter(healthy) if n >= healthy => {
                 panic!("injected estimator failure (call {n}, after {healthy} healthy)")
             }
+            FailureMode::FailFirst(failures) if n < failures => {
+                panic!("injected transient failure (call {n} of the first {failures})")
+            }
             FailureMode::Return(v) => v,
-            FailureMode::PanicAfter(_) => self.domain.overlap(q.a(), q.b()) / self.domain.width(),
+            FailureMode::Slow(delay) => {
+                std::thread::sleep(delay);
+                self.domain.overlap(q.a(), q.b()) / self.domain.width()
+            }
+            FailureMode::PanicAfter(_) | FailureMode::FailFirst(_) => {
+                self.domain.overlap(q.a(), q.b()) / self.domain.width()
+            }
         }
     }
 
@@ -240,6 +313,52 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert_eq!(differing, 1, "exactly one byte flips");
+    }
+
+    #[test]
+    fn transient_mode_recovers_after_its_failure_budget() {
+        let d = Domain::new(0.0, 10.0);
+        let q = RangeQuery::new(0.0, 5.0);
+        let est = FailingEstimator::new(d, FailureMode::FailFirst(2));
+        for call in 0..2 {
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| est.selectivity(&q)));
+            assert!(caught.is_err(), "call {call} should panic");
+        }
+        // Healed: every later call serves correctly.
+        assert_eq!(est.selectivity(&q), 0.5);
+        assert_eq!(est.selectivity(&q), 0.5);
+        assert_eq!(est.calls(), 4);
+    }
+
+    #[test]
+    fn slow_mode_stalls_then_serves() {
+        let d = Domain::new(0.0, 10.0);
+        let q = RangeQuery::new(0.0, 5.0);
+        let est = FailingEstimator::new(d, FailureMode::Slow(std::time::Duration::from_millis(5)));
+        let t0 = std::time::Instant::now();
+        assert_eq!(est.selectivity(&q), 0.5);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn seeded_constructors_are_reproducible() {
+        let d = Domain::new(0.0, 10.0);
+        let draw = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            (
+                inj.panicking_estimator(d, 5).name(),
+                inj.transient_estimator(d, 3).name(),
+                inj.slow_estimator(d, 50).name(),
+                inj.fault_plan(10, 3),
+            )
+        };
+        assert_eq!(draw(99), draw(99));
+        let (_, transient, _, plan) = draw(99);
+        assert!(transient.starts_with("Failing(FailFirst("), "{transient}");
+        assert_eq!(plan.len(), 3);
+        assert!(plan.windows(2).all(|w| w[0] < w[1]), "sorted+distinct");
+        assert!(plan.iter().all(|&i| i < 10));
     }
 
     #[test]

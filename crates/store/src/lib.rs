@@ -27,7 +27,7 @@ pub mod resilient;
 pub use catalog::{
     build_estimator, build_estimator_from_prepared, build_estimator_from_sample,
     try_build_estimator_from_prepared, try_build_estimator_from_sample, AnalyzeConfig,
-    ColumnStatistics, EstimatorKind, StatisticsCatalog,
+    CatalogHealthReport, ColumnStatistics, EstimatorKind, QuarantinedColumn, StatisticsCatalog,
 };
 pub use conjunctive::{CorrelationModel, PairStatistics};
 pub use faultinject::{FailingEstimator, FailureMode, FaultInjector, InjectionReport};

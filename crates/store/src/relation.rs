@@ -32,6 +32,20 @@ impl Column {
         }
     }
 
+    /// Build a column without validating values against the domain — the
+    /// ingestion point for untrusted data (bulk imports, fault
+    /// injection). The infallible `ANALYZE` path is entitled to `new`'s
+    /// invariant and may panic on such a column; the bulkheaded
+    /// `try_analyze` path sanitizes the sample and quarantines the column
+    /// with a typed error when nothing usable remains.
+    pub fn new_unchecked(name: &str, domain: Domain, values: Vec<f64>) -> Self {
+        Column {
+            name: name.to_owned(),
+            domain,
+            values,
+        }
+    }
+
     /// Attribute name.
     pub fn name(&self) -> &str {
         &self.name

@@ -242,9 +242,14 @@ impl ResilientEstimator {
     /// value in `[0, 1]`; the only way to get an `Err` is an invalid query
     /// (checked before any rung runs).
     pub fn try_selectivity(&self, q: &RangeQuery) -> Result<f64, EstimateError> {
-        // Re-validate: RangeQuery invariants hold by construction, but a
-        // query outside the serving domain is still answerable (the rungs
-        // all treat out-of-domain mass as zero).
+        // Sanitize before probing any rung: untrusted bounds (built via
+        // `RangeQuery::unchecked` from query logs or fault injection) must
+        // come back as a typed `InvalidQuery`, not poison a rung with NaN
+        // comparisons and burn the fault budget. A query merely outside
+        // the serving domain is still answerable (the rungs all treat
+        // out-of-domain mass as zero), so only the finite `a <= b`
+        // invariant is enforced here.
+        q.validate()?;
         self.served.fetch_add(1, Ordering::Relaxed);
         let start = if self.quarantined.load(Ordering::Relaxed) {
             self.rungs.len() - 1
@@ -284,6 +289,15 @@ impl ResilientEstimator {
         } else {
             0.0
         })
+    }
+
+    /// Serve a batch with per-query degradation: each query walks the
+    /// ladder independently, so a rung that faults on one query demotes
+    /// the entry for the *rest of the batch* (sticky demotion is shared
+    /// state) but never turns its neighbours' answers into errors — the
+    /// only `Err` a slot can hold is `InvalidQuery` for degenerate bounds.
+    pub fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
+        queries.iter().map(|q| self.try_selectivity(q)).collect()
     }
 
     /// Feed back the true selectivity of an executed query. Updates the
@@ -343,6 +357,10 @@ impl SelectivityEstimator for ResilientEstimator {
         // try_selectivity only errs on invalid queries, which RangeQuery's
         // constructor already excludes.
         self.try_selectivity(q).unwrap_or(0.0)
+    }
+
+    fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
+        ResilientEstimator::try_selectivity_batch(self, queries)
     }
 
     fn domain(&self) -> Domain {
@@ -536,5 +554,75 @@ mod tests {
         let est = ResilientEstimator::build(&[], d, EstimatorKind::Uniform);
         assert_eq!(est.health().rungs, 1);
         assert_eq!(est.selectivity(&RangeQuery::new(0.0, 5.0)), 0.5);
+    }
+
+    #[test]
+    fn degenerate_queries_are_rejected_before_any_rung_runs() {
+        let d = Domain::new(0.0, 100.0);
+        let est = ResilientEstimator::build(&uniform_sample(200, &d), d, EstimatorKind::Kernel);
+        // One degenerate query per shape: NaN left, NaN right, +Inf left,
+        // -Inf right, inverted.
+        for (a, b) in [
+            (f64::NAN, 10.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 10.0),
+            (0.0, f64::NEG_INFINITY),
+            (60.0, 40.0),
+        ] {
+            let q = RangeQuery::unchecked(a, b);
+            match est.try_selectivity(&q) {
+                Err(EstimateError::InvalidQuery { a: ea, b: eb }) => {
+                    assert_eq!(ea.to_bits(), a.to_bits());
+                    assert_eq!(eb.to_bits(), b.to_bits());
+                }
+                other => panic!("({a}, {b}) should be InvalidQuery, got {other:?}"),
+            }
+        }
+        // Rejection happens before the ladder: no rung ran, no fault was
+        // charged, nothing was counted as served.
+        let h = est.health();
+        assert_eq!(h.estimate_faults, 0);
+        assert_eq!(h.served, 0);
+        assert_eq!(h.fallback_depth, 0);
+    }
+
+    #[test]
+    fn batch_degrades_per_query_when_a_rung_fails() {
+        let d = Domain::new(0.0, 100.0);
+        // Healthy for 2 calls, then panics forever: mid-batch demotion.
+        let flaky = Flaky {
+            domain: d,
+            healthy_calls: 2,
+            calls: AtomicUsize::new(0),
+            nan_instead: false,
+        };
+        let est = ResilientEstimator::from_estimators(vec![Box::new(flaky)], d);
+        let queries: Vec<RangeQuery> = (0..5)
+            .map(|i| RangeQuery::new(0.0, 10.0 * (i + 1) as f64))
+            .collect();
+        let mut mixed = queries.clone();
+        mixed.insert(2, RangeQuery::unchecked(f64::NAN, 1.0));
+        let out = est.try_selectivity_batch(&mixed);
+        assert_eq!(out.len(), 6);
+        assert!(matches!(out[2], Err(EstimateError::InvalidQuery { .. })));
+        // Every well-formed query still gets an answer: the first two from
+        // the flaky rung, the rest from uniform after the sticky demotion
+        // (they agree on uniform data, so all five match the overlap).
+        for (i, (q, slot)) in queries
+            .iter()
+            .zip(
+                out.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != 2)
+                    .map(|(_, s)| s),
+            )
+            .enumerate()
+        {
+            let v = slot.as_ref().unwrap_or_else(|e| panic!("query {i}: {e}"));
+            assert!((v - q.width() / 100.0).abs() < 1e-12, "query {i}: {v}");
+        }
+        let h = est.health();
+        assert_eq!(h.estimate_faults, 1, "one panic, absorbed mid-batch");
+        assert_eq!(h.active_rung, "Uniform");
     }
 }

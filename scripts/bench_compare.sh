@@ -14,10 +14,17 @@
 #                      baseline by more than T relative (default 1e-9 —
 #                      checksums are deterministic across reps and worker
 #                      counts, so any real drift is a semantic change)
+#   --fault-overhead-max R
+#                      fail if a full-mode file reports a fault_overhead
+#                      ratio (fault-free try_map_chunks vs map_chunks)
+#                      above R (default 1.05). Smoke files are exempt —
+#                      1-rep timings cannot support a 5% gate — but must
+#                      still carry the section when the baseline does.
 #
 # Structure gate: every (fixture, estimator) row of the baseline must exist
-# in the new file, and if the baseline has a catalog section the new file
-# must too. Extra rows in the new file are allowed (baselines only grow).
+# in the new file, and if the baseline has a catalog or fault_overhead
+# section the new file must too. Extra rows in the new file are allowed
+# (baselines only grow).
 set -euo pipefail
 
 if [ $# -lt 2 ]; then
@@ -31,11 +38,13 @@ shift 2
 max_ratio=3
 min_us=100
 checksum_tol=1e-9
+fault_overhead_max=1.05
 while [ $# -gt 0 ]; do
     case "$1" in
-        --max-ratio)    max_ratio=$2; shift 2 ;;
-        --min-us)       min_us=$2; shift 2 ;;
-        --checksum-tol) checksum_tol=$2; shift 2 ;;
+        --max-ratio)          max_ratio=$2; shift 2 ;;
+        --min-us)             min_us=$2; shift 2 ;;
+        --checksum-tol)       checksum_tol=$2; shift 2 ;;
+        --fault-overhead-max) fault_overhead_max=$2; shift 2 ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
@@ -48,6 +57,7 @@ for f in "$baseline" "$new"; do
 done
 
 awk -v max_ratio="$max_ratio" -v min_us="$min_us" -v tol="$checksum_tol" \
+    -v fault_max="$fault_overhead_max" \
     -v baseline="$baseline" -v new_file="$new" '
 function field_num(line, key,    r) {
     # Extract the numeric value following "key": in a JSON row line.
@@ -73,6 +83,19 @@ function abs(x) { return x < 0 ? -x : x }
     if (index($0, "\"catalog\":") > 0) {
         if (in_base) base_has_catalog = 1
         else          new_has_catalog = 1
+    }
+    if (index($0, "\"mode\":") > 0) {
+        if (in_base) base_mode = field_str($0, "mode")
+        else          new_mode = field_str($0, "mode")
+    }
+    if (index($0, "\"fault_overhead\":") > 0) {
+        if (in_base) {
+            base_has_fault = 1
+            base_fault_ratio = field_num($0, "overhead_ratio")
+        } else {
+            new_has_fault = 1
+            new_fault_ratio = field_num($0, "overhead_ratio")
+        }
     }
     if (index($0, "\"name\":") > 0 && index($0, "\"build_us\":") > 0) {
         if (in_base) {
@@ -129,6 +152,25 @@ END {
     }
     if (base_has_catalog && !new_has_catalog) {
         printf "FAIL catalog section missing from %s\n", new_file
+        fails++
+    }
+    if (base_has_fault && !new_has_fault) {
+        printf "FAIL fault_overhead section missing from %s\n", new_file
+        fails++
+    }
+    # Fault-free-path overhead gate: full-mode (multi-rep) files must keep
+    # try_map_chunks within fault_max of map_chunks. Smoke timings are
+    # 1-rep noise and only structure-checked.
+    if (base_has_fault && base_mode == "full" && base_fault_ratio != "NA" && \
+        base_fault_ratio > fault_max) {
+        printf "FAIL %s: fault_overhead ratio %.4f > %.4f\n", \
+            baseline, base_fault_ratio, fault_max
+        fails++
+    }
+    if (new_has_fault && new_mode == "full" && new_fault_ratio != "NA" && \
+        new_fault_ratio > fault_max) {
+        printf "FAIL %s: fault_overhead ratio %.4f > %.4f\n", \
+            new_file, new_fault_ratio, fault_max
         fails++
     }
     if (fails > 0) {

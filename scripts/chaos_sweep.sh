@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Seed sweep for the chaos suite (tests/chaos_parallel.rs): run the full
+# fault-injection battery across a range of SELEST_CHAOS_SEED values and
+# the two interesting worker counts (inline single-worker and an
+# oversubscribed pool). The suite's assertions are seed-independent —
+# every victim set drawn by the FaultInjector must quarantine cleanly and
+# every survivor must stay bit-identical — so any failing combination is a
+# real bug, and this script prints it as a one-line repro command.
+#
+#   scripts/chaos_sweep.sh             # seeds 0..7 x jobs {1, 7}
+#   scripts/chaos_sweep.sh --seeds N   # seeds 0..N-1
+#   scripts/chaos_sweep.sh --jobs "1 2 7"
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+n_seeds=8
+jobs_list="1 7"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --seeds) n_seeds=$2; shift 2 ;;
+        --jobs)  jobs_list=$2; shift 2 ;;
+        *) echo "unknown option $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> building chaos suite"
+cargo test -q --test chaos_parallel --no-run
+
+fails=0
+runs=0
+for seed in $(seq 0 $((n_seeds - 1))); do
+    for j in $jobs_list; do
+        runs=$((runs + 1))
+        if SELEST_CHAOS_SEED=$seed SELEST_JOBS=$j \
+            cargo test -q --test chaos_parallel >/dev/null 2>&1; then
+            echo "ok   seed=$seed jobs=$j"
+        else
+            fails=$((fails + 1))
+            echo "FAIL seed=$seed jobs=$j"
+            echo "     repro: SELEST_CHAOS_SEED=$seed SELEST_JOBS=$j cargo test --test chaos_parallel"
+        fi
+    done
+done
+
+if [ "$fails" -gt 0 ]; then
+    echo "chaos_sweep: $fails of $runs combinations failed"
+    exit 1
+fi
+echo "chaos_sweep: all $runs seed/jobs combinations passed"
