@@ -75,11 +75,39 @@ pub enum EstimateError {
     /// A persisted statistics entry failed validation (checksum, field
     /// grammar, or value sanity); `line` is 1-based in the stats file.
     CorruptEntry {
+        /// File the damage was found in (`None` for in-memory decodes).
+        path: Option<String>,
         /// Line number where the entry starts (1-based).
         line: usize,
+        /// Byte offset of that line's start in the file (0 when unknown).
+        offset: usize,
         /// What was wrong.
         message: String,
     },
+    /// A filesystem operation on the durable statistics path failed — or
+    /// was aborted by an injected crash (`store::faultinject::CrashPlan`).
+    /// Carries the path and the operation so recovery reports and `fsck`
+    /// output name the exact failure site.
+    Io {
+        /// File or directory the operation targeted.
+        path: String,
+        /// What was being attempted (e.g. "fsync parent dir").
+        op: String,
+        /// The underlying I/O error (or the injected crash point).
+        message: String,
+    },
+}
+
+impl EstimateError {
+    /// Attach file-path context to persistence errors: fills the `path` of
+    /// a [`EstimateError::CorruptEntry`] produced by an in-memory decode.
+    /// Other variants pass through unchanged.
+    pub fn with_path(mut self, p: &std::path::Path) -> Self {
+        if let EstimateError::CorruptEntry { path, .. } = &mut self {
+            *path = Some(p.display().to_string());
+        }
+        self
+    }
 }
 
 /// The pipeline stage at which a caught panic occurred.
@@ -136,8 +164,23 @@ impl core::fmt::Display for EstimateError {
             EstimateError::MissingStatistics { relation, column } => {
                 write!(f, "no statistics for {relation}.{column}; run ANALYZE")
             }
-            EstimateError::CorruptEntry { line, message } => {
-                write!(f, "corrupt statistics entry at line {line}: {message}")
+            EstimateError::CorruptEntry {
+                path,
+                line,
+                offset,
+                message,
+            } => {
+                if let Some(p) = path {
+                    write!(
+                        f,
+                        "corrupt statistics entry in {p} at line {line} (byte {offset}): {message}"
+                    )
+                } else {
+                    write!(f, "corrupt statistics entry at line {line}: {message}")
+                }
+            }
+            EstimateError::Io { path, op, message } => {
+                write!(f, "io failure during {op} on {path}: {message}")
             }
         }
     }
@@ -307,10 +350,29 @@ mod tests {
             ),
             (
                 EstimateError::CorruptEntry {
+                    path: None,
                     line: 7,
+                    offset: 0,
                     message: "bad".into(),
                 },
                 "line 7",
+            ),
+            (
+                EstimateError::CorruptEntry {
+                    path: Some("store/gen-000001.stats".into()),
+                    line: 7,
+                    offset: 142,
+                    message: "bad".into(),
+                },
+                "gen-000001.stats at line 7 (byte 142)",
+            ),
+            (
+                EstimateError::Io {
+                    path: "store/MANIFEST".into(),
+                    op: "fsync parent dir".into(),
+                    message: "permission denied".into(),
+                },
+                "fsync parent dir on store/MANIFEST",
             ),
         ];
         for (e, needle) in cases {

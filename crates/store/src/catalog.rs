@@ -626,6 +626,17 @@ impl StatisticsCatalog {
         out
     }
 
+    /// Publish the catalog's entries to a [`crate::durable::DurableStore`]
+    /// as a new crash-safe generation. Returns the committed generation
+    /// number. The store's feedback journal resets: corrections learned
+    /// against the previous statistics do not transfer.
+    pub fn publish_to(
+        &self,
+        store: &mut crate::durable::DurableStore,
+    ) -> Result<u64, EstimateError> {
+        store.publish(self.export())
+    }
+
     /// Import persisted evidence, rebuilding each estimator
     /// deterministically and replacing any existing entries. Rebuilds fan
     /// out over [`selest_par::configured_jobs`] workers; the catalog ends

@@ -184,6 +184,131 @@ impl FaultInjector {
     }
 }
 
+/// One I/O boundary in the durable store's write/commit path where a
+/// simulated crash can strike. The four atomic-write sites (snapshot,
+/// feedback file, manifest, journal reset) each expose three boundaries —
+/// a torn partial write of the temp file, a completed-but-unrenamed temp
+/// file, and a renamed file whose directory entry was never synced — and
+/// the append-only journal adds a mid-record tear and a pre-fsync loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Torn write of the generation snapshot's temp file.
+    SnapshotPartialWrite,
+    /// Snapshot temp written+synced but the rename never happened.
+    SnapshotPreRename,
+    /// Snapshot renamed but the directory entry never synced.
+    SnapshotPostRename,
+    /// Torn write of the feedback file's temp file.
+    FeedbackPartialWrite,
+    /// Feedback temp written+synced but the rename never happened.
+    FeedbackPreRename,
+    /// Feedback file renamed but the directory entry never synced.
+    FeedbackPostRename,
+    /// Torn write of the manifest's temp file.
+    ManifestPartialWrite,
+    /// Manifest temp written+synced but the rename never happened.
+    ManifestPreRename,
+    /// Manifest renamed but the directory entry never synced.
+    ManifestPostRename,
+    /// Torn write of the journal-reset temp file.
+    JournalResetPartialWrite,
+    /// Journal-reset temp written+synced but the rename never happened.
+    JournalResetPreRename,
+    /// Journal reset renamed but the directory entry never synced.
+    JournalResetPostRename,
+    /// A journal append torn mid-record (half a record line on disk).
+    JournalMidRecord,
+    /// A journal append fully written but lost before its fsync.
+    JournalPreSync,
+}
+
+impl CrashPoint {
+    /// Every crash point, in write-path order — the sweep domain for the
+    /// chaos gate (`scripts/chaos_sweep.sh --crash`).
+    pub const ALL: [CrashPoint; 14] = [
+        CrashPoint::SnapshotPartialWrite,
+        CrashPoint::SnapshotPreRename,
+        CrashPoint::SnapshotPostRename,
+        CrashPoint::FeedbackPartialWrite,
+        CrashPoint::FeedbackPreRename,
+        CrashPoint::FeedbackPostRename,
+        CrashPoint::ManifestPartialWrite,
+        CrashPoint::ManifestPreRename,
+        CrashPoint::ManifestPostRename,
+        CrashPoint::JournalResetPartialWrite,
+        CrashPoint::JournalResetPreRename,
+        CrashPoint::JournalResetPostRename,
+        CrashPoint::JournalMidRecord,
+        CrashPoint::JournalPreSync,
+    ];
+}
+
+impl core::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A one-shot plan for *where* the next simulated crash strikes.
+///
+/// The durable store consults the plan at every I/O boundary; when the
+/// armed point is reached the store leaves the filesystem in exactly the
+/// state a real crash would (torn temp file, unrenamed temp, unsynced
+/// rename) and returns a typed [`selest_core::fault::EstimateError::Io`]
+/// instead of proceeding. The plan fires at most once, so recovery code
+/// runs against the damaged store without being re-crashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPlan {
+    target: Option<CrashPoint>,
+    fired: bool,
+}
+
+impl CrashPlan {
+    /// A plan that never fires — the production configuration.
+    pub fn inert() -> Self {
+        CrashPlan {
+            target: None,
+            fired: false,
+        }
+    }
+
+    /// A plan that crashes at exactly `point`.
+    pub fn at(point: CrashPoint) -> Self {
+        CrashPlan {
+            target: Some(point),
+            fired: false,
+        }
+    }
+
+    /// A seeded plan: the same seed always arms the same crash point, so
+    /// a failing chaos seed is a reproducible bug report.
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let i = rng.random_range(0..CrashPoint::ALL.len());
+        CrashPlan::at(CrashPoint::ALL[i])
+    }
+
+    /// The armed crash point, if any.
+    pub fn target(&self) -> Option<CrashPoint> {
+        self.target
+    }
+
+    /// Whether the plan already struck.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Consult the plan at an I/O boundary: `true` exactly once, when
+    /// `point` is the armed target and the plan has not fired yet.
+    pub fn fires_at(&mut self, point: CrashPoint) -> bool {
+        if self.fired || self.target != Some(point) {
+            return false;
+        }
+        self.fired = true;
+        true
+    }
+}
+
 /// How a [`FailingEstimator`] misbehaves.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureMode {
@@ -359,6 +484,37 @@ mod tests {
         assert_eq!(plan.len(), 3);
         assert!(plan.windows(2).all(|w| w[0] < w[1]), "sorted+distinct");
         assert!(plan.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn crash_plans_fire_once_at_their_armed_point() {
+        let mut plan = CrashPlan::at(CrashPoint::ManifestPreRename);
+        assert!(!plan.fires_at(CrashPoint::SnapshotPartialWrite));
+        assert!(!plan.has_fired());
+        assert!(plan.fires_at(CrashPoint::ManifestPreRename));
+        assert!(plan.has_fired());
+        // One-shot: recovery after the crash is not re-crashed.
+        assert!(!plan.fires_at(CrashPoint::ManifestPreRename));
+        let mut inert = CrashPlan::inert();
+        for p in CrashPoint::ALL {
+            assert!(!inert.fires_at(p));
+        }
+    }
+
+    #[test]
+    fn seeded_crash_plans_are_reproducible_and_cover_all_points() {
+        assert_eq!(CrashPlan::seeded(17), CrashPlan::seeded(17));
+        let mut hit = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            if let Some(t) = CrashPlan::seeded(seed).target() {
+                hit.insert(format!("{t}"));
+            }
+        }
+        assert_eq!(
+            hit.len(),
+            CrashPoint::ALL.len(),
+            "200 seeds should cover every crash point"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 pub mod catalog;
 pub mod conjunctive;
+pub mod durable;
 pub mod faultinject;
 pub mod index;
 pub mod online;
@@ -30,7 +31,13 @@ pub use catalog::{
     CatalogHealthReport, ColumnStatistics, EstimatorKind, QuarantinedColumn, StatisticsCatalog,
 };
 pub use conjunctive::{CorrelationModel, PairStatistics};
-pub use faultinject::{FailingEstimator, FailureMode, FaultInjector, InjectionReport};
+pub use durable::{
+    fsck, DriftAlarm, DurableStore, FeedbackState, FsckReport, JournalRecord, OnlineCheckpoint,
+    RecoveryReport, RecoveryRung, RetentionPolicy,
+};
+pub use faultinject::{
+    CrashPlan, CrashPoint, FailingEstimator, FailureMode, FaultInjector, InjectionReport,
+};
 pub use index::SortedIndex;
 pub use online::{OnlineSelectivity, Snapshot};
 pub use persist::{decode as decode_statistics, encode as encode_statistics, PersistedStatistics};

@@ -17,11 +17,16 @@
 //!
 //! Version 1 files (no `check` lines) still load. Durability hardening:
 //!
-//! * [`save_to_path`] writes atomically — temp file in the same
-//!   directory, fsync, rename — so a crash mid-save leaves the previous
-//!   file intact, never a torn one;
-//! * [`decode`] is strict and reports the 1-based line of the first
-//!   problem; it never panics and never silently truncates;
+//! * [`save_to_path`] writes atomically with full durability ordering —
+//!   temp file in the same directory, fsync file, fsync parent dir,
+//!   rename, fsync parent dir again — so a crash mid-save leaves the
+//!   previous file intact (never torn), and a crash *after* the rename
+//!   cannot lose the new name to an unsynced directory; failures are
+//!   typed [`EstimateError::Io`] values naming the path and operation;
+//! * [`decode`] is strict and reports the 1-based line and byte offset of
+//!   the first problem; it never panics and never silently truncates;
+//!   the `*_from_path` loaders additionally stamp the file path onto
+//!   every corruption error so `fsck` output names the exact site;
 //! * [`decode_lenient`] recovers per entry: damaged entries are skipped
 //!   and reported, intact entries still load — one flipped bit costs one
 //!   column's statistics, not the catalog.
@@ -157,9 +162,35 @@ enum Version {
 
 fn corrupt(line: usize, message: impl Into<String>) -> EstimateError {
     EstimateError::CorruptEntry {
-        line,
+        path: None,
+        line: line.max(1),
+        offset: 0,
         message: message.into(),
     }
+}
+
+/// Byte offset of the start of each line of `text` (companion to
+/// `text.lines()` indexing).
+fn line_offsets(text: &str) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut pos = 0;
+    for line in text.split_inclusive('\n') {
+        offsets.push(pos);
+        pos += line.len();
+    }
+    offsets
+}
+
+/// Stamp the byte offset of the damaged line onto a decode error, so
+/// quarantine reports and `fsck` output name the exact corruption site.
+fn stamp_offset(mut e: EstimateError, offsets: &[usize], text_len: usize) -> EstimateError {
+    if let EstimateError::CorruptEntry { line, offset, .. } = &mut e {
+        *offset = offsets
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(text_len);
+    }
+    e
 }
 
 /// Parse one entry starting at `lines[i]` (a non-empty line). Returns the
@@ -306,7 +337,9 @@ fn parse_header(lines: &[&str]) -> Result<Version, EstimateError> {
 /// problem. Never panics, never silently drops an entry.
 pub fn decode(text: &str) -> Result<Vec<PersistedStatistics>, EstimateError> {
     let lines: Vec<&str> = text.lines().collect();
-    let version = parse_header(&lines)?;
+    let offsets = line_offsets(text);
+    let stamp = |e| stamp_offset(e, &offsets, text.len());
+    let version = parse_header(&lines).map_err(stamp)?;
     let mut entries = Vec::new();
     let mut i = 1;
     while i < lines.len() {
@@ -314,7 +347,7 @@ pub fn decode(text: &str) -> Result<Vec<PersistedStatistics>, EstimateError> {
             i += 1;
             continue;
         }
-        let (entry, next) = parse_entry(&lines, i, version)?;
+        let (entry, next) = parse_entry(&lines, i, version).map_err(stamp)?;
         entries.push(entry);
         i = next;
     }
@@ -338,7 +371,9 @@ pub struct DecodeReport {
 /// grammar to recover in.
 pub fn decode_lenient(text: &str) -> Result<DecodeReport, EstimateError> {
     let lines: Vec<&str> = text.lines().collect();
-    let version = parse_header(&lines)?;
+    let offsets = line_offsets(text);
+    let stamp = |e| stamp_offset(e, &offsets, text.len());
+    let version = parse_header(&lines).map_err(stamp)?;
     let mut report = DecodeReport {
         entries: Vec::new(),
         errors: Vec::new(),
@@ -355,7 +390,7 @@ pub fn decode_lenient(text: &str) -> Result<DecodeReport, EstimateError> {
                 i = next;
             }
             Err(e) => {
-                report.errors.push(e);
+                report.errors.push(stamp(e));
                 // Resume at the next plausible entry start.
                 i += 1;
                 while i < lines.len() && !lines[i].starts_with("stat ") {
@@ -367,23 +402,66 @@ pub fn decode_lenient(text: &str) -> Result<DecodeReport, EstimateError> {
     Ok(report)
 }
 
-fn temp_sibling(path: &Path) -> PathBuf {
+pub(crate) fn temp_sibling(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
     PathBuf::from(os)
 }
 
-/// Atomically persist `entries` to `path`: encode to a temp file in the
-/// same directory, fsync it, then rename over the target. A crash at any
-/// point leaves either the old file or the new one — never a torn mix.
-pub fn save_to_path(path: &Path, entries: &[PersistedStatistics]) -> std::io::Result<()> {
+/// Lower an `io::Error` onto the typed vocabulary with path + operation
+/// context.
+pub(crate) fn io_error(path: &Path, op: &str, e: std::io::Error) -> EstimateError {
+    EstimateError::Io {
+        path: path.display().to_string(),
+        op: op.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+/// The directory whose entry table holds `path` (the thing a rename
+/// mutates, and therefore the thing that needs an fsync of its own).
+pub(crate) fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// fsync a directory so a completed rename (or a freshly created file's
+/// entry) survives power loss. On filesystems where directories cannot be
+/// opened for sync this degrades to a typed error, never a panic.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), EstimateError> {
+    let d = std::fs::File::open(dir).map_err(|e| io_error(dir, "open parent dir", e))?;
+    d.sync_all()
+        .map_err(|e| io_error(dir, "fsync parent dir", e))
+}
+
+/// Atomically persist `entries` to `path` with the full durability
+/// ordering: encode to a temp file in the same directory, fsync the file,
+/// fsync the parent directory (so the temp entry is durable before it is
+/// committed), rename over the target, and fsync the parent again (so the
+/// rename itself survives power loss — without it, some filesystems may
+/// forget the new name entirely). A crash at any point leaves either the
+/// old file or the new one — never a torn mix. Failures come back as
+/// typed [`EstimateError::Io`] values naming the path and operation.
+pub fn save_to_path(path: &Path, entries: &[PersistedStatistics]) -> Result<(), EstimateError> {
+    write_atomic_durably(path, encode(entries).as_bytes())
+}
+
+/// The write→fsync→rename→fsync-dir sequence shared by [`save_to_path`]
+/// and the durable store's generation/manifest writers.
+pub(crate) fn write_atomic_durably(path: &Path, bytes: &[u8]) -> Result<(), EstimateError> {
     let tmp = temp_sibling(path);
+    let parent = parent_dir(path);
     let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(encode(entries).as_bytes())?;
-        f.sync_all()?;
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_error(&tmp, "create temp", e))?;
+        f.write_all(bytes)
+            .map_err(|e| io_error(&tmp, "write temp", e))?;
+        f.sync_all().map_err(|e| io_error(&tmp, "fsync temp", e))?;
         drop(f);
-        std::fs::rename(&tmp, path)
+        fsync_dir(&parent)?;
+        std::fs::rename(&tmp, path).map_err(|e| io_error(path, "rename temp over target", e))?;
+        fsync_dir(&parent)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
@@ -391,19 +469,30 @@ pub fn save_to_path(path: &Path, entries: &[PersistedStatistics]) -> std::io::Re
     result
 }
 
-/// Load and strictly decode a statistics file; decode failures surface as
-/// `InvalidData` I/O errors carrying the line-numbered message.
-pub fn load_from_path(path: &Path) -> std::io::Result<Vec<PersistedStatistics>> {
-    let text = std::fs::read_to_string(path)?;
-    decode(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+/// Load and strictly decode a statistics file; read failures surface as
+/// [`EstimateError::Io`] and decode failures as
+/// [`EstimateError::CorruptEntry`] carrying the file path and the
+/// line/byte offset of the damage.
+pub fn load_from_path(path: &Path) -> Result<Vec<PersistedStatistics>, EstimateError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_error(path, "read", e))?;
+    decode(&text).map_err(|e| e.with_path(path))
 }
 
 /// Load with per-entry recovery; only an unreadable file or an unusable
-/// header fails the call.
-pub fn load_lenient_from_path(path: &Path) -> std::io::Result<DecodeReport> {
-    let text = std::fs::read_to_string(path)?;
+/// header fails the call. Per-entry errors carry the file path and the
+/// line/byte offset of each corruption site.
+pub fn load_lenient_from_path(path: &Path) -> Result<DecodeReport, EstimateError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_error(path, "read", e))?;
     decode_lenient(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        .map(|mut report| {
+            report.errors = report
+                .errors
+                .into_iter()
+                .map(|e| e.with_path(path))
+                .collect();
+            report
+        })
+        .map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -516,7 +605,9 @@ mod tests {
     #[test]
     fn decode_rejects_garbage_with_line_numbers() {
         let expect_line = |text: &str, line: usize, needle: &str| match decode(text) {
-            Err(EstimateError::CorruptEntry { line: l, message }) => {
+            Err(EstimateError::CorruptEntry {
+                line: l, message, ..
+            }) => {
                 assert_eq!(l, line, "wrong line for {text:?}: {message}");
                 assert!(message.contains(needle), "{message:?} missing {needle:?}");
             }
@@ -652,5 +743,57 @@ mod tests {
     fn empty_catalog_round_trips() {
         let text = encode(&[]);
         assert_eq!(decode(&text).expect("decode"), Vec::new());
+    }
+
+    #[test]
+    fn load_errors_name_the_file_line_and_byte_offset() {
+        let dir = scratch_dir();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sited.txt");
+        let text = encode(&[entry(), second_entry()]);
+        // Damage the first entry's sample-length header so the reported
+        // site sits past the file header (line > 1, offset > 0).
+        let damaged = text.replacen("sample 200", "sample 999", 1);
+        let damage_line = 3; // header, stat line, then the sample line
+        std::fs::write(&path, &damaged).expect("write");
+        match load_from_path(&path) {
+            Err(EstimateError::CorruptEntry {
+                path: Some(p),
+                line,
+                offset,
+                ..
+            }) => {
+                assert!(p.ends_with("sited.txt"), "path context missing: {p}");
+                assert_eq!(line, damage_line);
+                // The offset must point at the start of the reported line.
+                assert_eq!(
+                    damaged[..offset].matches('\n').count(),
+                    line - 1,
+                    "offset {offset} does not start line {line}"
+                );
+            }
+            other => panic!("expected sited CorruptEntry, got {other:?}"),
+        }
+        let report = load_lenient_from_path(&path).expect("lenient");
+        assert_eq!(report.errors.len(), 1);
+        match &report.errors[0] {
+            EstimateError::CorruptEntry { path: Some(p), .. } => {
+                assert!(p.ends_with("sited.txt"));
+            }
+            other => panic!("expected sited CorruptEntry, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_from_missing_file_is_a_typed_io_error() {
+        let path = scratch_dir().join("no-such-file.txt");
+        match load_from_path(&path) {
+            Err(EstimateError::Io { path: p, op, .. }) => {
+                assert!(p.ends_with("no-such-file.txt"), "{p}");
+                assert_eq!(op, "read");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

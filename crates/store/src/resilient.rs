@@ -32,10 +32,12 @@ use crate::catalog::{try_build_estimator_from_prepared, EstimatorKind};
 /// Serving faults tolerated before an entry is quarantined to uniform.
 pub const DEFAULT_QUARANTINE_THRESHOLD: usize = 8;
 
-/// Feedback buckets of the drift monitor.
-const DRIFT_BUCKETS: usize = 16;
-/// Learning rate of the drift monitor.
-const DRIFT_ALPHA: f64 = 0.3;
+/// Feedback buckets of the drift monitor. Public so the durable store can
+/// rebuild journaled correction grids with the exact same geometry.
+pub const DRIFT_BUCKETS: usize = 16;
+/// Learning rate of the drift monitor (shared with the durable store for
+/// the same reason).
+pub const DRIFT_ALPHA: f64 = 0.3;
 
 /// One rung of the ladder: a built estimator and its display name.
 struct Rung {
@@ -310,6 +312,26 @@ impl ResilientEstimator {
         grid.try_observe(q, base, true_selectivity)
     }
 
+    /// Snapshot the drift monitor's correction grid (for journaling /
+    /// durable checkpoints).
+    pub fn drift_state(&self) -> CorrectionGrid {
+        self.drift_grid.lock().expect("drift grid lock").clone()
+    }
+
+    /// Restore a previously journaled drift state. The grid must cover the
+    /// entry's serving domain — feeding corrections learned on a different
+    /// domain would misattribute drift — so a mismatch is a typed error.
+    pub fn restore_drift(&self, grid: CorrectionGrid) -> Result<(), EstimateError> {
+        if grid.domain() != self.domain {
+            return Err(EstimateError::InvalidDomain {
+                lo: grid.domain().lo(),
+                hi: grid.domain().hi(),
+            });
+        }
+        *self.drift_grid.lock().expect("drift grid lock") = grid;
+        Ok(())
+    }
+
     /// Whether the entry is pinned to the uniform rung.
     pub fn is_quarantined(&self) -> bool {
         self.quarantined.load(Ordering::Relaxed)
@@ -546,6 +568,31 @@ mod tests {
         // Garbage feedback is rejected, not absorbed.
         assert!(est.observe(&q, f64::NAN).is_err());
         assert_eq!(est.health().observations, 10);
+    }
+
+    #[test]
+    fn drift_state_survives_a_save_restore_round_trip() {
+        let d = Domain::new(0.0, 100.0);
+        let est = ResilientEstimator::build(&uniform_sample(500, &d), d, EstimatorKind::Sampling);
+        let q = RangeQuery::new(0.0, 20.0);
+        for _ in 0..5 {
+            est.observe(&q, 0.9).unwrap();
+        }
+        let saved = est.drift_state();
+        assert_eq!(saved.observations(), 5);
+        // A fresh process rebuilds the entry, then restores the journaled
+        // drift state: the staleness alarm picks up where it left off.
+        let fresh = ResilientEstimator::build(&uniform_sample(500, &d), d, EstimatorKind::Sampling);
+        assert_eq!(fresh.health().observations, 0);
+        fresh.restore_drift(saved.clone()).unwrap();
+        assert_eq!(fresh.health().observations, 5);
+        assert_eq!(fresh.health().drift, est.health().drift);
+        // A grid learned on a different domain is refused.
+        let alien = CorrectionGrid::new(Domain::new(0.0, 1.0), 16, 0.3);
+        assert!(matches!(
+            fresh.restore_drift(alien),
+            Err(EstimateError::InvalidDomain { .. })
+        ));
     }
 
     #[test]

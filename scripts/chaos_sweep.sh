@@ -10,35 +10,45 @@
 #   scripts/chaos_sweep.sh             # seeds 0..7 x jobs {1, 7}
 #   scripts/chaos_sweep.sh --seeds N   # seeds 0..N-1
 #   scripts/chaos_sweep.sh --jobs "1 2 7"
+#   scripts/chaos_sweep.sh --crash     # sweep crash-recovery seeds instead
+#
+# --crash switches the sweep to the durability suite (tests/durability.rs):
+# each SELEST_CRASH_SEED arms a CrashPlan at one of the write path's I/O
+# boundaries, and the sweep test itself additionally walks every
+# enumerated crash point, so the seed range here mostly varies the
+# corruption-property cases (truncation cuts, bit-flip sites).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 n_seeds=8
 jobs_list="1 7"
+suite=chaos_parallel
+seed_var=SELEST_CHAOS_SEED
 while [ $# -gt 0 ]; do
     case "$1" in
         --seeds) n_seeds=$2; shift 2 ;;
         --jobs)  jobs_list=$2; shift 2 ;;
+        --crash) suite=durability; seed_var=SELEST_CRASH_SEED; shift ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
 
-echo "==> building chaos suite"
-cargo test -q --test chaos_parallel --no-run
+echo "==> building $suite suite"
+cargo test -q --test "$suite" --no-run
 
 fails=0
 runs=0
 for seed in $(seq 0 $((n_seeds - 1))); do
     for j in $jobs_list; do
         runs=$((runs + 1))
-        if SELEST_CHAOS_SEED=$seed SELEST_JOBS=$j \
-            cargo test -q --test chaos_parallel >/dev/null 2>&1; then
+        if env "$seed_var=$seed" SELEST_JOBS=$j \
+            cargo test -q --test "$suite" >/dev/null 2>&1; then
             echo "ok   seed=$seed jobs=$j"
         else
             fails=$((fails + 1))
             echo "FAIL seed=$seed jobs=$j"
-            echo "     repro: SELEST_CHAOS_SEED=$seed SELEST_JOBS=$j cargo test --test chaos_parallel"
+            echo "     repro: $seed_var=$seed SELEST_JOBS=$j cargo test --test $suite"
         fi
     done
 done

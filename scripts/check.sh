@@ -25,6 +25,14 @@ echo "==> chaos gate (fixed-seed chaos tests under SELEST_JOBS=1 and SELEST_JOBS
 SELEST_JOBS=1 cargo test -q --test chaos_parallel
 SELEST_JOBS=7 cargo test -q --test chaos_parallel
 
+echo "==> crash-recovery gate (fixed-seed durability tests under SELEST_JOBS=1 and SELEST_JOBS=7)"
+# tests/durability.rs walks every CrashPlan injection point and asserts
+# reopen lands on a committed state with a healthy fsck; the two worker
+# counts pin the byte-determinism of snapshot/journal/compaction output.
+# scripts/chaos_sweep.sh --crash widens the seed coverage on demand.
+SELEST_JOBS=1 cargo test -q --test durability
+SELEST_JOBS=7 cargo test -q --test durability
+
 echo "==> cargo build --benches (criterion targets)"
 cargo build -p bench --benches
 

@@ -6,6 +6,8 @@
 //! selest data n(20) [--scale 10]
 //! selest estimate n(20) kernel 100000 200000 [--scale 10] [--sample 2000]
 //! selest repro fig12 [--quick] [--csv DIR]
+//! selest snapshot /var/lib/selest n(20) [--scale 10]
+//! selest fsck /var/lib/selest [--repair]
 //! selest methods
 //! ```
 
@@ -15,8 +17,8 @@ use selest::kernel::{BandwidthSelector, DirectPlugIn};
 use selest::{
     core::wilson_interval, equi_depth, equi_width, max_diff, AverageShiftedHistogram,
     BoundaryPolicy, DataFile, ExactSelectivity, HybridEstimator, KernelEstimator, KernelFn,
-    PaperFile, RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator,
-    WaveletHistogram,
+    PaperFile, RangeQuery, SamplingEstimator, SelectivityEstimator, StatisticsCatalog,
+    UniformEstimator, WaveletHistogram,
 };
 use selest_histogram::{BinRule, NormalScaleBins};
 
@@ -191,12 +193,127 @@ fn cmd_repro(args: &[String]) {
     }
 }
 
+fn cmd_snapshot(args: &[String]) {
+    use selest::store::{Column, DurableStore, Relation};
+
+    let dir = args
+        .first()
+        .unwrap_or_else(|| die("snapshot: missing store directory"));
+    let scale: usize =
+        flag_value(args, "--scale").map_or(1, |v| v.parse().unwrap_or_else(|_| die("bad --scale")));
+    let sample_size: usize = flag_value(args, "--sample")
+        .map_or(2_000, |v| v.parse().unwrap_or_else(|_| die("bad --sample")));
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" | "--sample" => i += 1, // skip the flag's value too
+            other if !other.starts_with("--") => names.push(other.to_owned()),
+            _ => {}
+        }
+        i += 1;
+    }
+    if names.is_empty() {
+        names = PaperFile::all().iter().map(|f| f.name()).collect();
+    }
+    let config = selest::AnalyzeConfig {
+        sample_size,
+        ..Default::default()
+    };
+    let mut catalog = StatisticsCatalog::new();
+    for name in &names {
+        let data = parse_paper_file(name).generate_scaled(scale);
+        let mut relation = Relation::new(data.name());
+        relation.add_column(Column::new("value", data.domain(), data.values().to_vec()));
+        catalog.analyze(&relation, &config);
+    }
+    let (mut store, report) = DurableStore::open(std::path::Path::new(dir))
+        .unwrap_or_else(|e| die(&format!("open store {dir}: {e}")));
+    if !report.is_clean() {
+        eprintln!("note: recovery ran on open (rung {})", report.rung);
+    }
+    let generation = catalog
+        .publish_to(&mut store)
+        .unwrap_or_else(|e| die(&format!("publish to {dir}: {e}")));
+    println!("store       {dir}");
+    println!("generation  {generation}");
+    println!("columns     {}", catalog.len());
+    for e in store.entries() {
+        println!(
+            "  {}.{}  {:?}  {} rows, {} sampled",
+            e.relation,
+            e.column,
+            e.kind,
+            e.n_rows,
+            e.sample.len()
+        );
+    }
+}
+
+fn print_fsck(report: &selest::store::FsckReport) {
+    println!(
+        "health      {}",
+        if report.healthy { "ok" } else { "DAMAGED" }
+    );
+    if let Some(active) = report.active {
+        println!("active      generation {active}");
+    }
+    let gens: Vec<String> = report.generations.iter().map(u64::to_string).collect();
+    println!("on disk     [{}]", gens.join(", "));
+    println!("journal     {} records", report.journal_records);
+    for finding in &report.findings {
+        println!("finding     {finding}");
+    }
+}
+
+fn cmd_fsck(args: &[String]) {
+    use selest::store::{fsck, DurableStore};
+
+    let dir = args
+        .first()
+        .unwrap_or_else(|| die("fsck: missing store directory"));
+    let path = std::path::Path::new(dir);
+    let repair = args.iter().any(|a| a == "--repair");
+    let report = fsck(path);
+    print_fsck(&report);
+    if report.healthy {
+        return;
+    }
+    if !repair {
+        eprintln!("run `selest fsck {dir} --repair` to recover");
+        std::process::exit(1);
+    }
+    // Repair is spelled "open": the recovery ladder quarantines damage
+    // and re-commits a consistent generation.
+    match DurableStore::open(path) {
+        Ok((_, recovery)) => {
+            println!("repair      rung {}", recovery.rung);
+            println!("            recovered generation {}", recovery.generation);
+            for name in &recovery.quarantined {
+                println!("            quarantined {name}");
+            }
+            for e in &recovery.errors {
+                println!("            absorbed: {e}");
+            }
+        }
+        Err(e) => die(&format!("repair {dir}: {e}")),
+    }
+    let after = fsck(path);
+    println!("--- after repair ---");
+    print_fsck(&after);
+    if !after.healthy {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("data") => cmd_data(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("methods") => {
             for m in METHODS {
                 println!("{m}");
@@ -209,6 +326,8 @@ fn main() {
             println!("  selest data <file> [--scale K]");
             println!("  selest estimate <file> <method> <a> <b> [--scale K] [--sample N]");
             println!("  selest repro [ids...] [--quick] [--jobs N] [--csv DIR]");
+            println!("  selest snapshot <dir> [files...] [--scale K] [--sample N]");
+            println!("  selest fsck <dir> [--repair]");
             println!("  selest methods");
             println!();
             println!("data files: u(15) u(20) n(10) n(15) n(20) e(15) e(20) arap1 arap2");
