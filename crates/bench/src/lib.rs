@@ -58,11 +58,64 @@ pub fn total_selectivity_batch<E: selest_core::SelectivityEstimator + ?Sized>(
     selest_math::kahan_sum(est.selectivity_batch(queries))
 }
 
+/// Allocation-free counterpart of [`total_selectivity_batch`]: answers
+/// land in the caller's reusable buffers via
+/// [`selest_core::SelectivityEstimator::selectivity_batch_into`], so a
+/// warm timing loop measures pure estimation. Bit-identical to both other
+/// strategies for conforming overrides.
+pub fn total_selectivity_batch_into<E: selest_core::SelectivityEstimator + ?Sized>(
+    est: &E,
+    queries: &[RangeQuery],
+    scratch: &mut selest_core::BatchScratch,
+    out: &mut Vec<f64>,
+) -> f64 {
+    out.clear();
+    out.resize(queries.len(), 0.0);
+    est.selectivity_batch_into(queries, scratch, out);
+    selest_math::kahan_sum(out.iter().copied())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use selest_core::SelectivityEstimator;
     use selest_kernel::{BoundaryPolicy, KernelEstimator, KernelFn};
+
+    /// Manual profiling aid for the histogram seq row: times the dyn
+    /// dispatch loop, the concrete loop, and the lookup alone.
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_histogram_seq() {
+        use selest_histogram::{equi_width, BinRule, NormalScaleBins};
+        let f = fixture(PaperFile::Uniform { p: 15 });
+        let domain = f.data.domain();
+        let k = NormalScaleBins.bins(&f.sample, &domain);
+        let hist = equi_width(&f.sample, domain, k);
+        eprintln!("bins: {}", hist.n_bins());
+        let dynest: Box<dyn SelectivityEstimator> = Box::new(hist.clone());
+        let reps = 2000;
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += total_selectivity(dynest.as_ref(), &f.queries);
+        }
+        let dyn_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            acc += total_selectivity(&hist, &f.queries);
+        }
+        let conc_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            let mut s = 0.0;
+            for q in &f.queries {
+                s += hist.selectivity(q);
+            }
+            acc += s;
+        }
+        let plain_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        eprintln!("dyn+kahan {dyn_us:.2}us  concrete+kahan {conc_us:.2}us  concrete+plainsum {plain_us:.2}us  (acc {acc})");
+    }
 
     #[test]
     fn checksum_is_identical_for_both_evaluation_strategies() {

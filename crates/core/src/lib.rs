@@ -29,6 +29,7 @@ pub mod feedback;
 pub mod prepared;
 pub mod query;
 pub mod sampling;
+pub mod scratch;
 pub mod traits;
 pub mod uniform;
 
@@ -42,5 +43,6 @@ pub use feedback::{CorrectionGrid, FeedbackEstimator};
 pub use prepared::{ColumnSummary, PreparedColumn};
 pub use query::RangeQuery;
 pub use sampling::SamplingEstimator;
+pub use scratch::BatchScratch;
 pub use traits::{DensityEstimator, SelectivityEstimator};
 pub use uniform::UniformEstimator;

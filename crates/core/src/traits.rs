@@ -3,6 +3,26 @@
 use crate::domain::Domain;
 use crate::fault::{catch_fault, EstimateError, FaultStage};
 use crate::query::RangeQuery;
+use crate::scratch::BatchScratch;
+
+/// One query through the fault-isolated path: validate, catch panics,
+/// reject non-finite answers. Shared by the `try_*` default methods so the
+/// Vec-returning and caller-provided-output variants cannot drift apart.
+fn try_single<E: SelectivityEstimator + ?Sized>(
+    est: &E,
+    q: &RangeQuery,
+) -> Result<f64, EstimateError> {
+    q.validate()?;
+    let v = catch_fault(
+        FaultStage::Estimate,
+        std::panic::AssertUnwindSafe(|| est.selectivity(q)),
+    )?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(EstimateError::NonFiniteEstimate { value: v })
+    }
+}
 
 /// An estimator of the distribution selectivity `sigma(a, b)` of range
 /// queries (equation (2) of the paper).
@@ -39,21 +59,52 @@ pub trait SelectivityEstimator {
     /// Overrides (e.g. the kernel merge scan) MUST keep successful slots
     /// bit-identical to the per-query path, like `selectivity_batch`.
     fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
-        queries
-            .iter()
-            .map(|q| {
-                q.validate()?;
-                let v = catch_fault(
-                    FaultStage::Estimate,
-                    std::panic::AssertUnwindSafe(|| self.selectivity(q)),
-                )?;
-                if v.is_finite() {
-                    Ok(v)
-                } else {
-                    Err(EstimateError::NonFiniteEstimate { value: v })
-                }
-            })
-            .collect()
+        queries.iter().map(|q| try_single(self, q)).collect()
+    }
+
+    /// Allocation-free batch estimation: write the estimates for `queries`
+    /// into the caller-provided `out` slice (which must have exactly
+    /// `queries.len()` elements), using `scratch` for any working buffers.
+    ///
+    /// Semantically identical to [`SelectivityEstimator::selectivity_batch`]
+    /// — same values, same bits — but after the first call on a given
+    /// estimator type the warm `scratch` makes the call perform **zero
+    /// heap allocations**. The default ignores `scratch` and loops over
+    /// [`SelectivityEstimator::selectivity`]; estimators that override
+    /// `selectivity_batch` should override this with the same engine so
+    /// both entry points share one implementation.
+    fn selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "selectivity_batch_into needs one output slot per query"
+        );
+        let _ = scratch;
+        for (slot, q) in out.iter_mut().zip(queries) {
+            *slot = self.selectivity(q);
+        }
+    }
+
+    /// Fault-isolated counterpart of
+    /// [`SelectivityEstimator::selectivity_batch_into`]: `out` is cleared
+    /// and refilled with one `Result` per query, in input order, reusing
+    /// `out`'s existing capacity (error values may still allocate — errors
+    /// are the cold path). Same per-slot semantics as
+    /// [`SelectivityEstimator::try_selectivity_batch`].
+    fn try_selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Result<f64, EstimateError>>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(queries.iter().map(|q| try_single(self, q)));
     }
 
     /// The attribute domain this estimator was built over.
@@ -96,34 +147,51 @@ pub trait DensityEstimator {
     }
 }
 
+/// The blanket impls forward every batch entry point, so wrapping an
+/// estimator in `&`/`Box` never silently falls back to the per-query
+/// defaults (losing an override's amortization or scratch reuse).
+macro_rules! forward_selectivity_estimator {
+    () => {
+        fn selectivity(&self, q: &RangeQuery) -> f64 {
+            (**self).selectivity(q)
+        }
+        fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+            (**self).selectivity_batch(queries)
+        }
+        fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
+            (**self).try_selectivity_batch(queries)
+        }
+        fn selectivity_batch_into(
+            &self,
+            queries: &[RangeQuery],
+            scratch: &mut BatchScratch,
+            out: &mut [f64],
+        ) {
+            (**self).selectivity_batch_into(queries, scratch, out)
+        }
+        fn try_selectivity_batch_into(
+            &self,
+            queries: &[RangeQuery],
+            scratch: &mut BatchScratch,
+            out: &mut Vec<Result<f64, EstimateError>>,
+        ) {
+            (**self).try_selectivity_batch_into(queries, scratch, out)
+        }
+        fn domain(&self) -> Domain {
+            (**self).domain()
+        }
+        fn name(&self) -> String {
+            (**self).name()
+        }
+    };
+}
+
 impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {
-    fn selectivity(&self, q: &RangeQuery) -> f64 {
-        (**self).selectivity(q)
-    }
-    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
-        (**self).selectivity_batch(queries)
-    }
-    fn domain(&self) -> Domain {
-        (**self).domain()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
+    forward_selectivity_estimator!();
 }
 
 impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
-    fn selectivity(&self, q: &RangeQuery) -> f64 {
-        (**self).selectivity(q)
-    }
-    fn selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
-        (**self).selectivity_batch(queries)
-    }
-    fn domain(&self) -> Domain {
-        (**self).domain()
-    }
-    fn name(&self) -> String {
-        (**self).name()
-    }
+    forward_selectivity_estimator!();
 }
 
 #[cfg(test)]
@@ -179,6 +247,39 @@ mod tests {
         assert_eq!(boxed.selectivity(&q), 0.5);
         assert_eq!(boxed.name(), "Half");
         assert_eq!(boxed.estimate_count(&q, 10), 5.0);
+    }
+
+    #[test]
+    fn into_variants_match_vec_variants() {
+        let e = Half(Domain::unit());
+        let queries: Vec<RangeQuery> = (0..7)
+            .map(|i| RangeQuery::new(0.1 * i as f64, 0.1 * i as f64 + 0.05))
+            .collect();
+        let mut scratch = BatchScratch::new();
+        let mut out = vec![f64::NAN; queries.len()];
+        e.selectivity_batch_into(&queries, &mut scratch, &mut out);
+        assert_eq!(out, e.selectivity_batch(&queries));
+        let mut tried = Vec::new();
+        e.try_selectivity_batch_into(&queries, &mut scratch, &mut tried);
+        let direct = e.try_selectivity_batch(&queries);
+        assert_eq!(tried.len(), direct.len());
+        for (a, b) in tried.iter().zip(&direct) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // Blanket impls forward the _into paths too.
+        let boxed: Box<dyn SelectivityEstimator> = Box::new(Half(Domain::unit()));
+        let mut out2 = vec![0.0; queries.len()];
+        boxed.selectivity_batch_into(&queries, &mut scratch, &mut out2);
+        assert_eq!(out2, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per query")]
+    fn into_requires_matching_output_length() {
+        let e = Half(Domain::unit());
+        let queries = [RangeQuery::new(0.1, 0.2)];
+        let mut out = [0.0; 2];
+        e.selectivity_batch_into(&queries, &mut BatchScratch::new(), &mut out);
     }
 
     struct Tri;

@@ -1,6 +1,8 @@
 //! Shared experiment machinery: scaling, evaluation, and report rendering.
 
-use selest_core::{ErrorStats, ExactSelectivity, RangeQuery, SelectivityEstimator};
+use std::cell::RefCell;
+
+use selest_core::{BatchScratch, ErrorStats, ExactSelectivity, RangeQuery, SelectivityEstimator};
 
 /// How large to run an experiment.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +64,14 @@ pub fn evaluate<E: SelectivityEstimator + Sync + ?Sized>(
     evaluate_jobs(estimator, queries, exact, selest_par::configured_jobs())
 }
 
+thread_local! {
+    /// Per-worker batch scratch and output buffer: each evaluation worker
+    /// reuses its buffers across chunks, so a warm harness run performs no
+    /// per-chunk heap allocation on the estimation path.
+    static EVAL_SCRATCH: RefCell<(BatchScratch, Vec<f64>)> =
+        const { RefCell::new((BatchScratch::new(), Vec::new())) };
+}
+
 /// [`evaluate`] with an explicit worker count (primarily for determinism
 /// tests and the bench harness).
 pub fn evaluate_jobs<E: SelectivityEstimator + Sync + ?Sized>(
@@ -72,13 +82,18 @@ pub fn evaluate_jobs<E: SelectivityEstimator + Sync + ?Sized>(
 ) -> ErrorStats {
     let n = exact.total();
     let chunks = selest_par::parallel_chunks_jobs(queries, EVAL_CHUNK, jobs, |chunk| {
-        let sels = estimator.selectivity_batch(chunk);
-        let mut stats = ErrorStats::new();
-        for (q, sel) in chunk.iter().zip(sels) {
-            let truth = exact.count(q) as f64;
-            stats.record(truth, sel * n as f64);
-        }
-        stats
+        EVAL_SCRATCH.with(|cell| {
+            let (scratch, sels) = &mut *cell.borrow_mut();
+            sels.clear();
+            sels.resize(chunk.len(), 0.0);
+            estimator.selectivity_batch_into(chunk, scratch, sels);
+            let mut stats = ErrorStats::new();
+            for (q, &sel) in chunk.iter().zip(sels.iter()) {
+                let truth = exact.count(q) as f64;
+                stats.record(truth, sel * n as f64);
+            }
+            stats
+        })
     });
     ErrorStats::from_ordered_chunks(chunks)
 }

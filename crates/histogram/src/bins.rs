@@ -16,8 +16,19 @@
 //! bin contributes its full count whenever the query covers the point.
 
 use selest_core::{DensityEstimator, Domain, RangeQuery, SelectivityEstimator};
+use selest_simd::GridIndex;
 
 /// A histogram over explicit bin boundaries with per-bin counts.
+///
+/// The serving layout is flat and read-only, a struct-of-arrays tuned for
+/// the constant-time CDF-difference estimate: alongside the boundary and
+/// count arrays, construction precomputes the counts as `f64`, the
+/// reciprocal bin widths (partial-bin interpolation becomes two multiplies
+/// instead of a division), exact `f64` prefix counts (the mass of every
+/// fully-covered bin comes from one subtraction), and a dense
+/// [`GridIndex`] over the boundaries (each endpoint's bin comes from an
+/// O(1) cell hop plus a one-or-two step branchless search instead of a
+/// full binary search).
 #[derive(Debug, Clone)]
 pub struct BinnedHistogram {
     /// `k + 1` non-decreasing boundaries; first and last coincide with the
@@ -25,6 +36,18 @@ pub struct BinnedHistogram {
     boundaries: Vec<f64>,
     /// `k` per-bin sample counts.
     counts: Vec<u32>,
+    /// `k` per-bin counts as `f64` (exact: sample sizes are far below
+    /// 2^53), so the hot walk never converts.
+    count_f: Vec<f64>,
+    /// `k` reciprocal bin widths, `0.0` for zero-width (point mass) bins.
+    inv_width: Vec<f64>,
+    /// `k + 1` prefix counts as `f64` (exact: sample sizes are far below
+    /// 2^53): `cum[i]` = samples in bins `[0, i)`.
+    cum: Vec<f64>,
+    /// Interpolation grid over `boundaries` for the bracketing lookups.
+    grid: GridIndex,
+    /// `1 / n`, applied once per query.
+    inv_n: f64,
     n_samples: usize,
     domain: Domain,
     label: &'static str,
@@ -64,9 +87,37 @@ impl BinnedHistogram {
         );
         let n_samples: usize = counts.iter().map(|&c| c as usize).sum();
         assert!(n_samples > 0, "histogram of an empty sample");
+        let mut cum = Vec::with_capacity(counts.len() + 1);
+        cum.push(0.0f64);
+        let mut acc = 0u64;
+        for &c in &counts {
+            acc += u64::from(c);
+            cum.push(acc as f64);
+        }
+        // ~4 cells per boundary: lookup windows are almost always empty or
+        // a single element, so the in-window search is one or two cmov
+        // steps instead of a log(k) binary search. At a u32 per cell this
+        // costs ~16 bytes per bin — noise next to the boundary array.
+        let grid = GridIndex::build(&boundaries, boundaries.len() * 4);
+        let count_f: Vec<f64> = counts.iter().map(|&c| f64::from(c)).collect();
+        let inv_width: Vec<f64> = boundaries
+            .windows(2)
+            .map(|w| {
+                if w[1] > w[0] {
+                    1.0 / (w[1] - w[0])
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         BinnedHistogram {
             boundaries,
             counts,
+            count_f,
+            inv_width,
+            cum,
+            grid,
+            inv_n: 1.0 / n_samples as f64,
             n_samples,
             domain,
             label,
@@ -98,32 +149,49 @@ impl BinnedHistogram {
         self.label
     }
 
-    /// The selectivity estimator of equation (4), `O(log k + bins touched)`.
+    /// `F(x)` for the lower query endpoint: samples strictly left of `x`'s
+    /// bin plus the interpolated share of that bin. Point masses sitting
+    /// exactly at `x` are excluded (`partition_lt`), so a query `[x, b]`
+    /// counts them — the inclusive-range semantics of the per-bin walk
+    /// this replaces.
+    #[inline(always)]
+    fn cdf_lo(&self, x: f64) -> f64 {
+        let j = self
+            .grid
+            .partition_lt(&self.boundaries, x)
+            .saturating_sub(1);
+        self.cum[j] + self.count_f[j] * (x - self.boundaries[j]) * self.inv_width[j]
+    }
+
+    /// `F⁺(x)` for the upper query endpoint: like [`Self::cdf_lo`] but
+    /// point masses exactly at `x` are *included* (`partition_le` steps
+    /// past every boundary equal to `x`, and a zero-width bin's
+    /// interpolation term vanishes because its reciprocal width is stored
+    /// as zero).
+    #[inline(always)]
+    fn cdf_hi(&self, x: f64) -> f64 {
+        let j = self
+            .grid
+            .partition_le(&self.boundaries, x)
+            .saturating_sub(1);
+        if j >= self.counts.len() {
+            // x reached the last boundary: the full count, exactly.
+            return self.cum[self.counts.len()];
+        }
+        self.cum[j] + self.count_f[j] * (x - self.boundaries[j]) * self.inv_width[j]
+    }
+
+    /// The selectivity estimator of equation (4), served as a constant-time
+    /// CDF difference: `mass(a, b) = (F⁺(b) − F(a)) / n` where `F` is the
+    /// piecewise-linear empirical CDF precomputed into prefix counts. The
+    /// two endpoint lookups are independent (no loop-carried dependence,
+    /// so they overlap in the pipeline) and each is an O(1) grid hop plus
+    /// a one-or-two step branchless search. Rounding makes the difference
+    /// exact only to a few ulps of the *total* count, so a sliver query
+    /// can come out a hair negative — clamped to zero.
     fn mass(&self, a: f64, b: f64) -> f64 {
         debug_assert!(a <= b);
-        let k = self.counts.len();
-        // First bin whose upper boundary reaches a.
-        let mut i = self.boundaries[1..k].partition_point(|&c| c < a);
-        let mut s = 0.0;
-        while i < k {
-            let lo = self.boundaries[i];
-            let hi = self.boundaries[i + 1];
-            if lo > b {
-                break;
-            }
-            let count = self.counts[i] as f64;
-            if count > 0.0 {
-                if hi > lo {
-                    let overlap = (b.min(hi) - a.max(lo)).max(0.0);
-                    s += count * overlap / (hi - lo);
-                } else if a <= lo && lo <= b {
-                    // Zero-width bin: a point mass at lo == hi.
-                    s += count;
-                }
-            }
-            i += 1;
-        }
-        s / self.n_samples as f64
+        ((self.cdf_hi(b) - self.cdf_lo(a)) * self.inv_n).max(0.0)
     }
 }
 
@@ -155,8 +223,12 @@ impl DensityEstimator for BinnedHistogram {
         }
         let k = self.counts.len();
         // Locate x's bin: the bin (c_i, c_{i+1}] with c_i < x <= c_{i+1};
-        // x == lo falls into the first bin.
-        let mut i = self.boundaries[1..k].partition_point(|&c| c < x);
+        // x == lo falls into the first bin. Same bracketing lookup as
+        // `mass`: first boundary >= x, then back up one bin.
+        let mut i = self
+            .grid
+            .partition_lt(&self.boundaries, x)
+            .saturating_sub(1);
         // Skip exhausted zero-width bins that sit exactly at x but whose
         // point mass x only touches (density of a point mass is infinite
         // only when the bin count is positive).
@@ -265,6 +337,64 @@ mod tests {
         let parts =
             h.selectivity(&RangeQuery::new(0.5, 4.0)) + h.selectivity(&RangeQuery::new(4.0, 8.5));
         assert!((whole - parts).abs() < 1e-15);
+    }
+
+    /// The prefix-count fast path must agree with the original per-bin
+    /// walk on irregular bins, zero-width point masses, and queries
+    /// landing on, between, and across boundaries.
+    #[test]
+    fn fast_mass_matches_naive_walk() {
+        fn naive(h: &BinnedHistogram, a: f64, b: f64) -> f64 {
+            let k = h.counts.len();
+            let mut i = h.boundaries[1..k].partition_point(|&c| c < a);
+            let mut s = 0.0;
+            while i < k {
+                let (lo, hi) = (h.boundaries[i], h.boundaries[i + 1]);
+                if lo > b {
+                    break;
+                }
+                let count = h.counts[i] as f64;
+                if count > 0.0 {
+                    if hi > lo {
+                        s += count * (b.min(hi) - a.max(lo)).max(0.0) / (hi - lo);
+                    } else if a <= lo && lo <= b {
+                        s += count;
+                    }
+                }
+                i += 1;
+            }
+            s / h.n_samples as f64
+        }
+        // Irregular widths, an interior point-mass run, empty bins.
+        let mut boundaries = vec![0.0];
+        for i in 0..60 {
+            let w = match i % 5 {
+                0 => 0.25,
+                1 => 3.0,
+                2 => 0.0, // zero-width bin
+                3 => 1.5,
+                _ => 0.05,
+            };
+            boundaries.push(boundaries.last().unwrap() + w);
+        }
+        let hi = *boundaries.last().unwrap();
+        let counts: Vec<u32> = (0..60).map(|i| ((i * 7) % 13) as u32).collect();
+        let h = BinnedHistogram::new(boundaries.clone(), counts, Domain::new(0.0, hi), "stress");
+        let mut probes: Vec<f64> = boundaries.clone();
+        probes.extend((0..40).map(|i| (i as f64 * 1.37) % hi));
+        for &a in &probes {
+            for &b in &probes {
+                if b < a {
+                    continue;
+                }
+                let fast = h.mass(a, b);
+                let slow = naive(&h, a, b);
+                assert!(
+                    (fast - slow).abs() <= 1e-14,
+                    "mass({a}, {b}): fast {fast} vs walk {slow}"
+                );
+            }
+        }
     }
 
     #[test]

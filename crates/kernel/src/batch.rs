@@ -13,20 +13,30 @@
 //! 2. the cut requests are sorted by `(value, lower-before-upper)`; in
 //!    that order the answer indices are non-decreasing, so
 //! 3. a single forward pass over the sorted sample resolves all of them
-//!    with galloping (exponential) probes from the previous answer.
+//!    with galloping (exponential) probes from the previous answer —
+//!    duplicate requests (repeated queries in a batch) are answered once
+//!    and copied.
 //!
 //! Only the *index resolution* is restructured. The per-strip CDF
-//! summations then run with exactly the arithmetic, operand order, and
-//! normalization of the per-query path, so the batch result is
-//! **bit-identical** to calling [`SelectivityEstimator::selectivity`] in a
-//! loop — an invariant the harness and the golden tests rely on, and which
-//! makes parallel chunked evaluation deterministic.
+//! summations then run through [`crate::strips`] — the same canonical
+//! lane-width-independent arithmetic as the per-query path — so the batch
+//! result is **bit-identical** to calling
+//! [`SelectivityEstimator::selectivity`] in a loop, an invariant the
+//! harness and the golden tests rely on, and which makes parallel chunked
+//! evaluation deterministic.
+//!
+//! All working storage (plans, packed cut keys, resolved indices) lives in
+//! a [`KernelScratch`] inside the caller's [`BatchScratch`]; once warm, the
+//! `_into` entry points perform zero heap allocations per call.
 
-use selest_core::{RangeQuery, SelectivityEstimator};
+use std::cell::RefCell;
 
-use crate::boundary::{left_boundary_integral, BoundaryPolicy};
+use selest_core::{BatchScratch, EstimateError, RangeQuery, SelectivityEstimator};
+use selest_simd::{configured_lanes, KahanSum, LaneMode};
+
+use crate::boundary::BoundaryPolicy;
 use crate::estimator::KernelEstimator;
-use crate::kernels::KernelFn;
+use crate::strips::{bk_strip_sum, raw_term_sum, with_lane_kernel, LaneKernel};
 
 /// One `partition_point` request against the sorted sample, packed into a
 /// single sortable integer: bits 33.. hold the order-preserving image of
@@ -35,7 +45,8 @@ use crate::kernels::KernelFn;
 /// `1` = upper, `|x| x <= v`), bits 0..32 the request index. Sorting the
 /// requests is then a branchless integer sort, and neither the value nor
 /// the flavour needs a side lookup during the scan — both unpack from the
-/// key itself.
+/// key itself. Requests sharing bits 32.. are the *same* lookup, which the
+/// resolver answers once.
 type CutKey = u128;
 
 fn pack_cut(v: f64, upper: bool, index: usize) -> CutKey {
@@ -90,16 +101,54 @@ struct QueryPlan {
     bk_right: Option<(f64, f64)>,
 }
 
-/// First index `i >= start` where `pred(sorted[i])` fails, for a predicate
-/// that is monotonically true-then-false over `sorted` — i.e. the global
-/// `sorted.partition_point(pred)` under the promise that the answer is at
+/// The merge scan's reusable working set, parked inside the caller's
+/// [`BatchScratch`] between calls. Every buffer is cleared (not shrunk) at
+/// the start of a scan, so a warm scratch makes the whole batch path
+/// allocation-free.
+#[derive(Default)]
+pub(crate) struct KernelScratch {
+    plans: Vec<QueryPlan>,
+    terms: Vec<RawTerm>,
+    cuts: Vec<CutKey>,
+    resolved: Vec<u32>,
+    /// `try_*` only: the validated subset of the input queries.
+    valid: Vec<RangeQuery>,
+    /// `try_*` only: scan results for the valid subset.
+    vals: Vec<f64>,
+}
+
+thread_local! {
+    /// Per-thread scratch backing the `Vec`-returning convenience APIs, so
+    /// even callers that never thread a [`BatchScratch`] reuse buffers
+    /// across calls (one output-vector allocation remains, by signature).
+    static THREAD_SCRATCH: RefCell<BatchScratch> = const { RefCell::new(BatchScratch::new()) };
+}
+
+/// Run `f` with this thread's shared scratch (fresh scratch under
+/// re-entrancy, which none of our callers exercise — belt and braces).
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut BatchScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut guard) => f(&mut guard),
+        Err(_) => f(&mut BatchScratch::new()),
+    })
+}
+
+/// First index `i >= start` where `pred(i)` fails over the virtual index
+/// domain `[0, n)`, for a predicate that is monotonically true-then-false
+/// — i.e. a `partition_point` under the promise that the answer is at
 /// least `start`. Gallops: exponential probes from `start`, then a binary
 /// search inside the bracketing window, so a batch of non-decreasing
 /// lookups costs amortized O(1 + log gap) each instead of O(log n).
-fn forward_partition(sorted: &[f64], start: usize, pred: impl Fn(f64) -> bool) -> usize {
-    let n = sorted.len();
+///
+/// Overflow-safe by construction: probe positions go through
+/// `checked_add` (falling back to binary search on the remaining range)
+/// and the doubling saturates instead of wrapping — `step <<= 1` would
+/// silently become 0 past `2^63` and spin forever. Indices near
+/// `usize::MAX` are unreachable through real slices, but the index-domain
+/// formulation keeps the boundary testable (see the regression test).
+fn forward_partition_indexed(n: usize, start: usize, pred: impl Fn(usize) -> bool) -> usize {
     debug_assert!(start <= n);
-    if start == n || !pred(sorted[start]) {
+    if start == n || !pred(start) {
         return start;
     }
     // Invariant: pred holds at `lo`; the answer lies in (lo, n].
@@ -108,37 +157,62 @@ fn forward_partition(sorted: &[f64], start: usize, pred: impl Fn(f64) -> bool) -
     loop {
         let probe = match lo.checked_add(step) {
             Some(p) if p < n => p,
-            _ => return lo + 1 + sorted[lo + 1..n].partition_point(|&x| pred(x)),
+            _ => return index_partition(lo + 1, n, &pred),
         };
-        if pred(sorted[probe]) {
+        if pred(probe) {
             lo = probe;
-            step <<= 1;
+            step = step.saturating_mul(2);
         } else {
-            return lo + 1 + sorted[lo + 1..probe].partition_point(|&x| pred(x));
+            return index_partition(lo + 1, probe, &pred);
         }
     }
 }
 
+/// `partition_point` over the index range `[lo, hi)`.
+fn index_partition(mut lo: usize, mut hi: usize, pred: &impl Fn(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Slice front-end of [`forward_partition_indexed`].
+fn forward_partition(sorted: &[f64], start: usize, pred: impl Fn(f64) -> bool) -> usize {
+    forward_partition_indexed(sorted.len(), start, |i| pred(sorted[i]))
+}
+
 /// Resolve every cut with one forward merge scan over the sorted sample.
 /// Sorts `cuts` in place; results land in request order (`resolved[i]`
-/// answers the request packed with index `i`).
-fn resolve_cuts(sorted: &[f64], cuts: &mut [CutKey]) -> Vec<u32> {
+/// answers the request packed with index `i`). Consecutive keys sharing
+/// value and flavour (bits 32..) — repeated queries in a batch — reuse the
+/// previous answer instead of re-probing.
+fn resolve_cuts(sorted: &[f64], cuts: &mut [CutKey], resolved: &mut Vec<u32>) {
     cuts.sort_unstable();
     // For v1 <= v2: lower(v1) <= upper(v1) <= lower(v2) <= upper(v2), so
     // visiting cuts in (value, lower-first) order keeps the answers
     // non-decreasing and one scan position suffices.
-    let mut resolved = vec![0u32; cuts.len()];
+    resolved.clear();
+    resolved.resize(cuts.len(), 0);
     let mut pos = 0usize;
+    let mut prev_lookup: Option<u128> = None;
     for &key in cuts.iter() {
-        let (v, upper, i) = unpack_cut(key);
-        pos = if upper {
-            forward_partition(sorted, pos, |x| x <= v)
-        } else {
-            forward_partition(sorted, pos, |x| x < v)
-        };
-        resolved[i] = pos as u32;
+        let lookup = key >> 32;
+        if prev_lookup != Some(lookup) {
+            let (v, upper, _) = unpack_cut(key);
+            pos = if upper {
+                forward_partition(sorted, pos, |x| x <= v)
+            } else {
+                forward_partition(sorted, pos, |x| x < v)
+            };
+            prev_lookup = Some(lookup);
+        }
+        resolved[(key & u128::from(u32::MAX)) as usize] = pos as u32;
     }
-    resolved
 }
 
 /// Push the cut requests of one raw-mass term, mirroring the boundary
@@ -160,45 +234,163 @@ fn plan_raw_term(est: &KernelEstimator, a: f64, b: f64, cuts: &mut Vec<CutKey>) 
     RawTerm { a, b, wide, cut0 }
 }
 
-/// Evaluate one raw-mass term from its resolved indices. Returns the
-/// *un-normalized* sum (the per-query path's `s` before the `/ n`), with
-/// the identical summation order. `cdf` is the estimator's kernel CDF,
-/// passed as a monomorphized closure so the strip loop compiles with a
-/// direct call instead of re-dispatching on the kernel enum per sample.
-fn eval_raw_term(
+/// Evaluate one raw-mass term from its resolved indices: the canonical
+/// un-normalized sum of [`crate::strips::raw_term_sum`] (the per-query
+/// path's `s * n`), monomorphized per kernel through [`LaneKernel`].
+#[inline]
+fn eval_raw_term<K: LaneKernel>(
+    k: K,
     sorted: &[f64],
-    h: f64,
-    cdf: impl Fn(f64) -> f64 + Copy,
+    inv_h: f64,
+    mode: LaneMode,
     term: &RawTerm,
     resolved: &[u32],
 ) -> f64 {
     let idx = &resolved[term.cut0..];
     if term.wide {
-        let (i0, i1, i2, i3) = (
+        raw_term_sum(
+            k,
+            sorted,
+            term.a,
+            term.b,
+            inv_h,
+            mode,
+            true,
             idx[0] as usize,
             idx[1] as usize,
             idx[2] as usize,
             idx[3] as usize,
-        );
-        let mut s = (i2 - i1) as f64;
-        for &x in sorted[i0..i1].iter().chain(&sorted[i2..i3]) {
-            s += cdf((term.b - x) / h) - cdf((term.a - x) / h);
-        }
-        s
+        )
     } else {
-        let (i0, i3) = (idx[0] as usize, idx[1] as usize);
-        let mut s = 0.0;
-        for &x in &sorted[i0..i3] {
-            s += cdf((term.b - x) / h) - cdf((term.a - x) / h);
-        }
-        s
+        raw_term_sum(
+            k,
+            sorted,
+            term.a,
+            term.b,
+            inv_h,
+            mode,
+            false,
+            idx[0] as usize,
+            0,
+            0,
+            idx[1] as usize,
+        )
     }
 }
 
 /// Batched selectivity evaluation: bit-identical to a per-query
 /// [`SelectivityEstimator::selectivity`] loop, with all `partition_point`
-/// boundary lookups amortized into one sorted merge scan.
+/// boundary lookups amortized into one sorted merge scan. Convenience
+/// wrapper over [`selectivity_batch_into`] using the thread's scratch; the
+/// only allocation is the returned vector.
 pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -> Vec<f64> {
+    let mut out = vec![0.0; queries.len()];
+    with_thread_scratch(|scratch| selectivity_batch_into(est, queries, scratch, &mut out));
+    out
+}
+
+/// The allocation-free batch entry point: plans, cut keys, and resolved
+/// indices live in `scratch`; answers land in `out` (one slot per query).
+pub(crate) fn selectivity_batch_into(
+    est: &KernelEstimator,
+    queries: &[RangeQuery],
+    scratch: &mut BatchScratch,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(queries.len(), out.len());
+    let ks = scratch.get_or_default::<KernelScratch>();
+    let KernelScratch {
+        plans,
+        terms,
+        cuts,
+        resolved,
+        ..
+    } = ks;
+    run_scan(est, queries, plans, terms, cuts, resolved, out);
+}
+
+/// Fault-isolated batch into a reusable output vector: degenerate queries
+/// are rejected up front, the valid subset runs through the same scan as
+/// the infallible path (bit-identical `Ok` slots), and a whole-scan panic
+/// degrades to per-query retries so the fault stays confined.
+pub(crate) fn try_selectivity_batch_into(
+    est: &KernelEstimator,
+    queries: &[RangeQuery],
+    scratch: &mut BatchScratch,
+    out: &mut Vec<Result<f64, EstimateError>>,
+) {
+    out.clear();
+    out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
+
+    let ks = scratch.get_or_default::<KernelScratch>();
+    let KernelScratch {
+        plans,
+        terms,
+        cuts,
+        resolved,
+        valid,
+        vals,
+    } = ks;
+    valid.clear();
+    valid.extend(
+        queries
+            .iter()
+            .zip(out.iter())
+            .filter(|(_, slot)| slot.is_ok())
+            .map(|(q, _)| *q),
+    );
+    vals.clear();
+    vals.resize(valid.len(), 0.0);
+
+    let scanned = selest_core::catch_fault(
+        selest_core::FaultStage::Estimate,
+        std::panic::AssertUnwindSafe(|| {
+            run_scan(est, valid, plans, terms, cuts, resolved, vals);
+        }),
+    );
+    match scanned {
+        Ok(()) => {
+            let mut vals = vals.iter();
+            for slot in out.iter_mut().filter(|slot| slot.is_ok()) {
+                let v = *vals.next().expect("merge scan fills one value per query");
+                *slot = if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(EstimateError::NonFiniteEstimate { value: v })
+                };
+            }
+        }
+        // Whole-scan panic: retry query-by-query so the fault stays
+        // confined to the evaluations that actually trip it.
+        Err(_) => {
+            out.clear();
+            out.extend(queries.iter().map(|q| {
+                q.validate()?;
+                let v = selest_core::catch_fault(
+                    selest_core::FaultStage::Estimate,
+                    std::panic::AssertUnwindSafe(|| est.selectivity(q)),
+                )?;
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(EstimateError::NonFiniteEstimate { value: v })
+                }
+            }));
+        }
+    }
+}
+
+/// The three scan phases over caller-provided buffers.
+#[allow(clippy::too_many_arguments)]
+fn run_scan(
+    est: &KernelEstimator,
+    queries: &[RangeQuery],
+    plans: &mut Vec<QueryPlan>,
+    terms: &mut Vec<RawTerm>,
+    cuts: &mut Vec<CutKey>,
+    resolved: &mut Vec<u32>,
+    out: &mut [f64],
+) {
     let domain = est.domain();
     let (l, r) = (domain.lo(), domain.hi());
     let h = est.bandwidth();
@@ -206,9 +398,9 @@ pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -
     let boundary = est.boundary_policy();
 
     // Phase 1: lower every query to a plan, gathering all cut requests.
-    let mut plans: Vec<QueryPlan> = Vec::with_capacity(queries.len());
-    let mut terms: Vec<RawTerm> = Vec::with_capacity(queries.len());
-    let mut cuts: Vec<CutKey> = Vec::with_capacity(4 * queries.len());
+    plans.clear();
+    terms.clear();
+    cuts.clear();
     for q in queries {
         let a = q.a().max(l);
         let b = q.b().min(r);
@@ -222,15 +414,15 @@ pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -
         if !plan.zero {
             match boundary {
                 BoundaryPolicy::NoTreatment => {
-                    terms.push(plan_raw_term(est, a, b, &mut cuts));
+                    terms.push(plan_raw_term(est, a, b, cuts));
                 }
                 BoundaryPolicy::Reflection => {
-                    terms.push(plan_raw_term(est, a, b, &mut cuts));
+                    terms.push(plan_raw_term(est, a, b, cuts));
                     if a < l + reach {
-                        terms.push(plan_raw_term(est, 2.0 * l - b, 2.0 * l - a, &mut cuts));
+                        terms.push(plan_raw_term(est, 2.0 * l - b, 2.0 * l - a, cuts));
                     }
                     if b > r - reach {
-                        terms.push(plan_raw_term(est, 2.0 * r - b, 2.0 * r - a, &mut cuts));
+                        terms.push(plan_raw_term(est, 2.0 * r - b, 2.0 * r - a, cuts));
                     }
                 }
                 BoundaryPolicy::BoundaryKernel => {
@@ -239,7 +431,7 @@ pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -
                     let x1 = a.max(l + h);
                     let x2 = b.min(r - h);
                     if x2 > x1 {
-                        terms.push(plan_raw_term(est, x1, x2, &mut cuts));
+                        terms.push(plan_raw_term(est, x1, x2, cuts));
                     }
                     let la = a.max(l);
                     let lb = b.min(l + h);
@@ -259,7 +451,7 @@ pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -
     }
 
     // Phase 2: one merge scan answers every boundary lookup.
-    let resolved = resolve_cuts(est.samples(), &mut cuts);
+    resolve_cuts(est.samples(), cuts, resolved);
 
     // Boundary-kernel strip extents are query-independent.
     let (bk_left_hi, bk_right_lo) = if boundary == BoundaryPolicy::BoundaryKernel {
@@ -273,26 +465,18 @@ pub(crate) fn selectivity_batch(est: &KernelEstimator, queries: &[RangeQuery]) -
 
     // Phase 3: evaluate each query in input order with the per-query
     // path's arithmetic. The kernel dispatch is hoisted out of the strip
-    // loops: one match here selects a monomorphized evaluation whose CDF
-    // formula is the exact `KernelFn::cdf` arm (same operations, same
-    // bits), called directly instead of through the enum per sample.
+    // loops (one monomorphization per kernel through `LaneKernel`), and
+    // the lane width is resolved once for the whole batch.
+    let mode = configured_lanes();
     let ctx = Phase3 {
         est,
-        plans: &plans,
-        terms: &terms,
-        resolved: &resolved,
+        plans,
+        terms,
+        resolved,
         bk_left_hi,
         bk_right_lo,
     };
-    match est.kernel() {
-        KernelFn::Epanechnikov => ctx.run(|t| KernelFn::Epanechnikov.cdf(t)),
-        KernelFn::Uniform => ctx.run(|t| KernelFn::Uniform.cdf(t)),
-        KernelFn::Triangular => ctx.run(|t| KernelFn::Triangular.cdf(t)),
-        KernelFn::Biweight => ctx.run(|t| KernelFn::Biweight.cdf(t)),
-        KernelFn::Triweight => ctx.run(|t| KernelFn::Triweight.cdf(t)),
-        KernelFn::Cosine => ctx.run(|t| KernelFn::Cosine.cdf(t)),
-        KernelFn::Gaussian => ctx.run(|t| KernelFn::Gaussian.cdf(t)),
-    }
+    with_lane_kernel!(est.kernel(), k => ctx.run(k, mode, out));
 }
 
 /// Everything phase 3 needs, bundled so the per-kernel monomorphization
@@ -307,58 +491,57 @@ struct Phase3<'a> {
 }
 
 impl Phase3<'_> {
-    fn run(&self, cdf: impl Fn(f64) -> f64 + Copy) -> Vec<f64> {
+    fn run<K: LaneKernel>(&self, k: K, mode: LaneMode, out: &mut [f64]) {
         let est = self.est;
         let sorted = est.samples();
         let domain = est.domain();
         let (l, r) = (domain.lo(), domain.hi());
-        let h = est.bandwidth();
+        let inv_h = est.inv_bandwidth();
         let boundary = est.boundary_policy();
         let n = sorted.len() as f64;
-        self.plans
-            .iter()
-            .map(|plan| {
-                if plan.zero {
-                    return 0.0;
+        for (plan, slot) in self.plans.iter().zip(out.iter_mut()) {
+            if plan.zero {
+                *slot = 0.0;
+                continue;
+            }
+            let value = match boundary {
+                BoundaryPolicy::NoTreatment | BoundaryPolicy::Reflection => {
+                    // selectivity() sums the raw_mass of the main query
+                    // and any mirrored queries, each normalized on its
+                    // own.
+                    let mut s = 0.0;
+                    for term in &self.terms[plan.term_lo..plan.term_hi] {
+                        s += eval_raw_term(k, sorted, inv_h, mode, term, self.resolved) / n;
+                    }
+                    s
                 }
-                let value = match boundary {
-                    BoundaryPolicy::NoTreatment | BoundaryPolicy::Reflection => {
-                        // selectivity() sums the raw_mass of the main query
-                        // and any mirrored queries, each normalized on its
-                        // own.
-                        let mut s = 0.0;
-                        for term in &self.terms[plan.term_lo..plan.term_hi] {
-                            s += eval_raw_term(sorted, h, cdf, term, self.resolved) / n;
-                        }
-                        s
+                BoundaryPolicy::BoundaryKernel => {
+                    // boundary_kernel_mass accumulates un-normalized,
+                    // re-scaling the interior raw_mass by n (a round
+                    // trip the per-query path performs too), then
+                    // divides once.
+                    let mut s = 0.0;
+                    for term in &self.terms[plan.term_lo..plan.term_hi] {
+                        s += (eval_raw_term(k, sorted, inv_h, mode, term, self.resolved) / n) * n;
                     }
-                    BoundaryPolicy::BoundaryKernel => {
-                        // boundary_kernel_mass accumulates un-normalized,
-                        // re-scaling the interior raw_mass by n (a round
-                        // trip the per-query path performs too), then
-                        // divides once.
-                        let mut s = 0.0;
-                        for term in &self.terms[plan.term_lo..plan.term_hi] {
-                            s += (eval_raw_term(sorted, h, cdf, term, self.resolved) / n) * n;
-                        }
-                        if let Some((v0, v1)) = plan.bk_left {
-                            for &x in &sorted[..self.bk_left_hi] {
-                                s += left_boundary_integral(v0, v1, (x - l) / h);
-                            }
-                        }
-                        if let Some((v0, v1)) = plan.bk_right {
-                            for &x in &sorted[self.bk_right_lo..] {
-                                s += left_boundary_integral(v0, v1, (r - x) / h);
-                            }
-                        }
-                        s / n
+                    if let Some((v0, v1)) = plan.bk_left {
+                        s += bk_strip_sum(&sorted[..self.bk_left_hi], v0, v1, l, inv_h, true);
                     }
-                };
-                value.clamp(0.0, 1.0)
-            })
-            .collect()
+                    if let Some((v0, v1)) = plan.bk_right {
+                        s += bk_strip_sum(&sorted[self.bk_right_lo..], v0, v1, r, inv_h, false);
+                    }
+                    s / n
+                }
+            };
+            *slot = value.clamp(0.0, 1.0);
+        }
     }
 }
+
+// Silence "unused" for KahanSum which the strips module re-exports through
+// raw_term_sum's implementation (kept here for doc linkage).
+#[allow(unused_imports)]
+use KahanSum as _KahanSumDocAnchor;
 
 #[cfg(test)]
 mod tests {
@@ -397,6 +580,120 @@ mod tests {
         qs
     }
 
+    fn resolve_to_vec(sorted: &[f64], cuts: &mut [CutKey]) -> Vec<u32> {
+        let mut resolved = Vec::new();
+        resolve_cuts(sorted, cuts, &mut resolved);
+        resolved
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_batch_phases() {
+        use std::time::Instant;
+        let data = selest_data::PaperFile::Normal { p: 20 }.generate_scaled(20);
+        let sample = selest_data::sample_without_replacement(data.values(), 1_000, 7);
+        let qs = selest_data::QueryFile::generate(&data, 0.01, 200, 3)
+            .queries()
+            .to_vec();
+        let domain = data.domain();
+        use crate::bandwidth::BandwidthSelector as _;
+        let h =
+            crate::bandwidth::DirectPlugIn::two_stage().bandwidth(&sample, KernelFn::Epanechnikov);
+        let est = KernelEstimator::new(
+            &sample,
+            domain,
+            KernelFn::Epanechnikov,
+            h,
+            BoundaryPolicy::Reflection,
+        );
+        eprintln!("h = {h}, reach = {}", est.kernel().support_radius() * h);
+        let reps = 2000;
+        let mut out = vec![0.0; qs.len()];
+        let mut scratch = BatchScratch::new();
+        selectivity_batch_into(&est, &qs, &mut scratch, &mut out);
+        let t = Instant::now();
+        for _ in 0..reps {
+            selectivity_batch_into(&est, &qs, &mut scratch, &mut out);
+        }
+        eprintln!(
+            "full batch: {:.1}us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+        // Phase breakdown with the same scratch.
+        let ks = scratch.get_or_default::<KernelScratch>();
+        let KernelScratch {
+            plans,
+            terms,
+            cuts,
+            resolved,
+            ..
+        } = ks;
+        let t = Instant::now();
+        for _ in 0..reps {
+            plans.clear();
+            terms.clear();
+            cuts.clear();
+            for q in &qs {
+                let a = q.a().max(domain.lo());
+                let b = q.b().min(domain.hi());
+                if b >= a {
+                    terms.push(plan_raw_term(&est, a, b, cuts));
+                }
+            }
+        }
+        eprintln!(
+            "phase1 plan: {:.1}us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+        let mut cuts2 = cuts.clone();
+        let t = Instant::now();
+        for _ in 0..reps {
+            cuts2.copy_from_slice(cuts);
+            resolve_cuts(est.samples(), &mut cuts2, resolved);
+        }
+        eprintln!(
+            "phase2 resolve: {:.1}us",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+        let inv_h = est.inv_bandwidth();
+        let t = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            for term in terms.iter() {
+                acc += eval_raw_term(
+                    crate::strips::EpanechnikovLanes,
+                    est.samples(),
+                    inv_h,
+                    selest_simd::LaneMode::X8,
+                    term,
+                    resolved,
+                );
+            }
+        }
+        eprintln!(
+            "phase3 eval ({} terms): {:.1}us   (acc {acc})",
+            terms.len(),
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+        let t = Instant::now();
+        for _ in 0..reps {
+            for term in terms.iter() {
+                acc += eval_raw_term(
+                    crate::strips::EpanechnikovLanes,
+                    est.samples(),
+                    inv_h,
+                    selest_simd::LaneMode::Scalar,
+                    term,
+                    resolved,
+                );
+            }
+        }
+        eprintln!(
+            "phase3 eval scalar: {:.1}us   (acc {acc})",
+            t.elapsed().as_secs_f64() * 1e6 / reps as f64
+        );
+    }
+
     #[test]
     fn forward_partition_matches_partition_point() {
         let s = {
@@ -418,6 +715,34 @@ mod tests {
         }
     }
 
+    /// The satellite regression: galloping must survive index domains at
+    /// the `usize` boundary, where `lo + step` overflows and naive
+    /// doubling (`step <<= 1`) would wrap to zero. Real slices can never
+    /// be this long, so the index-domain formulation is exercised
+    /// directly: the probe count stays logarithmic (the predicate counter
+    /// proves termination long before any spin).
+    #[test]
+    fn forward_partition_survives_the_usize_boundary() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for (n, answer, start) in [
+            (usize::MAX, usize::MAX - 5, 0),
+            (usize::MAX, usize::MAX - 5, 3),
+            (usize::MAX, usize::MAX, 17), // pred true everywhere
+            (usize::MAX - 1, usize::MAX / 2 + 12_345, 0),
+            (usize::MAX, 2, 1),
+        ] {
+            let probes = AtomicUsize::new(0);
+            let got = forward_partition_indexed(n, start, |i| {
+                assert!(
+                    probes.fetch_add(1, Ordering::Relaxed) < 1000,
+                    "runaway gallop at n={n}, answer={answer}"
+                );
+                i < answer
+            });
+            assert_eq!(got, answer.max(start), "n={n}, start={start}");
+        }
+    }
+
     #[test]
     fn resolve_cuts_answers_every_request() {
         let s = {
@@ -426,7 +751,7 @@ mod tests {
             s
         };
         // Deliberately unsorted, duplicated cut values (negatives included
-        // to exercise the sign-flip packing).
+        // to exercise the sign-flip packing, duplicates the reuse path).
         let requests: Vec<(f64, bool)> = [37.0, 2.0, 99.9, 37.0, -0.5, 62.5, 37.0]
             .iter()
             .enumerate()
@@ -437,7 +762,7 @@ mod tests {
             .enumerate()
             .map(|(i, &(v, upper))| pack_cut(v, upper, i))
             .collect();
-        let resolved = resolve_cuts(&s, &mut cuts);
+        let resolved = resolve_to_vec(&s, &mut cuts);
         for (&(v, upper), &got) in requests.iter().zip(&resolved) {
             let expect = if upper {
                 s.partition_point(|&x| x <= v)
@@ -445,6 +770,35 @@ mod tests {
                 s.partition_point(|&x| x < v)
             };
             assert_eq!(got as usize, expect, "cut ({v}, upper={upper})");
+        }
+    }
+
+    /// Duplicate lookups must be probed once and copied: the scan position
+    /// may not move between identical requests, and mixed flavours at the
+    /// same value stay distinct.
+    #[test]
+    fn resolve_cuts_deduplicates_identical_lookups() {
+        let s = {
+            let mut s = sample(500);
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        let mut requests: Vec<(f64, bool)> = Vec::new();
+        for _ in 0..300 {
+            requests.push((42.0, false));
+            requests.push((42.0, true));
+        }
+        let mut cuts: Vec<CutKey> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &(v, upper))| pack_cut(v, upper, i))
+            .collect();
+        let resolved = resolve_to_vec(&s, &mut cuts);
+        let lo = s.partition_point(|&x| x < 42.0) as u32;
+        let hi = s.partition_point(|&x| x <= 42.0) as u32;
+        assert!(lo < hi, "test wants ties at the cut value");
+        for (i, &(_, upper)) in requests.iter().enumerate() {
+            assert_eq!(resolved[i], if upper { hi } else { lo }, "request {i}");
         }
     }
 
@@ -505,6 +859,28 @@ mod tests {
         }
     }
 
+    /// A batch of 200 copies of one query answers identically to the
+    /// singleton batch in every slot — the dedup satellite's end-to-end
+    /// guarantee.
+    #[test]
+    fn repeated_query_batch_matches_singleton() {
+        let est = KernelEstimator::new(
+            &sample(800),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        let q = RangeQuery::new(13.0, 29.5);
+        let single = est.selectivity_batch(std::slice::from_ref(&q))[0];
+        let copies = vec![q; 200];
+        let batch = est.selectivity_batch(&copies);
+        assert_eq!(batch.len(), 200);
+        for (i, &v) in batch.iter().enumerate() {
+            assert_eq!(v.to_bits(), single.to_bits(), "copy {i}");
+        }
+    }
+
     #[test]
     fn batch_of_empty_and_single_query_sets() {
         let est = KernelEstimator::new(
@@ -519,6 +895,38 @@ mod tests {
         let one = est.selectivity_batch(std::slice::from_ref(&q));
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].to_bits(), est.selectivity(&q).to_bits());
+    }
+
+    /// The `_into` entry points are the same engine: identical bits to the
+    /// `Vec`-returning paths through a caller-owned scratch, which can hop
+    /// between estimators without corrupting results.
+    #[test]
+    fn into_paths_match_vec_paths_through_shared_scratch() {
+        let domain = Domain::new(0.0, 100.0);
+        let qs = queries();
+        let mut scratch = BatchScratch::new();
+        let mut out = vec![0.0; qs.len()];
+        for (kernel, policy, h) in [
+            (KernelFn::Epanechnikov, BoundaryPolicy::BoundaryKernel, 4.0),
+            (KernelFn::Gaussian, BoundaryPolicy::Reflection, 2.0),
+            (KernelFn::Epanechnikov, BoundaryPolicy::NoTreatment, 9.0),
+        ] {
+            let est = KernelEstimator::new(&sample(600), domain, kernel, h, policy);
+            let plain = est.selectivity_batch(&qs);
+            est.selectivity_batch_into(&qs, &mut scratch, &mut out);
+            for (i, (a, b)) in out.iter().zip(&plain).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}/{policy:?} query {i}");
+            }
+            let mut tried = Vec::new();
+            est.try_selectivity_batch_into(&qs, &mut scratch, &mut tried);
+            for (i, (slot, want)) in tried.iter().zip(&plain).enumerate() {
+                assert_eq!(
+                    slot.as_ref().unwrap().to_bits(),
+                    want.to_bits(),
+                    "try query {i}"
+                );
+            }
+        }
     }
 
     #[test]

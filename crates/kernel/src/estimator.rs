@@ -24,10 +24,14 @@
 
 use std::sync::Arc;
 
-use selest_core::{DensityEstimator, Domain, PreparedColumn, RangeQuery, SelectivityEstimator};
+use selest_core::{
+    BatchScratch, DensityEstimator, Domain, PreparedColumn, RangeQuery, SelectivityEstimator,
+};
+use selest_simd::{configured_lanes, LaneMode};
 
-use crate::boundary::{left_boundary_integral, left_boundary_kernel, BoundaryPolicy};
+use crate::boundary::{left_boundary_kernel, BoundaryPolicy};
 use crate::kernels::KernelFn;
+use crate::strips::{bk_strip_sum, raw_term_sum, with_lane_kernel};
 
 /// Kernel selectivity / density estimator over a sorted sample set.
 ///
@@ -56,6 +60,9 @@ pub struct KernelEstimator {
     sorted: Arc<[f64]>,
     kernel: KernelFn,
     h: f64,
+    /// Cached `1/h`: the strip loops multiply instead of dividing (PR 7's
+    /// canonical arithmetic — a division would serialize the lane pipeline).
+    inv_h: f64,
     domain: Domain,
     boundary: BoundaryPolicy,
 }
@@ -147,6 +154,7 @@ impl KernelEstimator {
             sorted,
             kernel,
             h: bandwidth,
+            inv_h: 1.0 / bandwidth,
             domain,
             boundary,
         }
@@ -155,6 +163,11 @@ impl KernelEstimator {
     /// The bandwidth `h`.
     pub fn bandwidth(&self) -> f64 {
         self.h
+    }
+
+    /// The cached reciprocal bandwidth `1/h` used by every strip loop.
+    pub(crate) fn inv_bandwidth(&self) -> f64 {
+        self.inv_h
     }
 
     /// The kernel function `K`.
@@ -178,35 +191,34 @@ impl KernelEstimator {
     }
 
     /// Untreated selectivity mass of `[a, b]` over the real line — the raw
-    /// equation (6), `O(log n + k)` via the sorted sample.
-    fn raw_mass(&self, a: f64, b: f64) -> f64 {
+    /// equation (6), `O(log n + k)` via the sorted sample. The strip
+    /// arithmetic lives in [`crate::strips`], shared verbatim with the
+    /// batch merge scan, so per-query and batch answers are bit-identical
+    /// by construction (and identical for every `SELEST_LANES` mode).
+    fn raw_mass(&self, a: f64, b: f64, mode: LaneMode) -> f64 {
         debug_assert!(a <= b);
         let n = self.sorted.len() as f64;
         let reach = self.kernel.support_radius() * self.h;
         // Samples in [a + reach, b - reach] contribute exactly 1.
         let full_lo = a + reach;
         let full_hi = b - reach;
-        if full_hi >= full_lo {
-            let i0 = self.sorted.partition_point(|&x| x < a - reach);
-            let i1 = self.sorted.partition_point(|&x| x < full_lo);
-            let i2 = self.sorted.partition_point(|&x| x <= full_hi);
-            let i3 = self.sorted.partition_point(|&x| x <= b + reach);
-            let mut s = (i2 - i1) as f64;
-            for &x in self.sorted[i0..i1].iter().chain(&self.sorted[i2..i3]) {
-                s += self.kernel.cdf((b - x) / self.h) - self.kernel.cdf((a - x) / self.h);
-            }
-            s / n
+        let wide = full_hi >= full_lo;
+        let i0 = self.sorted.partition_point(|&x| x < a - reach);
+        let i3 = self.sorted.partition_point(|&x| x <= b + reach);
+        let (i1, i2) = if wide {
+            (
+                self.sorted.partition_point(|&x| x < full_lo),
+                self.sorted.partition_point(|&x| x <= full_hi),
+            )
         } else {
             // Query narrower than the kernel reach: the strips overlap and
             // no sample can contribute a full one.
-            let i0 = self.sorted.partition_point(|&x| x < a - reach);
-            let i3 = self.sorted.partition_point(|&x| x <= b + reach);
-            let mut s = 0.0;
-            for &x in &self.sorted[i0..i3] {
-                s += self.kernel.cdf((b - x) / self.h) - self.kernel.cdf((a - x) / self.h);
-            }
-            s / n
-        }
+            (0, 0)
+        };
+        let s = with_lane_kernel!(self.kernel, k => raw_term_sum(
+            k, &self.sorted, a, b, self.inv_h, mode, wide, i0, i1, i2, i3,
+        ));
+        s / n
     }
 
     /// Untreated density at `x` over the real line.
@@ -222,8 +234,10 @@ impl KernelEstimator {
     }
 
     /// Boundary-kernel selectivity (Epanechnikov interior). `a <= b`, both
-    /// inside the domain.
-    fn boundary_kernel_mass(&self, a: f64, b: f64) -> f64 {
+    /// inside the domain. The accumulation order (interior, left strip,
+    /// right strip) and the shared [`bk_strip_sum`] helper are mirrored
+    /// exactly by the batch path's boundary-kernel arm.
+    fn boundary_kernel_mass(&self, a: f64, b: f64, mode: LaneMode) -> f64 {
         let (l, r) = (self.domain.lo(), self.domain.hi());
         let h = self.h;
         let n = self.sorted.len() as f64;
@@ -233,7 +247,7 @@ impl KernelEstimator {
         let x1 = a.max(l + h);
         let x2 = b.min(r - h);
         if x2 > x1 {
-            s += self.raw_mass(x1, x2) * n;
+            s += self.raw_mass(x1, x2, mode) * n;
         }
 
         // Left strip piece: x in [a, b] ∩ [l, l + h), in v = (x - l)/h
@@ -243,9 +257,7 @@ impl KernelEstimator {
         if lb > la {
             let (v0, v1) = ((la - l) / h, (lb - l) / h);
             let hi_idx = self.sorted.partition_point(|&x| x <= l + 2.0 * h);
-            for &x in &self.sorted[..hi_idx] {
-                s += left_boundary_integral(v0, v1, (x - l) / h);
-            }
+            s += bk_strip_sum(&self.sorted[..hi_idx], v0, v1, l, self.inv_h, true);
         }
 
         // Right strip piece, by mirroring the domain: m(x) = l + r - x.
@@ -254,9 +266,7 @@ impl KernelEstimator {
         if rb > ra {
             let (v0, v1) = ((r - rb) / h, (r - ra) / h);
             let lo_idx = self.sorted.partition_point(|&x| x < r - 2.0 * h);
-            for &x in &self.sorted[lo_idx..] {
-                s += left_boundary_integral(v0, v1, (r - x) / h);
-            }
+            s += bk_strip_sum(&self.sorted[lo_idx..], v0, v1, r, self.inv_h, false);
         }
         s / n
     }
@@ -336,51 +346,40 @@ impl SelectivityEstimator for KernelEstimator {
         &self,
         queries: &[RangeQuery],
     ) -> Vec<Result<f64, selest_core::EstimateError>> {
-        let mut out: Vec<Result<f64, selest_core::EstimateError>> = queries
-            .iter()
-            .map(|q| q.validate().map(|()| f64::NAN))
-            .collect();
-        let valid: Vec<RangeQuery> = queries
-            .iter()
-            .zip(&out)
-            .filter(|(_, slot)| slot.is_ok())
-            .map(|(q, _)| *q)
-            .collect();
-        let scanned = selest_core::catch_fault(
-            selest_core::FaultStage::Estimate,
-            std::panic::AssertUnwindSafe(|| crate::batch::selectivity_batch(self, &valid)),
+        let mut out = Vec::new();
+        crate::batch::with_thread_scratch(|scratch| {
+            crate::batch::try_selectivity_batch_into(self, queries, scratch, &mut out)
+        });
+        out
+    }
+
+    /// Allocation-free merge scan: same engine as
+    /// [`Self::selectivity_batch`], but the plans/cuts/resolved-index
+    /// buffers live in the caller's `scratch` and the answers land in
+    /// `out` — zero heap allocations once the scratch is warm.
+    fn selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "selectivity_batch_into needs one output slot per query"
         );
-        match scanned {
-            Ok(values) => {
-                let mut vals = values.into_iter();
-                for slot in out.iter_mut().filter(|slot| slot.is_ok()) {
-                    let v = vals.next().expect("merge scan returns one value per query");
-                    *slot = if v.is_finite() {
-                        Ok(v)
-                    } else {
-                        Err(selest_core::EstimateError::NonFiniteEstimate { value: v })
-                    };
-                }
-                out
-            }
-            // Whole-scan panic: retry query-by-query so the fault stays
-            // confined to the evaluations that actually trip it.
-            Err(_) => queries
-                .iter()
-                .map(|q| {
-                    q.validate()?;
-                    let v = selest_core::catch_fault(
-                        selest_core::FaultStage::Estimate,
-                        std::panic::AssertUnwindSafe(|| self.selectivity(q)),
-                    )?;
-                    if v.is_finite() {
-                        Ok(v)
-                    } else {
-                        Err(selest_core::EstimateError::NonFiniteEstimate { value: v })
-                    }
-                })
-                .collect(),
-        }
+        crate::batch::selectivity_batch_into(self, queries, scratch, out);
+    }
+
+    /// Fault-isolated, allocation-conscious batch: the semantics of
+    /// [`Self::try_selectivity_batch`] writing into a reusable `out`.
+    fn try_selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<Result<f64, selest_core::EstimateError>>,
+    ) {
+        crate::batch::try_selectivity_batch_into(self, queries, scratch, out);
     }
 
     fn selectivity(&self, q: &RangeQuery) -> f64 {
@@ -390,22 +389,23 @@ impl SelectivityEstimator for KernelEstimator {
         if b < a {
             return 0.0;
         }
+        let mode = configured_lanes();
         let est = match self.boundary {
-            BoundaryPolicy::NoTreatment => self.raw_mass(a, b),
+            BoundaryPolicy::NoTreatment => self.raw_mass(a, b, mode),
             BoundaryPolicy::Reflection => {
                 // Reflecting the boundary-strip samples is equivalent to
                 // also evaluating the raw estimator on the mirrored query.
-                let mut s = self.raw_mass(a, b);
+                let mut s = self.raw_mass(a, b, mode);
                 let reach = self.kernel.support_radius() * self.h;
                 if a < l + reach {
-                    s += self.raw_mass(2.0 * l - b, 2.0 * l - a);
+                    s += self.raw_mass(2.0 * l - b, 2.0 * l - a, mode);
                 }
                 if b > r - reach {
-                    s += self.raw_mass(2.0 * r - b, 2.0 * r - a);
+                    s += self.raw_mass(2.0 * r - b, 2.0 * r - a, mode);
                 }
                 s
             }
-            BoundaryPolicy::BoundaryKernel => self.boundary_kernel_mass(a, b),
+            BoundaryPolicy::BoundaryKernel => self.boundary_kernel_mass(a, b, mode),
         };
         est.clamp(0.0, 1.0)
     }

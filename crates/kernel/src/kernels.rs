@@ -126,7 +126,13 @@ impl KernelFn {
                 } else if t >= 1.0 {
                     1.0
                 } else {
-                    0.5 + 0.9375 * (t - 2.0 * t.powi(3) / 3.0 + t.powi(5) / 5.0)
+                    // Explicit power chain (t3 = t2*t, t5 = t3*t2), spelled
+                    // identically in the lane forms of `crate::strips` so
+                    // scalar and SIMD evaluation agree bit-for-bit.
+                    let t2 = t * t;
+                    let t3 = t2 * t;
+                    let t5 = t3 * t2;
+                    0.5 + 0.9375 * (t - 2.0 * t3 / 3.0 + t5 / 5.0)
                 }
             }
             KernelFn::Triweight => {
@@ -135,7 +141,12 @@ impl KernelFn {
                 } else if t >= 1.0 {
                     1.0
                 } else {
-                    0.5 + 1.09375 * (t - t.powi(3) + 0.6 * t.powi(5) - t.powi(7) / 7.0)
+                    // Same power chain as the lane forms; see Biweight.
+                    let t2 = t * t;
+                    let t3 = t2 * t;
+                    let t5 = t3 * t2;
+                    let t7 = t5 * t2;
+                    0.5 + 1.09375 * (t - t3 + 0.6 * t5 - t7 / 7.0)
                 }
             }
             KernelFn::Cosine => {

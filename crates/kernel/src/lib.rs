@@ -27,6 +27,7 @@ pub mod kde;
 pub mod kernels;
 pub mod multidim;
 pub mod ndim;
+mod strips;
 
 pub use adaptive::{AdaptiveBoundary, AdaptiveKernelEstimator};
 pub use bandwidth::{

@@ -1,0 +1,725 @@
+//! Portable fixed-width f64 lane abstraction for the serving hot paths.
+//!
+//! The workspace's determinism contract ("a batch answer is bit-identical
+//! to the per-query answer, for any worker count") extends to SIMD with one
+//! more axis: *lane width*. This crate provides the pieces that keep that
+//! contract checkable:
+//!
+//! * [`F64x4`] / [`F64x8`] — plain `[f64; N]` wrapper structs with
+//!   element-wise `mul`/`add`/`fma`/`min`/`max`/`select`. No nightly
+//!   features, no intrinsics: the layouts are lane-aligned and the loops
+//!   are written so LLVM auto-vectorizes them (the kernel crate adds
+//!   `#[target_feature(enable = "avx2")]` dispatch on x86-64). `fma` is
+//!   deliberately an *unfused* multiply-then-add — a hardware-fused FMA
+//!   rounds once instead of twice and would break bit-identity with the
+//!   scalar path.
+//! * **Ordered tree reduction** ([`F64x4::hsum_tree`],
+//!   [`F64x8::hsum_tree`]) — the canonical fixed-shape horizontal sum
+//!   `((e0+e1)+(e2+e3)) + ((e4+e5)+(e6+e7))`. A scalar loop, a 4-lane
+//!   loop, and an 8-lane loop that all reduce 8-element blocks through
+//!   this tree produce the same bits, because lane-wise IEEE ops are
+//!   bit-identical to their scalar counterparts and only the *order* of a
+//!   reduction can differ.
+//! * **Compensated accumulation** ([`KahanSum`], [`F64x4::hsum_kahan`]) —
+//!   Neumaier-compensated sums matching `selest_math::kahan_sum`'s update
+//!   rule, so widening lanes never *regresses* the error story of a path
+//!   that summed compensated before.
+//! * [`LaneMode`] / [`configured_lanes`] — a process-wide lane-width
+//!   override mirroring `selest-par`'s `SELEST_JOBS`: the `SELEST_LANES`
+//!   environment variable (or [`set_lanes`]) selects `scalar`, `4`, or
+//!   `8`-lane execution. Because every width is bit-identical, the switch
+//!   is purely a performance/debugging knob — and the workspace tests
+//!   sweep it to prove exactly that.
+//! * **Branchless binary search** ([`partition_lt`], [`partition_le`]) and
+//!   the [`GridIndex`] interpolation grid — flat-array lookups whose trip
+//!   count depends only on the slice length (no data-dependent branch
+//!   mispredictions), with a monotonicity-proven bracket for the grid (see
+//!   `DESIGN.md` §13).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Lane-width configuration (mirrors selest-par's SELEST_JOBS)
+// ---------------------------------------------------------------------------
+
+/// How many f64 lanes the serving kernels process per step.
+///
+/// Every mode produces bit-identical results (the reduction shape is fixed
+/// per 8-element block, not per lane width); the mode only changes speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneMode {
+    /// One element at a time (the reference path).
+    Scalar,
+    /// Four lanes ([`F64x4`]).
+    X4,
+    /// Eight lanes ([`F64x8`]).
+    X8,
+}
+
+impl LaneMode {
+    /// All modes, for determinism sweeps.
+    pub const ALL: [LaneMode; 3] = [LaneMode::Scalar, LaneMode::X4, LaneMode::X8];
+
+    /// Parse a `SELEST_LANES` value: `"scalar"` or `"1"`, `"4"`, `"8"`.
+    pub fn parse(s: &str) -> Option<LaneMode> {
+        match s.trim() {
+            "scalar" | "1" => Some(LaneMode::Scalar),
+            "4" => Some(LaneMode::X4),
+            "8" => Some(LaneMode::X8),
+            _ => None,
+        }
+    }
+
+    /// The `SELEST_LANES` spelling of this mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LaneMode::Scalar => "scalar",
+            LaneMode::X4 => "4",
+            LaneMode::X8 => "8",
+        }
+    }
+}
+
+/// The default lane width when nothing overrides it: the widest.
+pub const DEFAULT_LANES: LaneMode = LaneMode::X8;
+
+/// Process-wide lane-mode override; 0 means "not set".
+static LANES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(mode: LaneMode) -> usize {
+    match mode {
+        LaneMode::Scalar => 1,
+        LaneMode::X4 => 2,
+        LaneMode::X8 => 3,
+    }
+}
+
+/// Install a process-wide lane-width override (`set_lanes(None)` clears
+/// it). Mirrors `selest_par::set_jobs`.
+pub fn set_lanes(mode: Option<LaneMode>) {
+    LANES_OVERRIDE.store(mode.map_or(0, encode), Ordering::Relaxed);
+}
+
+/// The lane width lane-aware paths use when none is given explicitly: the
+/// [`set_lanes`] override if installed, else the `SELEST_LANES` environment
+/// variable if it parses, else [`DEFAULT_LANES`].
+pub fn configured_lanes() -> LaneMode {
+    match LANES_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return LaneMode::Scalar,
+        2 => return LaneMode::X4,
+        3 => return LaneMode::X8,
+        _ => {}
+    }
+    if let Ok(v) = std::env::var("SELEST_LANES") {
+        if let Some(mode) = LaneMode::parse(&v) {
+            return mode;
+        }
+    }
+    DEFAULT_LANES
+}
+
+/// Whether the host CPU offers AVX2 (256-bit f64 lanes). Always false off
+/// x86-64. Callers use this to pick a `#[target_feature]`-compiled variant
+/// of a lane loop; the variants are bit-identical, so detection only
+/// affects speed.
+#[inline]
+pub fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane structs
+// ---------------------------------------------------------------------------
+
+macro_rules! lane_struct {
+    ($name:ident, $mask:ident, $n:literal, $align:literal) => {
+        /// A fixed-width vector of `f64` lanes. All operations are
+        /// element-wise and bit-identical to performing the same scalar
+        /// operation per lane.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        #[repr(align($align))]
+        pub struct $name(pub [f64; $n]);
+
+        /// Per-lane mask for [`select`](
+        #[doc = concat!("`", stringify!($name), "::select`)")]
+        /// in hardware form: every lane is all-ones (`u64::MAX`) for true
+        /// or all-zeros for false, exactly what `vcmppd` produces. Keeping
+        /// the mask sign-extended instead of `bool` lets the compiler keep
+        /// compare → blend chains in vector registers; byte-sized bools
+        /// force it to scalarize the blend.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $mask(pub [u64; $n]);
+
+        impl $name {
+            /// Number of lanes.
+            pub const LANES: usize = $n;
+
+            /// All lanes set to `v`.
+            #[inline(always)]
+            pub fn splat(v: f64) -> Self {
+                $name([v; $n])
+            }
+
+            /// Load lanes from the first `N` elements of `s`.
+            #[inline(always)]
+            pub fn from_slice(s: &[f64]) -> Self {
+                let mut a = [0.0; $n];
+                a.copy_from_slice(&s[..$n]);
+                $name(a)
+            }
+
+            /// Unfused multiply-add `self * m + a`, rounding twice like
+            /// the scalar expression (never a hardware FMA — fusing would
+            /// change bits versus the scalar path).
+            #[inline(always)]
+            pub fn fma(self, m: Self, a: Self) -> Self {
+                self * m + a
+            }
+
+            /// Lane-wise minimum (both operands finite in our uses).
+            #[inline(always)]
+            pub fn min(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = if self.0[i] < rhs.0[i] {
+                        self.0[i]
+                    } else {
+                        rhs.0[i]
+                    };
+                }
+                $name(o)
+            }
+
+            /// Lane-wise maximum (both operands finite in our uses).
+            #[inline(always)]
+            pub fn max(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = if self.0[i] > rhs.0[i] {
+                        self.0[i]
+                    } else {
+                        rhs.0[i]
+                    };
+                }
+                $name(o)
+            }
+
+            /// Lane-wise absolute value.
+            #[inline(always)]
+            pub fn abs(self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = self.0[i].abs();
+                }
+                $name(o)
+            }
+
+            /// Lane-wise `self <= rhs`.
+            #[inline(always)]
+            pub fn le(self, rhs: Self) -> $mask {
+                let mut m = [0u64; $n];
+                for i in 0..$n {
+                    m[i] = if self.0[i] <= rhs.0[i] { u64::MAX } else { 0 };
+                }
+                $mask(m)
+            }
+
+            /// Lane-wise `self >= rhs`.
+            #[inline(always)]
+            pub fn ge(self, rhs: Self) -> $mask {
+                let mut m = [0u64; $n];
+                for i in 0..$n {
+                    m[i] = if self.0[i] >= rhs.0[i] { u64::MAX } else { 0 };
+                }
+                $mask(m)
+            }
+
+            /// Lane-wise `self < rhs`.
+            #[inline(always)]
+            pub fn lt(self, rhs: Self) -> $mask {
+                let mut m = [0u64; $n];
+                for i in 0..$n {
+                    m[i] = if self.0[i] < rhs.0[i] { u64::MAX } else { 0 };
+                }
+                $mask(m)
+            }
+
+            /// Per-lane `if mask { a } else { b }` (a blend, never a
+            /// branch: both arms are always evaluated by the caller). The
+            /// blend is bitwise over the sign-extended mask, so it is
+            /// value-exact for every `f64` bit pattern, NaNs included.
+            #[inline(always)]
+            pub fn select(mask: $mask, a: Self, b: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = f64::from_bits(
+                        (a.0[i].to_bits() & mask.0[i]) | (b.0[i].to_bits() & !mask.0[i]),
+                    );
+                }
+                $name(o)
+            }
+
+            /// Neumaier-compensated horizontal sum, lanes in order —
+            /// bit-identical to feeding the lanes one by one into
+            /// [`KahanSum`]. Use where the scalar path summed compensated.
+            #[inline]
+            pub fn hsum_kahan(self) -> f64 {
+                let mut acc = KahanSum::new();
+                for i in 0..$n {
+                    acc.add(self.0[i]);
+                }
+                acc.value()
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = self.0[i] + rhs.0[i];
+                }
+                $name(o)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = self.0[i] - rhs.0[i];
+                }
+                $name(o)
+            }
+        }
+
+        impl std::ops::Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = self.0[i] * rhs.0[i];
+                }
+                $name(o)
+            }
+        }
+
+        impl std::ops::Div for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                let mut o = [0.0; $n];
+                for i in 0..$n {
+                    o[i] = self.0[i] / rhs.0[i];
+                }
+                $name(o)
+            }
+        }
+    };
+}
+
+lane_struct!(F64x4, Mask4, 4, 32);
+lane_struct!(F64x8, Mask8, 8, 64);
+
+impl F64x4 {
+    /// The canonical ordered tree reduction of four lanes:
+    /// `(l0 + l1) + (l2 + l3)`.
+    #[inline(always)]
+    pub fn hsum_tree(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+impl F64x8 {
+    /// The canonical ordered tree reduction of eight lanes:
+    /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — exactly
+    /// [`F64x4::hsum_tree`] of each half, summed low-then-high, so an
+    /// 8-lane block reduces to the same bits whether it was processed as
+    /// one `F64x8`, two `F64x4`s, or eight scalars folded through the
+    /// same tree.
+    #[inline(always)]
+    pub fn hsum_tree(self) -> f64 {
+        ((self.0[0] + self.0[1]) + (self.0[2] + self.0[3]))
+            + ((self.0[4] + self.0[5]) + (self.0[6] + self.0[7]))
+    }
+
+    /// The low four lanes.
+    #[inline(always)]
+    pub fn lo(self) -> F64x4 {
+        F64x4([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// The high four lanes.
+    #[inline(always)]
+    pub fn hi(self) -> F64x4 {
+        F64x4([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compensated accumulation
+// ---------------------------------------------------------------------------
+
+/// A running Neumaier-compensated sum with the exact update rule of
+/// `selest_math::kahan_sum`, exposed as an incremental accumulator so lane
+/// loops can compensate across their 8-element block sums. Feeding the same
+/// values in the same order as `kahan_sum` produces the same bits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    c: f64,
+}
+
+impl KahanSum {
+    /// A zeroed accumulator.
+    #[inline(always)]
+    pub fn new() -> Self {
+        KahanSum { sum: 0.0, c: 0.0 }
+    }
+
+    /// Add one term, carrying the rounding error into the compensation.
+    #[inline(always)]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.c += (self.sum - t) + v;
+        } else {
+            self.c += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total `sum + c`.
+    #[inline(always)]
+    pub fn value(&self) -> f64 {
+        self.sum + self.c
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branchless binary search
+// ---------------------------------------------------------------------------
+
+/// `sorted.partition_point(|&v| v < x)`, branchlessly: the loop trip count
+/// depends only on `sorted.len()` and the comparison feeds a conditional
+/// move, not a data-dependent branch — so a batch of lookups with random
+/// outcomes pays no misprediction tax. Exact (never approximate), for any
+/// sorted slice and any `x` including NaN (`v < NaN` is false everywhere,
+/// so the answer is 0, like `partition_point`).
+#[inline]
+pub fn partition_lt(sorted: &[f64], x: f64) -> usize {
+    let mut base = 0usize;
+    let mut len = sorted.len();
+    while len > 1 {
+        let half = len / 2;
+        // cmov: advance past the left half iff its last element is < x.
+        base += if sorted[base + half - 1] < x { half } else { 0 };
+        len -= half;
+    }
+    if !sorted.is_empty() && sorted[base] < x {
+        base += 1;
+    }
+    base
+}
+
+/// `sorted.partition_point(|&v| v <= x)`, branchlessly (see
+/// [`partition_lt`]).
+#[inline]
+pub fn partition_le(sorted: &[f64], x: f64) -> usize {
+    let mut base = 0usize;
+    let mut len = sorted.len();
+    while len > 1 {
+        let half = len / 2;
+        base += if sorted[base + half - 1] <= x {
+            half
+        } else {
+            0
+        };
+        len -= half;
+    }
+    if !sorted.is_empty() && sorted[base] <= x {
+        base += 1;
+    }
+    base
+}
+
+// ---------------------------------------------------------------------------
+// Interpolation grid
+// ---------------------------------------------------------------------------
+
+/// A precomputed interpolation grid over a sorted slice: `G` uniform cells
+/// spanning `[sorted[0], sorted[n-1]]`, each knowing where its elements
+/// start. A lookup maps `x` to its cell in O(1) and narrows any
+/// `partition_point` over the full slice to the elements of *one* cell.
+///
+/// # Error bound (proof sketch — DESIGN.md §13 has the full version)
+///
+/// Let `cell(v) = clamp(⌊fl(fl(v − lo) · inv_cell)⌋, 0, G−1)` with every
+/// operation in f64. Each step (subtraction, multiplication, float→int
+/// cast) is monotone non-decreasing in `v`, so `cell` is monotone:
+/// `u ≤ v ⟹ cell(u) ≤ cell(v)` — *regardless of rounding error*. With
+/// `starts[c] =` number of elements whose `cell` is `< c`:
+///
+/// * every element `v < x` has `cell(v) ≤ cell(x) = j`, hence lives below
+///   `starts[j+1]`;
+/// * every element below `starts[j]` has `cell(v) < j ≤ cell(x)`, hence
+///   `v < x` (contrapositive of monotonicity).
+///
+/// So the true partition index lies in `[starts[j], starts[j+1]]`: the
+/// residual search window is exactly one cell's occupancy, and the result
+/// is exact — the grid bounds *work*, never *error*.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    /// `G + 1` cumulative starts: `starts[c]` = elements with `cell < c`.
+    starts: Vec<u32>,
+    lo: f64,
+    inv_cell: f64,
+    cells: usize,
+}
+
+impl GridIndex {
+    /// Build a grid over `sorted` (ascending, no NaN, `len <= u32::MAX`).
+    /// `cells` is clamped to at least 1; a degenerate span (zero width or
+    /// non-finite bounds) collapses to a single cell covering everything.
+    pub fn build(sorted: &[f64], cells: usize) -> GridIndex {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        assert!(sorted.len() <= u32::MAX as usize, "grid index is u32");
+        let cells = cells.max(1);
+        let (lo, hi) = match (sorted.first(), sorted.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0.0, 0.0),
+        };
+        let width = hi - lo;
+        let inv_cell = if width.is_finite() && width > 0.0 && lo.is_finite() {
+            cells as f64 / width
+        } else {
+            0.0 // degenerate: every x maps to cell 0 of a 1-cell grid
+        };
+        let (cells, inv_cell) = if inv_cell.is_finite() && inv_cell > 0.0 {
+            (cells, inv_cell)
+        } else {
+            (1, 0.0)
+        };
+        let mut starts = vec![0u32; cells + 1];
+        for &v in sorted {
+            let c = Self::cell_of(v, lo, inv_cell, cells);
+            starts[c + 1] += 1;
+        }
+        for c in 0..cells {
+            starts[c + 1] += starts[c];
+        }
+        GridIndex {
+            starts,
+            lo,
+            inv_cell,
+            cells,
+        }
+    }
+
+    #[inline(always)]
+    fn cell_of(v: f64, lo: f64, inv_cell: f64, cells: usize) -> usize {
+        // f64→usize casts saturate (negative / NaN → 0, huge → MAX), so
+        // the clamp below is total.
+        (((v - lo) * inv_cell) as usize).min(cells - 1)
+    }
+
+    /// The half-open index window `[w0, w1)`… actually the *closed bracket*
+    /// `[starts[j], starts[j+1]]` containing every partition point
+    /// (`<` or `<=`) for `x`: search `sorted[w.0..w.1]` and add `w.0`.
+    #[inline(always)]
+    pub fn window(&self, x: f64) -> (usize, usize) {
+        let j = Self::cell_of(x, self.lo, self.inv_cell, self.cells);
+        (self.starts[j] as usize, self.starts[j + 1] as usize)
+    }
+
+    /// Grid-accelerated `sorted.partition_point(|&v| v < x)`. `sorted`
+    /// must be the slice the grid was built over.
+    #[inline]
+    pub fn partition_lt(&self, sorted: &[f64], x: f64) -> usize {
+        let (w0, w1) = self.window(x);
+        w0 + partition_lt(&sorted[w0..w1], x)
+    }
+
+    /// Grid-accelerated `sorted.partition_point(|&v| v <= x)`.
+    #[inline]
+    pub fn partition_le(&self, sorted: &[f64], x: f64) -> usize {
+        let (w0, w1) = self.window(x);
+        w0 + partition_le(&sorted[w0..w1], x)
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ops_match_scalar_per_lane() {
+        let a = F64x4([1.5, -2.25, 0.0, 1e300]);
+        let b = F64x4([0.5, 4.0, -0.0, 1e-300]);
+        assert_eq!((a + b).0, [2.0, 1.75, 0.0, 1e300]);
+        assert_eq!((a - b).0, [1.0, -6.25, 0.0, 1e300]);
+        for i in 0..4 {
+            assert_eq!((a * b).0[i].to_bits(), (a.0[i] * b.0[i]).to_bits());
+            assert_eq!((a / b).0[i].to_bits(), (a.0[i] / b.0[i]).to_bits());
+        }
+        assert_eq!(a.min(b).0, [0.5, -2.25, -0.0, 1e-300]);
+        assert_eq!(a.max(b).0, [1.5, 4.0, 0.0, 1e300]);
+        assert_eq!(a.abs().0, [1.5, 2.25, 0.0, 1e300]);
+    }
+
+    #[test]
+    fn fma_rounds_twice_like_the_scalar_expression() {
+        let x = F64x4::splat(1.0 + f64::EPSILON);
+        let m = F64x4::splat(1.0 - f64::EPSILON);
+        let a = F64x4::splat(-1.0);
+        let got = x.fma(m, a).0[0];
+        let scalar = (1.0 + f64::EPSILON) * (1.0 - f64::EPSILON) + -1.0;
+        // A fused FMA would produce -EPSILON^2 here; the double-rounded
+        // answer is 0.
+        assert_eq!(got.to_bits(), scalar.to_bits());
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn select_blends_per_lane() {
+        let t = F64x4([-2.0, -1.0, 0.0, 2.0]);
+        let m = t.le(F64x4::splat(-1.0));
+        assert_eq!(m.0, [u64::MAX, u64::MAX, 0, 0]);
+        let blended = F64x4::select(m, F64x4::splat(0.0), F64x4::splat(9.0));
+        assert_eq!(blended.0, [0.0, 0.0, 9.0, 9.0]);
+        assert_eq!(t.ge(F64x4::splat(0.0)).0, [0, 0, u64::MAX, u64::MAX]);
+        assert_eq!(t.lt(F64x4::splat(0.0)).0, [u64::MAX, u64::MAX, 0, 0]);
+        // NaN payloads survive the bitwise blend untouched.
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let picked = F64x4::select(m, F64x4::splat(nan), F64x4::splat(1.0));
+        assert_eq!(picked.0[0].to_bits(), nan.to_bits());
+        assert_eq!(picked.0[3].to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn tree_reductions_agree_across_widths() {
+        let e: [f64; 8] = [0.1, 0.2, 0.3, 0.4, 1e16, -1e16, 0.7, 0.8];
+        let scalar_tree = ((e[0] + e[1]) + (e[2] + e[3])) + ((e[4] + e[5]) + (e[6] + e[7]));
+        let x8 = F64x8(e).hsum_tree();
+        let v = F64x8(e);
+        let x4 = v.lo().hsum_tree() + v.hi().hsum_tree();
+        assert_eq!(scalar_tree.to_bits(), x8.to_bits());
+        assert_eq!(scalar_tree.to_bits(), x4.to_bits());
+    }
+
+    #[test]
+    fn kahan_accumulator_recovers_cancelled_terms() {
+        let mut acc = KahanSum::new();
+        for &v in &[1.0, 1e100, 1.0, -1e100] {
+            acc.add(v);
+        }
+        assert_eq!(acc.value(), 2.0);
+        let k4 = F64x4([1.0, 1e100, 1.0, -1e100]).hsum_kahan();
+        assert_eq!(k4, 2.0);
+        let naive: f64 = [1.0f64, 1e100, 1.0, -1e100].iter().sum();
+        assert_eq!(naive, 0.0); // what the uncompensated sum loses
+    }
+
+    #[test]
+    fn branchless_partitions_match_partition_point() {
+        let mut s: Vec<f64> = (0..257).map(|i| ((i * 37) % 100) as f64 / 4.0).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for probe in [-1.0, 0.0, 3.25, 12.5, 24.75, 25.0, 100.0, f64::NAN] {
+            assert_eq!(
+                partition_lt(&s, probe),
+                s.partition_point(|&v| v < probe),
+                "lt {probe}"
+            );
+            assert_eq!(
+                partition_le(&s, probe),
+                s.partition_point(|&v| v <= probe),
+                "le {probe}"
+            );
+        }
+        assert_eq!(partition_lt(&[], 1.0), 0);
+        assert_eq!(partition_le(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn grid_index_is_exact_everywhere() {
+        let mut s: Vec<f64> = (0..1000)
+            .map(|i| (((i * i) % 997) as f64).sqrt() * 3.0 - 5.0)
+            .collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let grid = GridIndex::build(&s, 256);
+        // Probe on, between, below, above, and far outside the values.
+        let mut probes: Vec<f64> = s.iter().step_by(7).copied().collect();
+        probes.extend([-1e9, -5.0001, 0.0, 42.42, 89.73, 1e9, f64::NAN]);
+        for &x in &probes {
+            assert_eq!(
+                grid.partition_lt(&s, x),
+                s.partition_point(|&v| v < x),
+                "lt {x}"
+            );
+            assert_eq!(
+                grid.partition_le(&s, x),
+                s.partition_point(|&v| v <= x),
+                "le {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_index_handles_degenerate_spans() {
+        // All-equal values: zero width span collapses to one cell.
+        let s = vec![7.0; 50];
+        let grid = GridIndex::build(&s, 64);
+        assert_eq!(grid.cells(), 1);
+        assert_eq!(grid.partition_lt(&s, 7.0), 0);
+        assert_eq!(grid.partition_le(&s, 7.0), 50);
+        assert_eq!(grid.partition_lt(&s, 8.0), 50);
+        // Single element.
+        let one = vec![3.0];
+        let g1 = GridIndex::build(&one, 16);
+        assert_eq!(g1.partition_le(&one, 2.9), 0);
+        assert_eq!(g1.partition_le(&one, 3.0), 1);
+    }
+
+    #[test]
+    fn lane_mode_parsing_and_override() {
+        assert_eq!(LaneMode::parse("scalar"), Some(LaneMode::Scalar));
+        assert_eq!(LaneMode::parse("1"), Some(LaneMode::Scalar));
+        assert_eq!(LaneMode::parse(" 4 "), Some(LaneMode::X4));
+        assert_eq!(LaneMode::parse("8"), Some(LaneMode::X8));
+        assert_eq!(LaneMode::parse("16"), None);
+        for mode in LaneMode::ALL {
+            set_lanes(Some(mode));
+            assert_eq!(configured_lanes(), mode);
+        }
+        set_lanes(None);
+        // Without an override the answer is the env var or the default;
+        // either way it parses back to itself.
+        let m = configured_lanes();
+        assert_eq!(LaneMode::parse(m.label()), Some(m));
+    }
+
+    #[test]
+    fn from_slice_and_splat() {
+        let v = F64x8::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 99.0]);
+        assert_eq!(v.0, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(F64x4::splat(2.5).0, [2.5; 4]);
+        assert_eq!(F64x8::LANES, 8);
+        assert_eq!(F64x4::LANES, 4);
+    }
+}

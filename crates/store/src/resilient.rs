@@ -299,7 +299,20 @@ impl ResilientEstimator {
     /// state) but never turns its neighbours' answers into errors — the
     /// only `Err` a slot can hold is `InvalidQuery` for degenerate bounds.
     pub fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
-        queries.iter().map(|q| self.try_selectivity(q)).collect()
+        let mut out = Vec::new();
+        self.try_selectivity_batch_into(queries, &mut out);
+        out
+    }
+
+    /// [`Self::try_selectivity_batch`] into a caller-owned vector: with a
+    /// reused `out`, serving a warm ladder allocates nothing.
+    pub fn try_selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        out: &mut Vec<Result<f64, EstimateError>>,
+    ) {
+        out.clear();
+        out.extend(queries.iter().map(|q| self.try_selectivity(q)));
     }
 
     /// Feed back the true selectivity of an executed query. Updates the
@@ -383,6 +396,15 @@ impl SelectivityEstimator for ResilientEstimator {
 
     fn try_selectivity_batch(&self, queries: &[RangeQuery]) -> Vec<Result<f64, EstimateError>> {
         ResilientEstimator::try_selectivity_batch(self, queries)
+    }
+
+    fn try_selectivity_batch_into(
+        &self,
+        queries: &[RangeQuery],
+        _scratch: &mut selest_core::BatchScratch,
+        out: &mut Vec<Result<f64, EstimateError>>,
+    ) {
+        ResilientEstimator::try_selectivity_batch_into(self, queries, out);
     }
 
     fn domain(&self) -> Domain {

@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # Tracked perf baseline: build the release perf harness and time the
 # standard fixtures (estimator build + query-file throughput, sequential
-# per-query vs. batched merge scan vs. parallel chunked evaluation), plus
-# the suite-build section (full estimator suite over one 100k column,
-# legacy per-estimator construction vs. one shared PreparedColumn) and the
-# fault-overhead section (fault-free try_map_chunks vs map_chunks on the
-# chunked batch workload, gated <= 5% in full mode).
+# per-query vs. batched merge scan vs. allocation-free batch_into vs.
+# parallel chunked evaluation, plus one batch row per SELEST_LANES width
+# with its checksum bits), plus the suite-build section (full estimator
+# suite over one 100k column, legacy per-estimator construction vs. one
+# shared PreparedColumn) and the fault-overhead section (fault-free
+# try_map_chunks vs map_chunks on the chunked batch workload, gated <= 5%
+# in full mode).
 #
-#   scripts/bench.sh                 # full run, writes BENCH_PR5.json
+#   scripts/bench.sh                 # full run, writes BENCH_PR7.json
 #   scripts/bench.sh --smoke         # 1-rep CI smoke run
 #   scripts/bench.sh --out FILE      # alternative output path
 #   scripts/bench.sh --jobs N        # engine worker count
 #
-# The JSON artifact is committed (BENCH_PR5.json) so the repo's perf
-# trajectory stays diffable across PRs. Smoke runs should point --out at a
-# scratch path to avoid clobbering the committed baseline with 1-rep noise.
+# The JSON artifact is committed (BENCH_PR7.json; BENCH_PR5.json is the
+# pre-SIMD scalar baseline the PR 7 speedup gates compare against) so the
+# repo's perf trajectory stays diffable across PRs. Smoke runs should
+# point --out at a scratch path to avoid clobbering the committed baseline
+# with 1-rep noise.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -20,6 +20,22 @@
 #                      above R (default 1.05). Smoke files are exempt —
 #                      1-rep timings cannot support a 5% gate — but must
 #                      still carry the section when the baseline does.
+#   --min-speedup-kernel-batch R
+#                      fail unless every kernel-* row's batch_us improved
+#                      by at least R x over the baseline (default 0 = off;
+#                      the PR 7 SIMD gate runs this at 4 against the
+#                      BENCH_PR5 scalar baseline)
+#   --min-speedup-hist-seq R
+#                      fail unless every ewh/edh/mdh row's seq_us improved
+#                      by at least R x over the baseline (default 0 = off;
+#                      the PR 7 gate runs this at 1.2 — see DESIGN.md §13
+#                      for why the 10-bin fixtures Amdahl-cap this short of
+#                      the kernel-path gains)
+#   --simd             fail unless the new file's per-lane checksum rows
+#                      (`name@lanes=scalar|4|8`) are present and carry
+#                      checksum_bits exactly equal to their parent row's —
+#                      i.e. every lane width is bit-identical to the
+#                      default path
 #
 # Structure gate: every (fixture, estimator) row of the baseline must exist
 # in the new file, and if the baseline has a catalog or fault_overhead
@@ -39,12 +55,18 @@ max_ratio=3
 min_us=100
 checksum_tol=1e-9
 fault_overhead_max=1.05
+min_speedup_kernel_batch=0
+min_speedup_hist_seq=0
+simd_gate=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --max-ratio)          max_ratio=$2; shift 2 ;;
         --min-us)             min_us=$2; shift 2 ;;
         --checksum-tol)       checksum_tol=$2; shift 2 ;;
         --fault-overhead-max) fault_overhead_max=$2; shift 2 ;;
+        --min-speedup-kernel-batch) min_speedup_kernel_batch=$2; shift 2 ;;
+        --min-speedup-hist-seq)     min_speedup_hist_seq=$2; shift 2 ;;
+        --simd)               simd_gate=1; shift ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
@@ -58,6 +80,8 @@ done
 
 awk -v max_ratio="$max_ratio" -v min_us="$min_us" -v tol="$checksum_tol" \
     -v fault_max="$fault_overhead_max" \
+    -v min_kb="$min_speedup_kernel_batch" -v min_hs="$min_speedup_hist_seq" \
+    -v simd_gate="$simd_gate" \
     -v baseline="$baseline" -v new_file="$new" '
 function field_num(line, key,    r) {
     # Extract the numeric value following "key": in a JSON row line.
@@ -71,6 +95,14 @@ function field_str(line, key,    r) {
     r = substr(line, RSTART, RLENGTH)
     sub("\"" key "\": *\"", "", r)
     sub("\"$", "", r)
+    return r
+}
+function field_raw(line, key,    r) {
+    # Like field_num but returns the literal digit string: u64 checksum
+    # bits overflow awk doubles, so they are compared as strings.
+    if (match(line, "\"" key "\": *-?[0-9]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
     return r
 }
 function abs(x) { return x < 0 ? -x : x }
@@ -112,6 +144,16 @@ function abs(x) { return x < 0 ? -x : x }
             n_seq[key]   = field_num($0, "seq_us")
             n_batch[key] = field_num($0, "batch_us")
             n_sum[key]   = field_num($0, "checksum")
+            n_bits[key]  = field_raw($0, "checksum_bits")
+        }
+    }
+    # Per-lane sub-rows (`name@lanes=<label>`, no build_us): collect the
+    # new file'"'"'s bit patterns for the --simd identity gate.
+    if (!in_base && index($0, "\"name\":") > 0) {
+        nm = field_str($0, "name")
+        if (index(nm, "@lanes=") > 0) {
+            lane_bits[new_fixture "|" nm] = field_raw($0, "checksum_bits")
+            lane_count++
         }
     }
 }
@@ -173,11 +215,59 @@ END {
             new_file, new_fault_ratio, fault_max
         fails++
     }
+    # Minimum-speedup gates (off unless a positive ratio was requested).
+    # Kernel rows gate on the batched merge scan; histogram rows gate on
+    # the per-query seq path the CDF-difference rewrite targets.
+    for (key in seen) {
+        name = key; sub(/^[^|]*\|/, "", name)
+        if (min_kb > 0 && name ~ /^kernel-/ && (key in n_seen) && \
+            b_batch[key] != "NA" && n_batch[key] != "NA" && n_batch[key] > 0) {
+            if (b_batch[key] < min_kb * n_batch[key]) {
+                printf "FAIL %s: batch speedup x%.2f < x%.2f (%.1fus -> %.1fus)\n", \
+                    key, b_batch[key] / n_batch[key], min_kb, b_batch[key], n_batch[key]
+                fails++
+            }
+        }
+        if (min_hs > 0 && name ~ /^(ewh|edh|mdh)/ && (key in n_seen) && \
+            b_seq[key] != "NA" && n_seq[key] != "NA" && n_seq[key] > 0) {
+            if (b_seq[key] < min_hs * n_seq[key]) {
+                printf "FAIL %s: seq speedup x%.2f < x%.2f (%.1fus -> %.1fus)\n", \
+                    key, b_seq[key] / n_seq[key], min_hs, b_seq[key], n_seq[key]
+                fails++
+            }
+        }
+    }
+    # SIMD identity gate: every per-lane sub-row in the new file must
+    # string-match its parent row'"'"'s checksum_bits exactly.
+    if (simd_gate) {
+        if (lane_count == 0) {
+            printf "FAIL --simd: no @lanes= rows found in %s\n", new_file
+            fails++
+        }
+        for (lkey in lane_bits) {
+            parent = lkey; sub(/@lanes=.*$/, "", parent)
+            if (!(parent in n_bits) || n_bits[parent] == "NA") {
+                printf "FAIL --simd %s: parent row checksum_bits missing\n", lkey
+                fails++
+            } else if (lane_bits[lkey] == "NA") {
+                printf "FAIL --simd %s: lane row carries no checksum_bits\n", lkey
+                fails++
+            } else if (lane_bits[lkey] != n_bits[parent]) {
+                printf "FAIL --simd %s: checksum_bits %s != parent %s\n", \
+                    lkey, lane_bits[lkey], n_bits[parent]
+                fails++
+            }
+        }
+    }
     if (fails > 0) {
         printf "bench_compare: %d failure(s) (%s vs %s)\n", fails, baseline, new_file
         exit 1
     }
-    printf "bench_compare: %d rows OK (checksum tol %.1e, timing ratio %.1fx above %dus)\n", \
+    printf "bench_compare: %d rows OK (checksum tol %.1e, timing ratio %.1fx above %dus", \
         rows, tol, max_ratio, min_us
+    if (min_kb > 0) printf ", kernel batch >= x%.1f", min_kb
+    if (min_hs > 0) printf ", hist seq >= x%.1f", min_hs
+    if (simd_gate) printf ", %d lane rows bit-identical", lane_count
+    printf ")\n"
 }
 ' "$baseline" "$new"

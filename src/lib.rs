@@ -55,9 +55,9 @@ pub use selest_par as par;
 pub use selest_store as store;
 
 pub use selest_core::{
-    ColumnSummary, DensityEstimator, Domain, Ecdf, ErrorStats, EstimateError, ExactSelectivity,
-    FeedbackEstimator, PreparedColumn, RangeQuery, SamplingEstimator, SelectivityEstimator,
-    UniformEstimator,
+    BatchScratch, ColumnSummary, DensityEstimator, Domain, Ecdf, ErrorStats, EstimateError,
+    ExactSelectivity, FeedbackEstimator, PreparedColumn, RangeQuery, SamplingEstimator,
+    SelectivityEstimator, UniformEstimator,
 };
 pub use selest_data::{paper_data_files, DataFile, PaperFile, QueryFile};
 pub use selest_histogram::{

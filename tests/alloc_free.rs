@@ -1,0 +1,160 @@
+//! Counting-allocator proof that the batch serving path is
+//! allocation-free after warm-up.
+//!
+//! A wrapping `#[global_allocator]` tallies every `alloc`/`realloc`/
+//! `alloc_zeroed`; the test warms each estimator's scratch once, then
+//! asserts:
+//!
+//! - `selectivity_batch_into` and `try_selectivity_batch_into` perform
+//!   **zero** heap allocations per call — the whole point of the
+//!   caller-provided-buffer variants;
+//! - the `Vec`-returning `selectivity_batch` performs at most **one**
+//!   allocation per call: the output vector its signature requires. All
+//!   working buffers come from the warm per-thread scratch.
+//!
+//! Everything runs inside a single `#[test]` — the counter is
+//! process-global, and cargo runs sibling tests on concurrent threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use selest::{
+    equi_depth, equi_width, BatchScratch, BoundaryPolicy, HybridEstimator, KernelEstimator,
+    KernelFn, PaperFile, QueryFile, SamplingEstimator, SelectivityEstimator,
+};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation calls during `f`, with nothing else running.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOC_CALLS.load(Ordering::Relaxed) - before, r)
+}
+
+#[test]
+fn batch_path_is_allocation_free_after_warmup() {
+    // Keep everything on this thread: a worker pool would allocate (and
+    // count) from other threads.
+    selest::par::set_jobs(1);
+
+    let data = PaperFile::Normal { p: 15 }.generate_scaled(20);
+    let domain = data.domain();
+    let sample: Vec<f64> = data.values()[..1_000].to_vec();
+    let queries = QueryFile::generate(&data, 0.01, 150, 9).queries().to_vec();
+    let h = domain.width() / 64.0;
+
+    let estimators: Vec<(&str, Box<dyn SelectivityEstimator>)> = vec![
+        (
+            "kernel-bk",
+            Box::new(KernelEstimator::new(
+                &sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::BoundaryKernel,
+            )),
+        ),
+        (
+            "kernel-refl",
+            Box::new(KernelEstimator::new(
+                &sample,
+                domain,
+                KernelFn::Epanechnikov,
+                h,
+                BoundaryPolicy::Reflection,
+            )),
+        ),
+        ("ewh", Box::new(equi_width(&sample, domain, 16))),
+        ("edh", Box::new(equi_depth(&sample, domain, 16))),
+        (
+            "sampling",
+            Box::new(SamplingEstimator::new(&sample, domain)),
+        ),
+        ("hybrid", Box::new(HybridEstimator::new(&sample, domain))),
+    ];
+
+    let mut scratch = BatchScratch::new();
+    let mut out = vec![0.0f64; queries.len()];
+    let mut try_out = Vec::new();
+
+    for (name, est) in &estimators {
+        let est = est.as_ref();
+
+        // Warm-up: first calls may size the scratch (and, for the kernel
+        // merge scan, materialize its typed sub-scratch).
+        est.selectivity_batch_into(&queries, &mut scratch, &mut out);
+        try_out.clear();
+        try_out.resize(queries.len(), Ok(0.0));
+        est.try_selectivity_batch_into(&queries, &mut scratch, &mut try_out);
+        let warm_reference = est.selectivity_batch(&queries);
+
+        // Warm `_into` calls: zero allocations, bit-identical answers.
+        for round in 0..3 {
+            let (n, ()) = allocs_during(|| {
+                est.selectivity_batch_into(&queries, &mut scratch, &mut out);
+            });
+            assert_eq!(
+                n, 0,
+                "{name}: selectivity_batch_into allocated {n} times on warm round {round}"
+            );
+            let (n, ()) = allocs_during(|| {
+                est.try_selectivity_batch_into(&queries, &mut scratch, &mut try_out);
+            });
+            assert_eq!(
+                n, 0,
+                "{name}: try_selectivity_batch_into allocated {n} times on warm round {round}"
+            );
+        }
+        for (i, (&got, want)) in out.iter().zip(&warm_reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: warm _into answer drifted at query {i}"
+            );
+        }
+        for (i, (got, want)) in try_out.iter().zip(&warm_reference).enumerate() {
+            let got = got.as_ref().expect("finite fixture queries");
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: warm try answer drifted at query {i}"
+            );
+        }
+
+        // The Vec-returning form: exactly the one output allocation its
+        // signature forces, nothing hidden.
+        let (n, answers) = allocs_during(|| est.selectivity_batch(&queries));
+        assert!(
+            n <= 1,
+            "{name}: selectivity_batch allocated {n} times (only the output Vec is allowed)"
+        );
+        drop(answers);
+    }
+}
