@@ -5,6 +5,8 @@
 use selest_core::{Domain, RangeQuery};
 use selest_data::{sample_without_replacement, DataFile, PaperFile, QueryFile};
 
+pub mod serving;
+
 /// A reduced n(20)-style fixture: data, 1 000-record sample, 1 % queries.
 pub struct Fixture {
     /// The generated data file.

@@ -58,6 +58,17 @@ pub enum EstimateError {
         /// expired before the task could run").
         reason: String,
     },
+    /// A serving shard refused the request because its admission limit
+    /// was already saturated — backpressure, not failure: the caller
+    /// should retry after the burst drains.
+    Overloaded {
+        /// The shard that refused admission.
+        shard: usize,
+        /// Concurrent estimates in flight on that shard when refused.
+        in_flight: usize,
+        /// The shard's admission limit.
+        limit: usize,
+    },
     /// ANALYZE was asked for a column the relation does not have.
     UnknownColumn {
         /// Relation name.
@@ -157,6 +168,16 @@ impl core::fmt::Display for EstimateError {
             }
             EstimateError::TaskAbandoned { reason } => {
                 write!(f, "worker task abandoned: {reason}")
+            }
+            EstimateError::Overloaded {
+                shard,
+                in_flight,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} overloaded: {in_flight} estimates in flight (limit {limit})"
+                )
             }
             EstimateError::UnknownColumn { relation, column } => {
                 write!(f, "no column {column} in relation {relation}")
@@ -327,6 +348,14 @@ mod tests {
             (
                 EstimateError::NonFiniteEstimate { value: f64::NAN },
                 "non-finite",
+            ),
+            (
+                EstimateError::Overloaded {
+                    shard: 3,
+                    in_flight: 128,
+                    limit: 128,
+                },
+                "shard 3 overloaded",
             ),
             (
                 EstimateError::UnknownColumn {

@@ -648,6 +648,231 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Shard pool: fixed long-lived workers with deterministic ownership
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over `bytes` — the workspace's deterministic, dependency-free
+/// byte hash (shard assignment, cache-slot placement). Stable across
+/// runs, platforms, and Rust versions, unlike `DefaultHasher`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard that owns a `(relation, column)` key in a pool of `shards`
+/// workers. Pure function of the names and the shard count: every
+/// process, thread, and run agrees on the owner, so per-shard state
+/// (admission counters, health, build ownership) never needs a
+/// coordination step. The `\u{1f}` separator keeps `("ab","c")` and
+/// `("a","bc")` distinct.
+pub fn shard_for(relation: &str, column: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard_for needs at least one shard");
+    let mut h = fnv1a_64(relation.as_bytes());
+    h ^= 0x1f;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in column.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+enum PoolJob {
+    Run(Box<dyn FnOnce() + Send + 'static>),
+    Stop,
+}
+
+struct PoolWorker {
+    tx: std::sync::mpsc::Sender<PoolJob>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    executed: Arc<AtomicUsize>,
+    panicked: Arc<AtomicUsize>,
+}
+
+/// A fixed set of long-lived worker threads, one per shard.
+///
+/// Where the batch engine above spins up scoped threads per call, a
+/// serving process wants *standing* workers with stable ownership:
+/// shard `s` of the pool executes every job submitted for shard `s`, in
+/// submission order, for the lifetime of the pool. That gives three
+/// properties the scoped engine cannot:
+///
+/// * **Deterministic placement** — a column's rebuild always runs on the
+///   worker [`shard_for`] names, so per-shard health counters attribute
+///   faults to a stable owner.
+/// * **Bulkheading** — a panicking job is captured on its worker (counted
+///   in [`ShardPool::panics`]) and the worker survives to run the next
+///   job; one shard's fault never stalls its siblings.
+/// * **Ordered execution within a shard** — jobs on one shard never
+///   reorder, so a shard's builds apply in submission order.
+///
+/// Jobs are `'static`: callers share input via `Arc` (the catalog's
+/// column samples and prepared substrates already are).
+pub struct ShardPool {
+    workers: Vec<PoolWorker>,
+}
+
+impl ShardPool {
+    /// A pool with one standing worker per shard (`shards >= 1`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "ShardPool needs at least one shard");
+        let workers = (0..shards)
+            .map(|s| {
+                let (tx, rx) = std::sync::mpsc::channel::<PoolJob>();
+                let executed = Arc::new(AtomicUsize::new(0));
+                let panicked = Arc::new(AtomicUsize::new(0));
+                let (exec, panics) = (Arc::clone(&executed), Arc::clone(&panicked));
+                let handle = std::thread::Builder::new()
+                    .name(format!("selest-shard-{s}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                PoolJob::Stop => break,
+                                PoolJob::Run(f) => {
+                                    // Counted at pick-up, not completion: a
+                                    // job may hand its result to a waiting
+                                    // caller from inside `f`, and the
+                                    // counter must already cover any job
+                                    // whose result somebody observed.
+                                    exec.fetch_add(1, Ordering::Relaxed);
+                                    if run_isolated(f).is_err() {
+                                        panics.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker");
+                PoolWorker {
+                    tx,
+                    handle: Some(handle),
+                    executed,
+                    panicked,
+                }
+            })
+            .collect();
+        ShardPool { workers }
+    }
+
+    /// Number of shards (= standing workers).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs worker `shard` has picked up (including panicked ones). The
+    /// count covers every job whose result a caller has already received:
+    /// it is incremented before the job body runs, so it can never lag a
+    /// completed [`ShardPool::run_sharded`].
+    pub fn executed(&self, shard: usize) -> usize {
+        self.workers[shard].executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs worker `shard` captured a panic from.
+    pub fn panics(&self, shard: usize) -> usize {
+        self.workers[shard].panicked.load(Ordering::Relaxed)
+    }
+
+    /// Fire-and-forget: run `job` on worker `shard % shards`, after every
+    /// job already queued there. A panic inside `job` is captured and
+    /// counted; the worker survives.
+    pub fn submit(&self, shard: usize, job: impl FnOnce() + Send + 'static) {
+        let w = &self.workers[shard % self.workers.len()];
+        w.tx.send(PoolJob::Run(Box::new(job)))
+            .expect("shard worker alive while pool alive");
+    }
+
+    /// Run `task(i, item)` for every item on the worker that owns it
+    /// (`shard_of(i, &item) % shards`), returning results in input order.
+    ///
+    /// Items sharing a shard execute sequentially in input order on that
+    /// shard's worker; distinct shards run concurrently. Each item is
+    /// panic-isolated: a captured panic fills its slot with a
+    /// [`TaskFault::Panicked`] error and its siblings complete untouched,
+    /// mirroring the fallible batch engine's contract. The blocking wait
+    /// collects exactly one result per item, so the call returns when the
+    /// last owner finishes.
+    pub fn run_sharded<T, R>(
+        &self,
+        items: Vec<T>,
+        shard_of: impl Fn(usize, &T) -> usize,
+        task: impl Fn(usize, T) -> R + Send + Sync + 'static,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+    {
+        let n = items.len();
+        let task = Arc::new(task);
+        let (out_tx, out_rx) = std::sync::mpsc::channel::<(usize, Duration, Result<R, String>)>();
+        for (i, item) in items.into_iter().enumerate() {
+            let shard = shard_of(i, &item);
+            let task = Arc::clone(&task);
+            let out_tx = out_tx.clone();
+            // The job captures its own panic (so the error reaches the
+            // caller's slot with its message); charge the owning worker's
+            // panic counter by hand since its outer capture never trips.
+            let panicked = Arc::clone(&self.workers[shard % self.workers.len()].panicked);
+            self.submit(shard, move || {
+                let started = Instant::now();
+                let result = run_isolated(|| task(i, item));
+                if result.is_err() {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                // A dropped receiver just discards the result; the pool
+                // must not fault because a caller gave up waiting.
+                let _ = out_tx.send((i, started.elapsed(), result));
+            });
+        }
+        drop(out_tx);
+        let mut slots: Vec<Option<Result<R, TaskError>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let Ok((i, elapsed, result)) = out_rx.recv() else {
+                break;
+            };
+            slots[i] = Some(result.map_err(|message| TaskError {
+                fault: TaskFault::Panicked { message },
+                task: i,
+                bounds: None,
+                attempts: 1,
+                elapsed,
+            }));
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or(Err(TaskError {
+                    fault: TaskFault::SlotNeverFilled,
+                    task: i,
+                    bounds: None,
+                    attempts: 0,
+                    elapsed: Duration::ZERO,
+                }))
+            })
+            .collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // The worker may already be gone if its thread was killed with
+            // the process; a failed send is not worth propagating in Drop.
+            let _ = w.tx.send(PoolJob::Stop);
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -929,5 +1154,96 @@ mod tests {
             c.len()
         });
         assert_eq!(bad.into_complete().expect_err("chunk 1 fails").task, 1);
+    }
+
+    #[test]
+    fn shard_for_is_deterministic_and_separator_safe() {
+        for shards in [1, 2, 4, 7] {
+            for (r, c) in [("t", "a"), ("orders", "amount"), ("ab", "c")] {
+                let s = shard_for(r, c, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(r, c, shards), "pure function");
+            }
+        }
+        // Concatenation ambiguity must not alias keys.
+        assert_ne!(
+            fnv1a_64(b"abc"),
+            {
+                let _ = shard_for("ab", "c", 2);
+                fnv1a_64(b"ab\x1fc")
+            },
+            "separator keeps split points distinct"
+        );
+        assert_ne!(shard_for("ab", "c", 1 << 16), shard_for("a", "bc", 1 << 16));
+    }
+
+    #[test]
+    fn shard_pool_orders_within_a_shard_and_returns_input_order() {
+        let pool = ShardPool::new(3);
+        let items: Vec<usize> = (0..50).collect();
+        let log: Arc<std::sync::Mutex<Vec<usize>>> = Arc::default();
+        let log2 = Arc::clone(&log);
+        let out = pool.run_sharded(
+            items,
+            |_, &x| x % 3,
+            move |_, x| {
+                if x % 3 == 1 {
+                    log2.lock().unwrap().push(x);
+                }
+                x * 10
+            },
+        );
+        let values: Vec<usize> = out.into_iter().map(|r| r.expect("no faults")).collect();
+        assert_eq!(values, (0..50).map(|x| x * 10).collect::<Vec<_>>());
+        // Shard 1 saw its items in submission order.
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(seen, (0..50).filter(|x| x % 3 == 1).collect::<Vec<_>>());
+        assert_eq!((0..3).map(|s| pool.executed(s)).sum::<usize>(), 50);
+        assert_eq!((0..3).map(|s| pool.panics(s)).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn shard_pool_isolates_panics_and_workers_survive() {
+        let pool = ShardPool::new(2);
+        let out = pool.run_sharded(
+            (0..10).collect::<Vec<usize>>(),
+            |_, &x| x % 2,
+            |_, x| {
+                assert!(x != 3, "bomb on item 3");
+                x + 1
+            },
+        );
+        for (i, slot) in out.iter().enumerate() {
+            if i == 3 {
+                let err = slot.as_ref().expect_err("item 3 panicked");
+                assert_eq!(err.task, 3);
+                match &err.fault {
+                    TaskFault::Panicked { message } => {
+                        assert!(message.contains("bomb on item 3"), "{message}")
+                    }
+                    other => panic!("expected panic fault, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*slot.as_ref().expect("healthy item"), i + 1);
+            }
+        }
+        assert_eq!(pool.panics(0) + pool.panics(1), 1);
+        // The owning worker survived its panic: the same pool keeps serving.
+        let again = pool.run_sharded((0..4).collect::<Vec<usize>>(), |_, &x| x, |_, x| x);
+        assert!(again.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn shard_pool_submit_runs_after_queued_jobs() {
+        let pool = ShardPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        for i in 0..5 {
+            let tx = tx.clone();
+            pool.submit(0, move || {
+                let _ = tx.send(i);
+            });
+        }
+        let order: Vec<usize> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -546,22 +546,47 @@ impl StatisticsCatalog {
         config: &AnalyzeConfig,
         engine: &selest_par::TryConfig,
     ) -> CatalogHealthReport {
-        let columns = relation.columns();
-        let outcome = selest_par::try_parallel_map(columns, engine, |column| {
-            try_column_statistics(relation.name(), column, config)
+        let names: Vec<&str> = relation.columns().iter().map(|c| c.name()).collect();
+        self.try_analyze_columns_with(relation, &names, config, engine)
+    }
+
+    /// Bulkheaded ANALYZE of a named subset of `relation`'s columns — the
+    /// building block shard-parallel rebuilds use to analyze each shard's
+    /// columns on the worker that owns them. Column names the relation
+    /// does not have quarantine as [`EstimateError::UnknownColumn`];
+    /// otherwise identical per-column semantics (and byte-identical
+    /// per-column results) to [`StatisticsCatalog::try_analyze_with`].
+    pub fn try_analyze_columns_with(
+        &mut self,
+        relation: &Relation,
+        column_names: &[&str],
+        config: &AnalyzeConfig,
+        engine: &selest_par::TryConfig,
+    ) -> CatalogHealthReport {
+        let columns: Vec<Option<&Column>> = column_names
+            .iter()
+            .map(|name| relation.column(name))
+            .collect();
+        let outcome = selest_par::try_parallel_map(&columns, engine, |column| match column {
+            Some(column) => try_column_statistics(relation.name(), column, config),
+            None => Err(EstimateError::EmptySample), // name resolved below
         });
         // Quarantine decisions happen in column order for every worker
         // count, like the insertions of the infallible path.
-        for (column, slot) in columns.iter().zip(outcome.slots) {
-            let key = (relation.name().to_owned(), column.name().to_owned());
-            let error = match slot {
-                Ok(Ok((stats, _audit))) => {
+        for ((name, column), slot) in column_names.iter().zip(&columns).zip(outcome.slots) {
+            let key = (relation.name().to_owned(), (*name).to_owned());
+            let error = match (column, slot) {
+                (None, _) => EstimateError::UnknownColumn {
+                    relation: relation.name().to_owned(),
+                    column: (*name).to_owned(),
+                },
+                (Some(_), Ok(Ok((stats, _audit)))) => {
                     self.quarantine.remove(&key);
                     self.entries.insert(key, stats);
                     continue;
                 }
-                Ok(Err(build_error)) => build_error,
-                Err(task_error) => task_error_to_estimate_error(task_error),
+                (Some(_), Ok(Err(build_error))) => build_error,
+                (Some(_), Err(task_error)) => task_error_to_estimate_error(task_error),
             };
             self.quarantine.insert(
                 key,
@@ -572,6 +597,46 @@ impl StatisticsCatalog {
             );
         }
         self.health()
+    }
+
+    /// Absorb every entry and quarantine record of `other`, replacing any
+    /// same-key records here. Shard-parallel rebuilds analyze disjoint
+    /// column subsets into per-shard catalogs and merge them — because the
+    /// subsets are disjoint and per-column builds are independent, the
+    /// merged catalog (and every byte of its exported evidence) is
+    /// identical to a single-catalog ANALYZE of the same columns,
+    /// regardless of shard count or merge order.
+    pub fn merge(&mut self, other: StatisticsCatalog) {
+        for (key, stats) in other.entries {
+            self.quarantine.remove(&key);
+            self.entries.insert(key, stats);
+        }
+        for (key, failure) in other.quarantine {
+            // A quarantine record never shadows a servable entry absorbed
+            // in the same merge sweep (disjoint shards cannot disagree;
+            // same-key merges keep the freshest verdict per map).
+            if !self.entries.contains_key(&key) {
+                self.quarantine.insert(key, failure);
+            }
+        }
+    }
+
+    /// Consume the catalog into its entries, sorted by `(relation,
+    /// column)`, plus its quarantine records in the same order. The
+    /// serving snapshot builder takes ownership this way so each entry's
+    /// estimator `Box` can move into an `Arc` without a rebuild or copy.
+    #[allow(clippy::type_complexity)]
+    pub fn into_sorted_entries(
+        self,
+    ) -> (
+        Vec<ColumnStatistics>,
+        Vec<((String, String), crate::resilient::BuildFailure)>,
+    ) {
+        let mut entries: Vec<ColumnStatistics> = self.entries.into_values().collect();
+        entries.sort_by(|a, b| {
+            (a.relation.as_ref(), a.column.as_ref()).cmp(&(b.relation.as_ref(), b.column.as_ref()))
+        });
+        (entries, self.quarantine.into_iter().collect())
     }
 
     /// Snapshot catalog health: servable entry count plus every column a

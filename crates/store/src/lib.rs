@@ -24,6 +24,7 @@ pub mod planner;
 pub mod query;
 pub mod relation;
 pub mod resilient;
+pub mod serving;
 
 pub use catalog::{
     build_estimator, build_estimator_from_prepared, build_estimator_from_sample,
@@ -47,3 +48,7 @@ pub use planner::{
 pub use query::{ChosenPath, Database, Explanation, QueryResult, RangePredicate, SelectQuery};
 pub use relation::{Column, Relation};
 pub use resilient::{BuildFailure, HealthReport, ResilientEstimator};
+pub use serving::{
+    CacheStats, CatalogSnapshot, EstimateCache, ServingColumn, ServingEngine, ServingHealthReport,
+    ServingOptions, ServingPublishReport, ServingScratch, ShardHealth,
+};

@@ -252,6 +252,15 @@ impl ResilientEstimator {
         // out-of-domain mass as zero), so only the finite `a <= b`
         // invariant is enforced here.
         q.validate()?;
+        Ok(self.serve_validated(q))
+    }
+
+    /// The ladder walk for a query whose bounds have already passed
+    /// [`RangeQuery::validate`]. Split out so the batch path can validate
+    /// its whole input once up front and then serve every valid slot —
+    /// across however many rungs each walk probes — without re-checking
+    /// bounds per serve.
+    fn serve_validated(&self, q: &RangeQuery) -> f64 {
         self.served.fetch_add(1, Ordering::Relaxed);
         let start = if self.quarantined.load(Ordering::Relaxed) {
             self.rungs.len() - 1
@@ -272,7 +281,7 @@ impl ResilientEstimator {
                     if clamped != v {
                         self.clamped.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Ok(clamped);
+                    return clamped;
                 }
                 Err(_) => {
                     let faults = self.estimate_faults.fetch_add(1, Ordering::Relaxed) + 1;
@@ -286,11 +295,11 @@ impl ResilientEstimator {
         // overlap ratio — but the serving contract is "always answer", so
         // compute that ratio directly rather than trusting unreachable!().
         let w = self.domain.width();
-        Ok(if w > 0.0 {
+        if w > 0.0 {
             (self.domain.overlap(q.a(), q.b()) / w).clamp(0.0, 1.0)
         } else {
             0.0
-        })
+        }
     }
 
     /// Serve a batch with per-query degradation: each query walks the
@@ -306,13 +315,24 @@ impl ResilientEstimator {
 
     /// [`Self::try_selectivity_batch`] into a caller-owned vector: with a
     /// reused `out`, serving a warm ladder allocates nothing.
+    ///
+    /// Bounds are validated exactly once per query, up front: the pass
+    /// over `queries` below writes the valid mask straight into `out`
+    /// (`Ok` slot = valid, pending its estimate), and the serving pass
+    /// then walks the ladder for the masked-in slots only — however many
+    /// rungs a walk has to probe, no rung ever re-checks bounds.
     pub fn try_selectivity_batch_into(
         &self,
         queries: &[RangeQuery],
         out: &mut Vec<Result<f64, EstimateError>>,
     ) {
         out.clear();
-        out.extend(queries.iter().map(|q| self.try_selectivity(q)));
+        out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
+        for (slot, q) in out.iter_mut().zip(queries) {
+            if slot.is_ok() {
+                *slot = Ok(self.serve_validated(q));
+            }
+        }
     }
 
     /// Feed back the true selectivity of an executed query. Updates the
@@ -653,6 +673,32 @@ mod tests {
         assert_eq!(h.estimate_faults, 0);
         assert_eq!(h.served, 0);
         assert_eq!(h.fallback_depth, 0);
+    }
+
+    #[test]
+    fn batch_validates_once_and_matches_the_single_query_path() {
+        let d = Domain::new(0.0, 100.0);
+        let est = ResilientEstimator::build(&uniform_sample(300, &d), d, EstimatorKind::Kernel);
+        let mut queries: Vec<RangeQuery> = (0..8)
+            .map(|i| RangeQuery::new(5.0 * i as f64, 5.0 * i as f64 + 20.0))
+            .collect();
+        queries.insert(3, RangeQuery::unchecked(f64::NAN, 1.0));
+        queries.push(RangeQuery::unchecked(9.0, 2.0));
+        let out = est.try_selectivity_batch(&queries);
+        // Invalid slots carry their typed error and are never counted as
+        // served — the valid mask kept them away from every rung.
+        assert!(matches!(out[3], Err(EstimateError::InvalidQuery { .. })));
+        assert!(matches!(out[9], Err(EstimateError::InvalidQuery { .. })));
+        assert_eq!(est.health().served, 8);
+        assert_eq!(est.health().estimate_faults, 0);
+        // Valid slots are bit-identical to the per-query path.
+        for (q, slot) in queries.iter().zip(&out) {
+            if q.validate().is_ok() {
+                let batch = slot.as_ref().expect("valid query serves");
+                let single = est.try_selectivity(q).expect("valid query serves");
+                assert_eq!(batch.to_bits(), single.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1246 @@
+//! Long-lived serving: epoch-published catalog snapshots, a read-through
+//! estimate cache, and shard-parallel background rebuilds.
+//!
+//! The batch APIs of PR 7 made one estimate cheap; this module makes a
+//! *process* of them serve concurrently. The design splits three concerns:
+//!
+//! * **Snapshots** ([`CatalogSnapshot`]) — an immutable, sorted,
+//!   generation-numbered view of a [`StatisticsCatalog`]. Readers never
+//!   see a catalog mid-ANALYZE: they hold an `Arc` to a snapshot that can
+//!   no longer change.
+//! * **Epoch publication** ([`ServingEngine`]) — the one mutable cell is
+//!   `Mutex<Arc<CatalogSnapshot>>` plus an `AtomicU64` epoch. The steady-
+//!   state read path is one `Acquire` load of the epoch and a thread-local
+//!   lookup; the mutex is touched only on the first read after a publish.
+//!   Writers build a full replacement snapshot off to the side (through
+//!   the bulkheaded ANALYZE of PR 5, sharded over a [`ShardPool`]) and
+//!   swap it in with a strictly increasing generation number.
+//! * **Estimate cache** ([`EstimateCache`]) — a fixed-size direct-mapped
+//!   array of seqlock slots keyed by *quantized* query bounds but guarded
+//!   by *exact* ones: [`RangeQuery::quantized_key`] picks the slot,
+//!   [`RangeQuery::bounds_bits`] plus the snapshot generation and column
+//!   index decide whether the slot answers. A collision costs a miss,
+//!   never a wrong value, and a snapshot swap invalidates the whole cache
+//!   wholesale because no old-generation tag can match again.
+//!
+//! Everything here preserves the workspace determinism contract: a served
+//! estimate — cached, batched, sharded, or republished — is bit-identical
+//! to what the sequential single-threaded path produces.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use selest_core::fault::EstimateError;
+use selest_core::{BatchScratch, Domain, RangeQuery, SelectivityEstimator};
+use selest_par::{shard_for, ShardPool, TryConfig};
+
+use crate::catalog::{
+    AnalyzeConfig, CatalogHealthReport, EstimatorKind, QuarantinedColumn, StatisticsCatalog,
+};
+use crate::durable::DurableStore;
+use crate::relation::Relation;
+use crate::resilient::ResilientEstimator;
+
+/// One servable column inside a [`CatalogSnapshot`].
+pub struct ServingColumn {
+    relation: Arc<str>,
+    column: Arc<str>,
+    estimator: Box<dyn SelectivityEstimator + Send + Sync>,
+    n_rows: usize,
+    kind: EstimatorKind,
+    domain: Domain,
+    sample: Arc<[f64]>,
+    quarantined: bool,
+}
+
+impl ServingColumn {
+    /// Relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The estimator serving this column.
+    pub fn estimator(&self) -> &(dyn SelectivityEstimator + Send + Sync) {
+        self.estimator.as_ref()
+    }
+
+    /// Row count at ANALYZE time.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Which estimator kind serves (the uniform floor for quarantined
+    /// columns).
+    pub fn kind(&self) -> EstimatorKind {
+        self.kind
+    }
+
+    /// The column domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Whether this column is serving degraded (its ANALYZE was
+    /// quarantined, so the uniform rung of the degradation ladder
+    /// answers instead of real statistics).
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+}
+
+/// An immutable, generation-numbered view of a statistics catalog:
+/// entries sorted by `(relation, column)` for binary-search lookup,
+/// quarantine records carried along for health reporting. Snapshots are
+/// what [`ServingEngine`] publishes; once built they never change, so a
+/// reader holding an `Arc` to one can never observe a torn catalog.
+pub struct CatalogSnapshot {
+    generation: u64,
+    columns: Vec<ServingColumn>,
+    quarantined: Vec<QuarantinedColumn>,
+}
+
+impl CatalogSnapshot {
+    /// The empty placeholder snapshot (generation 0, no columns) a fresh
+    /// engine serves until something is published.
+    pub fn empty() -> Self {
+        CatalogSnapshot {
+            generation: 0,
+            columns: Vec::new(),
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Freeze a catalog into a snapshot. Quarantined columns have no
+    /// serving entry — lookups answer
+    /// [`EstimateError::MissingStatistics`] — because without the source
+    /// relation there is no trustworthy domain to degrade over; see
+    /// [`CatalogSnapshot::from_catalog_for`].
+    pub fn from_catalog(catalog: StatisticsCatalog, generation: u64) -> Self {
+        Self::build(None, catalog, generation)
+    }
+
+    /// Freeze a catalog into a snapshot, degrading quarantined columns of
+    /// `relation` instead of dropping them: each gets a
+    /// [`ResilientEstimator`] ladder built over an empty sample, whose
+    /// every sampled rung fails to build and whose uniform floor — the
+    /// bottom rung of the PR 5 degradation ladder — therefore serves.
+    /// Reads of a quarantined column keep answering (uniformly) rather
+    /// than erroring, exactly as a sticky full demotion would.
+    pub fn from_catalog_for(
+        relation: &Relation,
+        catalog: StatisticsCatalog,
+        generation: u64,
+    ) -> Self {
+        Self::build(Some(relation), catalog, generation)
+    }
+
+    fn build(relation: Option<&Relation>, catalog: StatisticsCatalog, generation: u64) -> Self {
+        let (entries, quarantine) = catalog.into_sorted_entries();
+        let mut columns: Vec<ServingColumn> = entries
+            .into_iter()
+            .map(|st| ServingColumn {
+                relation: st.relation,
+                column: st.column,
+                estimator: st.estimator,
+                n_rows: st.n_rows,
+                kind: st.kind,
+                domain: st.domain,
+                sample: st.sample,
+                quarantined: false,
+            })
+            .collect();
+        let mut quarantined = Vec::with_capacity(quarantine.len());
+        for ((rel, col), failure) in quarantine {
+            if let Some(r) = relation {
+                if r.name() == rel {
+                    if let Some(c) = r.column(&col) {
+                        let ladder = ResilientEstimator::build(&[], c.domain(), failure.kind);
+                        columns.push(ServingColumn {
+                            relation: rel.as_str().into(),
+                            column: col.as_str().into(),
+                            estimator: Box::new(ladder),
+                            n_rows: c.len(),
+                            kind: EstimatorKind::Uniform,
+                            domain: c.domain(),
+                            sample: Vec::new().into(),
+                            quarantined: true,
+                        });
+                    }
+                }
+            }
+            quarantined.push(QuarantinedColumn {
+                relation: rel,
+                column: col,
+                failure,
+            });
+        }
+        columns.sort_by(|a, b| {
+            (a.relation.as_ref(), a.column.as_ref()).cmp(&(b.relation.as_ref(), b.column.as_ref()))
+        });
+        CatalogSnapshot {
+            generation,
+            columns,
+            quarantined,
+        }
+    }
+
+    /// The snapshot's generation number. Inside a [`ServingEngine`] these
+    /// are strictly increasing across publishes, and when a snapshot is
+    /// loaded from (or published to) a [`DurableStore`] they correlate
+    /// with the store's durable generation — `selest fsck` prints both
+    /// sides so operators can match a serving process to its on-disk
+    /// statistics.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of servable columns (including degraded ones).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the snapshot serves no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All servable columns, sorted by `(relation, column)`.
+    pub fn columns(&self) -> &[ServingColumn] {
+        &self.columns
+    }
+
+    /// Binary-search a column; the returned index is the column's stable
+    /// identity within this snapshot (cache entries are tagged with it).
+    pub fn find(&self, relation: &str, column: &str) -> Option<(usize, &ServingColumn)> {
+        self.columns
+            .binary_search_by(|c| (c.relation.as_ref(), c.column.as_ref()).cmp(&(relation, column)))
+            .ok()
+            .map(|i| (i, &self.columns[i]))
+    }
+
+    /// Catalog-shaped health: servable entries plus the quarantine
+    /// records frozen into this snapshot.
+    pub fn health(&self) -> CatalogHealthReport {
+        CatalogHealthReport {
+            entries: self.columns.len(),
+            quarantined: self.quarantined.clone(),
+        }
+    }
+
+    /// Export the snapshot's honest evidence as persistable statistics
+    /// (degraded quarantined columns carry none and are skipped), sorted
+    /// by `(relation, column)` like [`StatisticsCatalog::export`].
+    pub fn export(&self) -> Vec<crate::persist::PersistedStatistics> {
+        self.columns
+            .iter()
+            .filter(|c| !c.quarantined)
+            .map(|c| crate::persist::PersistedStatistics {
+                relation: Arc::clone(&c.relation),
+                column: Arc::clone(&c.column),
+                kind: c.kind,
+                n_rows: c.n_rows,
+                domain: c.domain,
+                sample: Arc::clone(&c.sample),
+            })
+            .collect()
+    }
+}
+
+/// Running totals of an [`EstimateCache`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Probes answered from a slot (exact-identity match).
+    pub hits: u64,
+    /// Probes that fell through to the estimator.
+    pub misses: u64,
+    /// Values written into a slot.
+    pub inserts: u64,
+    /// Inserts skipped because another writer held the slot's seqlock.
+    pub conflicts: u64,
+}
+
+/// One direct-mapped cache slot: a seqlock version word plus the entry's
+/// identity tag (generation, column index, exact bound bits) and value.
+/// Even version = stable, odd = mid-write; readers re-check the version
+/// after loading the fields, so a torn read is detected and turned into a
+/// miss rather than a wrong answer.
+struct CacheSlot {
+    version: AtomicU64,
+    generation: AtomicU64,
+    column: AtomicU64,
+    a_bits: AtomicU64,
+    b_bits: AtomicU64,
+    value_bits: AtomicU64,
+}
+
+impl CacheSlot {
+    const fn new() -> Self {
+        CacheSlot {
+            version: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            column: AtomicU64::new(0),
+            a_bits: AtomicU64::new(0),
+            b_bits: AtomicU64::new(0),
+            value_bits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A read-through estimate cache: fixed-size, direct-mapped, lock-free.
+///
+/// **Placement** is lossy: [`RangeQuery::quantized_key`] (bounds snapped
+/// to a `2^quantize_bits` grid over the column domain) hashed with the
+/// column index picks the slot. **Identity** is exact: a probe answers
+/// only if the slot's `(generation, column, a_bits, b_bits)` tag equals
+/// the query's — so the cache can serve a *wrong-slot* miss but never a
+/// wrong *value* (the error-free guarantee), and an epoch publish
+/// invalidates every entry wholesale because generations are strictly
+/// increasing and old tags can never match again. Memory is bounded by
+/// construction: `2^cache_bits` slots of six words each, allocated once.
+pub struct EstimateCache {
+    slots: Vec<CacheSlot>,
+    quantize_bits: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl EstimateCache {
+    /// A cache of `2^cache_bits` slots keyed on a `2^quantize_bits`
+    /// placement grid. `cache_bits` must be in `1..=24` (16 M slots is
+    /// already 768 MiB of tags; serving wants KBs, not GBs) and
+    /// `quantize_bits` in `1..=32`.
+    pub fn new(cache_bits: u32, quantize_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&cache_bits),
+            "EstimateCache needs 1..=24 cache bits, got {cache_bits}"
+        );
+        assert!(
+            (1..=32).contains(&quantize_bits),
+            "EstimateCache needs 1..=32 quantize bits, got {quantize_bits}"
+        );
+        EstimateCache {
+            slots: (0..1usize << cache_bits)
+                .map(|_| CacheSlot::new())
+                .collect(),
+            quantize_bits,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots (fixed at construction).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The placement grid's bit width.
+    pub fn quantize_bits(&self) -> u32 {
+        self.quantize_bits
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn slot_index(&self, domain: &Domain, q: &RangeQuery, column: usize) -> usize {
+        let key = q.quantized_key(domain, self.quantize_bits);
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&key.to_le_bytes());
+        bytes[8..].copy_from_slice(&(column as u64).to_le_bytes());
+        (selest_par::fnv1a_64(&bytes) as usize) & (self.slots.len() - 1)
+    }
+
+    /// Probe for an exact-identity hit. Generation 0 (the empty
+    /// placeholder snapshot) is never cached, so the all-zero initial
+    /// slot state cannot masquerade as an entry.
+    pub fn get(
+        &self,
+        generation: u64,
+        column: usize,
+        domain: &Domain,
+        q: &RangeQuery,
+    ) -> Option<f64> {
+        if generation == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let slot = &self.slots[self.slot_index(domain, q, column)];
+        let v1 = slot.version.load(Ordering::Acquire);
+        if v1 & 1 == 0 {
+            let tag = (
+                slot.generation.load(Ordering::Acquire),
+                slot.column.load(Ordering::Acquire),
+                slot.a_bits.load(Ordering::Acquire),
+                slot.b_bits.load(Ordering::Acquire),
+            );
+            let value = slot.value_bits.load(Ordering::Acquire);
+            let (qa, qb) = q.bounds_bits();
+            if slot.version.load(Ordering::Acquire) == v1
+                && tag == (generation, column as u64, qa, qb)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(f64::from_bits(value));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Write a computed estimate into the query's slot, evicting whatever
+    /// was there. Best-effort: if another writer holds the slot's seqlock
+    /// the insert is skipped (the value is already on its way to that
+    /// slot or the caller; dropping a cache fill is always safe).
+    pub fn insert(
+        &self,
+        generation: u64,
+        column: usize,
+        domain: &Domain,
+        q: &RangeQuery,
+        value: f64,
+    ) {
+        if generation == 0 {
+            return;
+        }
+        let slot = &self.slots[self.slot_index(domain, q, column)];
+        let v = slot.version.load(Ordering::Relaxed);
+        if v & 1 == 1
+            || slot
+                .version
+                .compare_exchange(v, v | 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let (qa, qb) = q.bounds_bits();
+        slot.generation.store(generation, Ordering::Release);
+        slot.column.store(column as u64, Ordering::Release);
+        slot.a_bits.store(qa, Ordering::Release);
+        slot.b_bits.store(qb, Ordering::Release);
+        slot.value_bits.store(value.to_bits(), Ordering::Release);
+        slot.version.store(v.wrapping_add(2), Ordering::Release);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Construction-time knobs of a [`ServingEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServingOptions {
+    /// Worker shards: columns are assigned by [`shard_for`] and each
+    /// shard gets one standing rebuild worker plus its own admission
+    /// counter. Must be at least 1.
+    pub shards: usize,
+    /// Per-shard admission limit: concurrent estimate calls beyond this
+    /// are refused with [`EstimateError::Overloaded`] instead of queuing
+    /// without bound. 0 disables admission control.
+    pub admission_limit: usize,
+    /// Estimate cache size: `2^cache_bits` slots.
+    pub cache_bits: u32,
+    /// Cache placement grid: `2^quantize_bits` cells per bound.
+    pub quantize_bits: u32,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        ServingOptions {
+            shards: 4,
+            admission_limit: 1024,
+            cache_bits: 12,
+            quantize_bits: 16,
+        }
+    }
+}
+
+/// Per-shard serving counters.
+struct ShardState {
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Point-in-time health of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Estimate calls admitted (each batch call counts once).
+    pub admitted: u64,
+    /// Estimate calls refused by admission control.
+    pub rejected: u64,
+    /// Calls currently in flight.
+    pub in_flight: usize,
+    /// Background rebuild jobs this shard's worker executed.
+    pub rebuild_jobs: usize,
+    /// Rebuild jobs that panicked (contained by the worker's isolation).
+    pub rebuild_panics: usize,
+}
+
+/// Point-in-time health of a whole [`ServingEngine`].
+#[derive(Debug, Clone)]
+pub struct ServingHealthReport {
+    /// Generation of the snapshot currently serving.
+    pub generation: u64,
+    /// Publish epoch (bumps once per swap; generation can jump further).
+    pub epoch: u64,
+    /// Snapshots published over the engine's lifetime.
+    pub publishes: u64,
+    /// Estimate cache counters.
+    pub cache: CacheStats,
+    /// Catalog-shaped health of the serving snapshot.
+    pub catalog: CatalogHealthReport,
+    /// Per-shard admission and rebuild counters.
+    pub shards: Vec<ShardHealth>,
+}
+
+/// Outcome of a sharded background rebuild-and-publish.
+#[derive(Debug, Clone)]
+pub struct ServingPublishReport {
+    /// Generation the rebuilt snapshot was published as.
+    pub generation: u64,
+    /// Catalog health of the published snapshot.
+    pub health: CatalogHealthReport,
+    /// Shards whose whole rebuild job was lost (worker panic escaping
+    /// the per-column bulkhead), with the engine's description. Columns
+    /// of a failed shard are absent from the published snapshot.
+    pub failed_shards: Vec<(usize, String)>,
+}
+
+/// Decrements a shard's in-flight count when the estimate call it
+/// admitted returns (on every path, including panics unwinding through
+/// the estimator).
+struct AdmissionGuard<'a> {
+    in_flight: &'a AtomicUsize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Reusable per-thread scratch for [`ServingEngine::estimate_batch_into`]:
+/// the estimator's [`BatchScratch`] plus the miss-compaction buffers.
+/// Allocation-free once warm, like every `_into` path in the workspace.
+#[derive(Default)]
+pub struct ServingScratch {
+    batch: BatchScratch,
+    miss_queries: Vec<RangeQuery>,
+    miss_slots: Vec<usize>,
+    miss_values: Vec<f64>,
+}
+
+impl ServingScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Engine-id source for the thread-local snapshot cache: every engine
+/// gets a process-unique id so entries from a dropped engine can never
+/// alias a live one.
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Thread-local snapshot cache entries: `(engine id, epoch, snapshot)`.
+type TlSnapshots = Vec<(u64, u64, Arc<CatalogSnapshot>)>;
+
+thread_local! {
+    static SNAPSHOTS: RefCell<TlSnapshots> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many engines one thread caches snapshots for before evicting the
+/// oldest entry.
+const TL_SNAPSHOT_CAP: usize = 8;
+
+/// A long-lived serving engine: wait-free concurrent reads of an
+/// epoch-published [`CatalogSnapshot`], a read-through [`EstimateCache`],
+/// per-shard admission control, and shard-parallel background rebuilds
+/// that publish replacement snapshots atomically.
+///
+/// Readers call [`ServingEngine::try_estimate`] /
+/// [`ServingEngine::estimate_batch_into`] from any thread; the steady
+/// state costs one atomic load (the epoch) plus a thread-local vector
+/// probe to reach the snapshot — no lock, no reference-count contention
+/// on the hot path. Publishes ([`ServingEngine::publish_catalog`],
+/// [`ServingEngine::rebuild_and_publish`]) build the new snapshot
+/// entirely off to the side and swap it in under the engine's one mutex;
+/// in-flight readers keep their `Arc` to the old snapshot and finish
+/// undisturbed, so a reader can never observe a torn catalog — only the
+/// complete old one or the complete new one.
+pub struct ServingEngine {
+    id: u64,
+    epoch: AtomicU64,
+    current: Mutex<Arc<CatalogSnapshot>>,
+    cache: EstimateCache,
+    pool: ShardPool,
+    shard_states: Vec<ShardState>,
+    admission_limit: usize,
+    publishes: AtomicU64,
+}
+
+impl ServingEngine {
+    /// An engine serving the empty generation-0 snapshot.
+    pub fn new(options: ServingOptions) -> Self {
+        assert!(options.shards > 0, "ServingEngine needs at least one shard");
+        ServingEngine {
+            id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            current: Mutex::new(Arc::new(CatalogSnapshot::empty())),
+            cache: EstimateCache::new(options.cache_bits, options.quantize_bits),
+            pool: ShardPool::new(options.shards),
+            shard_states: (0..options.shards)
+                .map(|_| ShardState {
+                    in_flight: AtomicUsize::new(0),
+                    admitted: AtomicU64::new(0),
+                    rejected: AtomicU64::new(0),
+                })
+                .collect(),
+            admission_limit: options.admission_limit,
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with [`ServingOptions::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(ServingOptions::default())
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_states.len()
+    }
+
+    /// The estimate cache (counters, capacity).
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// The snapshot currently serving. Wait-free in the steady state:
+    /// one `Acquire` epoch load plus a thread-local probe; the engine
+    /// mutex is locked only on this thread's first call after a publish.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        SNAPSHOTS.with(|cell| {
+            let mut tl = cell.borrow_mut();
+            if let Some((_, _, snap)) = tl.iter().find(|(id, ep, _)| *id == self.id && *ep == epoch)
+            {
+                return Arc::clone(snap);
+            }
+            // Epoch moved (or first touch): refresh from the shared cell.
+            // The snapshot we fetch is the one at `epoch` or newer — never
+            // older — so caching it under `epoch` is conservative: a
+            // concurrent publish just costs one extra refresh next call.
+            let snap = Arc::clone(&self.current.lock().expect("publisher never panics"));
+            if let Some(entry) = tl.iter_mut().find(|(id, _, _)| *id == self.id) {
+                *entry = (self.id, epoch, Arc::clone(&snap));
+            } else {
+                if tl.len() == TL_SNAPSHOT_CAP {
+                    tl.remove(0);
+                }
+                tl.push((self.id, epoch, Arc::clone(&snap)));
+            }
+            snap
+        })
+    }
+
+    /// Publish a snapshot, renumbering its generation so engine
+    /// generations are strictly increasing (`max(requested, current + 1)`
+    /// — a republish of durable generation `g` after local publishes
+    /// keeps moving forward, never backward). Returns the generation the
+    /// snapshot now serves as. In-flight readers are undisturbed; the
+    /// estimate cache invalidates wholesale because no slot tagged with
+    /// an older generation can match a probe against the new one.
+    pub fn publish_snapshot(&self, snapshot: CatalogSnapshot) -> u64 {
+        let mut snapshot = snapshot;
+        let mut cur = self.current.lock().expect("publisher never panics");
+        let generation = snapshot.generation.max(cur.generation + 1);
+        snapshot.generation = generation;
+        *cur = Arc::new(snapshot);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        // Bump the epoch while still holding the lock so a reader that
+        // sees the new epoch is guaranteed to fetch the new snapshot.
+        self.epoch.fetch_add(1, Ordering::Release);
+        generation
+    }
+
+    /// Freeze `catalog` and publish it ([`CatalogSnapshot::from_catalog`]
+    /// semantics: quarantined columns answer `MissingStatistics`).
+    pub fn publish_catalog(&self, catalog: StatisticsCatalog) -> u64 {
+        self.publish_snapshot(CatalogSnapshot::from_catalog(catalog, 0))
+    }
+
+    /// Background rebuild: shard `relation`'s columns across the engine's
+    /// standing workers ([`shard_for`] assignment — deterministic, no
+    /// coordination), run the bulkheaded ANALYZE of each shard's columns
+    /// on the worker that owns them, merge the per-shard catalogs (shards
+    /// partition the columns, so the merged catalog is bit-identical to a
+    /// sequential ANALYZE for every shard count), degrade quarantined
+    /// columns to the uniform ladder floor, and publish atomically.
+    ///
+    /// Safe to call from a background thread while readers serve: they
+    /// keep the old snapshot until the swap, then see the new one whole.
+    pub fn rebuild_and_publish(
+        &self,
+        relation: &Arc<Relation>,
+        config: &AnalyzeConfig,
+        engine: &TryConfig,
+    ) -> ServingPublishReport {
+        let shards = self.shards();
+        let mut groups: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for c in relation.columns() {
+            groups[shard_for(relation.name(), c.name(), shards)].push(c.name().to_owned());
+        }
+        let items: Vec<(usize, Vec<String>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        let shard_of_item: Vec<usize> = items.iter().map(|(s, _)| *s).collect();
+        let rel = Arc::clone(relation);
+        let config_copy = *config;
+        // Each shard worker analyzes its columns single-threaded: the
+        // shard fan-out *is* the parallelism, and per-column builds are
+        // already independent, so nesting another pool gains nothing.
+        let per_shard = TryConfig {
+            jobs: 1,
+            ..engine.clone()
+        };
+        let results = self.pool.run_sharded(
+            items,
+            |_, (shard, _)| *shard,
+            move |_, (_, names)| {
+                let mut cat = StatisticsCatalog::new();
+                let names: Vec<&str> = names.iter().map(String::as_str).collect();
+                cat.try_analyze_columns_with(&rel, &names, &config_copy, &per_shard);
+                cat
+            },
+        );
+        let mut merged = StatisticsCatalog::new();
+        let mut failed_shards = Vec::new();
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Ok(cat) => merged.merge(cat),
+                Err(e) => failed_shards.push((shard_of_item[i], e.to_string())),
+            }
+        }
+        let snapshot = CatalogSnapshot::from_catalog_for(relation, merged, 0);
+        let health = snapshot.health();
+        let generation = self.publish_snapshot(snapshot);
+        ServingPublishReport {
+            generation,
+            health,
+            failed_shards,
+        }
+    }
+
+    /// Load the active durable generation into the engine: rebuild the
+    /// catalog from the store's evidence and publish it requesting the
+    /// store's generation number (so a fresh engine's serving generation
+    /// equals the durable one — `selest fsck` prints the correlation).
+    /// Returns the published generation and any per-entry rebuild
+    /// failures (quarantined, as on any recovery).
+    pub fn load_durable(
+        &self,
+        store: &DurableStore,
+    ) -> (u64, Vec<(String, String, EstimateError)>) {
+        let (catalog, failures) = store.load_catalog();
+        let snapshot = CatalogSnapshot::from_catalog(catalog, store.active_generation());
+        let generation = self.publish_snapshot(snapshot);
+        (generation, failures)
+    }
+
+    /// Publish the serving snapshot's evidence to a [`DurableStore`] as a
+    /// new crash-safe generation; returns the durable generation number.
+    pub fn publish_durable(&self, store: &mut DurableStore) -> Result<u64, EstimateError> {
+        store.publish(self.snapshot().export())
+    }
+
+    fn admit(&self, shard: usize) -> Result<AdmissionGuard<'_>, EstimateError> {
+        let st = &self.shard_states[shard];
+        let in_flight = st.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.admission_limit > 0 && in_flight > self.admission_limit {
+            st.in_flight.fetch_sub(1, Ordering::AcqRel);
+            st.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EstimateError::Overloaded {
+                shard,
+                in_flight,
+                limit: self.admission_limit,
+            });
+        }
+        st.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionGuard {
+            in_flight: &st.in_flight,
+        })
+    }
+
+    fn missing(relation: &str, column: &str) -> EstimateError {
+        EstimateError::MissingStatistics {
+            relation: relation.to_owned(),
+            column: column.to_owned(),
+        }
+    }
+
+    /// Serve one estimate: validate, look up the column in the current
+    /// snapshot, pass admission control, probe the cache, and fall
+    /// through to the estimator on a miss (filling the cache). The value
+    /// is bit-identical to the sequential path — cached or not.
+    pub fn try_estimate(
+        &self,
+        relation: &str,
+        column: &str,
+        q: &RangeQuery,
+    ) -> Result<f64, EstimateError> {
+        q.validate()?;
+        let snap = self.snapshot();
+        let (idx, col) = snap
+            .find(relation, column)
+            .ok_or_else(|| Self::missing(relation, column))?;
+        let _guard = self.admit(shard_for(relation, column, self.shards()))?;
+        let generation = snap.generation();
+        if let Some(v) = self.cache.get(generation, idx, &col.domain, q) {
+            return Ok(v);
+        }
+        let v = col.estimator.selectivity(q);
+        self.cache.insert(generation, idx, &col.domain, q, v);
+        Ok(v)
+    }
+
+    /// Serve a whole batch against one column, allocation-free once
+    /// `scratch` is warm: invalid queries come back as per-slot errors,
+    /// cache hits answer directly, and the misses are compacted and
+    /// evaluated through the estimator's amortized
+    /// [`SelectivityEstimator::selectivity_batch_into`] kernel — so the
+    /// mixed hit/miss result is still bit-identical to the sequential
+    /// batch path (the workspace contract makes batch and per-query
+    /// evaluation interchangeable at the bit level).
+    pub fn estimate_batch_into(
+        &self,
+        relation: &str,
+        column: &str,
+        queries: &[RangeQuery],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<Result<f64, EstimateError>>,
+    ) {
+        out.clear();
+        out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
+        let snap = self.snapshot();
+        let Some((idx, col)) = snap.find(relation, column) else {
+            let err = Self::missing(relation, column);
+            for slot in out.iter_mut().filter(|s| s.is_ok()) {
+                *slot = Err(err.clone());
+            }
+            return;
+        };
+        let _guard = match self.admit(shard_for(relation, column, self.shards())) {
+            Ok(g) => g,
+            Err(e) => {
+                for slot in out.iter_mut().filter(|s| s.is_ok()) {
+                    *slot = Err(e.clone());
+                }
+                return;
+            }
+        };
+        let generation = snap.generation();
+        scratch.miss_queries.clear();
+        scratch.miss_slots.clear();
+        for (i, (slot, q)) in out.iter_mut().zip(queries).enumerate() {
+            if slot.is_err() {
+                continue;
+            }
+            match self.cache.get(generation, idx, &col.domain, q) {
+                Some(v) => *slot = Ok(v),
+                None => {
+                    scratch.miss_slots.push(i);
+                    scratch.miss_queries.push(*q);
+                }
+            }
+        }
+        if scratch.miss_queries.is_empty() {
+            return;
+        }
+        scratch.miss_values.clear();
+        scratch.miss_values.resize(scratch.miss_queries.len(), 0.0);
+        col.estimator.selectivity_batch_into(
+            &scratch.miss_queries,
+            &mut scratch.batch,
+            &mut scratch.miss_values,
+        );
+        for ((&i, q), &v) in scratch
+            .miss_slots
+            .iter()
+            .zip(&scratch.miss_queries)
+            .zip(&scratch.miss_values)
+        {
+            self.cache.insert(generation, idx, &col.domain, q, v);
+            out[i] = Ok(v);
+        }
+    }
+
+    /// Point-in-time engine health: serving generation and epoch, publish
+    /// count, cache counters, the snapshot's catalog health, and
+    /// per-shard admission/rebuild counters.
+    pub fn health(&self) -> ServingHealthReport {
+        let snap = self.snapshot();
+        ServingHealthReport {
+            generation: snap.generation(),
+            epoch: self.epoch.load(Ordering::Acquire),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            catalog: snap.health(),
+            shards: self
+                .shard_states
+                .iter()
+                .enumerate()
+                .map(|(s, st)| ShardHealth {
+                    shard: s,
+                    admitted: st.admitted.load(Ordering::Relaxed),
+                    rejected: st.rejected.load(Ordering::Relaxed),
+                    in_flight: st.in_flight.load(Ordering::Acquire),
+                    rebuild_jobs: self.pool.executed(s),
+                    rebuild_panics: self.pool.panics(s),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Column;
+
+    fn test_relation() -> Arc<Relation> {
+        let d = Domain::new(0.0, 1_000.0);
+        let mut r = Relation::new("serve");
+        for (name, phase) in [("a", 0.0), ("b", 1.0), ("c", 2.0), ("d", 3.0), ("e", 4.0)] {
+            let values: Vec<f64> = (0..4_000)
+                .map(|i| {
+                    let t = (i as f64 + 0.5) / 4_000.0;
+                    500.0 + 450.0 * (8.0 * t + phase).sin() * t.sqrt()
+                })
+                .collect();
+            r.add_column(Column::new(name, d, values));
+        }
+        Arc::new(r)
+    }
+
+    fn queries(n: usize) -> Vec<RangeQuery> {
+        let d = Domain::new(0.0, 1_000.0);
+        (0..n)
+            .map(|i| {
+                let c = 1_000.0 * (i as f64 * 0.61803).fract();
+                RangeQuery::centered(&d, c, 0.05 + 0.2 * (i as f64 * 0.317).fract())
+            })
+            .collect()
+    }
+
+    fn analyzed(relation: &Relation, kind: EstimatorKind) -> StatisticsCatalog {
+        let mut cat = StatisticsCatalog::new();
+        cat.analyze(
+            relation,
+            &AnalyzeConfig {
+                kind,
+                ..Default::default()
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn empty_engine_serves_missing_statistics() {
+        let engine = ServingEngine::with_defaults();
+        assert_eq!(engine.snapshot().generation(), 0);
+        let q = RangeQuery::new(0.0, 1.0);
+        match engine.try_estimate("t", "x", &q) {
+            Err(EstimateError::MissingStatistics { relation, column }) => {
+                assert_eq!((relation.as_str(), column.as_str()), ("t", "x"));
+            }
+            other => panic!("expected MissingStatistics, got {other:?}"),
+        }
+        // The empty snapshot is generation 0 and nothing of it is cached.
+        assert_eq!(engine.cache().stats().inserts, 0);
+    }
+
+    #[test]
+    fn served_estimates_are_bit_identical_to_the_catalog_and_cache_hits_repeat_them() {
+        let r = test_relation();
+        let cat = analyzed(&r, EstimatorKind::Kernel);
+        let reference: Vec<(String, Vec<f64>)> = r
+            .columns()
+            .iter()
+            .map(|c| {
+                let st = cat.statistics("serve", c.name()).unwrap();
+                (
+                    c.name().to_owned(),
+                    queries(64)
+                        .iter()
+                        .map(|q| st.estimator.selectivity(q))
+                        .collect(),
+                )
+            })
+            .collect();
+        let engine = ServingEngine::with_defaults();
+        let generation = engine.publish_catalog(cat);
+        assert_eq!(generation, 1);
+        for pass in 0..2 {
+            for (name, expect) in &reference {
+                for (q, e) in queries(64).iter().zip(expect) {
+                    let v = engine.try_estimate("serve", name, q).expect("serves");
+                    assert_eq!(v.to_bits(), e.to_bits(), "pass {pass} column {name}");
+                }
+            }
+        }
+        // The second pass mostly hits; a direct-mapped cache may evict a
+        // few same-pass colliders, which cost misses, never wrong values.
+        let stats = engine.cache().stats();
+        assert!(
+            stats.hits >= 4 * 64,
+            "second pass should mostly hit: {stats:?}"
+        );
+        assert!(stats.inserts >= 5 * 64);
+    }
+
+    #[test]
+    fn batch_path_matches_single_path_and_reports_invalid_slots() {
+        let r = test_relation();
+        let engine = ServingEngine::with_defaults();
+        engine.publish_catalog(analyzed(&r, EstimatorKind::MaxDiff));
+        let mut qs = queries(32);
+        qs[7] = RangeQuery::unchecked(5.0, 1.0);
+        qs[20] = RangeQuery::unchecked(f64::NAN, 2.0);
+        let mut scratch = ServingScratch::new();
+        let mut out = Vec::new();
+        // Twice: cold (all misses) then warm (all hits) must agree.
+        for pass in 0..2 {
+            engine.estimate_batch_into("serve", "c", &qs, &mut scratch, &mut out);
+            assert_eq!(out.len(), qs.len());
+            for (i, (slot, q)) in out.iter().zip(&qs).enumerate() {
+                if i == 7 || i == 20 {
+                    assert!(
+                        matches!(slot, Err(EstimateError::InvalidQuery { .. })),
+                        "pass {pass} slot {i}"
+                    );
+                } else {
+                    let single = engine.try_estimate("serve", "c", q).unwrap();
+                    assert_eq!(
+                        slot.as_ref().unwrap().to_bits(),
+                        single.to_bits(),
+                        "pass {pass} slot {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn publish_renumbers_generations_monotonically_and_invalidates_the_cache() {
+        let r = test_relation();
+        let engine = ServingEngine::with_defaults();
+        engine.publish_catalog(analyzed(&r, EstimatorKind::EquiDepth));
+        let q = queries(1)[0];
+        let old = engine.try_estimate("serve", "a", &q).unwrap();
+        let warm = engine.try_estimate("serve", "a", &q).unwrap();
+        assert_eq!(old.to_bits(), warm.to_bits());
+        // Publish a *different* estimator under a stale requested
+        // generation: the engine renumbers past the current one, and the
+        // very next read serves the new statistics — a cached entry from
+        // the old snapshot can never answer again.
+        let gen2 = engine.publish_snapshot(CatalogSnapshot::from_catalog(
+            analyzed(&r, EstimatorKind::Uniform),
+            1,
+        ));
+        assert_eq!(gen2, 2, "requested generation 1 must renumber to 2");
+        let new = engine.try_estimate("serve", "a", &q).unwrap();
+        let direct = analyzed(&r, EstimatorKind::Uniform)
+            .statistics("serve", "a")
+            .unwrap()
+            .estimator
+            .selectivity(&q);
+        assert_eq!(new.to_bits(), direct.to_bits(), "never-stale");
+        assert_ne!(
+            new.to_bits(),
+            old.to_bits(),
+            "uniform differs from equi-depth"
+        );
+        assert_eq!(engine.snapshot().generation(), 2);
+        assert_eq!(engine.health().publishes, 2);
+    }
+
+    #[test]
+    fn admission_control_refuses_overload_and_recovers() {
+        let r = test_relation();
+        let engine = ServingEngine::new(ServingOptions {
+            admission_limit: 2,
+            ..Default::default()
+        });
+        engine.publish_catalog(analyzed(&r, EstimatorKind::Sampling));
+        let shard = shard_for("serve", "a", engine.shards());
+        let g1 = engine.admit(shard).expect("first");
+        let g2 = engine.admit(shard).expect("second");
+        match engine.admit(shard) {
+            Err(EstimateError::Overloaded {
+                shard: s,
+                in_flight,
+                limit,
+            }) => {
+                assert_eq!(s, shard);
+                assert_eq!(in_flight, 3);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        drop(g1);
+        drop(g2);
+        // Guards released: the shard admits again and the counters add up.
+        let q = queries(1)[0];
+        assert!(engine.try_estimate("serve", "a", &q).is_ok());
+        let health = engine.health();
+        assert_eq!(health.shards[shard].rejected, 1);
+        assert_eq!(health.shards[shard].in_flight, 0);
+        assert!(health.shards[shard].admitted >= 3);
+    }
+
+    #[test]
+    fn sharded_rebuild_is_bit_identical_to_sequential_analyze_for_every_shard_count() {
+        let r = test_relation();
+        let cfg = AnalyzeConfig::default();
+        let reference = analyzed(&r, cfg.kind);
+        let qs = queries(48);
+        for shards in [1, 2, 4, 7] {
+            let engine = ServingEngine::new(ServingOptions {
+                shards,
+                ..Default::default()
+            });
+            let report = engine.rebuild_and_publish(&r, &cfg, &TryConfig::jobs(1));
+            assert!(report.failed_shards.is_empty());
+            assert!(report.health.is_healthy());
+            assert_eq!(report.health.entries, 5);
+            for c in r.columns() {
+                let st = reference.statistics("serve", c.name()).unwrap();
+                for q in &qs {
+                    let served = engine.try_estimate("serve", c.name(), q).unwrap();
+                    assert_eq!(
+                        served.to_bits(),
+                        st.estimator.selectivity(q).to_bits(),
+                        "shards={shards} column={}",
+                        c.name()
+                    );
+                }
+            }
+            // The shard workers actually did the builds.
+            let health = engine.health();
+            let jobs: usize = health.shards.iter().map(|s| s.rebuild_jobs).sum();
+            assert!(jobs >= 1, "shard workers must have run the builds");
+        }
+    }
+
+    #[test]
+    fn quarantined_columns_degrade_to_the_uniform_ladder_floor() {
+        let d = Domain::new(0.0, 100.0);
+        let mut r = Relation::new("mixed");
+        let clean: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 5.0).collect();
+        r.add_column(Column::new("ok", d, clean));
+        let garbage: Vec<f64> = (0..500).map(|_| f64::NAN).collect();
+        r.add_column(Column::new_unchecked("poisoned", d, garbage));
+        let r = Arc::new(r);
+        let engine = ServingEngine::with_defaults();
+        let report = engine.rebuild_and_publish(
+            &r,
+            &AnalyzeConfig {
+                kind: EstimatorKind::Sampling,
+                ..Default::default()
+            },
+            &TryConfig::jobs(1),
+        );
+        assert_eq!(report.health.quarantined.len(), 1);
+        assert_eq!(report.health.quarantined[0].column, "poisoned");
+        // The quarantined column still serves — uniformly.
+        let snap = engine.snapshot();
+        let (_, col) = snap.find("mixed", "poisoned").expect("degraded entry");
+        assert!(col.quarantined());
+        assert_eq!(col.kind(), EstimatorKind::Uniform);
+        let q = RangeQuery::new(0.0, 50.0);
+        let v = engine.try_estimate("mixed", "poisoned", &q).unwrap();
+        assert!((v - 0.5).abs() < 1e-12, "uniform overlap, got {v}");
+        // Degraded entries export no evidence; honest ones do.
+        assert_eq!(snap.export().len(), 1);
+        // Without the relation, the same catalog would simply not serve
+        // the column.
+        let mut cat = StatisticsCatalog::new();
+        cat.try_analyze(
+            &r,
+            &AnalyzeConfig {
+                kind: EstimatorKind::Sampling,
+                ..Default::default()
+            },
+        );
+        let plain = CatalogSnapshot::from_catalog(cat, 0);
+        assert!(plain.find("mixed", "poisoned").is_none());
+    }
+
+    #[test]
+    fn cache_slot_collisions_cost_misses_never_wrong_values() {
+        // A 2-slot cache under 64 distinct queries: constant eviction,
+        // but every probe that hits must return the exact value.
+        let d = Domain::new(0.0, 1_000.0);
+        let cache = EstimateCache::new(1, 16);
+        assert_eq!(cache.slots(), 2);
+        let qs = queries(64);
+        for round in 0..3 {
+            for (i, q) in qs.iter().enumerate() {
+                let truth = q.width() / d.width();
+                if let Some(v) = cache.get(7, i, &d, q) {
+                    assert_eq!(v.to_bits(), truth.to_bits(), "round {round} query {i}");
+                }
+                cache.insert(7, i, &d, q, truth);
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.inserts > 0);
+        assert!(stats.misses > 0, "2 slots cannot hold 64 queries");
+        // Memory is bounded by construction: the slot array never grows.
+        assert_eq!(cache.slots(), 2);
+    }
+
+    #[test]
+    fn durable_round_trip_correlates_serving_and_durable_generations() {
+        let dir = std::env::temp_dir().join(format!("selest-serving-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _) = DurableStore::open(&dir).expect("open");
+        let r = test_relation();
+        let engine = ServingEngine::with_defaults();
+        engine.publish_catalog(analyzed(&r, EstimatorKind::EquiWidth));
+        let durable_gen = engine.publish_durable(&mut store).expect("publish");
+        assert_eq!(durable_gen, store.active_generation());
+        // A fresh engine loading the store serves under the durable
+        // generation number and bit-identical statistics.
+        let engine2 = ServingEngine::with_defaults();
+        let (serving_gen, failures) = engine2.load_durable(&store);
+        assert!(failures.is_empty());
+        assert_eq!(serving_gen, durable_gen);
+        assert_eq!(engine2.snapshot().generation(), durable_gen);
+        for q in queries(16) {
+            assert_eq!(
+                engine2.try_estimate("serve", "b", &q).unwrap().to_bits(),
+                engine.try_estimate("serve", "b", &q).unwrap().to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

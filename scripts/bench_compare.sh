@@ -36,6 +36,27 @@
 #                      checksum_bits exactly equal to their parent row's —
 #                      i.e. every lane width is bit-identical to the
 #                      default path
+#   --serving          compare serving-bench files (selest serve --bench)
+#                      instead of perf baselines. Within each file, every
+#                      concurrency run's checksum_bits must equal the
+#                      file's sequential-reference checksum_bits exactly
+#                      (served estimates bit-identical to the sequential
+#                      path at every thread count), and every baseline
+#                      thread count must exist in the new file. Full-mode
+#                      files additionally gate closed-loop scaling and
+#                      absolute tail latency; smoke files are noise and
+#                      only identity/structure-checked. Smoke and full
+#                      runs use different sample sizes, so checksums are
+#                      compared within a file, never across files.
+#   --min-scaling R    (--serving) fail if a full-mode file's
+#                      ratio_8_over_1 is below R (default 3 — the PR 8
+#                      acceptance floor for 1 -> 8 closed-loop clients)
+#   --p99-max-us US    (--serving) fail if any full-mode run's p99
+#                      exceeds US microseconds (default 50000)
+#   --p999-max-us US   (--serving) fail if any full-mode run's p999
+#                      exceeds US microseconds (default 250000 — the tail
+#                      must stay bounded while background ANALYZE
+#                      rebuilds publish mid-run)
 #
 # Structure gate: every (fixture, estimator) row of the baseline must exist
 # in the new file, and if the baseline has a catalog or fault_overhead
@@ -58,6 +79,10 @@ fault_overhead_max=1.05
 min_speedup_kernel_batch=0
 min_speedup_hist_seq=0
 simd_gate=0
+serving=0
+min_scaling=3
+p99_max_us=50000
+p999_max_us=250000
 while [ $# -gt 0 ]; do
     case "$1" in
         --max-ratio)          max_ratio=$2; shift 2 ;;
@@ -67,6 +92,10 @@ while [ $# -gt 0 ]; do
         --min-speedup-kernel-batch) min_speedup_kernel_batch=$2; shift 2 ;;
         --min-speedup-hist-seq)     min_speedup_hist_seq=$2; shift 2 ;;
         --simd)               simd_gate=1; shift ;;
+        --serving)            serving=1; shift ;;
+        --min-scaling)        min_scaling=$2; shift 2 ;;
+        --p99-max-us)         p99_max_us=$2; shift 2 ;;
+        --p999-max-us)        p999_max_us=$2; shift 2 ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
@@ -77,6 +106,120 @@ for f in "$baseline" "$new"; do
         exit 1
     fi
 done
+
+if [ "$serving" = 1 ]; then
+    awk -v min_scaling="$min_scaling" -v p99_max="$p99_max_us" -v p999_max="$p999_max_us" \
+        -v baseline="$baseline" -v new_file="$new" '
+function field_num(line, key,    r) {
+    if (match(line, "\"" key "\": *-?[0-9.eE+-]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r + 0
+}
+function field_str(line, key,    r) {
+    if (match(line, "\"" key "\": *\"[^\"]*\"") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *\"", "", r)
+    sub("\"$", "", r)
+    return r
+}
+function field_raw(line, key,    r) {
+    # u64 checksum bits overflow awk doubles; compare as strings.
+    if (match(line, "\"" key "\": *-?[0-9]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r
+}
+{
+    f = FILENAME
+    if (index($0, "\"mode\":") > 0) mode[f] = field_str($0, "mode")
+    if (index($0, "\"ratio_8_over_1\":") > 0) ratio[f] = field_num($0, "ratio_8_over_1")
+    if (index($0, "\"threads\":") > 0 && index($0, "\"checksum_bits\":") > 0) {
+        t = field_num($0, "threads")
+        runs[f "|" t] = 1
+        run_count[f]++
+        run_bits[f "|" t] = field_raw($0, "checksum_bits")
+        run_p99[f "|" t]  = field_num($0, "p99_us")
+        run_p999[f "|" t] = field_num($0, "p999_us")
+        threads_of[f] = threads_of[f] " " t
+    } else if (index($0, "\"checksum_bits\":") > 0 && index($0, "\"decile\":") == 0) {
+        top_bits[f] = field_raw($0, "checksum_bits")
+    }
+}
+END {
+    fails = 0
+    split(baseline " " new_file, files, " ")
+    for (fi = 1; fi <= 2; fi++) {
+        f = files[fi]
+        if (run_count[f] + 0 == 0) {
+            printf "FAIL %s: no concurrency runs parsed\n", f
+            fails++
+            continue
+        }
+        if (top_bits[f] == "" || top_bits[f] == "NA") {
+            printf "FAIL %s: sequential-reference checksum_bits missing\n", f
+            fails++
+            continue
+        }
+        n = split(threads_of[f], ts, " ")
+        for (i = 1; i <= n; i++) {
+            t = ts[i]
+            if (t == "") continue
+            # Identity gate: every thread count serves estimates whose
+            # Kahan checksum is bit-identical to the sequential path.
+            if (run_bits[f "|" t] != top_bits[f]) {
+                printf "FAIL %s: threads=%s checksum_bits %s != sequential %s\n", \
+                    f, t, run_bits[f "|" t], top_bits[f]
+                fails++
+            }
+            # Tail gates only on full-mode (multi-op) measurements.
+            if (mode[f] == "full") {
+                if (run_p99[f "|" t] != "NA" && run_p99[f "|" t] > p99_max) {
+                    printf "FAIL %s: threads=%s p99 %.1fus > %dus\n", \
+                        f, t, run_p99[f "|" t], p99_max
+                    fails++
+                }
+                if (run_p999[f "|" t] != "NA" && run_p999[f "|" t] > p999_max) {
+                    printf "FAIL %s: threads=%s p999 %.1fus > %dus\n", \
+                        f, t, run_p999[f "|" t], p999_max
+                    fails++
+                }
+            }
+        }
+        if (mode[f] == "full") {
+            if (ratio[f] == "" || ratio[f] == "NA") {
+                printf "FAIL %s: scaling section missing\n", f
+                fails++
+            } else if (ratio[f] < min_scaling) {
+                printf "FAIL %s: scaling ratio_8_over_1 %.4f < %.2f\n", \
+                    f, ratio[f], min_scaling
+                fails++
+            }
+        }
+    }
+    # Structure gate: every baseline thread count must exist in the new
+    # file (concurrency coverage only grows).
+    n = split(threads_of[baseline], ts, " ")
+    for (i = 1; i <= n; i++) {
+        t = ts[i]
+        if (t == "" ) continue
+        if (!((new_file "|" t) in runs)) {
+            printf "FAIL %s: threads=%s run missing from %s\n", baseline, t, new_file
+            fails++
+        }
+    }
+    if (fails > 0) {
+        printf "bench_compare --serving: %d failure(s) (%s vs %s)\n", fails, baseline, new_file
+        exit 1
+    }
+    printf "bench_compare --serving: %d + %d runs OK (checksums sequential-identical", \
+        run_count[baseline], run_count[new_file]
+    printf "; full-mode gates: scaling >= x%.1f, p99 <= %dus, p999 <= %dus)\n", \
+        min_scaling, p99_max, p999_max
+}
+' "$baseline" "$new"
+    exit $?
+fi
 
 awk -v max_ratio="$max_ratio" -v min_us="$min_us" -v tol="$checksum_tol" \
     -v fault_max="$fault_overhead_max" \

@@ -65,6 +65,18 @@ echo "==> bench_compare vs committed baseline (structure + checksums; generous t
 scripts/bench_compare.sh BENCH_PR5.json target/bench_smoke.json \
     --max-ratio 50 --min-us 2000 --checksum-tol 1e-9 --simd
 
+echo "==> serving bench smoke run (scratch output; BENCH_PR8.json untouched)"
+./target/release/selest serve --bench --smoke --out target/bench_serving_smoke.json
+test -s target/bench_serving_smoke.json
+
+echo "==> serving gate vs committed BENCH_PR8.json (checksum identity + tail/scaling)"
+# Both files must serve estimates bit-identical to their own sequential
+# reference at every thread count (the smoke run proves the live build,
+# the committed artifact proves the cited numbers). Scaling and tail
+# gates apply to the committed full-mode artifact only — 20-op smoke
+# timings on a busy 1-core box cannot support a latency threshold.
+scripts/bench_compare.sh BENCH_PR8.json target/bench_serving_smoke.json --serving
+
 if [ "$simd" = 1 ]; then
     echo "==> SIMD determinism sweep (lanes x jobs, byte-identical)"
     cargo test -q --test simd_kernels

@@ -250,6 +250,17 @@ fn cmd_snapshot(args: &[String]) {
     }
 }
 
+fn cmd_serve(args: &[String]) {
+    if !args.iter().any(|a| a == "--bench") {
+        die("serve: only the benchmark driver is wired so far; run `selest serve --bench`");
+    }
+    let opts = bench::serving::ServingBenchOptions {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        out: flag_value(args, "--out").unwrap_or_else(|| "BENCH_PR8.json".to_owned()),
+    };
+    bench::serving::run_serving_bench(&opts);
+}
+
 fn print_fsck(report: &selest::store::FsckReport) {
     println!(
         "health      {}",
@@ -277,6 +288,23 @@ fn cmd_fsck(args: &[String]) {
     let report = fsck(path);
     print_fsck(&report);
     if report.healthy {
+        // Correlate the durable generation with what a serving engine
+        // would publish from this store: a fresh load serves under the
+        // durable generation number ([`CatalogSnapshot::generation`]), so
+        // operators can match a live engine's health report to the disk.
+        if let Ok((store, _)) = selest::store::DurableStore::open(path) {
+            let engine = selest::ServingEngine::with_defaults();
+            let (_, failures) = engine.load_durable(&store);
+            let snapshot = engine.snapshot();
+            println!(
+                "serving     snapshot generation {} ({} columns servable)",
+                snapshot.generation(),
+                snapshot.len()
+            );
+            for (relation, column, error) in &failures {
+                println!("            unservable {relation}.{column}: {error}");
+            }
+        }
         return;
     }
     if !repair {
@@ -313,6 +341,7 @@ fn main() {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("methods") => {
             for m in METHODS {
@@ -327,6 +356,7 @@ fn main() {
             println!("  selest estimate <file> <method> <a> <b> [--scale K] [--sample N]");
             println!("  selest repro [ids...] [--quick] [--jobs N] [--csv DIR]");
             println!("  selest snapshot <dir> [files...] [--scale K] [--sample N]");
+            println!("  selest serve --bench [--smoke] [--out FILE]");
             println!("  selest fsck <dir> [--repair]");
             println!("  selest methods");
             println!();

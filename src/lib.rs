@@ -69,7 +69,10 @@ pub use selest_kernel::{
     AdaptiveBoundary, AdaptiveKernelEstimator, BoundaryPolicy, KernelEstimator, KernelEstimator2d,
     KernelFn, RectQuery,
 };
-pub use selest_store::{AnalyzeConfig, EstimatorKind, Relation, StatisticsCatalog};
+pub use selest_store::{
+    AnalyzeConfig, CatalogSnapshot, EstimatorKind, Relation, ServingEngine, ServingOptions,
+    ServingScratch, StatisticsCatalog,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,399 @@
+//! Integration tests for the sharded serving engine (`store::serving`).
+//!
+//! Two guarantees are pinned from the outside, through the public facade:
+//!
+//! 1. **No torn reads under concurrent publication.** Reader threads
+//!    hammer a [`ServingEngine`] while a background publisher alternates
+//!    clean and poisoned rebuilds of the same relation. Every batch a
+//!    reader observes must be bit-identical to a sequential evaluation of
+//!    *one* published snapshot — never a hybrid of two generations — and
+//!    quarantined columns must serve the PR 5 uniform ladder floor, not
+//!    an error and not stale kernel estimates.
+//! 2. **The estimate cache is an invisible optimization.** Warm results
+//!    repeat cold results bit-for-bit, a snapshot swap invalidates the
+//!    cache wholesale (never-stale), and an adversarial stream of
+//!    all-distinct queries cannot grow the cache beyond its fixed slot
+//!    count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use selest::par::TryConfig;
+use selest::store::{AnalyzeConfig, Column, Relation, StatisticsCatalog};
+use selest::{CatalogSnapshot, Domain, RangeQuery, ServingEngine, ServingOptions, ServingScratch};
+
+const DOMAIN: (f64, f64) = (0.0, 1_000.0);
+const COLUMNS: [&str; 4] = ["w", "x", "y", "z"];
+const QUERIES: usize = 48;
+
+fn domain() -> Domain {
+    Domain::new(DOMAIN.0, DOMAIN.1)
+}
+
+/// Deterministic clustered data, distinct per column index.
+fn rows(variant: u64) -> Vec<f64> {
+    let mut s = 0x9e37u64 ^ variant.wrapping_mul(0x517c_c1b7_2722_0a95);
+    (0..1_500)
+        .map(|i| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+            if i % 11 == 0 {
+                700.0
+            } else {
+                1_000.0 * u
+            }
+        })
+        .collect()
+}
+
+/// Every value unsalvageable, so sanitization leaves nothing and the
+/// column must quarantine (same construction as `tests/chaos_parallel.rs`).
+fn full_garbage(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => 1e9,
+        })
+        .collect()
+}
+
+/// The relation under test; `poison` swaps column `x` for full garbage.
+fn relation(poison: bool) -> Arc<Relation> {
+    let d = domain();
+    let mut r = Relation::new("chaos");
+    for (i, name) in COLUMNS.iter().enumerate() {
+        if poison && *name == "x" {
+            r.add_column(Column::new_unchecked(name, d, full_garbage(1_500)));
+        } else {
+            r.add_column(Column::new(name, d, rows(i as u64)));
+        }
+    }
+    Arc::new(r)
+}
+
+fn queries() -> Vec<RangeQuery> {
+    let d = domain();
+    (0..QUERIES)
+        .map(|i| {
+            let c = 1_000.0 * (i as f64 * 0.618_033_988_749_894_9).fract();
+            RangeQuery::centered(&d, c, 0.05 + 0.25 * (i as f64 * 0.317).fract())
+        })
+        .collect()
+}
+
+fn config() -> AnalyzeConfig {
+    AnalyzeConfig {
+        sample_size: 256,
+        ..Default::default()
+    }
+}
+
+/// Sequential per-column reference bits for one relation variant: a
+/// single-threaded bulkheaded ANALYZE followed by the same degradation
+/// the engine applies, evaluated per query with no cache and no pool.
+fn reference_bits(rel: &Arc<Relation>) -> HashMap<&'static str, Vec<u64>> {
+    let mut cat = StatisticsCatalog::new();
+    cat.try_analyze_jobs(rel, &config(), 1);
+    let snap = CatalogSnapshot::from_catalog_for(rel, cat, 1);
+    let qs = queries();
+    COLUMNS
+        .iter()
+        .map(|&name| {
+            let (_, col) = snap.find("chaos", name).expect("every column is servable");
+            let bits = qs
+                .iter()
+                .map(|q| col.estimator().selectivity(q).to_bits())
+                .collect();
+            (name, bits)
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------------------
+// 1. Concurrent chaos: readers vs. alternating clean/poisoned publications
+// -------------------------------------------------------------------------
+
+#[test]
+fn concurrent_readers_never_observe_torn_or_stale_estimates() {
+    let clean = relation(false);
+    let poisoned = relation(true);
+    let clean_ref = reference_bits(&clean);
+    let poisoned_ref = reference_bits(&poisoned);
+    // Clean columns are analyzed from identical data and config in both
+    // variants, so only the poisoned column may differ between the two
+    // reference tables; the test below relies on that to attribute each
+    // observed batch to exactly one variant.
+    for name in COLUMNS {
+        if name == "x" {
+            assert_ne!(
+                clean_ref[name], poisoned_ref[name],
+                "the poisoned column must degrade to different (uniform) estimates"
+            );
+        } else {
+            assert_eq!(clean_ref[name], poisoned_ref[name]);
+        }
+    }
+
+    let engine = ServingEngine::new(ServingOptions {
+        shards: 3,
+        cache_bits: 8,
+        ..Default::default()
+    });
+    // generation -> was this publish poisoned? Recorded by the publisher
+    // right after each publish; a reader that observes a generation not
+    // yet in the map (the record race window) accepts either variant —
+    // both are real published snapshots, so neither is torn.
+    let published: Mutex<HashMap<u64, bool>> = Mutex::new(HashMap::new());
+    let stop = AtomicBool::new(false);
+    let qs = queries();
+
+    // Publish a first snapshot so readers never see the empty catalog.
+    let report = engine.rebuild_and_publish(&clean, &config(), &TryConfig::default());
+    assert!(report.failed_shards.is_empty());
+    published.lock().unwrap().insert(report.generation, false);
+
+    thread::scope(|scope| {
+        let publisher = scope.spawn(|| {
+            let mut publishes = 0u64;
+            for round in 0..12 {
+                let poison = round % 2 == 1;
+                let rel = if poison { &poisoned } else { &clean };
+                let report = engine.rebuild_and_publish(rel, &config(), &TryConfig::default());
+                assert!(
+                    report.failed_shards.is_empty(),
+                    "shard builds must not panic: {:?}",
+                    report.failed_shards
+                );
+                assert_eq!(
+                    report.health.quarantined.len(),
+                    usize::from(poison),
+                    "poisoned rebuilds quarantine exactly column x"
+                );
+                published.lock().unwrap().insert(report.generation, poison);
+                publishes += 1;
+            }
+            stop.store(true, Ordering::Release);
+            publishes
+        });
+        let readers: Vec<_> = (0..3)
+            .map(|t| {
+                let engine = &engine;
+                let published = &published;
+                let stop = &stop;
+                let clean_ref = &clean_ref;
+                let poisoned_ref = &poisoned_ref;
+                let qs = &qs;
+                scope.spawn(move || {
+                    let mut scratch = ServingScratch::new();
+                    let mut out = Vec::new();
+                    let mut batches = 0u64;
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Acquire) || !i.is_multiple_of(COLUMNS.len()) {
+                        let name = COLUMNS[(t + i) % COLUMNS.len()];
+                        engine.estimate_batch_into("chaos", name, qs, &mut scratch, &mut out);
+                        let bits: Vec<u64> = out
+                            .iter()
+                            .map(|r| {
+                                r.as_ref()
+                                    .expect("valid queries on a servable column never error")
+                                    .to_bits()
+                            })
+                            .collect();
+                        let generation = engine.snapshot().generation();
+                        let variant = published.lock().unwrap().get(&generation).copied();
+                        match variant {
+                            Some(poison) => {
+                                let expect = if poison { poisoned_ref } else { clean_ref };
+                                // The batch may have been computed from a
+                                // snapshot published *after* the batch's
+                                // own, so fall back to the other variant
+                                // before declaring a torn read.
+                                assert!(
+                                    bits == expect[name]
+                                        || bits == clean_ref[name]
+                                        || bits == poisoned_ref[name],
+                                    "torn batch on {name} at generation {generation}"
+                                );
+                            }
+                            None => assert!(
+                                bits == clean_ref[name] || bits == poisoned_ref[name],
+                                "torn batch on {name} in the record race window"
+                            ),
+                        }
+                        batches += 1;
+                        i += 1;
+                    }
+                    batches
+                })
+            })
+            .collect();
+        let publishes = publisher.join().unwrap();
+        assert_eq!(publishes, 12);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "every reader served batches");
+        }
+    });
+
+    // Generations were strictly renumbered: one distinct generation per
+    // publish, and the engine ends on the newest.
+    let map = published.into_inner().unwrap();
+    assert_eq!(map.len(), 13);
+    let newest = *map.keys().max().unwrap();
+    assert_eq!(engine.snapshot().generation(), newest);
+    let health = engine.health();
+    assert_eq!(health.publishes, 13);
+    assert!(
+        health.shards.iter().all(|s| s.rebuild_panics == 0),
+        "no shard worker panicked"
+    );
+}
+
+// -------------------------------------------------------------------------
+// 2. Estimate cache: invisible, never stale, bounded
+// -------------------------------------------------------------------------
+
+#[test]
+fn cache_hits_repeat_cold_results_bit_for_bit() {
+    let rel = relation(false);
+    let engine = ServingEngine::new(ServingOptions {
+        cache_bits: 10,
+        ..Default::default()
+    });
+    let report = engine.rebuild_and_publish(&rel, &config(), &TryConfig::default());
+    assert!(report.failed_shards.is_empty());
+    let qs = queries();
+    let cold: Vec<u64> = COLUMNS
+        .iter()
+        .flat_map(|name| {
+            qs.iter()
+                .map(|q| engine.try_estimate("chaos", name, q).unwrap().to_bits())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let before = engine.cache().stats();
+    let warm: Vec<u64> = COLUMNS
+        .iter()
+        .flat_map(|name| {
+            qs.iter()
+                .map(|q| engine.try_estimate("chaos", name, q).unwrap().to_bits())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let after = engine.cache().stats();
+    assert_eq!(cold, warm, "warm pass must repeat the cold pass exactly");
+    assert!(
+        after.hits > before.hits,
+        "the warm pass must be served (at least partly) from the cache"
+    );
+    // And both passes equal the sequential reference.
+    let expect = reference_bits(&rel);
+    let flat: Vec<u64> = COLUMNS
+        .iter()
+        .flat_map(|name| expect[name].to_vec())
+        .collect();
+    assert_eq!(cold, flat);
+}
+
+#[test]
+fn snapshot_swap_invalidates_the_cache_wholesale() {
+    let rel = relation(false);
+    let engine = ServingEngine::with_defaults();
+    // Two catalogs over the same relation that differ only by sampling
+    // seed — estimates differ, so any stale cache hit is detectable.
+    let old_cfg = config();
+    let new_cfg = AnalyzeConfig {
+        seed: 0xD1CE,
+        ..config()
+    };
+    let mut old_cat = StatisticsCatalog::new();
+    old_cat.try_analyze_jobs(&rel, &old_cfg, 1);
+    let mut new_cat = StatisticsCatalog::new();
+    new_cat.try_analyze_jobs(&rel, &new_cfg, 1);
+    let new_snap = CatalogSnapshot::from_catalog_for(&rel, new_cat, 0);
+    let new_bits: HashMap<&str, Vec<u64>> = COLUMNS
+        .iter()
+        .map(|&name| {
+            let (_, col) = new_snap.find("chaos", name).unwrap();
+            (
+                name,
+                queries()
+                    .iter()
+                    .map(|q| col.estimator().selectivity(q).to_bits())
+                    .collect(),
+            )
+        })
+        .collect();
+
+    engine.publish_snapshot(CatalogSnapshot::from_catalog_for(&rel, old_cat, 0));
+    let qs = queries();
+    // Warm the cache on the old snapshot, twice so hits are certain.
+    let mut old_bits: HashMap<&str, Vec<u64>> = HashMap::new();
+    for _ in 0..2 {
+        for &name in &COLUMNS {
+            let bits: Vec<u64> = qs
+                .iter()
+                .map(|q| engine.try_estimate("chaos", name, q).unwrap().to_bits())
+                .collect();
+            old_bits.insert(name, bits);
+        }
+    }
+    assert!(engine.cache().stats().hits > 0, "the cache warmed up");
+
+    engine.publish_snapshot(new_snap);
+    for &name in &COLUMNS {
+        let served: Vec<u64> = qs
+            .iter()
+            .map(|q| engine.try_estimate("chaos", name, q).unwrap().to_bits())
+            .collect();
+        assert_eq!(
+            served, new_bits[name],
+            "{name}: post-swap estimates must come from the new snapshot"
+        );
+        assert_ne!(
+            served, old_bits[name],
+            "{name}: the seeds were chosen so stale hits would be visible"
+        );
+    }
+}
+
+#[test]
+fn adversarial_unique_queries_cannot_grow_the_cache() {
+    let rel = relation(false);
+    // A deliberately tiny cache: 2^4 = 16 slots.
+    let engine = ServingEngine::new(ServingOptions {
+        cache_bits: 4,
+        ..Default::default()
+    });
+    let report = engine.rebuild_and_publish(&rel, &config(), &TryConfig::default());
+    assert!(report.failed_shards.is_empty());
+    let slots = engine.cache().slots();
+    assert_eq!(slots, 16);
+    let d = domain();
+    let snap = engine.snapshot();
+    let (_, col) = snap.find("chaos", "w").unwrap();
+    // 200x more distinct queries than slots, none repeated.
+    for i in 0..3_200u32 {
+        let c = 1_000.0 * (f64::from(i) * 0.618_033_988_749_894_9).fract();
+        let q = RangeQuery::centered(&d, c, 0.01 + 0.5 * (f64::from(i) * 0.137).fract());
+        let served = engine.try_estimate("chaos", "w", &q).unwrap();
+        // Structural bound: the direct-mapped table never grows, and
+        // whatever collisions do to placement, values stay exact.
+        assert_eq!(served.to_bits(), col.estimator().selectivity(&q).to_bits());
+    }
+    assert_eq!(
+        engine.cache().slots(),
+        slots,
+        "slot count is fixed at build"
+    );
+    let stats = engine.cache().stats();
+    assert!(
+        stats.misses >= 3_200 - slots as u64,
+        "distinct queries overwhelmingly miss a 16-slot cache"
+    );
+}
