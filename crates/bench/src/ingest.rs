@@ -1,0 +1,639 @@
+//! Sustained-ingest benchmark of the incremental statistics substrate
+//! (`selest ingest --bench`, artifact `BENCH_PR9.json`).
+//!
+//! Four sections, each a claim DESIGN.md §15 makes about keeping
+//! statistics fresh under writes:
+//!
+//! * **refresh** — an incremental refresh (absorb a batch, re-snapshot
+//!   the reservoir, rebuild the estimator from `O(|reservoir|)` inputs)
+//!   against a full re-ANALYZE that rebuilds the same updatable entry
+//!   from scratch, re-feeding all `n` rows through the reservoir and the
+//!   GK sketch. The headline gate: `speedup >= 10` at n = 100 000.
+//! * **merge** — four shards each sketch a quarter of the stream, the
+//!   catalogs merge through [`StatisticsCatalog::try_merge_partitions`],
+//!   and every probed quantile of the merged GK summary must sit within
+//!   the summary's own realized bound, which itself must respect the
+//!   documented post-merge `2 * epsilon * n` rank guarantee.
+//! * **snapshot** — with zero updates absorbed, `snapshot()` returns the
+//!   previous `Arc` unchanged, prepared inputs are bit-identical to a
+//!   from-scratch prepare of the same sample, and the whole serving path
+//!   (catalog -> snapshot -> engine) reproduces the catalog's estimates
+//!   bit for bit.
+//! * **ingest** — a writer thread pours update batches through
+//!   [`StatisticsCatalog::try_apply_updates`] and lets
+//!   [`ServingEngine::republish_if_stale`] decide when the update debt
+//!   forces a refresh-and-republish, while reader threads keep serving
+//!   estimate batches off the engine. Readers must never see an error or
+//!   an out-of-range selectivity while generations roll underneath them;
+//!   the JSON records the staleness pressure the policy tolerated (p50 /
+//!   p99 pending updates at sweep time) and reader latency percentiles.
+//!
+//! Everything is deterministic: data is a golden-ratio low-discrepancy
+//! stream, seeds are fixed, and full mode asserts each gate in-process
+//! before the artifact is written (the same gates
+//! `scripts/bench_compare.sh --incremental` re-checks from the JSON).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use selest_core::{Domain, IncrementalColumn, PreparedColumn, RangeQuery};
+use selest_store::{
+    AnalyzeConfig, CatalogSnapshot, Column, ColumnDelta, EstimatorKind, Relation, ServingEngine,
+    ServingScratch, StalenessPolicy, StatisticsCatalog, SKETCH_EPSILON,
+};
+
+/// Options of one benchmark invocation.
+pub struct IngestBenchOptions {
+    /// One light repetition per section; timing gates are skipped.
+    pub smoke: bool,
+    /// Output path for the JSON artifact.
+    pub out: String,
+}
+
+/// Full-mode gate: incremental refresh vs. full re-ANALYZE at n = 100k.
+const REFRESH_SPEEDUP_GATE: f64 = 10.0;
+/// Shards of the partition-merge section.
+const MERGE_SHARDS: usize = 4;
+
+/// The benchmark's value stream: a golden-ratio low-discrepancy sequence
+/// over `[0, 1000)` — deterministic, dense, and duplicate-free enough
+/// that rank probes are unambiguous.
+fn golden(i: u64) -> f64 {
+    1_000.0 * ((i as f64) * 0.618_033_988_749).fract()
+}
+
+fn domain() -> Domain {
+    Domain::new(0.0, 1_000.0)
+}
+
+fn relation_over(range: std::ops::Range<u64>) -> Relation {
+    let values: Vec<f64> = range.map(golden).collect();
+    let mut r = Relation::new("ingest");
+    r.add_column(Column::new("v", domain(), values));
+    r
+}
+
+fn probe_queries(n: usize) -> Vec<RangeQuery> {
+    let d = domain();
+    (0..n)
+        .map(|i| {
+            let c = 1_000.0 * ((i as f64) * 0.618_033_988_749).fract();
+            RangeQuery::centered(&d, c, 0.02 + 0.18 * ((i as f64) * 0.317).fract())
+        })
+        .collect()
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    selest_math::quantile(&samples, 0.5)
+}
+
+struct RefreshResult {
+    rows: u64,
+    reps: usize,
+    full_analyze_us: f64,
+    batch_analyze_us: f64,
+    incremental_refresh_us: f64,
+    speedup: f64,
+}
+
+/// Section 1: time a full re-ANALYZE of the n-row relation against an
+/// incremental cycle (absorb a 64-insert batch, refresh through the
+/// staleness sweep). The from-scratch side rebuilds the same artifact the
+/// refresh produces — an *updatable* catalog entry, so it must push all
+/// `n` rows through the reservoir and the GK sketch — while the refresh
+/// reuses the maintained substrate and pays only
+/// O(bins + |reservoir| log |reservoir|). The plain sample-only batch
+/// ANALYZE (which builds a non-updatable entry) is reported alongside for
+/// context. Both paths run the same bulkheaded single-worker engine and
+/// rebuild the same estimator kind.
+fn run_refresh(smoke: bool) -> RefreshResult {
+    let rows: u64 = if smoke { 10_000 } else { 100_000 };
+    let (full_reps, incr_reps) = if smoke { (2, 10) } else { (8, 100) };
+    let relation = relation_over(0..rows);
+    let config = AnalyzeConfig {
+        kind: EstimatorKind::EquiDepth,
+        ..Default::default()
+    };
+    let jobs = selest_par::TryConfig::jobs(1);
+
+    let mut full = Vec::with_capacity(full_reps);
+    let mut batch = Vec::with_capacity(full_reps);
+    for _ in 0..full_reps {
+        let mut cat = StatisticsCatalog::new();
+        let t0 = Instant::now();
+        let health = cat.try_analyze_incremental(&relation, &config, &jobs);
+        full.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(health.is_healthy(), "full re-ANALYZE must succeed");
+        let mut cat = StatisticsCatalog::new();
+        let t0 = Instant::now();
+        let health = cat.try_analyze_jobs(&relation, &config, 1);
+        batch.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(health.is_healthy(), "batch ANALYZE must succeed");
+    }
+
+    let mut cat = StatisticsCatalog::new();
+    assert!(cat
+        .try_analyze_incremental(&relation, &config, &jobs)
+        .is_healthy());
+    // Any pending update forces a refresh: the timed loop measures the
+    // absorb + re-snapshot + estimator rebuild cycle, never a no-op.
+    let eager = StalenessPolicy {
+        max_updates: 1,
+        min_updates: 1,
+        ..Default::default()
+    };
+    let mut incremental = Vec::with_capacity(incr_reps);
+    let mut next = rows;
+    for _ in 0..incr_reps {
+        let deltas = vec![ColumnDelta {
+            column: "v".into(),
+            inserts: (next..next + 64).map(golden).collect(),
+            deletes: Vec::new(),
+        }];
+        next += 64;
+        let t0 = Instant::now();
+        let report = cat.try_apply_updates("ingest", &deltas, &jobs);
+        let refresh = cat.try_refresh_stale(&eager, &jobs);
+        incremental.push(t0.elapsed().as_secs_f64() * 1e6);
+        assert!(report.failed.is_empty(), "update batch must apply");
+        assert_eq!(refresh.refreshed.len(), 1, "eager policy must refresh");
+    }
+
+    let full_analyze_us = median_us(full);
+    let incremental_refresh_us = median_us(incremental);
+    RefreshResult {
+        rows,
+        reps: incr_reps,
+        full_analyze_us,
+        batch_analyze_us: median_us(batch),
+        incremental_refresh_us,
+        speedup: full_analyze_us / incremental_refresh_us,
+    }
+}
+
+struct MergeResult {
+    shards: usize,
+    rows: u64,
+    rank_error_bound: u64,
+    two_eps_n: u64,
+    realized_max_rank_error: u64,
+    probes: usize,
+    within_bound: bool,
+}
+
+/// Section 2: shard the stream `MERGE_SHARDS` ways, analyze each shard
+/// incrementally under the same config, merge the partition catalogs,
+/// and hold every probed quantile of the merged sketch to its realized
+/// rank-error bound (<= the documented `2 * epsilon * n`).
+fn run_merge(smoke: bool) -> MergeResult {
+    let per_shard: u64 = if smoke { 2_500 } else { 25_000 };
+    let rows = per_shard * MERGE_SHARDS as u64;
+    let config = AnalyzeConfig {
+        kind: EstimatorKind::EquiDepth,
+        ..Default::default()
+    };
+    let jobs = selest_par::TryConfig::jobs(1);
+    let mut shards: Vec<StatisticsCatalog> = (0..MERGE_SHARDS as u64)
+        .map(|s| {
+            let relation = relation_over(s * per_shard..(s + 1) * per_shard);
+            let mut cat = StatisticsCatalog::new();
+            assert!(cat
+                .try_analyze_incremental(&relation, &config, &jobs)
+                .is_healthy());
+            cat
+        })
+        .collect();
+    let mut merged = shards.remove(0);
+    assert!(merged.try_merge_partitions(shards, &jobs).is_healthy());
+    let state = merged
+        .statistics("ingest", "v")
+        .expect("merged entry")
+        .incremental
+        .as_ref()
+        .expect("incremental state survives the merge")
+        .clone();
+    assert_eq!(state.sketch.len(), rows, "every shard row must be counted");
+    assert_eq!(
+        merged.statistics("ingest", "v").unwrap().n_rows as u64,
+        rows
+    );
+
+    // Exact ranks over the full stream, probed at 19 evenly spaced
+    // quantiles: a merged-summary answer within `bound` of the target
+    // rank is the GK contract surviving the merge.
+    let mut sorted: Vec<f64> = (0..rows).map(golden).collect();
+    sorted.sort_by(f64::total_cmp);
+    let bound = state.sketch.rank_error_bound();
+    let two_eps_n = (2.0 * SKETCH_EPSILON * rows as f64).ceil() as u64;
+    let mut realized_max = 0u64;
+    let probes = 19;
+    for p in 1..=probes {
+        let q = p as f64 / (probes + 1) as f64;
+        let (value, reported) = state.sketch.quantile_with_bound(q);
+        assert_eq!(reported, bound);
+        let target = (q * rows as f64).ceil().max(1.0) as u64;
+        let lt = sorted.partition_point(|&v| v < value) as u64;
+        let le = sorted.partition_point(|&v| v <= value) as u64;
+        // True rank of `value` is anywhere in [lt + 1, le]; error is the
+        // distance from the target to that interval.
+        let err = if target < lt + 1 {
+            lt + 1 - target
+        } else {
+            target.saturating_sub(le)
+        };
+        realized_max = realized_max.max(err);
+    }
+    MergeResult {
+        shards: MERGE_SHARDS,
+        rows,
+        rank_error_bound: bound,
+        two_eps_n,
+        realized_max_rank_error: realized_max,
+        probes,
+        within_bound: realized_max <= bound && bound <= two_eps_n,
+    }
+}
+
+struct SnapshotResult {
+    rows: u64,
+    arc_reused: bool,
+    prepared_bits_identical: bool,
+    served_bits_identical: bool,
+    bit_identical: bool,
+}
+
+/// Section 3: the zero-update contract, end to end. A clean
+/// [`IncrementalColumn`] snapshot must return the previous `Arc`
+/// untouched and match a from-scratch prepare bit for bit; a clean
+/// catalog republished through the serving engine must reproduce the
+/// catalog's own estimates bit for bit.
+fn run_snapshot(smoke: bool) -> SnapshotResult {
+    let rows: u64 = if smoke { 5_000 } else { 50_000 };
+    let values: Vec<f64> = (0..rows).map(golden).collect();
+    let mut col = IncrementalColumn::from_values(&values, domain(), 2_000, 0x5e1ec7)
+        .expect("finite stream prepares");
+    let a = col.snapshot();
+    let b = col.snapshot();
+    let arc_reused = std::sync::Arc::ptr_eq(&a, &b);
+    let fresh = PreparedColumn::prepare(&col.reservoir().sample(), domain());
+    let prepared_bits_identical = a.sorted().len() == fresh.sorted().len()
+        && a.sorted()
+            .iter()
+            .zip(fresh.sorted())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.values()
+            .iter()
+            .zip(fresh.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+
+    let relation = relation_over(0..rows);
+    let config = AnalyzeConfig {
+        kind: EstimatorKind::EquiDepth,
+        ..Default::default()
+    };
+    let jobs = selest_par::TryConfig::jobs(1);
+    let mut cat = StatisticsCatalog::new();
+    assert!(cat
+        .try_analyze_incremental(&relation, &config, &jobs)
+        .is_healthy());
+    // Zero updates absorbed: the staleness sweep must not touch anything.
+    assert_eq!(
+        cat.try_refresh_stale(&StalenessPolicy::default(), &jobs)
+            .refreshed
+            .len(),
+        0
+    );
+    let engine = ServingEngine::with_defaults();
+    engine.publish_snapshot(CatalogSnapshot::from_catalog_ref(&cat, 0));
+    let direct = cat.statistics("ingest", "v").expect("analyzed");
+    let served_bits_identical = probe_queries(64).iter().all(|q| {
+        engine
+            .try_estimate("ingest", "v", q)
+            .expect("served")
+            .to_bits()
+            == direct.estimator.selectivity(q).to_bits()
+    });
+    SnapshotResult {
+        rows,
+        arc_reused,
+        prepared_bits_identical,
+        served_bits_identical,
+        bit_identical: arc_reused && prepared_bits_identical && served_bits_identical,
+    }
+}
+
+struct IngestResult {
+    initial_rows: u64,
+    batches: usize,
+    updates: u64,
+    wall_s: f64,
+    republishes: u64,
+    final_generation: u64,
+    staleness_p50: f64,
+    staleness_p99: f64,
+    reader_threads: usize,
+    reader_batches: usize,
+    reader_p50_us: f64,
+    reader_p99_us: f64,
+    reader_queries_per_sec: f64,
+}
+
+/// Section 4: the closed loop. One writer pours batches and sweeps the
+/// staleness policy after each; readers serve estimate batches off the
+/// engine the whole time. Every reader answer is validated (finite, in
+/// `[0, 1]`) while refresh-and-republish cycles roll the generation.
+fn run_ingest(smoke: bool) -> IngestResult {
+    let initial_rows: u64 = if smoke { 5_000 } else { 50_000 };
+    let batches: usize = if smoke { 20 } else { 200 };
+    const INSERTS_PER_BATCH: u64 = 512;
+    const DELETES_PER_BATCH: u64 = 32;
+    let reader_threads = 2;
+    let relation = relation_over(0..initial_rows);
+    let config = AnalyzeConfig {
+        kind: EstimatorKind::EquiDepth,
+        ..Default::default()
+    };
+    let jobs = selest_par::TryConfig::jobs(1);
+    let policy = StalenessPolicy {
+        max_updates: 4 * (INSERTS_PER_BATCH + DELETES_PER_BATCH),
+        ..Default::default()
+    };
+    let mut cat = StatisticsCatalog::new();
+    assert!(cat
+        .try_analyze_incremental(&relation, &config, &jobs)
+        .is_healthy());
+    let engine = ServingEngine::with_defaults();
+    engine.publish_snapshot(CatalogSnapshot::from_catalog_ref(&cat, 0));
+    let queries = probe_queries(64);
+    let stop = AtomicBool::new(false);
+    let reader_samples: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let mut staleness_samples: Vec<f64> = Vec::with_capacity(batches);
+    let mut republishes = 0u64;
+    let mut wall_s = 0.0;
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let stop = &stop;
+        let reader_samples = &reader_samples;
+        let queries = &queries;
+        for t in 0..reader_threads {
+            s.spawn(move || {
+                let mut scratch = ServingScratch::new();
+                let mut out = Vec::new();
+                let mut samples = Vec::new();
+                while !stop.load(Ordering::Acquire) {
+                    let t0 = Instant::now();
+                    engine.estimate_batch_into("ingest", "v", queries, &mut scratch, &mut out);
+                    samples.push(t0.elapsed().as_secs_f64() * 1e6);
+                    for (i, r) in out.iter().enumerate() {
+                        let s = *r
+                            .as_ref()
+                            .unwrap_or_else(|e| panic!("reader {t} query {i}: {e}"));
+                        assert!(
+                            (0.0..=1.0).contains(&s),
+                            "reader {t} query {i}: selectivity {s} out of range"
+                        );
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                reader_samples
+                    .lock()
+                    .expect("no poisoned readers")
+                    .extend(samples);
+            });
+        }
+        // The writer: golden-ratio inserts continuing the stream, deletes
+        // replaying old values, one staleness sweep per batch.
+        let t0 = Instant::now();
+        let mut next = initial_rows;
+        for batch in 0..batches {
+            let deltas = vec![ColumnDelta {
+                column: "v".into(),
+                inserts: (next..next + INSERTS_PER_BATCH).map(golden).collect(),
+                deletes: (0..DELETES_PER_BATCH)
+                    .map(|i| golden((batch as u64 * DELETES_PER_BATCH + i) % initial_rows))
+                    .collect(),
+            }];
+            next += INSERTS_PER_BATCH;
+            let report = cat.try_apply_updates("ingest", &deltas, &jobs);
+            assert!(report.failed.is_empty(), "batch {batch} must apply");
+            let pending = cat
+                .staleness_signals()
+                .iter()
+                .map(|(_, _, s)| s.pending_updates)
+                .max()
+                .unwrap_or(0);
+            staleness_samples.push(pending as f64);
+            if engine
+                .republish_if_stale(&mut cat, &policy, &jobs)
+                .is_some()
+            {
+                republishes += 1;
+            }
+        }
+        wall_s = t0.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Release);
+    });
+    staleness_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite counts"));
+    let mut reader = reader_samples.into_inner().expect("scope joined");
+    reader.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let reader_batches = reader.len();
+    let reader_time_s: f64 = reader.iter().sum::<f64>() / 1e6;
+    IngestResult {
+        initial_rows,
+        batches,
+        updates: batches as u64 * (INSERTS_PER_BATCH + DELETES_PER_BATCH),
+        wall_s,
+        republishes,
+        final_generation: engine.health().generation,
+        staleness_p50: selest_math::quantile(&staleness_samples, 0.5),
+        staleness_p99: selest_math::quantile(&staleness_samples, 0.99),
+        reader_threads,
+        reader_batches,
+        reader_p50_us: selest_math::quantile(&reader, 0.5),
+        reader_p99_us: selest_math::quantile(&reader, 0.99),
+        reader_queries_per_sec: if reader_time_s > 0.0 {
+            (reader_batches * queries.len()) as f64 / reader_time_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run all four sections and write the JSON artifact. Returns the output
+/// path.
+pub fn run_ingest_bench(opts: &IngestBenchOptions) -> String {
+    eprintln!(
+        "ingest bench: mode={} epsilon={SKETCH_EPSILON}",
+        if opts.smoke { "smoke" } else { "full" }
+    );
+    let refresh = run_refresh(opts.smoke);
+    eprintln!(
+        "  refresh: full re-ANALYZE {:.0}us (batch {:.0}us) vs incremental {:.0}us at n={} (x{:.1})",
+        refresh.full_analyze_us,
+        refresh.batch_analyze_us,
+        refresh.incremental_refresh_us,
+        refresh.rows,
+        refresh.speedup
+    );
+    if !opts.smoke {
+        assert!(
+            refresh.speedup >= REFRESH_SPEEDUP_GATE,
+            "incremental refresh only x{:.1} faster than full re-ANALYZE \
+             (gate: >= {REFRESH_SPEEDUP_GATE}x)",
+            refresh.speedup
+        );
+    }
+    let merge = run_merge(opts.smoke);
+    eprintln!(
+        "  merge: {} shards x {} rows, realized rank error {} <= bound {} <= 2en {}",
+        merge.shards,
+        merge.rows / merge.shards as u64,
+        merge.realized_max_rank_error,
+        merge.rank_error_bound,
+        merge.two_eps_n
+    );
+    assert!(
+        merge.within_bound,
+        "merged sketch broke its rank bound: realized {} bound {} 2en {}",
+        merge.realized_max_rank_error, merge.rank_error_bound, merge.two_eps_n
+    );
+    let snapshot = run_snapshot(opts.smoke);
+    eprintln!(
+        "  snapshot: arc_reused={} prepared_bits={} served_bits={}",
+        snapshot.arc_reused, snapshot.prepared_bits_identical, snapshot.served_bits_identical
+    );
+    assert!(
+        snapshot.bit_identical,
+        "zero-update snapshots must be bit-identical end to end"
+    );
+    let ingest = run_ingest(opts.smoke);
+    eprintln!(
+        "  ingest: {} updates in {:.2}s ({:.0} updates/s), {} republishes, generation {}",
+        ingest.updates,
+        ingest.wall_s,
+        ingest.updates as f64 / ingest.wall_s,
+        ingest.republishes,
+        ingest.final_generation
+    );
+    eprintln!(
+        "  readers: {} batches, p50 {:.0}us p99 {:.0}us, {:.0} queries/s, \
+         staleness p50 {:.0} p99 {:.0} pending",
+        ingest.reader_batches,
+        ingest.reader_p50_us,
+        ingest.reader_p99_us,
+        ingest.reader_queries_per_sec,
+        ingest.staleness_p50,
+        ingest.staleness_p99
+    );
+    if !opts.smoke {
+        assert!(
+            ingest.republishes >= 1,
+            "the staleness policy never forced a republish"
+        );
+        assert!(ingest.reader_batches > 0, "readers served nothing");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"schema\": \"selest-ingest-bench/1\",\n  \"generator\": \"crates/bench/src/ingest.rs (selest ingest --bench)\",\n  \"mode\": \"{}\",\n  \"sketch_epsilon\": {SKETCH_EPSILON},\n  \"sample_size\": 2000,",
+        if opts.smoke { "smoke" } else { "full" },
+    );
+    let _ = writeln!(
+        json,
+        "  \"refresh\": {{\"rows\": {}, \"reps\": {}, \"full_analyze_us\": {:.1}, \"batch_analyze_us\": {:.1}, \"incremental_refresh_us\": {:.1}, \"speedup\": {:.2}}},",
+        refresh.rows, refresh.reps, refresh.full_analyze_us, refresh.batch_analyze_us,
+        refresh.incremental_refresh_us, refresh.speedup,
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge\": {{\"shards\": {}, \"rows\": {}, \"probes\": {}, \"rank_error_bound\": {}, \"two_eps_n\": {}, \"realized_max_rank_error\": {}, \"within_bound\": {}}},",
+        merge.shards, merge.rows, merge.probes, merge.rank_error_bound, merge.two_eps_n, merge.realized_max_rank_error, merge.within_bound,
+    );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"rows\": {}, \"arc_reused\": {}, \"prepared_bits_identical\": {}, \"served_bits_identical\": {}, \"bit_identical\": {}}},",
+        snapshot.rows, snapshot.arc_reused, snapshot.prepared_bits_identical, snapshot.served_bits_identical, snapshot.bit_identical,
+    );
+    let _ = writeln!(
+        json,
+        "  \"ingest\": {{\"initial_rows\": {}, \"batches\": {}, \"updates\": {}, \"wall_s\": {:.3}, \"updates_per_sec\": {:.1}, \"republishes\": {}, \"final_generation\": {}, \"staleness_p50_pending\": {:.1}, \"staleness_p99_pending\": {:.1}, \"reader_threads\": {}, \"reader_batches\": {}, \"reader_p50_us\": {:.1}, \"reader_p99_us\": {:.1}, \"reader_queries_per_sec\": {:.1}}}",
+        ingest.initial_rows, ingest.batches, ingest.updates, ingest.wall_s,
+        ingest.updates as f64 / ingest.wall_s, ingest.republishes, ingest.final_generation,
+        ingest.staleness_p50, ingest.staleness_p99, ingest.reader_threads, ingest.reader_batches,
+        ingest.reader_p50_us, ingest.reader_p99_us, ingest.reader_queries_per_sec,
+    );
+    json.push_str("}\n");
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+        eprintln!("write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", opts.out);
+    opts.out.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_refresh_cycle() {
+        let rows: u64 = 100_000;
+        let relation = relation_over(0..rows);
+        let config = AnalyzeConfig {
+            kind: EstimatorKind::EquiDepth,
+            ..Default::default()
+        };
+        let jobs = selest_par::TryConfig::jobs(1);
+        let mut cat = StatisticsCatalog::new();
+        cat.try_analyze_incremental(&relation, &config, &jobs);
+        let eager = StalenessPolicy {
+            max_updates: 1,
+            min_updates: 1,
+            ..Default::default()
+        };
+        let mut next = rows;
+        for _ in 0..5 {
+            let deltas = vec![ColumnDelta {
+                column: "v".into(),
+                inserts: (next..next + 64).map(golden).collect(),
+                deletes: Vec::new(),
+            }];
+            next += 64;
+            let t0 = Instant::now();
+            cat.try_apply_updates("ingest", &deltas, &jobs);
+            let t1 = Instant::now();
+            cat.try_refresh_stale(&eager, &jobs);
+            let t2 = Instant::now();
+            eprintln!(
+                "apply {:.0}us refresh {:.0}us",
+                (t1 - t0).as_secs_f64() * 1e6,
+                (t2 - t1).as_secs_f64() * 1e6
+            );
+        }
+        // raw substrate costs
+        let st = cat.statistics("ingest", "v").unwrap();
+        let mut state = st.incremental.as_ref().unwrap().clone();
+        for _ in 0..3 {
+            state.column.insert(5.0).unwrap();
+            let t0 = Instant::now();
+            let snap = state.column.snapshot();
+            let t1 = Instant::now();
+            eprintln!(
+                "snapshot {:.0}us (len {})",
+                (t1 - t0).as_secs_f64() * 1e6,
+                snap.len()
+            );
+        }
+        let sample = state.column.reservoir().sample();
+        let t0 = Instant::now();
+        let mut s2 = sample.clone();
+        s2.sort_by(f64::total_cmp);
+        eprintln!("raw sort {:.0}us", t0.elapsed().as_secs_f64() * 1e6);
+    }
+}

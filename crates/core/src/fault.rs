@@ -41,6 +41,14 @@ pub enum EstimateError {
         /// The rejected estimate.
         value: f64,
     },
+    /// An incremental update (insert or delete) carried a non-finite
+    /// value. Incremental statistics absorb updates without a sanitize
+    /// pass, so a NaN reaching a sketch surfaces here — typed, never as a
+    /// panic inside the sketch — and the whole update batch is rejected.
+    NonFiniteUpdate {
+        /// The rejected update value.
+        value: f64,
+    },
     /// Construction or estimation panicked inside a legacy estimator and
     /// was caught at the resilience boundary.
     Panicked {
@@ -162,6 +170,9 @@ impl core::fmt::Display for EstimateError {
             }
             EstimateError::NonFiniteEstimate { value } => {
                 write!(f, "estimator returned non-finite selectivity {value}")
+            }
+            EstimateError::NonFiniteUpdate { value } => {
+                write!(f, "incremental update carried non-finite value {value}")
             }
             EstimateError::Panicked { stage, message } => {
                 write!(f, "estimator panicked during {stage}: {message}")

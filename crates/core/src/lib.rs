@@ -26,6 +26,7 @@ pub mod errors;
 pub mod exact;
 pub mod fault;
 pub mod feedback;
+pub mod incremental;
 pub mod prepared;
 pub mod query;
 pub mod sampling;
@@ -40,6 +41,9 @@ pub use errors::{absolute_error, integrated_squared_error, relative_error, Error
 pub use exact::ExactSelectivity;
 pub use fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
 pub use feedback::{CorrectionGrid, FeedbackEstimator};
+pub use incremental::{
+    IncrementalColumn, IncrementalParts, ReservoirParts, ReservoirSketch, UpdateAudit,
+};
 pub use prepared::{ColumnSummary, PreparedColumn};
 pub use query::RangeQuery;
 pub use sampling::SamplingEstimator;

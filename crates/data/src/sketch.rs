@@ -1,12 +1,37 @@
-//! Greenwald–Khanna ε-approximate quantile sketch.
+//! Greenwald–Khanna ε-approximate quantile sketch — the mergeable half of
+//! the incremental statistics substrate (DESIGN.md §15).
 //!
 //! Reservoir sampling (the paper's setting) retains whole records; a GK
 //! sketch summarizes a stream in `O((1/ε) log(εn))` entries while
 //! guaranteeing every quantile query a rank error of at most `εn` — the
 //! structure a production `ANALYZE` uses to build equi-depth histograms in
-//! one pass without remembering any sample. Provided as a substrate
-//! extension; `GkSketch::equi_depth_boundaries` feeds directly into
-//! `selest_histogram::BinnedHistogram`.
+//! one pass without remembering any sample. Since PR 9 the sketch is a
+//! production structure rather than a figure-only extension:
+//!
+//! * [`GkSketch::merge`] combines two summaries with the standard
+//!   delta-inflation rule, so partitions sketch independently and combine
+//!   — the merged summary answers rank queries within
+//!   `εa·na + εb·nb ≤ ε·(na+nb)` for `ε = max(εa, εb)` (callers assert
+//!   the conservative `2ε` bound).
+//! * Deletes are **tombstone-compensated**: [`GkSketch::note_delete`]
+//!   counts them without touching the summary (GK entries cannot be
+//!   unwound), [`GkSketch::live_n`] reports the live cardinality, and the
+//!   store's staleness policy caps [`GkSketch::tombstone_fraction`]
+//!   before the insert-only quantiles drift too far from the live data.
+//! * [`GkSketch::rank_error_bound`] exposes the *realized* bound
+//!   `ceil(max(g+δ)/2)` so callers can assert the `≤ εn` guarantee
+//!   instead of trusting the clamp; the `_with_bound` query variants
+//!   return it alongside their answers.
+//! * [`GkSketch::to_parts`] / [`GkSketch::from_parts`] serialize the
+//!   summary for the durable journal, with restore-side validation that
+//!   rejects state no live sketch could have reached.
+//!
+//! `GkSketch::equi_depth_boundaries` feeds directly into
+//! `selest_histogram::equi_depth_from_boundaries` — the one shared
+//! sketch→`BinnedHistogram` path used by both the catalog's incremental
+//! ANALYZE and the `ext05` streaming figure.
+
+use selest_core::EstimateError;
 
 /// One summary tuple: the value, the minimum-rank gap `g` to the previous
 /// tuple, and the rank uncertainty `delta`.
@@ -17,25 +42,44 @@ struct Entry {
     delta: u64,
 }
 
+/// Serializable state of a [`GkSketch`] (see [`GkSketch::to_parts`]); the
+/// durable store journals this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GkParts {
+    /// Rank-error parameter.
+    pub epsilon: f64,
+    /// Stream values consumed.
+    pub n: u64,
+    /// Tombstoned deletes.
+    pub tombstones: u64,
+    /// Summary tuples `(v, g, delta)` in ascending `v` order.
+    pub entries: Vec<(f64, u64, u64)>,
+}
+
 /// Greenwald–Khanna streaming quantile summary with error parameter `ε`.
 /// # Examples
 ///
 /// ```
 /// use selest_data::GkSketch;
 ///
-/// let mut sketch = GkSketch::new(0.01);
+/// let mut left = GkSketch::new(0.01);
+/// let mut right = GkSketch::new(0.01);
 /// for i in 0..10_000 {
-///     sketch.insert(((i * 37) % 1_000) as f64); // any order works
+///     let v = ((i * 37) % 1_000) as f64;
+///     if i % 2 == 0 { left.insert(v) } else { right.insert(v) }
 /// }
-/// let median = sketch.quantile(0.5);
+/// left.merge(&right); // partitions sketch independently and combine
+/// let (median, bound) = left.quantile_with_bound(0.5);
 /// assert!((median - 500.0).abs() < 30.0);
-/// assert!(sketch.entries() < 500); // bounded memory
+/// assert!(bound <= (2.0 * 0.01 * 10_000.0) as u64); // realized ≤ 2εn
+/// assert!(left.entries() < 500); // bounded memory
 /// ```
 #[derive(Debug, Clone)]
 pub struct GkSketch {
     epsilon: f64,
     entries: Vec<Entry>,
     n: u64,
+    tombstones: u64,
     since_compress: u64,
 }
 
@@ -52,11 +96,18 @@ impl GkSketch {
             epsilon,
             entries: Vec::new(),
             n: 0,
+            tombstones: 0,
             since_compress: 0,
         }
     }
 
-    /// Number of stream values consumed.
+    /// The rank-error parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of stream values consumed (inserts only; deletes are
+    /// tombstoned, see [`GkSketch::live_n`]).
     pub fn len(&self) -> u64 {
         self.n
     }
@@ -69,6 +120,31 @@ impl GkSketch {
     /// Current number of summary tuples (the sketch's memory footprint).
     pub fn entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Tombstoned deletes.
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones
+    }
+
+    /// Live cardinality: inserts minus tombstoned deletes.
+    pub fn live_n(&self) -> u64 {
+        self.n - self.tombstones.min(self.n)
+    }
+
+    /// Tombstone debt as a fraction of the insert stream. Quantiles keep
+    /// describing the insert-only stream; the staleness policy forces a
+    /// rebuild before this bias can grow unbounded.
+    pub fn tombstone_fraction(&self) -> f64 {
+        self.tombstones as f64 / self.n.max(1) as f64
+    }
+
+    /// Record a delete. GK summary tuples cannot be unwound, so the
+    /// delete is *compensated*, not applied: the tombstone count feeds
+    /// [`GkSketch::live_n`] and the staleness policy, while quantiles
+    /// continue to describe the insert stream.
+    pub fn note_delete(&mut self) {
+        self.tombstones += 1;
     }
 
     /// Consume one stream value.
@@ -88,6 +164,18 @@ impl GkSketch {
             self.compress();
             self.since_compress = 0;
         }
+    }
+
+    /// [`GkSketch::insert`] with a typed error instead of a panic: the
+    /// incremental update path absorbs values without a sanitize pass, so
+    /// a NaN reaching the sketch surfaces as
+    /// [`EstimateError::NonFiniteUpdate`] upstream.
+    pub fn try_insert(&mut self, v: f64) -> Result<(), EstimateError> {
+        if !v.is_finite() {
+            return Err(EstimateError::NonFiniteUpdate { value: v });
+        }
+        self.insert(v);
+        Ok(())
     }
 
     /// Merge tuples whose combined uncertainty stays within the bound.
@@ -121,32 +209,120 @@ impl GkSketch {
         self.entries = out;
     }
 
+    /// Absorb another summary (the other sketch is unchanged). The merged
+    /// summary covers both streams: entry lists merge-sort by value, and
+    /// each entry's uncertainty inflates by the rank slack of the other
+    /// summary around it (`g' + δ' − 1` of the other side's successor) —
+    /// so `max(g+δ) ≤ 2εa·na + 2εb·nb`, and rank queries on the result
+    /// stay within `ε·n` of the truth for `ε = max(εa, εb)`,
+    /// `n = na + nb`. Repeated/unbalanced merges are associative in the
+    /// bound (each stream's slack is counted once), so partition trees of
+    /// any shape stay within the same guarantee; callers assert the
+    /// conservative `2ε` rank bound. Tombstones add.
+    pub fn merge(&mut self, other: &GkSketch) {
+        self.epsilon = self.epsilon.max(other.epsilon);
+        self.tombstones += other.tombstones;
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.entries = other.entries.clone();
+            self.n = other.n;
+            self.since_compress = 0;
+            return;
+        }
+        let a = &self.entries;
+        let b = &other.entries;
+        let mut merged: Vec<Entry> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            // Ties take self's entry first; either order satisfies the
+            // bound, this one makes merge deterministic.
+            let take_a = j >= b.len() || (i < a.len() && a[i].v <= b[j].v);
+            let mut e = if take_a {
+                let mut e = a[i];
+                i += 1;
+                // The other summary's not-yet-consumed successor brackets
+                // this value: its rank there is uncertain by g' + δ' − 1.
+                if j < b.len() {
+                    e.delta += (b[j].g + b[j].delta).saturating_sub(1);
+                }
+                e
+            } else {
+                let mut e = b[j];
+                j += 1;
+                if i < a.len() {
+                    e.delta += (a[i].g + a[i].delta).saturating_sub(1);
+                }
+                e
+            };
+            // The global extremes are exact in the merged stream.
+            if merged.is_empty() || (i >= a.len() && j >= b.len()) {
+                e.delta = 0;
+            }
+            merged.push(e);
+        }
+        self.entries = merged;
+        self.n += other.n;
+        self.since_compress = 0;
+        self.compress();
+    }
+
+    /// The *realized* rank-error bound of this summary: every rank query
+    /// is answered within `ceil(max(g+δ)/2)` ranks. The GK invariant
+    /// keeps this at `≤ εn` for a single-stream sketch and `≤ 2εn` after
+    /// merges — callers assert against it instead of trusting the clamp.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.g + e.delta)
+            .max()
+            .unwrap_or(0)
+            .div_ceil(2)
+    }
+
     /// The ε-approximate `q`-quantile (`q` in `[0, 1]`). Panics on an empty
     /// sketch.
     pub fn quantile(&self, q: f64) -> f64 {
+        self.quantile_with_bound(q).0
+    }
+
+    /// [`GkSketch::quantile`] plus the realized rank-error bound the
+    /// answer carries: the returned value's true rank is within `bound`
+    /// of `ceil(q·n)`.
+    pub fn quantile_with_bound(&self, q: f64) -> (f64, u64) {
         assert!(
             (0.0..=1.0).contains(&q),
             "quantile fraction out of [0,1]: {q}"
         );
         assert!(self.n > 0, "quantile of an empty sketch");
+        let bound = self.rank_error_bound();
         let target = (q * self.n as f64).ceil() as u64;
-        let bound = (self.epsilon * self.n as f64) as u64;
+        let slack = (self.epsilon * self.n as f64) as u64;
         let mut r_min = 0u64;
         for (i, e) in self.entries.iter().enumerate() {
             r_min += e.g;
-            // First entry whose max rank exceeds target + bound: the
+            // First entry whose max rank exceeds target + slack: the
             // previous entry is a valid answer.
-            if r_min + e.delta > target + bound {
-                return self.entries[i.saturating_sub(1)].v;
+            if r_min + e.delta > target + slack {
+                return (self.entries[i.saturating_sub(1)].v, bound);
             }
         }
-        self.entries.last().expect("nonempty").v
+        (self.entries.last().expect("nonempty").v, bound)
     }
 
     /// Equi-depth boundaries for `k` bins over `[lo, hi]`: the interior
     /// `j/k` quantiles framed by the given domain bounds — drop-in input
-    /// for an equi-depth `BinnedHistogram`.
+    /// for `selest_histogram::equi_depth_from_boundaries`.
     pub fn equi_depth_boundaries(&self, k: usize, lo: f64, hi: f64) -> Vec<f64> {
+        self.equi_depth_boundaries_with_bound(k, lo, hi).0
+    }
+
+    /// [`GkSketch::equi_depth_boundaries`] plus the realized rank-error
+    /// bound: every interior boundary sits within `bound` ranks of its
+    /// exact `j/k` depth slice edge, so callers can assert the `≤ εn`
+    /// guarantee rather than trusting the silent clamp.
+    pub fn equi_depth_boundaries_with_bound(&self, k: usize, lo: f64, hi: f64) -> (Vec<f64>, u64) {
         assert!(k >= 1, "need at least one bin");
         assert!(lo <= hi, "lo must not exceed hi");
         let mut b = Vec::with_capacity(k + 1);
@@ -162,7 +338,84 @@ impl GkSketch {
                 b[i] = b[i - 1];
             }
         }
-        b
+        (b, self.rank_error_bound())
+    }
+
+    /// Serialize into plain parts (for the durable journal).
+    pub fn to_parts(&self) -> GkParts {
+        GkParts {
+            epsilon: self.epsilon,
+            n: self.n,
+            tombstones: self.tombstones,
+            entries: self.entries.iter().map(|e| (e.v, e.g, e.delta)).collect(),
+        }
+    }
+
+    /// Rebuild from serialized parts, validating every GK invariant a
+    /// live sketch maintains: ε in range, values finite and ascending
+    /// (`total_cmp` — a NaN surfaces as a typed error, never a panic),
+    /// gaps positive and summing to `n`, the first entry exact, and every
+    /// `g + δ` within the (post-merge) uncertainty cap.
+    pub fn from_parts(parts: GkParts) -> Result<Self, EstimateError> {
+        let corrupt = |message: String| EstimateError::CorruptEntry {
+            path: None,
+            line: 1,
+            offset: 0,
+            message,
+        };
+        if !(parts.epsilon > 0.0 && parts.epsilon < 0.5) {
+            return Err(corrupt(format!(
+                "sketch epsilon out of (0, 0.5): {}",
+                parts.epsilon
+            )));
+        }
+        if (parts.n == 0) != parts.entries.is_empty() {
+            return Err(corrupt(format!(
+                "sketch holds {} entries for n={}",
+                parts.entries.len(),
+                parts.n
+            )));
+        }
+        let mut entries = Vec::with_capacity(parts.entries.len());
+        let mut total_g = 0u64;
+        // Merged summaries carry up to 2εa·na + 2εb·nb ≤ 2εn uncertainty;
+        // +2 absorbs the floor/ceil slack at tiny n.
+        let cap = (2.0 * parts.epsilon * parts.n as f64).floor() as u64 + 2;
+        for (i, &(v, g, delta)) in parts.entries.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(EstimateError::NonFiniteUpdate { value: v });
+            }
+            if i > 0 && parts.entries[i - 1].0.total_cmp(&v) == std::cmp::Ordering::Greater {
+                return Err(corrupt(format!("sketch entries out of order at {i}")));
+            }
+            if g == 0 {
+                return Err(corrupt(format!("sketch entry {i} has zero gap")));
+            }
+            if i == 0 && delta != 0 {
+                return Err(corrupt("sketch first entry is not exact".to_owned()));
+            }
+            if g + delta > cap.max(g) {
+                return Err(corrupt(format!(
+                    "sketch entry {i} uncertainty {} exceeds cap {cap}",
+                    g + delta
+                )));
+            }
+            total_g += g;
+            entries.push(Entry { v, g, delta });
+        }
+        if total_g != parts.n {
+            return Err(corrupt(format!(
+                "sketch gaps sum to {total_g}, n is {}",
+                parts.n
+            )));
+        }
+        Ok(GkSketch {
+            epsilon: parts.epsilon,
+            entries,
+            n: parts.n,
+            tombstones: parts.tombstones,
+            since_compress: 0,
+        })
     }
 }
 
@@ -189,17 +442,31 @@ mod tests {
         for &v in stream {
             sk.insert(v);
         }
+        check_sketch_rank_errors(&sk, stream, epsilon);
+    }
+
+    fn check_sketch_rank_errors(sk: &GkSketch, stream: &[f64], epsilon: f64) {
         let mut sorted = stream.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = stream.len() as f64;
+        assert!(
+            sk.rank_error_bound() as f64 <= 2.0 * epsilon * n + 1.0,
+            "realized bound {} exceeds 2εn = {}",
+            sk.rank_error_bound(),
+            2.0 * epsilon * n
+        );
         for i in 1..20 {
             let q = i as f64 / 20.0;
-            let v = sk.quantile(q);
+            let (v, bound) = sk.quantile_with_bound(q);
             let err = rank_distance(&sorted, v, q * n);
             assert!(
                 err <= 2.0 * epsilon * n + 1.0,
                 "q={q}: value {v} misses the target rank {} by {err}",
                 q * n
+            );
+            assert!(
+                err <= bound as f64 + epsilon * n + 1.0,
+                "q={q}: error {err} exceeds advertised bound {bound} + εn"
             );
         }
     }
@@ -248,16 +515,132 @@ mod tests {
     }
 
     #[test]
+    fn merged_partitions_stay_within_twice_epsilon() {
+        let stream: Vec<f64> = (0..30_000).map(|i| ((i * 7_919) % 30_000) as f64).collect();
+        for parts in [2usize, 4, 7] {
+            let chunk = stream.len().div_ceil(parts);
+            let mut merged: Option<GkSketch> = None;
+            for piece in stream.chunks(chunk) {
+                let mut sk = GkSketch::new(0.005);
+                for &v in piece {
+                    sk.insert(v);
+                }
+                match merged.as_mut() {
+                    Some(m) => m.merge(&sk),
+                    None => merged = Some(sk),
+                }
+            }
+            let merged = merged.unwrap();
+            assert_eq!(merged.len(), stream.len() as u64);
+            check_sketch_rank_errors(&merged, &stream, 0.005);
+            // Merged memory stays summary-sized.
+            assert!(merged.entries() < 4_000, "{} entries", merged.entries());
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = GkSketch::new(0.01);
+        let mut b = GkSketch::new(0.02);
+        for i in 0..1_000 {
+            b.insert(i as f64);
+        }
+        a.merge(&b); // empty ← full adopts the stream
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(a.epsilon(), 0.02);
+        let before = a.len();
+        a.merge(&GkSketch::new(0.01)); // full ← empty is a no-op
+        assert_eq!(a.len(), before);
+        assert!((a.quantile(0.5) - 500.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn tombstones_compensate_deletes() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..1_000 {
+            sk.insert(i as f64);
+        }
+        for _ in 0..250 {
+            sk.note_delete();
+        }
+        assert_eq!(sk.len(), 1_000);
+        assert_eq!(sk.live_n(), 750);
+        assert_eq!(sk.tombstones(), 250);
+        assert!((sk.tombstone_fraction() - 0.25).abs() < 1e-12);
+        // Tombstones survive merges additively.
+        let mut other = GkSketch::new(0.01);
+        other.insert(1.0);
+        other.note_delete();
+        sk.merge(&other);
+        assert_eq!(sk.tombstones(), 251);
+        assert_eq!(sk.live_n(), 1_001 - 251);
+    }
+
+    #[test]
+    fn try_insert_rejects_non_finite_with_typed_error() {
+        let mut sk = GkSketch::new(0.01);
+        assert!(matches!(
+            sk.try_insert(f64::NAN),
+            Err(EstimateError::NonFiniteUpdate { value }) if value.is_nan()
+        ));
+        assert!(matches!(
+            sk.try_insert(f64::NEG_INFINITY),
+            Err(EstimateError::NonFiniteUpdate { .. })
+        ));
+        assert!(sk.is_empty(), "rejected values must not count");
+        sk.try_insert(3.5).unwrap();
+        assert_eq!(sk.len(), 1);
+    }
+
+    #[test]
+    fn parts_round_trip_and_reject_corruption() {
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..5_000 {
+            sk.insert(((i * 37) % 500) as f64);
+        }
+        sk.note_delete();
+        let parts = sk.to_parts();
+        let back = GkSketch::from_parts(parts.clone()).expect("valid parts");
+        assert_eq!(back.to_parts(), parts);
+        assert_eq!(back.quantile(0.5), sk.quantile(0.5));
+        assert_eq!(back.tombstones(), 1);
+
+        // Reordered entries are rejected.
+        let mut bad = parts.clone();
+        bad.entries.swap(0, 1);
+        assert!(GkSketch::from_parts(bad).is_err());
+        // A gap-sum mismatch is rejected.
+        let mut bad = parts.clone();
+        bad.n += 7;
+        assert!(GkSketch::from_parts(bad).is_err());
+        // A NaN value surfaces as the typed non-finite error, not a panic.
+        let mut bad = parts.clone();
+        bad.entries[2].0 = f64::NAN;
+        assert!(matches!(
+            GkSketch::from_parts(bad),
+            Err(EstimateError::NonFiniteUpdate { .. })
+        ));
+        // Epsilon out of range is rejected.
+        let mut bad = parts;
+        bad.epsilon = 0.7;
+        assert!(GkSketch::from_parts(bad).is_err());
+    }
+
+    #[test]
     fn equi_depth_boundaries_are_monotone_and_framed() {
         let mut sk = GkSketch::new(0.01);
         for i in 0..10_000 {
             sk.insert(((i * 37) % 1_000) as f64);
         }
-        let b = sk.equi_depth_boundaries(16, 0.0, 1_000.0);
+        let (b, bound) = sk.equi_depth_boundaries_with_bound(16, 0.0, 1_000.0);
         assert_eq!(b.len(), 17);
         assert_eq!(b[0], 0.0);
         assert_eq!(b[16], 1_000.0);
         assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            bound <= (2.0 * 0.01 * 10_000.0) as u64 + 1,
+            "realized bound {bound}"
+        );
         // Interior boundaries near the true 1/16-quantiles of Uniform[0,1000).
         for (j, &v) in b.iter().enumerate().skip(1).take(15) {
             let truth = 1_000.0 * j as f64 / 16.0;
@@ -275,23 +658,12 @@ mod tests {
         for &v in &stream {
             sk.insert(v);
         }
-        let k = 20;
-        let boundaries = sk.equi_depth_boundaries(k, 0.0, 1_000.0);
-        // Rank-difference depth counts, as in selest-histogram's equi-depth.
-        let n = stream.len();
-        let counts: Vec<u32> = (1..=k)
-            .map(|j| {
-                let hi = (j * n).div_ceil(k);
-                let lo = ((j - 1) * n).div_ceil(k);
-                (hi - lo) as u32
-            })
-            .collect();
-        let hist = selest_histogram::BinnedHistogram::new(
-            boundaries,
-            counts,
-            Domain::new(0.0, 1_000.0),
-            "EDH-GK",
-        );
+        let domain = Domain::new(0.0, 1_000.0);
+        let boundaries = sk.equi_depth_boundaries(20, domain.lo(), domain.hi());
+        // The one shared sketch→histogram path (satellite of PR 9): depth
+        // counts come from the same rank-difference rule the sample-sorted
+        // equi-depth uses.
+        let hist = selest_histogram::equi_depth_from_boundaries(boundaries, sk.len(), domain);
         let s = hist.selectivity(&RangeQuery::new(0.0, 99.5));
         assert!((s - 0.8).abs() < 0.05, "dense-region mass {s}");
     }

@@ -1,0 +1,182 @@
+//! Property battery for the incremental statistics substrate
+//! (DESIGN.md §15): GK summary merges stay within the documented
+//! `2·ε·n` rank bound in any merge order or grouping, hashed-priority
+//! reservoirs retain exactly the sequential sample under any fixed
+//! partitioning, and zero-update snapshots are bit-identical to a
+//! from-scratch prepare.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use selest_core::incremental::IncrementalColumn;
+use selest_core::{Domain, PreparedColumn};
+use selest_data::{GkSketch, ReservoirSketch};
+
+const EPS: f64 = 0.05;
+const PROBES: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+fn values(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..=1_024_000).prop_map(|v| v as f64 / 1_000.0),
+            Just(512.0), // heavy duplicate
+        ],
+        1..max_len,
+    )
+}
+
+fn sketch_over(vs: &[f64]) -> GkSketch {
+    let mut s = GkSketch::new(EPS);
+    for &v in vs {
+        s.insert(v);
+    }
+    s
+}
+
+/// Max distance from `target` rank to the true rank interval of `value`
+/// in the sorted union (duplicates make the true rank an interval).
+fn rank_error(sorted: &[f64], value: f64, target: u64) -> u64 {
+    let lt = sorted.partition_point(|&v| v < value) as u64;
+    let le = sorted.partition_point(|&v| v <= value) as u64;
+    if target < lt + 1 {
+        lt + 1 - target
+    } else {
+        target.saturating_sub(le)
+    }
+}
+
+/// Every probed quantile of `s` must sit within the conservative merged
+/// bound `ceil(2·ε·n)` of its target rank, and the summary's own
+/// realized bound must respect the same cap.
+fn assert_within_two_epsilon(s: &GkSketch, sorted: &[f64], label: &str) {
+    let n = s.len();
+    assert_eq!(n as usize, sorted.len(), "{label}: lost values");
+    let cap = (2.0 * EPS * n as f64).ceil().max(1.0) as u64;
+    assert!(
+        s.rank_error_bound() <= cap,
+        "{label}: realized bound {} > 2en {cap}",
+        s.rank_error_bound(),
+    );
+    for &q in &PROBES {
+        let (v, _) = s.quantile_with_bound(q);
+        let target = (q * n as f64).ceil().max(1.0) as u64;
+        let err = rank_error(sorted, v, target);
+        assert!(
+            err <= cap,
+            "{label}: quantile {q} off by {err} ranks (cap {cap})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GK merge is commutative and associative within the `2·ε·n` rank
+    /// bound: every merge order and grouping of three independent
+    /// summaries answers rank queries within the same conservative cap
+    /// the sequential single-stream sketch satisfies.
+    #[test]
+    fn gk_merge_orders_all_satisfy_the_two_epsilon_bound(
+        a in values(300),
+        b in values(300),
+        c in values(300),
+    ) {
+        let mut sorted: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let (sa, sb, sc) = (sketch_over(&a), sketch_over(&b), sketch_over(&c));
+
+        let mut all: Vec<f64> = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        assert_within_two_epsilon(&sketch_over(&all), &sorted, "sequential");
+
+        // ((A + B) + C) — left-deep.
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+        assert_within_two_epsilon(&ab_c, &sorted, "(A+B)+C");
+        // ((C + B) + A) — commuted.
+        let mut cb_a = sc.clone();
+        cb_a.merge(&sb);
+        cb_a.merge(&sa);
+        assert_within_two_epsilon(&cb_a, &sorted, "(C+B)+A");
+        // (A + (B + C)) — right-deep grouping.
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        assert_within_two_epsilon(&a_bc, &sorted, "A+(B+C)");
+    }
+
+    /// The hashed-priority reservoir is a pure function of the offered
+    /// rows: chunking the stream at any fixed boundaries (1, 2, or 7
+    /// parts) and merging in any order retains exactly the sequential
+    /// sample.
+    #[test]
+    fn reservoir_partitioning_retains_the_sequential_sample(
+        vs in values(500),
+        capacity in 1usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut whole = ReservoirSketch::new(capacity, seed);
+        for &v in &vs {
+            whole.observe(v);
+        }
+        for parts in [1usize, 2, 7] {
+            let chunk = vs.len().div_ceil(parts);
+            let mut pieces: Vec<ReservoirSketch> = vs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(p, piece)| {
+                    let mut r = ReservoirSketch::with_offset(capacity, seed, (p * chunk) as u64);
+                    for &v in piece {
+                        r.observe(v);
+                    }
+                    r
+                })
+                .collect();
+            // Merge back-to-front: order must not matter.
+            let mut merged = pieces.pop().expect("at least one chunk");
+            for piece in pieces.iter().rev() {
+                merged.merge(piece);
+            }
+            prop_assert_eq!(&whole, &merged, "parts={}", parts);
+            prop_assert_eq!(whole.sample(), merged.sample(), "parts={}", parts);
+        }
+    }
+
+    /// With zero updates absorbed, `snapshot()` returns the previous
+    /// `Arc` untouched, and its contents are bit-identical to a
+    /// from-scratch prepare of the maintained sample — before and after
+    /// an intervening update/rebuild cycle.
+    #[test]
+    fn zero_update_snapshots_are_bit_identical(
+        vs in values(400),
+        capacity in 1usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let domain = Domain::new(0.0, 1_025.0);
+        let mut col = IncrementalColumn::from_values(&vs, domain, capacity, seed)
+            .expect("finite nonempty stream");
+        for round in 0..2 {
+            let a = col.snapshot();
+            let b = col.snapshot();
+            prop_assert!(Arc::ptr_eq(&a, &b), "round {}: clean snapshot rebuilt", round);
+            let fresh = PreparedColumn::prepare(&col.reservoir().sample(), domain);
+            prop_assert_eq!(a.len(), fresh.len());
+            prop_assert!(
+                a.sorted().iter().zip(fresh.sorted()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "round {}: sorted views differ",
+                round
+            );
+            prop_assert!(
+                a.values().iter().zip(fresh.values()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "round {}: draw-order views differ",
+                round
+            );
+            // Dirty the column; the next round re-checks the contract
+            // after a real rebuild.
+            col.insert(512.0).expect("finite insert");
+        }
+    }
+}

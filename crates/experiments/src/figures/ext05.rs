@@ -7,26 +7,11 @@
 //! boundaries from a GK sketch over the *entire* file (streaming, no
 //! sample), and boundaries from exact full-file quantiles (the ideal).
 
-use selest_core::Domain;
 use selest_data::{GkSketch, PaperFile};
-use selest_histogram::{equi_depth, BinRule, BinnedHistogram, NormalScaleBins};
+use selest_histogram::{equi_depth, equi_depth_from_boundaries, BinRule, NormalScaleBins};
 
 use crate::context::FileContext;
 use crate::harness::{evaluate, ExperimentReport, Scale};
-
-/// Equi-depth histogram from externally supplied boundaries with
-/// rank-difference depth counts over `n` conceptual rows.
-fn edh_from_boundaries(boundaries: Vec<f64>, n: usize, domain: Domain) -> BinnedHistogram {
-    let k = boundaries.len() - 1;
-    let counts: Vec<u32> = (1..=k)
-        .map(|j| {
-            let hi = (j * n).div_ceil(k);
-            let lo = ((j - 1) * n).div_ceil(k);
-            (hi - lo) as u32
-        })
-        .collect();
-    BinnedHistogram::new(boundaries, counts, domain, "EDH")
-}
 
 /// Run over a compact representative file set.
 pub fn run(scale: &Scale) -> ExperimentReport {
@@ -71,7 +56,9 @@ pub fn run_with_files(scale: &Scale, files: &[PaperFile]) -> ExperimentReport {
             sketch.insert(v);
         }
         let boundaries = sketch.equi_depth_boundaries(k, domain.lo(), domain.hi());
-        let gk_edh = edh_from_boundaries(boundaries, ctx.data.len(), domain);
+        // The one shared sketch→histogram path (also the catalog's
+        // incremental ANALYZE route).
+        let gk_edh = equi_depth_from_boundaries(boundaries, ctx.data.len() as u64, domain);
         report.bars.push((
             group.clone(),
             "GK stream".into(),

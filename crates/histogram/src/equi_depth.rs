@@ -31,6 +31,48 @@ pub fn equi_depth_prepared(col: &PreparedColumn, k: usize) -> BinnedHistogram {
     from_sorted(col.sorted(), col.domain(), k)
 }
 
+/// Build an equi-depth histogram from *pre-computed* quantile boundaries —
+/// the sketch path. Anything that can produce approximate `j/k` quantile
+/// boundaries (a `GkSketch`, a merged partition summary) plugs in here and
+/// gets the same rank-difference depth counts as the sample-sorted path:
+/// bin `j` is credited `ceil(j·n/k) − ceil((j−1)·n/k)` rows *by
+/// construction*, because an ε-approximate boundary is still the boundary
+/// of the j-th depth slice up to εn ranks. Coincident boundaries behave as
+/// point masses, exactly as in [`equi_depth`].
+///
+/// `boundaries` must be `domain.lo(), q_{1/k}, …, q_{(k-1)/k}, domain.hi()`
+/// (length `k + 1`, non-decreasing) and `n` the stream length the
+/// quantiles summarize.
+pub fn equi_depth_from_boundaries(boundaries: Vec<f64>, n: u64, domain: Domain) -> BinnedHistogram {
+    let k = boundaries.len().checked_sub(1).expect("k+1 boundaries");
+    assert!(k >= 1, "equi_depth needs at least one bin");
+    assert!(n > 0, "equi_depth needs a nonempty stream");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "equi-depth boundaries must be non-decreasing"
+    );
+    BinnedHistogram::new(boundaries, depth_counts(n as usize, k), domain, "EDH")
+}
+
+/// Depth counts as rank differences of the `j/k` quantile boundaries —
+/// *not* value-based counting: a duplicated boundary value splits its
+/// duplicates across the coincident (zero-width) bins, preserving the
+/// point mass instead of dumping it into the first bin that ends there.
+fn depth_counts(n: usize, k: usize) -> Vec<u32> {
+    let mut counts = Vec::with_capacity(k);
+    let mut prev_rank = 0usize;
+    for j in 1..=k {
+        let rank = if j == k {
+            n
+        } else {
+            (j * n).div_ceil(k).clamp(1, n)
+        };
+        counts.push((rank - prev_rank) as u32);
+        prev_rank = rank;
+    }
+    counts
+}
+
 /// Quantile-boundary construction over an already-sorted sample.
 fn from_sorted(sorted: &[f64], domain: Domain, k: usize) -> BinnedHistogram {
     assert!(k >= 1, "equi_depth needs at least one bin");
@@ -56,22 +98,7 @@ fn from_sorted(sorted: &[f64], domain: Domain, k: usize) -> BinnedHistogram {
             boundaries[i] = boundaries[i - 1];
         }
     }
-    // Depth counts are the rank differences of the quantile boundaries —
-    // *not* value-based counting: a duplicated boundary value splits its
-    // duplicates across the coincident (zero-width) bins, preserving the
-    // point mass instead of dumping it into the first bin that ends there.
-    let mut counts = Vec::with_capacity(k);
-    let mut prev_rank = 0usize;
-    for j in 1..=k {
-        let rank = if j == k {
-            n
-        } else {
-            (j * n).div_ceil(k).clamp(1, n)
-        };
-        counts.push((rank - prev_rank) as u32);
-        prev_rank = rank;
-    }
-    BinnedHistogram::new(boundaries, counts, domain, "EDH")
+    BinnedHistogram::new(boundaries, depth_counts(n, k), domain, "EDH")
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub use binrules::{
     FixedBins, FreedmanDiaconisBins, NormalScaleBins, PlugInBins, SturgesBins,
 };
 pub use bins::BinnedHistogram;
-pub use equi_depth::{equi_depth, equi_depth_prepared};
+pub use equi_depth::{equi_depth, equi_depth_from_boundaries, equi_depth_prepared};
 pub use equi_width::{equi_width, equi_width_prepared};
 pub use max_diff::{max_diff, max_diff_prepared};
 pub use v_optimal::{v_optimal, v_optimal_prepared};

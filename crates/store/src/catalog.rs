@@ -7,18 +7,26 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use selest_core::fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
+use selest_core::incremental::{IncrementalColumn, UpdateAudit};
 use selest_core::{
-    PreparedColumn, RangeQuery, SamplingEstimator, SelectivityEstimator, UniformEstimator,
+    CorrectionGrid, PreparedColumn, RangeQuery, SamplingEstimator, SelectivityEstimator,
+    UniformEstimator,
 };
-use selest_data::reservoir_sample;
+use selest_data::{reservoir_sample, GkSketch};
 use selest_histogram::{
-    equi_depth_prepared, equi_width_prepared, max_diff_prepared, AverageShiftedHistogram, BinRule,
-    NormalScaleBins,
+    equi_depth_from_boundaries, equi_depth_prepared, equi_width_prepared, max_diff_prepared,
+    AverageShiftedHistogram, BinRule, NormalScaleBins,
 };
 use selest_hybrid::HybridEstimator;
 use selest_kernel::{BandwidthSelector, BoundaryPolicy, DirectPlugIn, KernelEstimator, KernelFn};
 
 use crate::relation::{Column, Relation};
+use crate::staleness::{StalenessPolicy, StalenessReason, StalenessSignal};
+
+/// Rank-error parameter of the per-column quantile sketch maintained by
+/// the incremental ANALYZE path: ~200–400 summary entries at n = 100k,
+/// and equi-depth boundaries within 0.5% of their exact depth-slice rank.
+pub const SKETCH_EPSILON: f64 = 0.005;
 
 /// Which estimator `ANALYZE` builds for a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,14 +85,89 @@ impl Default for AnalyzeConfig {
     }
 }
 
+/// The live, updatable side of a column entry: the maintained reservoir
+/// column, its quantile sketch, the feedback grid, and refresh counters.
+/// Present only for entries built by
+/// [`StatisticsCatalog::try_analyze_incremental`].
+#[derive(Debug, Clone)]
+pub struct IncrementalState {
+    /// The updatable sample substrate the estimator snapshots from.
+    pub column: IncrementalColumn,
+    /// GK quantile summary over the full insert stream (not just the
+    /// reservoir) — the equi-depth boundary source.
+    pub sketch: GkSketch,
+    /// Observed-selectivity corrections since the last refresh; its
+    /// drift reading feeds the [`StalenessPolicy`].
+    pub grid: CorrectionGrid,
+    /// Updates absorbed since the estimator was last rebuilt.
+    pub updates_since_refresh: u64,
+    /// Estimator refreshes performed over this state's lifetime.
+    pub refreshes: u64,
+}
+
+impl IncrementalState {
+    /// The freshness evidence the [`StalenessPolicy`] judges.
+    pub fn signal(&self) -> StalenessSignal {
+        StalenessSignal {
+            pending_updates: self.updates_since_refresh,
+            live_rows: self.column.live_rows(),
+            tombstone_fraction: self.column.tombstone_fraction(),
+            drift: self.grid.drift(),
+            drift_observations: self.grid.observations() as u64,
+        }
+    }
+}
+
+/// One column's update batch for
+/// [`StatisticsCatalog::try_apply_updates`].
+#[derive(Debug, Clone, Default)]
+pub struct ColumnDelta {
+    /// Column the updates target.
+    pub column: String,
+    /// Inserted values.
+    pub inserts: Vec<f64>,
+    /// Deleted values (tombstoned).
+    pub deletes: Vec<f64>,
+}
+
+/// What [`StatisticsCatalog::try_apply_updates`] did, per column.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Columns whose whole batch absorbed, with the absorption audit.
+    pub applied: Vec<(String, UpdateAudit)>,
+    /// Columns whose batch was rejected (typed reason); their state is
+    /// untouched — the batch is atomic per column.
+    pub failed: Vec<(String, EstimateError)>,
+}
+
+impl UpdateReport {
+    /// Whether every column's batch absorbed.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// What [`StatisticsCatalog::try_refresh_stale`] did.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshReport {
+    /// Columns refreshed, with the staleness verdict that triggered each.
+    pub refreshed: Vec<(String, String, StalenessReason)>,
+    /// Columns whose refreshed estimator failed to build; the previous
+    /// entry keeps serving and the failure is quarantined.
+    pub failed: Vec<(String, String, EstimateError)>,
+}
+
 /// Per-column statistics entry.
 pub struct ColumnStatistics {
     /// Relation the entry belongs to (Arc-shared with exports).
     pub relation: Arc<str>,
     /// Column the entry belongs to (Arc-shared with exports).
     pub column: Arc<str>,
-    /// The estimator built from the sample.
-    pub estimator: Box<dyn SelectivityEstimator + Send + Sync>,
+    /// The estimator built from the sample. `Arc` (not `Box`) so serving
+    /// snapshots share the built estimator with the writer catalog
+    /// instead of consuming it — the ingest side keeps absorbing updates
+    /// while every published snapshot holds the same immutable object.
+    pub estimator: Arc<dyn SelectivityEstimator + Send + Sync>,
     /// Row count at ANALYZE time.
     pub n_rows: usize,
     /// Sample size actually drawn.
@@ -103,6 +186,11 @@ pub struct ColumnStatistics {
     /// consumers — resilience ladders, ad-hoc estimator builds — reuse the
     /// one sort ANALYZE already paid for.
     pub prepared: Option<Arc<PreparedColumn>>,
+    /// Live incremental substrate (reservoir column + quantile sketch +
+    /// feedback grid), present only for entries built by
+    /// [`StatisticsCatalog::try_analyze_incremental`]. Batch-analyzed
+    /// entries are immutable and carry `None`.
+    pub incremental: Option<IncrementalState>,
 }
 
 impl ColumnStatistics {
@@ -318,15 +406,17 @@ fn column_statistics_from_sample(
     kind: EstimatorKind,
     n_rows: usize,
 ) -> ColumnStatistics {
-    let (estimator, prepared) = if kind == EstimatorKind::Uniform {
-        let est: Box<dyn SelectivityEstimator + Send + Sync> =
-            Box::new(UniformEstimator::new(domain));
-        (est, None)
-    } else {
-        assert!(!sample.is_empty(), "ANALYZE of an empty column");
-        let col = Arc::new(PreparedColumn::prepare(&sample, domain));
-        (build_estimator_from_prepared(&col, kind), Some(col))
-    };
+    let (estimator, prepared): (Arc<dyn SelectivityEstimator + Send + Sync>, _) =
+        if kind == EstimatorKind::Uniform {
+            (Arc::new(UniformEstimator::new(domain)), None)
+        } else {
+            assert!(!sample.is_empty(), "ANALYZE of an empty column");
+            let col = Arc::new(PreparedColumn::prepare(&sample, domain));
+            (
+                Arc::from(build_estimator_from_prepared(&col, kind)),
+                Some(col),
+            )
+        };
     ColumnStatistics {
         relation,
         column,
@@ -337,6 +427,7 @@ fn column_statistics_from_sample(
         sample,
         domain,
         prepared,
+        incremental: None,
     }
 }
 
@@ -367,11 +458,12 @@ fn try_column_statistics(
     // Persist only the values the estimator is actually built over, so
     // a later rebuild from disk sees the same clean evidence.
     let (clean, audit) = sanitize_sample(&raw, &domain);
-    let (estimator, sample, prepared): (_, Arc<[f64]>, _) = if config.kind == EstimatorKind::Uniform
-    {
-        let est: Box<dyn SelectivityEstimator + Send + Sync> =
-            Box::new(UniformEstimator::new(domain));
-        (est, clean.into(), None)
+    let (estimator, sample, prepared): (
+        Arc<dyn SelectivityEstimator + Send + Sync>,
+        Arc<[f64]>,
+        _,
+    ) = if config.kind == EstimatorKind::Uniform {
+        (Arc::new(UniformEstimator::new(domain)), clean.into(), None)
     } else {
         if clean.is_empty() {
             return Err(EstimateError::EmptySample);
@@ -381,7 +473,7 @@ fn try_column_statistics(
         // share that allocation instead of keeping a copy.
         let sample = col.values_arc();
         (
-            try_build_estimator_from_prepared(&col, config.kind)?,
+            Arc::from(try_build_estimator_from_prepared(&col, config.kind)?),
             sample,
             Some(col),
         )
@@ -397,6 +489,100 @@ fn try_column_statistics(
             sample,
             domain,
             prepared,
+            incremental: None,
+        },
+        audit,
+    ))
+}
+
+/// Per-column reservoir seed: decorrelates column reservoirs under one
+/// config seed while staying deterministic per `(relation, column)`.
+fn incremental_seed(config_seed: u64, relation: &str, column: &str) -> u64 {
+    config_seed ^ selest_par::fnv1a_64(format!("{relation}.{column}").as_bytes())
+}
+
+/// Build an estimator from incremental state. [`EstimatorKind::EquiDepth`]
+/// takes the sketch path — boundaries from `k` GK quantile probes over a
+/// few hundred summary entries, depth counts by rank difference — which is
+/// O(bins · log entries) instead of the O(n) scan a full re-ANALYZE pays.
+/// Every other kind builds from the reservoir snapshot in
+/// O(|reservoir| log |reservoir|). Construction panics and non-finite
+/// probes come back as typed errors, exactly as in
+/// [`try_build_estimator_from_prepared`].
+fn try_build_incremental_estimator(
+    snapshot: &Arc<PreparedColumn>,
+    sketch: &GkSketch,
+    kind: EstimatorKind,
+) -> Result<Arc<dyn SelectivityEstimator + Send + Sync>, EstimateError> {
+    if kind != EstimatorKind::EquiDepth || sketch.is_empty() {
+        return Ok(Arc::from(try_build_estimator_from_prepared(
+            snapshot, kind,
+        )?));
+    }
+    let domain = snapshot.domain();
+    let k = NormalScaleBins.bins_prepared(snapshot);
+    let boundaries = sketch.equi_depth_boundaries(k, domain.lo(), domain.hi());
+    let n = sketch.len();
+    let (est, probe) = catch_fault(FaultStage::Build, move || {
+        let est = equi_depth_from_boundaries(boundaries, n, domain);
+        let probe = est.selectivity(&RangeQuery::new(domain.lo(), domain.hi()));
+        (est, probe)
+    })?;
+    if !probe.is_finite() {
+        return Err(EstimateError::NonFiniteEstimate { value: probe });
+    }
+    Ok(Arc::new(est))
+}
+
+/// Fallible core of per-column incremental ANALYZE: sanitize the column,
+/// seed the reservoir substrate and the GK sketch in one pass, snapshot,
+/// and build the estimator from the snapshot — so a zero-update
+/// [`IncrementalColumn::snapshot`] later returns bit-identical estimator
+/// inputs by construction.
+fn try_incremental_statistics(
+    relation_name: &str,
+    column: &Column,
+    config: &AnalyzeConfig,
+) -> Result<(ColumnStatistics, SampleAudit), EstimateError> {
+    if config.sample_size == 0 {
+        return Err(EstimateError::EmptySample);
+    }
+    let domain = column.domain();
+    let (clean, audit) = sanitize_sample(column.values(), &domain);
+    if clean.is_empty() {
+        return Err(EstimateError::EmptySample);
+    }
+    let seed = incremental_seed(config.seed, relation_name, column.name());
+    let mut incremental = IncrementalColumn::from_values(&clean, domain, config.sample_size, seed)?;
+    let mut sketch = GkSketch::new(SKETCH_EPSILON);
+    for &v in &clean {
+        sketch.try_insert(v)?;
+    }
+    let snapshot = incremental.snapshot();
+    let estimator = try_build_incremental_estimator(&snapshot, &sketch, config.kind)?;
+    let sample = snapshot.values_arc();
+    Ok((
+        ColumnStatistics {
+            relation: relation_name.into(),
+            column: column.name().into(),
+            estimator,
+            n_rows: column.len(),
+            sample_size: sample.len(),
+            kind: config.kind,
+            sample,
+            domain,
+            prepared: Some(snapshot),
+            incremental: Some(IncrementalState {
+                column: incremental,
+                sketch,
+                grid: CorrectionGrid::new(
+                    domain,
+                    crate::resilient::DRIFT_BUCKETS,
+                    crate::resilient::DRIFT_ALPHA,
+                ),
+                updates_since_refresh: 0,
+                refreshes: 0,
+            }),
         },
         audit,
     ))
@@ -752,7 +938,7 @@ impl StatisticsCatalog {
                     self.entries.insert(
                         key,
                         ColumnStatistics {
-                            estimator,
+                            estimator: Arc::from(estimator),
                             n_rows: e.n_rows,
                             sample_size: e.sample.len(),
                             kind: e.kind,
@@ -761,6 +947,7 @@ impl StatisticsCatalog {
                             sample: e.sample,
                             domain: e.domain,
                             prepared: None,
+                            incremental: None,
                         },
                     );
                     continue;
@@ -779,6 +966,438 @@ impl StatisticsCatalog {
         }
         failures
     }
+
+    /// Iterate the catalog's entries (unspecified order). Serving
+    /// snapshots use this to *share* the writer catalog's estimators
+    /// (`Arc` clones) instead of consuming them — the ingest side keeps
+    /// absorbing updates while every published snapshot holds the same
+    /// immutable objects.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnStatistics> {
+        self.entries.values()
+    }
+
+    /// Bulkheaded *incremental* ANALYZE: like
+    /// [`StatisticsCatalog::try_analyze_with`], but each entry is built
+    /// on the updatable substrate — a seeded [`IncrementalColumn`]
+    /// reservoir (capacity `config.sample_size`, per-column seed derived
+    /// from `config.seed`) plus a GK quantile sketch at
+    /// [`SKETCH_EPSILON`] — so later writes absorb in O(log) via
+    /// [`StatisticsCatalog::try_apply_updates`] and refreshes rebuild in
+    /// O(bins + |reservoir| log |reservoir|) instead of re-scanning the
+    /// relation.
+    pub fn try_analyze_incremental(
+        &mut self,
+        relation: &Relation,
+        config: &AnalyzeConfig,
+        engine: &selest_par::TryConfig,
+    ) -> CatalogHealthReport {
+        let columns: Vec<&Column> = relation.columns().iter().collect();
+        let outcome = selest_par::try_parallel_map(&columns, engine, |column| {
+            try_incremental_statistics(relation.name(), column, config)
+        });
+        for (column, slot) in columns.iter().zip(outcome.slots) {
+            let key = (relation.name().to_owned(), column.name().to_owned());
+            let error = match slot {
+                Ok(Ok((stats, _audit))) => {
+                    self.quarantine.remove(&key);
+                    self.entries.insert(key, stats);
+                    continue;
+                }
+                Ok(Err(build_error)) => build_error,
+                Err(task_error) => task_error_to_estimate_error(task_error),
+            };
+            self.quarantine.insert(
+                key,
+                crate::resilient::BuildFailure {
+                    kind: config.kind,
+                    error,
+                },
+            );
+        }
+        self.health()
+    }
+
+    /// Route per-column update batches through the PR 5 bulkhead: each
+    /// delta validates and absorbs in an isolated engine task against a
+    /// copy of its column's incremental state, and only a fully-absorbed
+    /// batch is written back — a poisoned batch (NaN anywhere, missing
+    /// statistics, a panic in absorption) fails that column atomically
+    /// and leaves its state untouched. Estimators are *not* rebuilt here;
+    /// that is the [`StalenessPolicy`]'s call (see
+    /// [`StatisticsCatalog::try_refresh_stale`]).
+    pub fn try_apply_updates(
+        &mut self,
+        relation: &str,
+        deltas: &[ColumnDelta],
+        engine: &selest_par::TryConfig,
+    ) -> UpdateReport {
+        let work: Vec<(&ColumnDelta, Option<IncrementalState>)> = deltas
+            .iter()
+            .map(|d| {
+                let state = self
+                    .entries
+                    .get(&(relation.to_owned(), d.column.clone()))
+                    .and_then(|e| e.incremental.clone());
+                (d, state)
+            })
+            .collect();
+        let outcome = selest_par::try_parallel_map(&work, engine, |(delta, state)| {
+            let mut state = state
+                .clone()
+                .ok_or_else(|| EstimateError::MissingStatistics {
+                    relation: relation.to_owned(),
+                    column: delta.column.clone(),
+                })?;
+            let audit = state.column.apply(&delta.inserts, &delta.deletes)?;
+            // The sketch summarizes the in-domain insert stream (the same
+            // values the reservoir may retain); deletes are tombstoned.
+            for &v in &delta.inserts {
+                if state.column.domain().contains(v) {
+                    state.sketch.try_insert(v)?;
+                }
+            }
+            for _ in &delta.deletes {
+                state.sketch.note_delete();
+            }
+            state.updates_since_refresh += (delta.inserts.len() + delta.deletes.len()) as u64;
+            Ok((state, audit))
+        });
+        let mut report = UpdateReport::default();
+        for (delta, slot) in deltas.iter().zip(outcome.slots) {
+            match slot {
+                Ok(Ok((state, audit))) => {
+                    let key = (relation.to_owned(), delta.column.clone());
+                    let entry = self
+                        .entries
+                        .get_mut(&key)
+                        .expect("absorbed state came from this entry");
+                    entry.n_rows = state.column.live_rows() as usize;
+                    entry.incremental = Some(state);
+                    report.applied.push((delta.column.clone(), audit));
+                }
+                Ok(Err(error)) => report.failed.push((delta.column.clone(), error)),
+                Err(task_error) => report.failed.push((
+                    delta.column.clone(),
+                    task_error_to_estimate_error(task_error),
+                )),
+            }
+        }
+        report
+    }
+
+    /// Absorb partition catalogs built by independent shards: columns
+    /// with incremental state on both sides *merge* — reservoirs combine
+    /// to exactly the single-pass sample, GK summaries merge within the
+    /// documented 2ε rank bound, tombstones add — and their estimators
+    /// rebuild through the bulkhead; disjoint or batch-only entries
+    /// replace wholesale as in [`StatisticsCatalog::merge`]. A merge
+    /// incompatibility (domain, reservoir capacity, or seed mismatch)
+    /// quarantines that column while the existing entry keeps serving.
+    pub fn try_merge_partitions(
+        &mut self,
+        parts: Vec<StatisticsCatalog>,
+        engine: &selest_par::TryConfig,
+    ) -> CatalogHealthReport {
+        enum Action {
+            Merged,
+            Failed,
+            Replace,
+        }
+        let mut touched: Vec<(String, String)> = Vec::new();
+        for part in parts {
+            for (key, stats) in part.entries {
+                let action = match (self.entries.get_mut(&key), stats.incremental.as_ref()) {
+                    (Some(existing), Some(theirs)) if existing.incremental.is_some() => {
+                        let mine = existing.incremental.as_mut().expect("checked");
+                        match mine.column.merge(&theirs.column) {
+                            Ok(()) => {
+                                mine.sketch.merge(&theirs.sketch);
+                                mine.updates_since_refresh +=
+                                    theirs.column.live_rows().max(1) + theirs.updates_since_refresh;
+                                Action::Merged
+                            }
+                            Err(error) => {
+                                self.quarantine.insert(
+                                    key.clone(),
+                                    crate::resilient::BuildFailure {
+                                        kind: stats.kind,
+                                        error,
+                                    },
+                                );
+                                Action::Failed
+                            }
+                        }
+                    }
+                    _ => Action::Replace,
+                };
+                match action {
+                    Action::Merged => {
+                        if !touched.contains(&key) {
+                            touched.push(key);
+                        }
+                    }
+                    Action::Failed => {}
+                    Action::Replace => {
+                        self.quarantine.remove(&key);
+                        self.entries.insert(key, stats);
+                    }
+                }
+            }
+            for (key, failure) in part.quarantine {
+                if !self.entries.contains_key(&key) {
+                    self.quarantine.insert(key, failure);
+                }
+            }
+        }
+        // Merged columns re-snapshot and rebuild through the bulkhead.
+        touched.sort();
+        let stale: Vec<_> = touched
+            .into_iter()
+            .map(|key| (key, StalenessReason::UpdateVolume))
+            .collect();
+        self.refresh_columns(stale, engine);
+        self.health()
+    }
+
+    /// Every incremental column's freshness evidence, in `(relation,
+    /// column)` order — the input [`StalenessPolicy::verdict`] judges and
+    /// `selest fsck` reports.
+    pub fn staleness_signals(&self) -> Vec<(String, String, StalenessSignal)> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .filter_map(|((r, c), e)| {
+                e.incremental
+                    .as_ref()
+                    .map(|s| (r.clone(), c.clone(), s.signal()))
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
+    }
+
+    /// Judge every incremental column against the policy and rebuild the
+    /// stale ones: snapshot the reservoir (O(|reservoir| log |reservoir|),
+    /// or a free `Arc` clone if nothing changed), rebuild the estimator
+    /// through the bulkhead (the EquiDepth kind straight from the GK
+    /// sketch), reset the update and feedback counters. A column whose
+    /// rebuild fails keeps serving its previous estimator and is
+    /// quarantined with the typed reason; its update pressure is retained
+    /// so the next sweep retries.
+    pub fn try_refresh_stale(
+        &mut self,
+        policy: &StalenessPolicy,
+        engine: &selest_par::TryConfig,
+    ) -> RefreshReport {
+        let stale: Vec<_> = self
+            .staleness_signals()
+            .into_iter()
+            .filter_map(|(r, c, signal)| policy.verdict(&signal).map(|reason| ((r, c), reason)))
+            .collect();
+        self.refresh_columns(stale, engine)
+    }
+
+    /// Rebuild the named incremental columns from their live substrate.
+    fn refresh_columns(
+        &mut self,
+        stale: Vec<((String, String), StalenessReason)>,
+        engine: &selest_par::TryConfig,
+    ) -> RefreshReport {
+        let mut report = RefreshReport::default();
+        if stale.is_empty() {
+            return report;
+        }
+        // Snapshots are cheap (reservoir-sized) and mutate the writer
+        // state, so they run serially; the estimator builds fan out.
+        type WorkItem = (
+            (String, String),
+            StalenessReason,
+            Arc<PreparedColumn>,
+            GkSketch,
+            EstimatorKind,
+        );
+        let mut work: Vec<WorkItem> = Vec::with_capacity(stale.len());
+        for (key, reason) in stale {
+            let entry = self
+                .entries
+                .get_mut(&key)
+                .expect("stale keys come from entries");
+            let kind = entry.kind;
+            let state = entry
+                .incremental
+                .as_mut()
+                .expect("stale columns are incremental");
+            let snapshot = state.column.snapshot();
+            work.push((key, reason, snapshot, state.sketch.clone(), kind));
+        }
+        let outcome =
+            selest_par::try_parallel_map(&work, engine, |(_, _, snapshot, sketch, kind)| {
+                try_build_incremental_estimator(snapshot, sketch, *kind)
+            });
+        for ((key, reason, snapshot, _, kind), slot) in work.into_iter().zip(outcome.slots) {
+            let error = match slot {
+                Ok(Ok(estimator)) => {
+                    let entry = self.entries.get_mut(&key).expect("refreshed entry exists");
+                    entry.estimator = estimator;
+                    entry.sample = snapshot.values_arc();
+                    entry.sample_size = snapshot.len();
+                    entry.prepared = Some(snapshot);
+                    let domain = entry.domain;
+                    let state = entry.incremental.as_mut().expect("incremental");
+                    entry.n_rows = state.column.live_rows() as usize;
+                    state.updates_since_refresh = 0;
+                    state.refreshes += 1;
+                    // Corrections were learned against the replaced
+                    // estimator; they do not transfer (same contract as
+                    // durable publish resetting the feedback journal).
+                    state.grid = CorrectionGrid::new(
+                        domain,
+                        crate::resilient::DRIFT_BUCKETS,
+                        crate::resilient::DRIFT_ALPHA,
+                    );
+                    self.quarantine.remove(&key);
+                    report.refreshed.push((key.0, key.1, reason));
+                    continue;
+                }
+                Ok(Err(error)) => error,
+                Err(task_error) => task_error_to_estimate_error(task_error),
+            };
+            self.quarantine.insert(
+                key.clone(),
+                crate::resilient::BuildFailure {
+                    kind,
+                    error: error.clone(),
+                },
+            );
+            report.failed.push((key.0, key.1, error));
+        }
+        report
+    }
+
+    /// Fold one observed query result into the column's feedback grid and
+    /// return the corrected selectivity. The grid's drift reading feeds
+    /// the [`StalenessPolicy`], so systematic estimate error triggers the
+    /// same republish loop as raw update volume.
+    pub fn observe(
+        &mut self,
+        relation: &str,
+        column: &str,
+        q: &RangeQuery,
+        true_selectivity: f64,
+    ) -> Result<f64, EstimateError> {
+        let entry = self
+            .entries
+            .get_mut(&(relation.to_owned(), column.to_owned()))
+            .ok_or_else(|| EstimateError::MissingStatistics {
+                relation: relation.to_owned(),
+                column: column.to_owned(),
+            })?;
+        let estimator = Arc::clone(&entry.estimator);
+        let base = estimator.selectivity(q);
+        let state = entry
+            .incremental
+            .as_mut()
+            .ok_or_else(|| EstimateError::MissingStatistics {
+                relation: relation.to_owned(),
+                column: column.to_owned(),
+            })?;
+        state.grid.try_observe(q, base, true_selectivity)?;
+        Ok(state
+            .grid
+            .corrected(q, |piece| estimator.selectivity(piece)))
+    }
+
+    /// Serialize every incremental column's live substrate (reservoir,
+    /// sketch, counters) for the durable journal, in `(relation, column)`
+    /// order. The estimator itself is not serialized — it is a pure
+    /// function of this state and rebuilds on restore.
+    pub fn incremental_checkpoints(&self) -> Vec<SketchCheckpoint> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .filter_map(|((r, c), e)| {
+                e.incremental.as_ref().map(|s| SketchCheckpoint {
+                    relation: r.clone(),
+                    column: c.clone(),
+                    kind: e.kind,
+                    sketch: s.sketch.to_parts(),
+                    column_state: s.column.to_parts(),
+                    updates_since_refresh: s.updates_since_refresh,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.relation, &a.column).cmp(&(&b.relation, &b.column)));
+        out
+    }
+
+    /// Restore one incremental column from a journaled checkpoint:
+    /// validate and rebuild the reservoir and sketch, re-prepare the
+    /// snapshot (deterministic — two restores of the same checkpoint are
+    /// bit-identical), rebuild the estimator, and install the entry.
+    /// Pending update pressure is preserved so the staleness policy still
+    /// sees pre-crash debt; the feedback grid restarts empty (corrections
+    /// are generation-scoped, as in durable recovery).
+    pub fn try_restore_incremental(
+        &mut self,
+        checkpoint: &SketchCheckpoint,
+    ) -> Result<(), EstimateError> {
+        let column = IncrementalColumn::from_parts(checkpoint.column_state.clone())?;
+        let sketch = GkSketch::from_parts(checkpoint.sketch.clone())?;
+        // `last_snapshot` keeps the pending counter intact: the restored
+        // estimator serves what the pre-crash estimator served, and the
+        // staleness sweep decides when to fold the pending updates in.
+        let snapshot = column.last_snapshot();
+        let estimator = try_build_incremental_estimator(&snapshot, &sketch, checkpoint.kind)?;
+        let domain = column.domain();
+        let sample = snapshot.values_arc();
+        let key = (checkpoint.relation.clone(), checkpoint.column.clone());
+        self.quarantine.remove(&key);
+        self.entries.insert(
+            key,
+            ColumnStatistics {
+                relation: checkpoint.relation.as_str().into(),
+                column: checkpoint.column.as_str().into(),
+                estimator,
+                n_rows: column.live_rows() as usize,
+                sample_size: sample.len(),
+                kind: checkpoint.kind,
+                sample,
+                domain,
+                prepared: Some(snapshot),
+                incremental: Some(IncrementalState {
+                    column,
+                    sketch,
+                    grid: CorrectionGrid::new(
+                        domain,
+                        crate::resilient::DRIFT_BUCKETS,
+                        crate::resilient::DRIFT_ALPHA,
+                    ),
+                    updates_since_refresh: checkpoint.updates_since_refresh,
+                    refreshes: 0,
+                }),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Serialized incremental column state: what `store::durable` journals so
+/// the updatable substrate survives crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchCheckpoint {
+    /// Relation name.
+    pub relation: String,
+    /// Column name.
+    pub column: String,
+    /// Estimator kind the column serves.
+    pub kind: EstimatorKind,
+    /// GK quantile summary state.
+    pub sketch: selest_data::GkParts,
+    /// Reservoir column state (reservoir slots + live/tombstone counters).
+    pub column_state: selest_core::incremental::IncrementalParts,
+    /// Updates absorbed since the last estimator refresh at checkpoint
+    /// time — preserved across restore so staleness pressure survives.
+    pub updates_since_refresh: u64,
 }
 
 #[cfg(test)]
@@ -1116,5 +1735,288 @@ mod tests {
         assert_eq!(report.entries, 2);
         assert_eq!(report.quarantined.len(), 1);
         assert_eq!(report.quarantined[0].column, "poisoned");
+    }
+
+    /// Low-discrepancy stream over [0, 1000).
+    fn golden(i: usize) -> f64 {
+        1_000.0 * ((i as f64) * 0.618_033_988_749).fract()
+    }
+
+    fn incremental_relation(name: &str, range: std::ops::Range<usize>) -> Relation {
+        let d = Domain::new(0.0, 1_000.0);
+        let mut r = Relation::new(name);
+        r.add_column(Column::new("v", d, range.map(golden).collect()));
+        r
+    }
+
+    fn incremental_catalog(kind: EstimatorKind, n: usize) -> StatisticsCatalog {
+        let r = incremental_relation("inc", 0..n);
+        let mut cat = StatisticsCatalog::new();
+        let cfg = AnalyzeConfig {
+            kind,
+            ..Default::default()
+        };
+        let report = cat.try_analyze_incremental(&r, &cfg, &selest_par::TryConfig::jobs(1));
+        assert!(report.is_healthy(), "{report:?}");
+        cat
+    }
+
+    #[test]
+    fn incremental_analyze_builds_updatable_entries() {
+        let cat = incremental_catalog(EstimatorKind::EquiDepth, 4_000);
+        let st = cat.statistics("inc", "v").expect("entry");
+        assert_eq!(st.n_rows, 4_000);
+        let state = st.incremental.as_ref().expect("incremental substrate");
+        assert_eq!(state.column.live_rows(), 4_000);
+        assert_eq!(state.sketch.len(), 4_000);
+        assert_eq!(state.updates_since_refresh, 0);
+        let signals = cat.staleness_signals();
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].2.pending_updates, 0);
+        let q = RangeQuery::new(0.0, 500.0);
+        let s = st.estimator.selectivity(&q);
+        assert!(
+            (s - 0.5).abs() < 0.05,
+            "low-discrepancy half-domain, got {s}"
+        );
+    }
+
+    #[test]
+    fn apply_updates_is_atomic_per_column() {
+        let d = Domain::new(0.0, 1_000.0);
+        let mut r = Relation::new("inc");
+        r.add_column(Column::new("a", d, (0..1_000).map(golden).collect()));
+        r.add_column(Column::new("b", d, (0..1_000).map(golden).collect()));
+        let mut cat = StatisticsCatalog::new();
+        cat.try_analyze_incremental(
+            &r,
+            &AnalyzeConfig::default(),
+            &selest_par::TryConfig::jobs(1),
+        );
+        let deltas = vec![
+            ColumnDelta {
+                column: "a".into(),
+                inserts: (1_000..1_064).map(golden).collect(),
+                deletes: vec![golden(3)],
+            },
+            ColumnDelta {
+                column: "b".into(),
+                inserts: vec![1.0, f64::NAN, 2.0],
+                deletes: vec![],
+            },
+            ColumnDelta {
+                column: "ghost".into(),
+                inserts: vec![1.0],
+                deletes: vec![],
+            },
+        ];
+        let report = cat.try_apply_updates("inc", &deltas, &selest_par::TryConfig::jobs(1));
+        assert!(!report.is_clean());
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(report.applied[0].0, "a");
+        assert_eq!(report.applied[0].1.inserted, 64);
+        assert_eq!(report.applied[0].1.deleted, 1);
+        assert_eq!(report.failed.len(), 2);
+        assert!(matches!(
+            report.failed[0].1,
+            EstimateError::NonFiniteUpdate { .. }
+        ));
+        assert!(matches!(
+            report.failed[1].1,
+            EstimateError::MissingStatistics { .. }
+        ));
+        // The good column advanced; the poisoned one is untouched.
+        let a = cat.statistics("inc", "a").unwrap();
+        assert_eq!(a.n_rows, 1_063);
+        assert_eq!(a.incremental.as_ref().unwrap().updates_since_refresh, 65);
+        let b = cat.statistics("inc", "b").unwrap();
+        assert_eq!(b.n_rows, 1_000);
+        let bs = b.incremental.as_ref().unwrap();
+        assert_eq!(bs.updates_since_refresh, 0, "NaN batch absorbed nothing");
+        assert_eq!(bs.column.live_rows(), 1_000);
+        assert_eq!(bs.sketch.len(), 1_000);
+    }
+
+    #[test]
+    fn merged_partitions_combine_counts_and_respect_the_rank_bound() {
+        let n = 4_000;
+        let mut merged = StatisticsCatalog::new();
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::EquiDepth,
+            ..Default::default()
+        };
+        let parts: Vec<StatisticsCatalog> = [0..2_000, 2_000..4_000]
+            .into_iter()
+            .map(|range| {
+                let r = incremental_relation("inc", range);
+                let mut cat = StatisticsCatalog::new();
+                let report = cat.try_analyze_incremental(&r, &cfg, &selest_par::TryConfig::jobs(1));
+                assert!(report.is_healthy());
+                cat
+            })
+            .collect();
+        let report = merged.try_merge_partitions(parts, &selest_par::TryConfig::jobs(1));
+        assert!(report.is_healthy(), "{report:?}");
+        let st = merged.statistics("inc", "v").expect("merged entry");
+        assert_eq!(st.n_rows, n);
+        let state = st.incremental.as_ref().unwrap();
+        assert_eq!(state.column.live_rows(), n as u64);
+        assert_eq!(state.sketch.len(), n as u64);
+        // The documented merge guarantee: realized rank error within 2εn.
+        let bound = state.sketch.rank_error_bound();
+        let budget = (2.0 * SKETCH_EPSILON * n as f64).ceil() as u64;
+        assert!(bound <= budget, "rank bound {bound} over budget {budget}");
+        assert_eq!(state.refreshes, 1, "merge refreshes the estimator");
+        assert_eq!(state.updates_since_refresh, 0);
+        // The refreshed estimator serves the combined distribution.
+        let q = RangeQuery::new(0.0, 250.0);
+        let s = st.estimator.selectivity(&q);
+        assert!((s - 0.25).abs() < 0.05, "quarter-domain, got {s}");
+    }
+
+    #[test]
+    fn merge_incompatibility_quarantines_without_killing_the_survivor() {
+        let cfg = AnalyzeConfig {
+            kind: EstimatorKind::EquiDepth,
+            ..Default::default()
+        };
+        let mut merged = StatisticsCatalog::new();
+        let r = incremental_relation("inc", 0..1_000);
+        merged.try_analyze_incremental(&r, &cfg, &selest_par::TryConfig::jobs(1));
+        // A partition analyzed under a different seed derives a different
+        // reservoir seed: merging would break determinism, so it must
+        // refuse and quarantine.
+        let mut part = StatisticsCatalog::new();
+        part.try_analyze_incremental(
+            &incremental_relation("inc", 1_000..2_000),
+            &AnalyzeConfig { seed: 99, ..cfg },
+            &selest_par::TryConfig::jobs(1),
+        );
+        let report = merged.try_merge_partitions(vec![part], &selest_par::TryConfig::jobs(1));
+        assert_eq!(report.quarantined.len(), 1);
+        // The pre-merge entry keeps serving.
+        let st = merged.statistics("inc", "v").expect("survivor");
+        assert_eq!(st.n_rows, 1_000);
+    }
+
+    #[test]
+    fn staleness_sweep_refreshes_and_resets_pressure() {
+        let mut cat = incremental_catalog(EstimatorKind::EquiDepth, 2_000);
+        let policy = StalenessPolicy {
+            max_updates: 100,
+            ..Default::default()
+        };
+        // Fresh: nothing to do.
+        assert!(cat
+            .try_refresh_stale(&policy, &selest_par::TryConfig::jobs(1))
+            .refreshed
+            .is_empty());
+        // Shift the distribution with a heavy insert batch.
+        let deltas = vec![ColumnDelta {
+            column: "v".into(),
+            inserts: (0..600).map(|i| 900.0 + (golden(i) / 10.0)).collect(),
+            deletes: vec![],
+        }];
+        cat.try_apply_updates("inc", &deltas, &selest_par::TryConfig::jobs(1));
+        let before = cat
+            .statistics("inc", "v")
+            .unwrap()
+            .estimator
+            .selectivity(&RangeQuery::new(900.0, 1_000.0));
+        let report = cat.try_refresh_stale(&policy, &selest_par::TryConfig::jobs(1));
+        assert_eq!(report.refreshed.len(), 1);
+        assert_eq!(report.refreshed[0].2, StalenessReason::UpdateVolume);
+        let st = cat.statistics("inc", "v").unwrap();
+        assert_eq!(st.n_rows, 2_600);
+        assert_eq!(st.incremental.as_ref().unwrap().updates_since_refresh, 0);
+        let after = st.estimator.selectivity(&RangeQuery::new(900.0, 1_000.0));
+        assert!(
+            after > before,
+            "refresh must see the shifted mass: {before} -> {after}"
+        );
+        // Pressure folded away: the next sweep is a no-op.
+        let report = cat.try_refresh_stale(&policy, &selest_par::TryConfig::jobs(1));
+        assert!(report.refreshed.is_empty() && report.failed.is_empty());
+    }
+
+    #[test]
+    fn observed_drift_feeds_the_staleness_policy() {
+        let mut cat = incremental_catalog(EstimatorKind::EquiDepth, 2_000);
+        assert!(matches!(
+            cat.observe("inc", "ghost", &RangeQuery::new(0.0, 1.0), 0.5),
+            Err(EstimateError::MissingStatistics { .. })
+        ));
+        // Feed systematically biased truth: drift climbs.
+        for i in 0..64 {
+            let lo = 10.0 * (i % 50) as f64;
+            let q = RangeQuery::new(lo, lo + 100.0);
+            let corrected = cat.observe("inc", "v", &q, 0.02).expect("observe");
+            assert!(corrected.is_finite());
+        }
+        let signals = cat.staleness_signals();
+        assert!(signals[0].2.drift > 0.5, "drift {}", signals[0].2.drift);
+        assert_eq!(signals[0].2.drift_observations, 64);
+        let policy = StalenessPolicy::default();
+        assert_eq!(
+            policy.verdict(&signals[0].2),
+            Some(crate::staleness::StalenessReason::DriftAlarm)
+        );
+        // The refresh resets the feedback grid along with the estimator.
+        let report = cat.try_refresh_stale(&policy, &selest_par::TryConfig::jobs(1));
+        assert_eq!(report.refreshed.len(), 1);
+        let signals = cat.staleness_signals();
+        assert_eq!(signals[0].2.drift_observations, 0);
+        assert_eq!(signals[0].2.drift, 0.0);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_substrate() {
+        let mut cat = incremental_catalog(EstimatorKind::EquiDepth, 2_000);
+        let deltas = vec![ColumnDelta {
+            column: "v".into(),
+            inserts: (2_000..2_100).map(golden).collect(),
+            deletes: vec![golden(0), golden(1)],
+        }];
+        cat.try_apply_updates("inc", &deltas, &selest_par::TryConfig::jobs(1));
+        // Fold the batch in so the live estimator and the substrate agree
+        // (a checkpoint mid-debt restores the substrate exactly but
+        // rebuilds its estimator from the *current* reservoir).
+        let policy = StalenessPolicy {
+            max_updates: 1,
+            min_updates: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            cat.try_refresh_stale(&policy, &selest_par::TryConfig::jobs(1))
+                .refreshed
+                .len(),
+            1
+        );
+        let cps = cat.incremental_checkpoints();
+        assert_eq!(cps.len(), 1);
+        let mut restored = StatisticsCatalog::new();
+        restored.try_restore_incremental(&cps[0]).expect("restore");
+        let a = cat.statistics("inc", "v").unwrap();
+        let b = restored.statistics("inc", "v").unwrap();
+        assert_eq!(a.n_rows, b.n_rows);
+        // Same substrate, same checkpoints: the round trip is lossless.
+        assert_eq!(restored.incremental_checkpoints(), cps);
+        // And the restored estimator answers bit-identically.
+        for i in 0..32 {
+            let lo = golden(i).min(990.0);
+            let q = RangeQuery::new(lo, lo + 10.0);
+            assert_eq!(
+                a.estimator.selectivity(&q).to_bits(),
+                b.estimator.selectivity(&q).to_bits()
+            );
+        }
+        // A checkpoint taken mid-debt still restores with its staleness
+        // pressure intact.
+        cat.try_apply_updates("inc", &deltas, &selest_par::TryConfig::jobs(1));
+        let cps = cat.incremental_checkpoints();
+        let mut resumed = StatisticsCatalog::new();
+        resumed.try_restore_incremental(&cps[0]).expect("restore 2");
+        let signals = resumed.staleness_signals();
+        assert_eq!(signals[0].2.pending_updates, 102);
     }
 }

@@ -38,10 +38,13 @@ use std::path::{Path, PathBuf};
 use selest_core::fault::EstimateError;
 use selest_core::{CorrectionGrid, Domain, RangeQuery};
 
-use crate::catalog::StatisticsCatalog;
+use selest_core::incremental::{IncrementalColumn, IncrementalParts, ReservoirParts};
+use selest_data::{GkParts, GkSketch};
+
+use crate::catalog::{SketchCheckpoint, StatisticsCatalog};
 use crate::faultinject::{CrashPlan, CrashPoint};
 use crate::online::OnlineSelectivity;
-use crate::persist::{self, fnv1a64, PersistedStatistics};
+use crate::persist::{self, fnv1a64, kind_token, parse_kind, PersistedStatistics};
 use crate::resilient::{DRIFT_ALPHA, DRIFT_BUCKETS};
 
 /// Manifest header line.
@@ -129,6 +132,11 @@ pub enum JournalRecord {
         /// Non-finite rows skipped.
         skipped_nonfinite: usize,
     },
+    /// A full incremental-substrate checkpoint of one column — GK summary,
+    /// reservoir, and update counters — so a restart resumes ingest from
+    /// the journaled state instead of re-ANALYZing the relation. The
+    /// latest record per column wins on replay.
+    Sketch(SketchCheckpoint),
 }
 
 /// Folded drift-alarm history of one column.
@@ -174,12 +182,16 @@ pub struct FeedbackState {
     grids: BTreeMap<(String, String), CorrectionGrid>,
     alarms: BTreeMap<(String, String), DriftAlarm>,
     online: BTreeMap<(String, String), OnlineCheckpoint>,
+    sketches: BTreeMap<(String, String), SketchCheckpoint>,
 }
 
 impl FeedbackState {
     /// Whether any feedback has been folded in.
     pub fn is_empty(&self) -> bool {
-        self.grids.is_empty() && self.alarms.is_empty() && self.online.is_empty()
+        self.grids.is_empty()
+            && self.alarms.is_empty()
+            && self.online.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// The correction grid learned for a column, if any.
@@ -199,6 +211,17 @@ impl FeedbackState {
         self.online
             .get(&(relation.to_owned(), column.to_owned()))
             .copied()
+    }
+
+    /// The latest incremental-substrate checkpoint of a column, if any.
+    pub fn sketch(&self, relation: &str, column: &str) -> Option<&SketchCheckpoint> {
+        self.sketches.get(&(relation.to_owned(), column.to_owned()))
+    }
+
+    /// Every journaled incremental checkpoint, in `(relation, column)`
+    /// order.
+    pub fn sketches(&self) -> impl Iterator<Item = &SketchCheckpoint> {
+        self.sketches.values()
     }
 
     /// Validate `rec` against the active entries and fold it in. The
@@ -280,6 +303,17 @@ impl FeedbackState {
                 checkpoint.resume()?; // validates query + counters
                 self.online
                     .insert((relation.clone(), column.clone()), checkpoint);
+                Ok(())
+            }
+            JournalRecord::Sketch(cp) => {
+                domain_of(&cp.relation, &cp.column)?;
+                // Both substrate halves must reconstruct — the same
+                // validation a restore pays, so a record that folds here
+                // can never fail later.
+                GkSketch::from_parts(cp.sketch.clone())?;
+                IncrementalColumn::from_parts(cp.column_state.clone())?;
+                self.sketches
+                    .insert((cp.relation.clone(), cp.column.clone()), cp.clone());
                 Ok(())
             }
         }
@@ -372,6 +406,12 @@ pub struct FsckReport {
     pub generations: Vec<u64>,
     /// Valid journal records on disk.
     pub journal_records: usize,
+    /// Columns with journaled incremental sketch state (the feedback
+    /// snapshot overlaid with journal records; latest per column wins).
+    pub sketch_columns: usize,
+    /// Updates pending an estimator refresh, summed over that sketch
+    /// state — the staleness pressure a restart would resume under.
+    pub sketch_pending_updates: u64,
     /// Human-readable findings, one per problem.
     pub findings: Vec<String>,
 }
@@ -635,6 +675,204 @@ fn decode_manifest(path: &Path, text: &str) -> Result<Manifest, EstimateError> {
     })
 }
 
+/// Encode everything after `sketch <relation> <column>` in a checkpoint
+/// line. Floats go through `Display`, which is shortest-round-trip in
+/// Rust, so `parse::<f64>()` recovers them bit-exactly.
+fn encode_sketch_fields(cp: &SketchCheckpoint) -> String {
+    let mut s = format!(
+        "{} {} {} {} {} {}",
+        kind_token(cp.kind),
+        cp.updates_since_refresh,
+        cp.sketch.epsilon,
+        cp.sketch.n,
+        cp.sketch.tombstones,
+        cp.sketch.entries.len()
+    );
+    for (v, g, d) in &cp.sketch.entries {
+        let _ = write!(s, " {v} {g} {d}");
+    }
+    let st = &cp.column_state;
+    let r = &st.reservoir;
+    let _ = write!(
+        s,
+        " {} {} {} {} {} {} {} {} {} {} {}",
+        st.domain.lo(),
+        st.domain.hi(),
+        r.capacity,
+        r.seed,
+        r.next_index,
+        r.seen,
+        st.live_rows,
+        st.inserted,
+        st.deleted,
+        st.pending,
+        r.slots.len()
+    );
+    for (key, index, value) in &r.slots {
+        let _ = write!(s, " {key} {index} {value}");
+    }
+    s
+}
+
+/// Decode the fields [`encode_sketch_fields`] wrote (the tag, relation,
+/// and column have already been consumed from `it`).
+fn decode_sketch_fields(
+    path: &Path,
+    line: usize,
+    relation: String,
+    column: String,
+    it: &mut std::str::SplitWhitespace<'_>,
+) -> Result<SketchCheckpoint, EstimateError> {
+    let kind = parse_kind(next_tok(path, line, "estimator kind", it)?)
+        .map_err(|m| corrupt(path, line, m))?;
+    let updates_since_refresh = parse_u64(
+        path,
+        line,
+        "updates since refresh",
+        next_tok(path, line, "updates since refresh", it)?,
+    )?;
+    let epsilon = parse_f64(path, line, "epsilon", next_tok(path, line, "epsilon", it)?)?;
+    let n = parse_u64(
+        path,
+        line,
+        "sketch n",
+        next_tok(path, line, "sketch n", it)?,
+    )?;
+    let tombstones = parse_u64(
+        path,
+        line,
+        "sketch tombstones",
+        next_tok(path, line, "sketch tombstones", it)?,
+    )?;
+    let entry_count = parse_usize(
+        path,
+        line,
+        "sketch entry count",
+        next_tok(path, line, "sketch entry count", it)?,
+    )?;
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 20));
+    for j in 0..entry_count {
+        let missing = |_| {
+            corrupt(
+                path,
+                line,
+                format!("sketch wants {entry_count} entries, found {j}"),
+            )
+        };
+        let v = parse_f64(
+            path,
+            line,
+            "entry v",
+            next_tok(path, line, "entry v", it).map_err(missing)?,
+        )?;
+        let g = parse_u64(
+            path,
+            line,
+            "entry g",
+            next_tok(path, line, "entry g", it).map_err(missing)?,
+        )?;
+        let d = parse_u64(
+            path,
+            line,
+            "entry delta",
+            next_tok(path, line, "entry delta", it).map_err(missing)?,
+        )?;
+        entries.push((v, g, d));
+    }
+    let lo = parse_f64(path, line, "domain lo", next_tok(path, line, "lo", it)?)?;
+    let hi = parse_f64(path, line, "domain hi", next_tok(path, line, "hi", it)?)?;
+    let capacity = parse_usize(
+        path,
+        line,
+        "reservoir capacity",
+        next_tok(path, line, "capacity", it)?,
+    )?;
+    let seed = parse_u64(path, line, "seed", next_tok(path, line, "seed", it)?)?;
+    let next_index = parse_u64(
+        path,
+        line,
+        "next index",
+        next_tok(path, line, "next index", it)?,
+    )?;
+    let seen = parse_u64(path, line, "seen", next_tok(path, line, "seen", it)?)?;
+    let live_rows = parse_u64(
+        path,
+        line,
+        "live rows",
+        next_tok(path, line, "live rows", it)?,
+    )?;
+    let inserted = parse_u64(
+        path,
+        line,
+        "inserted",
+        next_tok(path, line, "inserted", it)?,
+    )?;
+    let deleted = parse_u64(path, line, "deleted", next_tok(path, line, "deleted", it)?)?;
+    let pending = parse_u64(path, line, "pending", next_tok(path, line, "pending", it)?)?;
+    let slot_count = parse_usize(
+        path,
+        line,
+        "slot count",
+        next_tok(path, line, "slot count", it)?,
+    )?;
+    let mut slots = Vec::with_capacity(slot_count.min(1 << 20));
+    for j in 0..slot_count {
+        let missing = |_| {
+            corrupt(
+                path,
+                line,
+                format!("reservoir wants {slot_count} slots, found {j}"),
+            )
+        };
+        let key = parse_u64(
+            path,
+            line,
+            "slot key",
+            next_tok(path, line, "slot key", it).map_err(missing)?,
+        )?;
+        let index = parse_u64(
+            path,
+            line,
+            "slot index",
+            next_tok(path, line, "slot index", it).map_err(missing)?,
+        )?;
+        let value = parse_f64(
+            path,
+            line,
+            "slot value",
+            next_tok(path, line, "slot value", it).map_err(missing)?,
+        )?;
+        slots.push((key, index, value));
+    }
+    let domain = Domain::try_new(lo, hi).map_err(|e| e.with_path(path))?;
+    Ok(SketchCheckpoint {
+        relation,
+        column,
+        kind,
+        sketch: GkParts {
+            epsilon,
+            n,
+            tombstones,
+            entries,
+        },
+        column_state: IncrementalParts {
+            domain,
+            reservoir: ReservoirParts {
+                capacity,
+                seed,
+                next_index,
+                seen,
+                slots,
+            },
+            live_rows,
+            inserted,
+            deleted,
+            pending,
+        },
+        updates_since_refresh,
+    })
+}
+
 fn encode_feedback(state: &FeedbackState) -> String {
     let mut out = String::new();
     out.push_str(FEEDBACK_HEADER);
@@ -669,6 +907,12 @@ fn encode_feedback(state: &FeedbackState) -> String {
                 "online {rel} {col} {} {} {} {} {}",
                 cp.a, cp.b, cp.seen, cp.matched, cp.skipped_nonfinite
             ),
+            &mut out,
+        );
+    }
+    for ((rel, col), cp) in &state.sketches {
+        push_checked(
+            format!("sketch {rel} {col} {}", encode_sketch_fields(cp)),
             &mut out,
         );
     }
@@ -823,6 +1067,13 @@ fn decode_feedback(path: &Path, text: &str) -> Result<FeedbackState, EstimateErr
                 cp.resume().map_err(|e| e.with_path(path))?;
                 state.online.insert((rel, col), cp);
             }
+            "sketch" => {
+                let cp = decode_sketch_fields(path, line_no, rel.clone(), col.clone(), &mut it)?;
+                GkSketch::from_parts(cp.sketch.clone()).map_err(|e| e.with_path(path))?;
+                IncrementalColumn::from_parts(cp.column_state.clone())
+                    .map_err(|e| e.with_path(path))?;
+                state.sketches.insert((rel, col), cp);
+            }
             other => {
                 return Err(corrupt(
                     path,
@@ -862,6 +1113,12 @@ fn encode_record_payload(rec: &JournalRecord) -> String {
             matched,
             skipped_nonfinite,
         } => format!("online {relation} {column} {a} {b} {seen} {matched} {skipped_nonfinite}"),
+        JournalRecord::Sketch(cp) => format!(
+            "sketch {} {} {}",
+            cp.relation,
+            cp.column,
+            encode_sketch_fields(cp)
+        ),
     }
 }
 
@@ -907,6 +1164,9 @@ fn decode_record_payload(
                 next_tok(path, line, "skipped", &mut it)?,
             )?,
         },
+        "sketch" => {
+            JournalRecord::Sketch(decode_sketch_fields(path, line, relation, column, &mut it)?)
+        }
         other => {
             return Err(corrupt(
                 path,
@@ -1276,6 +1536,34 @@ impl DurableStore {
         (catalog, failures)
     }
 
+    /// Journal one column's incremental substrate (write-ahead, fsynced,
+    /// validated like any record). The latest checkpoint per column wins
+    /// on replay, so periodic checkpointing bounds replay work to one
+    /// record per column.
+    pub fn checkpoint_sketch(
+        &mut self,
+        checkpoint: &SketchCheckpoint,
+    ) -> Result<(), EstimateError> {
+        self.append(&JournalRecord::Sketch(checkpoint.clone()))
+    }
+
+    /// Rebuild the incremental substrate of every journaled checkpoint
+    /// into `catalog` ([`StatisticsCatalog::try_restore_incremental`] per
+    /// column). Returns per-column failures; successes resume ingest with
+    /// their staleness pressure intact.
+    pub fn restore_incremental(
+        &self,
+        catalog: &mut StatisticsCatalog,
+    ) -> Vec<(String, String, EstimateError)> {
+        let mut failures = Vec::new();
+        for cp in self.feedback.sketches() {
+            if let Err(e) = catalog.try_restore_incremental(cp) {
+                failures.push((cp.relation.clone(), cp.column.clone(), e));
+            }
+        }
+        failures
+    }
+
     /// Byte-exact representation of the committed state: the encoded
     /// active snapshot and folded feedback. Used by the determinism and
     /// crash-consistency suites.
@@ -1611,8 +1899,13 @@ pub fn fsck(dir: &Path) -> FsckReport {
         active: None,
         generations: Vec::new(),
         journal_records: 0,
+        sketch_columns: 0,
+        sketch_pending_updates: 0,
         findings: Vec::new(),
     };
+    // Latest sketch pressure per column: feedback snapshot first, then
+    // journal records overlay it (replay order).
+    let mut sketch_pressure: BTreeMap<(String, String), u64> = BTreeMap::new();
     if !dir.is_dir() {
         report
             .findings
@@ -1679,8 +1972,16 @@ pub fn fsck(dir: &Path) -> FsckReport {
                 report
                     .findings
                     .push(format!("{} checksum mismatch vs manifest", fpath.display()));
-            } else if let Err(e) = decode_feedback(&fpath, &text) {
-                report.findings.push(e.to_string());
+            } else {
+                match decode_feedback(&fpath, &text) {
+                    Ok(state) => {
+                        for ((rel, col), cp) in &state.sketches {
+                            sketch_pressure
+                                .insert((rel.clone(), col.clone()), cp.updates_since_refresh);
+                        }
+                    }
+                    Err(e) => report.findings.push(e.to_string()),
+                }
             }
         }
         Err(e) => report
@@ -1692,6 +1993,14 @@ pub fn fsck(dir: &Path) -> FsckReport {
         Ok(text) => match scan_journal(&jpath, &text) {
             Ok(scan) => {
                 report.journal_records = scan.records.len();
+                for rec in &scan.records {
+                    if let JournalRecord::Sketch(cp) = rec {
+                        sketch_pressure.insert(
+                            (cp.relation.clone(), cp.column.clone()),
+                            cp.updates_since_refresh,
+                        );
+                    }
+                }
                 if scan.gen != m.active {
                     report.findings.push(format!(
                         "journal generation {} does not match active {}",
@@ -1709,6 +2018,8 @@ pub fn fsck(dir: &Path) -> FsckReport {
         },
         Err(e) => report.findings.push(format!("journal unreadable: {e}")),
     }
+    report.sketch_columns = sketch_pressure.len();
+    report.sketch_pending_updates = sketch_pressure.values().sum();
     report.healthy = report.findings.is_empty();
     report
 }
@@ -2005,6 +2316,85 @@ mod tests {
         assert_ne!(report.rung, RecoveryRung::Active);
         let check = fsck(&dir);
         assert!(check.healthy, "findings: {:?}", check.findings);
+    }
+
+    fn sketch_checkpoint() -> SketchCheckpoint {
+        use crate::catalog::{AnalyzeConfig, StatisticsCatalog};
+        use crate::relation::{Column, Relation};
+        let d = Domain::new(0.0, 100.0);
+        let values: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.618_033_988_749).fract() * 100.0)
+            .collect();
+        let mut r = Relation::new("t");
+        r.add_column(Column::new("v", d, values));
+        let mut cat = StatisticsCatalog::new();
+        let report = cat.try_analyze_incremental(
+            &r,
+            &AnalyzeConfig::default(),
+            &selest_par::TryConfig::jobs(1),
+        );
+        assert!(report.is_healthy());
+        cat.incremental_checkpoints().remove(0)
+    }
+
+    #[test]
+    fn sketch_checkpoints_survive_restart_and_latest_wins() {
+        let dir = scratch("sketchjournal");
+        let (mut store, _) = DurableStore::open(&dir).expect("open");
+        store.publish(vec![entry("t", "v")]).expect("publish");
+        let mut cp = sketch_checkpoint();
+        store.checkpoint_sketch(&cp).expect("checkpoint");
+        cp.updates_since_refresh = 7;
+        store.checkpoint_sketch(&cp).expect("checkpoint 2");
+        assert_eq!(store.journal_len(), 2);
+        assert_eq!(store.feedback().sketch("t", "v"), Some(&cp), "latest wins");
+        drop(store);
+        let (mut reopened, report) = DurableStore::open(&dir).expect("reopen");
+        assert_eq!(report.journal_applied, 2);
+        assert_eq!(reopened.feedback().sketch("t", "v"), Some(&cp));
+        let check = fsck(&dir);
+        assert!(check.healthy, "findings: {:?}", check.findings);
+        assert_eq!(check.sketch_columns, 1);
+        assert_eq!(check.sketch_pending_updates, 7);
+        // Compact folds the journal into the feedback snapshot; the
+        // checkpoint (and its staleness pressure) survives the fold.
+        reopened.compact().expect("compact");
+        assert_eq!(reopened.journal_len(), 0);
+        assert_eq!(reopened.feedback().sketch("t", "v"), Some(&cp));
+        let check = fsck(&dir);
+        assert!(check.healthy, "findings: {:?}", check.findings);
+        assert_eq!(check.sketch_columns, 1);
+        assert_eq!(check.sketch_pending_updates, 7);
+        // Restore resumes ingest: the rebuilt catalog reports exactly the
+        // checkpointed staleness pressure.
+        let (mut catalog, _) = reopened.load_catalog();
+        let failures = reopened.restore_incremental(&mut catalog);
+        assert!(failures.is_empty(), "{failures:?}");
+        let signals = catalog.staleness_signals();
+        assert_eq!(signals.len(), 1);
+        assert_eq!((signals[0].0.as_str(), signals[0].1.as_str()), ("t", "v"));
+        assert_eq!(signals[0].2.pending_updates, 7);
+    }
+
+    #[test]
+    fn invalid_sketch_checkpoints_never_reach_the_journal() {
+        let dir = scratch("sketchreject");
+        let (mut store, _) = DurableStore::open(&dir).expect("open");
+        store.publish(vec![entry("t", "v")]).expect("publish");
+        let good = sketch_checkpoint();
+        // Orphan: no statistics entry for the column.
+        let mut orphan = good.clone();
+        orphan.column = "missing".to_owned();
+        assert!(matches!(
+            store.checkpoint_sketch(&orphan),
+            Err(EstimateError::MissingStatistics { .. })
+        ));
+        // Internally inconsistent GK state (Σg must equal n).
+        let mut torn = good.clone();
+        torn.sketch.n += 1;
+        assert!(store.checkpoint_sketch(&torn).is_err());
+        assert_eq!(store.journal_len(), 0, "rejected records never hit disk");
+        assert!(store.feedback().is_empty());
     }
 
     #[test]

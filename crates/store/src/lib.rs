@@ -25,11 +25,14 @@ pub mod query;
 pub mod relation;
 pub mod resilient;
 pub mod serving;
+pub mod staleness;
 
 pub use catalog::{
     build_estimator, build_estimator_from_prepared, build_estimator_from_sample,
     try_build_estimator_from_prepared, try_build_estimator_from_sample, AnalyzeConfig,
-    CatalogHealthReport, ColumnStatistics, EstimatorKind, QuarantinedColumn, StatisticsCatalog,
+    CatalogHealthReport, ColumnDelta, ColumnStatistics, EstimatorKind, IncrementalState,
+    QuarantinedColumn, RefreshReport, SketchCheckpoint, StatisticsCatalog, UpdateReport,
+    SKETCH_EPSILON,
 };
 pub use conjunctive::{CorrelationModel, PairStatistics};
 pub use durable::{
@@ -50,5 +53,6 @@ pub use relation::{Column, Relation};
 pub use resilient::{BuildFailure, HealthReport, ResilientEstimator};
 pub use serving::{
     CacheStats, CatalogSnapshot, EstimateCache, ServingColumn, ServingEngine, ServingHealthReport,
-    ServingOptions, ServingPublishReport, ServingScratch, ShardHealth,
+    ServingOptions, ServingPublishReport, ServingScratch, ShardHealth, StaleRepublishReport,
 };
+pub use staleness::{StalenessPolicy, StalenessReason, StalenessSignal};

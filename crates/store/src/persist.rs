@@ -94,7 +94,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn kind_token(kind: EstimatorKind) -> &'static str {
+pub(crate) fn kind_token(kind: EstimatorKind) -> &'static str {
     match kind {
         EstimatorKind::Uniform => "uniform",
         EstimatorKind::Sampling => "sampling",
@@ -107,7 +107,7 @@ fn kind_token(kind: EstimatorKind) -> &'static str {
     }
 }
 
-fn parse_kind(token: &str) -> Result<EstimatorKind, String> {
+pub(crate) fn parse_kind(token: &str) -> Result<EstimatorKind, String> {
     Ok(match token {
         "uniform" => EstimatorKind::Uniform,
         "sampling" => EstimatorKind::Sampling,

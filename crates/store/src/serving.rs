@@ -36,17 +36,19 @@ use selest_core::{BatchScratch, Domain, RangeQuery, SelectivityEstimator};
 use selest_par::{shard_for, ShardPool, TryConfig};
 
 use crate::catalog::{
-    AnalyzeConfig, CatalogHealthReport, EstimatorKind, QuarantinedColumn, StatisticsCatalog,
+    AnalyzeConfig, CatalogHealthReport, EstimatorKind, QuarantinedColumn, RefreshReport,
+    StatisticsCatalog,
 };
 use crate::durable::DurableStore;
 use crate::relation::Relation;
 use crate::resilient::ResilientEstimator;
+use crate::staleness::StalenessPolicy;
 
 /// One servable column inside a [`CatalogSnapshot`].
 pub struct ServingColumn {
     relation: Arc<str>,
     column: Arc<str>,
-    estimator: Box<dyn SelectivityEstimator + Send + Sync>,
+    estimator: Arc<dyn SelectivityEstimator + Send + Sync>,
     n_rows: usize,
     kind: EstimatorKind,
     domain: Domain,
@@ -140,6 +142,37 @@ impl CatalogSnapshot {
         Self::build(Some(relation), catalog, generation)
     }
 
+    /// Freeze a *shared view* of the catalog into a snapshot without
+    /// consuming it: every entry's `Arc`s (names, estimator, sample) are
+    /// cloned, so the writer catalog keeps absorbing updates through
+    /// [`StatisticsCatalog::try_apply_updates`] while the published
+    /// snapshot stays immutable. This is the republish path of the
+    /// incremental substrate — quarantined columns have no serving entry,
+    /// as in [`CatalogSnapshot::from_catalog`].
+    pub fn from_catalog_ref(catalog: &StatisticsCatalog, generation: u64) -> Self {
+        let mut columns: Vec<ServingColumn> = catalog
+            .iter()
+            .map(|st| ServingColumn {
+                relation: Arc::clone(&st.relation),
+                column: Arc::clone(&st.column),
+                estimator: Arc::clone(&st.estimator),
+                n_rows: st.n_rows,
+                kind: st.kind,
+                domain: st.domain,
+                sample: Arc::clone(&st.sample),
+                quarantined: false,
+            })
+            .collect();
+        columns.sort_by(|a, b| {
+            (a.relation.as_ref(), a.column.as_ref()).cmp(&(b.relation.as_ref(), b.column.as_ref()))
+        });
+        CatalogSnapshot {
+            generation,
+            columns,
+            quarantined: catalog.health().quarantined,
+        }
+    }
+
     fn build(relation: Option<&Relation>, catalog: StatisticsCatalog, generation: u64) -> Self {
         let (entries, quarantine) = catalog.into_sorted_entries();
         let mut columns: Vec<ServingColumn> = entries
@@ -164,7 +197,7 @@ impl CatalogSnapshot {
                         columns.push(ServingColumn {
                             relation: rel.as_str().into(),
                             column: col.as_str().into(),
-                            estimator: Box::new(ladder),
+                            estimator: Arc::new(ladder),
                             n_rows: c.len(),
                             kind: EstimatorKind::Uniform,
                             domain: c.domain(),
@@ -521,6 +554,17 @@ pub struct ServingPublishReport {
     pub failed_shards: Vec<(usize, String)>,
 }
 
+/// Outcome of a staleness-driven refresh-and-republish
+/// ([`ServingEngine::republish_if_stale`]).
+#[derive(Debug)]
+pub struct StaleRepublishReport {
+    /// Generation the refreshed snapshot was published as.
+    pub generation: u64,
+    /// Which columns were refreshed (and why), and which refreshes the
+    /// bulkhead quarantined.
+    pub refresh: RefreshReport,
+}
+
 /// Decrements a shard's in-flight count when the estimate call it
 /// admitted returns (on every path, including panics unwinding through
 /// the estimator).
@@ -769,6 +813,36 @@ impl ServingEngine {
     /// new crash-safe generation; returns the durable generation number.
     pub fn publish_durable(&self, store: &mut DurableStore) -> Result<u64, EstimateError> {
         store.publish(self.snapshot().export())
+    }
+
+    /// The staleness-driven republish loop in one call: judge every
+    /// incremental column of `catalog` against `policy`, and when any is
+    /// stale, refresh the stale ones from their live substrate
+    /// ([`StatisticsCatalog::try_refresh_stale`], bulkheaded per column)
+    /// and publish a fresh epoch snapshot sharing the refreshed
+    /// estimators by `Arc`. Returns `None` — publishing nothing, costing
+    /// one signal sweep — while every column is fresh, so callers can
+    /// invoke it on every ingest batch. In-flight readers keep serving
+    /// the old snapshot until the swap, as with any publish.
+    pub fn republish_if_stale(
+        &self,
+        catalog: &mut StatisticsCatalog,
+        policy: &StalenessPolicy,
+        engine: &TryConfig,
+    ) -> Option<StaleRepublishReport> {
+        let any_stale = catalog
+            .staleness_signals()
+            .iter()
+            .any(|(_, _, s)| policy.verdict(s).is_some());
+        if !any_stale {
+            return None;
+        }
+        let refresh = catalog.try_refresh_stale(policy, engine);
+        let generation = self.publish_snapshot(CatalogSnapshot::from_catalog_ref(catalog, 0));
+        Some(StaleRepublishReport {
+            generation,
+            refresh,
+        })
     }
 
     fn admit(&self, shard: usize) -> Result<AdmissionGuard<'_>, EstimateError> {
@@ -1242,5 +1316,81 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn republish_if_stale_refreshes_and_bumps_the_generation_only_under_debt() {
+        let r = test_relation();
+        let mut cat = StatisticsCatalog::new();
+        let health = cat.try_analyze_incremental(
+            &r,
+            &AnalyzeConfig {
+                kind: EstimatorKind::EquiDepth,
+                ..Default::default()
+            },
+            &TryConfig::jobs(1),
+        );
+        assert!(health.is_healthy());
+        let engine = ServingEngine::with_defaults();
+        engine.publish_snapshot(CatalogSnapshot::from_catalog_ref(&cat, 0));
+        assert_eq!(engine.snapshot().generation(), 1);
+
+        // Fresh catalog: the sweep is a no-op and the generation holds.
+        let policy = StalenessPolicy::default();
+        assert!(engine
+            .republish_if_stale(&mut cat, &policy, &TryConfig::jobs(1))
+            .is_none());
+        assert_eq!(engine.snapshot().generation(), 1);
+
+        // Pour a heavy skewed batch into one column: mass concentrated in
+        // [900, 1000) that the analyze-time estimator has barely seen.
+        let q = RangeQuery::new(900.0, 1_000.0);
+        let before = engine.try_estimate("serve", "a", &q).unwrap();
+        let deltas = vec![crate::catalog::ColumnDelta {
+            column: "a".into(),
+            inserts: (0..6_000)
+                .map(|i| 900.0 + 100.0 * ((i as f64) * 0.618_033_988_749).fract())
+                .collect(),
+            deletes: Vec::new(),
+        }];
+        let report = cat.try_apply_updates("serve", &deltas, &TryConfig::jobs(1));
+        assert_eq!(report.applied.len(), 1);
+
+        // The sweep now refreshes the column through the bulkhead and
+        // republishes an epoch snapshot under a bumped generation.
+        let stale = engine
+            .republish_if_stale(&mut cat, &policy, &TryConfig::jobs(1))
+            .expect("update debt must force a republish");
+        assert_eq!(stale.generation, 2);
+        assert_eq!(engine.snapshot().generation(), 2);
+        assert_eq!(stale.refresh.refreshed.len(), 1);
+        assert_eq!(
+            stale.refresh.refreshed[0],
+            (
+                "serve".to_owned(),
+                "a".to_owned(),
+                crate::staleness::StalenessReason::UpdateVolume
+            )
+        );
+
+        // Served estimates see the new mass (cache slots from generation 1
+        // can no longer answer) and stay bit-identical to the catalog.
+        let after = engine.try_estimate("serve", "a", &q).unwrap();
+        assert!(
+            after > before + 0.2,
+            "estimate must reflect the skewed batch: {before} -> {after}"
+        );
+        let direct = cat
+            .statistics("serve", "a")
+            .unwrap()
+            .estimator
+            .selectivity(&q);
+        assert_eq!(after.to_bits(), direct.to_bits());
+
+        // Debt is settled: the next sweep is a no-op again.
+        assert!(engine
+            .republish_if_stale(&mut cat, &policy, &TryConfig::jobs(1))
+            .is_none());
+        assert_eq!(engine.snapshot().generation(), 2);
     }
 }

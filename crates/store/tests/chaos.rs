@@ -6,7 +6,7 @@
 
 use std::sync::Once;
 
-use selest_core::{Domain, RangeQuery, SelectivityEstimator};
+use selest_core::{Domain, RangeQuery};
 use selest_store::catalog::{AnalyzeConfig, EstimatorKind, StatisticsCatalog};
 use selest_store::faultinject::{FailingEstimator, FailureMode, FaultInjector};
 use selest_store::persist;

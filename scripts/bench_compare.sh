@@ -57,6 +57,23 @@
 #                      exceeds US microseconds (default 250000 — the tail
 #                      must stay bounded while background ANALYZE
 #                      rebuilds publish mid-run)
+#   --incremental      compare ingest-bench files (selest ingest --bench)
+#                      instead of perf baselines. Both files must carry
+#                      all four sections (refresh/merge/snapshot/ingest)
+#                      and pass the mode-independent correctness gates:
+#                      the merged sketch's realized rank error within its
+#                      bound (within_bound true) and zero-update
+#                      snapshots bit-identical end to end (bit_identical
+#                      true). Full-mode files additionally gate the
+#                      refresh speedup and must show at least one
+#                      staleness-forced republish with live readers;
+#                      smoke timings are noise and only
+#                      structure/correctness-checked.
+#   --min-refresh-speedup R
+#                      (--incremental) fail if a full-mode file's
+#                      incremental-refresh speedup over the from-scratch
+#                      re-ANALYZE is below R (default 10 — the PR 9
+#                      acceptance floor at n = 100k)
 #
 # Structure gate: every (fixture, estimator) row of the baseline must exist
 # in the new file, and if the baseline has a catalog or fault_overhead
@@ -80,9 +97,11 @@ min_speedup_kernel_batch=0
 min_speedup_hist_seq=0
 simd_gate=0
 serving=0
+incremental=0
 min_scaling=3
 p99_max_us=50000
 p999_max_us=250000
+min_refresh_speedup=10
 while [ $# -gt 0 ]; do
     case "$1" in
         --max-ratio)          max_ratio=$2; shift 2 ;;
@@ -93,9 +112,11 @@ while [ $# -gt 0 ]; do
         --min-speedup-hist-seq)     min_speedup_hist_seq=$2; shift 2 ;;
         --simd)               simd_gate=1; shift ;;
         --serving)            serving=1; shift ;;
+        --incremental)        incremental=1; shift ;;
         --min-scaling)        min_scaling=$2; shift 2 ;;
         --p99-max-us)         p99_max_us=$2; shift 2 ;;
         --p999-max-us)        p999_max_us=$2; shift 2 ;;
+        --min-refresh-speedup) min_refresh_speedup=$2; shift 2 ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
@@ -106,6 +127,98 @@ for f in "$baseline" "$new"; do
         exit 1
     fi
 done
+
+if [ "$incremental" = 1 ]; then
+    awk -v min_speedup="$min_refresh_speedup" \
+        -v baseline="$baseline" -v new_file="$new" '
+function field_num(line, key,    r) {
+    if (match(line, "\"" key "\": *-?[0-9.eE+-]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r + 0
+}
+function field_str(line, key,    r) {
+    if (match(line, "\"" key "\": *\"[^\"]*\"") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *\"", "", r)
+    sub("\"$", "", r)
+    return r
+}
+function field_bool(line, key,    r) {
+    if (match(line, "\"" key "\": *(true|false)") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r
+}
+{
+    f = FILENAME
+    if (index($0, "\"mode\":") > 0) mode[f] = field_str($0, "mode")
+    if (index($0, "\"refresh\":") > 0) {
+        has_refresh[f] = 1
+        speedup[f] = field_num($0, "speedup")
+    }
+    if (index($0, "\"merge\":") > 0) {
+        has_merge[f] = 1
+        within[f] = field_bool($0, "within_bound")
+        realized[f] = field_num($0, "realized_max_rank_error")
+        bound[f] = field_num($0, "rank_error_bound")
+    }
+    if (index($0, "\"snapshot\":") > 0) {
+        has_snapshot[f] = 1
+        bitid[f] = field_bool($0, "bit_identical")
+    }
+    if (index($0, "\"ingest\":") > 0) {
+        has_ingest[f] = 1
+        republishes[f] = field_num($0, "republishes")
+        reader_batches[f] = field_num($0, "reader_batches")
+    }
+}
+END {
+    fails = 0
+    split(baseline " " new_file, files, " ")
+    for (fi = 1; fi <= 2; fi++) {
+        f = files[fi]
+        if (!has_refresh[f]) { printf "FAIL %s: refresh section missing\n", f; fails++ }
+        if (!has_merge[f])   { printf "FAIL %s: merge section missing\n", f; fails++ }
+        if (!has_snapshot[f]){ printf "FAIL %s: snapshot section missing\n", f; fails++ }
+        if (!has_ingest[f])  { printf "FAIL %s: ingest section missing\n", f; fails++ }
+        # Correctness gates hold in every mode: a smoke run may be slow,
+        # never wrong.
+        if (has_merge[f] && within[f] != "true") {
+            printf "FAIL %s: merged sketch rank error %s broke bound %s (within_bound %s)\n", \
+                f, realized[f], bound[f], within[f]
+            fails++
+        }
+        if (has_snapshot[f] && bitid[f] != "true") {
+            printf "FAIL %s: zero-update snapshot not bit-identical\n", f
+            fails++
+        }
+        # Timing and liveness gates only on full-mode measurements.
+        if (mode[f] == "full") {
+            if (has_refresh[f] && (speedup[f] == "NA" || speedup[f] < min_speedup)) {
+                printf "FAIL %s: refresh speedup %.2f < %.1f\n", f, speedup[f], min_speedup
+                fails++
+            }
+            if (has_ingest[f] && republishes[f] + 0 < 1) {
+                printf "FAIL %s: no staleness-forced republish\n", f
+                fails++
+            }
+            if (has_ingest[f] && reader_batches[f] + 0 < 1) {
+                printf "FAIL %s: readers served nothing during ingest\n", f
+                fails++
+            }
+        }
+    }
+    if (fails > 0) {
+        printf "bench_compare --incremental: %d failure(s) (%s vs %s)\n", fails, baseline, new_file
+        exit 1
+    }
+    printf "bench_compare --incremental: both files OK (rank bound + bit-identity exact"
+    printf "; full-mode gates: refresh speedup >= x%.1f, republishes >= 1)\n", min_speedup
+}
+' "$baseline" "$new"
+    exit $?
+fi
 
 if [ "$serving" = 1 ]; then
     awk -v min_scaling="$min_scaling" -v p99_max="$p99_max_us" -v p999_max="$p999_max_us" \

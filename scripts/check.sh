@@ -77,6 +77,17 @@ echo "==> serving gate vs committed BENCH_PR8.json (checksum identity + tail/sca
 # timings on a busy 1-core box cannot support a latency threshold.
 scripts/bench_compare.sh BENCH_PR8.json target/bench_serving_smoke.json --serving
 
+echo "==> ingest bench smoke run (scratch output; BENCH_PR9.json untouched)"
+./target/release/selest ingest --bench --smoke --out target/bench_ingest_smoke.json
+test -s target/bench_ingest_smoke.json
+
+echo "==> incremental gate vs committed BENCH_PR9.json (rank bound + bit-identity + refresh speedup)"
+# Correctness gates (merged-sketch rank bound, zero-update bit-identity)
+# are exact in both files; the >= 10x refresh speedup and the
+# staleness-republish liveness gates apply to the committed full-mode
+# artifact only — smoke timings on a busy 1-core box are noise.
+scripts/bench_compare.sh BENCH_PR9.json target/bench_ingest_smoke.json --incremental
+
 if [ "$simd" = 1 ]; then
     echo "==> SIMD determinism sweep (lanes x jobs, byte-identical)"
     cargo test -q --test simd_kernels

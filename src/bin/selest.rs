@@ -7,6 +7,7 @@
 //! selest estimate n(20) kernel 100000 200000 [--scale 10] [--sample 2000]
 //! selest repro fig12 [--quick] [--csv DIR]
 //! selest snapshot /var/lib/selest n(20) [--scale 10]
+//! selest ingest --bench [--smoke]
 //! selest fsck /var/lib/selest [--repair]
 //! selest methods
 //! ```
@@ -261,6 +262,17 @@ fn cmd_serve(args: &[String]) {
     bench::serving::run_serving_bench(&opts);
 }
 
+fn cmd_ingest(args: &[String]) {
+    if !args.iter().any(|a| a == "--bench") {
+        die("ingest: only the benchmark driver is wired so far; run `selest ingest --bench`");
+    }
+    let opts = bench::ingest::IngestBenchOptions {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        out: flag_value(args, "--out").unwrap_or_else(|| "BENCH_PR9.json".to_owned()),
+    };
+    bench::ingest::run_ingest_bench(&opts);
+}
+
 fn print_fsck(report: &selest::store::FsckReport) {
     println!(
         "health      {}",
@@ -272,6 +284,12 @@ fn print_fsck(report: &selest::store::FsckReport) {
     let gens: Vec<String> = report.generations.iter().map(u64::to_string).collect();
     println!("on disk     [{}]", gens.join(", "));
     println!("journal     {} records", report.journal_records);
+    if report.sketch_columns > 0 {
+        println!(
+            "sketches    {} columns journaled, {} updates pending at restore",
+            report.sketch_columns, report.sketch_pending_updates
+        );
+    }
     for finding in &report.findings {
         println!("finding     {finding}");
     }
@@ -303,6 +321,28 @@ fn cmd_fsck(args: &[String]) {
             );
             for (relation, column, error) in &failures {
                 println!("            unservable {relation}.{column}: {error}");
+            }
+            // Journaled sketch state carries staleness pressure across
+            // restarts: judge each restored column with the default
+            // policy so operators see whether the active generation is
+            // serving stale statistics.
+            let mut catalog = StatisticsCatalog::new();
+            let sketch_failures = store.restore_incremental(&mut catalog);
+            let policy = selest::store::StalenessPolicy::default();
+            for (relation, column, signal) in catalog.staleness_signals() {
+                match policy.verdict(&signal) {
+                    Some(reason) => println!(
+                        "staleness   {relation}.{column}: STALE ({reason}, {} updates pending)",
+                        signal.pending_updates
+                    ),
+                    None => println!(
+                        "staleness   {relation}.{column}: fresh ({} updates pending)",
+                        signal.pending_updates
+                    ),
+                }
+            }
+            for (relation, column, error) in &sketch_failures {
+                println!("            unrestorable sketch {relation}.{column}: {error}");
             }
         }
         return;
@@ -342,6 +382,7 @@ fn main() {
         Some("repro") => cmd_repro(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("methods") => {
             for m in METHODS {
@@ -357,6 +398,7 @@ fn main() {
             println!("  selest repro [ids...] [--quick] [--jobs N] [--csv DIR]");
             println!("  selest snapshot <dir> [files...] [--scale K] [--sample N]");
             println!("  selest serve --bench [--smoke] [--out FILE]");
+            println!("  selest ingest --bench [--smoke] [--out FILE]");
             println!("  selest fsck <dir> [--repair]");
             println!("  selest methods");
             println!();
