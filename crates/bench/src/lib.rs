@@ -6,6 +6,7 @@ use selest_core::{Domain, RangeQuery};
 use selest_data::{sample_without_replacement, DataFile, PaperFile, QueryFile};
 
 pub mod ingest;
+pub mod overload;
 pub mod serving;
 
 /// A reduced n(20)-style fixture: data, 1 000-record sample, 1 % queries.

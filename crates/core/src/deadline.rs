@@ -1,0 +1,142 @@
+//! Per-request deadlines for the serving path.
+//!
+//! [`QueryDeadline`] wraps the parallel engine's cooperative
+//! [`selest_par::Deadline`] (the shared trip flag workers already poll)
+//! with the bookkeeping an *estimate request* needs: when the request
+//! started and what its budget was, so an expiry can be reported as a
+//! typed [`EstimateError::DeadlineExceeded`] carrying both numbers.
+//!
+//! Deadlines are **cooperative**: nothing is interrupted mid-computation.
+//! The serving engine, the resilient ladder, and the kernel merge scan
+//! poll [`QueryDeadline::expired`] at checkpoints (admission, between scan
+//! phases, every few batch slots) and abandon only the work that has not
+//! started — a batch that runs out of budget returns partial results, with
+//! every finished slot holding exactly the bits the unhurried path would
+//! have produced.
+//!
+//! The deadline rides to the estimator inside [`crate::BatchScratch`]
+//! (see [`crate::BatchScratch::set_deadline`]), so the
+//! [`crate::SelectivityEstimator`] trait surface stays unchanged:
+//! estimators that know how to cancel cooperatively read the slot,
+//! everything else ignores it.
+
+use std::time::{Duration, Instant};
+
+use crate::fault::EstimateError;
+
+/// A per-request execution budget: a shared cooperative trip flag plus
+/// the start instant and budget needed to report expiry as a typed error.
+///
+/// Cloning is cheap and shares the trip flag: expire one clone (or let
+/// the wall clock pass the budget) and every holder observes it.
+#[derive(Debug, Clone)]
+pub struct QueryDeadline {
+    inner: selest_par::Deadline,
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl QueryDeadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        QueryDeadline {
+            inner: selest_par::Deadline::after(budget),
+            started: Instant::now(),
+            budget: Some(budget),
+        }
+    }
+
+    /// A deadline only [`QueryDeadline::expire`] trips — the deterministic
+    /// variant chaos tests use to cut a batch at an exact slot.
+    pub fn manual() -> Self {
+        QueryDeadline {
+            inner: selest_par::Deadline::manual(),
+            started: Instant::now(),
+            budget: None,
+        }
+    }
+
+    /// A deadline that is already expired (no work will start).
+    pub fn already_expired() -> Self {
+        let d = Self::manual();
+        d.expire();
+        d
+    }
+
+    /// Trip the deadline now; every holder of a clone observes it at its
+    /// next checkpoint.
+    pub fn expire(&self) {
+        self.inner.expire();
+    }
+
+    /// Whether the budget is spent (manually tripped or past due).
+    pub fn expired(&self) -> bool {
+        self.inner.expired()
+    }
+
+    /// Microseconds since the request started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// The request's budget in microseconds (`0` for manual deadlines,
+    /// which have no wall-clock budget).
+    pub fn budget_us(&self) -> u64 {
+        self.budget.map_or(0, |b| b.as_micros() as u64)
+    }
+
+    /// The shared [`selest_par::Deadline`] — hand this to a `TryConfig`
+    /// so a parallel rebuild racing the request honors the same budget.
+    pub fn as_par_deadline(&self) -> &selest_par::Deadline {
+        &self.inner
+    }
+
+    /// The typed error reporting this deadline's expiry, stamped with the
+    /// elapsed time observed *now*.
+    pub fn error(&self) -> EstimateError {
+        EstimateError::DeadlineExceeded {
+            elapsed_us: self.elapsed_us(),
+            budget_us: self.budget_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_deadline_trips_every_clone() {
+        let d = QueryDeadline::manual();
+        let c = d.clone();
+        assert!(!d.expired() && !c.expired());
+        c.expire();
+        assert!(d.expired() && c.expired());
+        assert_eq!(d.budget_us(), 0);
+        match d.error() {
+            EstimateError::DeadlineExceeded { budget_us, .. } => assert_eq!(budget_us, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_deadline_reports_budget_and_elapsed() {
+        let d = QueryDeadline::after(Duration::from_millis(200));
+        assert!(!d.expired(), "200ms budget cannot expire instantly");
+        assert_eq!(d.budget_us(), 200_000);
+        let zero = QueryDeadline::after(Duration::ZERO);
+        assert!(zero.expired());
+        match zero.error() {
+            EstimateError::DeadlineExceeded { budget_us, .. } => assert_eq!(budget_us, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_expired_starts_tripped() {
+        let d = QueryDeadline::already_expired();
+        assert!(d.expired());
+        // The par-side flag is shared, so parallel engines see it too.
+        assert!(d.as_par_deadline().expired());
+    }
+}

@@ -66,9 +66,11 @@ pub enum EstimateError {
         /// expired before the task could run").
         reason: String,
     },
-    /// A serving shard refused the request because its admission limit
-    /// was already saturated — backpressure, not failure: the caller
-    /// should retry after the burst drains.
+    /// A serving shard refused the request — its admission limit was
+    /// saturated, or the adaptive shed controller judged the queue too
+    /// deep for the latency SLO. Backpressure, not failure: the caller
+    /// should retry after roughly `retry_after_us` microseconds, the
+    /// shard's own estimate of when the queue will have drained.
     Overloaded {
         /// The shard that refused admission.
         shard: usize,
@@ -76,6 +78,23 @@ pub enum EstimateError {
         in_flight: usize,
         /// The shard's admission limit.
         limit: usize,
+        /// Suggested retry delay in microseconds (queue-drain estimate
+        /// from the shard's latency EWMA; 0 when the shard has no
+        /// latency history yet).
+        retry_after_us: u64,
+    },
+    /// The request's end-to-end deadline expired before the estimate
+    /// completed. Cooperative: the serving path polls the deadline at
+    /// checkpoints (admission, between merge-scan phases, between batch
+    /// slots) and abandons only the *remaining* work, so a batch returns
+    /// partial results — finished slots keep their bit-exact values and
+    /// unfinished slots carry this error.
+    DeadlineExceeded {
+        /// Microseconds elapsed when the expiry was observed.
+        elapsed_us: u64,
+        /// The request's budget in microseconds (0 for a manually
+        /// tripped deadline with no wall-clock budget).
+        budget_us: u64,
     },
     /// ANALYZE was asked for a column the relation does not have.
     UnknownColumn {
@@ -184,10 +203,21 @@ impl core::fmt::Display for EstimateError {
                 shard,
                 in_flight,
                 limit,
+                retry_after_us,
             } => {
                 write!(
                     f,
-                    "shard {shard} overloaded: {in_flight} estimates in flight (limit {limit})"
+                    "shard {shard} overloaded: {in_flight} estimates in flight (limit {limit}); \
+                     retry after {retry_after_us}us"
+                )
+            }
+            EstimateError::DeadlineExceeded {
+                elapsed_us,
+                budget_us,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: {elapsed_us}us elapsed of a {budget_us}us budget"
                 )
             }
             EstimateError::UnknownColumn { relation, column } => {
@@ -365,8 +395,25 @@ mod tests {
                     shard: 3,
                     in_flight: 128,
                     limit: 128,
+                    retry_after_us: 750,
                 },
                 "shard 3 overloaded",
+            ),
+            (
+                EstimateError::Overloaded {
+                    shard: 0,
+                    in_flight: 9,
+                    limit: 8,
+                    retry_after_us: 1_500,
+                },
+                "retry after 1500us",
+            ),
+            (
+                EstimateError::DeadlineExceeded {
+                    elapsed_us: 2_300,
+                    budget_us: 2_000,
+                },
+                "deadline exceeded: 2300us elapsed of a 2000us budget",
             ),
             (
                 EstimateError::UnknownColumn {

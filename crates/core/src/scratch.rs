@@ -17,20 +17,52 @@
 
 use std::any::Any;
 
+use crate::deadline::QueryDeadline;
+
 /// Caller-owned, estimator-typed scratch space for the `_into` batch APIs.
 ///
 /// Create one per serving thread (or per resilient ladder / harness
 /// worker), reuse it across calls. `Default`/`new` make an empty bag; no
 /// allocation happens until an estimator first asks for its buffers.
+///
+/// Besides the typed buffers, the bag carries the request's optional
+/// [`QueryDeadline`]: the serving engine sets it before a fallible batch
+/// call and clears it after, so deadline-aware estimators (the kernel
+/// merge scan, the resilient ladder) can cancel cooperatively without the
+/// trait surface changing. Estimators that never look at it are
+/// unaffected.
 #[derive(Default)]
 pub struct BatchScratch {
     slot: Option<Box<dyn Any + Send>>,
+    deadline: Option<QueryDeadline>,
 }
 
 impl BatchScratch {
     /// An empty scratch bag. Allocation-free until first use.
     pub const fn new() -> Self {
-        BatchScratch { slot: None }
+        BatchScratch {
+            slot: None,
+            deadline: None,
+        }
+    }
+
+    /// Arm the request deadline for the next batch call. The caller is
+    /// responsible for clearing it afterwards ([`Self::clear_deadline`]);
+    /// a stale deadline would cut the *next* request's batch short.
+    pub fn set_deadline(&mut self, deadline: QueryDeadline) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Disarm the request deadline.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// The armed request deadline, if any. Deadline-aware estimators read
+    /// (and clone — it is an `Arc`-backed flag) this at the start of a
+    /// batch call.
+    pub fn deadline(&self) -> Option<&QueryDeadline> {
+        self.deadline.as_ref()
     }
 
     /// The scratch buffers of type `T`, creating them (once) if the bag is
@@ -51,9 +83,11 @@ impl BatchScratch {
     }
 
     /// Drop whatever buffers the bag holds, returning it to the empty
-    /// state (mainly for tests and memory-pressure hooks).
+    /// state (mainly for tests and memory-pressure hooks). The armed
+    /// deadline (if any) is dropped too.
     pub fn clear(&mut self) {
         self.slot = None;
+        self.deadline = None;
     }
 }
 
@@ -110,5 +144,20 @@ mod tests {
         scratch.clear();
         assert!(scratch.get_or_default::<KernelLike>().cuts.is_empty());
         assert_eq!(format!("{scratch:?}"), "BatchScratch { occupied: true }");
+    }
+
+    #[test]
+    fn deadline_slot_arms_and_disarms() {
+        let mut scratch = BatchScratch::new();
+        assert!(scratch.deadline().is_none());
+        scratch.set_deadline(crate::deadline::QueryDeadline::manual());
+        assert!(scratch.deadline().is_some());
+        assert!(!scratch.deadline().expect("armed").expired());
+        scratch.clear_deadline();
+        assert!(scratch.deadline().is_none());
+        // clear() drops an armed deadline along with the buffers.
+        scratch.set_deadline(crate::deadline::QueryDeadline::already_expired());
+        scratch.clear();
+        assert!(scratch.deadline().is_none());
     }
 }

@@ -31,7 +31,7 @@
 
 use std::cell::RefCell;
 
-use selest_core::{BatchScratch, EstimateError, RangeQuery, SelectivityEstimator};
+use selest_core::{BatchScratch, EstimateError, QueryDeadline, RangeQuery, SelectivityEstimator};
 use selest_simd::{configured_lanes, KahanSum, LaneMode};
 
 use crate::boundary::BoundaryPolicy;
@@ -306,7 +306,9 @@ pub(crate) fn selectivity_batch_into(
         resolved,
         ..
     } = ks;
-    run_scan(est, queries, plans, terms, cuts, resolved, out);
+    // The infallible contract has no partial-result channel, so it runs
+    // without a deadline even if the scratch carries one.
+    run_scan(est, queries, plans, terms, cuts, resolved, None, out);
 }
 
 /// Fault-isolated batch into a reusable output vector: degenerate queries
@@ -322,6 +324,9 @@ pub(crate) fn try_selectivity_batch_into(
     out.clear();
     out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
 
+    // Clone the armed request deadline (a cheap shared-flag handle) before
+    // borrowing the typed scratch buffers mutably.
+    let deadline = scratch.deadline().cloned();
     let ks = scratch.get_or_default::<KernelScratch>();
     let KernelScratch {
         plans,
@@ -345,18 +350,38 @@ pub(crate) fn try_selectivity_batch_into(
     let scanned = selest_core::catch_fault(
         selest_core::FaultStage::Estimate,
         std::panic::AssertUnwindSafe(|| {
-            run_scan(est, valid, plans, terms, cuts, resolved, vals);
+            run_scan(
+                est,
+                valid,
+                plans,
+                terms,
+                cuts,
+                resolved,
+                deadline.as_ref(),
+                vals,
+            )
         }),
     );
     match scanned {
-        Ok(()) => {
+        // Partial results: the scan evaluated queries in input order and
+        // stopped at a deadline checkpoint after `completed` of them. The
+        // finished slots hold exactly the unhurried path's bits; the rest
+        // report the expiry as a typed error.
+        Ok(completed) => {
             let mut vals = vals.iter();
-            for slot in out.iter_mut().filter(|slot| slot.is_ok()) {
+            for (done, slot) in out.iter_mut().filter(|slot| slot.is_ok()).enumerate() {
                 let v = *vals.next().expect("merge scan fills one value per query");
-                *slot = if v.is_finite() {
-                    Ok(v)
+                *slot = if done < completed {
+                    if v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err(EstimateError::NonFiniteEstimate { value: v })
+                    }
                 } else {
-                    Err(EstimateError::NonFiniteEstimate { value: v })
+                    deadline
+                        .as_ref()
+                        .map(|d| Err(d.error()))
+                        .expect("a short scan only happens under a deadline")
                 };
             }
         }
@@ -366,6 +391,9 @@ pub(crate) fn try_selectivity_batch_into(
             out.clear();
             out.extend(queries.iter().map(|q| {
                 q.validate()?;
+                if let Some(d) = deadline.as_ref().filter(|d| d.expired()) {
+                    return Err(d.error());
+                }
                 let v = selest_core::catch_fault(
                     selest_core::FaultStage::Estimate,
                     std::panic::AssertUnwindSafe(|| est.selectivity(q)),
@@ -380,7 +408,17 @@ pub(crate) fn try_selectivity_batch_into(
     }
 }
 
-/// The three scan phases over caller-provided buffers.
+/// How many phase-3 evaluations run between deadline polls. Small enough
+/// that an expired budget is noticed within a few microseconds of work,
+/// large enough that the atomic load never shows up in profiles.
+const DEADLINE_STRIDE: usize = 16;
+
+/// The three scan phases over caller-provided buffers. Returns how many
+/// queries were evaluated (in input order): `queries.len()` normally, less
+/// when the optional `deadline` expired at a cooperative checkpoint —
+/// before planning, after cut resolution, or every [`DEADLINE_STRIDE`]
+/// evaluations. Slots past the returned count are untouched garbage; the
+/// evaluated prefix is bit-identical to an unhurried scan.
 #[allow(clippy::too_many_arguments)]
 fn run_scan(
     est: &KernelEstimator,
@@ -389,8 +427,13 @@ fn run_scan(
     terms: &mut Vec<RawTerm>,
     cuts: &mut Vec<CutKey>,
     resolved: &mut Vec<u32>,
+    deadline: Option<&QueryDeadline>,
     out: &mut [f64],
-) {
+) -> usize {
+    // Checkpoint: refuse to plan at all on an already-spent budget.
+    if deadline.is_some_and(|d| d.expired()) {
+        return 0;
+    }
     let domain = est.domain();
     let (l, r) = (domain.lo(), domain.hi());
     let h = est.bandwidth();
@@ -453,6 +496,12 @@ fn run_scan(
     // Phase 2: one merge scan answers every boundary lookup.
     resolve_cuts(est.samples(), cuts, resolved);
 
+    // Checkpoint: planning and cut resolution are the cheap phases; if the
+    // budget ran out during them, skip the evaluations entirely.
+    if deadline.is_some_and(|d| d.expired()) {
+        return 0;
+    }
+
     // Boundary-kernel strip extents are query-independent.
     let (bk_left_hi, bk_right_lo) = if boundary == BoundaryPolicy::BoundaryKernel {
         (
@@ -476,7 +525,7 @@ fn run_scan(
         bk_left_hi,
         bk_right_lo,
     };
-    with_lane_kernel!(est.kernel(), k => ctx.run(k, mode, out));
+    with_lane_kernel!(est.kernel(), k => ctx.run(k, mode, deadline, out))
 }
 
 /// Everything phase 3 needs, bundled so the per-kernel monomorphization
@@ -491,7 +540,16 @@ struct Phase3<'a> {
 }
 
 impl Phase3<'_> {
-    fn run<K: LaneKernel>(&self, k: K, mode: LaneMode, out: &mut [f64]) {
+    /// Evaluate the planned queries in input order, polling the optional
+    /// deadline every [`DEADLINE_STRIDE`] slots. Returns the number of
+    /// slots written (the whole batch unless the deadline expired).
+    fn run<K: LaneKernel>(
+        &self,
+        k: K,
+        mode: LaneMode,
+        deadline: Option<&QueryDeadline>,
+        out: &mut [f64],
+    ) -> usize {
         let est = self.est;
         let sorted = est.samples();
         let domain = est.domain();
@@ -499,7 +557,10 @@ impl Phase3<'_> {
         let inv_h = est.inv_bandwidth();
         let boundary = est.boundary_policy();
         let n = sorted.len() as f64;
-        for (plan, slot) in self.plans.iter().zip(out.iter_mut()) {
+        for (i, (plan, slot)) in self.plans.iter().zip(out.iter_mut()).enumerate() {
+            if i % DEADLINE_STRIDE == 0 && i > 0 && deadline.is_some_and(|d| d.expired()) {
+                return i;
+            }
             if plan.zero {
                 *slot = 0.0;
                 continue;
@@ -535,6 +596,7 @@ impl Phase3<'_> {
             };
             *slot = value.clamp(0.0, 1.0);
         }
+        self.plans.len()
     }
 }
 
@@ -978,6 +1040,73 @@ mod tests {
         assert_eq!(ok.len(), good.len());
         for (i, (got, want)) in ok.iter().zip(&plain).enumerate() {
             assert_eq!(got.to_bits(), want.to_bits(), "surviving query {i}");
+        }
+    }
+
+    /// A spent deadline in the scratch turns every valid slot into a typed
+    /// `DeadlineExceeded` (validation errors keep their own class), and
+    /// the infallible path ignores the deadline entirely.
+    #[test]
+    fn expired_deadline_yields_typed_refusals_not_garbage() {
+        let est = KernelEstimator::new(
+            &sample(500),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        let mut qs = queries();
+        qs.insert(3, RangeQuery::unchecked(9.0, 4.0));
+        let mut scratch = BatchScratch::new();
+        scratch.set_deadline(selest_core::QueryDeadline::already_expired());
+        let mut tried = Vec::new();
+        est.try_selectivity_batch_into(&qs, &mut scratch, &mut tried);
+        assert_eq!(tried.len(), qs.len());
+        for (i, slot) in tried.iter().enumerate() {
+            match slot {
+                Err(selest_core::EstimateError::DeadlineExceeded { .. }) => {}
+                Err(selest_core::EstimateError::InvalidQuery { .. }) if i == 3 => {}
+                other => panic!("slot {i}: expected a typed refusal, got {other:?}"),
+            }
+        }
+        // The infallible contract has no partial-result channel: a stale
+        // armed deadline must not bend its answers.
+        let good: Vec<_> = qs
+            .iter()
+            .filter(|q| q.validate().is_ok())
+            .copied()
+            .collect();
+        let mut good_out = vec![0.0; good.len()];
+        est.selectivity_batch_into(&good, &mut scratch, &mut good_out);
+        let plain = est.selectivity_batch(&good);
+        for (got, want) in good_out.iter().zip(&plain) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// An armed but unexpired deadline is free: the try path's `Ok` slots
+    /// stay bit-identical to the undeadlined scan.
+    #[test]
+    fn unexpired_deadline_is_bit_transparent() {
+        let est = KernelEstimator::new(
+            &sample(500),
+            Domain::new(0.0, 100.0),
+            KernelFn::Epanechnikov,
+            5.0,
+            BoundaryPolicy::Reflection,
+        );
+        let qs = queries();
+        let plain = est.selectivity_batch(&qs);
+        let mut scratch = BatchScratch::new();
+        scratch.set_deadline(selest_core::QueryDeadline::manual());
+        let mut tried = Vec::new();
+        est.try_selectivity_batch_into(&qs, &mut scratch, &mut tried);
+        for (i, (slot, want)) in tried.iter().zip(&plain).enumerate() {
+            assert_eq!(
+                slot.as_ref().unwrap().to_bits(),
+                want.to_bits(),
+                "query {i}"
+            );
         }
     }
 }

@@ -19,6 +19,7 @@ pub mod durable;
 pub mod faultinject;
 pub mod index;
 pub mod online;
+pub mod overload;
 pub mod persist;
 pub mod planner;
 pub mod query;
@@ -44,6 +45,10 @@ pub use faultinject::{
 };
 pub use index::SortedIndex;
 pub use online::{OnlineSelectivity, Snapshot};
+pub use overload::{
+    splitmix64, BreakerRoute, BreakerState, ColumnBreaker, LoadTier, OverloadOptions,
+    ShedController, TierController,
+};
 pub use persist::{decode as decode_statistics, encode as encode_statistics, PersistedStatistics};
 pub use planner::{
     execute_range_query, plan_range_query, try_plan_range_query, AccessPath, Execution, Plan,
@@ -52,7 +57,8 @@ pub use query::{ChosenPath, Database, Explanation, QueryResult, RangePredicate, 
 pub use relation::{Column, Relation};
 pub use resilient::{BuildFailure, HealthReport, ResilientEstimator};
 pub use serving::{
-    CacheStats, CatalogSnapshot, EstimateCache, ServingColumn, ServingEngine, ServingHealthReport,
-    ServingOptions, ServingPublishReport, ServingScratch, ShardHealth, StaleRepublishReport,
+    BreakerHealth, CacheStats, CatalogSnapshot, EstimateCache, ServeRung, ServedEstimate,
+    ServingColumn, ServingEngine, ServingHealthReport, ServingOptions, ServingPublishReport,
+    ServingScratch, ShardHealth, StaleRepublishReport,
 };
 pub use staleness::{StalenessPolicy, StalenessReason, StalenessSignal};

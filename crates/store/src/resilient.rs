@@ -24,7 +24,8 @@ use std::sync::{Arc, Mutex};
 
 use selest_core::fault::{catch_fault, sanitize_sample, EstimateError, FaultStage, SampleAudit};
 use selest_core::{
-    CorrectionGrid, Domain, PreparedColumn, RangeQuery, SelectivityEstimator, UniformEstimator,
+    CorrectionGrid, Domain, PreparedColumn, QueryDeadline, RangeQuery, SelectivityEstimator,
+    UniformEstimator,
 };
 
 use crate::catalog::{try_build_estimator_from_prepared, EstimatorKind};
@@ -326,11 +327,30 @@ impl ResilientEstimator {
         queries: &[RangeQuery],
         out: &mut Vec<Result<f64, EstimateError>>,
     ) {
+        self.try_selectivity_batch_deadline_into(queries, None, out);
+    }
+
+    /// Deadline-aware batch serving: the ladder walk polls `deadline`
+    /// before starting each query and, once it expires, fills every
+    /// not-yet-served valid slot with a typed
+    /// [`EstimateError::DeadlineExceeded`] instead of walking the ladder.
+    /// The served prefix is bit-identical to the undeadlined walk — a
+    /// query already in flight always finishes, so a partial batch never
+    /// mixes hurried arithmetic into its answers.
+    pub fn try_selectivity_batch_deadline_into(
+        &self,
+        queries: &[RangeQuery],
+        deadline: Option<&QueryDeadline>,
+        out: &mut Vec<Result<f64, EstimateError>>,
+    ) {
         out.clear();
         out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
         for (slot, q) in out.iter_mut().zip(queries) {
             if slot.is_ok() {
-                *slot = Ok(self.serve_validated(q));
+                *slot = match deadline.filter(|d| d.expired()) {
+                    Some(d) => Err(d.error()),
+                    None => Ok(self.serve_validated(q)),
+                };
             }
         }
     }
@@ -421,10 +441,18 @@ impl SelectivityEstimator for ResilientEstimator {
     fn try_selectivity_batch_into(
         &self,
         queries: &[RangeQuery],
-        _scratch: &mut selest_core::BatchScratch,
+        scratch: &mut selest_core::BatchScratch,
         out: &mut Vec<Result<f64, EstimateError>>,
     ) {
-        ResilientEstimator::try_selectivity_batch_into(self, queries, out);
+        // The request deadline (if the serving engine armed one) rides in
+        // the scratch; the ladder itself needs no typed buffers.
+        let deadline = scratch.deadline().cloned();
+        ResilientEstimator::try_selectivity_batch_deadline_into(
+            self,
+            queries,
+            deadline.as_ref(),
+            out,
+        );
     }
 
     fn domain(&self) -> Domain {
@@ -739,5 +767,71 @@ mod tests {
         let h = est.health();
         assert_eq!(h.estimate_faults, 1, "one panic, absorbed mid-batch");
         assert_eq!(h.active_rung, "Uniform");
+    }
+
+    /// A rung that trips the shared deadline while serving its
+    /// `trip_on`-th query — the deterministic way to expire a budget at an
+    /// exact batch slot.
+    struct TripWire {
+        domain: Domain,
+        deadline: QueryDeadline,
+        trip_on: usize,
+        calls: AtomicUsize,
+    }
+
+    impl SelectivityEstimator for TripWire {
+        fn selectivity(&self, q: &RangeQuery) -> f64 {
+            if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.trip_on {
+                self.deadline.expire();
+            }
+            q.width() / self.domain.width()
+        }
+        fn domain(&self) -> Domain {
+            self.domain
+        }
+        fn name(&self) -> String {
+            "TripWire".into()
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_mid_batch_yields_typed_partial_results() {
+        let d = Domain::new(0.0, 100.0);
+        let deadline = QueryDeadline::manual();
+        let wire = TripWire {
+            domain: d,
+            deadline: deadline.clone(),
+            trip_on: 3,
+            calls: AtomicUsize::new(0),
+        };
+        let est = ResilientEstimator::from_estimators(vec![Box::new(wire)], d);
+        let queries: Vec<RangeQuery> = (0..6)
+            .map(|i| RangeQuery::new(0.0, 10.0 * (i + 1) as f64))
+            .collect();
+        let mut out = Vec::new();
+        est.try_selectivity_batch_deadline_into(&queries, Some(&deadline), &mut out);
+        // Query 3 (index 2) tripped the deadline *while serving*; it still
+        // completes — in-flight work always finishes — and the rest refuse.
+        for (i, slot) in out.iter().enumerate() {
+            if i < 3 {
+                let v = slot.as_ref().unwrap_or_else(|e| panic!("slot {i}: {e}"));
+                assert!((v - queries[i].width() / 100.0).abs() < 1e-12);
+            } else {
+                assert!(
+                    matches!(slot, Err(EstimateError::DeadlineExceeded { .. })),
+                    "slot {i}: {slot:?}"
+                );
+            }
+        }
+        // Only the served prefix was charged to the health counters.
+        assert_eq!(est.health().served, 3);
+        // The trait path reads the same deadline from the scratch slot.
+        let mut scratch = selest_core::BatchScratch::new();
+        scratch.set_deadline(QueryDeadline::already_expired());
+        let mut tried = Vec::new();
+        SelectivityEstimator::try_selectivity_batch_into(&est, &queries, &mut scratch, &mut tried);
+        assert!(tried
+            .iter()
+            .all(|s| matches!(s, Err(EstimateError::DeadlineExceeded { .. }))));
     }
 }

@@ -24,22 +24,61 @@
 //!   wholesale because no old-generation tag can match again.
 //!
 //! Everything here preserves the workspace determinism contract: a served
-//! estimate — cached, batched, sharded, or republished — is bit-identical
-//! to what the sequential single-threaded path produces.
+//! *full-precision* estimate — cached, batched, sharded, or republished —
+//! is bit-identical to what the sequential single-threaded path produces.
+//!
+//! # Serving under overload
+//!
+//! The engine degrades instead of falling over, in four layers (see
+//! [`crate::overload`] for the control machinery):
+//!
+//! * **Deadlines** — callers may attach a [`QueryDeadline`] to a request
+//!   ([`ServingEngine::try_estimate_with`] /
+//!   [`ServingEngine::estimate_batch_with`]); it rides inside the
+//!   [`BatchScratch`] to the estimator, which cancels cooperatively at
+//!   its checkpoints. Expired work comes back as typed
+//!   [`EstimateError::DeadlineExceeded`] slots; finished slots keep their
+//!   unhurried bits (partial results, never hurried arithmetic).
+//! * **Adaptive shedding** — each shard folds its request latencies into
+//!   an EWMA; above SLO pressure 1 the [`ShedController`] refuses
+//!   admissions probabilistically (seeded, replayable), stamping
+//!   [`EstimateError::Overloaded`] with a `retry_after_us` drain hint.
+//!   The fixed `admission_limit` remains as the hard ceiling.
+//! * **Circuit breakers** — every serving column carries a
+//!   [`ColumnBreaker`]; consecutive estimator failures (panics,
+//!   non-finite answers, deadline timeouts) trip it open and the column
+//!   serves its uniform floor without touching the primary, half-open
+//!   probes on a seeded call-count backoff deciding recovery. Breaker
+//!   state survives republishes (grafted by column name at publish).
+//! * **Brownout** — under SLO pressure the engine's [`LoadTier`] moves
+//!   `Normal → Brownout → Shed`; in brownout, cache misses are answered
+//!   by a cheaper pre-built rung (equi-depth or sampling, the paper's own
+//!   cost ranking) instead of the preferred estimator. Cache *hits* still
+//!   serve full precision, and brownout answers are never cached, so the
+//!   cache holds only full-precision values and every response is tagged
+//!   ([`ServeRung`]) with what produced it.
 
 use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use selest_core::fault::EstimateError;
-use selest_core::{BatchScratch, Domain, RangeQuery, SelectivityEstimator};
+use selest_core::fault::{catch_fault, EstimateError, FaultStage};
+use selest_core::{
+    BatchScratch, Domain, QueryDeadline, RangeQuery, SelectivityEstimator, UniformEstimator,
+};
 use selest_par::{shard_for, ShardPool, TryConfig};
 
 use crate::catalog::{
-    AnalyzeConfig, CatalogHealthReport, EstimatorKind, QuarantinedColumn, RefreshReport,
-    StatisticsCatalog,
+    try_build_estimator_from_prepared, try_build_estimator_from_sample, AnalyzeConfig,
+    CatalogHealthReport, EstimatorKind, QuarantinedColumn, RefreshReport, StatisticsCatalog,
 };
 use crate::durable::DurableStore;
+use crate::overload::{
+    BreakerRoute, BreakerState, ColumnBreaker, LoadTier, OverloadOptions, ShedController,
+    TierController,
+};
 use crate::relation::Relation;
 use crate::resilient::ResilientEstimator;
 use crate::staleness::StalenessPolicy;
@@ -54,9 +93,104 @@ pub struct ServingColumn {
     domain: Domain,
     sample: Arc<[f64]>,
     quarantined: bool,
+    /// Cheaper pre-built rung served on cache misses in brownout (`None`
+    /// when the primary is already cheap — histograms, sampling, uniform).
+    brownout: Option<Arc<dyn SelectivityEstimator + Send + Sync>>,
+    /// The ladder floor: uniform over the column domain. Never fails.
+    floor: Arc<dyn SelectivityEstimator + Send + Sync>,
+    /// Per-column circuit breaker. Re-seeded (or state-grafted) by the
+    /// engine at publish time; the construction default only matters for
+    /// snapshots used outside an engine.
+    breaker: Arc<ColumnBreaker>,
+}
+
+/// Build a column's degradation rungs: the uniform floor plus, for
+/// expensive primaries (kernel, ASH, hybrid), a cheap brownout rung —
+/// equi-depth over the prepared sample if it builds, sampling otherwise.
+/// Cheap primaries get no brownout rung: degrading sampling to sampling
+/// would only add a tag.
+fn degradation_rungs(
+    kind: EstimatorKind,
+    domain: Domain,
+    sample: &[f64],
+    prepared: Option<&Arc<selest_core::PreparedColumn>>,
+) -> (
+    Option<Arc<dyn SelectivityEstimator + Send + Sync>>,
+    Arc<dyn SelectivityEstimator + Send + Sync>,
+) {
+    let floor: Arc<dyn SelectivityEstimator + Send + Sync> =
+        Arc::new(UniformEstimator::new(domain));
+    let cheap = matches!(
+        kind,
+        EstimatorKind::Uniform
+            | EstimatorKind::Sampling
+            | EstimatorKind::EquiWidth
+            | EstimatorKind::EquiDepth
+            | EstimatorKind::MaxDiff
+    );
+    if cheap {
+        return (None, floor);
+    }
+    let built = match prepared {
+        Some(col) => try_build_estimator_from_prepared(col, EstimatorKind::EquiDepth)
+            .or_else(|_| try_build_estimator_from_prepared(col, EstimatorKind::Sampling)),
+        None => try_build_estimator_from_sample(sample, domain, EstimatorKind::EquiDepth)
+            .map(|(est, _)| est)
+            .or_else(|_| {
+                try_build_estimator_from_sample(sample, domain, EstimatorKind::Sampling)
+                    .map(|(est, _)| est)
+            }),
+    };
+    (built.ok().map(Arc::from), floor)
+}
+
+/// The construction-time breaker of a snapshot column. The engine
+/// replaces it at publish time (grafting live state for columns that
+/// survive the publish, re-seeding new ones from its own options), so
+/// this default only governs snapshots probed outside an engine.
+fn default_breaker() -> Arc<ColumnBreaker> {
+    let opts = OverloadOptions::default();
+    Arc::new(ColumnBreaker::new(
+        opts.breaker_threshold,
+        opts.breaker_cooldown_calls,
+        opts.seed,
+    ))
 }
 
 impl ServingColumn {
+    /// Assemble a servable column directly — the test/chaos entry point
+    /// for snapshots built without a [`StatisticsCatalog`] (see
+    /// [`CatalogSnapshot::from_columns`]). The brownout rung and uniform
+    /// floor are derived from `kind` and `sample` exactly as the catalog
+    /// paths derive them.
+    pub fn new(
+        relation: &str,
+        column: &str,
+        estimator: Arc<dyn SelectivityEstimator + Send + Sync>,
+        n_rows: usize,
+        kind: EstimatorKind,
+        domain: Domain,
+        sample: Arc<[f64]>,
+    ) -> Self {
+        let (brownout, floor) = degradation_rungs(kind, domain, &sample, None);
+        ServingColumn {
+            relation: relation.into(),
+            column: column.into(),
+            estimator,
+            n_rows,
+            kind,
+            domain,
+            sample,
+            quarantined: false,
+            brownout,
+            floor,
+            breaker: Arc::new(ColumnBreaker::new(
+                OverloadOptions::default().breaker_threshold,
+                OverloadOptions::default().breaker_cooldown_calls,
+                OverloadOptions::default().seed,
+            )),
+        }
+    }
     /// Relation name.
     pub fn relation(&self) -> &str {
         &self.relation
@@ -93,6 +227,17 @@ impl ServingColumn {
     /// answers instead of real statistics).
     pub fn quarantined(&self) -> bool {
         self.quarantined
+    }
+
+    /// The cheap brownout rung, when the primary is expensive enough to
+    /// have one.
+    pub fn brownout_rung(&self) -> Option<&(dyn SelectivityEstimator + Send + Sync)> {
+        self.brownout.as_deref()
+    }
+
+    /// This column's circuit breaker.
+    pub fn breaker(&self) -> &ColumnBreaker {
+        &self.breaker
     }
 }
 
@@ -152,15 +297,22 @@ impl CatalogSnapshot {
     pub fn from_catalog_ref(catalog: &StatisticsCatalog, generation: u64) -> Self {
         let mut columns: Vec<ServingColumn> = catalog
             .iter()
-            .map(|st| ServingColumn {
-                relation: Arc::clone(&st.relation),
-                column: Arc::clone(&st.column),
-                estimator: Arc::clone(&st.estimator),
-                n_rows: st.n_rows,
-                kind: st.kind,
-                domain: st.domain,
-                sample: Arc::clone(&st.sample),
-                quarantined: false,
+            .map(|st| {
+                let (brownout, floor) =
+                    degradation_rungs(st.kind, st.domain, &st.sample, st.prepared.as_ref());
+                ServingColumn {
+                    relation: Arc::clone(&st.relation),
+                    column: Arc::clone(&st.column),
+                    estimator: Arc::clone(&st.estimator),
+                    n_rows: st.n_rows,
+                    kind: st.kind,
+                    domain: st.domain,
+                    sample: Arc::clone(&st.sample),
+                    quarantined: false,
+                    brownout,
+                    floor,
+                    breaker: default_breaker(),
+                }
             })
             .collect();
         columns.sort_by(|a, b| {
@@ -177,15 +329,22 @@ impl CatalogSnapshot {
         let (entries, quarantine) = catalog.into_sorted_entries();
         let mut columns: Vec<ServingColumn> = entries
             .into_iter()
-            .map(|st| ServingColumn {
-                relation: st.relation,
-                column: st.column,
-                estimator: st.estimator,
-                n_rows: st.n_rows,
-                kind: st.kind,
-                domain: st.domain,
-                sample: st.sample,
-                quarantined: false,
+            .map(|st| {
+                let (brownout, floor) =
+                    degradation_rungs(st.kind, st.domain, &st.sample, st.prepared.as_ref());
+                ServingColumn {
+                    relation: st.relation,
+                    column: st.column,
+                    estimator: st.estimator,
+                    n_rows: st.n_rows,
+                    kind: st.kind,
+                    domain: st.domain,
+                    sample: st.sample,
+                    quarantined: false,
+                    brownout,
+                    floor,
+                    breaker: default_breaker(),
+                }
             })
             .collect();
         let mut quarantined = Vec::with_capacity(quarantine.len());
@@ -194,6 +353,8 @@ impl CatalogSnapshot {
                 if r.name() == rel {
                     if let Some(c) = r.column(&col) {
                         let ladder = ResilientEstimator::build(&[], c.domain(), failure.kind);
+                        let (brownout, floor) =
+                            degradation_rungs(EstimatorKind::Uniform, c.domain(), &[], None);
                         columns.push(ServingColumn {
                             relation: rel.as_str().into(),
                             column: col.as_str().into(),
@@ -203,6 +364,9 @@ impl CatalogSnapshot {
                             domain: c.domain(),
                             sample: Vec::new().into(),
                             quarantined: true,
+                            brownout,
+                            floor,
+                            breaker: default_breaker(),
                         });
                     }
                 }
@@ -220,6 +384,22 @@ impl CatalogSnapshot {
             generation,
             columns,
             quarantined,
+        }
+    }
+
+    /// Assemble a snapshot from hand-built columns (sorted here), chiefly
+    /// for chaos tests that need deliberately misbehaving estimators —
+    /// e.g. a [`crate::faultinject::FailingEstimator`] — behind the full
+    /// serving path without routing them through a catalog ANALYZE.
+    pub fn from_columns(columns: Vec<ServingColumn>, generation: u64) -> Self {
+        let mut columns = columns;
+        columns.sort_by(|a, b| {
+            (a.relation.as_ref(), a.column.as_ref()).cmp(&(b.relation.as_ref(), b.column.as_ref()))
+        });
+        CatalogSnapshot {
+            generation,
+            columns,
+            quarantined: Vec::new(),
         }
     }
 
@@ -487,6 +667,8 @@ pub struct ServingOptions {
     pub cache_bits: u32,
     /// Cache placement grid: `2^quantize_bits` cells per bound.
     pub quantize_bits: u32,
+    /// Overload behaviour: SLO, shedding, breakers, brownout.
+    pub overload: OverloadOptions,
 }
 
 impl Default for ServingOptions {
@@ -496,15 +678,17 @@ impl Default for ServingOptions {
             admission_limit: 1024,
             cache_bits: 12,
             quantize_bits: 16,
+            overload: OverloadOptions::default(),
         }
     }
 }
 
-/// Per-shard serving counters.
+/// Per-shard serving counters plus the shard's shed controller.
 struct ShardState {
     in_flight: AtomicUsize,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    shed_ctl: ShedController,
 }
 
 /// Point-in-time health of one shard.
@@ -522,6 +706,25 @@ pub struct ShardHealth {
     pub rebuild_jobs: usize,
     /// Rebuild jobs that panicked (contained by the worker's isolation).
     pub rebuild_panics: usize,
+    /// Smoothed request latency (microseconds; 0 = no history yet).
+    pub ewma_us: f64,
+    /// SLO pressure (EWMA / SLO).
+    pub pressure: f64,
+    /// Requests shed adaptively (counted inside `rejected` too).
+    pub shed: u64,
+}
+
+/// Breaker state of one serving column, as reported in engine health.
+#[derive(Debug, Clone)]
+pub struct BreakerHealth {
+    /// Relation name.
+    pub relation: String,
+    /// Column name.
+    pub column: String,
+    /// Closed / open / half-open.
+    pub state: BreakerState,
+    /// Cumulative trips.
+    pub trips: u32,
 }
 
 /// Point-in-time health of a whole [`ServingEngine`].
@@ -539,6 +742,41 @@ pub struct ServingHealthReport {
     pub catalog: CatalogHealthReport,
     /// Per-shard admission and rebuild counters.
     pub shards: Vec<ShardHealth>,
+    /// Engine load tier.
+    pub tier: LoadTier,
+    /// Estimates answered by a brownout rung.
+    pub brownout_served: u64,
+    /// Estimates answered by a column's uniform floor (breaker open or
+    /// primary failure absorbed).
+    pub floor_served: u64,
+    /// Valid request slots refused with `DeadlineExceeded`.
+    pub deadline_refused: u64,
+    /// Breaker state of every serving column.
+    pub breakers: Vec<BreakerHealth>,
+}
+
+/// Which rung of the degradation ladder produced a served estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeRung {
+    /// The column's primary estimator (or the cache, which holds only
+    /// primary-produced values) — bit-identical to the sequential path.
+    Full,
+    /// The cheap brownout rung (equi-depth/sampling): bounded-error,
+    /// served under SLO pressure.
+    Brownout,
+    /// The uniform floor: the breaker is open or the primary failed.
+    Floor,
+}
+
+/// A served estimate: the value plus the rung that produced it, so
+/// callers (and the overload benchmark's checksum gate) can separate
+/// full-precision answers from degraded ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedEstimate {
+    /// The selectivity estimate.
+    pub value: f64,
+    /// What produced it.
+    pub rung: ServeRung,
 }
 
 /// Outcome of a sharded background rebuild-and-publish.
@@ -587,6 +825,8 @@ pub struct ServingScratch {
     miss_queries: Vec<RangeQuery>,
     miss_slots: Vec<usize>,
     miss_values: Vec<f64>,
+    miss_tried: Vec<Result<f64, EstimateError>>,
+    served: Vec<Result<ServedEstimate, EstimateError>>,
 }
 
 impl ServingScratch {
@@ -636,12 +876,18 @@ pub struct ServingEngine {
     shard_states: Vec<ShardState>,
     admission_limit: usize,
     publishes: AtomicU64,
+    overload: OverloadOptions,
+    tier: TierController,
+    brownout_served: AtomicU64,
+    floor_served: AtomicU64,
+    deadline_refused: AtomicU64,
 }
 
 impl ServingEngine {
     /// An engine serving the empty generation-0 snapshot.
     pub fn new(options: ServingOptions) -> Self {
         assert!(options.shards > 0, "ServingEngine needs at least one shard");
+        let ov = options.overload;
         ServingEngine {
             id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
             epoch: AtomicU64::new(0),
@@ -649,14 +895,26 @@ impl ServingEngine {
             cache: EstimateCache::new(options.cache_bits, options.quantize_bits),
             pool: ShardPool::new(options.shards),
             shard_states: (0..options.shards)
-                .map(|_| ShardState {
+                .map(|s| ShardState {
                     in_flight: AtomicUsize::new(0),
                     admitted: AtomicU64::new(0),
                     rejected: AtomicU64::new(0),
+                    // Stream-split the seed so sibling shards draw
+                    // independent (but replayable) shed sequences.
+                    shed_ctl: ShedController::new(
+                        ov.slo_us,
+                        ov.ewma_alpha,
+                        crate::overload::splitmix64(ov.seed ^ s as u64),
+                    ),
                 })
                 .collect(),
             admission_limit: options.admission_limit,
             publishes: AtomicU64::new(0),
+            overload: ov,
+            tier: TierController::new(&ov),
+            brownout_served: AtomicU64::new(0),
+            floor_served: AtomicU64::new(0),
+            deadline_refused: AtomicU64::new(0),
         }
     }
 
@@ -715,6 +973,27 @@ impl ServingEngine {
         let mut cur = self.current.lock().expect("publisher never panics");
         let generation = snapshot.generation.max(cur.generation + 1);
         snapshot.generation = generation;
+        // Graft breaker state across the publish: a column that survives
+        // keeps its live breaker (an open breaker must not silently close
+        // because statistics were republished); a new column gets a
+        // breaker seeded from the engine's options and its own name, so
+        // half-open probe timing is deterministic per column.
+        for col in &mut snapshot.columns {
+            match cur.find(&col.relation, &col.column) {
+                Some((_, old)) => col.breaker = Arc::clone(&old.breaker),
+                None => {
+                    let mut name = Vec::with_capacity(col.relation.len() + col.column.len() + 1);
+                    name.extend_from_slice(col.relation.as_bytes());
+                    name.push(0);
+                    name.extend_from_slice(col.column.as_bytes());
+                    col.breaker = Arc::new(ColumnBreaker::new(
+                        self.overload.breaker_threshold,
+                        self.overload.breaker_cooldown_calls,
+                        self.overload.seed ^ selest_par::fnv1a_64(&name),
+                    ));
+                }
+            }
+        }
         *cur = Arc::new(snapshot);
         self.publishes.fetch_add(1, Ordering::Relaxed);
         // Bump the epoch while still holding the lock so a reader that
@@ -848,6 +1127,9 @@ impl ServingEngine {
     fn admit(&self, shard: usize) -> Result<AdmissionGuard<'_>, EstimateError> {
         let st = &self.shard_states[shard];
         let in_flight = st.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        // Hard ceiling: beyond `admission_limit` concurrent calls the
+        // shard refuses unconditionally, pricing the retry hint from its
+        // latency EWMA and queue depth.
         if self.admission_limit > 0 && in_flight > self.admission_limit {
             st.in_flight.fetch_sub(1, Ordering::AcqRel);
             st.rejected.fetch_add(1, Ordering::Relaxed);
@@ -855,12 +1137,55 @@ impl ServingEngine {
                 shard,
                 in_flight,
                 limit: self.admission_limit,
+                retry_after_us: st.shed_ctl.retry_after_us(in_flight),
+            });
+        }
+        // Adaptive shedding below the ceiling: once the latency EWMA
+        // exceeds the SLO, refuse a seeded, occupancy-scaled fraction of
+        // admissions so the queue drains instead of compounding. A fresh
+        // shard (no latency history) never sheds.
+        if self.admission_limit > 0 && st.shed_ctl.should_shed(in_flight - 1, self.admission_limit)
+        {
+            st.in_flight.fetch_sub(1, Ordering::AcqRel);
+            st.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(EstimateError::Overloaded {
+                shard,
+                in_flight,
+                limit: self.admission_limit,
+                retry_after_us: st.shed_ctl.retry_after_us(in_flight),
             });
         }
         st.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(AdmissionGuard {
             in_flight: &st.in_flight,
         })
+    }
+
+    /// Fold one observed request latency into `shard`'s EWMA and refresh
+    /// the engine load tier from the worst shard pressure. Called
+    /// automatically after every admitted request when
+    /// [`OverloadOptions::auto_observe`] is set; public so tests, chaos
+    /// harnesses, and the overload benchmark can script exact pressure
+    /// trajectories (set `auto_observe: false` and inject).
+    pub fn observe_shard_latency(&self, shard: usize, latency_us: f64) {
+        self.shard_states[shard].shed_ctl.observe(latency_us);
+        let worst = self
+            .shard_states
+            .iter()
+            .map(|st| st.shed_ctl.pressure())
+            .fold(0.0, f64::max);
+        self.tier.update(worst);
+    }
+
+    /// The engine's current load tier.
+    pub fn load_tier(&self) -> LoadTier {
+        self.tier.tier()
+    }
+
+    fn note_latency(&self, shard: usize, started: Instant) {
+        if self.overload.auto_observe {
+            self.observe_shard_latency(shard, started.elapsed().as_secs_f64() * 1e6);
+        }
     }
 
     fn missing(relation: &str, column: &str) -> EstimateError {
@@ -873,26 +1198,120 @@ impl ServingEngine {
     /// Serve one estimate: validate, look up the column in the current
     /// snapshot, pass admission control, probe the cache, and fall
     /// through to the estimator on a miss (filling the cache). The value
-    /// is bit-identical to the sequential path — cached or not.
+    /// is bit-identical to the sequential path — cached or not — whenever
+    /// the engine is healthy; under brownout, an open breaker, or a
+    /// primary failure the value may come from a degraded rung (use
+    /// [`ServingEngine::try_estimate_with`] to see which).
     pub fn try_estimate(
         &self,
         relation: &str,
         column: &str,
         q: &RangeQuery,
     ) -> Result<f64, EstimateError> {
+        self.try_estimate_with(relation, column, q, None)
+            .map(|s| s.value)
+    }
+
+    /// Serve one estimate with full overload semantics: an optional
+    /// deadline (checked before any work; expired requests refuse with
+    /// [`EstimateError::DeadlineExceeded`]), brownout routing, the
+    /// column's circuit breaker, and a rung tag on the answer.
+    ///
+    /// Cache hits always serve [`ServeRung::Full`] — a cached value was
+    /// produced by the primary, and answering it costs nothing worth
+    /// degrading. Degraded answers (brownout or floor) are never written
+    /// into the cache, so the cache holds full-precision values only.
+    pub fn try_estimate_with(
+        &self,
+        relation: &str,
+        column: &str,
+        q: &RangeQuery,
+        deadline: Option<&QueryDeadline>,
+    ) -> Result<ServedEstimate, EstimateError> {
         q.validate()?;
+        if let Some(d) = deadline.filter(|d| d.expired()) {
+            self.deadline_refused.fetch_add(1, Ordering::Relaxed);
+            return Err(d.error());
+        }
         let snap = self.snapshot();
         let (idx, col) = snap
             .find(relation, column)
             .ok_or_else(|| Self::missing(relation, column))?;
-        let _guard = self.admit(shard_for(relation, column, self.shards()))?;
+        let shard = shard_for(relation, column, self.shards());
+        let _guard = self.admit(shard)?;
+        let started = Instant::now();
         let generation = snap.generation();
         if let Some(v) = self.cache.get(generation, idx, &col.domain, q) {
-            return Ok(v);
+            self.note_latency(shard, started);
+            return Ok(ServedEstimate {
+                value: v,
+                rung: ServeRung::Full,
+            });
         }
-        let v = col.estimator.selectivity(q);
-        self.cache.insert(generation, idx, &col.domain, q, v);
-        Ok(v)
+        // Brownout is decided *before* the breaker: when the tier routes
+        // to the cheap rung the primary is never consulted, so its
+        // breaker must not be charged either way.
+        if self.overload.brownout && self.tier.tier() != LoadTier::Normal {
+            if let Some(b) = col.brownout.as_deref() {
+                let served =
+                    catch_fault(FaultStage::Estimate, AssertUnwindSafe(|| b.selectivity(q)))
+                        .ok()
+                        .filter(|v| v.is_finite())
+                        .map(|value| {
+                            self.brownout_served.fetch_add(1, Ordering::Relaxed);
+                            ServedEstimate {
+                                value,
+                                rung: ServeRung::Brownout,
+                            }
+                        })
+                        .unwrap_or_else(|| {
+                            self.floor_served.fetch_add(1, Ordering::Relaxed);
+                            ServedEstimate {
+                                value: col.floor.selectivity(q),
+                                rung: ServeRung::Floor,
+                            }
+                        });
+                self.note_latency(shard, started);
+                return Ok(served);
+            }
+        }
+        let route = col.breaker.route();
+        if route == BreakerRoute::Floor {
+            self.floor_served.fetch_add(1, Ordering::Relaxed);
+            let served = ServedEstimate {
+                value: col.floor.selectivity(q),
+                rung: ServeRung::Floor,
+            };
+            self.note_latency(shard, started);
+            return Ok(served);
+        }
+        let tried = catch_fault(
+            FaultStage::Estimate,
+            AssertUnwindSafe(|| col.estimator.selectivity(q)),
+        );
+        let served = match tried {
+            Ok(v) if v.is_finite() => {
+                col.breaker.on_success();
+                self.cache.insert(generation, idx, &col.domain, q, v);
+                ServedEstimate {
+                    value: v,
+                    rung: ServeRung::Full,
+                }
+            }
+            // Panic or non-finite: charge the breaker, absorb into the
+            // floor — an estimate request never surfaces a poisoned
+            // primary while the floor can answer.
+            _ => {
+                col.breaker.on_failure();
+                self.floor_served.fetch_add(1, Ordering::Relaxed);
+                ServedEstimate {
+                    value: col.floor.selectivity(q),
+                    rung: ServeRung::Floor,
+                }
+            }
+        };
+        self.note_latency(shard, started);
+        Ok(served)
     }
 
     /// Serve a whole batch against one column, allocation-free once
@@ -911,8 +1330,52 @@ impl ServingEngine {
         scratch: &mut ServingScratch,
         out: &mut Vec<Result<f64, EstimateError>>,
     ) {
+        let mut served = std::mem::take(&mut scratch.served);
+        self.estimate_batch_with(relation, column, queries, None, scratch, &mut served);
         out.clear();
-        out.extend(queries.iter().map(|q| q.validate().map(|()| f64::NAN)));
+        out.extend(
+            served
+                .iter()
+                .map(|slot| slot.as_ref().map(|s| s.value).map_err(Clone::clone)),
+        );
+        scratch.served = served;
+    }
+
+    /// Serve a whole batch with full overload semantics: the optional
+    /// `deadline` rides inside the scratch's [`BatchScratch`] to the
+    /// estimator (which cancels cooperatively mid-scan), brownout routes
+    /// misses to the cheap rung, the column breaker gates the primary,
+    /// and every answered slot is tagged with the rung that produced it.
+    ///
+    /// Slot semantics: invalid queries answer `InvalidQuery`; an expired
+    /// deadline answers `DeadlineExceeded` in every slot the estimator
+    /// did not finish — finished slots keep their full-precision bits
+    /// (cooperative cancellation never hurries arithmetic).
+    pub fn estimate_batch_with(
+        &self,
+        relation: &str,
+        column: &str,
+        queries: &[RangeQuery],
+        deadline: Option<&QueryDeadline>,
+        scratch: &mut ServingScratch,
+        out: &mut Vec<Result<ServedEstimate, EstimateError>>,
+    ) {
+        out.clear();
+        out.extend(queries.iter().map(|q| {
+            q.validate().map(|()| ServedEstimate {
+                value: f64::NAN,
+                rung: ServeRung::Full,
+            })
+        }));
+        if let Some(d) = deadline.filter(|d| d.expired()) {
+            let mut refused = 0u64;
+            for slot in out.iter_mut().filter(|s| s.is_ok()) {
+                *slot = Err(d.error());
+                refused += 1;
+            }
+            self.deadline_refused.fetch_add(refused, Ordering::Relaxed);
+            return;
+        }
         let snap = self.snapshot();
         let Some((idx, col)) = snap.find(relation, column) else {
             let err = Self::missing(relation, column);
@@ -921,7 +1384,8 @@ impl ServingEngine {
             }
             return;
         };
-        let _guard = match self.admit(shard_for(relation, column, self.shards())) {
+        let shard = shard_for(relation, column, self.shards());
+        let _guard = match self.admit(shard) {
             Ok(g) => g,
             Err(e) => {
                 for slot in out.iter_mut().filter(|s| s.is_ok()) {
@@ -930,6 +1394,7 @@ impl ServingEngine {
                 return;
             }
         };
+        let started = Instant::now();
         let generation = snap.generation();
         scratch.miss_queries.clear();
         scratch.miss_slots.clear();
@@ -938,7 +1403,12 @@ impl ServingEngine {
                 continue;
             }
             match self.cache.get(generation, idx, &col.domain, q) {
-                Some(v) => *slot = Ok(v),
+                Some(v) => {
+                    *slot = Ok(ServedEstimate {
+                        value: v,
+                        rung: ServeRung::Full,
+                    })
+                }
                 None => {
                     scratch.miss_slots.push(i);
                     scratch.miss_queries.push(*q);
@@ -946,24 +1416,164 @@ impl ServingEngine {
             }
         }
         if scratch.miss_queries.is_empty() {
+            self.note_latency(shard, started);
             return;
         }
-        scratch.miss_values.clear();
-        scratch.miss_values.resize(scratch.miss_queries.len(), 0.0);
-        col.estimator.selectivity_batch_into(
-            &scratch.miss_queries,
-            &mut scratch.batch,
-            &mut scratch.miss_values,
-        );
-        for ((&i, q), &v) in scratch
-            .miss_slots
-            .iter()
-            .zip(&scratch.miss_queries)
-            .zip(&scratch.miss_values)
-        {
-            self.cache.insert(generation, idx, &col.domain, q, v);
-            out[i] = Ok(v);
+        // Brownout: the whole miss set goes to the cheap rung in one
+        // batch call (its own scratch deadline stays unarmed — the rung
+        // is cheap by construction). The primary's breaker is untouched:
+        // it was never consulted.
+        if self.overload.brownout && self.tier.tier() != LoadTier::Normal {
+            if let Some(b) = col.brownout.as_deref() {
+                scratch.miss_values.clear();
+                scratch.miss_values.resize(scratch.miss_queries.len(), 0.0);
+                let queries_ref = &scratch.miss_queries;
+                let batch = &mut scratch.batch;
+                let values = &mut scratch.miss_values;
+                let tried = catch_fault(
+                    FaultStage::Estimate,
+                    AssertUnwindSafe(|| b.selectivity_batch_into(queries_ref, batch, values)),
+                );
+                match tried {
+                    Ok(()) => {
+                        self.brownout_served
+                            .fetch_add(scratch.miss_slots.len() as u64, Ordering::Relaxed);
+                        for ((&i, q), &v) in scratch
+                            .miss_slots
+                            .iter()
+                            .zip(&scratch.miss_queries)
+                            .zip(&scratch.miss_values)
+                        {
+                            out[i] = if v.is_finite() {
+                                Ok(ServedEstimate {
+                                    value: v,
+                                    rung: ServeRung::Brownout,
+                                })
+                            } else {
+                                self.floor_served.fetch_add(1, Ordering::Relaxed);
+                                Ok(ServedEstimate {
+                                    value: col.floor.selectivity(q),
+                                    rung: ServeRung::Floor,
+                                })
+                            };
+                        }
+                    }
+                    Err(_) => {
+                        self.floor_served
+                            .fetch_add(scratch.miss_slots.len() as u64, Ordering::Relaxed);
+                        for (&i, q) in scratch.miss_slots.iter().zip(&scratch.miss_queries) {
+                            out[i] = Ok(ServedEstimate {
+                                value: col.floor.selectivity(q),
+                                rung: ServeRung::Floor,
+                            });
+                        }
+                    }
+                }
+                self.note_latency(shard, started);
+                return;
+            }
         }
+        // Breaker open: the primary is not consulted; the floor answers
+        // every miss.
+        if col.breaker.route() == BreakerRoute::Floor {
+            self.floor_served
+                .fetch_add(scratch.miss_slots.len() as u64, Ordering::Relaxed);
+            for (&i, q) in scratch.miss_slots.iter().zip(&scratch.miss_queries) {
+                out[i] = Ok(ServedEstimate {
+                    value: col.floor.selectivity(q),
+                    rung: ServeRung::Floor,
+                });
+            }
+            self.note_latency(shard, started);
+            return;
+        }
+        // Primary (or half-open probe): run the fallible batch kernel
+        // with the deadline armed in the scratch, panic-contained.
+        scratch.miss_tried.clear();
+        scratch
+            .miss_tried
+            .resize(scratch.miss_queries.len(), Ok(f64::NAN));
+        if let Some(d) = deadline {
+            scratch.batch.set_deadline(d.clone());
+        }
+        let queries_ref = &scratch.miss_queries;
+        let batch = &mut scratch.batch;
+        let tried_slots = &mut scratch.miss_tried;
+        let est = col.estimator.as_ref();
+        let call = catch_fault(
+            FaultStage::Estimate,
+            AssertUnwindSafe(|| est.try_selectivity_batch_into(queries_ref, batch, tried_slots)),
+        );
+        scratch.batch.clear_deadline();
+        match call {
+            Ok(()) => {
+                let mut failures = 0u32;
+                let mut timed_out = false;
+                let mut refused = 0u64;
+                for ((&i, q), tried) in scratch
+                    .miss_slots
+                    .iter()
+                    .zip(&scratch.miss_queries)
+                    .zip(&scratch.miss_tried)
+                {
+                    out[i] = match tried {
+                        Ok(v) if v.is_finite() => {
+                            self.cache.insert(generation, idx, &col.domain, q, *v);
+                            Ok(ServedEstimate {
+                                value: *v,
+                                rung: ServeRung::Full,
+                            })
+                        }
+                        Err(e @ EstimateError::DeadlineExceeded { .. }) => {
+                            // A timed-out slot is a refusal, not a value:
+                            // degrading it to the floor would hand back a
+                            // worse answer than the caller's budget asked
+                            // for. One timeout charges the breaker once
+                            // (the slow call, not each unfinished slot).
+                            timed_out = true;
+                            refused += 1;
+                            Err(e.clone())
+                        }
+                        // Invalid queries were filtered before compaction,
+                        // so any other error is a primary failure: floor
+                        // the slot and charge the breaker.
+                        _ => {
+                            failures += 1;
+                            Ok(ServedEstimate {
+                                value: col.floor.selectivity(q),
+                                rung: ServeRung::Floor,
+                            })
+                        }
+                    };
+                }
+                self.deadline_refused.fetch_add(refused, Ordering::Relaxed);
+                self.floor_served
+                    .fetch_add(failures as u64, Ordering::Relaxed);
+                if failures > 0 {
+                    for _ in 0..failures {
+                        col.breaker.on_failure();
+                    }
+                } else if timed_out {
+                    col.breaker.on_failure();
+                } else {
+                    col.breaker.on_success();
+                }
+            }
+            // The whole batch call panicked (a fault the per-slot path
+            // could not contain): one breaker charge, floor every miss.
+            Err(_) => {
+                col.breaker.on_failure();
+                self.floor_served
+                    .fetch_add(scratch.miss_slots.len() as u64, Ordering::Relaxed);
+                for (&i, q) in scratch.miss_slots.iter().zip(&scratch.miss_queries) {
+                    out[i] = Ok(ServedEstimate {
+                        value: col.floor.selectivity(q),
+                        rung: ServeRung::Floor,
+                    });
+                }
+            }
+        }
+        self.note_latency(shard, started);
     }
 
     /// Point-in-time engine health: serving generation and epoch, publish
@@ -988,6 +1598,23 @@ impl ServingEngine {
                     in_flight: st.in_flight.load(Ordering::Acquire),
                     rebuild_jobs: self.pool.executed(s),
                     rebuild_panics: self.pool.panics(s),
+                    ewma_us: st.shed_ctl.ewma_us(),
+                    pressure: st.shed_ctl.pressure(),
+                    shed: st.shed_ctl.shed_count(),
+                })
+                .collect(),
+            tier: self.tier.tier(),
+            brownout_served: self.brownout_served.load(Ordering::Relaxed),
+            floor_served: self.floor_served.load(Ordering::Relaxed),
+            deadline_refused: self.deadline_refused.load(Ordering::Relaxed),
+            breakers: snap
+                .columns()
+                .iter()
+                .map(|c| BreakerHealth {
+                    relation: c.relation().to_owned(),
+                    column: c.column().to_owned(),
+                    state: c.breaker.state(),
+                    trips: c.breaker.trips(),
                 })
                 .collect(),
         }
@@ -1172,10 +1799,16 @@ mod tests {
                 shard: s,
                 in_flight,
                 limit,
+                retry_after_us,
             }) => {
                 assert_eq!(s, shard);
                 assert_eq!(in_flight, 3);
                 assert_eq!(limit, 2);
+                // A fresh shard has no latency history: the hint is an
+                // honest 0 ("retry immediately") rather than a made-up
+                // drain time. With history it is priced from the EWMA —
+                // see `adaptive_shedding_is_seeded_and_prices_retry_hints`.
+                assert_eq!(retry_after_us, 0);
             }
             other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
         }
@@ -1392,5 +2025,349 @@ mod tests {
             .republish_if_stale(&mut cat, &policy, &TryConfig::jobs(1))
             .is_none());
         assert_eq!(engine.snapshot().generation(), 2);
+    }
+
+    use crate::faultinject::{FailingEstimator, FailureMode};
+
+    /// An engine whose overload machinery is test-scripted: no wall-clock
+    /// latency observation, tight breaker.
+    fn scripted_engine() -> ServingEngine {
+        ServingEngine::new(ServingOptions {
+            overload: OverloadOptions {
+                slo_us: 5_000.0,
+                auto_observe: false,
+                breaker_threshold: 3,
+                breaker_cooldown_calls: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    fn failing_snapshot(mode: FailureMode) -> (CatalogSnapshot, Domain) {
+        let d = Domain::new(0.0, 100.0);
+        let col = ServingColumn::new(
+            "t",
+            "bad",
+            Arc::new(FailingEstimator::new(d, mode)),
+            1_000,
+            EstimatorKind::Sampling,
+            d,
+            Vec::new().into(),
+        );
+        (CatalogSnapshot::from_columns(vec![col], 0), d)
+    }
+
+    #[test]
+    fn breaker_trips_to_the_floor_probes_half_open_and_recovers() {
+        let run = || {
+            let engine = scripted_engine();
+            // Fails its first 3 calls, then serves forever: enough to
+            // trip the threshold-3 breaker exactly once.
+            let (snap, d) = failing_snapshot(FailureMode::FailFirst(3));
+            engine.publish_snapshot(snap);
+            let uniform = UniformEstimator::new(d);
+            let mut rungs = Vec::new();
+            let qs: Vec<RangeQuery> = (0..8)
+                .map(|i| RangeQuery::new(i as f64, i as f64 + 10.0))
+                .collect();
+            for q in &qs {
+                let s = engine.try_estimate_with("t", "bad", q, None).unwrap();
+                rungs.push(s.rung);
+                if s.rung == ServeRung::Floor {
+                    assert_eq!(s.value.to_bits(), uniform.selectivity(q).to_bits());
+                }
+            }
+            // Calls 1-3 fail (floored, breaker trips on the 3rd); call 4
+            // is inside the cooldown (floor, primary untouched); call 5
+            // is the half-open probe, which succeeds and closes; 6-8 are
+            // healthy primaries.
+            assert_eq!(
+                rungs,
+                vec![
+                    ServeRung::Floor,
+                    ServeRung::Floor,
+                    ServeRung::Floor,
+                    ServeRung::Floor,
+                    ServeRung::Full,
+                    ServeRung::Full,
+                    ServeRung::Full,
+                    ServeRung::Full,
+                ]
+            );
+            let health = engine.health();
+            assert_eq!(health.breakers.len(), 1);
+            assert_eq!(health.breakers[0].state, BreakerState::Closed);
+            assert_eq!(health.breakers[0].trips, 1);
+            assert_eq!(health.floor_served, 4);
+            rungs
+        };
+        // Breaker transitions are counted in calls, not wall time: two
+        // identical runs replay the exact same trajectory.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn open_breaker_never_consults_the_primary() {
+        let engine = scripted_engine();
+        let (snap, _) = failing_snapshot(FailureMode::PanicAlways);
+        engine.publish_snapshot(snap);
+        let qs: Vec<RangeQuery> = (0..6)
+            .map(|i| RangeQuery::new(i as f64, i as f64 + 5.0))
+            .collect();
+        for q in &qs[..3] {
+            let s = engine.try_estimate_with("t", "bad", q, None).unwrap();
+            assert_eq!(s.rung, ServeRung::Floor);
+        }
+        assert_eq!(engine.health().breakers[0].state, BreakerState::Open);
+        // While open (inside the cooldown), the next call is floored
+        // without touching the panicking primary — if it were consulted,
+        // `catch_fault` would still floor the answer, but the breaker
+        // would re-trip early; the trip count below pins the schedule.
+        let s = engine.try_estimate_with("t", "bad", &qs[3], None).unwrap();
+        assert_eq!(s.rung, ServeRung::Floor);
+        // The probe after the cooldown fails and re-opens with a doubled
+        // backoff; the breaker keeps absorbing forever after.
+        for q in &qs[4..] {
+            let s = engine.try_estimate_with("t", "bad", q, None).unwrap();
+            assert_eq!(s.rung, ServeRung::Floor);
+        }
+        let health = engine.health();
+        assert!(health.breakers[0].trips >= 2, "probe failure must re-trip");
+        assert_eq!(health.shards.iter().map(|s| s.in_flight).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn brownout_routes_misses_to_the_cheap_rung_and_recovers() {
+        let r = test_relation();
+        let engine = scripted_engine();
+        engine.publish_catalog(analyzed(&r, EstimatorKind::Kernel));
+        let shard = shard_for("serve", "a", engine.shards());
+        let qs = queries(8);
+        let (q_hit, q_miss) = (qs[0], qs[1]);
+        // Warm the cache with one full-precision answer.
+        let full_hit = engine
+            .try_estimate_with("serve", "a", &q_hit, None)
+            .unwrap();
+        assert_eq!(full_hit.rung, ServeRung::Full);
+        // Scripted pressure 1.5: above brownout_enter, below shed_enter.
+        engine.observe_shard_latency(shard, 1.5 * engine.overload.slo_us);
+        assert_eq!(engine.load_tier(), LoadTier::Brownout);
+        // Cache hits still serve full precision…
+        let hit = engine
+            .try_estimate_with("serve", "a", &q_hit, None)
+            .unwrap();
+        assert_eq!(hit.rung, ServeRung::Full);
+        assert_eq!(hit.value.to_bits(), full_hit.value.to_bits());
+        // …while misses go to the cheap rung, bit-identical to calling
+        // the rung directly, and are never cached.
+        let snap = engine.snapshot();
+        let (_, col) = snap.find("serve", "a").unwrap();
+        let rung_direct = col.brownout_rung().expect("kernel has a rung");
+        let inserts_before = engine.cache().stats().inserts;
+        for _ in 0..2 {
+            let miss = engine
+                .try_estimate_with("serve", "a", &q_miss, None)
+                .unwrap();
+            assert_eq!(miss.rung, ServeRung::Brownout);
+            assert_eq!(
+                miss.value.to_bits(),
+                rung_direct.selectivity(&q_miss).to_bits()
+            );
+        }
+        assert_eq!(engine.cache().stats().inserts, inserts_before);
+        assert_eq!(engine.health().brownout_served, 2);
+        // The batch path agrees slot for slot.
+        let mut scratch = ServingScratch::new();
+        let mut served = Vec::new();
+        engine.estimate_batch_with("serve", "a", &qs, None, &mut scratch, &mut served);
+        for (q, slot) in qs.iter().zip(&served) {
+            let s = slot.as_ref().unwrap();
+            if q.bounds_bits() == q_hit.bounds_bits() {
+                assert_eq!(s.rung, ServeRung::Full);
+            } else {
+                assert_eq!(s.rung, ServeRung::Brownout);
+                assert_eq!(s.value.to_bits(), rung_direct.selectivity(q).to_bits());
+            }
+        }
+        // Pressure drains: the tier exits brownout (hysteresis at 0.7)
+        // and misses return to the full-precision primary.
+        for _ in 0..50 {
+            engine.observe_shard_latency(shard, 0.05 * engine.overload.slo_us);
+        }
+        assert_eq!(engine.load_tier(), LoadTier::Normal);
+        let back = engine
+            .try_estimate_with("serve", "a", &q_miss, None)
+            .unwrap();
+        assert_eq!(back.rung, ServeRung::Full);
+        assert_eq!(
+            back.value.to_bits(),
+            col.estimator.selectivity(&q_miss).to_bits()
+        );
+    }
+
+    #[test]
+    fn deadlines_refuse_typed_before_any_work() {
+        let r = test_relation();
+        let engine = scripted_engine();
+        engine.publish_catalog(analyzed(&r, EstimatorKind::MaxDiff));
+        let qs = {
+            let mut qs = queries(6);
+            qs[2] = RangeQuery::unchecked(9.0, 1.0);
+            qs
+        };
+        let d = QueryDeadline::already_expired();
+        match engine.try_estimate_with("serve", "b", &qs[0], Some(&d)) {
+            Err(EstimateError::DeadlineExceeded { budget_us, .. }) => {
+                assert_eq!(budget_us, 0)
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let mut scratch = ServingScratch::new();
+        let mut served = Vec::new();
+        engine.estimate_batch_with("serve", "b", &qs, Some(&d), &mut scratch, &mut served);
+        for (i, slot) in served.iter().enumerate() {
+            if i == 2 {
+                assert!(matches!(slot, Err(EstimateError::InvalidQuery { .. })));
+            } else {
+                assert!(
+                    matches!(slot, Err(EstimateError::DeadlineExceeded { .. })),
+                    "slot {i}: {slot:?}"
+                );
+            }
+        }
+        assert_eq!(engine.health().deadline_refused, 6);
+        // An unexpired deadline is bit-transparent.
+        let live = QueryDeadline::after(std::time::Duration::from_secs(3_600));
+        let mut served_live = Vec::new();
+        engine.estimate_batch_with(
+            "serve",
+            "b",
+            &qs,
+            Some(&live),
+            &mut scratch,
+            &mut served_live,
+        );
+        for (i, slot) in served_live.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let s = slot.as_ref().unwrap();
+            assert_eq!(s.rung, ServeRung::Full);
+            let single = engine.try_estimate("serve", "b", &qs[i]).unwrap();
+            assert_eq!(s.value.to_bits(), single.to_bits(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn adaptive_shedding_is_seeded_and_prices_retry_hints() {
+        let run = || {
+            let engine = ServingEngine::new(ServingOptions {
+                admission_limit: 4,
+                overload: OverloadOptions {
+                    slo_us: 5_000.0,
+                    auto_observe: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let r = test_relation();
+            engine.publish_catalog(analyzed(&r, EstimatorKind::Sampling));
+            let shard = shard_for("serve", "a", engine.shards());
+            // Scripted pressure 1.8 and a half-occupied shard: shed
+            // probability (1.8 - 1) * (2/4) = 0.4 per arrival.
+            engine.observe_shard_latency(shard, 1.8 * engine.overload.slo_us);
+            let _g1 = engine.admit(shard).unwrap();
+            let _g2 = engine.admit(shard).unwrap();
+            let mut outcomes = Vec::new();
+            let mut hints = Vec::new();
+            for _ in 0..64 {
+                match engine.admit(shard) {
+                    Ok(g) => {
+                        outcomes.push(true);
+                        drop(g);
+                    }
+                    Err(EstimateError::Overloaded { retry_after_us, .. }) => {
+                        assert!(retry_after_us >= 50, "hint is clamped positive");
+                        hints.push(retry_after_us);
+                        outcomes.push(false);
+                    }
+                    Err(other) => panic!("unexpected {other:?}"),
+                }
+            }
+            let shed = outcomes.iter().filter(|o| !**o).count();
+            assert!(shed > 0, "pressure 1.8 at half occupancy must shed");
+            assert!(shed < 64, "shedding is probabilistic, not a wall");
+            let health = engine.health();
+            assert_eq!(health.shards[shard].shed as usize, shed);
+            assert_eq!(health.shards[shard].rejected as usize, shed);
+            assert!(health.shards[shard].pressure > 1.7);
+            (outcomes, hints)
+        };
+        // Same seed, same trajectory: the shed pattern and every retry
+        // hint replay exactly.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn in_flight_returns_to_zero_on_every_outcome() {
+        let drained = |engine: &ServingEngine| {
+            engine
+                .health()
+                .shards
+                .iter()
+                .map(|s| s.in_flight)
+                .sum::<usize>()
+        };
+        let r = test_relation();
+        let engine = ServingEngine::new(ServingOptions {
+            admission_limit: 2,
+            ..Default::default()
+        });
+        engine.publish_catalog(analyzed(&r, EstimatorKind::Sampling));
+        let q = queries(1)[0];
+        // Success, then a cache hit.
+        engine.try_estimate("serve", "a", &q).unwrap();
+        engine.try_estimate("serve", "a", &q).unwrap();
+        assert_eq!(drained(&engine), 0);
+        // Invalid query and missing column refuse before admission.
+        let bad = RangeQuery::unchecked(7.0, 3.0);
+        assert!(engine.try_estimate("serve", "a", &bad).is_err());
+        assert!(engine.try_estimate("serve", "zzz", &q).is_err());
+        assert_eq!(drained(&engine), 0);
+        // A hard-limit refusal leaves no residue once the holders drop.
+        let shard = shard_for("serve", "a", engine.shards());
+        let g1 = engine.admit(shard).unwrap();
+        let g2 = engine.admit(shard).unwrap();
+        assert!(matches!(
+            engine.try_estimate("serve", "a", &queries(3)[2]),
+            Err(EstimateError::Overloaded { .. })
+        ));
+        drop(g1);
+        drop(g2);
+        assert_eq!(drained(&engine), 0);
+        // A panicking primary is absorbed to the floor — and the guard
+        // still drains.
+        let bad_engine = scripted_engine();
+        let (snap, _) = failing_snapshot(FailureMode::PanicAlways);
+        bad_engine.publish_snapshot(snap);
+        let s = bad_engine.try_estimate_with("t", "bad", &q, None).unwrap();
+        assert_eq!(s.rung, ServeRung::Floor);
+        let mut scratch = ServingScratch::new();
+        let mut out = Vec::new();
+        bad_engine.estimate_batch_into("t", "bad", &queries(4), &mut scratch, &mut out);
+        assert!(out.iter().all(|s| s.is_ok()));
+        assert_eq!(drained(&bad_engine), 0);
+        // A panic unwinding *through* a held guard still decrements: the
+        // guard's Drop runs during unwind.
+        let before = drained(&engine);
+        assert_eq!(before, 0);
+        let guard = engine.admit(shard).unwrap();
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let _held = guard;
+            panic!("unwind through the admission guard");
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(drained(&engine), 0);
     }
 }

@@ -74,6 +74,24 @@
 #                      incremental-refresh speedup over the from-scratch
 #                      re-ANALYZE is below R (default 10 — the PR 9
 #                      acceptance floor at n = 100k)
+#   --overload         compare overload-bench files (selest serve --bench
+#                      --overload, BENCH_PR10.json) instead of perf
+#                      baselines. Both files must parse their saturating
+#                      closed-loop runs and report zero per-response
+#                      checksum mismatches (the bench bit-validates every
+#                      unshed slot against its serving rung's reference
+#                      before writing the artifact, so a nonzero count —
+#                      or a missing field — is a correctness failure in
+#                      any mode). Full-mode files additionally gate the
+#                      brownout win: within-SLO goodput at 4x load must
+#                      beat the refuse-only baseline by the ratio below,
+#                      with the brownout p999 under the SLO cap recorded
+#                      in the file. Smoke timings are noise and only
+#                      structure/identity-checked.
+#   --min-goodput-ratio R
+#                      (--overload) fail if a full-mode file's
+#                      goodput_ratio_4x is below R (default 2 — the PR 10
+#                      acceptance floor for brownout vs refuse-only)
 #
 # Structure gate: every (fixture, estimator) row of the baseline must exist
 # in the new file, and if the baseline has a catalog or fault_overhead
@@ -98,10 +116,12 @@ min_speedup_hist_seq=0
 simd_gate=0
 serving=0
 incremental=0
+overload=0
 min_scaling=3
 p99_max_us=50000
 p999_max_us=250000
 min_refresh_speedup=10
+min_goodput_ratio=2
 while [ $# -gt 0 ]; do
     case "$1" in
         --max-ratio)          max_ratio=$2; shift 2 ;;
@@ -117,6 +137,8 @@ while [ $# -gt 0 ]; do
         --p99-max-us)         p99_max_us=$2; shift 2 ;;
         --p999-max-us)        p999_max_us=$2; shift 2 ;;
         --min-refresh-speedup) min_refresh_speedup=$2; shift 2 ;;
+        --overload)           overload=1; shift ;;
+        --min-goodput-ratio)  min_goodput_ratio=$2; shift 2 ;;
         *) echo "unknown option $1" >&2; exit 2 ;;
     esac
 done
@@ -127,6 +149,112 @@ for f in "$baseline" "$new"; do
         exit 1
     fi
 done
+
+if [ "$overload" = 1 ]; then
+    awk -v min_ratio="$min_goodput_ratio" \
+        -v baseline="$baseline" -v new_file="$new" '
+function field_num(line, key,    r) {
+    if (match(line, "\"" key "\": *-?[0-9.eE+-]+") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", r)
+    return r + 0
+}
+function field_str(line, key,    r) {
+    if (match(line, "\"" key "\": *\"[^\"]*\"") == 0) return "NA"
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *\"", "", r)
+    sub("\"$", "", r)
+    return r
+}
+{
+    f = FILENAME
+    if (index($0, "\"load\":") > 0 && index($0, "\"goodput_per_sec\":") > 0) {
+        # One saturating closed-loop run: (load multiple, serving mode).
+        key = f "|" field_num($0, "load") "x" field_str($0, "mode")
+        runs[key] = 1
+        run_count[f]++
+        run_mism[key] = field_num($0, "mismatches")
+        keys_of[f] = keys_of[f] "\n" key
+    } else if (index($0, "\"mode\":") > 0 && file_mode[f] == "") {
+        file_mode[f] = field_str($0, "mode")
+    }
+    if (index($0, "\"goodput_ratio_4x\":") > 0) {
+        ratio[f] = field_num($0, "goodput_ratio_4x")
+        p999[f] = field_num($0, "p999_us_brownout_4x")
+        p999_cap[f] = field_num($0, "p999_cap_us")
+        gate_mism[f] = field_num($0, "mismatches")
+    }
+}
+END {
+    fails = 0
+    split(baseline " " new_file, files, " ")
+    for (fi = 1; fi <= 2; fi++) {
+        f = files[fi]
+        if (run_count[f] + 0 == 0) {
+            printf "FAIL %s: no overload runs parsed\n", f
+            fails++
+            continue
+        }
+        # Identity gate, every mode: the bench bit-validates each unshed
+        # response against its rung reference and reports the count; a
+        # missing or nonzero count is a correctness failure.
+        n = split(keys_of[f], ks, "\n")
+        for (i = 1; i <= n; i++) {
+            k = ks[i]
+            if (k == "") continue
+            if (run_mism[k] == "NA" || run_mism[k] + 0 != 0) {
+                printf "FAIL %s: run %s reports mismatches=%s (want 0)\n", \
+                    f, substr(k, length(f) + 2), run_mism[k]
+                fails++
+            }
+        }
+        if (gate_mism[f] == "NA" || gate_mism[f] + 0 != 0) {
+            printf "FAIL %s: gates section mismatches=%s (want 0)\n", f, gate_mism[f]
+            fails++
+        }
+        # Brownout-win gates only on full-mode measurements.
+        if (file_mode[f] == "full") {
+            if (ratio[f] == "NA") {
+                printf "FAIL %s: goodput_ratio_4x missing\n", f
+                fails++
+            } else if (ratio[f] < min_ratio) {
+                printf "FAIL %s: goodput_ratio_4x %.2f < %.1f\n", f, ratio[f], min_ratio
+                fails++
+            }
+            if (p999[f] == "NA" || p999_cap[f] == "NA") {
+                printf "FAIL %s: brownout p999 / cap missing\n", f
+                fails++
+            } else if (p999[f] > p999_cap[f]) {
+                printf "FAIL %s: brownout p999 %.1fus > cap %.1fus\n", \
+                    f, p999[f], p999_cap[f]
+                fails++
+            }
+        }
+    }
+    # Structure gate: every baseline (load, mode) run must exist in the
+    # new file (overload coverage only grows).
+    n = split(keys_of[baseline], ks, "\n")
+    for (i = 1; i <= n; i++) {
+        k = ks[i]
+        if (k == "") continue
+        cell = substr(k, length(baseline) + 2)
+        if (!((new_file "|" cell) in runs)) {
+            printf "FAIL %s: run %s missing from %s\n", baseline, cell, new_file
+            fails++
+        }
+    }
+    if (fails > 0) {
+        printf "bench_compare --overload: %d failure(s) (%s vs %s)\n", fails, baseline, new_file
+        exit 1
+    }
+    printf "bench_compare --overload: %d + %d runs OK (0 response mismatches", \
+        run_count[baseline], run_count[new_file]
+    printf "; full-mode gates: goodput ratio >= x%.1f at 4x load, p999 under SLO cap)\n", \
+        min_ratio
+}
+' "$baseline" "$new"
+    exit $?
+fi
 
 if [ "$incremental" = 1 ]; then
     awk -v min_speedup="$min_refresh_speedup" \

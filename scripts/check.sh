@@ -88,6 +88,18 @@ echo "==> incremental gate vs committed BENCH_PR9.json (rank bound + bit-identit
 # artifact only — smoke timings on a busy 1-core box are noise.
 scripts/bench_compare.sh BENCH_PR9.json target/bench_ingest_smoke.json --incremental
 
+echo "==> overload bench smoke run (scratch output; BENCH_PR10.json untouched)"
+./target/release/selest serve --bench --overload --smoke --out target/bench_overload_smoke.json
+test -s target/bench_overload_smoke.json
+
+echo "==> overload gate vs committed BENCH_PR10.json (response identity + brownout goodput win)"
+# Per-response checksum identity (every unshed slot bit-validated against
+# its serving rung's reference) is exact in both files. The brownout-win
+# gates — within-SLO goodput >= 2x the refuse-only baseline at 4x load,
+# brownout p999 under the SLO cap — apply to the committed full-mode
+# artifact only: a smoke run's load is too light to saturate anything.
+scripts/bench_compare.sh BENCH_PR10.json target/bench_overload_smoke.json --overload
+
 if [ "$simd" = 1 ]; then
     echo "==> SIMD determinism sweep (lanes x jobs, byte-identical)"
     cargo test -q --test simd_kernels

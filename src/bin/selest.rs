@@ -251,9 +251,67 @@ fn cmd_snapshot(args: &[String]) {
     }
 }
 
+/// `selest serve --status [DIR]`: spin an engine (loading the durable
+/// store at DIR when given, else the empty snapshot) and print its
+/// overload-facing health — load tier, per-shard pressure/shed counters,
+/// and every column breaker — the same report a long-lived process would
+/// expose.
+fn cmd_serve_status(args: &[String]) {
+    use selest::store::DurableStore;
+    let engine = selest::ServingEngine::with_defaults();
+    if let Some(dir) = args.iter().find(|a| !a.starts_with("--")) {
+        match DurableStore::open(std::path::Path::new(dir.as_str())) {
+            Ok((store, _)) => {
+                let (generation, failures) = engine.load_durable(&store);
+                println!("store       {dir} (generation {generation})");
+                for (relation, column, error) in &failures {
+                    println!("            unservable {relation}.{column}: {error}");
+                }
+            }
+            Err(e) => die(&format!("open store {dir}: {e}")),
+        }
+    }
+    let health = engine.health();
+    println!("tier        {}", health.tier);
+    println!("generation  {}", health.generation);
+    println!(
+        "served      brownout {} / floor {} / deadline-refused {}",
+        health.brownout_served, health.floor_served, health.deadline_refused
+    );
+    for s in &health.shards {
+        println!(
+            "shard {}     admitted {} rejected {} shed {} in-flight {} ewma {:.0}us pressure {:.2}",
+            s.shard, s.admitted, s.rejected, s.shed, s.in_flight, s.ewma_us, s.pressure
+        );
+    }
+    if health.breakers.is_empty() {
+        println!("breakers    none (no columns serving)");
+    }
+    for b in &health.breakers {
+        println!(
+            "breaker     {}.{}  {} ({} trips)",
+            b.relation, b.column, b.state, b.trips
+        );
+    }
+}
+
 fn cmd_serve(args: &[String]) {
+    if args.iter().any(|a| a == "--status") {
+        return cmd_serve_status(args);
+    }
     if !args.iter().any(|a| a == "--bench") {
-        die("serve: only the benchmark driver is wired so far; run `selest serve --bench`");
+        die("serve: run `selest serve --bench [--overload]` or `selest serve --status [DIR]`");
+    }
+    if args.iter().any(|a| a == "--overload") {
+        let opts = bench::overload::OverloadBenchOptions {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            out: flag_value(args, "--out").unwrap_or_else(|| "BENCH_PR10.json".to_owned()),
+            seed: flag_value(args, "--seed")
+                .map(|s| s.parse().unwrap_or_else(|_| die("bad --seed")))
+                .unwrap_or(0x0005_E1E5_70AD),
+        };
+        bench::overload::run_overload_bench(&opts);
+        return;
     }
     let opts = bench::serving::ServingBenchOptions {
         smoke: args.iter().any(|a| a == "--smoke"),
@@ -397,7 +455,8 @@ fn main() {
             println!("  selest estimate <file> <method> <a> <b> [--scale K] [--sample N]");
             println!("  selest repro [ids...] [--quick] [--jobs N] [--csv DIR]");
             println!("  selest snapshot <dir> [files...] [--scale K] [--sample N]");
-            println!("  selest serve --bench [--smoke] [--out FILE]");
+            println!("  selest serve --bench [--overload] [--smoke] [--out FILE] [--seed N]");
+            println!("  selest serve --status [DIR]");
             println!("  selest ingest --bench [--smoke] [--out FILE]");
             println!("  selest fsck <dir> [--repair]");
             println!("  selest methods");

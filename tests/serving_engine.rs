@@ -397,3 +397,237 @@ fn adversarial_unique_queries_cannot_grow_the_cache() {
         "distinct queries overwhelmingly miss a 16-slot cache"
     );
 }
+
+// -------------------------------------------------------------------------
+// 3. Overload chaos: publisher + tripped breaker + saturating readers
+// -------------------------------------------------------------------------
+
+/// An environment knob for the chaos sweep (`scripts/chaos_sweep.sh
+/// --overload` re-runs this test across a grid and prints the failing
+/// combination as a repro command).
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The five chaos columns: four kernel-served clean columns plus column
+/// `f`, whose primary panics for its first `fail_calls` calls (then
+/// recovers). Fresh estimator objects per call, but deterministic inputs,
+/// so every publish serves bit-identical statistics.
+fn overload_columns(fail_calls: usize) -> Vec<selest::store::ServingColumn> {
+    use selest::kernel::{BoundaryPolicy, KernelEstimator, KernelFn};
+    use selest::store::{FailingEstimator, FailureMode, ServingColumn};
+    let d = domain();
+    let mut cols: Vec<ServingColumn> = COLUMNS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut values = rows(i as u64);
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite rows"));
+            let sample: Arc<[f64]> = values.iter().step_by(6).take(256).copied().collect();
+            let est = KernelEstimator::new(
+                &sample,
+                d,
+                KernelFn::Epanechnikov,
+                d.width() / 64.0,
+                BoundaryPolicy::Reflection,
+            );
+            ServingColumn::new(
+                "chaos",
+                name,
+                Arc::new(est),
+                values.len(),
+                selest::store::EstimatorKind::Kernel,
+                d,
+                sample,
+            )
+        })
+        .collect();
+    cols.push(ServingColumn::new(
+        "chaos",
+        "f",
+        Arc::new(FailingEstimator::new(d, FailureMode::FailFirst(fail_calls))),
+        1_500,
+        selest::store::EstimatorKind::Sampling,
+        d,
+        Arc::from(Vec::<f64>::new()),
+    ));
+    cols
+}
+
+/// Saturating readers vs. a live publisher vs. an injected-failure column
+/// whose breaker trips, cools down, half-opens, and recovers — all at
+/// once. The pinned invariant is the overload contract end to end: every
+/// slot of every batch is either a value that is bit-identical to the
+/// serving rung that claims to have produced it, or one of the two typed
+/// refusals (`Overloaded`, `DeadlineExceeded`). Nothing else — no
+/// panics, no garbage, no torn reads — no matter how the publisher, the
+/// breaker state machine, and the deadline clock interleave.
+///
+/// Seeded and sweepable: `SELEST_OVERLOAD_SEED`, `SELEST_OVERLOAD_CLIENTS`
+/// and `SELEST_OVERLOAD_SLO_US` parameterize the run (the defaults are
+/// exercised by plain `cargo test`).
+#[test]
+fn overload_chaos_every_estimate_is_valid_or_a_typed_refusal() {
+    use selest::core::{EstimateError, QueryDeadline};
+    use selest::store::{OverloadOptions, ServeRung};
+    use std::time::Duration;
+
+    let seed = env_u64("SELEST_OVERLOAD_SEED", 7);
+    let clients = env_u64("SELEST_OVERLOAD_CLIENTS", 3) as usize;
+    let slo_us = env_u64("SELEST_OVERLOAD_SLO_US", 2_000);
+    let ops = 120usize;
+
+    // Per-column reference bits for every rung the engine may serve from.
+    // The failing column's healthy primary *is* the uniform overlap
+    // fraction, so its full rung and floor rung coincide by construction.
+    let qs = queries();
+    let reference = overload_columns(0);
+    let rung_bits: HashMap<String, [Option<Vec<u64>>; 3]> = reference
+        .iter()
+        .map(|col| {
+            let full: Vec<u64> = qs
+                .iter()
+                .map(|q| col.estimator().selectivity(q).to_bits())
+                .collect();
+            let brown: Option<Vec<u64>> = col
+                .brownout_rung()
+                .map(|r| qs.iter().map(|q| r.selectivity(q).to_bits()).collect());
+            let floor = selest::UniformEstimator::new(col.domain());
+            let floor: Vec<u64> = qs
+                .iter()
+                .map(|q| selest::SelectivityEstimator::selectivity(&floor, q).to_bits())
+                .collect();
+            (col.column().to_string(), [Some(full), brown, Some(floor)])
+        })
+        .collect();
+
+    let engine = ServingEngine::new(ServingOptions {
+        shards: 3,
+        cache_bits: 6,
+        admission_limit: 16,
+        overload: OverloadOptions {
+            slo_us: slo_us as f64,
+            seed,
+            breaker_threshold: 2,
+            breaker_cooldown_calls: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    // Enough injected failures that the breaker must trip at least once
+    // (threshold 2) but few enough that it recovers within the run.
+    engine.publish_snapshot(CatalogSnapshot::from_columns(overload_columns(12), 1));
+
+    let names = ["w", "x", "y", "z", "f"];
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let publisher = scope.spawn(|| {
+            // Keep republishing until the readers finish: breaker state
+            // must survive each swap (grafted by column identity), and a
+            // fresh failing estimator per publish re-injects faults.
+            let mut publishes = 1u64;
+            while !stop.load(Ordering::Acquire) {
+                engine.publish_snapshot(CatalogSnapshot::from_columns(
+                    overload_columns(12),
+                    publishes + 1,
+                ));
+                publishes += 1;
+                thread::sleep(Duration::from_micros(300));
+            }
+            publishes
+        });
+        let readers: Vec<_> = (0..clients)
+            .map(|t| {
+                let engine = &engine;
+                let rung_bits = &rung_bits;
+                let qs = &qs;
+                scope.spawn(move || {
+                    let mut scratch = ServingScratch::new();
+                    let mut out = Vec::new();
+                    let (mut answered, mut refused) = (0u64, 0u64);
+                    for i in 0..ops {
+                        let name = names[(t + i) % names.len()];
+                        // Alternate unhurried and deadline-armed batches.
+                        let d = (i % 2 == 1)
+                            .then(|| QueryDeadline::after(Duration::from_micros(slo_us)));
+                        engine.estimate_batch_with(
+                            "chaos",
+                            name,
+                            qs,
+                            d.as_ref(),
+                            &mut scratch,
+                            &mut out,
+                        );
+                        for (slot, served) in out.iter().enumerate() {
+                            match served {
+                                Ok(est) => {
+                                    let bits = &rung_bits[name];
+                                    let expect = match est.rung {
+                                        ServeRung::Full => bits[0].as_ref(),
+                                        ServeRung::Brownout => bits[1].as_ref(),
+                                        ServeRung::Floor => bits[2].as_ref(),
+                                    };
+                                    let expect = expect.unwrap_or_else(|| {
+                                        panic!(
+                                            "{name} slot {slot}: served from rung \
+                                             {:?} which the column does not have",
+                                            est.rung
+                                        )
+                                    });
+                                    assert_eq!(
+                                        est.value.to_bits(),
+                                        expect[slot],
+                                        "{name} slot {slot}: value drifted from the \
+                                         {:?} rung reference",
+                                        est.rung
+                                    );
+                                    answered += 1;
+                                }
+                                Err(
+                                    EstimateError::Overloaded { .. }
+                                    | EstimateError::DeadlineExceeded { .. },
+                                ) => refused += 1,
+                                Err(other) => {
+                                    panic!("{name} slot {slot}: untyped failure {other}")
+                                }
+                            }
+                        }
+                    }
+                    (answered, refused)
+                })
+            })
+            .collect();
+        let mut answered_total = 0u64;
+        for r in readers {
+            let (answered, _refused) = r.join().expect("no reader may panic");
+            assert!(answered > 0, "every reader must get real answers");
+            answered_total += answered;
+        }
+        stop.store(true, Ordering::Release);
+        let publishes = publisher.join().expect("publisher must not panic");
+        assert!(publishes >= 1);
+        assert!(answered_total > 0);
+    });
+
+    let health = engine.health();
+    let f = health
+        .breakers
+        .iter()
+        .find(|b| b.column == "f")
+        .expect("the failing column is serving");
+    assert!(
+        f.trips >= 1,
+        "12 injected failures against threshold 2 must trip the breaker"
+    );
+    assert!(
+        health.floor_served >= 1,
+        "absorbed failures and open-breaker routing serve the floor"
+    );
+    assert!(
+        health.shards.iter().all(|s| s.in_flight == 0),
+        "in-flight gauges return to zero on every outcome"
+    );
+}
